@@ -1,0 +1,130 @@
+// Ablation benches for the design choices called out in DESIGN.md:
+//  A1 statechart trace recording on/off (observability tax),
+//  A2 state listener installed vs not (hook dispatch tax),
+//  A3 signal write with vs without value change (update-suppression win),
+//  A4 codesign boundary-penalty sweep (the HW/SW crossover "figure": as
+//     communication gets more expensive, the optimal partition migrates
+//     from mixed toward single-side),
+//  A5 XMI attribute escaping cost on escape-heavy vs clean models.
+#include <benchmark/benchmark.h>
+
+#include "activity/synthetic.hpp"
+#include "codesign/partition.hpp"
+#include "sim/signal.hpp"
+#include "statechart/interpreter.hpp"
+#include "statechart/synthetic.hpp"
+#include "uml/query.hpp"
+#include "uml/synthetic.hpp"
+#include "xmi/serialize.hpp"
+
+namespace {
+
+using namespace umlsoc;
+
+// --- A1: trace recording ---------------------------------------------------------
+
+void BM_AblTraceRecording(benchmark::State& state) {
+  auto machine = statechart::make_nested_machine(4, 4);
+  statechart::StateMachineInstance instance(*machine);
+  instance.set_trace_enabled(state.range(0) != 0);
+  instance.start();
+  for (auto _ : state) {
+    instance.dispatch({"step"});
+    if (state.range(0) != 0 && instance.trace().size() > 100000) {
+      state.PauseTiming();
+      instance.clear_trace();
+      state.ResumeTiming();
+    }
+  }
+  state.SetLabel(state.range(0) != 0 ? "trace=on" : "trace=off");
+}
+BENCHMARK(BM_AblTraceRecording)->Arg(0)->Arg(1);
+
+// --- A2: state listener --------------------------------------------------------------
+
+void BM_AblStateListener(benchmark::State& state) {
+  auto machine = statechart::make_nested_machine(4, 4);
+  statechart::StateMachineInstance instance(*machine);
+  instance.set_trace_enabled(false);
+  std::uint64_t callbacks = 0;
+  if (state.range(0) != 0) {
+    instance.set_state_listener(
+        [&callbacks](const statechart::State&, bool) { ++callbacks; });
+  }
+  instance.start();
+  for (auto _ : state) {
+    instance.dispatch({"step"});
+  }
+  benchmark::DoNotOptimize(callbacks);
+  state.SetLabel(state.range(0) != 0 ? "listener=on" : "listener=off");
+}
+BENCHMARK(BM_AblStateListener)->Arg(0)->Arg(1);
+
+// --- A3: signal update suppression ------------------------------------------------------
+
+void BM_AblSignalWrite(benchmark::State& state) {
+  sim::Kernel kernel;
+  sim::Signal<int> signal(kernel, "s", 0);
+  int subscribers_hit = 0;
+  signal.value_changed().subscribe([&subscribers_hit] { ++subscribers_hit; });
+  const bool changing = state.range(0) != 0;
+  int value = 0;
+  for (auto _ : state) {
+    kernel.schedule(sim::SimTime::ns(1), [&] { signal.write(changing ? ++value : 0); });
+    kernel.run();
+  }
+  benchmark::DoNotOptimize(subscribers_hit);
+  state.SetLabel(changing ? "value-changes" : "same-value");
+  state.counters["notifications"] = static_cast<double>(subscribers_hit);
+}
+BENCHMARK(BM_AblSignalWrite)->Arg(0)->Arg(1);
+
+// --- A4: boundary penalty sweep (HW/SW crossover) ---------------------------------------
+
+void BM_AblBoundaryPenalty(benchmark::State& state) {
+  auto activity = activity::make_series_parallel(11, 12);
+  codesign::TaskGraph graph = codesign::extract_task_graph(*activity);
+  codesign::CostModel model;
+  // A constrained budget forces a mixed partition, so boundary crossings
+  // are unavoidable and the penalty reshapes the optimal split.
+  model.area_budget = graph.total_hw_area() * 0.4;
+  model.boundary_penalty = static_cast<double>(state.range(0));
+
+  codesign::PartitionResult best;
+  for (auto _ : state) {
+    best = codesign::partition_exhaustive(graph, model);
+    benchmark::DoNotOptimize(best);
+  }
+  std::size_t hw_tasks = 0;
+  for (bool hw : best.partition) hw_tasks += hw ? 1 : 0;
+  state.counters["penalty"] = model.boundary_penalty;
+  state.counters["hw_tasks"] = static_cast<double>(hw_tasks);
+  state.counters["makespan"] = best.evaluation.makespan;
+}
+BENCHMARK(BM_AblBoundaryPenalty)->Arg(0)->Arg(2)->Arg(8)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+// --- A5: XMI escaping ---------------------------------------------------------------------
+
+void BM_AblXmiEscaping(benchmark::State& state) {
+  uml::SyntheticSpec spec;
+  spec.packages = 8;
+  auto model = uml::make_synthetic_model(spec);
+  if (state.range(0) != 0) {
+    // Pollute every class doc with escape-heavy text.
+    for (const auto& member : model->members()) {
+      member->set_documentation("<<<&&&\"'''>>> escape-heavy docs &&& <<<>>>");
+    }
+    for (uml::Class* cls : uml::collect<uml::Class>(*model)) {
+      cls->set_documentation("a<b && c>d \"quoted\" 'apos' &amp; repeatedly <><><>");
+    }
+  }
+  for (auto _ : state) {
+    std::string text = xmi::write_model(*model);
+    benchmark::DoNotOptimize(text);
+  }
+  state.SetLabel(state.range(0) != 0 ? "escape-heavy" : "clean");
+}
+BENCHMARK(BM_AblXmiEscaping)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -1,0 +1,135 @@
+// E8 "Code generation": generated-lines/sec per backend (RTL, SystemC-style
+// C++, SW C++, PlantUML) and the abstraction ratio: model elements in vs
+// generated LoC out. Expected shape: all backends linear in module size;
+// the abstraction ratio (LoC per element) is the design-productivity
+// argument of the paper's introduction.
+#include <benchmark/benchmark.h>
+
+#include "codegen/plantuml.hpp"
+#include "codegen/rtl.hpp"
+#include "codegen/software.hpp"
+#include "codegen/systemc.hpp"
+#include "mda/transform.hpp"
+#include "support/strings.hpp"
+#include "uml/query.hpp"
+#include "uml/synthetic.hpp"
+
+namespace {
+
+using namespace umlsoc;
+
+/// A «HwModule» with N registers and a few ports.
+struct ModuleFixture {
+  uml::Model model{"M"};
+  soc::SocProfile profile = soc::SocProfile::install(model);
+  uml::Class* module = nullptr;
+  std::size_t elements_before = 0;
+
+  explicit ModuleFixture(int register_count) {
+    module = &model.add_package("hw").add_class("Block");
+    module->apply_stereotype(*profile.hw_module);
+    module->add_port("clk", uml::PortDirection::kIn).apply_stereotype(*profile.clock);
+    module->add_port("rst_n", uml::PortDirection::kIn);
+    module->add_port("irq", uml::PortDirection::kOut);
+    for (int i = 0; i < register_count; ++i) {
+      uml::Property& reg =
+          module->add_property("reg" + std::to_string(i), &model.primitive("Word", 32));
+      reg.apply_stereotype(*profile.hw_register);
+      reg.set_tagged_value(*profile.hw_register, "address",
+                           "0x" + std::to_string(i * 4));
+    }
+    elements_before = model.element_count();
+  }
+};
+
+void report_loc(benchmark::State& state, const std::string& last_output,
+                std::size_t model_elements) {
+  const double loc = static_cast<double>(support::count_nonempty_lines(last_output));
+  state.counters["generated_loc"] = loc;
+  state.counters["loc/s"] = benchmark::Counter(loc * static_cast<double>(state.iterations()),
+                                               benchmark::Counter::kIsRate);
+  state.counters["loc_per_element"] = loc / static_cast<double>(model_elements);
+}
+
+void BM_GenerateRtl(benchmark::State& state) {
+  ModuleFixture fixture(static_cast<int>(state.range(0)));
+  std::string text;
+  for (auto _ : state) {
+    support::DiagnosticSink sink;
+    text = codegen::generate_rtl_module(*fixture.module, fixture.profile, sink);
+    benchmark::DoNotOptimize(text);
+  }
+  report_loc(state, text, fixture.model.element_count());
+}
+BENCHMARK(BM_GenerateRtl)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_GenerateSystemC(benchmark::State& state) {
+  ModuleFixture fixture(static_cast<int>(state.range(0)));
+  std::string text;
+  for (auto _ : state) {
+    support::DiagnosticSink sink;
+    text = codegen::generate_sim_module(*fixture.module, fixture.profile, sink);
+    benchmark::DoNotOptimize(text);
+  }
+  report_loc(state, text, fixture.model.element_count());
+}
+BENCHMARK(BM_GenerateSystemC)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_GenerateSwClass(benchmark::State& state) {
+  // SW PSM class with ASL bodies (the expensive path: parse + translate).
+  uml::Model model("M");
+  uml::Class& cls = model.add_package("app").add_class("Task");
+  for (int i = 0; i < state.range(0); ++i) {
+    uml::Operation& op = cls.add_operation("op" + std::to_string(i));
+    op.set_body("self.acc := self.acc + " + std::to_string(i) +
+                "; if (self.acc > 100) { self.acc := 0; } return self.acc;");
+    op.set_return_type(model.primitive("Integer", 32));
+  }
+  std::string text;
+  for (auto _ : state) {
+    support::DiagnosticSink sink;
+    text = codegen::generate_sw_class(cls, sink);
+    benchmark::DoNotOptimize(text);
+  }
+  report_loc(state, text, model.element_count());
+}
+BENCHMARK(BM_GenerateSwClass)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_GeneratePlantUml(benchmark::State& state) {
+  uml::SyntheticSpec spec;
+  spec.packages = static_cast<std::size_t>(state.range(0));
+  auto model = uml::make_synthetic_model(spec);
+  std::string text;
+  for (auto _ : state) {
+    text = codegen::to_plantuml_class_diagram(*model);
+    benchmark::DoNotOptimize(text);
+  }
+  report_loc(state, text, model->element_count());
+}
+BENCHMARK(BM_GeneratePlantUml)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_FullFlowPimToRtl(benchmark::State& state) {
+  // Abstraction ratio end-to-end: PIM -> HW PSM -> RTL for every module.
+  ModuleFixture fixture(static_cast<int>(state.range(0)));
+  std::size_t total_loc = 0;
+  for (auto _ : state) {
+    support::DiagnosticSink sink;
+    mda::MdaResult hw =
+        mda::transform(fixture.model, mda::PlatformDescription::hardware(), sink);
+    std::optional<soc::SocProfile> profile = soc::SocProfile::find(*hw.psm);
+    total_loc = 0;
+    for (uml::Class* cls : uml::collect<uml::Class>(*hw.psm)) {
+      if (!cls->has_stereotype(*profile->hw_module)) continue;
+      total_loc += support::count_nonempty_lines(
+          codegen::generate_rtl_module(*cls, *profile, sink));
+    }
+    benchmark::DoNotOptimize(total_loc);
+  }
+  state.counters["pim_elements"] = static_cast<double>(fixture.elements_before);
+  state.counters["rtl_loc"] = static_cast<double>(total_loc);
+  state.counters["abstraction_ratio"] =
+      static_cast<double>(total_loc) / static_cast<double>(fixture.elements_before);
+}
+BENCHMARK(BM_FullFlowPimToRtl)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,110 @@
+// E10 "HW/SW partitioning": solution quality and runtime of greedy vs
+// KL-style vs simulated annealing vs exhaustive on series-parallel task
+// graphs. Expected shape: greedy is fastest but worst; KL and SA close the
+// gap to the exact optimum (SA ~= exact on small graphs); exhaustive
+// explodes exponentially and is only usable to n~20.
+#include <benchmark/benchmark.h>
+
+#include "activity/synthetic.hpp"
+#include "codesign/partition.hpp"
+
+namespace {
+
+using namespace umlsoc;
+using namespace umlsoc::codesign;
+
+TaskGraph graph_for(std::int64_t actions, std::uint64_t seed = 11) {
+  auto activity = activity::make_series_parallel(seed, static_cast<std::size_t>(actions));
+  return extract_task_graph(*activity);
+}
+
+CostModel model_for(const TaskGraph& graph) {
+  CostModel model;
+  model.area_budget = graph.total_hw_area() * 0.5;
+  model.boundary_penalty = 4.0;
+  return model;
+}
+
+void report(benchmark::State& state, const PartitionResult& result) {
+  state.counters["makespan"] = result.evaluation.makespan;
+  state.counters["area"] = result.evaluation.area;
+  state.counters["cost_evals"] = static_cast<double>(result.evaluations);
+}
+
+void BM_PartitionGreedy(benchmark::State& state) {
+  TaskGraph graph = graph_for(state.range(0));
+  CostModel model = model_for(graph);
+  PartitionResult result;
+  for (auto _ : state) {
+    result = partition_greedy(graph, model);
+    benchmark::DoNotOptimize(result);
+  }
+  report(state, result);
+}
+BENCHMARK(BM_PartitionGreedy)->Arg(8)->Arg(16)->Arg(40)->Arg(120);
+
+void BM_PartitionKl(benchmark::State& state) {
+  TaskGraph graph = graph_for(state.range(0));
+  CostModel model = model_for(graph);
+  PartitionResult result;
+  for (auto _ : state) {
+    result = partition_kl(graph, model);
+    benchmark::DoNotOptimize(result);
+  }
+  report(state, result);
+}
+BENCHMARK(BM_PartitionKl)->Arg(8)->Arg(16)->Arg(40)->Arg(120)->Unit(benchmark::kMillisecond);
+
+void BM_PartitionAnnealing(benchmark::State& state) {
+  TaskGraph graph = graph_for(state.range(0));
+  CostModel model = model_for(graph);
+  PartitionResult result;
+  for (auto _ : state) {
+    result = partition_annealing(graph, model, 17, 20000);
+    benchmark::DoNotOptimize(result);
+  }
+  report(state, result);
+}
+BENCHMARK(BM_PartitionAnnealing)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(40)
+    ->Arg(120)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PartitionExhaustive(benchmark::State& state) {
+  TaskGraph graph = graph_for(state.range(0));
+  CostModel model = model_for(graph);
+  PartitionResult result;
+  for (auto _ : state) {
+    result = partition_exhaustive(graph, model);
+    benchmark::DoNotOptimize(result);
+  }
+  report(state, result);
+}
+BENCHMARK(BM_PartitionExhaustive)->Arg(8)->Arg(12)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_TaskGraphExtraction(benchmark::State& state) {
+  auto activity = activity::make_series_parallel(3, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    TaskGraph graph = extract_task_graph(*activity);
+    benchmark::DoNotOptimize(graph);
+  }
+  state.counters["actions"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_TaskGraphExtraction)->Arg(10)->Arg(100);
+
+void BM_ParetoFront(benchmark::State& state) {
+  TaskGraph graph = graph_for(state.range(0));
+  CostModel model = model_for(graph);
+  std::size_t points = 0;
+  for (auto _ : state) {
+    std::vector<ParetoPoint> front = pareto_front(graph, model);
+    points = front.size();
+    benchmark::DoNotOptimize(front);
+  }
+  state.counters["front_points"] = static_cast<double>(points);
+}
+BENCHMARK(BM_ParetoFront)->Arg(8)->Arg(14)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,64 @@
+// E7 "PIM -> PSM transformation": transformation time vs model size for the
+// software and hardware platform mappings. Expected shape: ~linear in model
+// size; the hardware mapping carries a constant-factor overhead (profile
+// install, top synthesis, memory map).
+#include <benchmark/benchmark.h>
+
+#include "mda/transform.hpp"
+#include "uml/query.hpp"
+#include "uml/synthetic.hpp"
+
+namespace {
+
+using namespace umlsoc;
+
+std::unique_ptr<uml::Model> make_profiled_pim(std::int64_t packages) {
+  uml::SyntheticSpec spec;
+  spec.packages = static_cast<std::size_t>(packages);
+  spec.classes_per_package = 8;
+  auto model = uml::make_synthetic_model(spec);
+  // Tag half the classes as hardware modules with a register each.
+  soc::SocProfile profile = soc::SocProfile::install(*model);
+  std::size_t i = 0;
+  for (uml::Class* cls : uml::collect<uml::Class>(*model)) {
+    if (++i % 2 == 0) {
+      cls->apply_stereotype(*profile.hw_module);
+      uml::Property& reg = cls->add_property("ctrl_reg", &model->primitive("Word", 32));
+      reg.apply_stereotype(*profile.hw_register);
+      reg.set_tagged_value(*profile.hw_register, "address", "0x0");
+    } else {
+      cls->apply_stereotype(*profile.sw_task);
+    }
+  }
+  return model;
+}
+
+void BM_TransformSoftware(benchmark::State& state) {
+  auto pim = make_profiled_pim(state.range(0));
+  std::size_t psm_elements = 0;
+  for (auto _ : state) {
+    support::DiagnosticSink sink;
+    mda::MdaResult result = mda::transform(*pim, mda::PlatformDescription::software(), sink);
+    psm_elements = result.psm->element_count();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["pim_elements"] = static_cast<double>(pim->element_count());
+  state.counters["psm_elements"] = static_cast<double>(psm_elements);
+}
+BENCHMARK(BM_TransformSoftware)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_TransformHardware(benchmark::State& state) {
+  auto pim = make_profiled_pim(state.range(0));
+  std::size_t windows = 0;
+  for (auto _ : state) {
+    support::DiagnosticSink sink;
+    mda::MdaResult result = mda::transform(*pim, mda::PlatformDescription::hardware(), sink);
+    windows = result.memory_map.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["pim_elements"] = static_cast<double>(pim->element_count());
+  state.counters["memory_windows"] = static_cast<double>(windows);
+}
+BENCHMARK(BM_TransformHardware)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+}  // namespace

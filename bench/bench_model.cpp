@@ -1,0 +1,78 @@
+// E1 "Model scalability": metamodel construction, traversal and validation
+// throughput vs model size. Expected shape: ~linear in element count.
+#include <benchmark/benchmark.h>
+
+#include "uml/query.hpp"
+#include "uml/synthetic.hpp"
+#include "uml/validate.hpp"
+
+namespace {
+
+using namespace umlsoc;
+
+uml::SyntheticSpec spec_for(std::int64_t packages) {
+  uml::SyntheticSpec spec;
+  spec.packages = static_cast<std::size_t>(packages);
+  spec.classes_per_package = 10;
+  spec.properties_per_class = 5;
+  spec.operations_per_class = 3;
+  return spec;
+}
+
+void BM_ModelBuild(benchmark::State& state) {
+  uml::SyntheticSpec spec = spec_for(state.range(0));
+  std::size_t elements = 0;
+  for (auto _ : state) {
+    auto model = uml::make_synthetic_model(spec);
+    elements = model->element_count();
+    benchmark::DoNotOptimize(model);
+  }
+  state.counters["elements"] = static_cast<double>(elements);
+  state.counters["elements/s"] = benchmark::Counter(
+      static_cast<double>(elements) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ModelBuild)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_ModelTraverse(benchmark::State& state) {
+  auto model = uml::make_synthetic_model(spec_for(state.range(0)));
+  for (auto _ : state) {
+    uml::ModelStats stats = uml::compute_stats(*model);
+    benchmark::DoNotOptimize(stats);
+  }
+  state.counters["elements"] = static_cast<double>(model->element_count());
+  state.counters["elements/s"] = benchmark::Counter(
+      static_cast<double>(model->element_count()) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ModelTraverse)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_ModelValidate(benchmark::State& state) {
+  auto model = uml::make_synthetic_model(spec_for(state.range(0)));
+  for (auto _ : state) {
+    umlsoc::support::DiagnosticSink sink;
+    bool ok = uml::validate(*model, sink);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.counters["elements"] = static_cast<double>(model->element_count());
+}
+BENCHMARK(BM_ModelValidate)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_ModelLookupById(benchmark::State& state) {
+  auto model = uml::make_synthetic_model(spec_for(state.range(0)));
+  std::uint64_t id = model->element_count() / 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->find(umlsoc::support::Id{id}));
+  }
+}
+BENCHMARK(BM_ModelLookupById)->Arg(4)->Arg(64);
+
+void BM_ModelLookupByQualifiedName(benchmark::State& state) {
+  auto model = uml::make_synthetic_model(spec_for(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(uml::find_by_qualified_name(*model, "Pkg0.Block5"));
+  }
+}
+BENCHMARK(BM_ModelLookupByQualifiedName)->Arg(4)->Arg(64);
+
+}  // namespace

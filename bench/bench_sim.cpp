@@ -1,0 +1,107 @@
+// E9 "Simulation kernel": events/sec vs process and signal counts, and the
+// delta-cycle overhead of signal chains. Expected shape: throughput is flat
+// per event (O(log n) queue ops); long combinational chains cost one delta
+// per stage.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/bus.hpp"
+#include "sim/signal.hpp"
+
+namespace {
+
+using namespace umlsoc::sim;
+
+void BM_TimedEventThroughput(benchmark::State& state) {
+  // Self-rescheduling processes: the classic kernel stress.
+  for (auto _ : state) {
+    state.PauseTiming();
+    Kernel kernel;
+    const int processes = static_cast<int>(state.range(0));
+    std::vector<std::function<void()>> bodies(static_cast<std::size_t>(processes));
+    int remaining = 100000;
+    for (int p = 0; p < processes; ++p) {
+      auto* kernel_ptr = &kernel;
+      auto* remaining_ptr = &remaining;
+      auto* body = &bodies[static_cast<std::size_t>(p)];
+      *body = [kernel_ptr, remaining_ptr, body, p] {
+        if (--(*remaining_ptr) > 0) {
+          kernel_ptr->schedule(SimTime::ns(static_cast<std::uint64_t>(1 + p % 7)), *body);
+        }
+      };
+      kernel.schedule(SimTime::ns(1), *body);
+    }
+    state.ResumeTiming();
+    kernel.run();
+    state.counters["events/s"] = benchmark::Counter(
+        static_cast<double>(kernel.events_processed()), benchmark::Counter::kIsRate);
+  }
+  state.counters["processes"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_TimedEventThroughput)->Arg(1)->Arg(16)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_SignalChainDeltas(benchmark::State& state) {
+  // a0 -> a1 -> ... -> aN combinational chain: one write ripples N deltas.
+  const int length = static_cast<int>(state.range(0));
+  Kernel kernel;
+  std::vector<std::unique_ptr<Signal<int>>> chain;
+  for (int i = 0; i <= length; ++i) {
+    chain.push_back(std::make_unique<Signal<int>>(kernel, "s" + std::to_string(i), 0));
+  }
+  for (int i = 0; i < length; ++i) {
+    Signal<int>* from = chain[static_cast<std::size_t>(i)].get();
+    Signal<int>* to = chain[static_cast<std::size_t>(i + 1)].get();
+    from->value_changed().subscribe([from, to] { to->write(from->read() + 1); });
+  }
+  int stimulus = 0;
+  for (auto _ : state) {
+    kernel.schedule(SimTime::ns(1), [&] { chain[0]->write(++stimulus); });
+    kernel.run();
+  }
+  state.counters["chain"] = static_cast<double>(length);
+  state.counters["deltas"] = static_cast<double>(kernel.delta_count());
+}
+BENCHMARK(BM_SignalChainDeltas)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_ClockFanout(benchmark::State& state) {
+  // One clock driving N sensitive processes for 1000 edges.
+  for (auto _ : state) {
+    state.PauseTiming();
+    Kernel kernel;
+    Clock clock(kernel, "clk", SimTime::ns(10));
+    long total = 0;
+    for (int p = 0; p < state.range(0); ++p) {
+      clock.signal().value_changed().subscribe([&total] { ++total; });
+    }
+    state.ResumeTiming();
+    kernel.run(SimTime::us(5));  // 1000 edges.
+    benchmark::DoNotOptimize(total);
+  }
+  state.counters["fanout"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ClockFanout)->Arg(1)->Arg(32)->Arg(512)->Unit(benchmark::kMillisecond);
+
+void BM_BusTransactions(benchmark::State& state) {
+  Kernel kernel;
+  MemoryMappedBus bus(kernel, "axi", SimTime::ns(static_cast<std::uint64_t>(state.range(0))));
+  std::uint64_t mem[64] = {};
+  bus.map_device(
+      "ram", 0, sizeof(mem), [&](std::uint64_t a) { return mem[(a / 8) % 64]; },
+      [&](std::uint64_t a, std::uint64_t v) { mem[(a / 8) % 64] = v; });
+  std::uint64_t address = 0;
+  for (auto _ : state) {
+    bool done = false;
+    bus.write(address % 512, address, [&done] { done = true; });
+    kernel.run(kernel.now() + SimTime::ns(static_cast<std::uint64_t>(state.range(0))));
+    benchmark::DoNotOptimize(done);
+    address += 8;
+  }
+  state.counters["latency_ns"] = static_cast<double>(state.range(0));
+  state.counters["xfers/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BusTransactions)->Arg(1)->Arg(8)->Arg(64);
+
+}  // namespace

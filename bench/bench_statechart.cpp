@@ -1,0 +1,122 @@
+// E3 "Statechart execution": events/sec vs hierarchy depth and orthogonal
+// region count, plus the flat-vs-hierarchical dispatch comparison.
+// Expected shape: hierarchical dispatch cost grows with depth and with the
+// active-configuration size; the flattened table dispatches in ~O(1), so
+// the gap widens with depth (the crossover argument for RTL generation).
+#include <benchmark/benchmark.h>
+
+#include "statechart/flatten.hpp"
+#include "statechart/interpreter.hpp"
+#include "statechart/synthetic.hpp"
+
+namespace {
+
+using namespace umlsoc;
+using namespace umlsoc::statechart;
+
+void BM_DispatchChain(benchmark::State& state) {
+  auto machine = make_chain_machine(static_cast<std::size_t>(state.range(0)));
+  StateMachineInstance instance(*machine);
+  instance.set_trace_enabled(false);
+  instance.start();
+  for (auto _ : state) {
+    instance.dispatch({"e"});
+  }
+  state.counters["events/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DispatchChain)->Arg(2)->Arg(16)->Arg(128);
+
+void BM_DispatchNestedDepth(benchmark::State& state) {
+  auto machine = make_nested_machine(static_cast<std::size_t>(state.range(0)), 4);
+  StateMachineInstance instance(*machine);
+  instance.set_trace_enabled(false);
+  instance.start();
+  for (auto _ : state) {
+    instance.dispatch({"step"});
+  }
+  state.counters["depth"] = static_cast<double>(state.range(0));
+  state.counters["events/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DispatchNestedDepth)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_DispatchOrthogonalRegions(benchmark::State& state) {
+  auto machine = make_orthogonal_machine(static_cast<std::size_t>(state.range(0)), 4);
+  StateMachineInstance instance(*machine);
+  instance.set_trace_enabled(false);
+  instance.start();
+  for (auto _ : state) {
+    instance.dispatch({"tick"});  // Fires one transition per region.
+  }
+  state.counters["regions"] = static_cast<double>(state.range(0));
+  state.counters["transitions/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(state.range(0)),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DispatchOrthogonalRegions)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_FlatDispatchNestedDepth(benchmark::State& state) {
+  auto machine = make_nested_machine(static_cast<std::size_t>(state.range(0)), 4);
+  support::DiagnosticSink sink;
+  auto flat = flatten(*machine, sink);
+  if (!flat.has_value()) {
+    state.SkipWithError("flatten failed");
+    return;
+  }
+  FlatExecutor executor(*flat);
+  for (auto _ : state) {
+    executor.dispatch({"step"});
+  }
+  state.counters["depth"] = static_cast<double>(state.range(0));
+  state.counters["events/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FlatDispatchNestedDepth)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_FlattenCost(benchmark::State& state) {
+  auto machine = make_nested_machine(static_cast<std::size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    support::DiagnosticSink sink;
+    auto flat = flatten(*machine, sink);
+    benchmark::DoNotOptimize(flat);
+  }
+}
+BENCHMARK(BM_FlattenCost)->Arg(2)->Arg(8);
+
+void BM_HistoryRestoration(benchmark::State& state) {
+  // pause/resume cycle through a deep-history pseudostate.
+  StateMachine machine("hist");
+  Region& top = machine.top();
+  Pseudostate& initial = top.add_initial();
+  State& work = top.add_state("Work");
+  State& paused = top.add_state("Paused");
+  top.add_transition(initial, work);
+  Region& wr = work.add_region("r");
+  Pseudostate& winit = wr.add_initial();
+  Pseudostate& history = wr.add_pseudostate(VertexKind::kDeepHistory, "H");
+  State* previous = nullptr;
+  for (int i = 0; i < state.range(0); ++i) {
+    State& s = wr.add_state("s" + std::to_string(i));
+    if (previous == nullptr) {
+      wr.add_transition(winit, s);
+    } else {
+      wr.add_transition(*previous, s).set_trigger("next");
+    }
+    previous = &s;
+  }
+  top.add_transition(work, paused).set_trigger("pause");
+  top.add_transition(paused, history).set_trigger("resume");
+
+  StateMachineInstance instance(machine);
+  instance.set_trace_enabled(false);
+  instance.start();
+  for (auto _ : state) {
+    instance.dispatch({"pause"});
+    instance.dispatch({"resume"});
+  }
+  state.counters["substates"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_HistoryRestoration)->Arg(4)->Arg(32);
+
+}  // namespace

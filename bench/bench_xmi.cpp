@@ -1,0 +1,61 @@
+// E2 "Interchange round-trip": XMI serialize / parse+resolve throughput vs
+// model size. Expected shape: ~linear; parsing costs ~2-4x writing.
+#include <benchmark/benchmark.h>
+
+#include "uml/synthetic.hpp"
+#include "xmi/serialize.hpp"
+
+namespace {
+
+using namespace umlsoc;
+
+uml::SyntheticSpec spec_for(std::int64_t packages) {
+  uml::SyntheticSpec spec;
+  spec.packages = static_cast<std::size_t>(packages);
+  spec.classes_per_package = 10;
+  return spec;
+}
+
+void BM_XmiWrite(benchmark::State& state) {
+  auto model = uml::make_synthetic_model(spec_for(state.range(0)));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    std::string text = xmi::write_model(*model);
+    bytes = text.size();
+    benchmark::DoNotOptimize(text);
+  }
+  state.counters["elements"] = static_cast<double>(model->element_count());
+  state.counters["bytes"] = static_cast<double>(bytes);
+  state.counters["MB/s"] = benchmark::Counter(
+      static_cast<double>(bytes) * static_cast<double>(state.iterations()) / 1e6,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_XmiWrite)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_XmiRead(benchmark::State& state) {
+  auto model = uml::make_synthetic_model(spec_for(state.range(0)));
+  std::string text = xmi::write_model(*model);
+  for (auto _ : state) {
+    support::DiagnosticSink sink;
+    auto reread = xmi::read_model(text, sink);
+    benchmark::DoNotOptimize(reread);
+  }
+  state.counters["elements"] = static_cast<double>(model->element_count());
+  state.counters["MB/s"] = benchmark::Counter(
+      static_cast<double>(text.size()) * static_cast<double>(state.iterations()) / 1e6,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_XmiRead)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_XmiRoundTrip(benchmark::State& state) {
+  auto model = uml::make_synthetic_model(spec_for(state.range(0)));
+  for (auto _ : state) {
+    support::DiagnosticSink sink;
+    auto reread = xmi::read_model(xmi::write_model(*model), sink);
+    benchmark::DoNotOptimize(reread);
+  }
+  state.counters["elements"] = static_cast<double>(model->element_count());
+}
+BENCHMARK(BM_XmiRoundTrip)->Arg(1)->Arg(16)->Unit(benchmark::kMillisecond);
+
+}  // namespace

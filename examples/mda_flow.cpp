@@ -1,0 +1,93 @@
+// MDA flow: one PIM mapped to two PSMs (software and hardware platforms),
+// with trace links and generated code excerpts from both sides.
+//
+//   $ ./example_mda_flow
+#include <cstdio>
+
+#include "codegen/rtl.hpp"
+#include "codegen/software.hpp"
+#include "mda/transform.hpp"
+#include "soc/profile.hpp"
+#include "uml/query.hpp"
+
+using namespace umlsoc;
+
+int main() {
+  // 1. The PIM: a controller task plus a timer peripheral.
+  uml::Model pim("MotorCtrl");
+  soc::SocProfile profile = soc::SocProfile::install(pim);
+  uml::Package& app = pim.add_package("app");
+
+  uml::Class& ctrl = app.add_class("SpeedController");
+  ctrl.apply_stereotype(*profile.sw_task);
+  ctrl.set_tagged_value(*profile.sw_task, "priority", "8");
+  ctrl.add_property("setpoint", &pim.primitive("Integer", 32)).set_default_value("0");
+  uml::Operation& step = ctrl.add_operation("step");
+  step.add_parameter("measured", &pim.primitive("Integer", 32));
+  step.set_body(
+      "error := self.setpoint - measured;"
+      "self.output := self.output + error / 4;"
+      "return self.output;");
+  step.set_return_type(pim.primitive("Integer", 32));
+  ctrl.add_property("output", &pim.primitive("Integer", 32)).set_default_value("0");
+
+  uml::Class& timer = app.add_class("PwmTimer");
+  timer.apply_stereotype(*profile.hw_module);
+  auto reg = [&](const char* name, const char* address, const char* access) {
+    uml::Property& r = timer.add_property(name, &pim.primitive("Word", 32));
+    r.apply_stereotype(*profile.hw_register);
+    r.set_tagged_value(*profile.hw_register, "address", address);
+    r.set_tagged_value(*profile.hw_register, "access", access);
+  };
+  reg("period", "0x0", "rw");
+  reg("duty", "0x4", "rw");
+  reg("status", "0x8", "r");
+
+  uml::Association& uses = app.add_association("drives");
+  uses.add_end("controller", ctrl);
+  uses.add_end("pwm", timer);
+
+  support::DiagnosticSink sink;
+
+  // 2. Same PIM, two platform mappings.
+  mda::MdaResult sw = mda::transform(pim, mda::PlatformDescription::software(), sink);
+  mda::MdaResult hw = mda::transform(pim, mda::PlatformDescription::hardware(), sink);
+
+  std::printf("PIM '%s' -> SW PSM '%s' (%zu elements), HW PSM '%s' (%zu elements)\n\n",
+              pim.name().c_str(), sw.psm->name().c_str(), sw.psm->element_count(),
+              hw.psm->name().c_str(), hw.psm->element_count());
+
+  std::printf("--- trace links (software mapping) ---\n");
+  for (const mda::TraceLink& link : sw.links) {
+    std::printf("  %-28s -> %-34s [%s]\n", link.pim_element.c_str(),
+                link.psm_element.c_str(), link.rule.c_str());
+  }
+
+  // 3. Generated software: the controller class and the timer driver.
+  auto* task = dynamic_cast<uml::Class*>(
+      uml::find_by_qualified_name(*sw.psm, "app.SpeedController"));
+  auto* driver =
+      dynamic_cast<uml::Class*>(uml::find_by_qualified_name(*sw.psm, "app.PwmTimerDriver"));
+  if (task != nullptr) {
+    std::printf("\n--- generated C++ (controller task) ---\n%s",
+                codegen::generate_sw_class(*task, sink).c_str());
+  }
+  if (driver != nullptr) {
+    std::printf("\n--- generated C++ (timer driver) ---\n%s",
+                codegen::generate_sw_class(*driver, sink).c_str());
+  }
+
+  // 4. Generated hardware: the timer RTL.
+  std::optional<soc::SocProfile> hw_profile = soc::SocProfile::find(*hw.psm);
+  auto* module =
+      dynamic_cast<uml::Class*>(uml::find_by_qualified_name(*hw.psm, "app.PwmTimer"));
+  if (module != nullptr && hw_profile.has_value()) {
+    std::printf("\n--- generated RTL (timer) ---\n%s",
+                codegen::generate_rtl_module(*module, *hw_profile, sink).c_str());
+  }
+  if (sink.has_errors()) {
+    std::fputs(sink.str().c_str(), stderr);
+    return 1;
+  }
+  return 0;
+}

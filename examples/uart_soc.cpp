@@ -1,0 +1,91 @@
+// UART SoC flow: instantiate the Uart IP from the library, run the MDA
+// hardware mapping, generate RTL + SystemC-style C++, then execute the
+// design: a runtime hardware model mapped on the simulated bus, driven by
+// ASL driver code (exactly what the software mapping generates).
+//
+//   $ ./example_uart_soc
+#include <cstdio>
+
+#include "codegen/hwmodel.hpp"
+#include "codegen/rtl.hpp"
+#include "codegen/swruntime.hpp"
+#include "codegen/systemc.hpp"
+#include "mda/transform.hpp"
+#include "soc/iplibrary.hpp"
+#include "soc/validate.hpp"
+#include "support/strings.hpp"
+#include "uml/query.hpp"
+
+using namespace umlsoc;
+
+int main() {
+  support::DiagnosticSink sink;
+
+  // 1. PIM: reuse the Uart IP core from the library.
+  soc::IpLibrary library;
+  library.add_standard_ips();
+  uml::Model pim("UartSoc");
+  uml::Package& ip = pim.add_package("ip");
+  uml::Component* uart = library.instantiate("Uart", pim, ip, "Uart", sink);
+  if (uart == nullptr) {
+    std::fputs(sink.str().c_str(), stderr);
+    return 1;
+  }
+  std::optional<soc::SocProfile> profile = soc::SocProfile::find(pim);
+  soc::validate_soc(pim, *profile, sink);
+
+  // 2. MDA: PIM -> hardware PSM (adds clk/rst/s_axi, Top, memory map).
+  mda::MdaResult hw = mda::transform(pim, mda::PlatformDescription::hardware(), sink);
+  std::printf("memory map:\n");
+  for (const mda::MemoryWindow& window : hw.memory_map) {
+    std::printf("  %-24s base=0x%llx span=0x%llx\n", window.module.c_str(),
+                static_cast<unsigned long long>(window.base),
+                static_cast<unsigned long long>(window.span));
+  }
+
+  // 3. Code generation from the PSM.
+  std::optional<soc::SocProfile> psm_profile = soc::SocProfile::find(*hw.psm);
+  auto* psm_uart =
+      dynamic_cast<uml::Component*>(uml::find_by_qualified_name(*hw.psm, "ip.Uart"));
+  if (psm_uart == nullptr || !psm_profile.has_value()) {
+    std::fputs("hardware PSM missing ip.Uart\n", stderr);
+    return 1;
+  }
+  std::string rtl = codegen::generate_rtl_module(*psm_uart, *psm_profile, sink);
+  std::string sysc = codegen::generate_sim_module(*psm_uart, *psm_profile, sink);
+  std::printf("\n--- generated RTL (%zu lines) ---\n%s",
+              support::count_nonempty_lines(rtl), rtl.c_str());
+  std::printf("\n--- generated SystemC-style C++ (%zu lines, not shown) ---\n",
+              support::count_nonempty_lines(sysc));
+
+  // 4. Execute: HW model on the bus, ASL driver writing registers.
+  sim::Kernel kernel;
+  sim::MemoryMappedBus bus(kernel, "axi", sim::SimTime::ns(8));
+  codegen::HwModuleSim uart_sim(*psm_uart, *psm_profile, sink);
+  const std::uint64_t base = hw.memory_map.empty() ? 0x40000000 : hw.memory_map[0].base;
+  uart_sim.map_onto(bus, base);
+
+  codegen::BusMasterContext driver(kernel, bus);
+  driver.set_attribute("base", asl::Value{static_cast<std::int64_t>(base)});
+  driver.run(
+      "bus_write(self.base + 12, 434);"       // divisor = 50MHz/115200.
+      "i := 0;"
+      "while (i < 4) {"
+      "  bus_write(self.base + 0, 65 + i);"   // tx_data = 'A'+i.
+      "  i := i + 1;"
+      "}");
+  auto divisor = driver.run("return bus_read(self.base + 12);");
+
+  std::printf("\nafter driver run: divisor=%lld tx_data=%llu (last byte)\n",
+              static_cast<long long>(divisor.value().as_int()),
+              static_cast<unsigned long long>(uart_sim.peek("tx_data")));
+  std::printf("bus: %llu writes, %llu reads, sim time %s\n",
+              static_cast<unsigned long long>(bus.writes()),
+              static_cast<unsigned long long>(bus.reads()), kernel.now().str().c_str());
+
+  if (sink.has_errors()) {
+    std::fputs(sink.str().c_str(), stderr);
+    return 1;
+  }
+  return 0;
+}

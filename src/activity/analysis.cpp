@@ -1,0 +1,124 @@
+#include "activity/analysis.hpp"
+
+#include <unordered_map>
+
+#include "support/graph.hpp"
+
+namespace umlsoc::activity {
+
+bool validate(const Activity& activity, support::DiagnosticSink& sink) {
+  const std::size_t errors_before = sink.error_count();
+
+  std::size_t initial_count = 0;
+  std::unordered_map<std::string, int> names;
+  for (const auto& node : activity.nodes()) {
+    ++names[node->name()];
+    const std::size_t in = node->incoming().size();
+    const std::size_t out = node->outgoing().size();
+    const std::string subject = activity.name() + "." + node->name();
+
+    switch (node->node_kind()) {
+      case NodeKind::kInitial:
+        ++initial_count;
+        if (in != 0) sink.error(subject, "initial node has incoming edges");
+        if (out == 0) sink.error(subject, "initial node has no outgoing edge");
+        break;
+      case NodeKind::kActivityFinal:
+      case NodeKind::kFlowFinal:
+        if (out != 0) sink.error(subject, "final node has outgoing edges");
+        if (in == 0) sink.warning(subject, "final node is never reached");
+        break;
+      case NodeKind::kAction:
+      case NodeKind::kBuffer:
+        if (in == 0) sink.warning(subject, "node has no incoming edge (never fires)");
+        break;
+      case NodeKind::kDecision: {
+        if (in == 0) sink.error(subject, "decision has no incoming edge");
+        if (out < 2) sink.warning(subject, "decision with fewer than two branches");
+        int else_count = 0;
+        for (const ActivityEdge* branch : node->outgoing()) {
+          if (branch->guard().is_else()) ++else_count;
+        }
+        if (else_count > 1) sink.error(subject, "decision has more than one 'else' branch");
+        break;
+      }
+      case NodeKind::kMerge:
+        if (in < 2) sink.warning(subject, "merge with fewer than two inputs");
+        if (out != 1) sink.error(subject, "merge must have exactly one outgoing edge");
+        break;
+      case NodeKind::kFork:
+        if (in != 1) sink.error(subject, "fork must have exactly one incoming edge");
+        if (out < 2) sink.warning(subject, "fork with fewer than two outputs");
+        break;
+      case NodeKind::kJoin:
+        if (in < 2) sink.warning(subject, "join with fewer than two inputs");
+        if (out != 1) sink.error(subject, "join must have exactly one outgoing edge");
+        break;
+    }
+  }
+  for (const auto& [name, count] : names) {
+    if (count > 1) sink.error(activity.name(), "duplicate node name '" + name + "'");
+  }
+  if (initial_count > 1) sink.error(activity.name(), "more than one initial node");
+
+  for (const auto& edge : activity.edges()) {
+    if (edge->weight() < 1) {
+      sink.error(activity.name(), "edge " + edge->str() + " has weight < 1");
+    }
+    if (&edge->source().activity() != &activity || &edge->target().activity() != &activity) {
+      sink.error(activity.name(), "edge " + edge->str() + " crosses activities");
+    }
+  }
+  return sink.error_count() == errors_before;
+}
+
+bool check_soundness(const Activity& activity, support::DiagnosticSink& sink) {
+  const std::size_t errors_before = sink.error_count();
+
+  std::unordered_map<const ActivityNode*, std::size_t> index;
+  support::Digraph graph(activity.nodes().size());
+  for (const auto& node : activity.nodes()) {
+    index[node.get()] = index.size();
+  }
+  for (const auto& edge : activity.edges()) {
+    graph.add_edge(index.at(&edge->source()), index.at(&edge->target()));
+  }
+
+  const ActivityNode* initial = activity.initial();
+  if (initial == nullptr) {
+    sink.error(activity.name(), "soundness: no initial node");
+    return false;
+  }
+
+  std::vector<bool> from_initial = graph.reachable_from(index.at(initial));
+
+  // Union of "reaches some final".
+  std::vector<bool> reaches_final(activity.nodes().size(), false);
+  bool has_final = false;
+  for (const auto& node : activity.nodes()) {
+    NodeKind kind = node->node_kind();
+    if (kind == NodeKind::kActivityFinal || kind == NodeKind::kFlowFinal) {
+      has_final = true;
+      std::vector<bool> reaching = graph.reaching(index.at(node.get()));
+      for (std::size_t i = 0; i < reaching.size(); ++i) {
+        if (reaching[i]) reaches_final[i] = true;
+      }
+    }
+  }
+  if (!has_final) {
+    sink.error(activity.name(), "soundness: no final node");
+  }
+
+  for (const auto& node : activity.nodes()) {
+    std::size_t i = index.at(node.get());
+    if (!from_initial[i]) {
+      sink.error(activity.name() + "." + node->name(),
+                 "soundness: unreachable from the initial node");
+    } else if (has_final && !reaches_final[i]) {
+      sink.error(activity.name() + "." + node->name(), "soundness: cannot reach a final node");
+    }
+  }
+  return sink.error_count() == errors_before;
+}
+
+}  // namespace umlsoc::activity

@@ -1,0 +1,21 @@
+// Structural validation and workflow-soundness analysis for activities.
+#pragma once
+
+#include "activity/model.hpp"
+#include "support/diagnostics.hpp"
+
+namespace umlsoc::activity {
+
+/// Structural well-formedness: node arities, guard placement, connectivity.
+/// Returns true when no errors were reported.
+bool validate(const Activity& activity, support::DiagnosticSink& sink);
+
+/// Workflow-net-style soundness over the underlying digraph:
+///  (1) exactly one initial node,
+///  (2) at least one final (activity- or flow-final),
+///  (3) every node lies on a path initial -> final.
+/// This is the static counterpart of the runtime property "a run terminates
+/// with no stranded tokens"; violations are reported as errors.
+bool check_soundness(const Activity& activity, support::DiagnosticSink& sink);
+
+}  // namespace umlsoc::activity

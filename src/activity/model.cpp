@@ -1,0 +1,64 @@
+#include "activity/model.hpp"
+
+namespace umlsoc::activity {
+
+std::string_view to_string(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kInitial:
+      return "initial";
+    case NodeKind::kActivityFinal:
+      return "activityFinal";
+    case NodeKind::kFlowFinal:
+      return "flowFinal";
+    case NodeKind::kAction:
+      return "action";
+    case NodeKind::kDecision:
+      return "decision";
+    case NodeKind::kMerge:
+      return "merge";
+    case NodeKind::kFork:
+      return "fork";
+    case NodeKind::kJoin:
+      return "join";
+    case NodeKind::kBuffer:
+      return "buffer";
+  }
+  return "node";
+}
+
+std::string ActivityEdge::str() const {
+  std::string out = source_->name() + (object_flow_ ? " ==> " : " --> ") + target_->name();
+  if (!guard_.text.empty()) out += " [" + guard_.text + "]";
+  if (weight_ != 1) out += " {weight=" + std::to_string(weight_) + "}";
+  return out;
+}
+
+ActivityNode& Activity::add_node(NodeKind kind, std::string name) {
+  nodes_.push_back(
+      std::unique_ptr<ActivityNode>(new ActivityNode(std::move(name), kind, *this)));
+  return *nodes_.back();
+}
+
+ActivityEdge& Activity::add_edge(ActivityNode& source, ActivityNode& target, bool object_flow) {
+  edges_.push_back(std::unique_ptr<ActivityEdge>(new ActivityEdge(source, target, object_flow)));
+  ActivityEdge& edge = *edges_.back();
+  source.outgoing_.push_back(&edge);
+  target.incoming_.push_back(&edge);
+  return edge;
+}
+
+ActivityNode* Activity::find_node(std::string_view name) const {
+  for (const auto& node : nodes_) {
+    if (node->name() == name) return node.get();
+  }
+  return nullptr;
+}
+
+ActivityNode* Activity::initial() const {
+  for (const auto& node : nodes_) {
+    if (node->node_kind() == NodeKind::kInitial) return node.get();
+  }
+  return nullptr;
+}
+
+}  // namespace umlsoc::activity

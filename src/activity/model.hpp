@@ -1,0 +1,195 @@
+// UML 2.0 activity metamodel with token semantics (paper §2: "UML 2.0
+// introduces token semantics for these Activity Diagrams that move them
+// semantically close to high-level Petri Nets").
+//
+// Supported nodes: initial, activity-final, flow-final, action, decision,
+// merge, fork, join, and central buffer. Edges are control or object flows
+// with optional guards and weights.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace umlsoc::uml {
+class Class;
+}
+
+namespace umlsoc::activity {
+
+class Activity;
+class ActivityEdge;
+class ActivityExecution;
+class ActivityNode;
+
+/// A token in flight. Control tokens ignore `value`; object tokens carry a
+/// scalar payload (sufficient for guards and pipeline data).
+struct Token {
+  std::int64_t value = 0;
+};
+
+enum class NodeKind {
+  kInitial,
+  kActivityFinal,
+  kFlowFinal,
+  kAction,
+  kDecision,
+  kMerge,
+  kFork,
+  kJoin,
+  kBuffer,
+};
+
+[[nodiscard]] std::string_view to_string(NodeKind kind);
+
+/// Runtime context handed to an action's behavior when it fires.
+struct ActionFiring {
+  ActivityExecution& execution;
+  /// Tokens consumed from the incoming edges, in edge order.
+  const std::vector<Token>& inputs;
+  /// Value placed on object tokens offered downstream (default: first
+  /// input's value, or 0).
+  std::int64_t output = 0;
+};
+
+class ActivityNode {
+ public:
+  ActivityNode(const ActivityNode&) = delete;
+  ActivityNode& operator=(const ActivityNode&) = delete;
+  virtual ~ActivityNode() = default;
+
+  [[nodiscard]] NodeKind node_kind() const { return kind_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Activity& activity() const { return *activity_; }
+
+  [[nodiscard]] const std::vector<ActivityEdge*>& incoming() const { return incoming_; }
+  [[nodiscard]] const std::vector<ActivityEdge*>& outgoing() const { return outgoing_; }
+
+  /// Behavior run when an action fires; ignored for other node kinds.
+  void set_behavior(std::function<void(ActionFiring&)> behavior) {
+    behavior_ = std::move(behavior);
+  }
+  [[nodiscard]] const std::function<void(ActionFiring&)>& behavior() const { return behavior_; }
+
+  /// Model-level action script (ASL text). codegen::bind_activity_asl
+  /// compiles it into the executable behavior; serializers persist it.
+  void set_script(std::string script) { script_ = std::move(script); }
+  [[nodiscard]] const std::string& script() const { return script_; }
+
+  /// Cost annotations consumed by the codesign substrate (DESIGN.md E10):
+  /// estimated latency when run in SW / HW, and HW area.
+  void set_sw_latency(double cycles) { sw_latency_ = cycles; }
+  void set_hw_latency(double cycles) { hw_latency_ = cycles; }
+  void set_hw_area(double gates) { hw_area_ = gates; }
+  [[nodiscard]] double sw_latency() const { return sw_latency_; }
+  [[nodiscard]] double hw_latency() const { return hw_latency_; }
+  [[nodiscard]] double hw_area() const { return hw_area_; }
+
+ private:
+  friend class Activity;
+
+  ActivityNode(std::string name, NodeKind kind, Activity& activity)
+      : name_(std::move(name)), kind_(kind), activity_(&activity) {}
+
+  std::string name_;
+  NodeKind kind_;
+  Activity* activity_;
+  std::vector<ActivityEdge*> incoming_;
+  std::vector<ActivityEdge*> outgoing_;
+  std::function<void(ActionFiring&)> behavior_;
+  std::string script_;
+  double sw_latency_ = 1.0;
+  double hw_latency_ = 1.0;
+  double hw_area_ = 1.0;
+};
+
+/// Guard over an offered token; empty text + null fn is always-true, text
+/// "else" marks the default branch of a decision.
+struct EdgeGuard {
+  std::string text;
+  std::function<bool(const Token&)> fn;
+
+  [[nodiscard]] bool is_else() const { return text == "else"; }
+  [[nodiscard]] bool passes(const Token& token) const {
+    return fn == nullptr ? !is_else() : fn(token);
+  }
+};
+
+class ActivityEdge {
+ public:
+  ActivityEdge(const ActivityEdge&) = delete;
+  ActivityEdge& operator=(const ActivityEdge&) = delete;
+
+  [[nodiscard]] ActivityNode& source() const { return *source_; }
+  [[nodiscard]] ActivityNode& target() const { return *target_; }
+  [[nodiscard]] bool is_object_flow() const { return object_flow_; }
+
+  ActivityEdge& set_guard(EdgeGuard guard) {
+    guard_ = std::move(guard);
+    return *this;
+  }
+  ActivityEdge& set_guard(std::string text, std::function<bool(const Token&)> fn) {
+    return set_guard(EdgeGuard{std::move(text), std::move(fn)});
+  }
+  [[nodiscard]] const EdgeGuard& guard() const { return guard_; }
+
+  /// Minimum tokens required/consumed per traversal (UML edge weight).
+  ActivityEdge& set_weight(int weight) {
+    weight_ = weight;
+    return *this;
+  }
+  [[nodiscard]] int weight() const { return weight_; }
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  friend class Activity;
+
+  ActivityEdge(ActivityNode& source, ActivityNode& target, bool object_flow)
+      : source_(&source), target_(&target), object_flow_(object_flow) {}
+
+  ActivityNode* source_;
+  ActivityNode* target_;
+  bool object_flow_;
+  EdgeGuard guard_;
+  int weight_ = 1;
+};
+
+/// An activity graph; optionally owned by a uml::Class as one of its
+/// behaviors.
+class Activity {
+ public:
+  explicit Activity(std::string name) : name_(std::move(name)) {}
+  Activity(const Activity&) = delete;
+  Activity& operator=(const Activity&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  [[nodiscard]] uml::Class* context() const { return context_; }
+  void set_context(uml::Class& context) { context_ = &context; }
+
+  ActivityNode& add_node(NodeKind kind, std::string name);
+  ActivityNode& add_action(std::string name) { return add_node(NodeKind::kAction, std::move(name)); }
+  ActivityNode& add_initial() { return add_node(NodeKind::kInitial, "initial"); }
+  ActivityNode& add_final() { return add_node(NodeKind::kActivityFinal, "final"); }
+
+  /// Adds a control-flow (object_flow=false) or object-flow edge.
+  ActivityEdge& add_edge(ActivityNode& source, ActivityNode& target, bool object_flow = false);
+
+  [[nodiscard]] const std::vector<std::unique_ptr<ActivityNode>>& nodes() const { return nodes_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<ActivityEdge>>& edges() const { return edges_; }
+
+  [[nodiscard]] ActivityNode* find_node(std::string_view name) const;
+  [[nodiscard]] ActivityNode* initial() const;
+
+ private:
+  std::string name_;
+  uml::Class* context_ = nullptr;
+  std::vector<std::unique_ptr<ActivityNode>> nodes_;
+  std::vector<std::unique_ptr<ActivityEdge>> edges_;
+};
+
+}  // namespace umlsoc::activity

@@ -1,0 +1,29 @@
+// Deterministic activity generators for tests, benchmark E4, and the
+// codesign task graphs of E10.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "activity/model.hpp"
+
+namespace umlsoc::activity {
+
+/// initial -> a0 -> a1 -> ... -> a(n-1) -> final. One terminating run.
+[[nodiscard]] std::unique_ptr<Activity> make_sequential(std::size_t actions);
+
+/// initial -> fork -> (width parallel chains of `depth` actions) -> join ->
+/// final. Exercises fork/join token conservation.
+[[nodiscard]] std::unique_ptr<Activity> make_fork_join(std::size_t width, std::size_t depth);
+
+/// A series-parallel DAG of `actions` actions built by repeated random
+/// series/parallel composition (deterministic in `seed`). Every node carries
+/// randomized sw/hw latency and area annotations for codesign experiments.
+[[nodiscard]] std::unique_ptr<Activity> make_series_parallel(std::uint64_t seed,
+                                                             std::size_t actions);
+
+/// A JPEG-like pipeline: front-end chain, 2-way parallel transform stage,
+/// entropy-coder back-end; cost annotations model a compute-heavy middle.
+[[nodiscard]] std::unique_ptr<Activity> make_media_pipeline();
+
+}  // namespace umlsoc::activity

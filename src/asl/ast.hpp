@@ -1,0 +1,85 @@
+// Abstract syntax of the Action Specification Language.
+//
+// Grammar (concrete syntax, ASL-flavoured):
+//   program    := statement*
+//   statement  := lvalue ":=" expr ";"
+//               | "if" "(" expr ")" block ("else" (block | if-stmt))?
+//               | "while" "(" expr ")" block
+//               | "return" expr? ";"
+//               | "send" IDENT "." IDENT "(" args? ")" ";"
+//               | expr ";"                       // expression statement
+//   block      := "{" statement* "}"
+//   lvalue     := IDENT | "self" "." IDENT
+//   expr       := Pratt expression over literals, names, self.attr,
+//                 calls base.op(args), unary -/!/not, binary */ /%, +/-,
+//                 comparisons, ==/!=, &&/and, ||/or
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "asl/value.hpp"
+
+namespace umlsoc::asl {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind { kLiteral, kName, kSelfAttr, kUnary, kBinary, kCall };
+
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+enum class UnaryOp { kNeg, kNot };
+
+struct Expr {
+  ExprKind kind;
+  int line = 0;
+
+  // kLiteral
+  Value literal;
+  // kName / kSelfAttr / kCall (member or operation name)
+  std::string name;
+  // kUnary / kBinary
+  UnaryOp unary_op = UnaryOp::kNeg;
+  BinaryOp binary_op = BinaryOp::kAdd;
+  ExprPtr lhs;  // Also unary operand and call receiver ("self" when null).
+  ExprPtr rhs;
+  // kCall
+  std::vector<ExprPtr> arguments;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind { kAssign, kExpr, kIf, kWhile, kReturn, kSend, kBlock };
+
+struct Stmt {
+  StmtKind kind;
+  int line = 0;
+
+  // kAssign: target name; self_target distinguishes "self.x" from local "x".
+  std::string target;
+  bool self_target = false;
+  ExprPtr value;  // Assign value / expr-stmt / condition / return value.
+
+  // kIf / kWhile
+  std::vector<StmtPtr> body;
+  std::vector<StmtPtr> else_body;
+
+  // kSend
+  std::string send_target;
+  std::string signal;
+  std::vector<ExprPtr> arguments;
+};
+
+/// A parsed ASL program (the body of an operation or transition effect).
+struct Program {
+  std::vector<StmtPtr> statements;
+};
+
+}  // namespace umlsoc::asl

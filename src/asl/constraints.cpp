@@ -1,0 +1,178 @@
+#include "asl/constraints.hpp"
+
+#include <stdexcept>
+
+#include "asl/parser.hpp"
+#include "uml/instance.hpp"
+#include "uml/visitor.hpp"
+
+namespace umlsoc::asl {
+
+namespace {
+
+const uml::NamedElement* as_named(const uml::Element& element) {
+  return dynamic_cast<const uml::NamedElement*>(&element);
+}
+
+}  // namespace
+
+Value ElementContext::get_attribute(const std::string& name) {
+  if (name == "name") {
+    const uml::NamedElement* named = as_named(element_);
+    return Value{named != nullptr ? named->name() : std::string{}};
+  }
+  if (name == "qualified_name") {
+    const uml::NamedElement* named = as_named(element_);
+    return Value{named != nullptr ? named->qualified_name() : std::string{}};
+  }
+  if (name == "kind") return Value{std::string(to_string(element_.kind()))};
+  if (name == "owner_kind") {
+    return Value{element_.owner() != nullptr
+                     ? std::string(to_string(element_.owner()->kind()))
+                     : std::string{}};
+  }
+  if (name == "is_abstract") {
+    const auto* classifier = dynamic_cast<const uml::Classifier*>(&element_);
+    return Value{classifier != nullptr && classifier->is_abstract()};
+  }
+  if (name == "is_active") {
+    const auto* cls = dynamic_cast<const uml::Class*>(&element_);
+    return Value{cls != nullptr && cls->is_active()};
+  }
+  if (name == "bit_width") {
+    const auto* primitive = dynamic_cast<const uml::PrimitiveType*>(&element_);
+    return Value{primitive != nullptr ? primitive->bit_width() : 0};
+  }
+  if (name == "lower" || name == "upper") {
+    const auto* property = dynamic_cast<const uml::Property*>(&element_);
+    if (property == nullptr) return Value{0};
+    return Value{name == "lower" ? property->multiplicity().lower
+                                 : property->multiplicity().upper};
+  }
+  if (name == "direction") {
+    const auto* port = dynamic_cast<const uml::Port*>(&element_);
+    return Value{port != nullptr ? std::string(to_string(port->direction()))
+                                 : std::string{}};
+  }
+  if (name == "width") {
+    const auto* port = dynamic_cast<const uml::Port*>(&element_);
+    return Value{port != nullptr ? port->width() : 0};
+  }
+  return Value{};
+}
+
+void ElementContext::set_attribute(const std::string& name, Value) {
+  throw std::runtime_error("constraints are read-only (attempted write to '" + name + "')");
+}
+
+Value ElementContext::call(const std::string& operation,
+                           const std::vector<Value>& arguments) {
+  if (operation == "has_stereotype") {
+    if (arguments.size() != 1) throw std::runtime_error("has_stereotype expects 1 argument");
+    return Value{element_.has_stereotype(arguments[0].as_string())};
+  }
+  if (operation == "tagged") {
+    if (arguments.size() != 2) throw std::runtime_error("tagged expects 2 arguments");
+    for (const uml::StereotypeApplication& application :
+         element_.stereotype_applications()) {
+      if (application.stereotype->name() != arguments[0].as_string()) continue;
+      auto it = application.tagged_values.find(arguments[1].as_string());
+      if (it != application.tagged_values.end()) return Value{it->second};
+    }
+    return Value{std::string{}};
+  }
+  if (operation == "property_count") {
+    if (const auto* cls = dynamic_cast<const uml::Class*>(&element_)) {
+      return Value{static_cast<std::int64_t>(cls->properties().size())};
+    }
+    if (const auto* signal = dynamic_cast<const uml::Signal*>(&element_)) {
+      return Value{static_cast<std::int64_t>(signal->properties().size())};
+    }
+    return Value{0};
+  }
+  if (operation == "operation_count") {
+    if (const auto* cls = dynamic_cast<const uml::Class*>(&element_)) {
+      return Value{static_cast<std::int64_t>(cls->operations().size())};
+    }
+    if (const auto* interface = dynamic_cast<const uml::Interface*>(&element_)) {
+      return Value{static_cast<std::int64_t>(interface->operations().size())};
+    }
+    return Value{0};
+  }
+  if (operation == "port_count") {
+    const auto* cls = dynamic_cast<const uml::Class*>(&element_);
+    return Value{cls != nullptr ? static_cast<std::int64_t>(cls->ports().size()) : 0};
+  }
+  if (operation == "literal_count") {
+    const auto* enumeration = dynamic_cast<const uml::Enumeration*>(&element_);
+    return Value{enumeration != nullptr
+                     ? static_cast<std::int64_t>(enumeration->literals().size())
+                     : 0};
+  }
+  if (operation == "member_count") {
+    const auto* package = dynamic_cast<const uml::Package*>(&element_);
+    return Value{package != nullptr ? static_cast<std::int64_t>(package->members().size())
+                                    : 0};
+  }
+  if (operation == "parameter_count") {
+    const auto* op = dynamic_cast<const uml::Operation*>(&element_);
+    return Value{op != nullptr ? static_cast<std::int64_t>(op->parameters().size()) : 0};
+  }
+  throw std::runtime_error("unknown constraint operation '" + operation + "'");
+}
+
+void ElementContext::send_signal(const std::string&, const std::string&,
+                                 const std::vector<Value>&) {
+  throw std::runtime_error("constraints cannot send signals");
+}
+
+bool ConstraintSet::add(std::string name, std::optional<uml::ElementKind> kind,
+                        std::string expression, support::DiagnosticSink& sink) {
+  std::optional<Program> program = parse("return " + expression + ";", sink);
+  if (!program.has_value()) {
+    sink.error("constraint '" + name + "'", "expression does not parse");
+    return false;
+  }
+  constraints_.push_back(
+      Constraint{std::move(name), kind, std::move(expression), std::move(*program)});
+  return true;
+}
+
+bool ConstraintSet::check(uml::Model& model, support::DiagnosticSink& sink) const {
+  const std::size_t errors_before = sink.error_count();
+
+  std::vector<uml::Element*> elements;
+  std::vector<uml::Element*> stack{&model};
+  while (!stack.empty()) {
+    uml::Element* element = stack.back();
+    stack.pop_back();
+    elements.push_back(element);
+    for (uml::Element* child : element->owned_elements()) stack.push_back(child);
+  }
+
+  for (const Constraint& constraint : constraints_) {
+    for (uml::Element* element : elements) {
+      if (constraint.kind.has_value() && element->kind() != *constraint.kind) continue;
+      ElementContext context(*element);
+      Environment environment(context);
+      Interpreter interpreter;
+      std::string subject = "element#" + element->id().str();
+      if (const uml::NamedElement* named = as_named(*element)) {
+        subject = named->qualified_name();
+      }
+      try {
+        std::optional<Value> result = interpreter.execute(constraint.program, environment);
+        if (!result.has_value() || !result->as_bool()) {
+          sink.error(subject, "constraint '" + constraint.name + "' violated: " +
+                                  constraint.expression_text);
+        }
+      } catch (const std::exception& fault) {
+        sink.error(subject,
+                   "constraint '" + constraint.name + "' faulted: " + fault.what());
+      }
+    }
+  }
+  return sink.error_count() == errors_before;
+}
+
+}  // namespace umlsoc::asl

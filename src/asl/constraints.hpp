@@ -1,0 +1,71 @@
+// Declarative well-formedness constraints over UML models, written as ASL
+// boolean expressions (filling OCL's role in the paper's "semantics must be
+// given to the domain subset" argument). Each constraint is evaluated once
+// per matching element; a falsy result is a violation.
+//
+// The expression sees the element through an ObjectContext:
+//   attributes: name, kind, qualified_name, owner_kind,
+//               is_abstract / is_active       (classifiers / classes)
+//               bit_width                     (primitive types)
+//               lower / upper                 (properties; upper -1 = "*")
+//               direction / width             (ports)
+//   operations: property_count(), operation_count(), port_count(),
+//               literal_count(), member_count(), parameter_count(),
+//               has_stereotype("S"), tagged("S", "key")
+//
+// Example:
+//   set.add("hw-needs-clock", uml::ElementKind::kClass,
+//           "not has_stereotype(\"HwModule\") or port_count() > 0");
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "asl/interpreter.hpp"
+#include "support/diagnostics.hpp"
+#include "uml/package.hpp"
+
+namespace umlsoc::asl {
+
+/// Read-only ObjectContext view of one model element.
+class ElementContext : public ObjectContext {
+ public:
+  explicit ElementContext(const uml::Element& element) : element_(element) {}
+
+  Value get_attribute(const std::string& name) override;
+  void set_attribute(const std::string& name, Value value) override;
+  Value call(const std::string& operation, const std::vector<Value>& arguments) override;
+  void send_signal(const std::string& target, const std::string& signal,
+                   const std::vector<Value>& arguments) override;
+
+ private:
+  const uml::Element& element_;
+};
+
+class ConstraintSet {
+ public:
+  /// Adds a constraint over elements of `kind` (nullopt = every element).
+  /// The expression must be a single ASL expression (no statements).
+  /// Returns false (with diagnostics) when the expression does not parse.
+  bool add(std::string name, std::optional<uml::ElementKind> kind, std::string expression,
+           support::DiagnosticSink& sink);
+
+  [[nodiscard]] std::size_t size() const { return constraints_.size(); }
+
+  /// Evaluates every constraint over every matching element in `model`.
+  /// Violations are errors ("constraint 'x' violated"); evaluation faults
+  /// (type errors etc.) are also errors. Returns true when clean.
+  bool check(uml::Model& model, support::DiagnosticSink& sink) const;
+
+ private:
+  struct Constraint {
+    std::string name;
+    std::optional<uml::ElementKind> kind;
+    std::string expression_text;
+    Program program;  // Single `return <expr>;` statement.
+  };
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace umlsoc::asl

@@ -1,0 +1,190 @@
+#include "asl/interpreter.hpp"
+
+#include <stdexcept>
+
+#include "asl/parser.hpp"
+
+namespace umlsoc::asl {
+
+Value Environment::local(const std::string& name) const {
+  auto it = locals_.find(name);
+  if (it != locals_.end()) return it->second;
+  return self_->get_attribute(name);
+}
+
+std::optional<Value> Interpreter::execute(const Program& program, Environment& environment) {
+  return_value_.reset();
+  run_block(program.statements, environment);
+  return return_value_;
+}
+
+Interpreter::Flow Interpreter::run_block(const std::vector<StmtPtr>& statements,
+                                         Environment& environment) {
+  for (const StmtPtr& statement : statements) {
+    if (run_statement(*statement, environment) == Flow::kReturn) return Flow::kReturn;
+  }
+  return Flow::kNormal;
+}
+
+Interpreter::Flow Interpreter::run_statement(const Stmt& statement, Environment& environment) {
+  if (++stats_.statements_executed > max_steps_) {
+    throw std::runtime_error("ASL: step budget exceeded (line " +
+                             std::to_string(statement.line) + ")");
+  }
+  switch (statement.kind) {
+    case StmtKind::kAssign: {
+      Value value = evaluate(*statement.value, environment);
+      if (statement.self_target) {
+        environment.self().set_attribute(statement.target, std::move(value));
+      } else {
+        environment.set_local(statement.target, std::move(value));
+      }
+      return Flow::kNormal;
+    }
+    case StmtKind::kExpr:
+      evaluate(*statement.value, environment);
+      return Flow::kNormal;
+    case StmtKind::kIf: {
+      if (evaluate(*statement.value, environment).as_bool()) {
+        return run_block(statement.body, environment);
+      }
+      return run_block(statement.else_body, environment);
+    }
+    case StmtKind::kWhile: {
+      while (evaluate(*statement.value, environment).as_bool()) {
+        if (run_block(statement.body, environment) == Flow::kReturn) return Flow::kReturn;
+        if (stats_.statements_executed > max_steps_) {
+          throw std::runtime_error("ASL: step budget exceeded in loop (line " +
+                                   std::to_string(statement.line) + ")");
+        }
+        ++stats_.statements_executed;  // Charge each iteration.
+      }
+      return Flow::kNormal;
+    }
+    case StmtKind::kReturn: {
+      return_value_ =
+          statement.value != nullptr ? evaluate(*statement.value, environment) : Value{};
+      return Flow::kReturn;
+    }
+    case StmtKind::kSend: {
+      std::vector<Value> arguments;
+      arguments.reserve(statement.arguments.size());
+      for (const ExprPtr& argument : statement.arguments) {
+        arguments.push_back(evaluate(*argument, environment));
+      }
+      environment.self().send_signal(statement.send_target, statement.signal, arguments);
+      return Flow::kNormal;
+    }
+    case StmtKind::kBlock:
+      return run_block(statement.body, environment);
+  }
+  return Flow::kNormal;
+}
+
+namespace {
+
+[[noreturn]] void type_error(const char* what, int line) {
+  throw std::runtime_error("ASL: " + std::string(what) + " (line " + std::to_string(line) + ")");
+}
+
+Value apply_binary(BinaryOp op, const Value& left, const Value& right, int line) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      if (left.is_string() || right.is_string()) return Value{left.str() + right.str()};
+      return Value{left.as_int() + right.as_int()};
+    case BinaryOp::kSub:
+      return Value{left.as_int() - right.as_int()};
+    case BinaryOp::kMul:
+      return Value{left.as_int() * right.as_int()};
+    case BinaryOp::kDiv:
+      if (right.as_int() == 0) type_error("division by zero", line);
+      return Value{left.as_int() / right.as_int()};
+    case BinaryOp::kMod:
+      if (right.as_int() == 0) type_error("modulo by zero", line);
+      return Value{left.as_int() % right.as_int()};
+    case BinaryOp::kEq:
+      return Value{left == right};
+    case BinaryOp::kNe:
+      return Value{!(left == right)};
+    case BinaryOp::kLt:
+      return Value{left.as_int() < right.as_int()};
+    case BinaryOp::kLe:
+      return Value{left.as_int() <= right.as_int()};
+    case BinaryOp::kGt:
+      return Value{left.as_int() > right.as_int()};
+    case BinaryOp::kGe:
+      return Value{left.as_int() >= right.as_int()};
+    case BinaryOp::kAnd:
+    case BinaryOp::kOr:
+      break;  // Short-circuit handled by caller.
+  }
+  type_error("unsupported binary operator", line);
+}
+
+}  // namespace
+
+Value Interpreter::evaluate(const Expr& expression, Environment& environment) {
+  ++stats_.expressions_evaluated;
+  switch (expression.kind) {
+    case ExprKind::kLiteral:
+      return expression.literal;
+    case ExprKind::kName:
+      if (expression.name == "self") return Value{std::string("self")};
+      return environment.local(expression.name);
+    case ExprKind::kSelfAttr: {
+      // Base must denote self; attributes of other objects are not in the
+      // supported subset (signals are the cross-object mechanism).
+      if (expression.lhs != nullptr && expression.lhs->kind == ExprKind::kName &&
+          expression.lhs->name == "self") {
+        return environment.self().get_attribute(expression.name);
+      }
+      type_error("attribute access is only supported on 'self'", expression.line);
+    }
+    case ExprKind::kUnary: {
+      Value operand = evaluate(*expression.lhs, environment);
+      if (expression.unary_op == UnaryOp::kNeg) return Value{-operand.as_int()};
+      return Value{!operand.as_bool()};
+    }
+    case ExprKind::kBinary: {
+      if (expression.binary_op == BinaryOp::kAnd) {
+        if (!evaluate(*expression.lhs, environment).as_bool()) return Value{false};
+        return Value{evaluate(*expression.rhs, environment).as_bool()};
+      }
+      if (expression.binary_op == BinaryOp::kOr) {
+        if (evaluate(*expression.lhs, environment).as_bool()) return Value{true};
+        return Value{evaluate(*expression.rhs, environment).as_bool()};
+      }
+      Value left = evaluate(*expression.lhs, environment);
+      Value right = evaluate(*expression.rhs, environment);
+      return apply_binary(expression.binary_op, left, right, expression.line);
+    }
+    case ExprKind::kCall: {
+      // Bare calls f(x) and self.f(x) both dispatch to self's operations.
+      if (expression.lhs != nullptr &&
+          !(expression.lhs->kind == ExprKind::kName && expression.lhs->name == "self")) {
+        type_error("operation calls are only supported on 'self'", expression.line);
+      }
+      std::vector<Value> arguments;
+      arguments.reserve(expression.arguments.size());
+      for (const ExprPtr& argument : expression.arguments) {
+        arguments.push_back(evaluate(*argument, environment));
+      }
+      return environment.self().call(expression.name, arguments);
+    }
+  }
+  type_error("unknown expression kind", expression.line);
+}
+
+std::optional<Value> run_asl(std::string_view source, ObjectContext& self,
+                             std::uint64_t max_steps) {
+  support::DiagnosticSink sink;
+  std::optional<Program> program = parse(source, sink);
+  if (!program.has_value()) {
+    throw std::runtime_error("ASL syntax error:\n" + sink.str());
+  }
+  Environment environment(self);
+  Interpreter interpreter(max_steps);
+  return interpreter.execute(*program, environment);
+}
+
+}  // namespace umlsoc::asl

@@ -1,0 +1,65 @@
+// Tree-walking interpreter for ASL programs.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "asl/ast.hpp"
+#include "asl/value.hpp"
+
+namespace umlsoc::asl {
+
+/// Execution environment: local variables layered over an object context.
+/// Reading an unknown local falls through to the object's attributes.
+class Environment {
+ public:
+  explicit Environment(ObjectContext& self) : self_(&self) {}
+
+  [[nodiscard]] ObjectContext& self() const { return *self_; }
+
+  void set_local(const std::string& name, Value value) { locals_[name] = std::move(value); }
+  [[nodiscard]] bool has_local(const std::string& name) const { return locals_.contains(name); }
+  [[nodiscard]] Value local(const std::string& name) const;
+
+ private:
+  ObjectContext* self_;
+  std::unordered_map<std::string, Value> locals_;
+};
+
+struct InterpreterStats {
+  std::uint64_t statements_executed = 0;
+  std::uint64_t expressions_evaluated = 0;
+};
+
+/// Executes a program. Throws std::runtime_error on dynamic errors (type
+/// mismatch, division by zero, unknown operation, step budget exceeded).
+class Interpreter {
+ public:
+  /// `max_steps` bounds executed statements (loop runaway guard).
+  explicit Interpreter(std::uint64_t max_steps = 1u << 20) : max_steps_(max_steps) {}
+
+  /// Runs the program; returns the value of an executed `return`, if any.
+  std::optional<Value> execute(const Program& program, Environment& environment);
+
+  /// Evaluates a single expression (used by guard bindings).
+  Value evaluate(const Expr& expression, Environment& environment);
+
+  [[nodiscard]] const InterpreterStats& stats() const { return stats_; }
+
+ private:
+  enum class Flow { kNormal, kReturn };
+
+  Flow run_block(const std::vector<StmtPtr>& statements, Environment& environment);
+  Flow run_statement(const Stmt& statement, Environment& environment);
+
+  std::uint64_t max_steps_;
+  InterpreterStats stats_;
+  std::optional<Value> return_value_;
+};
+
+/// Convenience: parse + execute `source` against `self`. Throws on syntax
+/// errors (message contains the diagnostics).
+std::optional<Value> run_asl(std::string_view source, ObjectContext& self,
+                             std::uint64_t max_steps = 1u << 20);
+
+}  // namespace umlsoc::asl

@@ -1,0 +1,185 @@
+#include "asl/lexer.hpp"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace umlsoc::asl {
+
+std::string_view to_string(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd: return "<end>";
+    case TokenKind::kInt: return "<int>";
+    case TokenKind::kString: return "<string>";
+    case TokenKind::kIdent: return "<ident>";
+    case TokenKind::kIf: return "if";
+    case TokenKind::kElse: return "else";
+    case TokenKind::kWhile: return "while";
+    case TokenKind::kReturn: return "return";
+    case TokenKind::kSend: return "send";
+    case TokenKind::kSelf: return "self";
+    case TokenKind::kTrue: return "true";
+    case TokenKind::kFalse: return "false";
+    case TokenKind::kAnd: return "and";
+    case TokenKind::kOr: return "or";
+    case TokenKind::kNot: return "not";
+    case TokenKind::kAssign: return ":=";
+    case TokenKind::kSemicolon: return ";";
+    case TokenKind::kComma: return ",";
+    case TokenKind::kDot: return ".";
+    case TokenKind::kLParen: return "(";
+    case TokenKind::kRParen: return ")";
+    case TokenKind::kLBrace: return "{";
+    case TokenKind::kRBrace: return "}";
+    case TokenKind::kPlus: return "+";
+    case TokenKind::kMinus: return "-";
+    case TokenKind::kStar: return "*";
+    case TokenKind::kSlash: return "/";
+    case TokenKind::kPercent: return "%";
+    case TokenKind::kEq: return "==";
+    case TokenKind::kNe: return "!=";
+    case TokenKind::kLt: return "<";
+    case TokenKind::kLe: return "<=";
+    case TokenKind::kGt: return ">";
+    case TokenKind::kGe: return ">=";
+    case TokenKind::kAmpAmp: return "&&";
+    case TokenKind::kPipePipe: return "||";
+    case TokenKind::kBang: return "!";
+  }
+  return "<token>";
+}
+
+std::vector<Token> tokenize(std::string_view source, support::DiagnosticSink& sink) {
+  static const std::unordered_map<std::string_view, TokenKind> kKeywords = {
+      {"if", TokenKind::kIf},       {"else", TokenKind::kElse},
+      {"while", TokenKind::kWhile}, {"return", TokenKind::kReturn},
+      {"send", TokenKind::kSend},   {"self", TokenKind::kSelf},
+      {"true", TokenKind::kTrue},   {"false", TokenKind::kFalse},
+      {"and", TokenKind::kAnd},     {"or", TokenKind::kOr},
+      {"not", TokenKind::kNot},
+  };
+
+  std::vector<Token> tokens;
+  int line = 1;
+  std::size_t i = 0;
+  auto push = [&](TokenKind kind) { tokens.push_back(Token{kind, "", 0, line}); };
+
+  while (i < source.size()) {
+    char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    // Comments: // to end of line.
+    if (c == '/' && i + 1 < source.size() && source[i + 1] == '/') {
+      while (i < source.size() && source[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::int64_t value = 0;
+      while (i < source.size() && std::isdigit(static_cast<unsigned char>(source[i])) != 0) {
+        value = value * 10 + (source[i] - '0');
+        ++i;
+      }
+      tokens.push_back(Token{TokenKind::kInt, "", value, line});
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      std::size_t start = i;
+      while (i < source.size() && (std::isalnum(static_cast<unsigned char>(source[i])) != 0 ||
+                                   source[i] == '_')) {
+        ++i;
+      }
+      std::string_view word = source.substr(start, i - start);
+      auto it = kKeywords.find(word);
+      if (it != kKeywords.end()) {
+        push(it->second);
+      } else {
+        tokens.push_back(Token{TokenKind::kIdent, std::string(word), 0, line});
+      }
+      continue;
+    }
+    if (c == '"') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < source.size()) {
+        if (source[i] == '"') {
+          closed = true;
+          ++i;
+          break;
+        }
+        if (source[i] == '\\' && i + 1 < source.size()) {
+          ++i;
+          switch (source[i]) {
+            case 'n': text += '\n'; break;
+            case 't': text += '\t'; break;
+            default: text += source[i];
+          }
+        } else {
+          if (source[i] == '\n') ++line;
+          text += source[i];
+        }
+        ++i;
+      }
+      if (!closed) {
+        sink.error("asl:line " + std::to_string(line), "unterminated string literal");
+      }
+      tokens.push_back(Token{TokenKind::kString, std::move(text), 0, line});
+      continue;
+    }
+
+    auto two = [&](char second, TokenKind twoKind, TokenKind oneKind) {
+      if (i + 1 < source.size() && source[i + 1] == second) {
+        push(twoKind);
+        i += 2;
+      } else {
+        push(oneKind);
+        ++i;
+      }
+    };
+
+    switch (c) {
+      case ':':
+        if (i + 1 < source.size() && source[i + 1] == '=') {
+          push(TokenKind::kAssign);
+          i += 2;
+        } else {
+          sink.error("asl:line " + std::to_string(line), "expected ':=' after ':'");
+          ++i;
+        }
+        break;
+      case ';': push(TokenKind::kSemicolon); ++i; break;
+      case ',': push(TokenKind::kComma); ++i; break;
+      case '.': push(TokenKind::kDot); ++i; break;
+      case '(': push(TokenKind::kLParen); ++i; break;
+      case ')': push(TokenKind::kRParen); ++i; break;
+      case '{': push(TokenKind::kLBrace); ++i; break;
+      case '}': push(TokenKind::kRBrace); ++i; break;
+      case '+': push(TokenKind::kPlus); ++i; break;
+      case '-': push(TokenKind::kMinus); ++i; break;
+      case '*': push(TokenKind::kStar); ++i; break;
+      case '/': push(TokenKind::kSlash); ++i; break;
+      case '%': push(TokenKind::kPercent); ++i; break;
+      case '=': two('=', TokenKind::kEq, TokenKind::kEq);  // Lone '=' tolerated as '=='.
+        break;
+      case '!': two('=', TokenKind::kNe, TokenKind::kBang); break;
+      case '<': two('=', TokenKind::kLe, TokenKind::kLt); break;
+      case '>': two('=', TokenKind::kGe, TokenKind::kGt); break;
+      case '&': two('&', TokenKind::kAmpAmp, TokenKind::kAmpAmp); break;
+      case '|': two('|', TokenKind::kPipePipe, TokenKind::kPipePipe); break;
+      default:
+        sink.error("asl:line " + std::to_string(line),
+                   std::string("unexpected character '") + c + "'");
+        ++i;
+    }
+  }
+  tokens.push_back(Token{TokenKind::kEnd, "", 0, line});
+  return tokens;
+}
+
+}  // namespace umlsoc::asl

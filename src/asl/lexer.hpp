@@ -1,0 +1,42 @@
+// Tokenizer for the Action Specification Language.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+
+namespace umlsoc::asl {
+
+enum class TokenKind {
+  kEnd,
+  kInt,
+  kString,
+  kIdent,
+  // Keywords.
+  kIf, kElse, kWhile, kReturn, kSend, kSelf, kTrue, kFalse, kAnd, kOr, kNot,
+  // Punctuation / operators.
+  kAssign,      // :=
+  kSemicolon, kComma, kDot,
+  kLParen, kRParen, kLBrace, kRBrace,
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAmpAmp, kPipePipe, kBang,
+};
+
+[[nodiscard]] std::string_view to_string(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;        // Identifier / string contents.
+  std::int64_t int_value = 0;
+  int line = 1;
+};
+
+/// Tokenizes `source`; on lexical errors reports through `sink` and returns
+/// the tokens recognized so far (terminated by kEnd).
+[[nodiscard]] std::vector<Token> tokenize(std::string_view source,
+                                          support::DiagnosticSink& sink);
+
+}  // namespace umlsoc::asl

@@ -1,0 +1,429 @@
+#include "asl/parser.hpp"
+
+#include "asl/lexer.hpp"
+
+namespace umlsoc::asl {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, support::DiagnosticSink& sink)
+      : tokens_(std::move(tokens)), sink_(sink) {}
+
+  std::optional<Program> parse_program() {
+    Program program;
+    while (!check(TokenKind::kEnd)) {
+      StmtPtr statement = parse_statement();
+      if (statement == nullptr) return std::nullopt;
+      program.statements.push_back(std::move(statement));
+    }
+    return program;
+  }
+
+ private:
+  [[nodiscard]] const Token& peek() const { return tokens_[position_]; }
+  /// Clamped lookahead; the token stream always ends with kEnd.
+  [[nodiscard]] const Token& look(std::size_t offset) const {
+    std::size_t index = position_ + offset;
+    return index < tokens_.size() ? tokens_[index] : tokens_.back();
+  }
+  [[nodiscard]] bool check(TokenKind kind) const { return peek().kind == kind; }
+
+  Token advance() { return tokens_[position_ < tokens_.size() - 1 ? position_++ : position_]; }
+
+  bool match(TokenKind kind) {
+    if (!check(kind)) return false;
+    advance();
+    return true;
+  }
+
+  bool expect(TokenKind kind, const char* context) {
+    if (match(kind)) return true;
+    error(std::string("expected '") + std::string(to_string(kind)) + "' " + context +
+          ", found '" + std::string(to_string(peek().kind)) + "'");
+    return false;
+  }
+
+  void error(std::string message) {
+    sink_.error("asl:line " + std::to_string(peek().line), std::move(message));
+  }
+
+  // --- Statements -------------------------------------------------------------
+
+  StmtPtr parse_statement() {
+    const int line = peek().line;
+    if (check(TokenKind::kIf)) return parse_if();
+    if (check(TokenKind::kWhile)) return parse_while();
+    if (check(TokenKind::kReturn)) return parse_return();
+    if (check(TokenKind::kSend)) return parse_send();
+    if (check(TokenKind::kLBrace)) {
+      auto block = std::make_unique<Stmt>();
+      block->kind = StmtKind::kBlock;
+      block->line = line;
+      if (!parse_block(block->body)) return nullptr;
+      return block;
+    }
+
+    // Assignment or expression statement. Disambiguate by scanning:
+    //   IDENT ":=" ...               local assignment
+    //   "self" "." IDENT ":=" ...    attribute assignment
+    if (check(TokenKind::kIdent) && look(1).kind == TokenKind::kAssign) {
+      auto assign = std::make_unique<Stmt>();
+      assign->kind = StmtKind::kAssign;
+      assign->line = line;
+      assign->target = advance().text;
+      advance();  // :=
+      assign->value = parse_expression();
+      if (assign->value == nullptr || !expect(TokenKind::kSemicolon, "after assignment")) {
+        return nullptr;
+      }
+      return assign;
+    }
+    if (check(TokenKind::kSelf) && look(1).kind == TokenKind::kDot &&
+        look(2).kind == TokenKind::kIdent && look(3).kind == TokenKind::kAssign) {
+      auto assign = std::make_unique<Stmt>();
+      assign->kind = StmtKind::kAssign;
+      assign->line = line;
+      assign->self_target = true;
+      advance();  // self
+      advance();  // .
+      assign->target = advance().text;
+      advance();  // :=
+      assign->value = parse_expression();
+      if (assign->value == nullptr || !expect(TokenKind::kSemicolon, "after assignment")) {
+        return nullptr;
+      }
+      return assign;
+    }
+
+    auto statement = std::make_unique<Stmt>();
+    statement->kind = StmtKind::kExpr;
+    statement->line = line;
+    statement->value = parse_expression();
+    if (statement->value == nullptr ||
+        !expect(TokenKind::kSemicolon, "after expression statement")) {
+      return nullptr;
+    }
+    return statement;
+  }
+
+  bool parse_block(std::vector<StmtPtr>& out) {
+    if (!expect(TokenKind::kLBrace, "to open block")) return false;
+    while (!check(TokenKind::kRBrace)) {
+      if (check(TokenKind::kEnd)) {
+        error("unterminated block");
+        return false;
+      }
+      StmtPtr statement = parse_statement();
+      if (statement == nullptr) return false;
+      out.push_back(std::move(statement));
+    }
+    advance();  // }
+    return true;
+  }
+
+  StmtPtr parse_if() {
+    auto statement = std::make_unique<Stmt>();
+    statement->kind = StmtKind::kIf;
+    statement->line = peek().line;
+    advance();  // if
+    if (!expect(TokenKind::kLParen, "after 'if'")) return nullptr;
+    statement->value = parse_expression();
+    if (statement->value == nullptr || !expect(TokenKind::kRParen, "after condition")) {
+      return nullptr;
+    }
+    if (!parse_block(statement->body)) return nullptr;
+    if (match(TokenKind::kElse)) {
+      if (check(TokenKind::kIf)) {
+        StmtPtr nested = parse_if();
+        if (nested == nullptr) return nullptr;
+        statement->else_body.push_back(std::move(nested));
+      } else if (!parse_block(statement->else_body)) {
+        return nullptr;
+      }
+    }
+    return statement;
+  }
+
+  StmtPtr parse_while() {
+    auto statement = std::make_unique<Stmt>();
+    statement->kind = StmtKind::kWhile;
+    statement->line = peek().line;
+    advance();  // while
+    if (!expect(TokenKind::kLParen, "after 'while'")) return nullptr;
+    statement->value = parse_expression();
+    if (statement->value == nullptr || !expect(TokenKind::kRParen, "after condition")) {
+      return nullptr;
+    }
+    if (!parse_block(statement->body)) return nullptr;
+    return statement;
+  }
+
+  StmtPtr parse_return() {
+    auto statement = std::make_unique<Stmt>();
+    statement->kind = StmtKind::kReturn;
+    statement->line = peek().line;
+    advance();  // return
+    if (!check(TokenKind::kSemicolon)) {
+      statement->value = parse_expression();
+      if (statement->value == nullptr) return nullptr;
+    }
+    if (!expect(TokenKind::kSemicolon, "after return")) return nullptr;
+    return statement;
+  }
+
+  StmtPtr parse_send() {
+    auto statement = std::make_unique<Stmt>();
+    statement->kind = StmtKind::kSend;
+    statement->line = peek().line;
+    advance();  // send
+    if (!check(TokenKind::kIdent) && !check(TokenKind::kSelf)) {
+      error("expected signal target after 'send'");
+      return nullptr;
+    }
+    statement->send_target = check(TokenKind::kSelf) ? "self" : peek().text;
+    advance();
+    if (!expect(TokenKind::kDot, "after send target")) return nullptr;
+    if (!check(TokenKind::kIdent)) {
+      error("expected signal name");
+      return nullptr;
+    }
+    statement->signal = advance().text;
+    if (!expect(TokenKind::kLParen, "after signal name")) return nullptr;
+    if (!check(TokenKind::kRParen)) {
+      do {
+        ExprPtr argument = parse_expression();
+        if (argument == nullptr) return nullptr;
+        statement->arguments.push_back(std::move(argument));
+      } while (match(TokenKind::kComma));
+    }
+    if (!expect(TokenKind::kRParen, "after signal arguments")) return nullptr;
+    if (!expect(TokenKind::kSemicolon, "after send")) return nullptr;
+    return statement;
+  }
+
+  // --- Expressions (Pratt) ------------------------------------------------------
+
+  static int binding_power(TokenKind kind) {
+    switch (kind) {
+      case TokenKind::kPipePipe:
+      case TokenKind::kOr:
+        return 10;
+      case TokenKind::kAmpAmp:
+      case TokenKind::kAnd:
+        return 20;
+      case TokenKind::kEq:
+      case TokenKind::kNe:
+        return 30;
+      case TokenKind::kLt:
+      case TokenKind::kLe:
+      case TokenKind::kGt:
+      case TokenKind::kGe:
+        return 40;
+      case TokenKind::kPlus:
+      case TokenKind::kMinus:
+        return 50;
+      case TokenKind::kStar:
+      case TokenKind::kSlash:
+      case TokenKind::kPercent:
+        return 60;
+      default:
+        return 0;
+    }
+  }
+
+  static BinaryOp binary_op_for(TokenKind kind) {
+    switch (kind) {
+      case TokenKind::kPlus: return BinaryOp::kAdd;
+      case TokenKind::kMinus: return BinaryOp::kSub;
+      case TokenKind::kStar: return BinaryOp::kMul;
+      case TokenKind::kSlash: return BinaryOp::kDiv;
+      case TokenKind::kPercent: return BinaryOp::kMod;
+      case TokenKind::kEq: return BinaryOp::kEq;
+      case TokenKind::kNe: return BinaryOp::kNe;
+      case TokenKind::kLt: return BinaryOp::kLt;
+      case TokenKind::kLe: return BinaryOp::kLe;
+      case TokenKind::kGt: return BinaryOp::kGt;
+      case TokenKind::kGe: return BinaryOp::kGe;
+      case TokenKind::kAmpAmp:
+      case TokenKind::kAnd:
+        return BinaryOp::kAnd;
+      default:
+        return BinaryOp::kOr;
+    }
+  }
+
+  ExprPtr parse_expression(int min_power = 1) {
+    ExprPtr left = parse_unary();
+    if (left == nullptr) return nullptr;
+    for (;;) {
+      int power = binding_power(peek().kind);
+      if (power < min_power) return left;
+      TokenKind op = advance().kind;
+      ExprPtr right = parse_expression(power + 1);
+      if (right == nullptr) return nullptr;
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kBinary;
+      node->line = left->line;
+      node->binary_op = binary_op_for(op);
+      node->lhs = std::move(left);
+      node->rhs = std::move(right);
+      left = std::move(node);
+    }
+  }
+
+  ExprPtr parse_unary() {
+    const int line = peek().line;
+    if (match(TokenKind::kMinus)) {
+      ExprPtr operand = parse_unary();
+      if (operand == nullptr) return nullptr;
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kUnary;
+      node->line = line;
+      node->unary_op = UnaryOp::kNeg;
+      node->lhs = std::move(operand);
+      return node;
+    }
+    if (match(TokenKind::kBang) || match(TokenKind::kNot)) {
+      ExprPtr operand = parse_unary();
+      if (operand == nullptr) return nullptr;
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kUnary;
+      node->line = line;
+      node->unary_op = UnaryOp::kNot;
+      node->lhs = std::move(operand);
+      return node;
+    }
+    return parse_postfix();
+  }
+
+  ExprPtr parse_postfix() {
+    ExprPtr base = parse_primary();
+    if (base == nullptr) return nullptr;
+    while (check(TokenKind::kDot)) {
+      advance();
+      if (!check(TokenKind::kIdent)) {
+        error("expected member name after '.'");
+        return nullptr;
+      }
+      Token member = advance();
+      if (match(TokenKind::kLParen)) {
+        auto call = std::make_unique<Expr>();
+        call->kind = ExprKind::kCall;
+        call->line = member.line;
+        call->name = member.text;
+        call->lhs = std::move(base);
+        if (!check(TokenKind::kRParen)) {
+          do {
+            ExprPtr argument = parse_expression();
+            if (argument == nullptr) return nullptr;
+            call->arguments.push_back(std::move(argument));
+          } while (match(TokenKind::kComma));
+        }
+        if (!expect(TokenKind::kRParen, "after call arguments")) return nullptr;
+        base = std::move(call);
+      } else {
+        auto attr = std::make_unique<Expr>();
+        attr->kind = ExprKind::kSelfAttr;
+        attr->line = member.line;
+        attr->name = member.text;
+        attr->lhs = std::move(base);
+        base = std::move(attr);
+      }
+    }
+    return base;
+  }
+
+  ExprPtr parse_primary() {
+    const Token token = peek();
+    switch (token.kind) {
+      case TokenKind::kInt: {
+        advance();
+        auto node = std::make_unique<Expr>();
+        node->kind = ExprKind::kLiteral;
+        node->line = token.line;
+        node->literal = Value{token.int_value};
+        return node;
+      }
+      case TokenKind::kString: {
+        advance();
+        auto node = std::make_unique<Expr>();
+        node->kind = ExprKind::kLiteral;
+        node->line = token.line;
+        node->literal = Value{token.text};
+        return node;
+      }
+      case TokenKind::kTrue:
+      case TokenKind::kFalse: {
+        advance();
+        auto node = std::make_unique<Expr>();
+        node->kind = ExprKind::kLiteral;
+        node->line = token.line;
+        node->literal = Value{token.kind == TokenKind::kTrue};
+        return node;
+      }
+      case TokenKind::kSelf: {
+        advance();
+        auto node = std::make_unique<Expr>();
+        node->kind = ExprKind::kName;
+        node->line = token.line;
+        node->name = "self";
+        return node;
+      }
+      case TokenKind::kIdent: {
+        advance();
+        if (match(TokenKind::kLParen)) {
+          // Bare call: treated as self-operation call.
+          auto call = std::make_unique<Expr>();
+          call->kind = ExprKind::kCall;
+          call->line = token.line;
+          call->name = token.text;
+          if (!check(TokenKind::kRParen)) {
+            do {
+              ExprPtr argument = parse_expression();
+              if (argument == nullptr) return nullptr;
+              call->arguments.push_back(std::move(argument));
+            } while (match(TokenKind::kComma));
+          }
+          if (!expect(TokenKind::kRParen, "after call arguments")) return nullptr;
+          return call;
+        }
+        auto node = std::make_unique<Expr>();
+        node->kind = ExprKind::kName;
+        node->line = token.line;
+        node->name = token.text;
+        return node;
+      }
+      case TokenKind::kLParen: {
+        advance();
+        ExprPtr inner = parse_expression();
+        if (inner == nullptr || !expect(TokenKind::kRParen, "after parenthesized expression")) {
+          return nullptr;
+        }
+        return inner;
+      }
+      default:
+        error("unexpected token '" + std::string(to_string(token.kind)) + "' in expression");
+        return nullptr;
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t position_ = 0;
+  support::DiagnosticSink& sink_;
+};
+
+}  // namespace
+
+std::optional<Program> parse(std::string_view source, support::DiagnosticSink& sink) {
+  const std::size_t errors_before = sink.error_count();
+  std::vector<Token> tokens = tokenize(source, sink);
+  if (sink.error_count() != errors_before) return std::nullopt;
+  Parser parser(std::move(tokens), sink);
+  std::optional<Program> program = parser.parse_program();
+  if (sink.error_count() != errors_before) return std::nullopt;
+  return program;
+}
+
+}  // namespace umlsoc::asl

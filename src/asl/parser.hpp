@@ -1,0 +1,17 @@
+// Recursive-descent / Pratt parser for the Action Specification Language.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "asl/ast.hpp"
+#include "support/diagnostics.hpp"
+
+namespace umlsoc::asl {
+
+/// Parses an ASL program. Returns nullopt (with diagnostics in `sink`) on
+/// syntax errors.
+[[nodiscard]] std::optional<Program> parse(std::string_view source,
+                                           support::DiagnosticSink& sink);
+
+}  // namespace umlsoc::asl

@@ -1,0 +1,57 @@
+#include "asl/value.hpp"
+
+#include <stdexcept>
+
+namespace umlsoc::asl {
+
+std::int64_t Value::as_int() const {
+  if (is_int()) return std::get<std::int64_t>(data_);
+  if (is_bool()) return std::get<bool>(data_) ? 1 : 0;
+  throw std::runtime_error("ASL: string value used as integer: '" +
+                           std::get<std::string>(data_) + "'");
+}
+
+bool Value::as_bool() const {
+  if (is_bool()) return std::get<bool>(data_);
+  if (is_int()) return std::get<std::int64_t>(data_) != 0;
+  return !std::get<std::string>(data_).empty();
+}
+
+const std::string& Value::as_string() const {
+  if (!is_string()) throw std::runtime_error("ASL: value is not a string");
+  return std::get<std::string>(data_);
+}
+
+std::string Value::str() const {
+  if (is_int()) return std::to_string(std::get<std::int64_t>(data_));
+  if (is_bool()) return std::get<bool>(data_) ? "true" : "false";
+  return std::get<std::string>(data_);
+}
+
+Value MapObject::get_attribute(const std::string& name) {
+  auto it = attributes_.find(name);
+  return it == attributes_.end() ? Value{} : it->second;
+}
+
+void MapObject::set_attribute(const std::string& name, Value value) {
+  attributes_[name] = std::move(value);
+}
+
+Value MapObject::call(const std::string& operation, const std::vector<Value>& arguments) {
+  auto it = operations_.find(operation);
+  if (it == operations_.end()) {
+    throw std::runtime_error("ASL: unknown operation '" + operation + "'");
+  }
+  return it->second(arguments);
+}
+
+void MapObject::send_signal(const std::string& target, const std::string& signal,
+                            const std::vector<Value>& arguments) {
+  sent_signals_.push_back(SentSignal{target, signal, arguments});
+}
+
+void MapObject::define_operation(std::string name, Operation body) {
+  operations_[std::move(name)] = std::move(body);
+}
+
+}  // namespace umlsoc::asl

@@ -1,0 +1,83 @@
+// Runtime values of the Action Specification Language (DESIGN.md, module
+// `asl`): integers, booleans and strings, plus the object context an action
+// executes against.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace umlsoc::asl {
+
+class Value {
+ public:
+  Value() : data_(std::int64_t{0}) {}
+  Value(std::int64_t v) : data_(v) {}          // NOLINT(google-explicit-constructor)
+  Value(int v) : data_(std::int64_t{v}) {}     // NOLINT(google-explicit-constructor)
+  Value(bool v) : data_(v) {}                  // NOLINT(google-explicit-constructor)
+  Value(std::string v) : data_(std::move(v)) {}  // NOLINT(google-explicit-constructor)
+  Value(const char* v) : data_(std::string(v)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool is_int() const { return std::holds_alternative<std::int64_t>(data_); }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(data_); }
+
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] bool as_bool() const;   // Truthiness: 0/false/"" are false.
+  [[nodiscard]] const std::string& as_string() const;
+
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const Value& a, const Value& b) { return a.data_ == b.data_; }
+
+ private:
+  std::variant<std::int64_t, bool, std::string> data_;
+};
+
+/// The world an ASL program talks to: its owning object's attributes,
+/// callable operations, and outgoing signals. Implementations adapt model
+/// instances (uml::InstanceSpecification), state machine variables, or the
+/// simulation kernel.
+class ObjectContext {
+ public:
+  virtual ~ObjectContext() = default;
+
+  virtual Value get_attribute(const std::string& name) = 0;
+  virtual void set_attribute(const std::string& name, Value value) = 0;
+  virtual Value call(const std::string& operation, const std::vector<Value>& arguments) = 0;
+  virtual void send_signal(const std::string& target, const std::string& signal,
+                           const std::vector<Value>& arguments) = 0;
+};
+
+/// Map-backed context for tests and simple executions: attributes in a map,
+/// calls dispatched to registered std::functions, signals recorded.
+class MapObject : public ObjectContext {
+ public:
+  using Operation = std::function<Value(const std::vector<Value>&)>;
+
+  Value get_attribute(const std::string& name) override;
+  void set_attribute(const std::string& name, Value value) override;
+  Value call(const std::string& operation, const std::vector<Value>& arguments) override;
+  void send_signal(const std::string& target, const std::string& signal,
+                   const std::vector<Value>& arguments) override;
+
+  void define_operation(std::string name, Operation body);
+
+  struct SentSignal {
+    std::string target;
+    std::string signal;
+    std::vector<Value> arguments;
+  };
+  [[nodiscard]] const std::vector<SentSignal>& sent_signals() const { return sent_signals_; }
+  [[nodiscard]] const std::map<std::string, Value>& attributes() const { return attributes_; }
+
+ private:
+  std::map<std::string, Value> attributes_;
+  std::map<std::string, Operation> operations_;
+  std::vector<SentSignal> sent_signals_;
+};
+
+}  // namespace umlsoc::asl

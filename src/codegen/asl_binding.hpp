@@ -1,0 +1,39 @@
+// Binding ASL text to executable behavior: the last mile of the xUML story
+// (paper §3: ASL "closes the last gap to complete system specification").
+// After binding, a state machine or activity whose guards/effects/actions
+// were authored purely as model text executes with no C++ lambdas at all.
+//
+// State machines — for every non-empty text:
+//   * transition guards become ASL boolean expressions; the event payload is
+//     visible as `data` and the event name as `event` (string),
+//   * transition effects and state entry/exit/do behaviors become ASL
+//     statement programs with the same event locals (entry/exit see data 0),
+//   * all programs execute against one shared ObjectContext (`self`), and
+//     can additionally read/write the instance's variables via the
+//     `var("name")` / `set_var("name", v)` operations.
+//
+// Activities:
+//   * action scripts (ActivityNode::script) run with local `input` (first
+//     consumed token's value); `output := expr;` or `return expr;` sets the
+//     produced token value (default: input),
+//   * edge guards become ASL boolean expressions over local `token`.
+#pragma once
+
+#include "activity/model.hpp"
+#include "asl/interpreter.hpp"
+#include "statechart/model.hpp"
+#include "support/diagnostics.hpp"
+
+namespace umlsoc::codegen {
+
+/// Compiles and installs every textual behavior of `machine` against
+/// `context`. Returns false (with per-element diagnostics) when any text
+/// fails to parse; successfully parsed texts are still bound.
+bool bind_statechart_asl(statechart::StateMachine& machine, asl::ObjectContext& context,
+                         support::DiagnosticSink& sink);
+
+/// Same for activities: action scripts and edge guard texts.
+bool bind_activity_asl(activity::Activity& activity, asl::ObjectContext& context,
+                       support::DiagnosticSink& sink);
+
+}  // namespace umlsoc::codegen

@@ -1,0 +1,113 @@
+#include "codegen/hwmodel.hpp"
+
+namespace umlsoc::codegen {
+
+HwModuleSim::HwModuleSim(const uml::Class& psm_module, const soc::SocProfile& profile,
+                         support::DiagnosticSink& sink)
+    : name_(psm_module.name()) {
+  std::uint64_t next_free = 0;
+  for (const auto& property : psm_module.properties()) {
+    if (!property->has_stereotype(*profile.hw_register)) continue;
+    Register reg;
+    reg.name = property->name();
+    std::optional<std::uint64_t> address = profile.register_address(*property);
+    if (!address.has_value()) {
+      sink.warning(property->qualified_name(), "register address missing; auto-assigned");
+      address = next_free;
+    }
+    next_free = std::max(next_free, *address + 4);
+    const std::string access = profile.register_access(*property);
+    reg.readable = access.find('r') != std::string::npos;
+    reg.writable = access.find('w') != std::string::npos;
+    reg.reset =
+        soc::parse_address(property->tagged_value(*profile.hw_register, "reset")).value_or(0);
+    reg.value = reg.reset;
+    if (!registers_.emplace(*address, std::move(reg)).second) {
+      sink.error(property->qualified_name(), "duplicate register address in module");
+    }
+  }
+}
+
+std::uint64_t HwModuleSim::read_register(std::uint64_t offset) {
+  ++bus_reads_;
+  auto it = registers_.find(offset);
+  if (it == registers_.end() || !it->second.readable) return 0;
+  dispatch("read_" + it->second.name, static_cast<std::int64_t>(it->second.value));
+  return it->second.value;
+}
+
+void HwModuleSim::write_register(std::uint64_t offset, std::uint64_t value) {
+  ++bus_writes_;
+  auto it = registers_.find(offset);
+  if (it == registers_.end() || !it->second.writable) return;
+  it->second.value = value;
+  dispatch("write_" + it->second.name, static_cast<std::int64_t>(value));
+}
+
+std::uint64_t HwModuleSim::peek(const std::string& register_name) const {
+  for (const auto& [offset, reg] : registers_) {
+    if (reg.name == register_name) return reg.value;
+  }
+  return 0;
+}
+
+void HwModuleSim::poke(const std::string& register_name, std::uint64_t value) {
+  for (auto& [offset, reg] : registers_) {
+    if (reg.name == register_name) {
+      reg.value = value;
+      return;
+    }
+  }
+}
+
+void HwModuleSim::reset() {
+  for (auto& [offset, reg] : registers_) reg.value = reg.reset;
+  if (behavior_ != nullptr) {
+    behavior_ = std::make_unique<statechart::StateMachineInstance>(behavior_->machine());
+    behavior_->set_trace_enabled(false);
+    sync_to_behavior();
+    behavior_->start();
+    sync_from_behavior();
+  }
+}
+
+void HwModuleSim::map_onto(sim::MemoryMappedBus& bus, std::uint64_t base) {
+  std::uint64_t span = 0;
+  for (const auto& [offset, reg] : registers_) span = std::max(span, offset + 4);
+  if (span == 0) span = 4;
+  bus.map_device(
+      name_, base, span,
+      [this, base](std::uint64_t address) { return read_register(address - base); },
+      [this, base](std::uint64_t address, std::uint64_t value) {
+        write_register(address - base, value);
+      });
+}
+
+void HwModuleSim::attach_behavior(const statechart::StateMachine& machine) {
+  behavior_ = std::make_unique<statechart::StateMachineInstance>(machine);
+  behavior_->set_trace_enabled(false);
+  sync_to_behavior();
+  behavior_->start();
+  sync_from_behavior();
+}
+
+void HwModuleSim::sync_to_behavior() {
+  for (const auto& [offset, reg] : registers_) {
+    behavior_->set_variable(reg.name, static_cast<std::int64_t>(reg.value));
+  }
+}
+
+void HwModuleSim::sync_from_behavior() {
+  for (auto& [offset, reg] : registers_) {
+    reg.value = static_cast<std::uint64_t>(behavior_->variable(reg.name));
+  }
+}
+
+void HwModuleSim::dispatch(const std::string& event, std::int64_t data) {
+  if (behavior_ == nullptr) return;
+  sync_to_behavior();
+  behavior_->dispatch(statechart::Event{event, data});
+  sync_from_behavior();
+}
+
+}  // namespace umlsoc::codegen

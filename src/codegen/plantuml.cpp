@@ -1,0 +1,352 @@
+#include "codegen/plantuml.hpp"
+
+#include "uml/instance.hpp"
+#include "uml/query.hpp"
+
+namespace umlsoc::codegen {
+
+namespace {
+
+std::string stereotype_suffix(const uml::Element& element) {
+  std::string out;
+  for (const uml::StereotypeApplication& application : element.stereotype_applications()) {
+    out += " <<" + application.stereotype->name() + ">>";
+  }
+  return out;
+}
+
+std::string type_suffix(const uml::Classifier* type) {
+  return type == nullptr ? std::string{} : " : " + type->name();
+}
+
+void emit_class_body(const uml::Class& cls, std::string& out) {
+  for (const auto& property : cls.properties()) {
+    out += "  " + property->name() + type_suffix(property->type());
+    if (!property->default_value().empty()) out += " = " + property->default_value();
+    out += "\n";
+  }
+  for (const auto& operation : cls.operations()) {
+    out += "  " + operation->name() + "(";
+    bool first = true;
+    for (const auto& parameter : operation->parameters()) {
+      if (parameter->direction() == uml::ParameterDirection::kReturn) continue;
+      if (!first) out += ", ";
+      out += parameter->name() + type_suffix(parameter->type());
+      first = false;
+    }
+    out += ")";
+    if (operation->return_type() != nullptr) out += " : " + operation->return_type()->name();
+    out += "\n";
+  }
+}
+
+}  // namespace
+
+std::string to_plantuml_class_diagram(uml::Package& root) {
+  std::string out = "@startuml\n";
+
+  for (uml::Class* cls : uml::collect<uml::Class>(root)) {
+    out += cls->is_abstract() ? "abstract class " : "class ";
+    out += cls->name() + stereotype_suffix(*cls) + " {\n";
+    emit_class_body(*cls, out);
+    out += "}\n";
+  }
+  for (uml::Interface* interface : uml::collect<uml::Interface>(root)) {
+    out += "interface " + interface->name() + " {\n";
+    for (const auto& operation : interface->operations()) {
+      out += "  " + operation->name() + "()\n";
+    }
+    out += "}\n";
+  }
+  for (uml::Enumeration* enumeration : uml::collect<uml::Enumeration>(root)) {
+    out += "enum " + enumeration->name() + " {\n";
+    for (const std::string& literal : enumeration->literals()) out += "  " + literal + "\n";
+    out += "}\n";
+  }
+
+  for (uml::Class* cls : uml::collect<uml::Class>(root)) {
+    for (uml::Classifier* general : cls->generals()) {
+      out += general->name() + " <|-- " + cls->name() + "\n";
+    }
+    for (uml::Interface* contract : cls->interface_realizations()) {
+      out += contract->name() + " <|.. " + cls->name() + "\n";
+    }
+  }
+  for (uml::Association* association : uml::collect<uml::Association>(root)) {
+    if (!association->is_binary()) continue;
+    const uml::Property& a = *association->ends()[0];
+    const uml::Property& b = *association->ends()[1];
+    if (a.type() == nullptr || b.type() == nullptr) continue;
+    out += a.type()->name() + " \"" + a.multiplicity().str() + "\" -- \"" +
+           b.multiplicity().str() + "\" " + b.type()->name() + " : " + association->name() +
+           "\n";
+  }
+  out += "@enduml\n";
+  return out;
+}
+
+std::string to_plantuml_object_diagram(uml::Package& root) {
+  std::string out = "@startuml\n";
+  std::vector<uml::InstanceSpecification*> instances =
+      uml::collect<uml::InstanceSpecification>(root);
+  for (uml::InstanceSpecification* instance : instances) {
+    out += "object " + instance->name();
+    if (instance->classifier() != nullptr) {
+      out += " : " + instance->classifier()->name();
+    }
+    out += " {\n";
+    for (const uml::Slot& slot : instance->slots()) {
+      if (slot.defining_feature == nullptr || slot.reference != nullptr) continue;
+      out += "  " + slot.defining_feature->name() + " = " + slot.value + "\n";
+    }
+    out += "}\n";
+  }
+  for (uml::InstanceSpecification* instance : instances) {
+    for (const uml::Slot& slot : instance->slots()) {
+      if (slot.reference != nullptr && slot.defining_feature != nullptr) {
+        out += instance->name() + " --> " + slot.reference->name() + " : " +
+               slot.defining_feature->name() + "\n";
+      }
+    }
+  }
+  out += "@enduml\n";
+  return out;
+}
+
+std::string to_plantuml_component_diagram(uml::Package& root) {
+  std::string out = "@startuml\n";
+  for (uml::Component* component : uml::collect<uml::Component>(root)) {
+    out += "component " + component->name() + stereotype_suffix(*component) + "\n";
+    for (uml::Interface* provided : component->provided()) {
+      out += "interface " + provided->name() + "\n";
+      out += provided->name() + " - " + component->name() + "\n";
+    }
+    for (uml::Interface* required : component->required()) {
+      out += "interface " + required->name() + "\n";
+      out += component->name() + " ..> " + required->name() + " : use\n";
+    }
+  }
+  out += "@enduml\n";
+  return out;
+}
+
+std::string to_plantuml_structure_diagram(const uml::Class& cls) {
+  std::string out = "@startuml\ncomponent " + cls.name() + " {\n";
+  for (const auto& part : cls.properties()) {
+    if (!part->is_part()) continue;
+    out += "  component " + part->name();
+    if (part->type() != nullptr) out += " : " + part->type()->name();
+    out += "\n";
+  }
+  out += "}\n";
+  for (const auto& port : cls.ports()) {
+    out += "portin \"" + port->name() + "\" as " + cls.name() + "_" + port->name() + "\n";
+  }
+  for (const auto& connector : cls.connectors()) {
+    if (connector->ends().size() < 2) continue;
+    auto end_name = [&](const uml::ConnectorEnd& end) -> std::string {
+      if (end.part != nullptr) return end.part->name();
+      if (end.port != nullptr) return cls.name() + "_" + end.port->name();
+      return "?";
+    };
+    out += end_name(connector->ends()[0]) + " -- " + end_name(connector->ends()[1]) + " : " +
+           connector->name() + "\n";
+  }
+  out += "@enduml\n";
+  return out;
+}
+
+namespace {
+
+void emit_region(const statechart::Region& region, std::string& out, int depth);
+
+void emit_vertex(const statechart::Vertex& vertex, std::string& out, int depth) {
+  const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+  using statechart::VertexKind;
+  switch (vertex.vertex_kind()) {
+    case VertexKind::kState: {
+      const auto& state = static_cast<const statechart::State&>(vertex);
+      if (state.is_composite()) {
+        out += pad + "state " + state.name() + " {\n";
+        bool first = true;
+        for (const auto& region : state.regions()) {
+          if (!first) out += pad + "  --\n";
+          emit_region(*region, out, depth + 1);
+          first = false;
+        }
+        out += pad + "}\n";
+      } else {
+        out += pad + "state " + state.name() + "\n";
+      }
+      if (!state.entry().text.empty()) {
+        out += pad + state.name() + " : entry / " + state.entry().text + "\n";
+      }
+      if (!state.exit_behavior().text.empty()) {
+        out += pad + state.name() + " : exit / " + state.exit_behavior().text + "\n";
+      }
+      break;
+    }
+    case VertexKind::kChoice:
+      out += pad + "state " + vertex.name() + " <<choice>>\n";
+      break;
+    case VertexKind::kJunction:
+      out += pad + "state " + vertex.name() + " <<junction>>\n";
+      break;
+    case VertexKind::kShallowHistory:
+    case VertexKind::kDeepHistory:
+    case VertexKind::kInitial:
+    case VertexKind::kFinal:
+    case VertexKind::kTerminate:
+      break;  // Rendered implicitly via transition endpoints.
+  }
+}
+
+std::string vertex_ref(const statechart::Vertex& vertex) {
+  using statechart::VertexKind;
+  switch (vertex.vertex_kind()) {
+    case VertexKind::kInitial:
+      return "[*]";
+    case VertexKind::kFinal:
+    case VertexKind::kTerminate:
+      return "[*]";
+    case VertexKind::kShallowHistory:
+      return vertex.container()->owner_state() != nullptr
+                 ? vertex.container()->owner_state()->name() + "[H]"
+                 : "[H]";
+    case VertexKind::kDeepHistory:
+      return vertex.container()->owner_state() != nullptr
+                 ? vertex.container()->owner_state()->name() + "[H*]"
+                 : "[H*]";
+    default:
+      return vertex.name();
+  }
+}
+
+void emit_region(const statechart::Region& region, std::string& out, int depth) {
+  const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+  for (const auto& vertex : region.vertices()) emit_vertex(*vertex, out, depth);
+  for (const auto& transition : region.transitions()) {
+    out += pad + vertex_ref(transition->source()) + " --> " +
+           vertex_ref(transition->target());
+    std::string label;
+    if (!transition->trigger().empty()) label += transition->trigger();
+    if (!transition->guard().text.empty()) label += " [" + transition->guard().text + "]";
+    if (!transition->effect().text.empty()) label += " / " + transition->effect().text;
+    if (!label.empty()) out += " : " + label;
+    out += "\n";
+  }
+}
+
+}  // namespace
+
+std::string to_plantuml_statechart(const statechart::StateMachine& machine) {
+  std::string out = "@startuml\ntitle " + machine.name() + "\n";
+  emit_region(machine.top(), out, 0);
+  out += "@enduml\n";
+  return out;
+}
+
+std::string to_plantuml_activity(const activity::Activity& activity) {
+  // PlantUML's structured activity syntax cannot express arbitrary graphs;
+  // emit the general graph form with explicit labels.
+  std::string out = "@startuml\ntitle " + activity.name() + "\n";
+  auto node_ref = [](const activity::ActivityNode& node) -> std::string {
+    using activity::NodeKind;
+    switch (node.node_kind()) {
+      case NodeKind::kInitial:
+      case NodeKind::kActivityFinal:
+        return "(*)";
+      case NodeKind::kFlowFinal:
+        return "(*)";
+      default:
+        return "\"" + node.name() + "\"";
+    }
+  };
+  for (const auto& edge : activity.edges()) {
+    out += node_ref(edge->source()) + " --> ";
+    if (!edge->guard().text.empty()) out += "[" + edge->guard().text + "] ";
+    out += node_ref(edge->target()) + "\n";
+  }
+  out += "@enduml\n";
+  return out;
+}
+
+namespace {
+
+void emit_fragments(const std::vector<std::unique_ptr<interaction::Fragment>>& fragments,
+                    std::string& out, int depth);
+
+void emit_fragment(const interaction::Fragment& fragment, std::string& out, int depth) {
+  const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+  if (fragment.fragment_kind() == interaction::FragmentKind::kMessage) {
+    const char* arrow = fragment.message_kind() == interaction::MessageKind::kReply
+                            ? " --> "
+                            : fragment.message_kind() == interaction::MessageKind::kSync
+                                  ? " -> "
+                                  : " ->> ";
+    out += pad + fragment.from()->name() + arrow + fragment.to()->name() + " : " +
+           fragment.message_name() + "\n";
+    return;
+  }
+  const std::string op(interaction::to_string(fragment.combined_operator()));
+  bool first = true;
+  for (const auto& operand : fragment.operands()) {
+    if (first) {
+      out += pad + op;
+      if (!operand->guard().empty()) out += " " + operand->guard();
+      out += "\n";
+    } else {
+      out += pad + "else " + operand->guard() + "\n";
+    }
+    emit_fragments(operand->fragments(), out, depth + 1);
+    first = false;
+  }
+  out += pad + "end\n";
+}
+
+void emit_fragments(const std::vector<std::unique_ptr<interaction::Fragment>>& fragments,
+                    std::string& out, int depth) {
+  for (const auto& fragment : fragments) emit_fragment(*fragment, out, depth);
+}
+
+}  // namespace
+
+std::string to_plantuml_sequence(const interaction::Interaction& interaction) {
+  std::string out = "@startuml\ntitle " + interaction.name() + "\n";
+  for (const auto& lifeline : interaction.lifelines()) {
+    out += "participant " + lifeline->name() + "\n";
+  }
+  emit_fragments(interaction.fragments(), out, 0);
+  out += "@enduml\n";
+  return out;
+}
+
+std::string to_plantuml_use_cases(const usecase::UseCaseModel& model) {
+  std::string out = "@startuml\nleft to right direction\n";
+  for (const auto& actor : model.actors()) {
+    out += "actor " + actor->name() + "\n";
+    for (const usecase::Actor* general : actor->generals()) {
+      out += general->name() + " <|-- " + actor->name() + "\n";
+    }
+  }
+  out += "rectangle " + model.system_name() + " {\n";
+  for (const auto& use_case : model.use_cases()) {
+    out += "  usecase \"" + use_case->name() + "\" as " + use_case->name() + "\n";
+  }
+  out += "}\n";
+  for (const auto& use_case : model.use_cases()) {
+    for (const usecase::Actor* actor : use_case->actors()) {
+      out += actor->name() + " --> " + use_case->name() + "\n";
+    }
+    for (const usecase::UseCase* included : use_case->includes()) {
+      out += use_case->name() + " ..> " + included->name() + " : <<include>>\n";
+    }
+    for (const usecase::UseCase::Extend& extend : use_case->extends()) {
+      out += use_case->name() + " ..> " + extend.extended->name() + " : <<extend>>\n";
+    }
+  }
+  out += "@enduml\n";
+  return out;
+}
+
+}  // namespace umlsoc::codegen

@@ -1,0 +1,42 @@
+// PlantUML text emitters for every supported diagram type. The concrete
+// syntax is the de-facto textual exchange format for UML diagrams, which
+// makes generated models reviewable without a GUI tool (the "notation"
+// half of the paper's tooling story).
+#pragma once
+
+#include <string>
+
+#include "activity/model.hpp"
+#include "interaction/model.hpp"
+#include "statechart/model.hpp"
+#include "uml/package.hpp"
+#include "usecase/model.hpp"
+
+namespace umlsoc::codegen {
+
+/// Class diagram of every classifier under `root` (classes, interfaces,
+/// enumerations, associations, generalizations, realizations).
+[[nodiscard]] std::string to_plantuml_class_diagram(uml::Package& root);
+
+/// Object diagram of the InstanceSpecifications under `root`.
+[[nodiscard]] std::string to_plantuml_object_diagram(uml::Package& root);
+
+/// Component diagram: components with provided/required interfaces.
+[[nodiscard]] std::string to_plantuml_component_diagram(uml::Package& root);
+
+/// Composite structure of one class: parts, ports, connectors.
+[[nodiscard]] std::string to_plantuml_structure_diagram(const uml::Class& cls);
+
+/// State machine diagram.
+[[nodiscard]] std::string to_plantuml_statechart(const statechart::StateMachine& machine);
+
+/// Activity diagram.
+[[nodiscard]] std::string to_plantuml_activity(const activity::Activity& activity);
+
+/// Sequence diagram.
+[[nodiscard]] std::string to_plantuml_sequence(const interaction::Interaction& interaction);
+
+/// Use case diagram.
+[[nodiscard]] std::string to_plantuml_use_cases(const usecase::UseCaseModel& model);
+
+}  // namespace umlsoc::codegen

@@ -1,0 +1,25 @@
+// Software C++ code generation from SW-platform PSM classes, including the
+// translation of ASL operation bodies into C++ statements (the xUML
+// "complete code generation" step of the MDA flow, paper §3).
+#pragma once
+
+#include <string>
+
+#include "support/diagnostics.hpp"
+#include "uml/types.hpp"
+
+namespace umlsoc::codegen {
+
+/// Translates an ASL program into C++ statement text (":=" to "=", "self."
+/// to "this->", "send T.sig(a)" to "send_signal(\"T\", \"sig\", {a})").
+/// Returns empty text (with diagnostics) on syntax errors.
+[[nodiscard]] std::string translate_asl_to_cpp(const std::string& asl_source,
+                                               support::DiagnosticSink& sink);
+
+/// Emits a C++ class for one SW PSM class: typed fields from properties
+/// (Integer/Word/Byte/Boolean/String map to fixed-width C++ types), method
+/// definitions with translated ASL bodies, and task metadata as comments.
+[[nodiscard]] std::string generate_sw_class(const uml::Class& cls,
+                                            support::DiagnosticSink& sink);
+
+}  // namespace umlsoc::codegen

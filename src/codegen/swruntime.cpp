@@ -1,0 +1,66 @@
+#include "codegen/swruntime.hpp"
+
+#include <stdexcept>
+
+namespace umlsoc::codegen {
+
+asl::Value BusMasterContext::get_attribute(const std::string& name) {
+  auto it = attributes_.find(name);
+  return it == attributes_.end() ? asl::Value{} : it->second;
+}
+
+void BusMasterContext::set_attribute(const std::string& name, asl::Value value) {
+  attributes_[name] = std::move(value);
+}
+
+void BusMasterContext::wait_for(const bool& done) {
+  // The bus completion is scheduled at now + latency; step simulated time
+  // forward in small quanta until it lands (clocks may keep the queue busy
+  // forever, so "run to idle" is not an option). The deadline accumulates
+  // independently of kernel.now(), which only advances when events run.
+  sim::SimTime deadline = kernel_.now();
+  for (int i = 0; i < 1000000 && !done; ++i) {
+    deadline = deadline + sim::SimTime::ns(1);
+    kernel_.run(deadline);
+    if (kernel_.idle() && !done) break;
+  }
+  if (!done) {
+    throw std::runtime_error("BusMasterContext: bus transaction never completed");
+  }
+}
+
+asl::Value BusMasterContext::call(const std::string& operation,
+                                  const std::vector<asl::Value>& arguments) {
+  if (operation == "bus_read") {
+    if (arguments.size() != 1) throw std::runtime_error("bus_read expects 1 argument");
+    bool done = false;
+    std::uint64_t result = 0;
+    bus_.read(static_cast<std::uint64_t>(arguments[0].as_int()),
+              [&done, &result](std::uint64_t value) {
+                result = value;
+                done = true;
+              });
+    wait_for(done);
+    return asl::Value{static_cast<std::int64_t>(result)};
+  }
+  if (operation == "bus_write") {
+    if (arguments.size() != 2) throw std::runtime_error("bus_write expects 2 arguments");
+    bool done = false;
+    bus_.write(static_cast<std::uint64_t>(arguments[0].as_int()),
+               static_cast<std::uint64_t>(arguments[1].as_int()), [&done] { done = true; });
+    wait_for(done);
+    return asl::Value{};
+  }
+  throw std::runtime_error("BusMasterContext: unknown operation '" + operation + "'");
+}
+
+void BusMasterContext::send_signal(const std::string& target, const std::string& signal,
+                                   const std::vector<asl::Value>& arguments) {
+  sent_signals_.push_back(SentSignal{target, signal, arguments});
+}
+
+std::optional<asl::Value> BusMasterContext::run(const std::string& asl_source) {
+  return asl::run_asl(asl_source, *this);
+}
+
+}  // namespace umlsoc::codegen

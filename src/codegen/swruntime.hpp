@@ -1,0 +1,52 @@
+// Software-side runtime: an ASL ObjectContext whose bus_read/bus_write
+// operations drive a sim::MemoryMappedBus synchronously. Together with
+// HwModuleSim this closes the executable MDA loop: generated driver code
+// (ASL bodies on the SW PSM) really talks to generated hardware models over
+// the simulated bus.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "asl/interpreter.hpp"
+#include "sim/bus.hpp"
+
+namespace umlsoc::codegen {
+
+class BusMasterContext : public asl::ObjectContext {
+ public:
+  BusMasterContext(sim::Kernel& kernel, sim::MemoryMappedBus& bus)
+      : kernel_(kernel), bus_(bus) {}
+
+  asl::Value get_attribute(const std::string& name) override;
+  void set_attribute(const std::string& name, asl::Value value) override;
+
+  /// Supports "bus_read(addr)" and "bus_write(addr, value)"; both block
+  /// (advance simulation time) until the bus transaction completes.
+  asl::Value call(const std::string& operation,
+                  const std::vector<asl::Value>& arguments) override;
+
+  void send_signal(const std::string& target, const std::string& signal,
+                   const std::vector<asl::Value>& arguments) override;
+
+  struct SentSignal {
+    std::string target;
+    std::string signal;
+    std::vector<asl::Value> arguments;
+  };
+  [[nodiscard]] const std::vector<SentSignal>& sent_signals() const { return sent_signals_; }
+
+  /// Runs an ASL source (a driver operation body) against this context.
+  std::optional<asl::Value> run(const std::string& asl_source);
+
+ private:
+  /// Advances simulation until `done` turns true (bounded; throws on hang).
+  void wait_for(const bool& done);
+
+  sim::Kernel& kernel_;
+  sim::MemoryMappedBus& bus_;
+  std::map<std::string, asl::Value> attributes_;
+  std::vector<SentSignal> sent_signals_;
+};
+
+}  // namespace umlsoc::codegen

@@ -1,0 +1,25 @@
+// SystemC-style C++ module text generation from hardware PSM components.
+// The emitted code targets umlsoc::sim (our SystemC-kernel substitute);
+// see codegen/hwmodel.hpp for the runtime-interpreted equivalent used by
+// the end-to-end experiments.
+#pragma once
+
+#include <string>
+
+#include "soc/profile.hpp"
+#include "support/diagnostics.hpp"
+
+namespace umlsoc::codegen {
+
+/// Emits a C++ class: one sim::Signal member per UML port, plain members
+/// with reset values per «Register» property, read_reg/write_reg decode
+/// methods honoring access modes, and a reset() method.
+[[nodiscard]] std::string generate_sim_module(const uml::Class& module,
+                                              const soc::SocProfile& profile,
+                                              support::DiagnosticSink& sink);
+
+/// Structural sanity check over generated C++: balanced braces/parens and
+/// the presence of the class declaration.
+bool check_cpp_structure(const std::string& text, support::DiagnosticSink& sink);
+
+}  // namespace umlsoc::codegen

@@ -1,0 +1,271 @@
+#include "codesign/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <optional>
+#include <stdexcept>
+
+namespace umlsoc::codesign {
+
+namespace {
+
+double partition_area(const TaskGraph& graph, const Partition& partition) {
+  double area = 0.0;
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    if (partition[i]) area += graph.tasks()[i].hw_area;
+  }
+  return area;
+}
+
+struct ScheduleOutput {
+  std::vector<double> start;
+  std::vector<double> finish;
+  double makespan = 0.0;
+};
+
+ScheduleOutput list_schedule(const TaskGraph& graph, const Partition& partition,
+                             const CostModel& model) {
+  std::optional<std::vector<std::size_t>> order = graph.graph().topological_order();
+  if (!order.has_value()) {
+    throw std::invalid_argument("codesign: task graph has a cycle");
+  }
+  ScheduleOutput out;
+  out.start.resize(graph.size(), 0.0);
+  out.finish.resize(graph.size(), 0.0);
+  double cpu_free = 0.0;
+
+  for (std::size_t task : *order) {
+    double ready = 0.0;
+    for (std::size_t pred : graph.graph().predecessors(task)) {
+      double arrival = out.finish[pred];
+      if (partition[pred] != partition[task]) {
+        arrival += graph.payload(pred, task) * model.boundary_penalty;
+      }
+      ready = std::max(ready, arrival);
+    }
+    const Task& info = graph.tasks()[task];
+    if (partition[task]) {
+      out.start[task] = ready;
+      out.finish[task] = ready + info.hw_cost;
+    } else {
+      out.start[task] = std::max(ready, cpu_free);
+      out.finish[task] = out.start[task] + info.sw_cost;
+      cpu_free = out.finish[task];
+    }
+    out.makespan = std::max(out.makespan, out.finish[task]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Evaluation evaluate(const TaskGraph& graph, const Partition& partition,
+                    const CostModel& model) {
+  Evaluation result;
+  result.area = partition_area(graph, partition);
+  result.feasible = model.area_budget <= 0.0 || result.area <= model.area_budget;
+  result.makespan = list_schedule(graph, partition, model).makespan;
+  return result;
+}
+
+std::vector<ScheduledTask> build_schedule(const TaskGraph& graph, const Partition& partition,
+                                          const CostModel& model) {
+  ScheduleOutput schedule = list_schedule(graph, partition, model);
+  std::vector<ScheduledTask> out;
+  out.reserve(graph.size());
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    out.push_back(ScheduledTask{graph.tasks()[i].name, partition[i] != false,
+                                schedule.start[i], schedule.finish[i]});
+  }
+  std::sort(out.begin(), out.end(), [](const ScheduledTask& a, const ScheduledTask& b) {
+    if (a.start != b.start) return a.start < b.start;
+    return a.name < b.name;
+  });
+  return out;
+}
+
+PartitionResult partition_all_software(const TaskGraph& graph, const CostModel& model) {
+  PartitionResult result;
+  result.algorithm = "all-sw";
+  result.partition.assign(graph.size(), false);
+  result.evaluation = evaluate(graph, result.partition, model);
+  result.evaluations = 1;
+  return result;
+}
+
+PartitionResult partition_all_hardware(const TaskGraph& graph, const CostModel& model) {
+  PartitionResult result;
+  result.algorithm = "all-hw";
+  result.partition.assign(graph.size(), true);
+  result.evaluation = evaluate(graph, result.partition, model);
+  result.evaluations = 1;
+  return result;
+}
+
+PartitionResult partition_greedy(const TaskGraph& graph, const CostModel& model) {
+  PartitionResult result;
+  result.algorithm = "greedy";
+  result.partition.assign(graph.size(), false);
+  result.evaluation = evaluate(graph, result.partition, model);
+  result.evaluations = 1;
+
+  std::vector<std::size_t> candidates(graph.size());
+  std::iota(candidates.begin(), candidates.end(), std::size_t{0});
+  std::sort(candidates.begin(), candidates.end(), [&](std::size_t a, std::size_t b) {
+    const Task& ta = graph.tasks()[a];
+    const Task& tb = graph.tasks()[b];
+    double gain_a = (ta.sw_cost - ta.hw_cost) / std::max(ta.hw_area, 1e-9);
+    double gain_b = (tb.sw_cost - tb.hw_cost) / std::max(tb.hw_area, 1e-9);
+    return gain_a > gain_b;
+  });
+
+  for (std::size_t task : candidates) {
+    Partition trial = result.partition;
+    trial[task] = true;
+    Evaluation trial_eval = evaluate(graph, trial, model);
+    ++result.evaluations;
+    if (!trial_eval.feasible) continue;
+    if (trial_eval.makespan <= result.evaluation.makespan) {
+      result.partition = std::move(trial);
+      result.evaluation = trial_eval;
+    }
+  }
+  return result;
+}
+
+PartitionResult partition_kl(const TaskGraph& graph, const CostModel& model) {
+  PartitionResult result;
+  result.algorithm = "kl";
+  result.partition.assign(graph.size(), false);
+  result.evaluation = evaluate(graph, result.partition, model);
+  result.evaluations = 1;
+
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    std::size_t best_flip = graph.size();
+    Evaluation best_eval = result.evaluation;
+    for (std::size_t task = 0; task < graph.size(); ++task) {
+      Partition trial = result.partition;
+      trial[task] = !trial[task];
+      Evaluation trial_eval = evaluate(graph, trial, model);
+      ++result.evaluations;
+      if (!trial_eval.feasible) continue;
+      if (trial_eval.makespan < best_eval.makespan) {
+        best_eval = trial_eval;
+        best_flip = task;
+      }
+    }
+    if (best_flip != graph.size()) {
+      result.partition[best_flip] = !result.partition[best_flip];
+      result.evaluation = best_eval;
+      improved = true;
+    }
+  }
+  return result;
+}
+
+PartitionResult partition_annealing(const TaskGraph& graph, const CostModel& model,
+                                    std::uint64_t seed, std::size_t iterations) {
+  PartitionResult result;
+  result.algorithm = "sa";
+  support::Rng rng(seed);
+
+  Partition current(graph.size(), false);
+  Evaluation current_eval = evaluate(graph, current, model);
+  result.partition = current;
+  result.evaluation = current_eval;
+  result.evaluations = 1;
+
+  if (graph.size() == 0) return result;
+
+  double temperature = std::max(1.0, graph.total_sw_cost() / 4.0);
+  const double cooling = std::pow(0.01 / temperature, 1.0 / static_cast<double>(iterations));
+
+  for (std::size_t i = 0; i < iterations; ++i) {
+    std::size_t task = static_cast<std::size_t>(rng.below(graph.size()));
+    Partition trial = current;
+    trial[task] = !trial[task];
+    Evaluation trial_eval = evaluate(graph, trial, model);
+    ++result.evaluations;
+
+    // Infeasible states are priced, not forbidden, so the walk can cross.
+    auto score = [&](const Evaluation& e) {
+      double over = model.area_budget > 0.0 ? std::max(0.0, e.area - model.area_budget) : 0.0;
+      return e.makespan + 10.0 * over;
+    };
+    double delta = score(trial_eval) - score(current_eval);
+    if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temperature)) {
+      current = std::move(trial);
+      current_eval = trial_eval;
+      if (current_eval.feasible &&
+          (!result.evaluation.feasible ||
+           current_eval.makespan < result.evaluation.makespan)) {
+        result.partition = current;
+        result.evaluation = current_eval;
+      }
+    }
+    temperature *= cooling;
+  }
+  return result;
+}
+
+PartitionResult partition_exhaustive(const TaskGraph& graph, const CostModel& model) {
+  if (graph.size() > 24) {
+    throw std::invalid_argument("codesign: exhaustive search limited to 24 tasks");
+  }
+  PartitionResult result;
+  result.algorithm = "exhaustive";
+  result.partition.assign(graph.size(), false);
+  result.evaluation = evaluate(graph, result.partition, model);
+  result.evaluations = 1;
+
+  const std::uint64_t combinations = 1ULL << graph.size();
+  for (std::uint64_t mask = 1; mask < combinations; ++mask) {
+    Partition trial(graph.size());
+    for (std::size_t i = 0; i < graph.size(); ++i) trial[i] = ((mask >> i) & 1) != 0;
+    Evaluation trial_eval = evaluate(graph, trial, model);
+    ++result.evaluations;
+    if (!trial_eval.feasible) continue;
+    if (!result.evaluation.feasible || trial_eval.makespan < result.evaluation.makespan) {
+      result.partition = std::move(trial);
+      result.evaluation = trial_eval;
+    }
+  }
+  return result;
+}
+
+std::vector<ParetoPoint> pareto_front(const TaskGraph& graph, const CostModel& model) {
+  if (graph.size() > 20) {
+    throw std::invalid_argument("codesign: Pareto enumeration limited to 20 tasks");
+  }
+  CostModel unconstrained = model;
+  unconstrained.area_budget = 0.0;  // The front itself explores all areas.
+
+  std::vector<ParetoPoint> points;
+  const std::uint64_t combinations = 1ULL << graph.size();
+  for (std::uint64_t mask = 0; mask < combinations; ++mask) {
+    Partition partition(graph.size());
+    for (std::size_t i = 0; i < graph.size(); ++i) partition[i] = ((mask >> i) & 1) != 0;
+    Evaluation eval = evaluate(graph, partition, unconstrained);
+    points.push_back(ParetoPoint{eval.area, eval.makespan, std::move(partition)});
+  }
+
+  std::sort(points.begin(), points.end(), [](const ParetoPoint& a, const ParetoPoint& b) {
+    if (a.area != b.area) return a.area < b.area;
+    return a.makespan < b.makespan;
+  });
+  std::vector<ParetoPoint> front;
+  double best_makespan = std::numeric_limits<double>::infinity();
+  for (ParetoPoint& point : points) {
+    if (point.makespan < best_makespan) {
+      best_makespan = point.makespan;
+      front.push_back(std::move(point));
+    }
+  }
+  return front;
+}
+
+}  // namespace umlsoc::codesign

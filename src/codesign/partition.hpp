@@ -1,0 +1,89 @@
+// HW/SW partitioning over a TaskGraph: cost model, schedule-based makespan
+// evaluation, and four algorithms (greedy ratio, Kernighan–Lin-style moves,
+// simulated annealing, exhaustive) compared in benchmark E10.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "codesign/taskgraph.hpp"
+#include "support/rng.hpp"
+
+namespace umlsoc::codesign {
+
+/// Mapping decision per task: true => hardware.
+using Partition = std::vector<bool>;
+
+struct CostModel {
+  /// Total gate budget for hardware tasks; 0 means unlimited.
+  double area_budget = 0.0;
+  /// Extra latency added per unit payload crossing the HW/SW boundary.
+  double boundary_penalty = 5.0;
+};
+
+struct Evaluation {
+  double makespan = 0.0;
+  double area = 0.0;
+  bool feasible = true;
+};
+
+/// List-schedule evaluation: hardware tasks run fully parallel (dataflow),
+/// software tasks serialize on one processor in topological order; edges
+/// crossing the boundary add payload * boundary_penalty latency.
+/// The task graph must be acyclic.
+[[nodiscard]] Evaluation evaluate(const TaskGraph& graph, const Partition& partition,
+                                  const CostModel& model);
+
+/// Per-task schedule from the same evaluation (for reports and examples).
+struct ScheduledTask {
+  std::string name;
+  bool hw = false;
+  double start = 0.0;
+  double finish = 0.0;
+};
+[[nodiscard]] std::vector<ScheduledTask> build_schedule(const TaskGraph& graph,
+                                                        const Partition& partition,
+                                                        const CostModel& model);
+
+struct PartitionResult {
+  Partition partition;
+  Evaluation evaluation;
+  std::uint64_t evaluations = 0;  // Cost-function invocations.
+  std::string algorithm;
+};
+
+[[nodiscard]] PartitionResult partition_all_software(const TaskGraph& graph,
+                                                     const CostModel& model);
+[[nodiscard]] PartitionResult partition_all_hardware(const TaskGraph& graph,
+                                                     const CostModel& model);
+
+/// Moves tasks to hardware by descending (sw_cost - hw_cost) / hw_area
+/// until the area budget is exhausted; keeps a move only if it helps.
+[[nodiscard]] PartitionResult partition_greedy(const TaskGraph& graph, const CostModel& model);
+
+/// Hill climbing with single-task flips until no flip improves (KL-style
+/// pass structure).
+[[nodiscard]] PartitionResult partition_kl(const TaskGraph& graph, const CostModel& model);
+
+/// Simulated annealing over random flips (geometric cooling); deterministic
+/// in `seed`.
+[[nodiscard]] PartitionResult partition_annealing(const TaskGraph& graph,
+                                                  const CostModel& model,
+                                                  std::uint64_t seed = 1,
+                                                  std::size_t iterations = 20000);
+
+/// Exact optimum by enumeration; requires graph.size() <= 24.
+[[nodiscard]] PartitionResult partition_exhaustive(const TaskGraph& graph,
+                                                   const CostModel& model);
+
+/// (area, makespan) Pareto front over all 2^n partitions (n <= 20).
+struct ParetoPoint {
+  double area = 0.0;
+  double makespan = 0.0;
+  Partition partition;
+};
+[[nodiscard]] std::vector<ParetoPoint> pareto_front(const TaskGraph& graph,
+                                                    const CostModel& model);
+
+}  // namespace umlsoc::codesign

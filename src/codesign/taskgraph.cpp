@@ -1,0 +1,78 @@
+#include "codesign/taskgraph.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace umlsoc::codesign {
+
+std::size_t TaskGraph::add_task(Task task) {
+  tasks_.push_back(std::move(task));
+  graph_.add_node();
+  return tasks_.size() - 1;
+}
+
+void TaskGraph::add_precedence(std::size_t from, std::size_t to, double payload) {
+  graph_.add_edge(from, to);
+  payloads_.emplace_back(from, to, payload);
+}
+
+double TaskGraph::payload(std::size_t from, std::size_t to) const {
+  for (const auto& [a, b, value] : payloads_) {
+    if (a == from && b == to) return value;
+  }
+  return 0.0;
+}
+
+double TaskGraph::total_sw_cost() const {
+  double total = 0;
+  for (const Task& task : tasks_) total += task.sw_cost;
+  return total;
+}
+
+double TaskGraph::total_hw_area() const {
+  double total = 0;
+  for (const Task& task : tasks_) total += task.hw_area;
+  return total;
+}
+
+TaskGraph extract_task_graph(const activity::Activity& activity) {
+  TaskGraph graph;
+  std::unordered_map<const activity::ActivityNode*, std::size_t> index;
+
+  for (const auto& node : activity.nodes()) {
+    if (node->node_kind() != activity::NodeKind::kAction) continue;
+    Task task;
+    task.name = node->name();
+    task.sw_cost = node->sw_latency();
+    task.hw_cost = node->hw_latency();
+    task.hw_area = node->hw_area();
+    task.source = node.get();
+    index[node.get()] = graph.add_task(std::move(task));
+  }
+
+  // For each action, walk forward through non-action nodes to the next
+  // actions; each reached action is a direct successor.
+  for (const auto& node : activity.nodes()) {
+    if (node->node_kind() != activity::NodeKind::kAction) continue;
+    std::unordered_set<const activity::ActivityNode*> seen;
+    std::vector<const activity::ActivityNode*> frontier;
+    for (const activity::ActivityEdge* edge : node->outgoing()) {
+      frontier.push_back(&edge->target());
+    }
+    while (!frontier.empty()) {
+      const activity::ActivityNode* current = frontier.back();
+      frontier.pop_back();
+      if (!seen.insert(current).second) continue;
+      if (current->node_kind() == activity::NodeKind::kAction) {
+        graph.add_precedence(index.at(node.get()), index.at(current), 1.0);
+        continue;  // Stop at the first action on this path.
+      }
+      for (const activity::ActivityEdge* edge : current->outgoing()) {
+        frontier.push_back(&edge->target());
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace umlsoc::codesign

@@ -1,0 +1,49 @@
+// Task graphs for HW/SW codesign, extracted from activity diagrams
+// (paper §1/§4: UML-based codesign with "inherent interchangeability
+// between hardware and software"). Action nodes become tasks carrying the
+// sw/hw cost annotations; control structure collapses to precedence edges.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "activity/model.hpp"
+#include "support/graph.hpp"
+
+namespace umlsoc::codesign {
+
+struct Task {
+  std::string name;
+  double sw_cost = 1.0;   // Execution cycles on the processor.
+  double hw_cost = 1.0;   // Execution cycles as a hardware block.
+  double hw_area = 1.0;   // Gate cost when implemented in hardware.
+  const activity::ActivityNode* source = nullptr;
+};
+
+/// Precedence graph over tasks. Edges carry a communication payload used to
+/// price HW<->SW boundary crossings.
+class TaskGraph {
+ public:
+  std::size_t add_task(Task task);
+  void add_precedence(std::size_t from, std::size_t to, double payload = 1.0);
+
+  [[nodiscard]] const std::vector<Task>& tasks() const { return tasks_; }
+  [[nodiscard]] const support::Digraph& graph() const { return graph_; }
+  [[nodiscard]] double payload(std::size_t from, std::size_t to) const;
+  [[nodiscard]] std::size_t size() const { return tasks_.size(); }
+
+  [[nodiscard]] double total_sw_cost() const;
+  [[nodiscard]] double total_hw_area() const;
+
+ private:
+  std::vector<Task> tasks_;
+  support::Digraph graph_;
+  std::vector<std::tuple<std::size_t, std::size_t, double>> payloads_;
+};
+
+/// Builds the task graph of `activity`: one task per action node; a
+/// precedence a->b whenever b is reachable from a through non-action nodes
+/// only. The activity must be acyclic over its actions.
+[[nodiscard]] TaskGraph extract_task_graph(const activity::Activity& activity);
+
+}  // namespace umlsoc::codesign

@@ -1,0 +1,40 @@
+#include "interaction/from_trace.hpp"
+
+namespace umlsoc::interaction {
+
+std::optional<ParsedLabel> parse_label(const std::string& label) {
+  const std::size_t arrow = label.find("->");
+  if (arrow == std::string::npos || arrow == 0) return std::nullopt;
+  const std::size_t colon = label.find(':', arrow + 2);
+  if (colon == std::string::npos || colon == arrow + 2 || colon + 1 >= label.size()) {
+    return std::nullopt;
+  }
+  ParsedLabel parsed;
+  parsed.from = label.substr(0, arrow);
+  parsed.to = label.substr(arrow + 2, colon - arrow - 2);
+  parsed.message = label.substr(colon + 1);
+  return parsed;
+}
+
+std::unique_ptr<Interaction> interaction_from_trace(const std::string& name,
+                                                    const Trace& trace,
+                                                    std::size_t* skipped) {
+  auto diagram = std::make_unique<Interaction>(name);
+  std::size_t skip_count = 0;
+  for (const std::string& label : trace) {
+    std::optional<ParsedLabel> parsed = parse_label(label);
+    if (!parsed.has_value()) {
+      ++skip_count;
+      continue;
+    }
+    Lifeline* from = diagram->find_lifeline(parsed->from);
+    if (from == nullptr) from = &diagram->add_lifeline(parsed->from);
+    Lifeline* to = diagram->find_lifeline(parsed->to);
+    if (to == nullptr) to = &diagram->add_lifeline(parsed->to);
+    diagram->add_message(*from, *to, parsed->message);
+  }
+  if (skipped != nullptr) *skipped = skip_count;
+  return diagram;
+}
+
+}  // namespace umlsoc::interaction

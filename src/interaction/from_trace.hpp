@@ -1,0 +1,29 @@
+// Building sequence diagrams from observed traces (the reverse direction:
+// execution -> documentation), and trace-label parsing helpers.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "interaction/trace.hpp"
+
+namespace umlsoc::interaction {
+
+/// Parsed form of a canonical event label "From->To:message".
+struct ParsedLabel {
+  std::string from;
+  std::string to;
+  std::string message;
+};
+
+/// Parses "A->B:msg"; nullopt when the label is not in canonical form.
+[[nodiscard]] std::optional<ParsedLabel> parse_label(const std::string& label);
+
+/// Converts an observed trace into an Interaction: lifelines are created on
+/// first use (in order of appearance), each label becomes one async message.
+/// Labels that do not parse are skipped and counted in `skipped` (when
+/// non-null). The result trivially satisfies conforms(trace).
+[[nodiscard]] std::unique_ptr<Interaction> interaction_from_trace(
+    const std::string& name, const Trace& trace, std::size_t* skipped = nullptr);
+
+}  // namespace umlsoc::interaction

@@ -1,0 +1,348 @@
+#include "interaction/trace.hpp"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace umlsoc::interaction {
+
+namespace {
+
+// --- Enumeration ----------------------------------------------------------------
+
+class Enumerator {
+ public:
+  explicit Enumerator(const EnumerateOptions& options) : options_(options) {}
+
+  [[nodiscard]] bool truncated() const { return truncated_; }
+
+  std::vector<Trace> list(const std::vector<std::unique_ptr<Fragment>>& fragments) {
+    std::vector<Trace> acc{{}};
+    for (const auto& fragment : fragments) {
+      acc = concat_product(acc, one(*fragment));
+    }
+    return acc;
+  }
+
+ private:
+  std::vector<Trace> one(const Fragment& fragment) {
+    if (fragment.fragment_kind() == FragmentKind::kMessage) {
+      return {{fragment.label()}};
+    }
+    switch (fragment.combined_operator()) {
+      case InteractionOperator::kAlt: {
+        std::vector<Trace> acc;
+        for (const auto& operand : fragment.operands()) {
+          append_capped(acc, list(operand->fragments()));
+        }
+        return acc;
+      }
+      case InteractionOperator::kOpt: {
+        std::vector<Trace> acc{{}};
+        if (!fragment.operands().empty()) {
+          append_capped(acc, list(fragment.operands().front()->fragments()));
+        }
+        return acc;
+      }
+      case InteractionOperator::kStrict: {
+        std::vector<Trace> acc{{}};
+        for (const auto& operand : fragment.operands()) {
+          acc = concat_product(acc, list(operand->fragments()));
+        }
+        return acc;
+      }
+      case InteractionOperator::kLoop: {
+        if (fragment.operands().empty()) return {{}};
+        std::vector<Trace> body = list(fragment.operands().front()->fragments());
+        int lo = std::max(0, fragment.loop_min());
+        int hi = fragment.loop_max() < 0 ? std::max(lo, options_.loop_unroll)
+                                         : fragment.loop_max();
+        std::vector<Trace> acc;
+        std::vector<Trace> power{{}};  // body^k, growing k.
+        for (int k = 0; k <= hi; ++k) {
+          if (k >= lo) append_capped(acc, power);
+          if (k < hi) power = concat_product(power, body);
+        }
+        return acc;
+      }
+      case InteractionOperator::kPar: {
+        std::vector<Trace> acc{{}};
+        for (const auto& operand : fragment.operands()) {
+          std::vector<Trace> operand_traces = list(operand->fragments());
+          std::vector<Trace> merged;
+          for (const Trace& left : acc) {
+            for (const Trace& right : operand_traces) {
+              interleave(left, right, merged);
+              if (merged.size() >= options_.max_traces) truncated_ = true;
+            }
+          }
+          dedup(merged);
+          acc = std::move(merged);
+          if (acc.size() > options_.max_traces) {
+            acc.resize(options_.max_traces);
+            truncated_ = true;
+          }
+        }
+        return acc;
+      }
+    }
+    return {{}};
+  }
+
+  std::vector<Trace> concat_product(const std::vector<Trace>& left,
+                                    const std::vector<Trace>& right) {
+    std::vector<Trace> out;
+    out.reserve(std::min(left.size() * right.size(), options_.max_traces));
+    for (const Trace& a : left) {
+      for (const Trace& b : right) {
+        if (out.size() >= options_.max_traces) {
+          truncated_ = true;
+          return out;
+        }
+        Trace joined = a;
+        joined.insert(joined.end(), b.begin(), b.end());
+        out.push_back(std::move(joined));
+      }
+    }
+    return out;
+  }
+
+  void append_capped(std::vector<Trace>& acc, const std::vector<Trace>& more) {
+    for (const Trace& trace : more) {
+      if (acc.size() >= options_.max_traces) {
+        truncated_ = true;
+        return;
+      }
+      acc.push_back(trace);
+    }
+  }
+
+  void interleave(const Trace& left, const Trace& right, std::vector<Trace>& out) {
+    Trace current;
+    current.reserve(left.size() + right.size());
+    interleave_rec(left, 0, right, 0, current, out);
+  }
+
+  void interleave_rec(const Trace& left, std::size_t i, const Trace& right, std::size_t j,
+                      Trace& current, std::vector<Trace>& out) {
+    if (out.size() >= options_.max_traces) {
+      truncated_ = true;
+      return;
+    }
+    if (i == left.size() && j == right.size()) {
+      out.push_back(current);
+      return;
+    }
+    if (i < left.size()) {
+      current.push_back(left[i]);
+      interleave_rec(left, i + 1, right, j, current, out);
+      current.pop_back();
+    }
+    if (j < right.size()) {
+      current.push_back(right[j]);
+      interleave_rec(left, i, right, j + 1, current, out);
+      current.pop_back();
+    }
+  }
+
+  static void dedup(std::vector<Trace>& traces) {
+    std::sort(traces.begin(), traces.end());
+    traces.erase(std::unique(traces.begin(), traces.end()), traces.end());
+  }
+
+  const EnumerateOptions& options_;
+  bool truncated_ = false;
+};
+
+// --- Conformance matcher -----------------------------------------------------------
+
+using Positions = std::set<std::size_t>;
+
+class Matcher {
+ public:
+  Matcher(const Trace& trace, bool prefix_mode) : trace_(trace), prefix_(prefix_mode) {}
+
+  Positions list(const std::vector<std::unique_ptr<Fragment>>& fragments, Positions in) {
+    for (const auto& fragment : fragments) {
+      if (in.empty()) return in;
+      in = one(*fragment, in);
+    }
+    return in;
+  }
+
+ private:
+  [[nodiscard]] std::size_t n() const { return trace_.size(); }
+
+  Positions one(const Fragment& fragment, const Positions& in) {
+    if (fragment.fragment_kind() == FragmentKind::kMessage) {
+      Positions out;
+      const std::string label = fragment.label();
+      for (std::size_t p : in) {
+        if (p == n()) {
+          if (prefix_) out.insert(n());  // Beyond the observed prefix.
+        } else if (trace_[p] == label) {
+          out.insert(p + 1);
+        }
+      }
+      return out;
+    }
+    switch (fragment.combined_operator()) {
+      case InteractionOperator::kAlt: {
+        Positions out;
+        for (const auto& operand : fragment.operands()) {
+          Positions branch = list(operand->fragments(), in);
+          out.insert(branch.begin(), branch.end());
+        }
+        return out;
+      }
+      case InteractionOperator::kOpt: {
+        Positions out = in;
+        if (!fragment.operands().empty()) {
+          Positions taken = list(fragment.operands().front()->fragments(), in);
+          out.insert(taken.begin(), taken.end());
+        }
+        return out;
+      }
+      case InteractionOperator::kStrict: {
+        Positions out = in;
+        for (const auto& operand : fragment.operands()) {
+          out = list(operand->fragments(), out);
+        }
+        return out;
+      }
+      case InteractionOperator::kLoop: {
+        if (fragment.operands().empty()) return in;
+        const auto& body = fragment.operands().front()->fragments();
+        const int lo = std::max(0, fragment.loop_min());
+        const int hi = fragment.loop_max();
+
+        Positions acc;
+        if (lo == 0) acc = in;
+        Positions current = in;
+        Positions previous;
+        const int limit = hi < 0 ? lo + static_cast<int>(n()) + 2 : hi;
+        for (int iteration = 1; iteration <= limit; ++iteration) {
+          previous = current;
+          current = list(body, current);
+          if (iteration >= lo) acc.insert(current.begin(), current.end());
+          if (current.empty()) break;
+          if (iteration > lo && current == previous) break;  // Fixpoint.
+        }
+        return acc;
+      }
+      case InteractionOperator::kPar: {
+        // Bounded local search: enumerate each operand's traces with loops
+        // unrolled to the remaining trace length, then check interleavings.
+        EnumerateOptions options;
+        options.loop_unroll = static_cast<int>(n());
+        options.max_traces = 4096;
+        Enumerator enumerator(options);
+        std::vector<std::vector<Trace>> operand_traces;
+        for (const auto& operand : fragment.operands()) {
+          operand_traces.push_back(enumerator.list(operand->fragments()));
+        }
+        Positions out;
+        for (std::size_t p : in) {
+          match_par(operand_traces, p, out);
+        }
+        return out;
+      }
+    }
+    return in;
+  }
+
+  /// Adds to `out` every position reachable by consuming an interleaving of
+  /// one trace per operand, starting at `p`.
+  void match_par(const std::vector<std::vector<Trace>>& operand_traces, std::size_t p,
+                 Positions& out) {
+    for (const auto& traces : operand_traces) {
+      if (traces.empty()) return;  // An operand with no traces blocks the par.
+    }
+    // Choose one trace per operand (product), then DP-match the interleaving.
+    std::vector<std::size_t> choice(operand_traces.size(), 0);
+    for (;;) {
+      std::vector<const Trace*> chosen;
+      chosen.reserve(choice.size());
+      for (std::size_t i = 0; i < choice.size(); ++i) {
+        chosen.push_back(&operand_traces[i][choice[i]]);
+      }
+      interleaving_match(chosen, p, out);
+
+      // Next combination.
+      std::size_t index = 0;
+      while (index < choice.size()) {
+        if (++choice[index] < operand_traces[index].size()) break;
+        choice[index] = 0;
+        ++index;
+      }
+      if (index == choice.size()) return;
+      if (operand_traces.empty()) return;
+    }
+  }
+
+  void interleaving_match(const std::vector<const Trace*>& sequences, std::size_t start,
+                          Positions& out) {
+    std::set<std::vector<std::size_t>> visited;
+    std::vector<std::vector<std::size_t>> frontier{std::vector<std::size_t>(sequences.size(), 0)};
+    visited.insert(frontier.front());
+
+    while (!frontier.empty()) {
+      std::vector<std::size_t> state = std::move(frontier.back());
+      frontier.pop_back();
+
+      std::size_t consumed = 0;
+      bool all_done = true;
+      for (std::size_t i = 0; i < sequences.size(); ++i) {
+        consumed += state[i];
+        if (state[i] < sequences[i]->size()) all_done = false;
+      }
+      std::size_t position = start + consumed;
+      if (all_done) {
+        out.insert(position);
+        continue;
+      }
+      if (position == n()) {
+        if (prefix_) out.insert(n());  // Remaining events lie past the prefix.
+        continue;
+      }
+      for (std::size_t i = 0; i < sequences.size(); ++i) {
+        if (state[i] < sequences[i]->size() && (*sequences[i])[state[i]] == trace_[position]) {
+          std::vector<std::size_t> next = state;
+          ++next[i];
+          if (visited.insert(next).second) frontier.push_back(std::move(next));
+        }
+      }
+    }
+  }
+
+  const Trace& trace_;
+  bool prefix_;
+};
+
+}  // namespace
+
+EnumerationResult enumerate_traces(const Interaction& interaction,
+                                   const EnumerateOptions& options) {
+  Enumerator enumerator(options);
+  EnumerationResult result;
+  result.traces = enumerator.list(interaction.fragments());
+  if (result.traces.size() > options.max_traces) {
+    result.traces.resize(options.max_traces);
+  }
+  result.truncated = enumerator.truncated();
+  return result;
+}
+
+bool ConformanceChecker::conforms(const Trace& trace) const {
+  Matcher matcher(trace, /*prefix_mode=*/false);
+  Positions out = matcher.list(interaction_.fragments(), Positions{0});
+  return out.contains(trace.size());
+}
+
+bool ConformanceChecker::is_prefix(const Trace& trace) const {
+  Matcher matcher(trace, /*prefix_mode=*/true);
+  Positions out = matcher.list(interaction_.fragments(), Positions{0});
+  return out.contains(trace.size());
+}
+
+}  // namespace umlsoc::interaction

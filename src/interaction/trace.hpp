@@ -1,0 +1,53 @@
+// Trace semantics for interactions: enumeration of the denoted trace set and
+// membership checking of observed execution traces (MSC conformance).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "interaction/model.hpp"
+
+namespace umlsoc::interaction {
+
+/// An observed or denoted run: a sequence of message labels ("A->B:msg").
+using Trace = std::vector<std::string>;
+
+struct EnumerateOptions {
+  /// Hard cap on the number of generated traces; enumeration stops and sets
+  /// `truncated` once reached (alt/par nesting is exponential by design —
+  /// benchmark E5 measures exactly that blowup).
+  std::size_t max_traces = 1024;
+  /// Unroll bound for loops whose max is unbounded.
+  int loop_unroll = 3;
+};
+
+struct EnumerationResult {
+  std::vector<Trace> traces;
+  bool truncated = false;
+};
+
+/// Expands the interaction into its denoted trace set (bounded).
+[[nodiscard]] EnumerationResult enumerate_traces(const Interaction& interaction,
+                                                 const EnumerateOptions& options = {});
+
+/// Membership check without full enumeration: a position-set (NFA-style)
+/// matcher that handles alt/opt/strict and unbounded loops in polynomial
+/// time; `par` blocks fall back to bounded interleaving search local to the
+/// block. Loops nested inside `par` are unrolled up to the remaining trace
+/// length, which is exact for membership purposes.
+class ConformanceChecker {
+ public:
+  explicit ConformanceChecker(const Interaction& interaction) : interaction_(interaction) {}
+
+  /// True when `trace` is one of the interaction's denoted traces.
+  [[nodiscard]] bool conforms(const Trace& trace) const;
+
+  /// True when `trace` is a prefix of some denoted trace (useful for
+  /// checking unfinished executions).
+  [[nodiscard]] bool is_prefix(const Trace& trace) const;
+
+ private:
+  const Interaction& interaction_;
+};
+
+}  // namespace umlsoc::interaction

@@ -1,0 +1,34 @@
+#include "mda/platform.hpp"
+
+namespace umlsoc::mda {
+
+std::string_view to_string(PlatformKind kind) {
+  switch (kind) {
+    case PlatformKind::kSoftware:
+      return "software";
+    case PlatformKind::kHardware:
+      return "hardware";
+  }
+  return "software";
+}
+
+PlatformDescription PlatformDescription::software() {
+  PlatformDescription platform;
+  platform.name = "cxx-tasks";
+  platform.kind = PlatformKind::kSoftware;
+  platform.parameters["language"] = "c++";
+  platform.parameters["scheduler"] = "priority";
+  return platform;
+}
+
+PlatformDescription PlatformDescription::hardware() {
+  PlatformDescription platform;
+  platform.name = "axi-rtl";
+  platform.kind = PlatformKind::kHardware;
+  platform.parameters["bus_base"] = "0x40000000";
+  platform.parameters["module_stride"] = "0x1000";
+  platform.parameters["protocol"] = "axi-lite";
+  return platform;
+}
+
+}  // namespace umlsoc::mda

@@ -1,0 +1,34 @@
+// Platform descriptions for the MDA mapping step (paper §3: a PIM "is to be
+// more or less automatically transformed to a PSM for a different platform
+// using a platform-specific mapping").
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace umlsoc::mda {
+
+enum class PlatformKind { kSoftware, kHardware };
+
+[[nodiscard]] std::string_view to_string(PlatformKind kind);
+
+/// Named target platform plus free-form parameters consumed by the mapping
+/// (e.g. "bus_base", "module_stride" for hardware; "scheduler" for software).
+struct PlatformDescription {
+  std::string name;
+  PlatformKind kind = PlatformKind::kSoftware;
+  std::map<std::string, std::string> parameters;
+
+  [[nodiscard]] std::string parameter(const std::string& key, std::string fallback) const {
+    auto it = parameters.find(key);
+    return it == parameters.end() ? std::move(fallback) : it->second;
+  }
+
+  /// Canned software platform: C++ tasks over a priority scheduler.
+  [[nodiscard]] static PlatformDescription software();
+  /// Canned hardware platform: memory-mapped RTL modules on an AXI-lite bus.
+  [[nodiscard]] static PlatformDescription hardware();
+};
+
+}  // namespace umlsoc::mda

@@ -1,0 +1,60 @@
+// PIM -> PSM transformation engine.
+//
+// Mappings implemented (DESIGN.md E7):
+//  * Software platform: plain/«SwTask» classes become active task classes;
+//    «HwModule» classes become driver classes (register-address constants +
+//    read_*/write_* accessor operations with ASL bodies); associations
+//    become navigable reference properties on the end classes.
+//  * Hardware platform: plain/«HwModule» classes become «HwModule»
+//    components with clk/rst_n ports and auto-assigned register addresses;
+//    «SwTask» classes are dropped (they live on the processor, not in RTL);
+//    a synthesized Top component instantiates every module plus an AXI-lite
+//    «Bus» and wires connectors; a memory map assigns each module a base
+//    address window.
+// Every created element is recorded as a PIM->PSM trace link.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mda/platform.hpp"
+#include "soc/profile.hpp"
+#include "support/diagnostics.hpp"
+
+namespace umlsoc::mda {
+
+/// One PIM element mapped to one PSM element by a named rule.
+struct TraceLink {
+  std::string pim_element;  // Qualified name in the PIM.
+  std::string psm_element;  // Qualified name in the PSM.
+  std::string rule;
+};
+
+/// Address window of one hardware module on the generated bus.
+struct MemoryWindow {
+  std::string module;  // PSM qualified name.
+  std::uint64_t base = 0;
+  std::uint64_t span = 0;
+};
+
+struct MdaResult {
+  std::unique_ptr<uml::Model> psm;
+  std::vector<TraceLink> links;
+  std::vector<MemoryWindow> memory_map;  // Hardware platform only.
+
+  [[nodiscard]] const TraceLink* find_link_for(const std::string& pim_element) const {
+    for (const TraceLink& link : links) {
+      if (link.pim_element == pim_element) return &link;
+    }
+    return nullptr;
+  }
+};
+
+/// Transforms `pim` for `platform` (dispatching on platform.kind).
+/// The PIM is not modified. Returns a null psm on hard errors.
+[[nodiscard]] MdaResult transform(const uml::Model& pim, const PlatformDescription& platform,
+                                  support::DiagnosticSink& sink);
+
+}  // namespace umlsoc::mda

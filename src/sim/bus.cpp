@@ -1,0 +1,48 @@
+#include "sim/bus.hpp"
+
+namespace umlsoc::sim {
+
+void MemoryMappedBus::map_device(std::string device_name, std::uint64_t base,
+                                 std::uint64_t size, ReadHandler read, WriteHandler write) {
+  windows_.push_back(Window{std::move(device_name), base, size, std::move(read),
+                            std::move(write)});
+}
+
+const MemoryMappedBus::Window* MemoryMappedBus::find_window(std::uint64_t address) const {
+  for (const Window& window : windows_) {
+    if (address >= window.base && address - window.base < window.size) return &window;
+  }
+  return nullptr;
+}
+
+void MemoryMappedBus::read(std::uint64_t address, std::function<void(std::uint64_t)> done) {
+  ++reads_;
+  const Window* window = find_window(address);
+  if (window == nullptr || window->read == nullptr) {
+    ++errors_;
+    kernel_.schedule(latency_, [done] { done(kBusError); });
+    return;
+  }
+  // Capture by value: the device is consulted at completion time, modeling
+  // the data phase at the end of the bus transaction.
+  const Window* target = window;
+  kernel_.schedule(latency_, [target, address, done] { done(target->read(address)); });
+}
+
+void MemoryMappedBus::write(std::uint64_t address, std::uint64_t value,
+                            std::function<void()> done) {
+  ++writes_;
+  const Window* window = find_window(address);
+  if (window == nullptr || window->write == nullptr) {
+    ++errors_;
+    if (done != nullptr) kernel_.schedule(latency_, done);
+    return;
+  }
+  const Window* target = window;
+  kernel_.schedule(latency_, [target, address, value, done] {
+    target->write(address, value);
+    if (done != nullptr) done();
+  });
+}
+
+}  // namespace umlsoc::sim

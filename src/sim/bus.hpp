@@ -1,0 +1,65 @@
+// Simple memory-mapped bus with latency: the TLM-style blocking-transport
+// substitute. Devices register address windows; masters issue reads/writes
+// that complete (callbacks) after the bus latency.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "sim/kernel.hpp"
+
+namespace umlsoc::sim {
+
+class MemoryMappedBus {
+ public:
+  using ReadHandler = std::function<std::uint64_t(std::uint64_t address)>;
+  using WriteHandler = std::function<void(std::uint64_t address, std::uint64_t value)>;
+
+  MemoryMappedBus(Kernel& kernel, std::string name, SimTime latency)
+      : kernel_(kernel), name_(std::move(name)), latency_(latency) {}
+
+  /// Maps [base, base+size) to the handlers. Windows must not overlap
+  /// (checked on access: first match wins, registration order).
+  void map_device(std::string device_name, std::uint64_t base, std::uint64_t size,
+                  ReadHandler read, WriteHandler write);
+
+  /// Non-blocking master read; `done` fires after the bus latency with the
+  /// device's value. Unmapped addresses complete with kBusError.
+  void read(std::uint64_t address, std::function<void(std::uint64_t)> done);
+
+  /// Non-blocking master write; optional `done` fires after the latency.
+  void write(std::uint64_t address, std::uint64_t value,
+             std::function<void()> done = nullptr);
+
+  static constexpr std::uint64_t kBusError = ~0ULL;
+
+  [[nodiscard]] std::uint64_t reads() const { return reads_; }
+  [[nodiscard]] std::uint64_t writes() const { return writes_; }
+  [[nodiscard]] std::uint64_t errors() const { return errors_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  struct Window {
+    std::string device_name;
+    std::uint64_t base;
+    std::uint64_t size;
+    ReadHandler read;
+    WriteHandler write;
+  };
+
+  [[nodiscard]] const Window* find_window(std::uint64_t address) const;
+
+  Kernel& kernel_;
+  std::string name_;
+  SimTime latency_;
+  // deque: element addresses stay stable across map_device calls (the
+  // completion callbacks capture Window pointers).
+  std::deque<Window> windows_;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+  std::uint64_t errors_ = 0;
+};
+
+}  // namespace umlsoc::sim

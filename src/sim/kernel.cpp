@@ -1,0 +1,85 @@
+#include "sim/kernel.hpp"
+
+#include <stdexcept>
+
+namespace umlsoc::sim {
+
+std::string SimTime::str() const {
+  if (ps_ % 1000000 == 0) return std::to_string(ps_ / 1000000) + "us";
+  if (ps_ % 1000 == 0) return std::to_string(ps_ / 1000) + "ns";
+  return std::to_string(ps_) + "ps";
+}
+
+SimEvent::SimEvent(Kernel& kernel, std::string name)
+    : kernel_(kernel), name_(std::move(name)) {}
+
+void SimEvent::notify() {
+  for (const auto& subscriber : subscribers_) kernel_.schedule_delta(subscriber);
+}
+
+void SimEvent::notify(SimTime delay) {
+  for (const auto& subscriber : subscribers_) kernel_.schedule(delay, subscriber);
+}
+
+void SimEvent::subscribe(std::function<void()> callback) {
+  subscribers_.push_back(std::move(callback));
+}
+
+void Kernel::schedule(SimTime delay, std::function<void()> callback) {
+  timed_queue_.push(TimedEntry{now_ + delay, ++sequence_, std::move(callback)});
+}
+
+void Kernel::schedule_delta(std::function<void()> callback) {
+  next_runnable_.push_back(std::move(callback));
+}
+
+void Kernel::request_update(Updatable& target) { update_requests_.push_back(&target); }
+
+void Kernel::run_delta_loop() {
+  std::uint64_t deltas_here = 0;
+  while (!runnable_.empty()) {
+    if (++deltas_here > kMaxDeltasPerInstant) {
+      throw std::runtime_error("sim: delta limit exceeded at " + now_.str() +
+                               " (combinational loop?)");
+    }
+    ++delta_count_;
+    // EVALUATE.
+    std::vector<std::function<void()>> current;
+    current.swap(runnable_);
+    for (const auto& callback : current) {
+      callback();
+      ++events_processed_;
+    }
+    // UPDATE.
+    std::vector<Updatable*> updates;
+    updates.swap(update_requests_);
+    for (Updatable* target : updates) target->update();
+    // Notifications raised during evaluate/update become the next delta.
+    runnable_.swap(next_runnable_);
+    next_runnable_.clear();
+  }
+}
+
+std::uint64_t Kernel::run(SimTime end) {
+  const std::uint64_t processed_before = events_processed_;
+
+  // Immediate notifications issued before run() seed the first delta.
+  runnable_.swap(next_runnable_);
+  next_runnable_.clear();
+  run_delta_loop();
+
+  while (!timed_queue_.empty()) {
+    SimTime next_time = timed_queue_.top().at;
+    if (next_time > end) break;
+    now_ = next_time;
+    while (!timed_queue_.empty() && timed_queue_.top().at == now_) {
+      // priority_queue::top() is const; the callback is moved out via pop.
+      runnable_.push_back(timed_queue_.top().callback);
+      timed_queue_.pop();
+    }
+    run_delta_loop();
+  }
+  return events_processed_ - processed_before;
+}
+
+}  // namespace umlsoc::sim

@@ -1,0 +1,140 @@
+// Discrete-event simulation kernel ("miniSysC"): the SystemC-testbed
+// substitution from DESIGN.md. Implements the two-phase evaluate/update
+// delta-cycle scheduler that SystemC-style generated code relies on:
+//
+//   while events pending:
+//     advance time to the earliest event, collect its callbacks
+//     repeat (delta cycles):
+//       EVALUATE: run all runnable processes
+//       UPDATE:   apply pending signal updates; value changes notify
+//                 sensitive processes into the next delta
+//     until no process is runnable at the current time
+//
+// Processes are callbacks (no threads/coroutines); "waiting" is expressed by
+// sensitivity to events or by self-rescheduling with a delay.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+namespace umlsoc::sim {
+
+/// Simulation time in picoseconds.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::uint64_t picoseconds) : ps_(picoseconds) {}
+
+  [[nodiscard]] static constexpr SimTime ps(std::uint64_t v) { return SimTime(v); }
+  [[nodiscard]] static constexpr SimTime ns(std::uint64_t v) { return SimTime(v * 1000); }
+  [[nodiscard]] static constexpr SimTime us(std::uint64_t v) { return SimTime(v * 1000000); }
+  [[nodiscard]] static constexpr SimTime max() {
+    return SimTime(std::numeric_limits<std::uint64_t>::max());
+  }
+
+  [[nodiscard]] constexpr std::uint64_t picoseconds() const { return ps_; }
+  [[nodiscard]] std::string str() const;
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) { return SimTime(a.ps_ + b.ps_); }
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+ private:
+  std::uint64_t ps_ = 0;
+};
+
+class Kernel;
+
+/// Notification primitive. Processes subscribe; notify() wakes them in the
+/// next delta cycle, notify(delay) at a later time.
+class SimEvent {
+ public:
+  explicit SimEvent(Kernel& kernel, std::string name = "");
+  SimEvent(const SimEvent&) = delete;
+  SimEvent& operator=(const SimEvent&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Immediate (next-delta) notification.
+  void notify();
+  /// Timed notification.
+  void notify(SimTime delay);
+
+  /// Persistent subscription: `callback` runs on every notification.
+  void subscribe(std::function<void()> callback);
+
+ private:
+  friend class Kernel;
+
+  Kernel& kernel_;
+  std::string name_;
+  std::vector<std::function<void()>> subscribers_;
+};
+
+/// Base for update-phase participants (signals).
+class Updatable {
+ public:
+  virtual ~Updatable() = default;
+  virtual void update() = 0;
+};
+
+/// The scheduler.
+class Kernel {
+ public:
+  Kernel() = default;
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] std::uint64_t delta_count() const { return delta_count_; }
+  [[nodiscard]] std::uint64_t events_processed() const { return events_processed_; }
+
+  /// Schedules `callback` to run `delay` after the current time (a delay of
+  /// zero runs at the current time but in a later delta batch).
+  void schedule(SimTime delay, std::function<void()> callback);
+
+  /// Runs `callback` in the next delta cycle's evaluate phase.
+  void schedule_delta(std::function<void()> callback);
+
+  /// Registers a signal update for the current delta's update phase.
+  void request_update(Updatable& target);
+
+  /// Runs until the event queue drains or `end` is passed. Returns the
+  /// number of callbacks executed. Stops (throwing std::runtime_error) if a
+  /// single timestamp exceeds the delta limit (combinational loop guard).
+  std::uint64_t run(SimTime end = SimTime::max());
+
+  /// True when nothing remains scheduled.
+  [[nodiscard]] bool idle() const { return timed_queue_.empty() && runnable_.empty(); }
+
+  static constexpr std::uint64_t kMaxDeltasPerInstant = 10000;
+
+ private:
+  struct TimedEntry {
+    SimTime at;
+    std::uint64_t sequence;
+    std::function<void()> callback;
+
+    bool operator>(const TimedEntry& other) const {
+      if (at != other.at) return at > other.at;
+      return sequence > other.sequence;
+    }
+  };
+
+  void run_delta_loop();
+
+  SimTime now_;
+  std::uint64_t sequence_ = 0;
+  std::uint64_t delta_count_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::priority_queue<TimedEntry, std::vector<TimedEntry>, std::greater<>> timed_queue_;
+  std::vector<std::function<void()>> runnable_;
+  std::vector<std::function<void()>> next_runnable_;
+  std::vector<Updatable*> update_requests_;
+};
+
+}  // namespace umlsoc::sim

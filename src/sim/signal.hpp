@@ -1,0 +1,135 @@
+// Signals with delta-cycle update semantics, and a free-running clock.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <utility>
+
+#include "sim/kernel.hpp"
+
+namespace umlsoc::sim {
+
+/// SystemC-style signal: writes are visible only after the update phase of
+/// the delta cycle in which they were made; a real value change notifies
+/// the value_changed event (waking sensitive processes next delta).
+template <typename T>
+class Signal final : public Updatable {
+ public:
+  Signal(Kernel& kernel, std::string name, T initial = T{})
+      : kernel_(kernel),
+        name_(std::move(name)),
+        current_(initial),
+        next_(initial),
+        value_changed_(kernel, name_ + ".changed") {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const T& read() const { return current_; }
+
+  void write(const T& value) {
+    next_ = value;
+    if (!update_pending_) {
+      update_pending_ = true;
+      kernel_.request_update(*this);
+    }
+  }
+
+  /// Event fired whenever the committed value actually changes.
+  [[nodiscard]] SimEvent& value_changed() { return value_changed_; }
+
+  [[nodiscard]] std::uint64_t change_count() const { return change_count_; }
+
+  void update() override {
+    update_pending_ = false;
+    if (next_ != current_) {
+      current_ = next_;
+      ++change_count_;
+      value_changed_.notify();
+    }
+  }
+
+ private:
+  Kernel& kernel_;
+  std::string name_;
+  T current_;
+  T next_;
+  SimEvent value_changed_;
+  bool update_pending_ = false;
+  std::uint64_t change_count_ = 0;
+};
+
+/// Free-running clock: a bool signal toggling every half period.
+class Clock {
+ public:
+  Clock(Kernel& kernel, std::string name, SimTime period)
+      : kernel_(kernel), signal_(kernel, std::move(name), false), half_period_(period.picoseconds() / 2) {
+    schedule_toggle();
+  }
+
+  [[nodiscard]] Signal<bool>& signal() { return signal_; }
+  /// Fires on every rising edge (false -> true commit).
+  [[nodiscard]] SimEvent& posedge() { return signal_.value_changed(); }
+  [[nodiscard]] bool high() const { return signal_.read(); }
+
+ private:
+  void schedule_toggle() {
+    kernel_.schedule(SimTime(half_period_), [this] {
+      signal_.write(!signal_.read());
+      schedule_toggle();
+    });
+  }
+
+  Kernel& kernel_;
+  Signal<bool> signal_;
+  std::uint64_t half_period_;
+};
+
+/// Bounded FIFO channel with data/space events (the non-blocking face of
+/// sc_fifo; generated SW/HW bridges poll or subscribe).
+template <typename T>
+class Fifo {
+ public:
+  Fifo(Kernel& kernel, std::string name, std::size_t capacity)
+      : name_(std::move(name)),
+        capacity_(capacity),
+        data_available_(kernel, name_ + ".data"),
+        space_available_(kernel, name_ + ".space") {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] bool full() const { return items_.size() >= capacity_; }
+
+  bool nb_write(const T& value) {
+    if (full()) return false;
+    items_.push_back(value);
+    ++writes_;
+    data_available_.notify();
+    return true;
+  }
+
+  bool nb_read(T& out) {
+    if (empty()) return false;
+    out = items_.front();
+    items_.pop_front();
+    ++reads_;
+    space_available_.notify();
+    return true;
+  }
+
+  [[nodiscard]] SimEvent& data_available() { return data_available_; }
+  [[nodiscard]] SimEvent& space_available() { return space_available_; }
+  [[nodiscard]] std::uint64_t writes() const { return writes_; }
+  [[nodiscard]] std::uint64_t reads() const { return reads_; }
+
+ private:
+  std::string name_;
+  std::size_t capacity_;
+  std::deque<T> items_;
+  SimEvent data_available_;
+  SimEvent space_available_;
+  std::uint64_t writes_ = 0;
+  std::uint64_t reads_ = 0;
+};
+
+}  // namespace umlsoc::sim

@@ -1,0 +1,22 @@
+#include "sim/trace.hpp"
+
+namespace umlsoc::sim {
+
+void Tracer::record(const std::string& signal, std::string value) {
+  records_.push_back(Record{kernel_->now().picoseconds(), signal, std::move(value)});
+}
+
+std::string Tracer::dump() const {
+  std::string out;
+  for (const Record& record : records_) {
+    out += std::to_string(record.time_ps);
+    out += ' ';
+    out += record.signal;
+    out += '=';
+    out += record.value;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace umlsoc::sim

@@ -1,0 +1,51 @@
+// VCD-like text tracing of signal changes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/signal.hpp"
+
+namespace umlsoc::sim {
+
+/// Collects (time, signal, value) records; dump() renders a waveform-ish
+/// text log ("<time> <name>=<value>"), one line per change.
+class Tracer {
+ public:
+  explicit Tracer(Kernel& kernel) : kernel_(&kernel) {}
+
+  /// Starts tracing `signal`; its current value is recorded immediately.
+  template <typename T>
+  void trace(Signal<T>& signal) {
+    record(signal.name(), value_text(signal.read()));
+    Kernel* kernel = kernel_;
+    (void)kernel;
+    signal.value_changed().subscribe(
+        [this, &signal] { record(signal.name(), value_text(signal.read())); });
+  }
+
+  struct Record {
+    std::uint64_t time_ps;
+    std::string signal;
+    std::string value;
+  };
+
+  [[nodiscard]] const std::vector<Record>& records() const { return records_; }
+  [[nodiscard]] std::string dump() const;
+  [[nodiscard]] std::size_t change_count() const { return records_.size(); }
+
+ private:
+  static std::string value_text(bool v) { return v ? "1" : "0"; }
+  static std::string value_text(char v) { return std::string(1, v); }
+  template <typename T>
+  static std::string value_text(const T& v) {
+    return std::to_string(v);
+  }
+
+  void record(const std::string& signal, std::string value);
+
+  Kernel* kernel_;
+  std::vector<Record> records_;
+};
+
+}  // namespace umlsoc::sim

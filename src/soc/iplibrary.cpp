@@ -1,0 +1,235 @@
+#include "soc/iplibrary.hpp"
+
+#include "uml/instance.hpp"
+
+namespace umlsoc::soc {
+
+IpLibrary::IpLibrary() {
+  catalog_ = std::make_unique<uml::Model>("IpLibrary");
+  profile_ = SocProfile::install(*catalog_);
+}
+
+void IpLibrary::register_ip(uml::Component& component) {
+  component.apply_stereotype(*profile_.ip_core);
+  ips_.push_back(&component);
+}
+
+uml::Component* IpLibrary::find_ip(std::string_view name) const {
+  for (uml::Component* ip : ips_) {
+    if (ip->name() == name) return ip;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> IpLibrary::ip_names() const {
+  std::vector<std::string> names;
+  names.reserve(ips_.size());
+  for (const uml::Component* ip : ips_) names.push_back(ip->name());
+  return names;
+}
+
+namespace {
+
+/// Interns `type` (by name) into the target model when it is a primitive;
+/// other classifier kinds cannot be carried across models.
+uml::Classifier* rebind_type(const uml::Classifier* type, uml::Model& target) {
+  if (type == nullptr) return nullptr;
+  if (const auto* primitive = dynamic_cast<const uml::PrimitiveType*>(type)) {
+    return &target.primitive(primitive->name(), primitive->bit_width());
+  }
+  return nullptr;
+}
+
+/// Re-applies the source element's stereotypes (matched by name) from the
+/// target model's SoC profile, copying all tagged values.
+void rebind_stereotypes(const uml::Element& source, uml::Element& copy,
+                        const SocProfile& target_profile) {
+  for (const uml::StereotypeApplication& application : source.stereotype_applications()) {
+    uml::Stereotype* target_stereotype =
+        target_profile.profile->find_stereotype(application.stereotype->name());
+    if (target_stereotype == nullptr) continue;
+    copy.apply_stereotype(*target_stereotype);
+    for (const auto& [key, value] : application.tagged_values) {
+      copy.set_tagged_value(*target_stereotype, key, value);
+    }
+  }
+}
+
+}  // namespace
+
+uml::Component* IpLibrary::instantiate(std::string_view ip_name, uml::Model& target_model,
+                                       uml::Package& package, std::string instance_name,
+                                       support::DiagnosticSink& sink) {
+  uml::Component* source = find_ip(ip_name);
+  if (source == nullptr) {
+    sink.error("IpLibrary", "unknown IP core '" + std::string(ip_name) + "'");
+    return nullptr;
+  }
+  SocProfile target_profile = SocProfile::install(target_model);
+
+  uml::Component& copy = package.add_component(std::move(instance_name));
+  copy.set_documentation(source->documentation());
+  copy.set_active(source->is_active());
+  rebind_stereotypes(*source, copy, target_profile);
+
+  for (const auto& property : source->properties()) {
+    uml::Property& property_copy = copy.add_property(property->name());
+    if (uml::Classifier* type = rebind_type(property->type(), target_model)) {
+      property_copy.set_type(*type);
+    } else if (property->type() != nullptr) {
+      sink.warning(property_copy.qualified_name(),
+                   "non-primitive property type '" + property->type()->name() +
+                       "' not carried across models");
+    }
+    property_copy.set_multiplicity(property->multiplicity());
+    property_copy.set_default_value(property->default_value());
+    property_copy.set_read_only(property->is_read_only());
+    rebind_stereotypes(*property, property_copy, target_profile);
+  }
+
+  for (const auto& operation : source->operations()) {
+    uml::Operation& operation_copy = copy.add_operation(operation->name());
+    operation_copy.set_body(operation->body());
+    operation_copy.set_query(operation->is_query());
+    for (const auto& parameter : operation->parameters()) {
+      uml::Parameter& parameter_copy =
+          operation_copy.add_parameter(parameter->name(), nullptr, parameter->direction());
+      if (uml::Classifier* type = rebind_type(parameter->type(), target_model)) {
+        parameter_copy.set_type(*type);
+      }
+      parameter_copy.set_default_value(parameter->default_value());
+    }
+  }
+
+  for (const auto& port : source->ports()) {
+    uml::Port& port_copy = copy.add_port(port->name(), port->direction());
+    port_copy.set_width(port->width());
+    port_copy.set_service(port->is_service());
+    if (uml::Classifier* type = rebind_type(port->type(), target_model)) {
+      port_copy.set_type(*type);
+    }
+    rebind_stereotypes(*port, port_copy, target_profile);
+  }
+
+  return &copy;
+}
+
+void IpLibrary::add_standard_ips() {
+  uml::Package& cores = catalog_->add_package("cores");
+  uml::PrimitiveType& bit = catalog_->primitive("Bit", 1);
+  uml::PrimitiveType& byte = catalog_->primitive("Byte", 8);
+  uml::PrimitiveType& word = catalog_->primitive("Word", 32);
+
+  auto add_register = [&](uml::Component& component, const char* name, const char* address,
+                          const char* access) -> uml::Property& {
+    uml::Property& reg = component.add_property(name, &word);
+    reg.apply_stereotype(*profile_.hw_register);
+    reg.set_tagged_value(*profile_.hw_register, "address", address);
+    reg.set_tagged_value(*profile_.hw_register, "access", access);
+    return reg;
+  };
+
+  // --- Uart -------------------------------------------------------------------
+  {
+    uml::Component& uart = cores.add_component("Uart");
+    uart.set_documentation("8N1 UART with fixed divisor and status register");
+    uart.apply_stereotype(*profile_.hw_module);
+    uart.set_tagged_value(*profile_.hw_module, "clockMHz", "50");
+    uart.set_tagged_value(*profile_.hw_module, "areaGates", "1200");
+    add_register(uart, "tx_data", "0x00", "w");
+    add_register(uart, "rx_data", "0x04", "r");
+    add_register(uart, "status", "0x08", "r");
+    add_register(uart, "divisor", "0x0C", "rw");
+    uart.add_port("clk", uml::PortDirection::kIn).apply_stereotype(*profile_.clock);
+    uart.add_port("rst_n", uml::PortDirection::kIn);
+    uart.add_port("rx", uml::PortDirection::kIn).set_type(bit);
+    uart.add_port("tx", uml::PortDirection::kOut).set_type(bit);
+    uml::Operation& send = uart.add_operation("send");
+    send.add_parameter("value", &byte);
+    send.set_body("self.tx_data := value; self.status := 1;");
+    uml::Operation& receive = uart.add_operation("receive");
+    receive.set_return_type(byte);
+    receive.set_body("self.status := 0; return self.rx_data;");
+    register_ip(uart);
+  }
+
+  // --- SpiMaster ---------------------------------------------------------------
+  {
+    uml::Component& spi = cores.add_component("SpiMaster");
+    spi.set_documentation("Mode-0 SPI master, single chip select");
+    spi.apply_stereotype(*profile_.hw_module);
+    spi.set_tagged_value(*profile_.hw_module, "clockMHz", "100");
+    spi.set_tagged_value(*profile_.hw_module, "areaGates", "900");
+    add_register(spi, "data", "0x00", "rw");
+    add_register(spi, "ctrl", "0x04", "rw");
+    spi.add_port("clk", uml::PortDirection::kIn).apply_stereotype(*profile_.clock);
+    spi.add_port("mosi", uml::PortDirection::kOut).set_type(bit);
+    spi.add_port("miso", uml::PortDirection::kIn).set_type(bit);
+    spi.add_port("sclk", uml::PortDirection::kOut).set_type(bit);
+    spi.add_port("cs_n", uml::PortDirection::kOut).set_type(bit);
+    uml::Operation& transfer = spi.add_operation("transfer");
+    transfer.add_parameter("value", &byte);
+    transfer.set_return_type(byte);
+    transfer.set_body("self.data := value; self.ctrl := 1; return self.data;");
+    register_ip(spi);
+  }
+
+  // --- Timer -----------------------------------------------------------------------
+  {
+    uml::Component& timer = cores.add_component("Timer");
+    timer.set_documentation("32-bit down-counter with auto-reload and IRQ");
+    timer.apply_stereotype(*profile_.hw_module);
+    timer.set_tagged_value(*profile_.hw_module, "clockMHz", "100");
+    timer.set_tagged_value(*profile_.hw_module, "areaGates", "600");
+    add_register(timer, "load", "0x00", "rw");
+    add_register(timer, "value", "0x04", "r");
+    add_register(timer, "ctrl", "0x08", "rw");
+    timer.add_port("clk", uml::PortDirection::kIn).apply_stereotype(*profile_.clock);
+    timer.add_port("irq", uml::PortDirection::kOut).set_type(bit);
+    uml::Operation& start = timer.add_operation("start");
+    start.add_parameter("ticks", &word);
+    start.set_body("self.load := ticks; self.value := ticks; self.ctrl := 1;");
+    register_ip(timer);
+  }
+
+  // --- DmaEngine ------------------------------------------------------------------
+  {
+    uml::Component& dma = cores.add_component("DmaEngine");
+    dma.set_documentation("Single-channel memory-to-memory DMA");
+    dma.apply_stereotype(*profile_.hw_module);
+    dma.set_tagged_value(*profile_.hw_module, "clockMHz", "200");
+    dma.set_tagged_value(*profile_.hw_module, "areaGates", "3500");
+    add_register(dma, "src", "0x00", "rw");
+    add_register(dma, "dst", "0x04", "rw");
+    add_register(dma, "len", "0x08", "rw");
+    add_register(dma, "ctrl", "0x0C", "rw");
+    dma.add_port("clk", uml::PortDirection::kIn).apply_stereotype(*profile_.clock);
+    dma.add_port("done_irq", uml::PortDirection::kOut).set_type(bit);
+    uml::Operation& kick = dma.add_operation("kick");
+    kick.add_parameter("source", &word);
+    kick.add_parameter("destination", &word);
+    kick.add_parameter("length", &word);
+    kick.set_body(
+        "self.src := source; self.dst := destination; self.len := length; self.ctrl := 1;");
+    register_ip(dma);
+  }
+
+  // --- AxiLiteBus --------------------------------------------------------------------
+  {
+    uml::Component& axi = cores.add_component("AxiLiteBus");
+    axi.set_documentation("Single-master AXI-lite style interconnect");
+    axi.apply_stereotype(*profile_.bus);
+    axi.set_tagged_value(*profile_.bus, "width", "32");
+    axi.set_tagged_value(*profile_.bus, "latency_ns", "8");
+    axi.add_port("clk", uml::PortDirection::kIn).apply_stereotype(*profile_.clock);
+    uml::Operation& read = axi.add_operation("read");
+    read.add_parameter("address", &word);
+    read.set_return_type(word);
+    uml::Operation& write = axi.add_operation("write");
+    write.add_parameter("address", &word);
+    write.add_parameter("value", &word);
+    register_ip(axi);
+  }
+}
+
+}  // namespace umlsoc::soc

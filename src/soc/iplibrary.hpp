@@ -1,0 +1,51 @@
+// IP core library: reusable «IpCore» components and their instantiation
+// into user models (paper §1: "better reuse and integration of IPs").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "soc/profile.hpp"
+#include "support/diagnostics.hpp"
+
+namespace umlsoc::soc {
+
+/// Owns a catalog model full of «IpCore» components; instantiate() deep-
+/// copies one into a target model, re-binding types and stereotypes to the
+/// target's primitives and profile.
+class IpLibrary {
+ public:
+  IpLibrary();
+  IpLibrary(const IpLibrary&) = delete;
+  IpLibrary& operator=(const IpLibrary&) = delete;
+
+  [[nodiscard]] uml::Model& catalog() { return *catalog_; }
+  [[nodiscard]] const SocProfile& profile() const { return profile_; }
+
+  /// Registers a component of the catalog under its name.
+  void register_ip(uml::Component& component);
+  [[nodiscard]] uml::Component* find_ip(std::string_view name) const;
+  [[nodiscard]] std::vector<std::string> ip_names() const;
+
+  /// Deep-copies the named IP into `package` of `target_model` under
+  /// `instance_name`. Ports, properties (registers incl. tags), operations
+  /// with parameters and ASL bodies, and stereotype applications are
+  /// copied; primitive types are interned into the target model. Returns
+  /// nullptr (with diagnostics) when the IP is unknown.
+  uml::Component* instantiate(std::string_view ip_name, uml::Model& target_model,
+                              uml::Package& package, std::string instance_name,
+                              support::DiagnosticSink& sink);
+
+  /// Populates the catalog with the standard cores: Uart, SpiMaster,
+  /// Timer, DmaEngine, AxiLiteBus.
+  void add_standard_ips();
+
+ private:
+  std::unique_ptr<uml::Model> catalog_;
+  SocProfile profile_;
+  std::vector<uml::Component*> ips_;
+};
+
+}  // namespace umlsoc::soc

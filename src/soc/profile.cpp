@@ -1,0 +1,152 @@
+#include "soc/profile.hpp"
+
+#include <cstdlib>
+
+namespace umlsoc::soc {
+
+namespace {
+
+double parse_double(const std::string& text, double fallback) {
+  if (text.empty()) return fallback;
+  char* end = nullptr;
+  double value = std::strtod(text.c_str(), &end);
+  return end == text.c_str() ? fallback : value;
+}
+
+int parse_int(const std::string& text, int fallback) {
+  if (text.empty()) return fallback;
+  char* end = nullptr;
+  long value = std::strtol(text.c_str(), &end, 10);
+  return end == text.c_str() ? fallback : static_cast<int>(value);
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> parse_address(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  char* end = nullptr;
+  std::uint64_t value = std::strtoull(text.c_str(), &end, 0);  // Base 0: 0x ok.
+  if (end == text.c_str() || *end != '\0') return std::nullopt;
+  return value;
+}
+
+SocProfile SocProfile::install(uml::Model& model) {
+  if (std::optional<SocProfile> existing = find(model)) return *existing;
+
+  SocProfile p;
+  p.profile = &model.add_profile("SoC");
+
+  auto make = [&](const char* name,
+                  std::initializer_list<uml::ElementKind> extends) -> uml::Stereotype& {
+    uml::Stereotype& stereotype = p.profile->add_stereotype(name);
+    for (uml::ElementKind kind : extends) stereotype.add_extended_metaclass(kind);
+    return stereotype;
+  };
+
+  p.hw_module = &make("HwModule", {uml::ElementKind::kClass, uml::ElementKind::kComponent});
+  p.hw_module->add_tag_definition("clockMHz", "100");
+  p.hw_module->add_tag_definition("areaGates", "0");
+  p.hw_module->add_tag_definition("technology", "generic");
+
+  p.sw_task = &make("SwTask", {uml::ElementKind::kClass});
+  p.sw_task->add_tag_definition("priority", "5");
+  p.sw_task->add_tag_definition("period_us", "0");
+  p.sw_task->add_tag_definition("processor", "cpu0");
+
+  p.processor = &make("Processor", {uml::ElementKind::kClass});
+  p.processor->add_tag_definition("mips", "100");
+  p.processor->add_tag_definition("cores", "1");
+
+  p.memory = &make("Memory", {uml::ElementKind::kClass});
+  p.memory->add_tag_definition("size_kb", "64");
+  p.memory->add_tag_definition("base", "0x0");
+
+  p.bus = &make("Bus", {uml::ElementKind::kClass, uml::ElementKind::kComponent,
+                        uml::ElementKind::kAssociation});
+  p.bus->add_tag_definition("width", "32");
+  p.bus->add_tag_definition("latency_ns", "10");
+  p.bus->add_tag_definition("protocol", "axi-lite");
+
+  p.ip_core = &make("IpCore", {uml::ElementKind::kClass, uml::ElementKind::kComponent});
+  p.ip_core->add_tag_definition("vendor", "umlsoc");
+  p.ip_core->add_tag_definition("version", "1.0");
+
+  p.hw_register = &make("Register", {uml::ElementKind::kProperty});
+  p.hw_register->add_tag_definition("address", "0x0");
+  p.hw_register->add_tag_definition("access", "rw");
+  p.hw_register->add_tag_definition("reset", "0");
+
+  p.clock = &make("Clock", {uml::ElementKind::kPort, uml::ElementKind::kProperty});
+  p.clock->add_tag_definition("freqMHz", "100");
+
+  p.channel = &make("Channel", {uml::ElementKind::kAssociation, uml::ElementKind::kConnector});
+  p.channel->add_tag_definition("depth", "1");
+
+  p.allocate = &make("Allocate", {uml::ElementKind::kDependency});
+  p.allocate->add_tag_definition("target", "");
+
+  model.apply_profile(*p.profile);
+  return p;
+}
+
+std::optional<SocProfile> SocProfile::find(const uml::Model& model) {
+  for (const auto& member : model.members()) {
+    auto* profile = dynamic_cast<uml::Profile*>(member.get());
+    if (profile == nullptr || profile->name() != "SoC") continue;
+
+    SocProfile p;
+    p.profile = profile;
+    p.hw_module = profile->find_stereotype("HwModule");
+    p.sw_task = profile->find_stereotype("SwTask");
+    p.processor = profile->find_stereotype("Processor");
+    p.memory = profile->find_stereotype("Memory");
+    p.bus = profile->find_stereotype("Bus");
+    p.ip_core = profile->find_stereotype("IpCore");
+    p.hw_register = profile->find_stereotype("Register");
+    p.clock = profile->find_stereotype("Clock");
+    p.channel = profile->find_stereotype("Channel");
+    p.allocate = profile->find_stereotype("Allocate");
+    if (p.hw_module == nullptr || p.sw_task == nullptr) return std::nullopt;
+    return p;
+  }
+  return std::nullopt;
+}
+
+double SocProfile::clock_mhz(const uml::Element& element) const {
+  return parse_double(element.tagged_value(*hw_module, "clockMHz"), 100.0);
+}
+
+double SocProfile::area_gates(const uml::Element& element) const {
+  return parse_double(element.tagged_value(*hw_module, "areaGates"), 0.0);
+}
+
+int SocProfile::sw_priority(const uml::Element& element) const {
+  return parse_int(element.tagged_value(*sw_task, "priority"), 5);
+}
+
+double SocProfile::processor_mips(const uml::Element& element) const {
+  return parse_double(element.tagged_value(*processor, "mips"), 100.0);
+}
+
+int SocProfile::bus_width(const uml::Element& element) const {
+  return parse_int(element.tagged_value(*bus, "width"), 32);
+}
+
+double SocProfile::bus_latency_ns(const uml::Element& element) const {
+  return parse_double(element.tagged_value(*bus, "latency_ns"), 10.0);
+}
+
+std::optional<std::uint64_t> SocProfile::register_address(const uml::Property& reg) const {
+  return parse_address(reg.tagged_value(*hw_register, "address"));
+}
+
+std::string SocProfile::register_access(const uml::Property& reg) const {
+  std::string access = reg.tagged_value(*hw_register, "access");
+  return access.empty() ? "rw" : access;
+}
+
+std::string SocProfile::allocation_target(const uml::Dependency& dependency) const {
+  return dependency.tagged_value(*allocate, "target");
+}
+
+}  // namespace umlsoc::soc

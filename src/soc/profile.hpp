@@ -1,0 +1,53 @@
+// The UML-for-SoC profile (paper §2/§4: "to apply UML to SoC design, it is
+// important to define such a domain specific subset of the UML and its
+// semantics"). Installs the stereotypes that give hardware meaning to UML
+// elements, and typed accessors over their tagged values.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "uml/package.hpp"
+
+namespace umlsoc::soc {
+
+/// Handle to the installed profile's stereotypes. Create via install().
+struct SocProfile {
+  uml::Profile* profile = nullptr;
+
+  uml::Stereotype* hw_module = nullptr;   // «HwModule»  : Class/Component
+  uml::Stereotype* sw_task = nullptr;     // «SwTask»    : Class
+  uml::Stereotype* processor = nullptr;   // «Processor» : Class
+  uml::Stereotype* memory = nullptr;      // «Memory»    : Class
+  uml::Stereotype* bus = nullptr;         // «Bus»       : Class/Component/Association
+  uml::Stereotype* ip_core = nullptr;     // «IpCore»    : Class/Component
+  uml::Stereotype* hw_register = nullptr; // «Register»  : Property
+  uml::Stereotype* clock = nullptr;       // «Clock»     : Port/Property
+  uml::Stereotype* channel = nullptr;     // «Channel»   : Association/Connector
+  uml::Stereotype* allocate = nullptr;    // «Allocate»  : Dependency
+
+  /// Creates the profile inside `model` and applies it. Idempotent: a
+  /// second call returns the already-installed profile.
+  static SocProfile install(uml::Model& model);
+
+  /// Rebinds to an existing "SoC" profile (e.g. after deserialization).
+  static std::optional<SocProfile> find(const uml::Model& model);
+
+  // --- Typed tag accessors (fall back to defaults on unparsable text) -------
+  [[nodiscard]] double clock_mhz(const uml::Element& element) const;
+  [[nodiscard]] double area_gates(const uml::Element& element) const;
+  [[nodiscard]] int sw_priority(const uml::Element& element) const;
+  [[nodiscard]] double processor_mips(const uml::Element& element) const;
+  [[nodiscard]] int bus_width(const uml::Element& element) const;
+  [[nodiscard]] double bus_latency_ns(const uml::Element& element) const;
+  [[nodiscard]] std::optional<std::uint64_t> register_address(const uml::Property& reg) const;
+  [[nodiscard]] std::string register_access(const uml::Property& reg) const;
+  /// "hw" or "sw" for an «Allocate» dependency; empty when untagged.
+  [[nodiscard]] std::string allocation_target(const uml::Dependency& dependency) const;
+};
+
+/// Parses a decimal or 0x-prefixed hexadecimal unsigned literal.
+[[nodiscard]] std::optional<std::uint64_t> parse_address(const std::string& text);
+
+}  // namespace umlsoc::soc

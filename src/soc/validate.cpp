@@ -1,0 +1,120 @@
+#include "soc/validate.hpp"
+
+#include <map>
+
+#include "uml/query.hpp"
+
+namespace umlsoc::soc {
+
+namespace {
+
+bool is_access_mode(const std::string& access) {
+  return access == "r" || access == "w" || access == "rw";
+}
+
+}  // namespace
+
+bool validate_soc(uml::Model& model, const SocProfile& profile,
+                  support::DiagnosticSink& sink) {
+  const std::size_t errors_before = sink.error_count();
+
+  for (uml::Class* cls : uml::collect<uml::Class>(model)) {
+    const bool is_hw = cls->has_stereotype(*profile.hw_module);
+    const bool is_sw = cls->has_stereotype(*profile.sw_task);
+    const bool is_cpu = cls->has_stereotype(*profile.processor);
+
+    if (is_hw && is_sw) {
+      sink.error(cls->qualified_name(), "class is both «HwModule» and «SwTask»");
+    }
+
+    if (is_hw) {
+      if (profile.clock_mhz(*cls) <= 0) {
+        sink.error(cls->qualified_name(), "«HwModule» clockMHz must be positive");
+      }
+      for (const auto& port : cls->ports()) {
+        if (port->direction() == uml::PortDirection::kInOut &&
+            !port->has_stereotype(*profile.clock)) {
+          sink.warning(port->qualified_name(),
+                       "«HwModule» port without direction (inout) is not synthesizable");
+        }
+      }
+      // Register addresses: parsable, unique within the module.
+      std::map<std::uint64_t, std::string> used_addresses;
+      for (const auto& property : cls->properties()) {
+        if (!property->has_stereotype(*profile.hw_register)) continue;
+        std::optional<std::uint64_t> address = profile.register_address(*property);
+        if (!address.has_value()) {
+          sink.error(property->qualified_name(), "«Register» address is not parsable");
+          continue;
+        }
+        auto [it, inserted] = used_addresses.emplace(*address, property->name());
+        if (!inserted) {
+          sink.error(property->qualified_name(),
+                     "«Register» address collides with '" + it->second + "'");
+        }
+        if (!is_access_mode(profile.register_access(*property))) {
+          sink.error(property->qualified_name(),
+                     "«Register» access must be one of r, w, rw");
+        }
+      }
+    }
+
+    if (is_sw && !cls->is_active()) {
+      sink.warning(cls->qualified_name(),
+                   "«SwTask» classes are expected to be active (own a thread of control)");
+    }
+    if (is_sw && profile.sw_priority(*cls) < 0) {
+      sink.error(cls->qualified_name(), "«SwTask» priority must be non-negative");
+    }
+    if (is_cpu && profile.processor_mips(*cls) <= 0) {
+      sink.error(cls->qualified_name(), "«Processor» mips must be positive");
+    }
+    if (cls->has_stereotype(*profile.bus)) {
+      if (profile.bus_latency_ns(*cls) <= 0) {
+        sink.error(cls->qualified_name(), "«Bus» latency_ns must be positive");
+      }
+      const int width = profile.bus_width(*cls);
+      if (width != 8 && width != 16 && width != 32 && width != 64 && width != 128) {
+        sink.warning(cls->qualified_name(),
+                     "«Bus» width " + std::to_string(width) + " is unusual");
+      }
+    }
+
+    // Registers on non-HW classes are meaningless.
+    if (!is_hw) {
+      for (const auto& property : cls->properties()) {
+        if (property->has_stereotype(*profile.hw_register)) {
+          sink.error(property->qualified_name(),
+                     "«Register» requires the owning class to be a «HwModule»");
+        }
+      }
+    }
+  }
+
+  for (uml::Dependency* dependency : uml::collect<uml::Dependency>(model)) {
+    if (!dependency->has_stereotype(*profile.allocate)) continue;
+    const std::string target = profile.allocation_target(*dependency);
+    if (target != "hw" && target != "sw") {
+      sink.error(dependency->qualified_name(),
+                 "«Allocate» target must be 'hw' or 'sw', got '" + target + "'");
+      continue;
+    }
+    auto* supplier = dynamic_cast<uml::Class*>(dependency->supplier());
+    if (supplier == nullptr) {
+      sink.warning(dependency->qualified_name(), "«Allocate» supplier is not a class");
+      continue;
+    }
+    if (target == "sw" && !supplier->has_stereotype(*profile.processor)) {
+      sink.warning(dependency->qualified_name(),
+                   "software allocation should target a «Processor»");
+    }
+    if (target == "hw" && !supplier->has_stereotype(*profile.hw_module)) {
+      sink.warning(dependency->qualified_name(),
+                   "hardware allocation should target a «HwModule»");
+    }
+  }
+
+  return sink.error_count() == errors_before;
+}
+
+}  // namespace umlsoc::soc

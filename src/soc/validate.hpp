@@ -1,0 +1,15 @@
+// Well-formedness rules of the SoC profile, layered on top of uml::validate.
+#pragma once
+
+#include "soc/profile.hpp"
+#include "support/diagnostics.hpp"
+
+namespace umlsoc::soc {
+
+/// Checks profile-specific constraints: register placement/addresses,
+/// port directions on hardware modules, allocation targets, bus/processor
+/// parameters. Returns true when no errors were reported.
+bool validate_soc(uml::Model& model, const SocProfile& profile,
+                  support::DiagnosticSink& sink);
+
+}  // namespace umlsoc::soc

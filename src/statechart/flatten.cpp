@@ -1,0 +1,185 @@
+#include "statechart/flatten.hpp"
+
+#include <unordered_map>
+
+#include "statechart/interpreter.hpp"
+
+namespace umlsoc::statechart {
+
+namespace {
+
+class Flattener {
+ public:
+  Flattener(const StateMachine& machine, support::DiagnosticSink& sink)
+      : machine_(machine), sink_(sink) {}
+
+  std::optional<FlatStateMachine> run() {
+    if (!check_constraints(machine_.top())) return std::nullopt;
+
+    collect_leaves(machine_.top());
+    if (flat_.states.empty()) {
+      sink_.error(machine_.name(), "flatten: machine has no leaf states");
+      return std::nullopt;
+    }
+
+    const Pseudostate* initial = machine_.top().initial();
+    if (initial == nullptr || initial->outgoing().empty()) {
+      sink_.error(machine_.name(), "flatten: top region has no initial transition");
+      return std::nullopt;
+    }
+    const Vertex* initial_leaf = default_leaf(initial->outgoing().front()->target());
+    if (initial_leaf == nullptr) return std::nullopt;
+    flat_.initial_state = index_.at(initial_leaf);
+
+    build_rows();
+    if (failed_) return std::nullopt;
+    return std::move(flat_);
+  }
+
+ private:
+  bool check_constraints(const Region& region) {
+    bool ok = true;
+    for (const auto& vertex : region.vertices()) {
+      switch (vertex->vertex_kind()) {
+        case VertexKind::kShallowHistory:
+        case VertexKind::kDeepHistory:
+        case VertexKind::kChoice:
+        case VertexKind::kJunction:
+        case VertexKind::kTerminate:
+          sink_.error(vertex->qualified_name(),
+                      "flatten: " + std::string(to_string(vertex->vertex_kind())) +
+                          " pseudostates are not flattenable");
+          ok = false;
+          break;
+        case VertexKind::kState: {
+          const auto& state = static_cast<const State&>(*vertex);
+          if (state.is_orthogonal()) {
+            sink_.error(state.qualified_name(), "flatten: orthogonal states are not flattenable");
+            ok = false;
+          }
+          for (const Transition* transition : state.outgoing()) {
+            if (transition->is_completion()) {
+              sink_.error(state.qualified_name(),
+                          "flatten: completion transitions are not flattenable");
+              ok = false;
+            }
+          }
+          for (const auto& subregion : state.regions()) {
+            if (!check_constraints(*subregion)) ok = false;
+          }
+          break;
+        }
+        case VertexKind::kInitial:
+        case VertexKind::kFinal:
+          break;
+      }
+    }
+    return ok;
+  }
+
+  void collect_leaves(const Region& region) {
+    for (const auto& vertex : region.vertices()) {
+      if (const auto* state = dynamic_cast<const State*>(vertex.get())) {
+        if (state->is_simple()) {
+          add_leaf(state, state->qualified_name());
+        } else {
+          for (const auto& subregion : state->regions()) collect_leaves(*subregion);
+        }
+      } else if (vertex->vertex_kind() == VertexKind::kFinal) {
+        add_leaf(vertex.get(), vertex->qualified_name());
+      }
+    }
+  }
+
+  void add_leaf(const Vertex* leaf, std::string name) {
+    index_[leaf] = flat_.states.size();
+    flat_.states.push_back(dynamic_cast<const State*>(leaf));  // Null for finals.
+    flat_.state_names.push_back(std::move(name));
+    leaves_.push_back(leaf);
+  }
+
+  /// Resolves a transition target to the leaf reached by default entry.
+  const Vertex* default_leaf(const Vertex& vertex) {
+    const Vertex* current = &vertex;
+    for (int hops = 0; hops < 64; ++hops) {
+      if (current->vertex_kind() == VertexKind::kFinal) return current;
+      const auto* state = dynamic_cast<const State*>(current);
+      if (state == nullptr) {
+        sink_.error(current->qualified_name(), "flatten: cannot default-enter this vertex");
+        failed_ = true;
+        return nullptr;
+      }
+      if (state->is_simple()) return state;
+      const Region& region = *state->regions().front();
+      const Pseudostate* initial = region.initial();
+      if (initial == nullptr || initial->outgoing().empty()) {
+        sink_.error(state->qualified_name(), "flatten: composite state without initial");
+        failed_ = true;
+        return nullptr;
+      }
+      current = &initial->outgoing().front()->target();
+    }
+    failed_ = true;
+    return nullptr;
+  }
+
+  void build_rows() {
+    for (const Vertex* leaf : leaves_) {
+      const auto* leaf_state = dynamic_cast<const State*>(leaf);
+      if (leaf_state == nullptr) continue;  // Finals have no outgoing rows.
+      std::size_t from = index_.at(leaf);
+      // Innermost-first along the ancestor chain: inner rows come first in
+      // the per-key vector, preserving UML priority.
+      for (const State* source = leaf_state; source != nullptr;
+           source = source->containing_state()) {
+        for (const Transition* transition : source->outgoing()) {
+          const Vertex* to_leaf = transition->is_internal()
+                                      ? leaf
+                                      : default_leaf(transition->target());
+          if (to_leaf == nullptr) return;
+          FlatTransition row{from, transition->trigger(), index_.at(to_leaf), transition};
+          std::string key = FlatStateMachine::key(from, row.trigger);
+          flat_.rows_by_key[key].push_back(flat_.transitions.size());
+          flat_.transitions.push_back(row);
+        }
+      }
+    }
+  }
+
+  const StateMachine& machine_;
+  support::DiagnosticSink& sink_;
+  FlatStateMachine flat_;
+  std::vector<const Vertex*> leaves_;
+  std::unordered_map<const Vertex*, std::size_t> index_;
+  bool failed_ = false;
+};
+
+}  // namespace
+
+std::optional<FlatStateMachine> flatten(const StateMachine& machine,
+                                        support::DiagnosticSink& sink) {
+  return Flattener(machine, sink).run();
+}
+
+bool FlatExecutor::dispatch(const Event& event) {
+  auto it = flat_->rows_by_key.find(FlatStateMachine::key(current_, event.name));
+  if (it == flat_->rows_by_key.end()) return false;
+  for (std::size_t row_index : it->second) {
+    const FlatTransition& row = flat_->transitions[row_index];
+    const Guard& guard = row.origin->guard();
+    if (guard.fn != nullptr) {
+      if (guard_host_ == nullptr) {
+        // Without a host the guard cannot be evaluated; treat as open.
+      } else {
+        ActionContext context{*guard_host_, &event};
+        if (!guard.fn(context)) continue;
+      }
+    }
+    current_ = row.to;
+    ++fired_;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace umlsoc::statechart

@@ -1,0 +1,70 @@
+// Flattening of hierarchical (non-orthogonal) state machines into a plain
+// transition table. Used by the RTL code generator (one state register, one
+// case block) and by benchmark E3 to compare flat vs hierarchical dispatch.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "statechart/model.hpp"
+#include "support/diagnostics.hpp"
+
+namespace umlsoc::statechart {
+
+/// One row of the flat transition table.
+struct FlatTransition {
+  std::size_t from = 0;       // Leaf-state index.
+  std::string trigger;        // Event name (flattening rejects completion).
+  std::size_t to = 0;         // Leaf-state index.
+  const Transition* origin;   // Hierarchical transition this row came from.
+};
+
+/// Flattened machine: exactly one leaf state is active at a time.
+struct FlatStateMachine {
+  std::vector<const State*> states;  // Leaf states, stable order.
+  std::vector<std::string> state_names;
+  std::size_t initial_state = 0;
+  std::vector<FlatTransition> transitions;
+  /// Row indices grouped by (from, trigger) for O(1)-ish dispatch.
+  std::unordered_map<std::string, std::vector<std::size_t>> rows_by_key;
+
+  [[nodiscard]] static std::string key(std::size_t from, const std::string& trigger) {
+    return std::to_string(from) + "#" + trigger;
+  }
+};
+
+/// Flattens `machine`. Requirements (else error + nullopt): no orthogonal
+/// regions, no history pseudostates, no completion transitions from states,
+/// guard-free unconditional default entries (no choice off initial).
+/// Guards/effects on event transitions are preserved via `origin`.
+[[nodiscard]] std::optional<FlatStateMachine> flatten(const StateMachine& machine,
+                                                      support::DiagnosticSink& sink);
+
+/// Minimal executor over a flat table; semantically equivalent to the
+/// hierarchical interpreter on flattenable machines (tested property).
+class FlatExecutor {
+ public:
+  explicit FlatExecutor(const FlatStateMachine& flat, StateMachineInstance* guard_host = nullptr)
+      : flat_(&flat), guard_host_(guard_host), current_(flat.initial_state) {}
+
+  [[nodiscard]] std::size_t current() const { return current_; }
+  [[nodiscard]] const std::string& current_name() const { return flat_->state_names[current_]; }
+
+  /// Dispatches one event; returns true when a row fired. Guards of the
+  /// originating hierarchical transitions are honored (evaluated against
+  /// `guard_host` when provided).
+  bool dispatch(const Event& event);
+
+  [[nodiscard]] std::uint64_t transitions_fired() const { return fired_; }
+
+ private:
+  const FlatStateMachine* flat_;
+  StateMachineInstance* guard_host_;
+  std::size_t current_;
+  std::uint64_t fired_ = 0;
+};
+
+}  // namespace umlsoc::statechart

@@ -1,0 +1,496 @@
+#include "statechart/interpreter.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace umlsoc::statechart {
+
+namespace {
+
+/// True when `vertex` lies (at any depth) inside `region`.
+bool contained_in(const Vertex& vertex, const Region& region) {
+  const Region* current = vertex.container();
+  while (current != nullptr) {
+    if (current == &region) return true;
+    State* owner = current->owner_state();
+    current = owner == nullptr ? nullptr : owner->container();
+  }
+  return false;
+}
+
+}  // namespace
+
+StateMachineInstance::StateMachineInstance(const StateMachine& machine) : machine_(machine) {}
+
+// --- Introspection -------------------------------------------------------------
+
+bool StateMachineInstance::is_in(std::string_view state_name) const {
+  for (const State* state : config_) {
+    if (state->name() == state_name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> StateMachineInstance::active_leaf_names() const {
+  std::vector<std::string> names;
+  for (const State* state : config_) {
+    bool has_active_child = false;
+    for (const State* other : config_) {
+      if (other != state && other->is_within(*state)) has_active_child = true;
+    }
+    if (!has_active_child) names.push_back(state->name());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+bool StateMachineInstance::is_in_final_state() const {
+  return region_in_final(machine_.top());
+}
+
+bool StateMachineInstance::region_in_final(const Region& region) const {
+  for (const FinalState* final_state : active_finals_) {
+    if (final_state->container() == &region) return true;
+  }
+  return false;
+}
+
+std::int64_t StateMachineInstance::variable(const std::string& name) const {
+  auto it = variables_.find(name);
+  return it == variables_.end() ? 0 : it->second;
+}
+
+void StateMachineInstance::set_variable(const std::string& name, std::int64_t value) {
+  variables_[name] = value;
+}
+
+// --- Lifecycle -------------------------------------------------------------------
+
+void StateMachineInstance::start() {
+  if (started_) return;
+  started_ = true;
+  ActionContext context{*this, nullptr};
+  default_enter_region(machine_.top(), context);
+  run_completions();
+  run_to_quiescence();
+}
+
+void StateMachineInstance::post(Event event) { queue_.push_back(std::move(event)); }
+
+bool StateMachineInstance::dispatch(Event event) {
+  if (terminated_) return false;
+  const std::uint64_t fired_before = transitions_fired_;
+  post(std::move(event));
+  if (started_) run_to_quiescence();
+  return transitions_fired_ != fired_before;
+}
+
+void StateMachineInstance::run_to_quiescence() {
+  while (!queue_.empty()) {
+    Event event = std::move(queue_.front());
+    queue_.pop_front();
+    ++events_processed_;
+    const std::size_t fired = rtc_step(event);
+    // A configuration change recalls deferred events: they are retried
+    // ahead of anything queued later (UML deferral semantics).
+    if (fired > 0 && !deferred_pool_.empty()) {
+      for (auto it = deferred_pool_.rbegin(); it != deferred_pool_.rend(); ++it) {
+        queue_.push_front(std::move(*it));
+      }
+      deferred_pool_.clear();
+    }
+  }
+}
+
+// --- Selection ----------------------------------------------------------------------
+
+bool StateMachineInstance::state_completed(const State& state) const {
+  if (state.is_simple()) return true;
+  for (const auto& region : state.regions()) {
+    if (!region_in_final(*region)) return false;
+  }
+  return true;
+}
+
+std::vector<const Transition*> StateMachineInstance::select_transitions(const Event* event) {
+  // Deterministic innermost-first order: depth descending, then name.
+  std::vector<const State*> active(config_.begin(), config_.end());
+  std::sort(active.begin(), active.end(), [](const State* a, const State* b) {
+    std::size_t da = a->depth();
+    std::size_t db = b->depth();
+    if (da != db) return da > db;
+    return a->name() < b->name();
+  });
+
+  ActionContext context{*this, event};
+  std::vector<const Transition*> selected;
+  std::unordered_set<const State*> claimed;  // Union of exit/conflict sets.
+
+  for (const State* state : active) {
+    for (const Transition* transition : state->outgoing()) {
+      if (event != nullptr) {
+        if (transition->trigger() != event->name) continue;
+      } else {
+        if (!transition->is_completion()) continue;
+        if (!state_completed(*state)) continue;
+      }
+      const Guard& guard = transition->guard();
+      if (guard.fn != nullptr && !guard.fn(context)) continue;
+
+      // Conflict set: states this transition would exit (the whole domain
+      // for external transitions, just the source for internal ones).
+      std::vector<const State*> conflict_states;
+      if (transition->is_internal()) {
+        conflict_states.push_back(state);
+      } else {
+        const Region* domain = domain_of(transition->source(), transition->target());
+        conflict_states = active_within(*domain);
+        conflict_states.push_back(state);
+      }
+      bool conflicts = false;
+      for (const State* exited : conflict_states) {
+        if (claimed.contains(exited)) conflicts = true;
+      }
+      if (conflicts) continue;
+
+      for (const State* exited : conflict_states) claimed.insert(exited);
+      selected.push_back(transition);
+    }
+  }
+  return selected;
+}
+
+// --- Structural helpers ------------------------------------------------------------
+
+const Region* StateMachineInstance::domain_of(const Vertex& source, const Vertex& target) const {
+  // Innermost region containing both vertices.
+  const Region* current = source.container();
+  while (current != nullptr) {
+    if (contained_in(target, *current) || target.container() == current) return current;
+    State* owner = current->owner_state();
+    current = owner == nullptr ? nullptr : owner->container();
+  }
+  return &machine_.top();
+}
+
+std::vector<const State*> StateMachineInstance::active_within(const Region& scope) const {
+  std::vector<const State*> result;
+  for (const State* state : config_) {
+    if (contained_in(*state, scope)) result.push_back(state);
+  }
+  return result;
+}
+
+// --- Exit phase ------------------------------------------------------------------------
+
+void StateMachineInstance::record_history(const State& exiting) {
+  for (const auto& region : exiting.regions()) {
+    // Shallow: the active direct child of the region.
+    const State* direct_child = nullptr;
+    for (const auto& vertex : region->vertices()) {
+      if (const auto* child = dynamic_cast<const State*>(vertex.get())) {
+        if (config_.contains(child)) direct_child = child;
+      }
+    }
+    if (direct_child != nullptr) shallow_history_[region.get()] = direct_child;
+
+    // Deep: the active leaf states inside the region, in deterministic order.
+    std::vector<const State*> leaves;
+    for (const State* state : config_) {
+      if (!contained_in(*state, *region)) continue;
+      bool has_active_child = false;
+      for (const State* other : config_) {
+        if (other != state && other->is_within(*state)) has_active_child = true;
+      }
+      if (!has_active_child) leaves.push_back(state);
+    }
+    std::sort(leaves.begin(), leaves.end(),
+              [](const State* a, const State* b) { return a->name() < b->name(); });
+    if (!leaves.empty()) deep_history_[region.get()] = std::move(leaves);
+  }
+}
+
+void StateMachineInstance::exit_states(const std::vector<const State*>& states,
+                                       ActionContext& context) {
+  // History snapshots first: children are still in the configuration.
+  for (const State* state : states) {
+    if (state->is_composite()) record_history(*state);
+  }
+  // Innermost-first exit order.
+  std::vector<const State*> ordered = states;
+  std::sort(ordered.begin(), ordered.end(), [](const State* a, const State* b) {
+    std::size_t da = a->depth();
+    std::size_t db = b->depth();
+    if (da != db) return da > db;
+    return a->name() < b->name();
+  });
+  for (const State* state : ordered) {
+    if (!state->exit_behavior().empty()) {
+      note("exitAction:" + state->name());
+      if (state->exit_behavior().fn != nullptr) state->exit_behavior().fn(context);
+    }
+    note("exit:" + state->name());
+    config_.erase(state);
+    if (listener_ != nullptr) listener_(*state, false);
+  }
+}
+
+// --- Entry phase ------------------------------------------------------------------------
+
+void StateMachineInstance::enter_single(const State& state, ActionContext& context) {
+  if (config_.contains(&state)) return;
+  config_.insert(&state);
+  note("enter:" + state.name());
+  if (!state.entry().empty()) {
+    note("entryAction:" + state.name());
+    if (state.entry().fn != nullptr) state.entry().fn(context);
+  }
+  if (!state.do_activity().empty() && state.do_activity().fn != nullptr) {
+    state.do_activity().fn(context);
+  }
+  if (state.is_composite()) pending_regions_.push_back(&state);
+  if (listener_ != nullptr) listener_(state, true);
+}
+
+void StateMachineInstance::enter_state_and_regions(const State& state, const Region& scope,
+                                                   ActionContext& context) {
+  enter_target(state, scope, context);
+}
+
+void StateMachineInstance::enter_target(const Vertex& vertex, const Region& scope,
+                                        ActionContext& context) {
+  ++entry_depth_;
+  // Chain of composite states between scope (exclusive) and vertex
+  // (exclusive), innermost first.
+  std::vector<const State*> chain;
+  if (vertex.container() != &scope) {
+    for (const State* ancestor = vertex.containing_state(); ancestor != nullptr;
+         ancestor = ancestor->containing_state()) {
+      chain.push_back(ancestor);
+      if (ancestor->container() == &scope) break;
+    }
+  }
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) enter_single(**it, context);
+
+  switch (vertex.vertex_kind()) {
+    case VertexKind::kState:
+      enter_single(static_cast<const State&>(vertex), context);
+      break;
+    case VertexKind::kFinal:
+      active_finals_.insert(static_cast<const FinalState*>(&vertex));
+      note("final:" + vertex.container()->name());
+      break;
+    case VertexKind::kShallowHistory: {
+      const Region& region = *vertex.container();
+      auto it = shallow_history_.find(&region);
+      if (it != shallow_history_.end()) {
+        note("history:restore-shallow:" + region.name());
+        enter_target(*it->second, region, context);
+      } else if (!vertex.outgoing().empty()) {
+        const Transition& fallback = *vertex.outgoing().front();
+        if (fallback.effect().fn != nullptr) fallback.effect().fn(context);
+        enter_target(fallback.target(), region, context);
+      } else {
+        default_enter_region(region, context);
+      }
+      break;
+    }
+    case VertexKind::kDeepHistory: {
+      const Region& region = *vertex.container();
+      auto it = deep_history_.find(&region);
+      if (it != deep_history_.end()) {
+        note("history:restore-deep:" + region.name());
+        restore_deep_history(region, context);
+      } else if (!vertex.outgoing().empty()) {
+        const Transition& fallback = *vertex.outgoing().front();
+        if (fallback.effect().fn != nullptr) fallback.effect().fn(context);
+        enter_target(fallback.target(), region, context);
+      } else {
+        default_enter_region(region, context);
+      }
+      break;
+    }
+    case VertexKind::kTerminate:
+      // UML terminate: the machine ceases immediately; no exit actions run.
+      terminated_ = true;
+      queue_.clear();
+      config_.clear();
+      active_finals_.clear();
+      note("terminate");
+      break;
+    case VertexKind::kInitial:
+    case VertexKind::kChoice:
+    case VertexKind::kJunction:
+      // Resolved before entry; reaching one here means a broken model.
+      note("error:entered-pseudostate:" + vertex.name());
+      break;
+  }
+
+  --entry_depth_;
+  if (entry_depth_ != 0) return;
+
+  // Sweep (outermost call only, so deep-history restoration of sibling
+  // leaves finishes before defaults run): default-enter regions of entered
+  // composites that are still empty.
+  while (!pending_regions_.empty()) {
+    const State* composite = pending_regions_.front();
+    pending_regions_.pop_front();
+    for (const auto& region : composite->regions()) {
+      bool region_active = region_in_final(*region);
+      for (const auto& child : region->vertices()) {
+        if (const auto* child_state = dynamic_cast<const State*>(child.get())) {
+          if (config_.contains(child_state)) region_active = true;
+        }
+      }
+      if (!region_active) default_enter_region(*region, context);
+    }
+  }
+}
+
+void StateMachineInstance::restore_deep_history(const Region& region, ActionContext& context) {
+  auto it = deep_history_.find(&region);
+  if (it == deep_history_.end()) {
+    default_enter_region(region, context);
+    return;
+  }
+  for (const State* leaf : it->second) enter_target(*leaf, region, context);
+}
+
+void StateMachineInstance::default_enter_region(const Region& region, ActionContext& context) {
+  const Pseudostate* initial = region.initial();
+  if (initial == nullptr || initial->outgoing().empty()) {
+    note("warn:no-initial:" + region.name());
+    return;
+  }
+  const Transition& transition = *initial->outgoing().front();
+  ResolvedPath path = resolve_path(transition, context);
+  if (path.broken) {
+    note("error:unresolved-initial:" + region.name());
+    return;
+  }
+  for (const Behavior* effect : path.effects) {
+    if (effect->fn != nullptr) effect->fn(context);
+  }
+  enter_target(*path.final_target, region, context);
+}
+
+// --- Firing ---------------------------------------------------------------------------------
+
+StateMachineInstance::ResolvedPath StateMachineInstance::resolve_path(
+    const Transition& transition, ActionContext& context) {
+  ResolvedPath path;
+  const Transition* current = &transition;
+  for (int hops = 0; hops < 64; ++hops) {
+    if (!current->effect().empty()) path.effects.push_back(&current->effect());
+    const Vertex& target = current->target();
+    VertexKind kind = target.vertex_kind();
+    if (kind != VertexKind::kChoice && kind != VertexKind::kJunction) {
+      path.final_target = &target;
+      return path;
+    }
+    // Choice/junction: first open guard wins; "else" is the fallback.
+    const Transition* chosen = nullptr;
+    const Transition* else_branch = nullptr;
+    for (const Transition* branch : target.outgoing()) {
+      if (branch->guard().is_else()) {
+        if (else_branch == nullptr) else_branch = branch;
+        continue;
+      }
+      if (branch->guard().fn == nullptr || branch->guard().fn(context)) {
+        chosen = branch;
+        break;
+      }
+    }
+    if (chosen == nullptr) chosen = else_branch;
+    if (chosen == nullptr) {
+      path.broken = true;
+      return path;
+    }
+    current = chosen;
+  }
+  path.broken = true;  // Pseudostate cycle.
+  return path;
+}
+
+void StateMachineInstance::fire(const Transition& transition, ActionContext& context) {
+  note("fire:" + transition.str());
+  if (transition.is_internal()) {
+    if (transition.effect().fn != nullptr) transition.effect().fn(context);
+    ++transitions_fired_;
+    return;
+  }
+
+  ResolvedPath path = resolve_path(transition, context);
+  if (path.broken) {
+    note("error:unresolved-choice:" + transition.str());
+    return;
+  }
+
+  const Region* domain = domain_of(transition.source(), *path.final_target);
+  std::vector<const State*> exits = active_within(*domain);
+  exit_states(exits, context);
+
+  // Clear final flags inside the domain: the region is being re-entered.
+  for (auto it = active_finals_.begin(); it != active_finals_.end();) {
+    if ((*it)->container() == domain || contained_in(**it, *domain)) {
+      it = active_finals_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  for (const Behavior* effect : path.effects) {
+    if (effect->fn != nullptr) effect->fn(context);
+  }
+
+  enter_target(*path.final_target, *domain, context);
+  ++transitions_fired_;
+}
+
+std::size_t StateMachineInstance::rtc_step(const Event& event) {
+  note("event:" + event.name);
+  std::vector<const Transition*> selected = select_transitions(&event);
+  if (selected.empty()) {
+    for (const State* state : config_) {
+      if (state->defers(event.name)) {
+        note("defer:" + event.name);
+        deferred_pool_.push_back(event);
+        return 0;
+      }
+    }
+    note("discard:" + event.name);
+    return 0;
+  }
+  ActionContext context{*this, &event};
+  std::size_t fired = 0;
+  for (const Transition* transition : selected) {
+    // An earlier firing in the same step may have exited this source.
+    const auto* source_state = dynamic_cast<const State*>(&transition->source());
+    if (source_state != nullptr && !config_.contains(source_state)) continue;
+    fire(*transition, context);
+    ++fired;
+  }
+  run_completions();
+  return fired;
+}
+
+void StateMachineInstance::run_completions() {
+  ActionContext context{*this, nullptr};
+  for (int microsteps = 0;; ++microsteps) {
+    if (microsteps > kMaxMicrosteps) {
+      throw std::runtime_error("state machine '" + machine_.name() +
+                               "': completion livelock (more than " +
+                               std::to_string(kMaxMicrosteps) + " microsteps)");
+    }
+    std::vector<const Transition*> selected = select_transitions(nullptr);
+    if (selected.empty()) return;
+    for (const Transition* transition : selected) {
+      const auto* source_state = dynamic_cast<const State*>(&transition->source());
+      if (source_state != nullptr && !config_.contains(source_state)) continue;
+      fire(*transition, context);
+    }
+  }
+}
+
+}  // namespace umlsoc::statechart

@@ -1,0 +1,157 @@
+// Run-to-completion executor for state machines (STATEMATE-style semantics,
+// paper ref [2]). One instance holds the active configuration, event pool,
+// and history memory of one machine execution.
+//
+// Semantics implemented:
+//  * RTC step: one event is dispatched, a maximal conflict-free set of
+//    enabled transitions fires (innermost-first priority), then completion
+//    (trigger-less) transitions fire until quiescence.
+//  * Exit set = active states inside the transition's domain (the innermost
+//    region containing source and target); exits run innermost-first,
+//    entries outermost-first, effects in between.
+//  * Choice/junction chains are resolved at selection time, collecting the
+//    segment effects in order (documented simplification for choice: guards
+//    see the state before segment effects run).
+//  * Shallow history restores the last active direct substate; deep history
+//    restores the full leaf configuration of the region.
+//  * Events deferred by an active state are retained and recalled — ahead
+//    of newer queue entries — after the next configuration change.
+//  * Entering a terminate pseudostate kills the instance: the configuration
+//    and event pool are dropped and dispatch becomes a no-op.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "statechart/model.hpp"
+
+namespace umlsoc::statechart {
+
+class StateMachineInstance {
+ public:
+  /// Bound but not started; call start() to enter the initial configuration.
+  explicit StateMachineInstance(const StateMachine& machine);
+
+  /// Enters the top region through its initial pseudostate and runs
+  /// completion transitions to quiescence.
+  void start();
+
+  /// Queues an event and processes the queue to quiescence. Returns true
+  /// when at least one transition fired for this event.
+  bool dispatch(Event event);
+
+  /// Queues without processing (used by actions raising internal events).
+  void post(Event event);
+
+  /// Processes queued events until the pool is empty.
+  void run_to_quiescence();
+
+  // --- Introspection --------------------------------------------------------
+
+  [[nodiscard]] const StateMachine& machine() const { return machine_; }
+  [[nodiscard]] bool is_active(const State& state) const { return config_.contains(&state); }
+  /// True when any active state (at any depth) has this name.
+  [[nodiscard]] bool is_in(std::string_view state_name) const;
+  /// Names of active simple (leaf) states, in stable order.
+  [[nodiscard]] std::vector<std::string> active_leaf_names() const;
+  [[nodiscard]] const std::unordered_set<const State*>& configuration() const { return config_; }
+  /// True when the top region has reached a final state.
+  [[nodiscard]] bool is_in_final_state() const;
+  /// True after a terminate pseudostate was reached; the instance is dead
+  /// (dispatch becomes a no-op).
+  [[nodiscard]] bool is_terminated() const { return terminated_; }
+  [[nodiscard]] bool started() const { return started_; }
+
+  // --- Observability ---------------------------------------------------------
+
+  /// When enabled (default), records "enter:X" / "exit:X" / "fire:..." /
+  /// "event:E" / "discard:E" entries; tests and MSC conformance use this.
+  void set_trace_enabled(bool enabled) { trace_enabled_ = enabled; }
+  [[nodiscard]] const std::vector<std::string>& trace() const { return trace_; }
+  void clear_trace() { trace_.clear(); }
+
+  [[nodiscard]] std::uint64_t events_processed() const { return events_processed_; }
+  [[nodiscard]] std::uint64_t transitions_fired() const { return transitions_fired_; }
+
+  /// Machine-variable store available to guards/effects via ActionContext.
+  [[nodiscard]] std::int64_t variable(const std::string& name) const;
+  void set_variable(const std::string& name, std::int64_t value);
+
+  /// Observer invoked on every state entry (entered=true) and exit
+  /// (entered=false); used by the sim-kernel timer binding and by monitors.
+  using StateListener = std::function<void(const State&, bool entered)>;
+  void set_state_listener(StateListener listener) { listener_ = std::move(listener); }
+
+  /// Completion-transition microstep bound; exceeding it throws
+  /// std::runtime_error (livelock guard).
+  static constexpr int kMaxMicrosteps = 10000;
+
+ private:
+  struct ResolvedPath {
+    const Vertex* final_target = nullptr;       // State, FinalState, or history.
+    std::vector<const Behavior*> effects;        // Segment effects, in order.
+    bool broken = false;                         // Unresolvable choice, etc.
+  };
+
+  void note(std::string entry) {
+    if (trace_enabled_) trace_.push_back(std::move(entry));
+  }
+
+  /// Follows choice/junction chains from `transition`, evaluating guards now.
+  ResolvedPath resolve_path(const Transition& transition, ActionContext& context);
+
+  /// Innermost region containing both vertices (the transition domain).
+  [[nodiscard]] const Region* domain_of(const Vertex& source, const Vertex& target) const;
+
+  /// Active states lying inside `scope` (at any depth).
+  [[nodiscard]] std::vector<const State*> active_within(const Region& scope) const;
+
+  void exit_states(const std::vector<const State*>& states, ActionContext& context);
+  void record_history(const State& exiting);
+
+  void enter_single(const State& state, ActionContext& context);
+  /// Enters the chain of states from `scope` (exclusive) down to `vertex`,
+  /// then processes `vertex` itself (state entry, final marking, history
+  /// restoration). `scope` must contain `vertex`.
+  void enter_target(const Vertex& vertex, const Region& scope, ActionContext& context);
+  void default_enter_region(const Region& region, ActionContext& context);
+  void enter_state_and_regions(const State& state, const Region& scope, ActionContext& context);
+  void restore_deep_history(const Region& region, ActionContext& context);
+
+  /// Fires one resolved external/internal transition.
+  void fire(const Transition& transition, ActionContext& context);
+
+  /// One RTC step for `event`; returns number of transitions fired.
+  std::size_t rtc_step(const Event& event);
+  /// Fires completion transitions until none are enabled.
+  void run_completions();
+  [[nodiscard]] bool state_completed(const State& state) const;
+  [[nodiscard]] bool region_in_final(const Region& region) const;
+
+  /// Greedy maximal conflict-free selection, innermost priority.
+  std::vector<const Transition*> select_transitions(const Event* event);
+
+  const StateMachine& machine_;
+  std::unordered_set<const State*> config_;
+  std::deque<const State*> pending_regions_;
+  int entry_depth_ = 0;
+  std::unordered_set<const FinalState*> active_finals_;
+  std::unordered_map<const Region*, const State*> shallow_history_;
+  std::unordered_map<const Region*, std::vector<const State*>> deep_history_;
+  std::unordered_map<std::string, std::int64_t> variables_;
+  std::deque<Event> queue_;
+  std::vector<Event> deferred_pool_;
+  StateListener listener_;
+  std::vector<std::string> trace_;
+  bool trace_enabled_ = true;
+  bool started_ = false;
+  bool terminated_ = false;
+  std::uint64_t events_processed_ = 0;
+  std::uint64_t transitions_fired_ = 0;
+};
+
+}  // namespace umlsoc::statechart

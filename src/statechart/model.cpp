@@ -1,0 +1,173 @@
+#include "statechart/model.hpp"
+
+namespace umlsoc::statechart {
+
+std::string_view to_string(VertexKind kind) {
+  switch (kind) {
+    case VertexKind::kState:
+      return "state";
+    case VertexKind::kFinal:
+      return "final";
+    case VertexKind::kInitial:
+      return "initial";
+    case VertexKind::kChoice:
+      return "choice";
+    case VertexKind::kJunction:
+      return "junction";
+    case VertexKind::kShallowHistory:
+      return "shallowHistory";
+    case VertexKind::kDeepHistory:
+      return "deepHistory";
+    case VertexKind::kTerminate:
+      return "terminate";
+  }
+  return "vertex";
+}
+
+// --- Vertex ------------------------------------------------------------------
+
+State* Vertex::containing_state() const { return container_->owner_state(); }
+
+std::size_t Vertex::depth() const {
+  std::size_t depth = 0;
+  for (State* ancestor = containing_state(); ancestor != nullptr;
+       ancestor = ancestor->containing_state()) {
+    ++depth;
+  }
+  return depth;
+}
+
+std::string Vertex::qualified_name() const {
+  std::string out = name_;
+  for (State* ancestor = containing_state(); ancestor != nullptr;
+       ancestor = ancestor->containing_state()) {
+    out = ancestor->name() + "." + out;
+  }
+  return container_->machine().name() + "." + out;
+}
+
+// --- State -------------------------------------------------------------------
+
+Region& State::add_region(std::string name) {
+  regions_.push_back(std::make_unique<Region>(std::move(name), container()->machine(), this));
+  return *regions_.back();
+}
+
+bool State::is_within(const State& ancestor) const {
+  for (const State* current = this; current != nullptr;
+       current = current->containing_state()) {
+    if (current == &ancestor) return true;
+  }
+  return false;
+}
+
+// --- Transition ----------------------------------------------------------------
+
+std::string Transition::str() const {
+  std::string out = source_->name() + " -> " + target_->name();
+  if (!trigger_.empty()) out += " on " + trigger_;
+  if (!guard_.text.empty()) out += " [" + guard_.text + "]";
+  if (!effect_.text.empty()) out += " / " + effect_.text;
+  return out;
+}
+
+// --- Region --------------------------------------------------------------------
+
+State& Region::add_state(std::string name) {
+  auto state = std::make_unique<State>(std::move(name), *this);
+  State& ref = *state;
+  vertices_.push_back(std::move(state));
+  return ref;
+}
+
+FinalState& Region::add_final(std::string name) {
+  auto final_state = std::make_unique<FinalState>(std::move(name), *this);
+  FinalState& ref = *final_state;
+  vertices_.push_back(std::move(final_state));
+  return ref;
+}
+
+Pseudostate& Region::add_pseudostate(VertexKind kind, std::string name) {
+  if (name.empty()) name = std::string(to_string(kind));
+  auto pseudostate = std::make_unique<Pseudostate>(std::move(name), *this, kind);
+  Pseudostate& ref = *pseudostate;
+  vertices_.push_back(std::move(pseudostate));
+  return ref;
+}
+
+Transition& Region::add_transition(Vertex& source, Vertex& target) {
+  auto transition = std::make_unique<Transition>(source, target);
+  Transition& ref = *transition;
+  source.outgoing_.push_back(&ref);
+  target.incoming_.push_back(&ref);
+  transitions_.push_back(std::move(transition));
+  return ref;
+}
+
+Pseudostate* Region::initial() const {
+  for (const auto& vertex : vertices_) {
+    if (vertex->vertex_kind() == VertexKind::kInitial) {
+      return static_cast<Pseudostate*>(vertex.get());
+    }
+  }
+  return nullptr;
+}
+
+Vertex* Region::find_vertex(std::string_view name) const {
+  for (const auto& vertex : vertices_) {
+    if (vertex->name() == name) return vertex.get();
+  }
+  return nullptr;
+}
+
+State* Region::find_state(std::string_view name) const {
+  for (const auto& vertex : vertices_) {
+    if (auto* state = dynamic_cast<State*>(vertex.get())) {
+      if (state->name() == name) return state;
+      for (const auto& region : state->regions()) {
+        if (State* found = region->find_state(name)) return found;
+      }
+    }
+  }
+  return nullptr;
+}
+
+// --- StateMachine -----------------------------------------------------------------
+
+StateMachine::StateMachine(std::string name) : name_(std::move(name)) {
+  top_ = std::make_unique<Region>("top", *this, nullptr);
+}
+
+namespace {
+
+void collect_states(const Region& region, std::vector<const State*>& states,
+                    std::vector<const Transition*>* transitions) {
+  if (transitions != nullptr) {
+    for (const auto& transition : region.transitions()) transitions->push_back(transition.get());
+  }
+  for (const auto& vertex : region.vertices()) {
+    if (const auto* state = dynamic_cast<const State*>(vertex.get())) {
+      states.push_back(state);
+      for (const auto& subregion : state->regions()) {
+        collect_states(*subregion, states, transitions);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<const State*> StateMachine::all_states() const {
+  std::vector<const State*> states;
+  collect_states(*top_, states, nullptr);
+  return states;
+}
+
+std::vector<const Transition*> StateMachine::all_transitions() const {
+  std::vector<const State*> states;
+  std::vector<const Transition*> transitions;
+  collect_states(*top_, states, &transitions);
+  return transitions;
+}
+
+}  // namespace umlsoc::statechart

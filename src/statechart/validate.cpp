@@ -1,0 +1,217 @@
+#include "statechart/validate.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace umlsoc::statechart {
+
+namespace {
+
+class Validator {
+ public:
+  Validator(const StateMachine& machine, support::DiagnosticSink& sink)
+      : machine_(machine), sink_(sink) {}
+
+  void run() {
+    check_region(machine_.top());
+    check_reachability();
+  }
+
+ private:
+  void check_region(const Region& region) {
+    std::unordered_map<std::string, int> names;
+    int initial_count = 0;
+    int shallow_count = 0;
+    int deep_count = 0;
+
+    for (const auto& vertex : region.vertices()) {
+      ++names[vertex->name()];
+      switch (vertex->vertex_kind()) {
+        case VertexKind::kInitial: {
+          ++initial_count;
+          if (!vertex->incoming().empty()) {
+            sink_.error(vertex->qualified_name(), "initial pseudostate has incoming transitions");
+          }
+          if (vertex->outgoing().size() != 1) {
+            sink_.error(vertex->qualified_name(),
+                        "initial pseudostate needs exactly one outgoing transition, has " +
+                            std::to_string(vertex->outgoing().size()));
+          } else {
+            const Transition& transition = *vertex->outgoing().front();
+            if (!transition.is_completion()) {
+              sink_.error(vertex->qualified_name(),
+                          "initial transition must not have a trigger");
+            }
+            if (transition.guard().fn != nullptr || transition.guard().is_else()) {
+              sink_.error(vertex->qualified_name(), "initial transition must not have a guard");
+            }
+          }
+          break;
+        }
+        case VertexKind::kChoice:
+        case VertexKind::kJunction: {
+          if (vertex->outgoing().empty()) {
+            sink_.error(vertex->qualified_name(),
+                        std::string(to_string(vertex->vertex_kind())) +
+                            " pseudostate has no outgoing transitions");
+          }
+          int else_count = 0;
+          bool has_open_branch = false;
+          for (const Transition* branch : vertex->outgoing()) {
+            if (branch->guard().is_else()) ++else_count;
+            if (branch->guard().always_true()) has_open_branch = true;
+            if (!branch->is_completion()) {
+              sink_.error(vertex->qualified_name(),
+                          "pseudostate segment must not have a trigger");
+            }
+          }
+          if (else_count > 1) {
+            sink_.error(vertex->qualified_name(), "more than one 'else' branch");
+          }
+          if (else_count == 0 && !has_open_branch) {
+            sink_.warning(vertex->qualified_name(),
+                          "no 'else' branch and no unconditional branch; may dead-end at runtime");
+          }
+          break;
+        }
+        case VertexKind::kShallowHistory:
+          ++shallow_count;
+          check_history(*vertex);
+          break;
+        case VertexKind::kDeepHistory:
+          ++deep_count;
+          check_history(*vertex);
+          break;
+        case VertexKind::kFinal:
+          if (!vertex->outgoing().empty()) {
+            sink_.error(vertex->qualified_name(), "final state has outgoing transitions");
+          }
+          break;
+        case VertexKind::kTerminate:
+          if (!vertex->outgoing().empty()) {
+            sink_.error(vertex->qualified_name(),
+                        "terminate pseudostate has outgoing transitions");
+          }
+          break;
+        case VertexKind::kState: {
+          const auto& state = static_cast<const State&>(*vertex);
+          check_state_transitions(state);
+          for (const auto& subregion : state.regions()) check_region(*subregion);
+          break;
+        }
+      }
+    }
+
+    for (const auto& [name, count] : names) {
+      if (count > 1) {
+        sink_.error(region.name(), "duplicate vertex name '" + name + "' in region");
+      }
+    }
+    if (initial_count == 0 && !region.vertices().empty()) {
+      sink_.error(region_subject(region), "region has no initial pseudostate");
+    }
+    if (initial_count > 1) {
+      sink_.error(region_subject(region), "region has multiple initial pseudostates");
+    }
+    if (shallow_count > 1 || deep_count > 1) {
+      sink_.error(region_subject(region), "region has duplicate history pseudostates");
+    }
+  }
+
+  [[nodiscard]] std::string region_subject(const Region& region) const {
+    if (region.owner_state() != nullptr) {
+      return region.owner_state()->qualified_name() + "." + region.name();
+    }
+    return machine_.name() + "." + region.name();
+  }
+
+  void check_history(const Vertex& history) {
+    if (history.outgoing().size() > 1) {
+      sink_.error(history.qualified_name(),
+                  "history pseudostate has more than one default transition");
+    }
+    if (history.container()->owner_state() == nullptr) {
+      // The top region never exits, so its history is never recorded.
+      sink_.warning(history.qualified_name(),
+                    "history pseudostate in the top region will never restore anything");
+    }
+  }
+
+  void check_state_transitions(const State& state) {
+    // Nondeterminism warning: same trigger, both unguarded.
+    std::unordered_map<std::string, int> unguarded_triggers;
+    for (const Transition* transition : state.outgoing()) {
+      if (transition->is_internal() && &transition->target() != &state) {
+        sink_.error(state.qualified_name(),
+                    "internal transition must have the same source and target");
+      }
+      if (transition->target().vertex_kind() == VertexKind::kInitial) {
+        sink_.error(state.qualified_name(), "transition targets an initial pseudostate");
+      }
+      if (transition->guard().always_true()) {
+        ++unguarded_triggers[transition->trigger()];
+      }
+    }
+    for (const auto& [trigger, count] : unguarded_triggers) {
+      if (count > 1) {
+        sink_.warning(state.qualified_name(),
+                      trigger.empty()
+                          ? std::string("multiple unguarded completion transitions")
+                          : "multiple unguarded transitions on trigger '" + trigger + "'");
+      }
+    }
+  }
+
+  void check_reachability() {
+    // Forward closure over transitions and default-entry edges.
+    std::unordered_set<const Vertex*> reached;
+    std::vector<const Vertex*> frontier;
+    auto push = [&](const Vertex* vertex) {
+      if (vertex != nullptr && reached.insert(vertex).second) frontier.push_back(vertex);
+    };
+    if (const Pseudostate* initial = machine_.top().initial()) push(initial);
+
+    while (!frontier.empty()) {
+      const Vertex* vertex = frontier.back();
+      frontier.pop_back();
+      for (const Transition* transition : vertex->outgoing()) push(&transition->target());
+      if (const auto* state = dynamic_cast<const State*>(vertex)) {
+        for (const auto& region : state->regions()) {
+          push(region->initial());
+          // History restoration can reactivate any state of the region.
+          for (const auto& child : region->vertices()) {
+            bool region_has_history = false;
+            for (const auto& other : region->vertices()) {
+              VertexKind kind = other->vertex_kind();
+              if (kind == VertexKind::kShallowHistory || kind == VertexKind::kDeepHistory) {
+                region_has_history = true;
+              }
+            }
+            if (region_has_history) push(child.get());
+          }
+        }
+      }
+      // Entering a state makes its ancestors active too.
+      push(vertex->containing_state());
+    }
+
+    for (const State* state : machine_.all_states()) {
+      if (!reached.contains(state)) {
+        sink_.warning(state->qualified_name(), "state is unreachable from the initial state");
+      }
+    }
+  }
+
+  const StateMachine& machine_;
+  support::DiagnosticSink& sink_;
+};
+
+}  // namespace
+
+bool validate(const StateMachine& machine, support::DiagnosticSink& sink) {
+  const std::size_t errors_before = sink.error_count();
+  Validator(machine, sink).run();
+  return sink.error_count() == errors_before;
+}
+
+}  // namespace umlsoc::statechart

@@ -1,0 +1,64 @@
+#include "support/diagnostics.hpp"
+
+#include <utility>
+
+namespace umlsoc::support {
+
+std::string_view to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::str() const {
+  std::string out;
+  out += to_string(severity);
+  out += ": ";
+  if (!subject.empty()) {
+    out += subject;
+    out += ": ";
+  }
+  out += message;
+  return out;
+}
+
+void DiagnosticSink::note(std::string subject, std::string message) {
+  add(Severity::kNote, std::move(subject), std::move(message));
+}
+
+void DiagnosticSink::warning(std::string subject, std::string message) {
+  add(Severity::kWarning, std::move(subject), std::move(message));
+}
+
+void DiagnosticSink::error(std::string subject, std::string message) {
+  add(Severity::kError, std::move(subject), std::move(message));
+}
+
+void DiagnosticSink::add(Severity severity, std::string subject, std::string message) {
+  if (severity == Severity::kError) ++error_count_;
+  if (severity == Severity::kWarning) ++warning_count_;
+  diagnostics_.push_back(Diagnostic{severity, std::move(subject), std::move(message)});
+}
+
+std::string DiagnosticSink::str() const {
+  std::string out;
+  for (const Diagnostic& diagnostic : diagnostics_) {
+    out += diagnostic.str();
+    out += '\n';
+  }
+  return out;
+}
+
+void DiagnosticSink::clear() {
+  diagnostics_.clear();
+  error_count_ = 0;
+  warning_count_ = 0;
+}
+
+}  // namespace umlsoc::support

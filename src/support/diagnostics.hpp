@@ -1,0 +1,51 @@
+// Diagnostic collection shared by validators, parsers and transformations.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace umlsoc::support {
+
+enum class Severity { kNote, kWarning, kError };
+
+[[nodiscard]] std::string_view to_string(Severity severity);
+
+/// A single finding. `subject` names the model element or source position the
+/// finding is about (element qualified name, "file:line:col", ...).
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string subject;
+  std::string message;
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// Accumulates diagnostics. Validation passes append; callers inspect at the
+/// end, so one pass reports every problem instead of stopping at the first.
+class DiagnosticSink {
+ public:
+  void note(std::string subject, std::string message);
+  void warning(std::string subject, std::string message);
+  void error(std::string subject, std::string message);
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  [[nodiscard]] bool has_errors() const { return error_count_ > 0; }
+  [[nodiscard]] std::size_t error_count() const { return error_count_; }
+  [[nodiscard]] std::size_t warning_count() const { return warning_count_; }
+  [[nodiscard]] bool empty() const { return diagnostics_.empty(); }
+
+  /// All diagnostics joined by newlines; convenient for test assertions.
+  [[nodiscard]] std::string str() const;
+
+  void clear();
+
+ private:
+  void add(Severity severity, std::string subject, std::string message);
+
+  std::vector<Diagnostic> diagnostics_;
+  std::size_t error_count_ = 0;
+  std::size_t warning_count_ = 0;
+};
+
+}  // namespace umlsoc::support

@@ -1,0 +1,98 @@
+#include "support/graph.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace umlsoc::support {
+
+Digraph::Digraph(std::size_t node_count) { resize(node_count); }
+
+void Digraph::resize(std::size_t node_count) {
+  successors_.resize(node_count);
+  predecessors_.resize(node_count);
+}
+
+std::size_t Digraph::add_node() {
+  successors_.emplace_back();
+  predecessors_.emplace_back();
+  return successors_.size() - 1;
+}
+
+void Digraph::add_edge(std::size_t from, std::size_t to) {
+  successors_[from].push_back(to);
+  predecessors_[to].push_back(from);
+  ++edge_count_;
+}
+
+std::optional<std::vector<std::size_t>> Digraph::topological_order() const {
+  std::vector<std::size_t> indegree(node_count());
+  for (std::size_t v = 0; v < node_count(); ++v) indegree[v] = in_degree(v);
+
+  std::deque<std::size_t> ready;
+  for (std::size_t v = 0; v < node_count(); ++v) {
+    if (indegree[v] == 0) ready.push_back(v);
+  }
+
+  std::vector<std::size_t> order;
+  order.reserve(node_count());
+  while (!ready.empty()) {
+    std::size_t v = ready.front();
+    ready.pop_front();
+    order.push_back(v);
+    for (std::size_t w : successors_[v]) {
+      if (--indegree[w] == 0) ready.push_back(w);
+    }
+  }
+  if (order.size() != node_count()) return std::nullopt;
+  return order;
+}
+
+std::vector<bool> Digraph::reachable_from(std::size_t start) const {
+  std::vector<bool> seen(node_count(), false);
+  std::deque<std::size_t> frontier{start};
+  seen[start] = true;
+  while (!frontier.empty()) {
+    std::size_t v = frontier.front();
+    frontier.pop_front();
+    for (std::size_t w : successors_[v]) {
+      if (!seen[w]) {
+        seen[w] = true;
+        frontier.push_back(w);
+      }
+    }
+  }
+  return seen;
+}
+
+std::vector<bool> Digraph::reaching(std::size_t target) const {
+  std::vector<bool> seen(node_count(), false);
+  std::deque<std::size_t> frontier{target};
+  seen[target] = true;
+  while (!frontier.empty()) {
+    std::size_t v = frontier.front();
+    frontier.pop_front();
+    for (std::size_t w : predecessors_[v]) {
+      if (!seen[w]) {
+        seen[w] = true;
+        frontier.push_back(w);
+      }
+    }
+  }
+  return seen;
+}
+
+std::optional<std::vector<double>> Digraph::longest_path_to(
+    const std::vector<double>& node_weight) const {
+  std::optional<std::vector<std::size_t>> order = topological_order();
+  if (!order) return std::nullopt;
+
+  std::vector<double> finish(node_count(), 0.0);
+  for (std::size_t v : *order) {
+    double start = 0.0;
+    for (std::size_t p : predecessors_[v]) start = std::max(start, finish[p]);
+    finish[v] = start + node_weight[v];
+  }
+  return finish;
+}
+
+}  // namespace umlsoc::support

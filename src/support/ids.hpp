@@ -1,0 +1,54 @@
+// Stable element identifiers used across the model tree and serialization.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace umlsoc::support {
+
+/// Opaque, process-unique identifier for model elements. Value 0 is reserved
+/// as "invalid"; serializers persist ids as decimal strings.
+class Id {
+ public:
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint64_t value) : value_(value) {}
+
+  [[nodiscard]] constexpr std::uint64_t value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != 0; }
+
+  friend constexpr bool operator==(Id, Id) = default;
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+  [[nodiscard]] std::string str() const { return std::to_string(value_); }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Monotonic id source. One generator per Model keeps ids dense and
+/// deterministic, which in turn keeps XMI output stable across runs.
+class IdGenerator {
+ public:
+  [[nodiscard]] Id next() { return Id{++last_}; }
+
+  /// Informs the generator about an externally assigned id (e.g. from a
+  /// deserialized document) so future ids do not collide with it.
+  void reserve(Id id) {
+    if (id.value() > last_) last_ = id.value();
+  }
+
+  [[nodiscard]] std::uint64_t last() const { return last_; }
+
+ private:
+  std::uint64_t last_ = 0;
+};
+
+}  // namespace umlsoc::support
+
+template <>
+struct std::hash<umlsoc::support::Id> {
+  std::size_t operator()(umlsoc::support::Id id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value());
+  }
+};

@@ -1,0 +1,32 @@
+#include "support/rng.hpp"
+
+namespace umlsoc::support {
+
+std::uint64_t Rng::next() {
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  // Multiply-shift rejection-free mapping; bias is negligible for the
+  // bounds used here (workload sizes, not cryptography).
+  return static_cast<std::uint64_t>((static_cast<__uint128_t>(next()) * bound) >> 64);
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
+  return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+}
+
+double Rng::uniform() {
+  return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+}  // namespace umlsoc::support

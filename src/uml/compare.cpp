@@ -1,0 +1,334 @@
+#include "uml/compare.hpp"
+
+#include <string>
+
+#include "uml/instance.hpp"
+#include "uml/visitor.hpp"
+
+namespace umlsoc::uml {
+
+namespace {
+
+class Comparator {
+ public:
+  explicit Comparator(support::DiagnosticSink& sink) : sink_(sink) {}
+
+  [[nodiscard]] bool equal() const { return equal_; }
+
+  void compare(const NamedElement& left, const NamedElement& right) {
+    if (left.kind() != right.kind()) {
+      mismatch(left, "kind", std::string(to_string(left.kind())),
+               std::string(to_string(right.kind())));
+      return;  // Further comparison is meaningless on kind mismatch.
+    }
+    check(left, "name", left.name(), right.name());
+    check(left, "visibility", std::string(to_string(left.visibility())),
+          std::string(to_string(right.visibility())));
+    check(left, "documentation", left.documentation(), right.documentation());
+    compare_stereotypes(left, right);
+
+    switch (left.kind()) {
+      case ElementKind::kModel:
+        compare_model(static_cast<const Model&>(left), static_cast<const Model&>(right));
+        break;
+      case ElementKind::kPackage:
+      case ElementKind::kProfile:
+        compare_package(static_cast<const Package&>(left), static_cast<const Package&>(right));
+        break;
+      case ElementKind::kStereotype:
+        compare_stereotype(static_cast<const Stereotype&>(left),
+                           static_cast<const Stereotype&>(right));
+        break;
+      case ElementKind::kClass:
+      case ElementKind::kComponent:
+        compare_class(static_cast<const Class&>(left), static_cast<const Class&>(right));
+        break;
+      case ElementKind::kInterface:
+        compare_interface(static_cast<const Interface&>(left),
+                          static_cast<const Interface&>(right));
+        break;
+      case ElementKind::kDataType:
+        compare_classifier(static_cast<const Classifier&>(left),
+                           static_cast<const Classifier&>(right));
+        break;
+      case ElementKind::kPrimitiveType:
+        check(left, "bit_width",
+              std::to_string(static_cast<const PrimitiveType&>(left).bit_width()),
+              std::to_string(static_cast<const PrimitiveType&>(right).bit_width()));
+        break;
+      case ElementKind::kEnumeration:
+        compare_enumeration(static_cast<const Enumeration&>(left),
+                            static_cast<const Enumeration&>(right));
+        break;
+      case ElementKind::kSignal:
+        compare_signal(static_cast<const Signal&>(left), static_cast<const Signal&>(right));
+        break;
+      case ElementKind::kProperty:
+        compare_property(static_cast<const Property&>(left), static_cast<const Property&>(right));
+        break;
+      case ElementKind::kOperation:
+        compare_operation(static_cast<const Operation&>(left),
+                          static_cast<const Operation&>(right));
+        break;
+      case ElementKind::kParameter:
+        compare_parameter(static_cast<const Parameter&>(left),
+                          static_cast<const Parameter&>(right));
+        break;
+      case ElementKind::kPort:
+        compare_port(static_cast<const Port&>(left), static_cast<const Port&>(right));
+        break;
+      case ElementKind::kAssociation:
+        compare_association(static_cast<const Association&>(left),
+                            static_cast<const Association&>(right));
+        break;
+      case ElementKind::kConnector:
+        compare_connector(static_cast<const Connector&>(left),
+                          static_cast<const Connector&>(right));
+        break;
+      case ElementKind::kDependency:
+        compare_dependency(static_cast<const Dependency&>(left),
+                           static_cast<const Dependency&>(right));
+        break;
+      case ElementKind::kInstanceSpecification:
+        compare_instance(static_cast<const InstanceSpecification&>(left),
+                         static_cast<const InstanceSpecification&>(right));
+        break;
+    }
+  }
+
+ private:
+  static std::string ref_name(const NamedElement* element) {
+    return element == nullptr ? "<null>" : element->qualified_name();
+  }
+
+  void mismatch(const NamedElement& at, std::string_view what, const std::string& left,
+                const std::string& right) {
+    equal_ = false;
+    sink_.error(at.qualified_name(),
+                std::string(what) + " differs: '" + left + "' vs '" + right + "'");
+  }
+
+  void check(const NamedElement& at, std::string_view what, const std::string& left,
+             const std::string& right) {
+    if (left != right) mismatch(at, what, left, right);
+  }
+
+  template <typename T>
+  void compare_children(const NamedElement& at, const std::vector<std::unique_ptr<T>>& left,
+                        const std::vector<std::unique_ptr<T>>& right, std::string_view what) {
+    if (left.size() != right.size()) {
+      mismatch(at, what, std::to_string(left.size()) + " children",
+               std::to_string(right.size()) + " children");
+      return;
+    }
+    for (std::size_t i = 0; i < left.size(); ++i) compare(*left[i], *right[i]);
+  }
+
+  void compare_stereotypes(const NamedElement& left, const NamedElement& right) {
+    const auto& la = left.stereotype_applications();
+    const auto& ra = right.stereotype_applications();
+    if (la.size() != ra.size()) {
+      mismatch(left, "stereotype application count", std::to_string(la.size()),
+               std::to_string(ra.size()));
+      return;
+    }
+    for (std::size_t i = 0; i < la.size(); ++i) {
+      check(left, "applied stereotype", la[i].stereotype->name(), ra[i].stereotype->name());
+      if (la[i].tagged_values != ra[i].tagged_values) {
+        mismatch(left, "tagged values of <<" + la[i].stereotype->name() + ">>", "...", "...");
+      }
+    }
+  }
+
+  void compare_classifier(const Classifier& left, const Classifier& right) {
+    check(left, "is_abstract", std::to_string(left.is_abstract()),
+          std::to_string(right.is_abstract()));
+    if (left.generals().size() != right.generals().size()) {
+      mismatch(left, "generalization count", std::to_string(left.generals().size()),
+               std::to_string(right.generals().size()));
+      return;
+    }
+    for (std::size_t i = 0; i < left.generals().size(); ++i) {
+      check(left, "general", ref_name(left.generals()[i]), ref_name(right.generals()[i]));
+    }
+  }
+
+  void compare_class(const Class& left, const Class& right) {
+    compare_classifier(left, right);
+    check(left, "is_active", std::to_string(left.is_active()),
+          std::to_string(right.is_active()));
+    compare_children(left, left.properties(), right.properties(), "properties");
+    compare_children(left, left.operations(), right.operations(), "operations");
+    compare_children(left, left.ports(), right.ports(), "ports");
+    compare_children(left, left.connectors(), right.connectors(), "connectors");
+    if (left.interface_realizations().size() != right.interface_realizations().size()) {
+      mismatch(left, "realization count",
+               std::to_string(left.interface_realizations().size()),
+               std::to_string(right.interface_realizations().size()));
+    } else {
+      for (std::size_t i = 0; i < left.interface_realizations().size(); ++i) {
+        check(left, "realized interface", ref_name(left.interface_realizations()[i]),
+              ref_name(right.interface_realizations()[i]));
+      }
+    }
+    if (left.kind() == ElementKind::kComponent) {
+      const auto& lc = static_cast<const Component&>(left);
+      const auto& rc = static_cast<const Component&>(right);
+      compare_ref_lists(left, "provided", lc.provided(), rc.provided());
+      compare_ref_lists(left, "required", lc.required(), rc.required());
+    }
+  }
+
+  template <typename T>
+  void compare_ref_lists(const NamedElement& at, std::string_view what,
+                         const std::vector<T*>& left, const std::vector<T*>& right) {
+    if (left.size() != right.size()) {
+      mismatch(at, std::string(what) + " count", std::to_string(left.size()),
+               std::to_string(right.size()));
+      return;
+    }
+    for (std::size_t i = 0; i < left.size(); ++i) {
+      check(at, what, ref_name(left[i]), ref_name(right[i]));
+    }
+  }
+
+  void compare_interface(const Interface& left, const Interface& right) {
+    compare_classifier(left, right);
+    compare_children(left, left.operations(), right.operations(), "operations");
+  }
+
+  void compare_enumeration(const Enumeration& left, const Enumeration& right) {
+    if (left.literals() != right.literals()) {
+      mismatch(left, "literals", std::to_string(left.literals().size()) + " literals",
+               std::to_string(right.literals().size()) + " literals");
+    }
+  }
+
+  void compare_signal(const Signal& left, const Signal& right) {
+    compare_classifier(left, right);
+    compare_children(left, left.properties(), right.properties(), "properties");
+  }
+
+  void compare_property(const Property& left, const Property& right) {
+    check(left, "type", ref_name(left.type()), ref_name(right.type()));
+    check(left, "multiplicity", left.multiplicity().str(), right.multiplicity().str());
+    check(left, "aggregation", std::string(to_string(left.aggregation())),
+          std::string(to_string(right.aggregation())));
+    check(left, "default", left.default_value(), right.default_value());
+    check(left, "read_only", std::to_string(left.is_read_only()),
+          std::to_string(right.is_read_only()));
+    check(left, "static", std::to_string(left.is_static()), std::to_string(right.is_static()));
+  }
+
+  void compare_operation(const Operation& left, const Operation& right) {
+    check(left, "is_abstract", std::to_string(left.is_abstract()),
+          std::to_string(right.is_abstract()));
+    check(left, "is_query", std::to_string(left.is_query()), std::to_string(right.is_query()));
+    check(left, "body", left.body(), right.body());
+    compare_children(left, left.parameters(), right.parameters(), "parameters");
+  }
+
+  void compare_parameter(const Parameter& left, const Parameter& right) {
+    check(left, "type", ref_name(left.type()), ref_name(right.type()));
+    check(left, "direction", std::string(to_string(left.direction())),
+          std::string(to_string(right.direction())));
+    check(left, "default", left.default_value(), right.default_value());
+  }
+
+  void compare_port(const Port& left, const Port& right) {
+    check(left, "type", ref_name(left.type()), ref_name(right.type()));
+    check(left, "direction", std::string(to_string(left.direction())),
+          std::string(to_string(right.direction())));
+    check(left, "width", std::to_string(left.width()), std::to_string(right.width()));
+    check(left, "service", std::to_string(left.is_service()),
+          std::to_string(right.is_service()));
+    compare_ref_lists(left, "provided", left.provided(), right.provided());
+    compare_ref_lists(left, "required", left.required(), right.required());
+  }
+
+  void compare_association(const Association& left, const Association& right) {
+    compare_children(left, left.ends(), right.ends(), "ends");
+  }
+
+  void compare_connector(const Connector& left, const Connector& right) {
+    if (left.ends().size() != right.ends().size()) {
+      mismatch(left, "end count", std::to_string(left.ends().size()),
+               std::to_string(right.ends().size()));
+      return;
+    }
+    for (std::size_t i = 0; i < left.ends().size(); ++i) {
+      check(left, "end", left.ends()[i].str(), right.ends()[i].str());
+    }
+  }
+
+  void compare_dependency(const Dependency& left, const Dependency& right) {
+    check(left, "client", ref_name(left.client()), ref_name(right.client()));
+    check(left, "supplier", ref_name(left.supplier()), ref_name(right.supplier()));
+    check(left, "dependency kind", std::string(to_string(left.dependency_kind())),
+          std::string(to_string(right.dependency_kind())));
+  }
+
+  void compare_instance(const InstanceSpecification& left, const InstanceSpecification& right) {
+    check(left, "classifier", ref_name(left.classifier()), ref_name(right.classifier()));
+    if (left.slots().size() != right.slots().size()) {
+      mismatch(left, "slot count", std::to_string(left.slots().size()),
+               std::to_string(right.slots().size()));
+      return;
+    }
+    for (std::size_t i = 0; i < left.slots().size(); ++i) {
+      const Slot& ls = left.slots()[i];
+      const Slot& rs = right.slots()[i];
+      check(left, "slot feature", ref_name(ls.defining_feature), ref_name(rs.defining_feature));
+      check(left, "slot value", ls.value, rs.value);
+      check(left, "slot reference", ref_name(ls.reference), ref_name(rs.reference));
+    }
+  }
+
+  void compare_stereotype(const Stereotype& left, const Stereotype& right) {
+    if (left.extended_metaclasses().size() != right.extended_metaclasses().size()) {
+      mismatch(left, "extended metaclass count",
+               std::to_string(left.extended_metaclasses().size()),
+               std::to_string(right.extended_metaclasses().size()));
+    } else {
+      for (std::size_t i = 0; i < left.extended_metaclasses().size(); ++i) {
+        check(left, "extended metaclass",
+              std::string(to_string(left.extended_metaclasses()[i])),
+              std::string(to_string(right.extended_metaclasses()[i])));
+      }
+    }
+    if (left.tag_definitions().size() != right.tag_definitions().size()) {
+      mismatch(left, "tag definition count", std::to_string(left.tag_definitions().size()),
+               std::to_string(right.tag_definitions().size()));
+    } else {
+      for (std::size_t i = 0; i < left.tag_definitions().size(); ++i) {
+        check(left, "tag name", left.tag_definitions()[i].name,
+              right.tag_definitions()[i].name);
+        check(left, "tag default", left.tag_definitions()[i].default_value,
+              right.tag_definitions()[i].default_value);
+      }
+    }
+  }
+
+  void compare_package(const Package& left, const Package& right) {
+    compare_children(left, left.members(), right.members(), "members");
+  }
+
+  void compare_model(const Model& left, const Model& right) {
+    compare_package(left, right);
+    compare_ref_lists(left, "applied profile", left.applied_profiles(),
+                      right.applied_profiles());
+  }
+
+  support::DiagnosticSink& sink_;
+  bool equal_ = true;
+};
+
+}  // namespace
+
+bool structurally_equal(const Model& left, const Model& right, support::DiagnosticSink& sink) {
+  Comparator comparator(sink);
+  comparator.compare(left, right);
+  return comparator.equal();
+}
+
+}  // namespace umlsoc::uml

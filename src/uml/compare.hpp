@@ -1,0 +1,17 @@
+// Structural equality of two models, independent of element ids. Used by the
+// XMI round-trip property tests (DESIGN.md E2): serialize(parse(m)) must be
+// structurally identical to m.
+#pragma once
+
+#include "support/diagnostics.hpp"
+#include "uml/package.hpp"
+
+namespace umlsoc::uml {
+
+/// Compares ownership trees element by element. References (types,
+/// generalizations, connector ends, ...) are compared by qualified name,
+/// which is unambiguous for models that pass validate(). Differences are
+/// reported through `sink` as errors; returns true when none were found.
+bool structurally_equal(const Model& left, const Model& right, support::DiagnosticSink& sink);
+
+}  // namespace umlsoc::uml

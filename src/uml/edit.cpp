@@ -1,0 +1,152 @@
+#include "uml/edit.hpp"
+
+#include <unordered_set>
+
+#include "uml/instance.hpp"
+#include "uml/query.hpp"
+
+namespace umlsoc::uml {
+
+namespace {
+
+/// Ids of `target` and everything it owns.
+std::unordered_set<support::Id> subtree_ids(const Element& target) {
+  std::unordered_set<support::Id> ids;
+  std::vector<const Element*> stack{&target};
+  while (!stack.empty()) {
+    const Element* element = stack.back();
+    stack.pop_back();
+    ids.insert(element->id());
+    for (Element* child : element->owned_elements()) stack.push_back(child);
+  }
+  return ids;
+}
+
+std::string subject_of(const Element& element) {
+  if (const auto* named = dynamic_cast<const NamedElement*>(&element)) {
+    return named->qualified_name();
+  }
+  return "element#" + element.id().str();
+}
+
+class ReferenceScan {
+ public:
+  ReferenceScan(const std::unordered_set<support::Id>& targets) : targets_(targets) {}
+
+  std::vector<std::string> run(Model& model) {
+    std::vector<Element*> stack{&model};
+    while (!stack.empty()) {
+      Element* element = stack.back();
+      stack.pop_back();
+      // References from inside the removed subtree do not keep it alive.
+      if (!targets_.contains(element->id())) scan(*element);
+      for (Element* child : element->owned_elements()) stack.push_back(child);
+    }
+    for (const Profile* profile : model.applied_profiles()) {
+      if (targets_.contains(profile->id())) {
+        hits_.push_back(model.qualified_name() + ": applied profile");
+      }
+    }
+    return std::move(hits_);
+  }
+
+ private:
+  void hit(const Element& from, const char* what) {
+    hits_.push_back(subject_of(from) + ": " + what);
+  }
+
+  void check(const Element& from, const Element* reference, const char* what) {
+    if (reference != nullptr && targets_.contains(reference->id())) hit(from, what);
+  }
+
+  void scan(Element& element) {
+    for (const StereotypeApplication& application : element.stereotype_applications()) {
+      check(element, application.stereotype, "applied stereotype");
+    }
+    if (auto* classifier = dynamic_cast<Classifier*>(&element)) {
+      for (Classifier* general : classifier->generals()) {
+        check(element, general, "generalization");
+      }
+    }
+    if (auto* property = dynamic_cast<Property*>(&element)) {
+      check(element, property->type(), "property type");
+    }
+    if (auto* parameter = dynamic_cast<Parameter*>(&element)) {
+      check(element, parameter->type(), "parameter type");
+    }
+    if (auto* port = dynamic_cast<Port*>(&element)) {
+      check(element, port->type(), "port type");
+      for (Interface* interface : port->provided()) check(element, interface, "provided");
+      for (Interface* interface : port->required()) check(element, interface, "required");
+    }
+    if (auto* cls = dynamic_cast<Class*>(&element)) {
+      for (Interface* contract : cls->interface_realizations()) {
+        check(element, contract, "interface realization");
+      }
+    }
+    if (auto* component = dynamic_cast<Component*>(&element)) {
+      for (Interface* interface : component->provided()) check(element, interface, "provided");
+      for (Interface* interface : component->required()) check(element, interface, "required");
+    }
+    if (auto* connector = dynamic_cast<Connector*>(&element)) {
+      for (const ConnectorEnd& end : connector->ends()) {
+        check(element, end.part, "connector end part");
+        check(element, end.port, "connector end port");
+      }
+    }
+    if (auto* dependency = dynamic_cast<Dependency*>(&element)) {
+      check(element, dependency->client(), "dependency client");
+      check(element, dependency->supplier(), "dependency supplier");
+    }
+    if (auto* instance = dynamic_cast<InstanceSpecification*>(&element)) {
+      check(element, instance->classifier(), "instance classifier");
+      for (const Slot& slot : instance->slots()) {
+        check(element, slot.defining_feature, "slot feature");
+        check(element, slot.reference, "slot reference");
+      }
+    }
+  }
+
+  const std::unordered_set<support::Id>& targets_;
+  std::vector<std::string> hits_;
+};
+
+}  // namespace
+
+std::vector<std::string> find_references(Model& model, const Element& target) {
+  return ReferenceScan(subtree_ids(target)).run(model);
+}
+
+bool remove_member(Package& package, NamedElement& member) {
+  Model& model = package.model();
+  // Unregister first (the subtree is still intact), then drop ownership.
+  std::vector<const Element*> stack{&member};
+  std::vector<const Element*> subtree;
+  while (!stack.empty()) {
+    const Element* element = stack.back();
+    stack.pop_back();
+    subtree.push_back(element);
+    for (Element* child : element->owned_elements()) stack.push_back(child);
+  }
+  std::unique_ptr<NamedElement> released = package.release_member(member);
+  if (released == nullptr) return false;
+  for (const Element* element : subtree) model.unregister_element(*element);
+  return true;
+}
+
+bool safe_remove(Package& package, NamedElement& member, support::DiagnosticSink& sink) {
+  std::vector<std::string> references = find_references(package.model(), member);
+  if (!references.empty()) {
+    for (const std::string& reference : references) {
+      sink.error(member.qualified_name(), "still referenced by " + reference);
+    }
+    return false;
+  }
+  if (!remove_member(package, member)) {
+    sink.error(member.qualified_name(), "not a direct member of " + package.qualified_name());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace umlsoc::uml

@@ -1,0 +1,31 @@
+// Model editing beyond construction: element removal with dangling-
+// reference protection. Construction is covered by the factory methods;
+// these helpers complete the CRUD story a real modeling tool needs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+#include "uml/package.hpp"
+
+namespace umlsoc::uml {
+
+/// Cross-references into `target` or any element it owns: type references,
+/// generalizations, realizations, association/connector ends, dependency
+/// endpoints, instance classifiers/slots, port interfaces, stereotype
+/// applications and profile applications. Each entry names the referring
+/// element and the reference kind ("<qname>: <kind>").
+[[nodiscard]] std::vector<std::string> find_references(Model& model, const Element& target);
+
+/// Removes `member` from its owning package and unregisters it (and every
+/// element it owns) from the model index. The caller must ensure nothing
+/// references it — see find_references / safe_remove. Returns false when
+/// `member` is not a direct member of `package`.
+bool remove_member(Package& package, NamedElement& member);
+
+/// remove_member with a safety check: refuses (reporting every inbound
+/// reference as an error) when the element is still referenced elsewhere.
+bool safe_remove(Package& package, NamedElement& member, support::DiagnosticSink& sink);
+
+}  // namespace umlsoc::uml

@@ -1,0 +1,133 @@
+#include "uml/element.hpp"
+
+#include "uml/package.hpp"
+#include "uml/visitor.hpp"
+
+namespace umlsoc::uml {
+
+std::string_view to_string(ElementKind kind) {
+  switch (kind) {
+    case ElementKind::kModel:
+      return "Model";
+    case ElementKind::kPackage:
+      return "Package";
+    case ElementKind::kProfile:
+      return "Profile";
+    case ElementKind::kStereotype:
+      return "Stereotype";
+    case ElementKind::kClass:
+      return "Class";
+    case ElementKind::kComponent:
+      return "Component";
+    case ElementKind::kInterface:
+      return "Interface";
+    case ElementKind::kDataType:
+      return "DataType";
+    case ElementKind::kPrimitiveType:
+      return "PrimitiveType";
+    case ElementKind::kEnumeration:
+      return "Enumeration";
+    case ElementKind::kSignal:
+      return "Signal";
+    case ElementKind::kProperty:
+      return "Property";
+    case ElementKind::kOperation:
+      return "Operation";
+    case ElementKind::kParameter:
+      return "Parameter";
+    case ElementKind::kPort:
+      return "Port";
+    case ElementKind::kAssociation:
+      return "Association";
+    case ElementKind::kConnector:
+      return "Connector";
+    case ElementKind::kDependency:
+      return "Dependency";
+    case ElementKind::kInstanceSpecification:
+      return "InstanceSpecification";
+  }
+  return "Element";
+}
+
+std::string_view to_string(Visibility visibility) {
+  switch (visibility) {
+    case Visibility::kPublic:
+      return "public";
+    case Visibility::kProtected:
+      return "protected";
+    case Visibility::kPrivate:
+      return "private";
+    case Visibility::kPackage:
+      return "package";
+  }
+  return "public";
+}
+
+StereotypeApplication& Element::apply_stereotype(const Stereotype& stereotype) {
+  for (StereotypeApplication& application : applications_) {
+    if (application.stereotype == &stereotype) return application;
+  }
+  StereotypeApplication application;
+  application.stereotype = &stereotype;
+  for (const Stereotype::TagDefinition& tag : stereotype.tag_definitions()) {
+    application.tagged_values[tag.name] = tag.default_value;
+  }
+  applications_.push_back(std::move(application));
+  return applications_.back();
+}
+
+bool Element::has_stereotype(const Stereotype& stereotype) const {
+  for (const StereotypeApplication& application : applications_) {
+    if (application.stereotype == &stereotype) return true;
+  }
+  return false;
+}
+
+bool Element::has_stereotype(std::string_view stereotype_name) const {
+  for (const StereotypeApplication& application : applications_) {
+    if (application.stereotype->name() == stereotype_name) return true;
+  }
+  return false;
+}
+
+std::string Element::tagged_value(const Stereotype& stereotype, const std::string& key) const {
+  for (const StereotypeApplication& application : applications_) {
+    if (application.stereotype == &stereotype) {
+      auto it = application.tagged_values.find(key);
+      if (it != application.tagged_values.end()) return it->second;
+    }
+  }
+  return {};
+}
+
+void Element::set_tagged_value(const Stereotype& stereotype, std::string key, std::string value) {
+  apply_stereotype(stereotype).tagged_values[std::move(key)] = std::move(value);
+}
+
+std::vector<Element*> Element::owned_elements() const {
+  std::vector<Element*> out;
+  collect_owned(out);
+  return out;
+}
+
+void Element::collect_owned(std::vector<Element*>&) const {}
+
+std::string NamedElement::qualified_name() const {
+  std::vector<const NamedElement*> chain;
+  for (const Element* element = this; element != nullptr; element = element->owner()) {
+    if (const auto* named = dynamic_cast<const NamedElement*>(element)) chain.push_back(named);
+  }
+  std::string out;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    if (!out.empty()) out += '.';
+    out += (*it)->name();
+  }
+  return out;
+}
+
+void walk(Element& root, ElementVisitor& visitor) {
+  root.accept(visitor);
+  for (Element* child : root.owned_elements()) walk(*child, visitor);
+}
+
+}  // namespace umlsoc::uml

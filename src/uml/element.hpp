@@ -1,0 +1,132 @@
+// Base classes of the UML 2.0 metamodel subset (DESIGN.md §2, module `uml`).
+//
+// Ownership follows the UML composition tree: every element is owned by
+// exactly one parent through std::unique_ptr; all cross-references
+// (types, association ends, generalizations, ...) are raw non-owning
+// pointers into the same Model.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/ids.hpp"
+
+namespace umlsoc::uml {
+
+class Element;
+class ElementVisitor;
+class Model;
+class Stereotype;
+
+/// Concrete metaclass tag; used for serialization and fast dispatch.
+enum class ElementKind {
+  kModel,
+  kPackage,
+  kProfile,
+  kStereotype,
+  kClass,
+  kComponent,
+  kInterface,
+  kDataType,
+  kPrimitiveType,
+  kEnumeration,
+  kSignal,
+  kProperty,
+  kOperation,
+  kParameter,
+  kPort,
+  kAssociation,
+  kConnector,
+  kDependency,
+  kInstanceSpecification,
+};
+
+[[nodiscard]] std::string_view to_string(ElementKind kind);
+
+/// UML visibility; defaults to public as in most concrete syntaxes.
+enum class Visibility { kPublic, kProtected, kPrivate, kPackage };
+
+[[nodiscard]] std::string_view to_string(Visibility visibility);
+
+/// One stereotype applied to an element plus its tagged values.
+struct StereotypeApplication {
+  const Stereotype* stereotype = nullptr;
+  std::map<std::string, std::string> tagged_values;
+};
+
+/// Root of the metamodel. Every element has a model-unique Id, an owner
+/// (nullptr only for the Model itself), and may carry applied stereotypes
+/// and a documentation comment.
+class Element {
+ public:
+  virtual ~Element() = default;
+
+  Element(const Element&) = delete;
+  Element& operator=(const Element&) = delete;
+
+  [[nodiscard]] virtual ElementKind kind() const = 0;
+  virtual void accept(ElementVisitor& visitor) = 0;
+
+  [[nodiscard]] support::Id id() const { return id_; }
+  [[nodiscard]] Element* owner() const { return owner_; }
+  [[nodiscard]] Model& model() const { return *model_; }
+
+  [[nodiscard]] const std::string& documentation() const { return documentation_; }
+  void set_documentation(std::string text) { documentation_ = std::move(text); }
+
+  // --- Profile support (DESIGN.md: `soc` builds on this) ------------------
+
+  /// Applies `stereotype`; repeat applications return the existing record.
+  StereotypeApplication& apply_stereotype(const Stereotype& stereotype);
+  [[nodiscard]] bool has_stereotype(const Stereotype& stereotype) const;
+  [[nodiscard]] bool has_stereotype(std::string_view stereotype_name) const;
+  /// Tagged value for `key` under `stereotype`; empty string when unset.
+  [[nodiscard]] std::string tagged_value(const Stereotype& stereotype, const std::string& key) const;
+  void set_tagged_value(const Stereotype& stereotype, std::string key, std::string value);
+  [[nodiscard]] const std::vector<StereotypeApplication>& stereotype_applications() const {
+    return applications_;
+  }
+
+  /// Direct children in the ownership tree, in a stable order.
+  [[nodiscard]] std::vector<Element*> owned_elements() const;
+
+ protected:
+  Element() = default;
+
+  /// Appends the children this concrete class owns; subclasses extend.
+  virtual void collect_owned(std::vector<Element*>& out) const;
+
+ private:
+  friend class Model;  // Assigns id/owner/model at registration time.
+
+  support::Id id_;
+  Element* owner_ = nullptr;
+  Model* model_ = nullptr;
+  std::string documentation_;
+  std::vector<StereotypeApplication> applications_;
+};
+
+/// Element with a name; nearly everything in the subset is named.
+class NamedElement : public Element {
+ public:
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  [[nodiscard]] Visibility visibility() const { return visibility_; }
+  void set_visibility(Visibility visibility) { visibility_ = visibility; }
+
+  /// Dot-separated path from the model root, e.g. "Soc.Uart.tx_fifo".
+  [[nodiscard]] std::string qualified_name() const;
+
+ protected:
+  explicit NamedElement(std::string name) : name_(std::move(name)) {}
+
+ private:
+  std::string name_;
+  Visibility visibility_ = Visibility::kPublic;
+};
+
+}  // namespace umlsoc::uml

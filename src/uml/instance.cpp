@@ -1,0 +1,39 @@
+#include "uml/instance.hpp"
+
+#include "uml/visitor.hpp"
+
+namespace umlsoc::uml {
+
+void InstanceSpecification::accept(ElementVisitor& visitor) { visitor.visit(*this); }
+
+Slot& InstanceSpecification::slot_for(const Property& feature) {
+  for (Slot& slot : slots_) {
+    if (slot.defining_feature == &feature) return slot;
+  }
+  slots_.push_back(Slot{&feature, {}, nullptr});
+  return slots_.back();
+}
+
+void InstanceSpecification::set_slot(const Property& feature, std::string value) {
+  Slot& slot = slot_for(feature);
+  slot.value = std::move(value);
+  slot.reference = nullptr;
+}
+
+void InstanceSpecification::set_slot_reference(const Property& feature,
+                                               InstanceSpecification& reference) {
+  Slot& slot = slot_for(feature);
+  slot.value.clear();
+  slot.reference = &reference;
+}
+
+const Slot* InstanceSpecification::find_slot(std::string_view feature_name) const {
+  for (const Slot& slot : slots_) {
+    if (slot.defining_feature != nullptr && slot.defining_feature->name() == feature_name) {
+      return &slot;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace umlsoc::uml

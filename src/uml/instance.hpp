@@ -1,0 +1,48 @@
+// InstanceSpecification / Slot: the Object Diagram part of the subset.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "uml/types.hpp"
+
+namespace umlsoc::uml {
+
+class InstanceSpecification;
+
+/// A value for one structural feature of an instance. Either a literal
+/// `value` (concrete syntax text) or a reference to another instance.
+struct Slot {
+  const Property* defining_feature = nullptr;
+  std::string value;
+  InstanceSpecification* reference = nullptr;
+};
+
+/// A named instance of a classifier with slot values; instances of a class
+/// diagram form an object diagram (paper §2).
+class InstanceSpecification final : public NamedElement {
+ public:
+  explicit InstanceSpecification(std::string name) : NamedElement(std::move(name)) {}
+
+  [[nodiscard]] ElementKind kind() const override {
+    return ElementKind::kInstanceSpecification;
+  }
+  void accept(ElementVisitor& visitor) override;
+
+  [[nodiscard]] Classifier* classifier() const { return classifier_; }
+  void set_classifier(Classifier& classifier) { classifier_ = &classifier; }
+
+  void set_slot(const Property& feature, std::string value);
+  void set_slot_reference(const Property& feature, InstanceSpecification& reference);
+
+  [[nodiscard]] const std::vector<Slot>& slots() const { return slots_; }
+  [[nodiscard]] const Slot* find_slot(std::string_view feature_name) const;
+
+ private:
+  Slot& slot_for(const Property& feature);
+
+  Classifier* classifier_ = nullptr;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace umlsoc::uml

@@ -1,0 +1,187 @@
+#include "uml/package.hpp"
+
+#include "uml/instance.hpp"
+#include "uml/visitor.hpp"
+
+namespace umlsoc::uml {
+
+// --- Package -----------------------------------------------------------------
+
+void Package::accept(ElementVisitor& visitor) { visitor.visit(*this); }
+
+template <typename T>
+T& Package::adopt(std::unique_ptr<T> element) {
+  T& ref = *element;
+  model().register_element(ref, *this);
+  members_.push_back(std::move(element));
+  return ref;
+}
+
+Package& Package::add_package(std::string name) {
+  return adopt(std::make_unique<Package>(std::move(name)));
+}
+
+Class& Package::add_class(std::string name) {
+  return adopt(std::make_unique<Class>(std::move(name)));
+}
+
+Component& Package::add_component(std::string name) {
+  return adopt(std::make_unique<Component>(std::move(name)));
+}
+
+Interface& Package::add_interface(std::string name) {
+  return adopt(std::make_unique<Interface>(std::move(name)));
+}
+
+DataType& Package::add_data_type(std::string name) {
+  return adopt(std::make_unique<DataType>(std::move(name)));
+}
+
+PrimitiveType& Package::add_primitive_type(std::string name, int bit_width) {
+  PrimitiveType& primitive = adopt(std::make_unique<PrimitiveType>(std::move(name)));
+  primitive.set_bit_width(bit_width);
+  return primitive;
+}
+
+Enumeration& Package::add_enumeration(std::string name) {
+  return adopt(std::make_unique<Enumeration>(std::move(name)));
+}
+
+Signal& Package::add_signal(std::string name) {
+  return adopt(std::make_unique<Signal>(std::move(name)));
+}
+
+Association& Package::add_association(std::string name) {
+  return adopt(std::make_unique<Association>(std::move(name)));
+}
+
+Dependency& Package::add_dependency(std::string name, NamedElement& client,
+                                    NamedElement& supplier) {
+  Dependency& dependency = add_dependency(std::move(name));
+  dependency.set_client(client);
+  dependency.set_supplier(supplier);
+  return dependency;
+}
+
+Dependency& Package::add_dependency(std::string name) {
+  return adopt(std::make_unique<Dependency>(std::move(name)));
+}
+
+InstanceSpecification& Package::add_instance(std::string name, Classifier* classifier) {
+  InstanceSpecification& instance =
+      adopt(std::make_unique<InstanceSpecification>(std::move(name)));
+  if (classifier != nullptr) instance.set_classifier(*classifier);
+  return instance;
+}
+
+std::unique_ptr<NamedElement> Package::release_member(NamedElement& member) {
+  for (auto it = members_.begin(); it != members_.end(); ++it) {
+    if (it->get() == &member) {
+      std::unique_ptr<NamedElement> released = std::move(*it);
+      members_.erase(it);
+      return released;
+    }
+  }
+  return nullptr;
+}
+
+NamedElement* Package::find_member(std::string_view name) const {
+  for (const auto& member : members_) {
+    if (member->name() == name) return member.get();
+  }
+  return nullptr;
+}
+
+void Package::collect_owned(std::vector<Element*>& out) const {
+  for (const auto& member : members_) out.push_back(member.get());
+}
+
+// --- Stereotype / Profile ------------------------------------------------------
+
+void Stereotype::accept(ElementVisitor& visitor) { visitor.visit(*this); }
+
+bool Stereotype::extends(ElementKind metaclass) const {
+  for (ElementKind kind : extended_) {
+    if (kind == metaclass) return true;
+  }
+  return false;
+}
+
+void Stereotype::add_tag_definition(std::string name, std::string default_value) {
+  tags_.push_back(TagDefinition{std::move(name), std::move(default_value)});
+}
+
+const Stereotype::TagDefinition* Stereotype::find_tag_definition(std::string_view name) const {
+  for (const TagDefinition& tag : tags_) {
+    if (tag.name == name) return &tag;
+  }
+  return nullptr;
+}
+
+void Profile::accept(ElementVisitor& visitor) { visitor.visit(*this); }
+
+Stereotype& Profile::add_stereotype(std::string name) {
+  return adopt(std::make_unique<Stereotype>(std::move(name)));
+}
+
+Stereotype* Profile::find_stereotype(std::string_view name) const {
+  for (const auto& member : members()) {
+    if (auto* stereotype = dynamic_cast<Stereotype*>(member.get())) {
+      if (stereotype->name() == name) return stereotype;
+    }
+  }
+  return nullptr;
+}
+
+// --- Model -----------------------------------------------------------------------
+
+Model::Model(std::string name) : Package(std::move(name)) {
+  // The model is its own root: it registers itself so every element,
+  // including the root, has a valid id and model pointer.
+  model_ = this;
+  id_ = id_generator_.next();
+  index_.emplace(id_, this);
+}
+
+void Model::accept(ElementVisitor& visitor) { visitor.visit(*this); }
+
+Profile& Model::add_profile(std::string name) {
+  return adopt(std::make_unique<Profile>(std::move(name)));
+}
+
+Element* Model::find(support::Id id) const {
+  auto it = index_.find(id);
+  return it == index_.end() ? nullptr : it->second;
+}
+
+void Model::register_element(Element& element, Element& owner) {
+  register_element_with_id(element, owner, id_generator_.next());
+}
+
+void Model::register_element_with_id(Element& element, Element& owner, support::Id id) {
+  element.id_ = id;
+  element.owner_ = &owner;
+  element.model_ = this;
+  id_generator_.reserve(id);
+  index_.emplace(id, &element);
+}
+
+void Model::unregister_element(const Element& element) { index_.erase(element.id()); }
+
+PrimitiveType& Model::primitive(std::string_view name, int bit_width) {
+  if (primitives_package_ == nullptr) {
+    // A deserialized model already contains the managed package; reuse it.
+    if (auto* existing = dynamic_cast<Package*>(find_member("<primitives>"))) {
+      primitives_package_ = existing;
+    } else {
+      primitives_package_ = &add_package("<primitives>");
+    }
+  }
+  if (auto* existing =
+          dynamic_cast<PrimitiveType*>(primitives_package_->find_member(name))) {
+    return *existing;
+  }
+  return primitives_package_->add_primitive_type(std::string(name), bit_width);
+}
+
+}  // namespace umlsoc::uml

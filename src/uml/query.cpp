@@ -1,0 +1,40 @@
+#include "uml/query.hpp"
+
+#include "support/strings.hpp"
+#include "uml/instance.hpp"
+
+namespace umlsoc::uml {
+
+NamedElement* find_by_qualified_name(const Model& model, std::string_view path) {
+  const Package* current_package = &model;
+  NamedElement* current = nullptr;
+  for (const std::string& segment : support::split(path, '.')) {
+    if (current_package == nullptr) return nullptr;
+    current = current_package->find_member(segment);
+    if (current == nullptr) return nullptr;
+    current_package = dynamic_cast<Package*>(current);
+  }
+  return current;
+}
+
+ModelStats compute_stats(Model& model) {
+  ModelStats stats;
+  struct Frame {
+    Element* element;
+    std::size_t depth;
+  };
+  std::vector<Frame> stack{{&model, 0}};
+  while (!stack.empty()) {
+    Frame frame = stack.back();
+    stack.pop_back();
+    ++stats.total;
+    ++stats.by_kind[static_cast<std::size_t>(frame.element->kind())];
+    if (frame.depth > stats.max_depth) stats.max_depth = frame.depth;
+    for (Element* child : frame.element->owned_elements()) {
+      stack.push_back({child, frame.depth + 1});
+    }
+  }
+  return stats;
+}
+
+}  // namespace umlsoc::uml

@@ -1,0 +1,49 @@
+// Read-only queries over a model: lookup by qualified name, element
+// statistics, and typed collection helpers.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "uml/package.hpp"
+
+namespace umlsoc::uml {
+
+/// Resolves "Pkg.Sub.Class" style paths from the model root. The model's own
+/// name is not part of the path. Returns nullptr when any segment is missing.
+[[nodiscard]] NamedElement* find_by_qualified_name(const Model& model, std::string_view path);
+
+/// Per-metaclass element counts plus aggregate totals.
+struct ModelStats {
+  static constexpr std::size_t kKindCount = 19;
+
+  std::array<std::size_t, kKindCount> by_kind{};
+  std::size_t total = 0;
+  std::size_t max_depth = 0;  // Ownership-tree depth; model root = 0.
+
+  [[nodiscard]] std::size_t count(ElementKind kind) const {
+    return by_kind[static_cast<std::size_t>(kind)];
+  }
+};
+
+[[nodiscard]] ModelStats compute_stats(Model& model);
+
+/// All elements of dynamic type T in the ownership tree, pre-order.
+template <typename T>
+[[nodiscard]] std::vector<T*> collect(Element& root) {
+  std::vector<T*> out;
+  std::vector<Element*> stack{&root};
+  while (!stack.empty()) {
+    Element* element = stack.back();
+    stack.pop_back();
+    if (auto* typed = dynamic_cast<T*>(element)) out.push_back(typed);
+    std::vector<Element*> children = element->owned_elements();
+    // Push in reverse so traversal order matches pre-order document order.
+    for (auto it = children.rbegin(); it != children.rend(); ++it) stack.push_back(*it);
+  }
+  return out;
+}
+
+}  // namespace umlsoc::uml

@@ -1,0 +1,63 @@
+#include "uml/relationships.hpp"
+
+#include "uml/package.hpp"
+#include "uml/visitor.hpp"
+
+namespace umlsoc::uml {
+
+std::string_view to_string(DependencyKind kind) {
+  switch (kind) {
+    case DependencyKind::kUse:
+      return "use";
+    case DependencyKind::kRealize:
+      return "realize";
+    case DependencyKind::kAllocate:
+      return "allocate";
+    case DependencyKind::kTrace:
+      return "trace";
+  }
+  return "use";
+}
+
+void Association::accept(ElementVisitor& visitor) { visitor.visit(*this); }
+
+Property& Association::add_end(std::string name, Classifier& end_type) {
+  Property& ref = add_end(std::move(name));
+  ref.set_type(end_type);
+  return ref;
+}
+
+Property& Association::add_end(std::string name) {
+  auto end = std::make_unique<Property>(std::move(name));
+  Property& ref = *end;
+  model().register_element(ref, *this);
+  ends_.push_back(std::move(end));
+  return ref;
+}
+
+Property* Association::opposite(const Property& end) const {
+  if (!is_binary()) return nullptr;
+  if (ends_[0].get() == &end) return ends_[1].get();
+  if (ends_[1].get() == &end) return ends_[0].get();
+  return nullptr;
+}
+
+void Association::collect_owned(std::vector<Element*>& out) const {
+  for (const auto& end : ends_) out.push_back(end.get());
+}
+
+void Dependency::accept(ElementVisitor& visitor) { visitor.visit(*this); }
+
+std::string ConnectorEnd::str() const {
+  std::string out;
+  if (part != nullptr) out += part->name();
+  if (port != nullptr) {
+    if (!out.empty()) out += '.';
+    out += port->name();
+  }
+  return out;
+}
+
+void Connector::accept(ElementVisitor& visitor) { visitor.visit(*this); }
+
+}  // namespace umlsoc::uml

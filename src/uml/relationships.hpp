@@ -1,0 +1,92 @@
+// Relationship elements: Association, Dependency, Connector.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "uml/types.hpp"
+
+namespace umlsoc::uml {
+
+/// Binary (or n-ary) association. Member-end Properties are owned by the
+/// association itself — the common simplification for tool interchange.
+class Association final : public NamedElement {
+ public:
+  explicit Association(std::string name) : NamedElement(std::move(name)) {}
+
+  [[nodiscard]] ElementKind kind() const override { return ElementKind::kAssociation; }
+  void accept(ElementVisitor& visitor) override;
+
+  /// Adds a member end typed by `end_type` (the classifier at that end).
+  Property& add_end(std::string name, Classifier& end_type);
+  /// Untyped variant for deserializers; the type is resolved afterwards.
+  Property& add_end(std::string name);
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Property>>& ends() const { return ends_; }
+  [[nodiscard]] bool is_binary() const { return ends_.size() == 2; }
+
+  /// For a binary association, the end opposite to `end`; nullptr otherwise.
+  [[nodiscard]] Property* opposite(const Property& end) const;
+
+ protected:
+  void collect_owned(std::vector<Element*>& out) const override;
+
+ private:
+  std::vector<std::unique_ptr<Property>> ends_;
+};
+
+enum class DependencyKind { kUse, kRealize, kAllocate, kTrace };
+
+[[nodiscard]] std::string_view to_string(DependencyKind kind);
+
+/// Directed supplier/client dependency; «Allocate» dependencies carry the
+/// HW/SW allocation decisions of the SoC profile.
+class Dependency final : public NamedElement {
+ public:
+  explicit Dependency(std::string name) : NamedElement(std::move(name)) {}
+
+  [[nodiscard]] ElementKind kind() const override { return ElementKind::kDependency; }
+  void accept(ElementVisitor& visitor) override;
+
+  [[nodiscard]] NamedElement* client() const { return client_; }
+  [[nodiscard]] NamedElement* supplier() const { return supplier_; }
+  void set_client(NamedElement& client) { client_ = &client; }
+  void set_supplier(NamedElement& supplier) { supplier_ = &supplier; }
+
+  [[nodiscard]] DependencyKind dependency_kind() const { return dependency_kind_; }
+  void set_dependency_kind(DependencyKind kind) { dependency_kind_ = kind; }
+
+ private:
+  NamedElement* client_ = nullptr;
+  NamedElement* supplier_ = nullptr;
+  DependencyKind dependency_kind_ = DependencyKind::kUse;
+};
+
+/// One attachment point of a connector: a port on a part (`part` null for
+/// the containing classifier's own port), or a plain part reference.
+struct ConnectorEnd {
+  Property* part = nullptr;
+  Port* port = nullptr;
+
+  [[nodiscard]] bool is_valid() const { return part != nullptr || port != nullptr; }
+  [[nodiscard]] std::string str() const;
+};
+
+/// Wiring inside a composite structure (paper §4: "seamless integration of
+/// existing IP" — connectors bind IP core ports together).
+class Connector final : public NamedElement {
+ public:
+  explicit Connector(std::string name) : NamedElement(std::move(name)) {}
+
+  [[nodiscard]] ElementKind kind() const override { return ElementKind::kConnector; }
+  void accept(ElementVisitor& visitor) override;
+
+  void add_end(ConnectorEnd end) { ends_.push_back(end); }
+  [[nodiscard]] const std::vector<ConnectorEnd>& ends() const { return ends_; }
+
+ private:
+  std::vector<ConnectorEnd> ends_;
+};
+
+}  // namespace umlsoc::uml

@@ -1,0 +1,85 @@
+#include "uml/synthetic.hpp"
+
+#include <string>
+#include <vector>
+
+namespace umlsoc::uml {
+
+namespace {
+
+const char* const kTypeNames[] = {"Integer", "Boolean", "Bit", "Byte", "Word"};
+const int kTypeWidths[] = {32, 1, 1, 8, 16};
+
+}  // namespace
+
+std::unique_ptr<Model> make_synthetic_model(const SyntheticSpec& spec) {
+  support::Rng rng(spec.seed);
+  auto model = std::make_unique<Model>("Synthetic");
+
+  std::vector<PrimitiveType*> primitives;
+  for (std::size_t i = 0; i < std::size(kTypeNames); ++i) {
+    primitives.push_back(&model->primitive(kTypeNames[i], kTypeWidths[i]));
+  }
+
+  for (std::size_t p = 0; p < spec.packages; ++p) {
+    Package& package = model->add_package("Pkg" + std::to_string(p));
+
+    std::vector<Classifier*> local_types(primitives.begin(), primitives.end());
+
+    std::vector<Interface*> interfaces;
+    for (std::size_t i = 0; i < spec.interfaces_per_package; ++i) {
+      Interface& interface = package.add_interface("IService" + std::to_string(i));
+      Operation& operation = interface.add_operation("run" + std::to_string(i));
+      operation.set_return_type(*primitives[0]);
+      interfaces.push_back(&interface);
+    }
+
+    for (std::size_t e = 0; e < spec.enumerations_per_package; ++e) {
+      Enumeration& enumeration = package.add_enumeration("Mode" + std::to_string(e));
+      enumeration.add_literal("IDLE");
+      enumeration.add_literal("RUN");
+      enumeration.add_literal("DONE");
+      local_types.push_back(&enumeration);
+    }
+
+    std::vector<Class*> classes;
+    for (std::size_t c = 0; c < spec.classes_per_package; ++c) {
+      Class& cls = package.add_class("Block" + std::to_string(c));
+      for (std::size_t a = 0; a < spec.properties_per_class; ++a) {
+        Property& property = cls.add_property("field" + std::to_string(a));
+        property.set_type(
+            *local_types[static_cast<std::size_t>(rng.below(local_types.size()))]);
+        if (rng.chance(0.2)) property.set_multiplicity({0, Multiplicity::kUnlimited});
+      }
+      for (std::size_t o = 0; o < spec.operations_per_class; ++o) {
+        Operation& operation = cls.add_operation("op" + std::to_string(o));
+        for (std::size_t q = 0; q < spec.parameters_per_operation; ++q) {
+          operation.add_parameter(
+              "arg" + std::to_string(q),
+              local_types[static_cast<std::size_t>(rng.below(local_types.size()))]);
+        }
+        if (rng.chance(0.5)) operation.set_return_type(*primitives[0]);
+      }
+      if (!classes.empty() && rng.chance(spec.generalization_probability)) {
+        cls.add_generalization(*rng.pick(classes));
+      }
+      if (!interfaces.empty() && rng.chance(spec.realization_probability)) {
+        cls.add_interface_realization(*rng.pick(interfaces));
+      }
+      classes.push_back(&cls);
+    }
+
+    for (std::size_t a = 0; a < spec.associations_per_package && classes.size() >= 2; ++a) {
+      Association& association = package.add_association("assoc" + std::to_string(a));
+      Class& left = *rng.pick(classes);
+      Class& right = *rng.pick(classes);
+      Property& left_end = association.add_end("src", left);
+      Property& right_end = association.add_end("dst", right);
+      left_end.set_multiplicity({1, 1});
+      right_end.set_multiplicity({0, Multiplicity::kUnlimited});
+    }
+  }
+  return model;
+}
+
+}  // namespace umlsoc::uml

@@ -1,0 +1,34 @@
+// Deterministic synthetic model generator for tests and benchmarks (E1/E2/E7).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "support/rng.hpp"
+#include "uml/package.hpp"
+
+namespace umlsoc::uml {
+
+/// Shape parameters of a generated model. Defaults give a small but
+/// structurally rich model; benchmarks sweep `packages`/`classes_per_package`.
+struct SyntheticSpec {
+  std::uint64_t seed = 1;
+  std::size_t packages = 4;
+  std::size_t classes_per_package = 8;
+  std::size_t properties_per_class = 4;
+  std::size_t operations_per_class = 3;
+  std::size_t parameters_per_operation = 2;
+  std::size_t interfaces_per_package = 2;
+  std::size_t associations_per_package = 4;
+  std::size_t enumerations_per_package = 1;
+  /// Probability that a class gets a generalization to an earlier class.
+  double generalization_probability = 0.3;
+  /// Probability that a class realizes an interface of its package.
+  double realization_probability = 0.3;
+};
+
+/// Builds a valid model (passes uml::validate) with the requested shape.
+/// Same spec => structurally identical model, ids included.
+[[nodiscard]] std::unique_ptr<Model> make_synthetic_model(const SyntheticSpec& spec);
+
+}  // namespace umlsoc::uml

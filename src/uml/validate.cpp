@@ -1,0 +1,280 @@
+#include "uml/validate.hpp"
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "uml/instance.hpp"
+#include "uml/visitor.hpp"
+
+namespace umlsoc::uml {
+
+namespace {
+
+class Validator final : public ElementVisitor {
+ public:
+  Validator(Model& model, support::DiagnosticSink& sink) : model_(model), sink_(sink) {}
+
+  void visit(Model& model) override { check_namespace(model); }
+
+  void visit(Package& package) override {
+    check_named(package);
+    check_namespace(package);
+  }
+
+  void visit(Profile& profile) override {
+    check_named(profile);
+    check_namespace(profile);
+  }
+
+  void visit(Stereotype& stereotype) override {
+    check_named(stereotype);
+    if (stereotype.extended_metaclasses().empty()) {
+      sink_.warning(stereotype.qualified_name(), "stereotype extends no metaclass");
+    }
+  }
+
+  void visit(Class& element) override { check_class(element); }
+  void visit(Component& element) override { check_class(element); }
+
+  void visit(Interface& interface) override {
+    check_named(interface);
+    check_generalizations(interface);
+    for (Classifier* general : interface.generals()) {
+      if (dynamic_cast<Interface*>(general) == nullptr) {
+        sink_.error(interface.qualified_name(),
+                    "interface specializes a non-interface classifier '" + general->name() + "'");
+      }
+    }
+  }
+
+  void visit(Enumeration& enumeration) override {
+    check_named(enumeration);
+    if (enumeration.literals().empty()) {
+      sink_.warning(enumeration.qualified_name(), "enumeration has no literals");
+    }
+    std::unordered_set<std::string> seen;
+    for (const std::string& literal : enumeration.literals()) {
+      if (!seen.insert(literal).second) {
+        sink_.error(enumeration.qualified_name(), "duplicate literal '" + literal + "'");
+      }
+    }
+  }
+
+  void visit(PrimitiveType& primitive) override {
+    check_named(primitive);
+    if (primitive.bit_width() < 0) {
+      sink_.error(primitive.qualified_name(), "negative bit width");
+    }
+  }
+
+  void visit(Property& property) override {
+    check_named(property);
+    if (property.type() == nullptr) {
+      sink_.warning(property.qualified_name(), "property has no type");
+    }
+    if (!property.multiplicity().is_valid()) {
+      sink_.error(property.qualified_name(),
+                  "invalid multiplicity " + property.multiplicity().str());
+    }
+  }
+
+  void visit(Operation& operation) override {
+    check_named(operation);
+    int return_parameters = 0;
+    for (const auto& parameter : operation.parameters()) {
+      if (parameter->direction() == ParameterDirection::kReturn) ++return_parameters;
+    }
+    if (return_parameters > 1) {
+      sink_.error(operation.qualified_name(), "more than one return parameter");
+    }
+  }
+
+  void visit(Port& port) override {
+    check_named(port);
+    if (port.width() < 1) {
+      sink_.error(port.qualified_name(), "port width must be >= 1");
+    }
+  }
+
+  void visit(Association& association) override {
+    check_named(association);
+    if (association.ends().size() < 2) {
+      sink_.error(association.qualified_name(), "association needs at least two ends");
+    }
+    for (const auto& end : association.ends()) {
+      if (end->type() == nullptr) {
+        sink_.error(association.qualified_name(), "untyped association end '" + end->name() + "'");
+      }
+    }
+  }
+
+  void visit(Connector& connector) override {
+    check_named(connector);
+    if (connector.ends().size() < 2) {
+      sink_.error(connector.qualified_name(), "connector needs at least two ends");
+      return;
+    }
+    auto* owning_class = dynamic_cast<Class*>(connector.owner());
+    for (const ConnectorEnd& end : connector.ends()) {
+      if (!end.is_valid()) {
+        sink_.error(connector.qualified_name(), "connector end references nothing");
+        continue;
+      }
+      if (owning_class == nullptr) continue;
+      if (end.part != nullptr) {
+        bool is_owned_part = false;
+        for (const auto& property : owning_class->properties()) {
+          if (property.get() == end.part) is_owned_part = true;
+        }
+        if (!is_owned_part) {
+          sink_.error(connector.qualified_name(),
+                      "end part '" + end.part->name() + "' is not a part of the owning class");
+        }
+      } else if (end.port != nullptr) {
+        // Boundary end: the port must be on the owning class itself.
+        if (owning_class->find_port(end.port->name()) != end.port) {
+          sink_.error(connector.qualified_name(),
+                      "boundary end port '" + end.port->name() + "' not owned by the class");
+        }
+      }
+    }
+  }
+
+  void visit(Dependency& dependency) override {
+    if (dependency.client() == nullptr || dependency.supplier() == nullptr) {
+      sink_.error(dependency.qualified_name(), "dependency missing client or supplier");
+    }
+  }
+
+  void visit(InstanceSpecification& instance) override {
+    check_named(instance);
+    if (instance.classifier() == nullptr) {
+      sink_.error(instance.qualified_name(), "instance has no classifier");
+      return;
+    }
+    const auto* as_class = dynamic_cast<const Class*>(instance.classifier());
+    for (const Slot& slot : instance.slots()) {
+      if (slot.defining_feature == nullptr) {
+        sink_.error(instance.qualified_name(), "slot without defining feature");
+        continue;
+      }
+      if (as_class != nullptr) {
+        bool found = false;
+        for (const Property* property : as_class->all_properties()) {
+          if (property == slot.defining_feature) found = true;
+        }
+        if (!found) {
+          sink_.error(instance.qualified_name(),
+                      "slot feature '" + slot.defining_feature->name() +
+                          "' is not a property of classifier '" + as_class->name() + "'");
+        }
+      }
+    }
+  }
+
+  /// Cross-element checks that need the whole model: stereotype legality.
+  void check_stereotypes(Element& element) {
+    for (const StereotypeApplication& application : element.stereotype_applications()) {
+      const Stereotype& stereotype = *application.stereotype;
+      if (!stereotype.extends(element.kind())) {
+        subject_error(element, "stereotype <<" + stereotype.name() +
+                                   ">> does not extend metaclass " +
+                                   std::string(to_string(element.kind())));
+      }
+      bool from_applied_profile = false;
+      for (const Profile* profile : model_.applied_profiles()) {
+        for (const auto& member : profile->members()) {
+          if (member.get() == &stereotype) from_applied_profile = true;
+        }
+      }
+      if (!from_applied_profile) {
+        subject_error(element, "stereotype <<" + stereotype.name() +
+                                   ">> comes from a profile that is not applied to the model");
+      }
+      for (const auto& [key, value] : application.tagged_values) {
+        if (stereotype.find_tag_definition(key) == nullptr) {
+          subject_error(element, "tagged value '" + key + "' not declared by <<" +
+                                     stereotype.name() + ">>");
+        }
+      }
+    }
+  }
+
+ private:
+  void subject_error(Element& element, std::string message) {
+    std::string subject = "element#" + element.id().str();
+    if (auto* named = dynamic_cast<NamedElement*>(&element)) subject = named->qualified_name();
+    sink_.error(std::move(subject), std::move(message));
+  }
+
+  void check_named(NamedElement& element) {
+    if (element.name().empty()) {
+      sink_.error("element#" + element.id().str(),
+                  std::string(to_string(element.kind())) + " has an empty name");
+    }
+  }
+
+  void check_namespace(Package& package) {
+    std::unordered_map<std::string, int> counts;
+    for (const auto& member : package.members()) ++counts[member->name()];
+    for (const auto& [name, count] : counts) {
+      if (count > 1 && !name.empty()) {
+        sink_.error(package.qualified_name(),
+                    "duplicate member name '" + name + "' (" + std::to_string(count) + " times)");
+      }
+    }
+  }
+
+  void check_class(Class& element) {
+    check_named(element);
+    check_generalizations(element);
+    for (Classifier* general : element.generals()) {
+      if (dynamic_cast<Class*>(general) == nullptr) {
+        sink_.error(element.qualified_name(),
+                    "class specializes a non-class classifier '" + general->name() + "'");
+      }
+    }
+    std::unordered_map<std::string, int> feature_counts;
+    for (const auto& property : element.properties()) ++feature_counts[property->name()];
+    for (const auto& port : element.ports()) ++feature_counts[port->name()];
+    for (const auto& [name, count] : feature_counts) {
+      if (count > 1) {
+        sink_.error(element.qualified_name(), "duplicate feature name '" + name + "'");
+      }
+    }
+  }
+
+  void check_generalizations(Classifier& classifier) {
+    // A classifier participating in a generalization cycle conforms to
+    // itself through a non-empty path.
+    for (Classifier* general : classifier.generals()) {
+      if (general == &classifier || general->conforms_to(classifier)) {
+        sink_.error(classifier.qualified_name(), "generalization cycle detected");
+        return;
+      }
+    }
+  }
+
+  Model& model_;
+  support::DiagnosticSink& sink_;
+};
+
+}  // namespace
+
+bool validate(Model& model, support::DiagnosticSink& sink) {
+  Validator validator(model, sink);
+  walk(model, validator);
+
+  // Second sweep: profile-legality checks, independent of metaclass dispatch.
+  std::vector<Element*> stack{&model};
+  while (!stack.empty()) {
+    Element* element = stack.back();
+    stack.pop_back();
+    validator.check_stereotypes(*element);
+    for (Element* child : element->owned_elements()) stack.push_back(child);
+  }
+  return !sink.has_errors();
+}
+
+}  // namespace umlsoc::uml

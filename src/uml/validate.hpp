@@ -1,0 +1,16 @@
+// Well-formedness validation for the structural model (DESIGN.md §2.2).
+//
+// One pass reports every violation through the DiagnosticSink; it never
+// mutates the model and never stops early.
+#pragma once
+
+#include "support/diagnostics.hpp"
+#include "uml/package.hpp"
+
+namespace umlsoc::uml {
+
+/// Validates the whole model. Returns true when no errors were reported
+/// (warnings/notes do not fail validation).
+bool validate(Model& model, support::DiagnosticSink& sink);
+
+}  // namespace umlsoc::uml

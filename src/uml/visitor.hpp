@@ -1,0 +1,39 @@
+// Visitor over the concrete metaclasses. Default implementations do nothing,
+// so passes override only what they care about. `walk` drives a pre-order
+// traversal of the ownership tree.
+#pragma once
+
+#include "uml/instance.hpp"
+#include "uml/package.hpp"
+
+namespace umlsoc::uml {
+
+class ElementVisitor {
+ public:
+  virtual ~ElementVisitor() = default;
+
+  virtual void visit(Model&) {}
+  virtual void visit(Package&) {}
+  virtual void visit(Profile&) {}
+  virtual void visit(Stereotype&) {}
+  virtual void visit(Class&) {}
+  virtual void visit(Component&) {}
+  virtual void visit(Interface&) {}
+  virtual void visit(DataType&) {}
+  virtual void visit(PrimitiveType&) {}
+  virtual void visit(Enumeration&) {}
+  virtual void visit(Signal&) {}
+  virtual void visit(Property&) {}
+  virtual void visit(Operation&) {}
+  virtual void visit(Parameter&) {}
+  virtual void visit(Port&) {}
+  virtual void visit(Association&) {}
+  virtual void visit(Connector&) {}
+  virtual void visit(Dependency&) {}
+  virtual void visit(InstanceSpecification&) {}
+};
+
+/// Pre-order traversal: visits `root`, then all owned elements recursively.
+void walk(Element& root, ElementVisitor& visitor);
+
+}  // namespace umlsoc::uml

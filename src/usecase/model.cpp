@@ -1,0 +1,129 @@
+#include "usecase/model.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace umlsoc::usecase {
+
+Actor& UseCaseModel::add_actor(std::string name) {
+  actors_.push_back(std::make_unique<Actor>(std::move(name)));
+  return *actors_.back();
+}
+
+UseCase& UseCaseModel::add_use_case(std::string name) {
+  use_cases_.push_back(std::make_unique<UseCase>(std::move(name)));
+  return *use_cases_.back();
+}
+
+Actor* UseCaseModel::find_actor(std::string_view name) const {
+  for (const auto& actor : actors_) {
+    if (actor->name() == name) return actor.get();
+  }
+  return nullptr;
+}
+
+UseCase* UseCaseModel::find_use_case(std::string_view name) const {
+  for (const auto& use_case : use_cases_) {
+    if (use_case->name() == name) return use_case.get();
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// DFS cycle detection over the include edges.
+bool include_cycle_from(const UseCase& start, const UseCase& current,
+                        std::unordered_set<const UseCase*>& visiting) {
+  if (!visiting.insert(&current).second) return &current == &start;
+  for (const UseCase* included : current.includes()) {
+    if (included == &start) return true;
+    if (include_cycle_from(start, *included, visiting)) return true;
+  }
+  return false;
+}
+
+/// A use case is actor-reachable if it has direct actors, inherits them, or
+/// is included/extended by a reachable use case (checked via fixpoint).
+std::unordered_set<const UseCase*> actor_reachable(const UseCaseModel& model) {
+  std::unordered_set<const UseCase*> reachable;
+  for (const auto& use_case : model.use_cases()) {
+    if (!use_case->actors().empty()) reachable.insert(use_case.get());
+    for (const UseCase* general : use_case->generals()) {
+      if (!general->actors().empty()) reachable.insert(use_case.get());
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& use_case : model.use_cases()) {
+      if (!reachable.contains(use_case.get())) continue;
+      for (const UseCase* included : use_case->includes()) {
+        if (reachable.insert(included).second) changed = true;
+      }
+    }
+    for (const auto& use_case : model.use_cases()) {
+      for (const UseCase::Extend& extend : use_case->extends()) {
+        if (reachable.contains(extend.extended) &&
+            reachable.insert(use_case.get()).second) {
+          changed = true;
+        }
+      }
+    }
+  }
+  return reachable;
+}
+
+}  // namespace
+
+bool validate(const UseCaseModel& model, support::DiagnosticSink& sink) {
+  const std::size_t errors_before = sink.error_count();
+
+  std::unordered_map<std::string, int> names;
+  for (const auto& actor : model.actors()) ++names["actor:" + actor->name()];
+  for (const auto& use_case : model.use_cases()) ++names["usecase:" + use_case->name()];
+  for (const auto& [name, count] : names) {
+    if (count > 1) {
+      sink.error(model.system_name(), "duplicate name '" + name + "'");
+    }
+  }
+
+  for (const auto& use_case : model.use_cases()) {
+    std::unordered_set<const UseCase*> visiting;
+    for (const UseCase* included : use_case->includes()) {
+      if (included == use_case.get() || include_cycle_from(*use_case, *included, visiting)) {
+        sink.error(use_case->name(), "include cycle detected");
+        break;
+      }
+    }
+    for (const UseCase::Extend& extend : use_case->extends()) {
+      if (extend.extended == use_case.get()) {
+        sink.error(use_case->name(), "use case extends itself");
+      }
+      if (extend.condition.empty()) {
+        sink.warning(use_case->name(),
+                     "extend of '" + extend.extended->name() + "' has no condition");
+      }
+    }
+  }
+
+  std::unordered_set<const UseCase*> reachable = actor_reachable(model);
+  for (const auto& use_case : model.use_cases()) {
+    if (!reachable.contains(use_case.get())) {
+      sink.warning(use_case->name(), "no actor can reach this use case");
+    }
+  }
+  return sink.error_count() == errors_before;
+}
+
+std::size_t report_coverage(const UseCaseModel& model, support::DiagnosticSink& sink) {
+  std::size_t uncovered = 0;
+  for (const auto& use_case : model.use_cases()) {
+    if (use_case->scenarios().empty()) {
+      ++uncovered;
+      sink.warning(use_case->name(), "use case has no realizing interaction");
+    }
+  }
+  return uncovered;
+}
+
+}  // namespace umlsoc::usecase

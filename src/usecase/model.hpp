@@ -1,0 +1,111 @@
+// Use case metamodel (paper §2: "behavioral specification in the UML at the
+// highest level often starts by the identification of the use cases ...
+// described in terms of involved actors").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+
+namespace umlsoc::interaction {
+class Interaction;
+}
+
+namespace umlsoc::usecase {
+
+class UseCase;
+
+class Actor {
+ public:
+  explicit Actor(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Actor generalization (e.g. Maintainer specializes Operator).
+  void add_generalization(Actor& general) { generals_.push_back(&general); }
+  [[nodiscard]] const std::vector<Actor*>& generals() const { return generals_; }
+
+ private:
+  std::string name_;
+  std::vector<Actor*> generals_;
+};
+
+class UseCase {
+ public:
+  explicit UseCase(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  void add_actor(Actor& actor) { actors_.push_back(&actor); }
+  [[nodiscard]] const std::vector<Actor*>& actors() const { return actors_; }
+
+  void add_include(UseCase& included) { includes_.push_back(&included); }
+  [[nodiscard]] const std::vector<UseCase*>& includes() const { return includes_; }
+
+  void add_extend(UseCase& extended, std::string condition = "") {
+    extends_.push_back(Extend{&extended, std::move(condition)});
+  }
+  struct Extend {
+    UseCase* extended;
+    std::string condition;
+  };
+  [[nodiscard]] const std::vector<Extend>& extends() const { return extends_; }
+
+  void add_generalization(UseCase& general) { generals_.push_back(&general); }
+  [[nodiscard]] const std::vector<UseCase*>& generals() const { return generals_; }
+
+  /// Interactions that realize (scenario-cover) this use case.
+  void add_scenario(const interaction::Interaction& scenario) {
+    scenarios_.push_back(&scenario);
+  }
+  [[nodiscard]] const std::vector<const interaction::Interaction*>& scenarios() const {
+    return scenarios_;
+  }
+
+ private:
+  std::string name_;
+  std::vector<Actor*> actors_;
+  std::vector<UseCase*> includes_;
+  std::vector<Extend> extends_;
+  std::vector<UseCase*> generals_;
+  std::vector<const interaction::Interaction*> scenarios_;
+};
+
+/// The use case view of one system.
+class UseCaseModel {
+ public:
+  explicit UseCaseModel(std::string system_name) : system_name_(std::move(system_name)) {}
+  UseCaseModel(const UseCaseModel&) = delete;
+  UseCaseModel& operator=(const UseCaseModel&) = delete;
+
+  [[nodiscard]] const std::string& system_name() const { return system_name_; }
+
+  Actor& add_actor(std::string name);
+  UseCase& add_use_case(std::string name);
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Actor>>& actors() const { return actors_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<UseCase>>& use_cases() const {
+    return use_cases_;
+  }
+  [[nodiscard]] Actor* find_actor(std::string_view name) const;
+  [[nodiscard]] UseCase* find_use_case(std::string_view name) const;
+
+ private:
+  std::string system_name_;
+  std::vector<std::unique_ptr<Actor>> actors_;
+  std::vector<std::unique_ptr<UseCase>> use_cases_;
+};
+
+/// Checks: unique names, include-graph acyclicity, every use case reachable
+/// by some actor (directly or via generalization/include), extend conditions
+/// non-empty (warning otherwise). Returns true when error-free.
+bool validate(const UseCaseModel& model, support::DiagnosticSink& sink);
+
+/// Scenario coverage report: use cases with no realizing interaction are
+/// reported as warnings; returns the number of uncovered use cases.
+std::size_t report_coverage(const UseCaseModel& model, support::DiagnosticSink& sink);
+
+}  // namespace umlsoc::usecase

@@ -1,0 +1,324 @@
+#include "xmi/behavior.hpp"
+
+#include <unordered_map>
+
+#include "xmi/xml.hpp"
+
+namespace umlsoc::xmi {
+
+namespace {
+
+using statechart::Region;
+using statechart::StateMachine;
+using statechart::Transition;
+using statechart::Vertex;
+using statechart::VertexKind;
+
+// --- State machine writer -------------------------------------------------------
+
+class MachineWriter {
+ public:
+  std::string write(const StateMachine& machine) {
+    XmlNode root("StateMachine");
+    root.set_attribute("name", machine.name());
+    assign_ids(machine.top());
+    write_region(machine.top(), root);
+    return "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n" + root.str();
+  }
+
+ private:
+  void assign_ids(const Region& region) {
+    for (const auto& vertex : region.vertices()) {
+      ids_[vertex.get()] = ids_.size();
+      if (const auto* state = dynamic_cast<const statechart::State*>(vertex.get())) {
+        for (const auto& subregion : state->regions()) assign_ids(*subregion);
+      }
+    }
+  }
+
+  void write_region(const Region& region, XmlNode& parent) {
+    XmlNode& node = parent.add_child("Region");
+    node.set_attribute("name", region.name());
+    for (const auto& vertex : region.vertices()) write_vertex(*vertex, node);
+    for (const auto& transition : region.transitions()) {
+      XmlNode& edge = node.add_child("Transition");
+      edge.set_attribute("source", std::to_string(ids_.at(&transition->source())));
+      edge.set_attribute("target", std::to_string(ids_.at(&transition->target())));
+      if (!transition->trigger().empty()) edge.set_attribute("trigger", transition->trigger());
+      if (!transition->guard().text.empty()) {
+        edge.set_attribute("guard", transition->guard().text);
+      }
+      if (!transition->effect().text.empty()) {
+        edge.set_attribute("effect", transition->effect().text);
+      }
+      if (transition->is_internal()) edge.set_attribute("kind", "internal");
+    }
+  }
+
+  void write_vertex(const Vertex& vertex, XmlNode& parent) {
+    switch (vertex.vertex_kind()) {
+      case VertexKind::kState: {
+        const auto& state = static_cast<const statechart::State&>(vertex);
+        XmlNode& node = parent.add_child("State");
+        node.set_attribute("id", std::to_string(ids_.at(&vertex)));
+        node.set_attribute("name", state.name());
+        if (!state.entry().text.empty()) node.set_attribute("entry", state.entry().text);
+        if (!state.exit_behavior().text.empty()) {
+          node.set_attribute("exit", state.exit_behavior().text);
+        }
+        if (!state.do_activity().text.empty()) {
+          node.set_attribute("doActivity", state.do_activity().text);
+        }
+        if (!state.deferred().empty()) {
+          std::string deferred;
+          for (const std::string& event : state.deferred()) {
+            if (!deferred.empty()) deferred += ',';
+            deferred += event;
+          }
+          node.set_attribute("defer", deferred);
+        }
+        for (const auto& region : state.regions()) write_region(*region, node);
+        break;
+      }
+      case VertexKind::kFinal: {
+        XmlNode& node = parent.add_child("Final");
+        node.set_attribute("id", std::to_string(ids_.at(&vertex)));
+        node.set_attribute("name", vertex.name());
+        break;
+      }
+      default: {
+        XmlNode& node = parent.add_child("Pseudostate");
+        node.set_attribute("id", std::to_string(ids_.at(&vertex)));
+        node.set_attribute("name", vertex.name());
+        node.set_attribute("kind", std::string(to_string(vertex.vertex_kind())));
+        break;
+      }
+    }
+  }
+
+  std::unordered_map<const Vertex*, std::size_t> ids_;
+};
+
+VertexKind pseudostate_kind_from(std::string_view text) {
+  if (text == "initial") return VertexKind::kInitial;
+  if (text == "choice") return VertexKind::kChoice;
+  if (text == "junction") return VertexKind::kJunction;
+  if (text == "shallowHistory") return VertexKind::kShallowHistory;
+  if (text == "deepHistory") return VertexKind::kDeepHistory;
+  if (text == "terminate") return VertexKind::kTerminate;
+  return VertexKind::kInitial;
+}
+
+// --- State machine reader -----------------------------------------------------------
+
+class MachineReader {
+ public:
+  explicit MachineReader(support::DiagnosticSink& sink) : sink_(sink) {}
+
+  std::unique_ptr<StateMachine> read(const XmlNode& root) {
+    if (root.name() != "StateMachine") {
+      sink_.error("xmi", "document root is not <StateMachine>");
+      return nullptr;
+    }
+    auto machine = std::make_unique<StateMachine>(root.attribute_or("name", ""));
+    const XmlNode* top = root.child("Region");
+    if (top == nullptr) {
+      sink_.error("xmi", "state machine has no top region");
+      return nullptr;
+    }
+    read_region(*top, machine->top());
+    for (const auto& [node, region] : pending_transitions_) {
+      resolve_transition(*node, *region);
+    }
+    if (sink_.has_errors()) return nullptr;
+    return machine;
+  }
+
+ private:
+  void read_region(const XmlNode& node, Region& region) {
+    for (const auto& child : node.children()) {
+      if (child->name() == "State") {
+        statechart::State& state = region.add_state(child->attribute_or("name", ""));
+        register_vertex(*child, state);
+        if (const std::string* entry = child->attribute("entry")) {
+          state.set_entry(statechart::Behavior{*entry, nullptr});
+        }
+        if (const std::string* exit = child->attribute("exit")) {
+          state.set_exit(statechart::Behavior{*exit, nullptr});
+        }
+        if (const std::string* do_activity = child->attribute("doActivity")) {
+          state.set_do_activity(statechart::Behavior{*do_activity, nullptr});
+        }
+        if (const std::string* deferred = child->attribute("defer")) {
+          std::size_t start = 0;
+          while (start <= deferred->size()) {
+            std::size_t comma = deferred->find(',', start);
+            if (comma == std::string::npos) comma = deferred->size();
+            if (comma > start) state.add_deferred(deferred->substr(start, comma - start));
+            start = comma + 1;
+          }
+        }
+        for (const XmlNode* subregion : child->children_named("Region")) {
+          read_region(*subregion, state.add_region(subregion->attribute_or("name", "")));
+        }
+      } else if (child->name() == "Final") {
+        register_vertex(*child, region.add_final(child->attribute_or("name", "final")));
+      } else if (child->name() == "Pseudostate") {
+        register_vertex(*child,
+                        region.add_pseudostate(
+                            pseudostate_kind_from(child->attribute_or("kind", "initial")),
+                            child->attribute_or("name", "")));
+      } else if (child->name() == "Transition") {
+        pending_transitions_.emplace_back(child.get(), &region);
+      }
+    }
+  }
+
+  void register_vertex(const XmlNode& node, Vertex& vertex) {
+    const std::string id = node.attribute_or("id", "");
+    if (id.empty()) {
+      sink_.error("xmi", "vertex '" + vertex.name() + "' has no id");
+      return;
+    }
+    if (!vertices_.emplace(id, &vertex).second) {
+      sink_.error("xmi", "duplicate vertex id '" + id + "'");
+    }
+  }
+
+  void resolve_transition(const XmlNode& node, Region& region) {
+    Vertex* source = resolve(node.attribute_or("source", ""));
+    Vertex* target = resolve(node.attribute_or("target", ""));
+    if (source == nullptr || target == nullptr) return;
+    Transition& transition = region.add_transition(*source, *target);
+    transition.set_trigger(node.attribute_or("trigger", ""));
+    if (const std::string* guard = node.attribute("guard")) {
+      transition.set_guard(statechart::Guard{*guard, nullptr});
+    }
+    if (const std::string* effect = node.attribute("effect")) {
+      transition.set_effect(statechart::Behavior{*effect, nullptr});
+    }
+    if (node.attribute_or("kind", "") == "internal") transition.set_internal(true);
+  }
+
+  Vertex* resolve(const std::string& id) {
+    auto it = vertices_.find(id);
+    if (it == vertices_.end()) {
+      sink_.error("xmi", "unresolved vertex reference '" + id + "'");
+      return nullptr;
+    }
+    return it->second;
+  }
+
+  support::DiagnosticSink& sink_;
+  std::unordered_map<std::string, Vertex*> vertices_;
+  std::vector<std::pair<const XmlNode*, Region*>> pending_transitions_;
+};
+
+}  // namespace
+
+std::string write_state_machine(const statechart::StateMachine& machine) {
+  return MachineWriter().write(machine);
+}
+
+std::unique_ptr<statechart::StateMachine> read_state_machine(std::string_view text,
+                                                             support::DiagnosticSink& sink) {
+  std::unique_ptr<XmlNode> document = parse_xml(text, sink);
+  if (document == nullptr) return nullptr;
+  return MachineReader(sink).read(*document);
+}
+
+// --- Activities ----------------------------------------------------------------------
+
+namespace {
+
+activity::NodeKind activity_kind_from(std::string_view text) {
+  using activity::NodeKind;
+  if (text == "initial") return NodeKind::kInitial;
+  if (text == "activityFinal") return NodeKind::kActivityFinal;
+  if (text == "flowFinal") return NodeKind::kFlowFinal;
+  if (text == "decision") return NodeKind::kDecision;
+  if (text == "merge") return NodeKind::kMerge;
+  if (text == "fork") return NodeKind::kFork;
+  if (text == "join") return NodeKind::kJoin;
+  if (text == "buffer") return NodeKind::kBuffer;
+  return NodeKind::kAction;
+}
+
+}  // namespace
+
+std::string write_activity(const activity::Activity& activity) {
+  XmlNode root("Activity");
+  root.set_attribute("name", activity.name());
+  for (const auto& node : activity.nodes()) {
+    XmlNode& child = root.add_child("Node");
+    child.set_attribute("name", node->name());
+    child.set_attribute("kind", std::string(to_string(node->node_kind())));
+    if (node->node_kind() == activity::NodeKind::kAction) {
+      child.set_attribute("swLatency", std::to_string(node->sw_latency()));
+      child.set_attribute("hwLatency", std::to_string(node->hw_latency()));
+      child.set_attribute("hwArea", std::to_string(node->hw_area()));
+      if (!node->script().empty()) child.set_attribute("script", node->script());
+    }
+  }
+  for (const auto& edge : activity.edges()) {
+    XmlNode& child = root.add_child("Edge");
+    child.set_attribute("source", edge->source().name());
+    child.set_attribute("target", edge->target().name());
+    if (edge->is_object_flow()) child.set_attribute("objectFlow", "true");
+    if (!edge->guard().text.empty()) child.set_attribute("guard", edge->guard().text);
+    if (edge->weight() != 1) child.set_attribute("weight", std::to_string(edge->weight()));
+  }
+  return "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n" + root.str();
+}
+
+std::unique_ptr<activity::Activity> read_activity(std::string_view text,
+                                                  support::DiagnosticSink& sink) {
+  std::unique_ptr<XmlNode> document = parse_xml(text, sink);
+  if (document == nullptr) return nullptr;
+  if (document->name() != "Activity") {
+    sink.error("xmi", "document root is not <Activity>");
+    return nullptr;
+  }
+  auto result = std::make_unique<activity::Activity>(document->attribute_or("name", ""));
+
+  auto to_double = [](const std::string& value, double fallback) {
+    try {
+      return std::stod(value);
+    } catch (...) {
+      return fallback;
+    }
+  };
+  for (const XmlNode* node : document->children_named("Node")) {
+    activity::ActivityNode& created = result->add_node(
+        activity_kind_from(node->attribute_or("kind", "action")),
+        node->attribute_or("name", ""));
+    created.set_sw_latency(to_double(node->attribute_or("swLatency", "1"), 1.0));
+    created.set_hw_latency(to_double(node->attribute_or("hwLatency", "1"), 1.0));
+    created.set_hw_area(to_double(node->attribute_or("hwArea", "1"), 1.0));
+    created.set_script(node->attribute_or("script", ""));
+  }
+  for (const XmlNode* edge : document->children_named("Edge")) {
+    activity::ActivityNode* source = result->find_node(edge->attribute_or("source", ""));
+    activity::ActivityNode* target = result->find_node(edge->attribute_or("target", ""));
+    if (source == nullptr || target == nullptr) {
+      sink.error("xmi", "edge references unknown node ('" + edge->attribute_or("source", "") +
+                            "' -> '" + edge->attribute_or("target", "") + "')");
+      continue;
+    }
+    activity::ActivityEdge& created =
+        result->add_edge(*source, *target, edge->attribute_or("objectFlow", "false") == "true");
+    if (const std::string* guard = edge->attribute("guard")) {
+      created.set_guard(activity::EdgeGuard{*guard, nullptr});
+    }
+    int weight = 1;
+    try {
+      weight = std::stoi(edge->attribute_or("weight", "1"));
+    } catch (...) {
+    }
+    created.set_weight(weight);
+  }
+  if (sink.has_errors()) return nullptr;
+  return result;
+}
+
+}  // namespace umlsoc::xmi

@@ -1,0 +1,31 @@
+// XMI-style interchange for behavioral models: state machines and
+// activities. Guards, effects and action behaviors are persisted as their
+// model-level text (`Behavior::text`, `EdgeGuard::text`); executable
+// std::function bindings are a runtime concern and are re-attached by the
+// consumer (same split as in UML tools, where opaque behavior bodies travel
+// as strings).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "activity/model.hpp"
+#include "statechart/model.hpp"
+#include "support/diagnostics.hpp"
+
+namespace umlsoc::xmi {
+
+[[nodiscard]] std::string write_state_machine(const statechart::StateMachine& machine);
+
+/// Parses a document produced by write_state_machine. Returns nullptr (with
+/// diagnostics) on malformed input or unresolved vertex references.
+[[nodiscard]] std::unique_ptr<statechart::StateMachine> read_state_machine(
+    std::string_view text, support::DiagnosticSink& sink);
+
+[[nodiscard]] std::string write_activity(const activity::Activity& activity);
+
+[[nodiscard]] std::unique_ptr<activity::Activity> read_activity(
+    std::string_view text, support::DiagnosticSink& sink);
+
+}  // namespace umlsoc::xmi

@@ -1,0 +1,26 @@
+// XMI-style model interchange: Model -> XML text -> Model.
+//
+// The dialect is self-contained (see DESIGN.md substitution table): element
+// tags are metaclass names, cross-references use the producer's element ids,
+// and consumers re-assign fresh ids while preserving structure. Round-trips
+// are structurally lossless (uml::structurally_equal).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "support/diagnostics.hpp"
+#include "uml/package.hpp"
+
+namespace umlsoc::xmi {
+
+/// Serializes the whole model as an XMI-style XML document.
+[[nodiscard]] std::string write_model(const uml::Model& model);
+
+/// Parses a document produced by write_model. Returns nullptr on malformed
+/// input or unresolvable references; problems are reported through `sink`.
+[[nodiscard]] std::unique_ptr<uml::Model> read_model(std::string_view text,
+                                                     support::DiagnosticSink& sink);
+
+}  // namespace umlsoc::xmi

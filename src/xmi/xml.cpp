@@ -1,0 +1,297 @@
+#include "xmi/xml.hpp"
+
+#include <cctype>
+
+#include "support/strings.hpp"
+
+namespace umlsoc::xmi {
+
+// --- XmlNode -----------------------------------------------------------------
+
+void XmlNode::set_attribute(std::string key, std::string value) {
+  for (auto& [existing_key, existing_value] : attributes_) {
+    if (existing_key == key) {
+      existing_value = std::move(value);
+      return;
+    }
+  }
+  attributes_.emplace_back(std::move(key), std::move(value));
+}
+
+const std::string* XmlNode::attribute(std::string_view key) const {
+  for (const auto& [existing_key, value] : attributes_) {
+    if (existing_key == key) return &value;
+  }
+  return nullptr;
+}
+
+std::string XmlNode::attribute_or(std::string_view key, std::string fallback) const {
+  const std::string* value = attribute(key);
+  return value != nullptr ? *value : std::move(fallback);
+}
+
+XmlNode& XmlNode::add_child(std::string name) {
+  children_.push_back(std::make_unique<XmlNode>(std::move(name)));
+  return *children_.back();
+}
+
+const XmlNode* XmlNode::child(std::string_view name) const {
+  for (const auto& child : children_) {
+    if (child->name() == name) return child.get();
+  }
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::children_named(std::string_view name) const {
+  std::vector<const XmlNode*> out;
+  for (const auto& child : children_) {
+    if (child->name() == name) out.push_back(child.get());
+  }
+  return out;
+}
+
+std::string XmlNode::str(int indent_level) const {
+  const std::string pad(static_cast<std::size_t>(indent_level) * 2, ' ');
+  std::string out = pad + "<" + name_;
+  for (const auto& [key, value] : attributes_) {
+    out += " " + key + "=\"" + support::xml_escape(value) + "\"";
+  }
+  if (children_.empty() && text_.empty()) {
+    out += "/>\n";
+    return out;
+  }
+  out += ">";
+  if (!text_.empty()) out += support::xml_escape(text_);
+  if (!children_.empty()) {
+    out += "\n";
+    for (const auto& child : children_) out += child->str(indent_level + 1);
+    out += pad;
+  }
+  out += "</" + name_ + ">\n";
+  return out;
+}
+
+// --- Parser ------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view input, support::DiagnosticSink& sink) : input_(input), sink_(sink) {}
+
+  std::unique_ptr<XmlNode> parse_document() {
+    const std::size_t errors_before = sink_.error_count();
+    skip_prolog();
+    std::unique_ptr<XmlNode> root = parse_element();
+    if (root == nullptr) return nullptr;
+    skip_whitespace_and_comments();
+    if (!at_end()) {
+      error("trailing content after root element");
+      return nullptr;
+    }
+    // Recovered-from problems (e.g. unknown entities) still fail the parse.
+    if (sink_.error_count() != errors_before) return nullptr;
+    return root;
+  }
+
+ private:
+  [[nodiscard]] bool at_end() const { return position_ >= input_.size(); }
+  [[nodiscard]] char peek() const { return input_[position_]; }
+  char advance() { return input_[position_++]; }
+
+  [[nodiscard]] bool match(std::string_view expected) {
+    if (input_.substr(position_, expected.size()) != expected) return false;
+    position_ += expected.size();
+    return true;
+  }
+
+  void error(std::string message) {
+    std::size_t line = 1;
+    for (std::size_t i = 0; i < position_ && i < input_.size(); ++i) {
+      if (input_[i] == '\n') ++line;
+    }
+    sink_.error("xml:line " + std::to_string(line), std::move(message));
+  }
+
+  void skip_whitespace() {
+    while (!at_end() && std::isspace(static_cast<unsigned char>(peek())) != 0) ++position_;
+  }
+
+  void skip_whitespace_and_comments() {
+    for (;;) {
+      skip_whitespace();
+      if (input_.substr(position_, 4) == "<!--") {
+        std::size_t end = input_.find("-->", position_ + 4);
+        if (end == std::string_view::npos) {
+          error("unterminated comment");
+          position_ = input_.size();
+          return;
+        }
+        position_ = end + 3;
+      } else {
+        return;
+      }
+    }
+  }
+
+  void skip_prolog() {
+    skip_whitespace();
+    if (match("<?xml")) {
+      std::size_t end = input_.find("?>", position_);
+      if (end == std::string_view::npos) {
+        error("unterminated XML declaration");
+        position_ = input_.size();
+        return;
+      }
+      position_ = end + 2;
+    }
+    skip_whitespace_and_comments();
+  }
+
+  [[nodiscard]] static bool is_name_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' || c == '-' ||
+           c == ':' || c == '.';
+  }
+
+  std::string parse_name() {
+    std::string name;
+    while (!at_end() && is_name_char(peek())) name += advance();
+    return name;
+  }
+
+  std::string decode_entities(std::string_view raw) {
+    std::string out;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out += raw[i];
+        continue;
+      }
+      std::size_t semicolon = raw.find(';', i);
+      std::string_view entity =
+          semicolon == std::string_view::npos ? raw.substr(i + 1) : raw.substr(i + 1, semicolon - i - 1);
+      if (entity == "amp") {
+        out += '&';
+      } else if (entity == "lt") {
+        out += '<';
+      } else if (entity == "gt") {
+        out += '>';
+      } else if (entity == "quot") {
+        out += '"';
+      } else if (entity == "apos") {
+        out += '\'';
+      } else {
+        error("unknown entity '&" + std::string(entity) + ";'");
+        out += '&';
+        continue;
+      }
+      i = semicolon == std::string_view::npos ? raw.size() : semicolon;
+    }
+    return out;
+  }
+
+  bool parse_attributes(XmlNode& node) {
+    for (;;) {
+      skip_whitespace();
+      if (at_end()) {
+        error("unexpected end of input in element tag");
+        return false;
+      }
+      if (peek() == '>' || peek() == '/' || peek() == '?') return true;
+      std::string key = parse_name();
+      if (key.empty()) {
+        error("expected attribute name");
+        return false;
+      }
+      skip_whitespace();
+      if (at_end() || advance() != '=') {
+        error("expected '=' after attribute name '" + key + "'");
+        return false;
+      }
+      skip_whitespace();
+      if (at_end() || (peek() != '"' && peek() != '\'')) {
+        error("expected quoted attribute value for '" + key + "'");
+        return false;
+      }
+      char quote = advance();
+      std::size_t start = position_;
+      while (!at_end() && peek() != quote) ++position_;
+      if (at_end()) {
+        error("unterminated attribute value for '" + key + "'");
+        return false;
+      }
+      std::string value = decode_entities(input_.substr(start, position_ - start));
+      advance();  // Closing quote.
+      node.set_attribute(std::move(key), std::move(value));
+    }
+  }
+
+  std::unique_ptr<XmlNode> parse_element() {
+    skip_whitespace_and_comments();
+    if (at_end() || peek() != '<') {
+      error("expected element start '<'");
+      return nullptr;
+    }
+    advance();
+    std::string name = parse_name();
+    if (name.empty()) {
+      error("expected element name");
+      return nullptr;
+    }
+    auto node = std::make_unique<XmlNode>(name);
+    if (!parse_attributes(*node)) return nullptr;
+
+    if (match("/>")) return node;
+    if (!match(">")) {
+      error("expected '>' to close tag <" + name + ">");
+      return nullptr;
+    }
+
+    // Content: interleaved text / child elements / comments.
+    std::string text;
+    for (;;) {
+      if (at_end()) {
+        error("unterminated element <" + name + ">");
+        return nullptr;
+      }
+      if (peek() == '<') {
+        if (input_.substr(position_, 4) == "<!--") {
+          skip_whitespace_and_comments();
+          continue;
+        }
+        if (input_.substr(position_, 2) == "</") {
+          position_ += 2;
+          std::string closing = parse_name();
+          skip_whitespace();
+          if (closing != name) {
+            error("mismatched closing tag </" + closing + "> for <" + name + ">");
+            return nullptr;
+          }
+          if (at_end() || advance() != '>') {
+            error("expected '>' after closing tag");
+            return nullptr;
+          }
+          node->set_text(std::string(support::trim(decode_entities(text))));
+          return node;
+        }
+        std::unique_ptr<XmlNode> child = parse_element();
+        if (child == nullptr) return nullptr;
+        node->adopt_child(std::move(child));
+      } else {
+        text += advance();
+      }
+    }
+  }
+
+  std::string_view input_;
+  std::size_t position_ = 0;
+  support::DiagnosticSink& sink_;
+};
+
+}  // namespace
+
+std::unique_ptr<XmlNode> parse_xml(std::string_view input, support::DiagnosticSink& sink) {
+  Parser parser(input, sink);
+  return parser.parse_document();
+}
+
+}  // namespace umlsoc::xmi

@@ -1,0 +1,58 @@
+// Minimal XML document model, writer and parser — just enough for XMI-style
+// model interchange (elements, attributes, text, comments, declarations,
+// the five predefined entities). Not a general-purpose XML library.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+
+namespace umlsoc::xmi {
+
+class XmlNode {
+ public:
+  explicit XmlNode(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Attributes keep insertion order so output is deterministic.
+  void set_attribute(std::string key, std::string value);
+  [[nodiscard]] const std::string* attribute(std::string_view key) const;
+  [[nodiscard]] std::string attribute_or(std::string_view key, std::string fallback) const;
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>& attributes() const {
+    return attributes_;
+  }
+
+  XmlNode& add_child(std::string name);
+  void adopt_child(std::unique_ptr<XmlNode> child) { children_.push_back(std::move(child)); }
+  [[nodiscard]] const std::vector<std::unique_ptr<XmlNode>>& children() const {
+    return children_;
+  }
+  /// First child with the given element name, or nullptr.
+  [[nodiscard]] const XmlNode* child(std::string_view name) const;
+  [[nodiscard]] std::vector<const XmlNode*> children_named(std::string_view name) const;
+
+  [[nodiscard]] const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+
+  /// Serializes this subtree as indented XML (two-space indent).
+  [[nodiscard]] std::string str(int indent_level = 0) const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> attributes_;
+  std::vector<std::unique_ptr<XmlNode>> children_;
+  std::string text_;
+};
+
+/// Parses one XML document; returns nullptr and reports through `sink` on
+/// malformed input. A leading `<?xml ...?>` declaration and comments are
+/// accepted and skipped.
+[[nodiscard]] std::unique_ptr<XmlNode> parse_xml(std::string_view input,
+                                                 support::DiagnosticSink& sink);
+
+}  // namespace umlsoc::xmi

@@ -1,0 +1,380 @@
+// Activity token-game tests: firing rules, fork/join conservation, decision
+// routing, termination, soundness analysis, and property sweeps.
+#include <gtest/gtest.h>
+
+#include "activity/analysis.hpp"
+#include "activity/interpreter.hpp"
+#include "activity/synthetic.hpp"
+
+namespace umlsoc::activity {
+namespace {
+
+TEST(Activity, SequentialRunTerminates) {
+  auto activity = make_sequential(5);
+  ActivityExecution execution(*activity);
+  EXPECT_EQ(execution.run(), RunStatus::kTerminated);
+  EXPECT_TRUE(execution.terminated());
+  EXPECT_EQ(execution.firings(), 6u);  // 5 actions + final.
+  EXPECT_EQ(execution.token_count(), 0u);
+}
+
+TEST(Activity, ActionsFireInChainOrder) {
+  auto activity = make_sequential(3);
+  std::vector<std::string> order;
+  for (const auto& node : activity->nodes()) {
+    if (node->node_kind() == NodeKind::kAction) {
+      ActivityNode* raw = node.get();
+      raw->set_behavior([&order, raw](ActionFiring&) { order.push_back(raw->name()); });
+    }
+  }
+  ActivityExecution execution(*activity);
+  execution.run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "a0");
+  EXPECT_EQ(order[1], "a1");
+  EXPECT_EQ(order[2], "a2");
+}
+
+TEST(Activity, ActionTransformsTokenValue) {
+  Activity activity("calc");
+  ActivityNode& initial = activity.add_initial();
+  ActivityNode& doubler = activity.add_action("double");
+  ActivityNode& final_node = activity.add_final();
+  activity.add_edge(initial, doubler);
+  activity.add_edge(doubler, final_node, /*object_flow=*/true);
+  doubler.set_behavior([](ActionFiring& firing) {
+    firing.output = firing.inputs.front().value * 2 + 7;
+  });
+
+  ActivityExecution execution(activity);
+  execution.run();
+  ASSERT_EQ(execution.outputs().size(), 1u);
+  EXPECT_EQ(execution.outputs().front(), 7);  // Start token value 0 -> 0*2+7.
+}
+
+TEST(Activity, ForkDuplicatesJoinSynchronizes) {
+  auto activity = make_fork_join(3, 2);
+  ActivityExecution execution(*activity);
+  EXPECT_EQ(execution.run(), RunStatus::kTerminated);
+  // fork fired once, join once, 3*2 branch actions once each, final once.
+  EXPECT_EQ(execution.firings(), 1u + 1u + 6u + 1u);
+  for (const auto& node : activity->nodes()) {
+    if (node->node_kind() == NodeKind::kAction) {
+      EXPECT_EQ(execution.firings_of(*node), 1u) << node->name();
+    }
+  }
+}
+
+TEST(Activity, JoinWaitsForAllBranches) {
+  Activity activity("j");
+  ActivityNode& initial = activity.add_initial();
+  ActivityNode& a = activity.add_action("a");
+  ActivityNode& b = activity.add_action("b");
+  ActivityNode& join = activity.add_node(NodeKind::kJoin, "join");
+  ActivityNode& final_node = activity.add_final();
+  activity.add_edge(initial, a);
+  ActivityEdge& a_to_join = activity.add_edge(a, join);
+  ActivityEdge& b_to_join = activity.add_edge(b, join);
+  activity.add_edge(join, final_node);
+  (void)a_to_join;
+
+  ActivityExecution execution(activity);
+  execution.start();
+  execution.step();  // a fires, token on a->join.
+  EXPECT_FALSE(execution.step());  // join NOT enabled: b never got a token.
+  EXPECT_FALSE(execution.terminated());
+
+  execution.place_token(b_to_join, Token{});
+  EXPECT_EQ(execution.run(), RunStatus::kTerminated);
+}
+
+TEST(Activity, DecisionRoutesByGuard) {
+  Activity activity("d");
+  ActivityNode& initial = activity.add_initial();
+  ActivityNode& produce = activity.add_action("produce");
+  ActivityNode& decision = activity.add_node(NodeKind::kDecision, "check");
+  ActivityNode& high = activity.add_action("high");
+  ActivityNode& low = activity.add_action("low");
+  ActivityNode& final_node = activity.add_final();
+  activity.add_edge(initial, produce);
+  activity.add_edge(produce, decision, true);
+  activity.add_edge(decision, high, true)
+      .set_guard("v>=10", [](const Token& t) { return t.value >= 10; });
+  activity.add_edge(decision, low, true).set_guard(EdgeGuard{"else", nullptr});
+  activity.add_edge(high, final_node);
+  activity.add_edge(low, final_node);
+
+  produce.set_behavior([](ActionFiring& firing) { firing.output = 42; });
+
+  ActivityExecution execution(activity);
+  execution.run();
+  EXPECT_EQ(execution.firings_of(high), 1u);
+  EXPECT_EQ(execution.firings_of(low), 0u);
+}
+
+TEST(Activity, DecisionElseTaken) {
+  Activity activity("d");
+  ActivityNode& initial = activity.add_initial();
+  ActivityNode& decision = activity.add_node(NodeKind::kDecision, "check");
+  ActivityNode& high = activity.add_action("high");
+  ActivityNode& low = activity.add_action("low");
+  ActivityNode& final_node = activity.add_final();
+  activity.add_edge(initial, decision);
+  activity.add_edge(decision, high).set_guard("v>=10",
+                                              [](const Token& t) { return t.value >= 10; });
+  activity.add_edge(decision, low).set_guard(EdgeGuard{"else", nullptr});
+  activity.add_edge(high, final_node);
+  activity.add_edge(low, final_node);
+
+  ActivityExecution execution(activity);
+  execution.run();
+  EXPECT_EQ(execution.firings_of(low), 1u);
+}
+
+TEST(Activity, DecisionWithNoOpenBranchIsNotEnabled) {
+  Activity activity("d");
+  ActivityNode& initial = activity.add_initial();
+  ActivityNode& decision = activity.add_node(NodeKind::kDecision, "check");
+  ActivityNode& sink_node = activity.add_action("sink");
+  ActivityNode& final_node = activity.add_final();
+  activity.add_edge(initial, decision);
+  activity.add_edge(decision, sink_node).set_guard("never", [](const Token&) { return false; });
+  activity.add_edge(sink_node, final_node);
+
+  ActivityExecution execution(activity);
+  EXPECT_EQ(execution.run(), RunStatus::kQuiescent);  // Token stuck, no livelock.
+  EXPECT_EQ(execution.token_count(), 1u);
+}
+
+TEST(Activity, MergeForwardsFromEitherBranch) {
+  Activity activity("m");
+  ActivityNode& initial = activity.add_initial();
+  ActivityNode& merge = activity.add_node(NodeKind::kMerge, "merge");
+  ActivityNode& after = activity.add_action("after");
+  ActivityNode& final_node = activity.add_final();
+  ActivityNode& other = activity.add_action("other");
+  activity.add_edge(initial, merge);
+  ActivityEdge& other_in = activity.add_edge(other, merge);
+  activity.add_edge(merge, after);
+  activity.add_edge(after, final_node);
+
+  ActivityExecution execution(activity);
+  execution.start();
+  execution.place_token(other_in, Token{5});
+  execution.run();
+  EXPECT_EQ(execution.firings_of(merge), 2u);  // One per arriving token.
+  EXPECT_EQ(execution.firings_of(after), 2u);
+}
+
+TEST(Activity, FlowFinalDestroysOnlyItsToken) {
+  Activity activity("ff");
+  ActivityNode& initial = activity.add_initial();
+  ActivityNode& fork = activity.add_node(NodeKind::kFork, "fork");
+  ActivityNode& work = activity.add_action("work");
+  ActivityNode& flow_final = activity.add_node(NodeKind::kFlowFinal, "drop");
+  ActivityNode& final_node = activity.add_final();
+  activity.add_edge(initial, fork);
+  activity.add_edge(fork, flow_final);
+  activity.add_edge(fork, work);
+  activity.add_edge(work, final_node);
+
+  ActivityExecution execution(activity);
+  EXPECT_EQ(execution.run(), RunStatus::kTerminated);
+  EXPECT_EQ(execution.firings_of(work), 1u);  // Flow-final did not kill it.
+}
+
+TEST(Activity, ActivityFinalKillsAllTokens) {
+  Activity activity("af");
+  ActivityNode& initial = activity.add_initial();
+  ActivityNode& fork = activity.add_node(NodeKind::kFork, "fork");
+  ActivityNode& fast = activity.add_action("fast");
+  ActivityNode& slow1 = activity.add_action("slow1");
+  ActivityNode& slow2 = activity.add_action("slow2");
+  ActivityNode& final_node = activity.add_final();
+  activity.add_edge(initial, fork);
+  activity.add_edge(fork, fast);
+  activity.add_edge(fork, slow1);
+  activity.add_edge(fast, final_node);
+  activity.add_edge(slow1, slow2);
+  activity.add_edge(slow2, activity.add_node(NodeKind::kFlowFinal, "drop"));
+
+  ActivityExecution execution(activity);
+  execution.run();
+  EXPECT_TRUE(execution.terminated());
+  EXPECT_EQ(execution.token_count(), 0u);
+}
+
+TEST(Activity, EdgeWeightRequiresMultipleTokens) {
+  Activity activity("w");
+  ActivityNode& src = activity.add_action("src");
+  ActivityNode& dst = activity.add_action("dst");
+  ActivityNode& final_node = activity.add_final();
+  ActivityEdge& weighted = activity.add_edge(src, dst);
+  weighted.set_weight(3);
+  activity.add_edge(dst, final_node);
+  activity.add_initial();  // No start edge: we inject manually.
+
+  ActivityExecution execution(activity);
+  execution.place_token(weighted, Token{1});
+  execution.place_token(weighted, Token{2});
+  EXPECT_FALSE(execution.step());  // 2 < weight 3.
+  execution.place_token(weighted, Token{3});
+  EXPECT_TRUE(execution.step());
+  EXPECT_EQ(execution.firings_of(dst), 1u);
+  EXPECT_EQ(execution.tokens_consumed(), 3u);
+}
+
+TEST(Activity, BufferPassesTokensThrough) {
+  Activity activity("buf");
+  ActivityNode& initial = activity.add_initial();
+  ActivityNode& buffer = activity.add_node(NodeKind::kBuffer, "store");
+  ActivityNode& final_node = activity.add_final();
+  activity.add_edge(initial, buffer, true);
+  activity.add_edge(buffer, final_node, true);
+  ActivityExecution execution(activity);
+  EXPECT_EQ(execution.run(), RunStatus::kTerminated);
+}
+
+// --- Validation / soundness ----------------------------------------------------
+
+TEST(ActivityValidate, SyntheticGraphsAreValidAndSound) {
+  support::DiagnosticSink sink;
+  for (auto activity : {make_sequential(4).get(), make_fork_join(2, 3).get()}) {
+    (void)activity;
+  }
+  auto seq = make_sequential(4);
+  EXPECT_TRUE(validate(*seq, sink)) << sink.str();
+  EXPECT_TRUE(check_soundness(*seq, sink)) << sink.str();
+  auto fj = make_fork_join(3, 2);
+  EXPECT_TRUE(validate(*fj, sink)) << sink.str();
+  EXPECT_TRUE(check_soundness(*fj, sink)) << sink.str();
+  auto media = make_media_pipeline();
+  EXPECT_TRUE(validate(*media, sink)) << sink.str();
+  EXPECT_TRUE(check_soundness(*media, sink)) << sink.str();
+}
+
+TEST(ActivityValidate, InitialWithIncomingIsError) {
+  Activity activity("bad");
+  ActivityNode& initial = activity.add_initial();
+  ActivityNode& a = activity.add_action("a");
+  activity.add_edge(initial, a);
+  activity.add_edge(a, initial);
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(validate(activity, sink));
+  EXPECT_NE(sink.str().find("initial node has incoming"), std::string::npos);
+}
+
+TEST(ActivityValidate, TwoInitialsIsError) {
+  Activity activity("bad");
+  activity.add_initial();
+  activity.add_node(NodeKind::kInitial, "initial2");
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(validate(activity, sink));
+  EXPECT_NE(sink.str().find("more than one initial"), std::string::npos);
+}
+
+TEST(ActivityValidate, ForkArity) {
+  Activity activity("bad");
+  ActivityNode& initial = activity.add_initial();
+  ActivityNode& a = activity.add_action("a");
+  ActivityNode& fork = activity.add_node(NodeKind::kFork, "fork");
+  activity.add_edge(initial, fork);
+  activity.add_edge(a, fork);  // Second incoming: illegal.
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(validate(activity, sink));
+  EXPECT_NE(sink.str().find("fork must have exactly one incoming"), std::string::npos);
+}
+
+TEST(ActivityValidate, ZeroWeightEdgeIsError) {
+  Activity activity("bad");
+  ActivityNode& initial = activity.add_initial();
+  ActivityNode& a = activity.add_action("a");
+  activity.add_edge(initial, a).set_weight(0);
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(validate(activity, sink));
+  EXPECT_NE(sink.str().find("weight < 1"), std::string::npos);
+}
+
+TEST(ActivitySoundness, DetectsDeadEndNode) {
+  Activity activity("deadend");
+  ActivityNode& initial = activity.add_initial();
+  ActivityNode& a = activity.add_action("a");
+  ActivityNode& stranded = activity.add_action("stranded");
+  ActivityNode& final_node = activity.add_final();
+  activity.add_edge(initial, a);
+  activity.add_edge(a, final_node);
+  activity.add_edge(a, stranded);  // stranded never reaches a final.
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(check_soundness(activity, sink));
+  EXPECT_NE(sink.str().find("cannot reach a final"), std::string::npos);
+}
+
+TEST(ActivitySoundness, DetectsUnreachableNode) {
+  Activity activity("orphan");
+  ActivityNode& initial = activity.add_initial();
+  ActivityNode& a = activity.add_action("a");
+  ActivityNode& orphan = activity.add_action("orphan");
+  ActivityNode& final_node = activity.add_final();
+  activity.add_edge(initial, a);
+  activity.add_edge(a, final_node);
+  activity.add_edge(orphan, final_node);
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(check_soundness(activity, sink));
+  EXPECT_NE(sink.str().find("unreachable"), std::string::npos);
+}
+
+// --- Property sweeps -------------------------------------------------------------
+
+// Token conservation through fork/join: at every step of a fork-join
+// activity, (tokens produced - consumed - in flight - outputs) == 0 is too
+// strong across duplication, so we check the invariants that do hold:
+// join fires exactly once, and the run always terminates token-free.
+class ForkJoinProperty : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ForkJoinProperty, TerminatesCleanlyWithSingleJoinFiring) {
+  auto [width, depth] = GetParam();
+  auto activity = make_fork_join(static_cast<std::size_t>(width),
+                                 static_cast<std::size_t>(depth));
+  ActivityExecution execution(*activity);
+  EXPECT_EQ(execution.run(), RunStatus::kTerminated);
+  EXPECT_EQ(execution.token_count(), 0u);
+  const ActivityNode* join = activity->find_node("join");
+  ASSERT_NE(join, nullptr);
+  EXPECT_EQ(execution.firings_of(*join), 1u);
+  // Every branch action fired exactly once.
+  for (const auto& node : activity->nodes()) {
+    if (node->node_kind() == NodeKind::kAction) {
+      EXPECT_EQ(execution.firings_of(*node), 1u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ForkJoinProperty,
+                         ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                                            ::testing::Values(1, 3, 6)));
+
+// Series-parallel DAGs are always valid, sound, and terminate with every
+// action firing exactly once.
+class SeriesParallelProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeriesParallelProperty, ValidSoundAndSingleFire) {
+  auto activity = make_series_parallel(GetParam(), 20);
+  support::DiagnosticSink sink;
+  EXPECT_TRUE(validate(*activity, sink)) << sink.str();
+  EXPECT_TRUE(check_soundness(*activity, sink)) << sink.str();
+
+  ActivityExecution execution(*activity);
+  EXPECT_EQ(execution.run(), RunStatus::kTerminated);
+  EXPECT_EQ(execution.token_count(), 0u);
+  for (const auto& node : activity->nodes()) {
+    if (node->node_kind() == NodeKind::kAction) {
+      EXPECT_EQ(execution.firings_of(*node), 1u) << node->name();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeriesParallelProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 10, 20, 40));
+
+}  // namespace
+}  // namespace umlsoc::activity

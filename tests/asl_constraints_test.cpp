@@ -1,0 +1,168 @@
+// Tests for ASL-based model constraints (the OCL-role feature).
+#include <gtest/gtest.h>
+
+#include "asl/constraints.hpp"
+#include "soc/profile.hpp"
+#include "uml/instance.hpp"
+
+namespace umlsoc::asl {
+namespace {
+
+struct Fixture {
+  uml::Model model{"M"};
+  soc::SocProfile profile = soc::SocProfile::install(model);
+  uml::Package& pkg = model.add_package("p");
+};
+
+TEST(Constraints, AttributeAccess) {
+  Fixture f;
+  uml::Class& cls = f.pkg.add_class("Engine");
+  cls.set_abstract(true);
+  ElementContext context(cls);
+  EXPECT_EQ(context.get_attribute("name").as_string(), "Engine");
+  EXPECT_EQ(context.get_attribute("qualified_name").as_string(), "M.p.Engine");
+  EXPECT_EQ(context.get_attribute("kind").as_string(), "Class");
+  EXPECT_EQ(context.get_attribute("owner_kind").as_string(), "Package");
+  EXPECT_TRUE(context.get_attribute("is_abstract").as_bool());
+  EXPECT_FALSE(context.get_attribute("is_active").as_bool());
+  EXPECT_EQ(context.get_attribute("unknown").as_int(), 0);
+}
+
+TEST(Constraints, OperationAccess) {
+  Fixture f;
+  uml::Class& cls = f.pkg.add_class("C");
+  cls.add_property("x");
+  cls.add_property("y");
+  cls.add_operation("f").add_parameter("a");
+  cls.add_port("clk");
+  cls.apply_stereotype(*f.profile.hw_module);
+  cls.set_tagged_value(*f.profile.hw_module, "clockMHz", "250");
+
+  ElementContext context(cls);
+  EXPECT_EQ(context.call("property_count", {}).as_int(), 2);
+  EXPECT_EQ(context.call("operation_count", {}).as_int(), 1);
+  EXPECT_EQ(context.call("port_count", {}).as_int(), 1);
+  EXPECT_TRUE(context.call("has_stereotype", {Value{"HwModule"}}).as_bool());
+  EXPECT_FALSE(context.call("has_stereotype", {Value{"SwTask"}}).as_bool());
+  EXPECT_EQ(context.call("tagged", {Value{"HwModule"}, Value{"clockMHz"}}).as_string(), "250");
+  EXPECT_EQ(context.call("tagged", {Value{"HwModule"}, Value{"nope"}}).as_string(), "");
+  EXPECT_THROW(context.call("frobnicate", {}), std::runtime_error);
+  EXPECT_THROW(context.set_attribute("name", Value{"x"}), std::runtime_error);
+}
+
+TEST(Constraints, PassingConstraintSet) {
+  Fixture f;
+  uml::Class& hw = f.pkg.add_class("Uart");
+  hw.apply_stereotype(*f.profile.hw_module);
+  hw.add_port("clk");
+
+  ConstraintSet set;
+  support::DiagnosticSink sink;
+  ASSERT_TRUE(set.add("hw-needs-ports", uml::ElementKind::kClass,
+                      "not has_stereotype(\"HwModule\") or port_count() > 0", sink));
+  ASSERT_TRUE(set.add("nonempty-names", std::nullopt, "name != \"\" or kind == \"Model\"",
+                      sink));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.check(f.model, sink)) << sink.str();
+}
+
+TEST(Constraints, ViolationReportedWithSubject) {
+  Fixture f;
+  uml::Class& hw = f.pkg.add_class("NoClock");
+  hw.apply_stereotype(*f.profile.hw_module);  // No ports: violates.
+
+  ConstraintSet set;
+  support::DiagnosticSink sink;
+  ASSERT_TRUE(set.add("hw-needs-ports", uml::ElementKind::kClass,
+                      "not has_stereotype(\"HwModule\") or port_count() > 0", sink));
+  EXPECT_FALSE(set.check(f.model, sink));
+  EXPECT_NE(sink.str().find("M.p.NoClock"), std::string::npos);
+  EXPECT_NE(sink.str().find("constraint 'hw-needs-ports' violated"), std::string::npos);
+}
+
+TEST(Constraints, KindFilterLimitsScope) {
+  Fixture f;
+  f.pkg.add_class("AnyClass");
+  uml::Enumeration& empty_enum = f.pkg.add_enumeration("Empty");
+  (void)empty_enum;
+
+  ConstraintSet set;
+  support::DiagnosticSink sink;
+  // Applies to enumerations only; the class must not be checked.
+  ASSERT_TRUE(set.add("enums-have-literals", uml::ElementKind::kEnumeration,
+                      "literal_count() > 0", sink));
+  EXPECT_FALSE(set.check(f.model, sink));
+  EXPECT_NE(sink.str().find("M.p.Empty"), std::string::npos);
+  EXPECT_EQ(sink.str().find("AnyClass"), std::string::npos);
+}
+
+TEST(Constraints, MultiplicityAndPortAttributes) {
+  Fixture f;
+  uml::Class& cls = f.pkg.add_class("C");
+  uml::Property& items = cls.add_property("items", &f.model.primitive("Integer", 32));
+  items.set_multiplicity({0, uml::Multiplicity::kUnlimited});
+  uml::Port& data = cls.add_port("data", uml::PortDirection::kOut);
+  data.set_width(16);
+
+  ConstraintSet set;
+  support::DiagnosticSink sink;
+  ASSERT_TRUE(set.add("star-props-lower-zero", uml::ElementKind::kProperty,
+                      "upper != -1 or lower == 0", sink));
+  ASSERT_TRUE(set.add("wide-ports-directed", uml::ElementKind::kPort,
+                      "width <= 1 or direction != \"inout\"", sink));
+  EXPECT_TRUE(set.check(f.model, sink)) << sink.str();
+
+  // Break the second: wide inout port.
+  cls.add_port("bad").set_width(8);
+  support::DiagnosticSink sink2;
+  EXPECT_FALSE(set.check(f.model, sink2));
+  EXPECT_NE(sink2.str().find("wide-ports-directed"), std::string::npos);
+}
+
+TEST(Constraints, UnparsableExpressionRejectedAtAdd) {
+  ConstraintSet set;
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(set.add("bad", std::nullopt, "this is not ASL ::", sink));
+  EXPECT_TRUE(sink.has_errors());
+  EXPECT_EQ(set.size(), 0u);
+}
+
+TEST(Constraints, EvaluationFaultIsReportedNotFatal) {
+  Fixture f;
+  f.pkg.add_class("C");
+  ConstraintSet set;
+  support::DiagnosticSink sink;
+  // has_stereotype with wrong arity faults at evaluation time.
+  ASSERT_TRUE(set.add("faulty", uml::ElementKind::kClass, "has_stereotype()", sink));
+  EXPECT_FALSE(set.check(f.model, sink));
+  EXPECT_NE(sink.str().find("faulted"), std::string::npos);
+}
+
+TEST(Constraints, SocProfileRulesAsConstraints) {
+  // Re-express two soc::validate_soc rules declaratively.
+  Fixture f;
+  uml::Class& hw = f.pkg.add_class("Accel");
+  hw.apply_stereotype(*f.profile.hw_module);
+  hw.set_tagged_value(*f.profile.hw_module, "clockMHz", "200");
+  hw.add_port("clk");
+  uml::Class& task = f.pkg.add_class("Ctrl");
+  task.apply_stereotype(*f.profile.sw_task);
+  task.set_active(true);
+
+  ConstraintSet set;
+  support::DiagnosticSink sink;
+  ASSERT_TRUE(set.add("hw-xor-sw", uml::ElementKind::kClass,
+                      "not (has_stereotype(\"HwModule\") and has_stereotype(\"SwTask\"))",
+                      sink));
+  ASSERT_TRUE(set.add("sw-tasks-active", uml::ElementKind::kClass,
+                      "not has_stereotype(\"SwTask\") or is_active", sink));
+  EXPECT_TRUE(set.check(f.model, sink)) << sink.str();
+
+  task.apply_stereotype(*f.profile.hw_module);  // Now violates hw-xor-sw.
+  support::DiagnosticSink sink2;
+  EXPECT_FALSE(set.check(f.model, sink2));
+  EXPECT_NE(sink2.str().find("hw-xor-sw"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace umlsoc::asl

@@ -1,0 +1,281 @@
+// ASL tests: lexer, parser, interpreter semantics, error handling.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "asl/interpreter.hpp"
+#include "asl/lexer.hpp"
+#include "asl/parser.hpp"
+
+namespace umlsoc::asl {
+namespace {
+
+// --- Lexer ---------------------------------------------------------------------
+
+TEST(AslLexer, TokenizesRepresentativeProgram) {
+  support::DiagnosticSink sink;
+  auto tokens = tokenize("x := 42; if (x >= 10) { send Bus.req(x); }", sink);
+  ASSERT_FALSE(sink.has_errors()) << sink.str();
+  EXPECT_EQ(tokens.front().kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens.front().text, "x");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kAssign);
+  EXPECT_EQ(tokens[2].int_value, 42);
+  EXPECT_EQ(tokens.back().kind, TokenKind::kEnd);
+}
+
+TEST(AslLexer, StringsAndEscapes) {
+  support::DiagnosticSink sink;
+  auto tokens = tokenize("s := \"a\\nb\\\"c\";", sink);
+  ASSERT_FALSE(sink.has_errors());
+  EXPECT_EQ(tokens[2].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[2].text, "a\nb\"c");
+}
+
+TEST(AslLexer, CommentsIgnored) {
+  support::DiagnosticSink sink;
+  auto tokens = tokenize("// a comment\nx := 1; // trailing\n", sink);
+  ASSERT_FALSE(sink.has_errors());
+  EXPECT_EQ(tokens.size(), 5u);  // x := 1 ; <end>
+}
+
+TEST(AslLexer, TracksLineNumbers) {
+  support::DiagnosticSink sink;
+  auto tokens = tokenize("a := 1;\nb := 2;", sink);
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[4].line, 2);
+}
+
+TEST(AslLexer, ErrorsOnBadCharacter) {
+  support::DiagnosticSink sink;
+  (void)tokenize("x := #;", sink);
+  EXPECT_TRUE(sink.has_errors());
+  EXPECT_NE(sink.str().find("unexpected character"), std::string::npos);
+}
+
+TEST(AslLexer, ErrorsOnUnterminatedString) {
+  support::DiagnosticSink sink;
+  (void)tokenize("s := \"open", sink);
+  EXPECT_TRUE(sink.has_errors());
+}
+
+// --- Parser ----------------------------------------------------------------------
+
+std::optional<Program> parse_ok(std::string_view source) {
+  support::DiagnosticSink sink;
+  auto program = parse(source, sink);
+  EXPECT_TRUE(program.has_value()) << sink.str();
+  return program;
+}
+
+void parse_fails(std::string_view source, std::string_view expected) {
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(parse(source, sink).has_value());
+  EXPECT_NE(sink.str().find(expected), std::string::npos) << sink.str();
+}
+
+TEST(AslParser, StatementsKinds) {
+  auto program = parse_ok(
+      "x := 1;"
+      "self.y := 2;"
+      "if (x == 1) { x := 2; } else { x := 3; }"
+      "while (x < 10) { x := x + 1; }"
+      "send Bus.req(x, 2);"
+      "return x;");
+  ASSERT_EQ(program->statements.size(), 6u);
+  EXPECT_EQ(program->statements[0]->kind, StmtKind::kAssign);
+  EXPECT_FALSE(program->statements[0]->self_target);
+  EXPECT_TRUE(program->statements[1]->self_target);
+  EXPECT_EQ(program->statements[2]->kind, StmtKind::kIf);
+  EXPECT_EQ(program->statements[3]->kind, StmtKind::kWhile);
+  EXPECT_EQ(program->statements[4]->kind, StmtKind::kSend);
+  EXPECT_EQ(program->statements[4]->signal, "req");
+  EXPECT_EQ(program->statements[5]->kind, StmtKind::kReturn);
+}
+
+TEST(AslParser, ElseIfChains) {
+  auto program = parse_ok("if (a) { x := 1; } else if (b) { x := 2; } else { x := 3; }");
+  const Stmt& if_statement = *program->statements[0];
+  ASSERT_EQ(if_statement.else_body.size(), 1u);
+  EXPECT_EQ(if_statement.else_body[0]->kind, StmtKind::kIf);
+}
+
+TEST(AslParser, PrecedenceShape) {
+  auto program = parse_ok("r := 1 + 2 * 3 == 7 and not false;");
+  const Expr& root = *program->statements[0]->value;
+  EXPECT_EQ(root.kind, ExprKind::kBinary);
+  EXPECT_EQ(root.binary_op, BinaryOp::kAnd);
+  EXPECT_EQ(root.lhs->binary_op, BinaryOp::kEq);
+}
+
+TEST(AslParser, SyntaxErrors) {
+  parse_fails("x := ;", "unexpected token");
+  parse_fails("if x { }", "expected '('");
+  parse_fails("x := 1", "expected ';'");
+  parse_fails("send Bus;", "expected '.'");
+  parse_fails("while (1) { x := 1;", "unterminated block");
+}
+
+// --- Interpreter ------------------------------------------------------------------
+
+TEST(AslInterp, ArithmeticAndLocals) {
+  MapObject self;
+  auto result = run_asl("a := 6; b := 7; return a * b + 10 % 3;", self);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->as_int(), 43);
+}
+
+TEST(AslInterp, SelfAttributesPersist) {
+  MapObject self;
+  run_asl("self.count := self.count + 1; self.count := self.count + 1;", self);
+  EXPECT_EQ(self.get_attribute("count").as_int(), 2);
+}
+
+TEST(AslInterp, UnknownLocalFallsThroughToAttributes) {
+  MapObject self;
+  self.set_attribute("baud", Value{115200});
+  auto result = run_asl("return baud / 2;", self);
+  EXPECT_EQ(result->as_int(), 57600);
+}
+
+TEST(AslInterp, IfElseAndComparisons) {
+  MapObject self;
+  auto result = run_asl(
+      "x := 5;"
+      "if (x > 10) { r := \"big\"; } else if (x > 3) { r := \"mid\"; } else { r := \"small\"; }"
+      "return r;",
+      self);
+  EXPECT_EQ(result->as_string(), "mid");
+}
+
+TEST(AslInterp, WhileLoopComputesFactorial) {
+  MapObject self;
+  auto result = run_asl(
+      "n := 6; acc := 1;"
+      "while (n > 1) { acc := acc * n; n := n - 1; }"
+      "return acc;",
+      self);
+  EXPECT_EQ(result->as_int(), 720);
+}
+
+TEST(AslInterp, ReturnExitsEarly) {
+  MapObject self;
+  auto result = run_asl("x := 1; if (true) { return 99; } x := 2; return x;", self);
+  EXPECT_EQ(result->as_int(), 99);
+}
+
+TEST(AslInterp, StringConcatenation) {
+  MapObject self;
+  auto result = run_asl("return \"uart_\" + 3 + \"!\";", self);
+  EXPECT_EQ(result->as_string(), "uart_3!");
+}
+
+TEST(AslInterp, BooleanShortCircuit) {
+  MapObject self;
+  self.define_operation("boom", [](const std::vector<Value>&) -> Value {
+    throw std::runtime_error("must not be called");
+  });
+  auto result = run_asl("return false and boom();", self);
+  EXPECT_FALSE(result->as_bool());
+  result = run_asl("return true or boom();", self);
+  EXPECT_TRUE(result->as_bool());
+}
+
+TEST(AslInterp, OperationCalls) {
+  MapObject self;
+  self.define_operation("sum", [](const std::vector<Value>& args) {
+    std::int64_t total = 0;
+    for (const Value& v : args) total += v.as_int();
+    return Value{total};
+  });
+  auto result = run_asl("return sum(1, 2, 3) + self.sum(4, 5);", self);
+  EXPECT_EQ(result->as_int(), 15);
+}
+
+TEST(AslInterp, SendSignalRecordsArguments) {
+  MapObject self;
+  run_asl("send Bus.write(1 + 2, \"data\");", self);
+  ASSERT_EQ(self.sent_signals().size(), 1u);
+  EXPECT_EQ(self.sent_signals()[0].target, "Bus");
+  EXPECT_EQ(self.sent_signals()[0].signal, "write");
+  EXPECT_EQ(self.sent_signals()[0].arguments[0].as_int(), 3);
+  EXPECT_EQ(self.sent_signals()[0].arguments[1].as_string(), "data");
+}
+
+TEST(AslInterp, DivisionByZeroThrows) {
+  MapObject self;
+  EXPECT_THROW(run_asl("return 1 / 0;", self), std::runtime_error);
+  EXPECT_THROW(run_asl("return 1 % 0;", self), std::runtime_error);
+}
+
+TEST(AslInterp, InfiniteLoopHitsStepBudget) {
+  MapObject self;
+  EXPECT_THROW(run_asl("while (true) { x := 1; }", self, 1000), std::runtime_error);
+}
+
+TEST(AslInterp, StringAsIntThrows) {
+  MapObject self;
+  EXPECT_THROW(run_asl("return \"abc\" - 1;", self), std::runtime_error);
+}
+
+TEST(AslInterp, UnknownOperationThrows) {
+  MapObject self;
+  EXPECT_THROW(run_asl("return nope();", self), std::runtime_error);
+}
+
+TEST(AslInterp, SyntaxErrorsSurfaceFromRunAsl) {
+  MapObject self;
+  EXPECT_THROW(run_asl("x := := 1;", self), std::runtime_error);
+}
+
+TEST(AslInterp, StatsCountWork) {
+  support::DiagnosticSink sink;
+  auto program = parse("x := 0; while (x < 10) { x := x + 1; }", sink);
+  ASSERT_TRUE(program.has_value());
+  MapObject self;
+  Environment environment(self);
+  Interpreter interpreter;
+  interpreter.execute(*program, environment);
+  EXPECT_GT(interpreter.stats().statements_executed, 10u);
+  EXPECT_GT(interpreter.stats().expressions_evaluated, 20u);
+}
+
+TEST(AslInterp, TruthinessRules) {
+  MapObject self;
+  EXPECT_TRUE(run_asl("return 5;", self)->as_bool());
+  EXPECT_FALSE(run_asl("return 0;", self)->as_bool());
+  EXPECT_FALSE(run_asl("return \"\";", self)->as_bool());
+  EXPECT_TRUE(run_asl("return \"x\";", self)->as_bool());
+}
+
+TEST(AslInterp, ValueEqualityAcrossTypes) {
+  MapObject self;
+  EXPECT_FALSE(run_asl("return 1 == \"1\";", self)->as_bool());
+  EXPECT_TRUE(run_asl("return \"a\" == \"a\";", self)->as_bool());
+  EXPECT_TRUE(run_asl("return 2 != 3;", self)->as_bool());
+}
+
+// Property sweep: computed gcd matches a reference implementation.
+class AslGcdProperty : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(AslGcdProperty, MatchesReference) {
+  auto [a, b] = GetParam();
+  MapObject self;
+  self.set_attribute("a", Value{a});
+  self.set_attribute("b", Value{b});
+  auto result = run_asl(
+      "x := a; y := b;"
+      "while (y != 0) { t := y; y := x % y; x := t; }"
+      "return x;",
+      self);
+  ASSERT_TRUE(result.has_value());
+  std::int64_t expected = std::gcd(a, b);
+  EXPECT_EQ(result->as_int(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pairs, AslGcdProperty,
+                         ::testing::Values(std::tuple{12, 18}, std::tuple{7, 13},
+                                           std::tuple{100, 75}, std::tuple{1, 999},
+                                           std::tuple{144, 89}, std::tuple{270, 192}));
+
+}  // namespace
+}  // namespace umlsoc::asl

@@ -1,0 +1,260 @@
+// Tests for the extension features: timed state machines on the simulation
+// kernel, trace -> sequence-diagram construction, state listeners, and the
+// RTL testbench generator.
+#include <gtest/gtest.h>
+
+#include "codegen/rtl.hpp"
+#include "codegen/timed_machine.hpp"
+#include "interaction/from_trace.hpp"
+#include "xmi/behavior.hpp"
+#include "statechart/interpreter.hpp"
+
+namespace umlsoc {
+namespace {
+
+// --- State listener --------------------------------------------------------------
+
+TEST(StateListener, ReportsEntriesAndExits) {
+  statechart::StateMachine machine("m");
+  statechart::Region& top = machine.top();
+  statechart::Pseudostate& initial = top.add_initial();
+  statechart::State& a = top.add_state("A");
+  statechart::State& b = top.add_state("B");
+  top.add_transition(initial, a);
+  top.add_transition(a, b).set_trigger("go");
+
+  std::vector<std::string> log;
+  statechart::StateMachineInstance instance(machine);
+  instance.set_state_listener([&](const statechart::State& state, bool entered) {
+    log.push_back((entered ? "+" : "-") + state.name());
+  });
+  instance.start();
+  instance.dispatch({"go"});
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0], "+A");
+  EXPECT_EQ(log[1], "-A");
+  EXPECT_EQ(log[2], "+B");
+}
+
+// --- TimedStateMachine --------------------------------------------------------------
+
+/// Green(5ns) -> Yellow(2ns) -> Red(5ns) -> Green traffic light.
+std::unique_ptr<statechart::StateMachine> make_traffic_light() {
+  auto machine = std::make_unique<statechart::StateMachine>("light");
+  statechart::Region& top = machine->top();
+  statechart::Pseudostate& initial = top.add_initial();
+  statechart::State& green = top.add_state("Green");
+  statechart::State& yellow = top.add_state("Yellow");
+  statechart::State& red = top.add_state("Red");
+  top.add_transition(initial, green);
+  top.add_transition(green, yellow).set_trigger("t_green");
+  top.add_transition(yellow, red).set_trigger("t_yellow");
+  top.add_transition(red, green).set_trigger("t_red");
+  return machine;
+}
+
+TEST(TimedMachine, TimeoutsDriveTheMachine) {
+  sim::Kernel kernel;
+  auto machine = make_traffic_light();
+  codegen::TimedStateMachine timed(*machine, kernel);
+  timed.instance().set_trace_enabled(false);
+  timed.after("Green", sim::SimTime::ns(5), "t_green");
+  timed.after("Yellow", sim::SimTime::ns(2), "t_yellow");
+  timed.after("Red", sim::SimTime::ns(5), "t_red");
+  timed.start();
+  EXPECT_TRUE(timed.instance().is_in("Green"));
+
+  kernel.run(sim::SimTime::ns(6));
+  EXPECT_TRUE(timed.instance().is_in("Yellow"));
+  kernel.run(sim::SimTime::ns(8));
+  EXPECT_TRUE(timed.instance().is_in("Red"));
+  kernel.run(sim::SimTime::ns(13));
+  EXPECT_TRUE(timed.instance().is_in("Green"));  // Full cycle.
+  EXPECT_GE(timed.timeouts_fired(), 3u);
+}
+
+TEST(TimedMachine, LeavingStateCancelsTimer) {
+  sim::Kernel kernel;
+  auto machine = make_traffic_light();
+  codegen::TimedStateMachine timed(*machine, kernel);
+  timed.instance().set_trace_enabled(false);
+  timed.after("Green", sim::SimTime::ns(10), "t_green");
+  timed.start();
+
+  // External event preempts Green before its timer expires.
+  timed.dispatch({"t_green"});
+  EXPECT_TRUE(timed.instance().is_in("Yellow"));
+  kernel.run(sim::SimTime::ns(20));
+  // The stale Green timer must NOT have fired an extra transition.
+  EXPECT_TRUE(timed.instance().is_in("Yellow"));
+  EXPECT_EQ(timed.timeouts_fired(), 0u);
+  EXPECT_EQ(timed.timeouts_cancelled(), 1u);
+}
+
+TEST(TimedMachine, ReentryRearmsTimer) {
+  sim::Kernel kernel;
+  auto machine = make_traffic_light();
+  codegen::TimedStateMachine timed(*machine, kernel);
+  timed.instance().set_trace_enabled(false);
+  timed.after("Green", sim::SimTime::ns(5), "t_green");
+  timed.after("Yellow", sim::SimTime::ns(5), "t_yellow");
+  timed.after("Red", sim::SimTime::ns(5), "t_red");
+  timed.start();
+  kernel.run(sim::SimTime::us(1));  // Many cycles.
+  EXPECT_GT(timed.timeouts_fired(), 50u);
+}
+
+
+TEST(TimedMachine, ParseAfterTrigger) {
+  EXPECT_EQ(codegen::parse_after_trigger("after(5ns)"), sim::SimTime::ns(5));
+  EXPECT_EQ(codegen::parse_after_trigger("after(2us)"), sim::SimTime::us(2));
+  EXPECT_EQ(codegen::parse_after_trigger("after(100ps)"), sim::SimTime::ps(100));
+  EXPECT_FALSE(codegen::parse_after_trigger("go").has_value());
+  EXPECT_FALSE(codegen::parse_after_trigger("after(5 parsecs)").has_value());
+  EXPECT_FALSE(codegen::parse_after_trigger("after(xyz)").has_value());
+  EXPECT_TRUE(codegen::looks_like_after_trigger("after(bogus)"));
+  EXPECT_FALSE(codegen::looks_like_after_trigger("later(5ns)"));
+}
+
+TEST(TimedMachine, AfterTriggersBoundFromModelText) {
+  // Traffic light authored with UML time triggers only; also survives XMI.
+  statechart::StateMachine machine("light");
+  statechart::Region& top = machine.top();
+  statechart::Pseudostate& initial = top.add_initial();
+  statechart::State& green = top.add_state("Green");
+  statechart::State& yellow = top.add_state("Yellow");
+  statechart::State& red = top.add_state("Red");
+  top.add_transition(initial, green);
+  top.add_transition(green, yellow).set_trigger("after(5ns)");
+  top.add_transition(yellow, red).set_trigger("after(2ns)");
+  top.add_transition(red, green).set_trigger("after(5ns)");
+
+  std::string text = xmi::write_state_machine(machine);
+  support::DiagnosticSink sink;
+  auto reread = xmi::read_state_machine(text, sink);
+  ASSERT_NE(reread, nullptr) << sink.str();
+
+  sim::Kernel kernel;
+  codegen::TimedStateMachine timed(*reread, kernel);
+  timed.instance().set_trace_enabled(false);
+  EXPECT_EQ(timed.bind_after_triggers(sink), 3u);
+  EXPECT_FALSE(sink.has_errors()) << sink.str();
+  timed.start();
+  kernel.run(sim::SimTime::ns(6));
+  EXPECT_TRUE(timed.instance().is_in("Yellow"));
+  kernel.run(sim::SimTime::ns(8));
+  EXPECT_TRUE(timed.instance().is_in("Red"));
+  kernel.run(sim::SimTime::ns(13));
+  EXPECT_TRUE(timed.instance().is_in("Green"));
+}
+
+TEST(TimedMachine, MalformedAfterTriggerReported) {
+  statechart::StateMachine machine("m");
+  statechart::Region& top = machine.top();
+  statechart::Pseudostate& initial = top.add_initial();
+  statechart::State& a = top.add_state("A");
+  statechart::State& b = top.add_state("B");
+  top.add_transition(initial, a);
+  top.add_transition(a, b).set_trigger("after(7 fortnights)");
+
+  sim::Kernel kernel;
+  codegen::TimedStateMachine timed(machine, kernel);
+  support::DiagnosticSink sink;
+  EXPECT_EQ(timed.bind_after_triggers(sink), 0u);
+  EXPECT_TRUE(sink.has_errors());
+  EXPECT_NE(sink.str().find("unparsable time trigger"), std::string::npos);
+}
+
+// --- Trace -> interaction -------------------------------------------------------------
+
+TEST(FromTrace, ParseLabel) {
+  auto parsed = interaction::parse_label("Cpu->Bus:read");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->from, "Cpu");
+  EXPECT_EQ(parsed->to, "Bus");
+  EXPECT_EQ(parsed->message, "read");
+  EXPECT_FALSE(interaction::parse_label("no arrow").has_value());
+  EXPECT_FALSE(interaction::parse_label("A->B").has_value());
+  EXPECT_FALSE(interaction::parse_label("->B:x").has_value());
+  EXPECT_FALSE(interaction::parse_label("A->:x").has_value());
+  EXPECT_FALSE(interaction::parse_label("A->B:").has_value());
+}
+
+TEST(FromTrace, BuildsConformingInteraction) {
+  interaction::Trace trace = {"Cpu->Bus:req", "Bus->Mem:read", "Mem->Bus:data",
+                              "Bus->Cpu:ack"};
+  auto diagram = interaction::interaction_from_trace("observed", trace);
+  EXPECT_EQ(diagram->lifelines().size(), 3u);  // Cpu, Bus, Mem.
+  EXPECT_EQ(diagram->fragments().size(), 4u);
+  interaction::ConformanceChecker checker(*diagram);
+  EXPECT_TRUE(checker.conforms(trace));
+  EXPECT_FALSE(checker.conforms({"Cpu->Bus:req"}));
+}
+
+TEST(FromTrace, SkipsMalformedLabels) {
+  interaction::Trace trace = {"A->B:x", "garbage", "B->A:y"};
+  std::size_t skipped = 0;
+  auto diagram = interaction::interaction_from_trace("observed", trace, &skipped);
+  EXPECT_EQ(skipped, 1u);
+  EXPECT_EQ(diagram->fragments().size(), 2u);
+}
+
+// --- RTL testbench --------------------------------------------------------------------
+
+TEST(RtlTestbench, GeneratesSelfCheckingBench) {
+  uml::Model model("M");
+  soc::SocProfile profile = soc::SocProfile::install(model);
+  uml::Class& blk = model.add_package("hw").add_class("Ctrl");
+  blk.apply_stereotype(*profile.hw_module);
+  auto reg = [&](const char* name, const char* addr, const char* access,
+                 const char* reset = "0") {
+    uml::Property& property = blk.add_property(name, &model.primitive("Word", 32));
+    property.apply_stereotype(*profile.hw_register);
+    property.set_tagged_value(*profile.hw_register, "address", addr);
+    property.set_tagged_value(*profile.hw_register, "access", access);
+    property.set_tagged_value(*profile.hw_register, "reset", reset);
+  };
+  reg("cfg", "0x0", "rw");
+  reg("state", "0x4", "r", "3");
+  reg("cmd", "0x8", "w");
+  blk.add_port("irq", uml::PortDirection::kOut);
+  blk.add_port("enable", uml::PortDirection::kIn);
+
+  support::DiagnosticSink sink;
+  std::string tb = codegen::generate_rtl_testbench(blk, profile, sink);
+  EXPECT_FALSE(sink.has_errors()) << sink.str();
+
+  EXPECT_NE(tb.find("module ctrl_tb;"), std::string::npos);
+  EXPECT_NE(tb.find("ctrl dut ("), std::string::npos);
+  EXPECT_NE(tb.find("task write_reg"), std::string::npos);
+  EXPECT_NE(tb.find("task read_check"), std::string::npos);
+  // rw register: write then read back.
+  EXPECT_NE(tb.find("write_reg(32'h0, 32'ha5);"), std::string::npos);
+  EXPECT_NE(tb.find("read_check(32'h0, 32'ha5);"), std::string::npos);
+  // r register: reset-value check only; no write.
+  EXPECT_NE(tb.find("read_check(32'h4, 32'd3);"), std::string::npos);
+  EXPECT_EQ(tb.find("write_reg(32'h4"), std::string::npos);
+  // w register: write, no read-back.
+  EXPECT_NE(tb.find("write_reg(32'h8"), std::string::npos);
+  // Output port monitored as wire, input driven as reg.
+  EXPECT_NE(tb.find("wire         irq;"), std::string::npos);
+  EXPECT_NE(tb.find("reg          enable = 0;"), std::string::npos);
+
+  support::DiagnosticSink structure_sink;
+  EXPECT_TRUE(codegen::check_rtl_structure(tb, structure_sink)) << structure_sink.str();
+}
+
+TEST(RtlTestbench, DutAndBenchNamesAlign) {
+  uml::Model model("M");
+  soc::SocProfile profile = soc::SocProfile::install(model);
+  uml::Class& blk = model.add_package("hw").add_class("FrameBuffer");
+  blk.apply_stereotype(*profile.hw_module);
+  support::DiagnosticSink sink;
+  std::string rtl = codegen::generate_rtl_module(blk, profile, sink);
+  std::string tb = codegen::generate_rtl_testbench(blk, profile, sink);
+  EXPECT_NE(rtl.find("module frame_buffer ("), std::string::npos);
+  EXPECT_NE(tb.find("frame_buffer dut ("), std::string::npos);
+}
+
+}  // namespace
+}  // namespace umlsoc

@@ -1,0 +1,265 @@
+// MDA transformation tests: SW and HW mappings, trace links, memory map.
+#include <gtest/gtest.h>
+
+#include "mda/transform.hpp"
+#include "soc/validate.hpp"
+#include "uml/query.hpp"
+#include "uml/validate.hpp"
+
+namespace umlsoc::mda {
+namespace {
+
+/// PIM with one «SwTask», one «HwModule» with registers, an association,
+/// an interface and an enumeration.
+struct PimFixture {
+  uml::Model pim{"Design"};
+  soc::SocProfile profile = soc::SocProfile::install(pim);
+  uml::Package& pkg = pim.add_package("app");
+  uml::Class* controller = nullptr;
+  uml::Class* uart = nullptr;
+
+  PimFixture() {
+    uml::Enumeration& mode = pkg.add_enumeration("Mode");
+    mode.add_literal("IDLE");
+    mode.add_literal("BUSY");
+
+    uml::Interface& istream = pkg.add_interface("IStream");
+    istream.add_operation("read").set_return_type(pim.primitive("Byte", 8));
+
+    controller = &pkg.add_class("Controller");
+    controller->apply_stereotype(*profile.sw_task);
+    controller->set_tagged_value(*profile.sw_task, "priority", "7");
+    controller->add_property("mode", &mode);
+    uml::Operation& tick = controller->add_operation("tick");
+    tick.set_body("self.count := self.count + 1;");
+    controller->add_interface_realization(istream);
+
+    uart = &pkg.add_class("Uart");
+    uart->apply_stereotype(*profile.hw_module);
+    uart->set_tagged_value(*profile.hw_module, "clockMHz", "50");
+    auto add_register = [&](const char* name, const char* address, const char* access) {
+      uml::Property& reg = uart->add_property(name, &pim.primitive("Word", 32));
+      reg.apply_stereotype(*profile.hw_register);
+      reg.set_tagged_value(*profile.hw_register, "address", address);
+      reg.set_tagged_value(*profile.hw_register, "access", access);
+    };
+    add_register("tx_data", "0x0", "w");
+    add_register("status", "0x4", "r");
+    add_register("ctrl", "0x8", "rw");
+    uart->add_port("rx", uml::PortDirection::kIn);
+
+    uml::Association& assoc = pkg.add_association("drives");
+    assoc.add_end("owner", *controller);
+    assoc.add_end("device", *uart).set_multiplicity({1, 1});
+  }
+};
+
+TEST(MdaSoftware, ProducesValidPsm) {
+  PimFixture f;
+  support::DiagnosticSink sink;
+  MdaResult result = transform(f.pim, PlatformDescription::software(), sink);
+  ASSERT_NE(result.psm, nullptr);
+  support::DiagnosticSink validate_sink;
+  EXPECT_TRUE(uml::validate(*result.psm, validate_sink)) << validate_sink.str();
+}
+
+TEST(MdaSoftware, SwTaskBecomesActiveClass) {
+  PimFixture f;
+  support::DiagnosticSink sink;
+  MdaResult result = transform(f.pim, PlatformDescription::software(), sink);
+  auto* task = dynamic_cast<uml::Class*>(
+      uml::find_by_qualified_name(*result.psm, "app.Controller"));
+  ASSERT_NE(task, nullptr);
+  EXPECT_TRUE(task->is_active());
+  EXPECT_NE(task->find_operation("tick"), nullptr);
+  EXPECT_FALSE(task->find_operation("tick")->body().empty());
+  // Enumeration-typed property survives with a mapped type.
+  ASSERT_NE(task->find_property("mode"), nullptr);
+  ASSERT_NE(task->find_property("mode")->type(), nullptr);
+  EXPECT_EQ(task->find_property("mode")->type()->name(), "Mode");
+}
+
+TEST(MdaSoftware, HwModuleBecomesDriver) {
+  PimFixture f;
+  support::DiagnosticSink sink;
+  MdaResult result = transform(f.pim, PlatformDescription::software(), sink);
+  auto* driver = dynamic_cast<uml::Class*>(
+      uml::find_by_qualified_name(*result.psm, "app.UartDriver"));
+  ASSERT_NE(driver, nullptr);
+  // Offsets as static read-only constants.
+  const uml::Property* offset = driver->find_property("status_offset");
+  ASSERT_NE(offset, nullptr);
+  EXPECT_TRUE(offset->is_read_only());
+  EXPECT_TRUE(offset->is_static());
+  EXPECT_EQ(offset->default_value(), "4");
+  // Access modes respected: status is read-only -> no write op.
+  EXPECT_NE(driver->find_operation("read_status"), nullptr);
+  EXPECT_EQ(driver->find_operation("write_status"), nullptr);
+  EXPECT_NE(driver->find_operation("write_tx_data"), nullptr);
+  EXPECT_EQ(driver->find_operation("read_tx_data"), nullptr);
+  EXPECT_NE(driver->find_operation("read_ctrl"), nullptr);
+  EXPECT_NE(driver->find_operation("write_ctrl"), nullptr);
+  // Generated body references the base register.
+  EXPECT_NE(driver->find_operation("read_ctrl")->body().find("bus_read(self.base + 8)"),
+            std::string::npos);
+}
+
+TEST(MdaSoftware, AssociationBecomesReferences) {
+  PimFixture f;
+  support::DiagnosticSink sink;
+  MdaResult result = transform(f.pim, PlatformDescription::software(), sink);
+  auto* task = dynamic_cast<uml::Class*>(
+      uml::find_by_qualified_name(*result.psm, "app.Controller"));
+  ASSERT_NE(task, nullptr);
+  const uml::Property* device = task->find_property("device");
+  ASSERT_NE(device, nullptr);
+  ASSERT_NE(device->type(), nullptr);
+  EXPECT_EQ(device->type()->name(), "UartDriver");
+}
+
+TEST(MdaSoftware, TraceLinksRecorded) {
+  PimFixture f;
+  support::DiagnosticSink sink;
+  MdaResult result = transform(f.pim, PlatformDescription::software(), sink);
+  const TraceLink* link = result.find_link_for("Design.app.Uart");
+  ASSERT_NE(link, nullptr);
+  EXPECT_EQ(link->rule, "hw-module-to-driver");
+  EXPECT_NE(link->psm_element.find("UartDriver"), std::string::npos);
+  EXPECT_NE(result.find_link_for("Design.app.Controller"), nullptr);
+  EXPECT_EQ(result.find_link_for("Design.app.DoesNotExist"), nullptr);
+}
+
+TEST(MdaHardware, ProducesValidProfiledPsm) {
+  PimFixture f;
+  support::DiagnosticSink sink;
+  MdaResult result = transform(f.pim, PlatformDescription::hardware(), sink);
+  ASSERT_NE(result.psm, nullptr);
+  support::DiagnosticSink validate_sink;
+  EXPECT_TRUE(uml::validate(*result.psm, validate_sink)) << validate_sink.str();
+  std::optional<soc::SocProfile> psm_profile = soc::SocProfile::find(*result.psm);
+  ASSERT_TRUE(psm_profile.has_value());
+  EXPECT_TRUE(soc::validate_soc(*result.psm, *psm_profile, validate_sink))
+      << validate_sink.str();
+}
+
+TEST(MdaHardware, SwTaskDropped) {
+  PimFixture f;
+  support::DiagnosticSink sink;
+  MdaResult result = transform(f.pim, PlatformDescription::hardware(), sink);
+  EXPECT_EQ(uml::find_by_qualified_name(*result.psm, "app.Controller"), nullptr);
+  EXPECT_NE(sink.str().find("not mapped to hardware"), std::string::npos);
+}
+
+TEST(MdaHardware, ModuleGetsInfrastructurePorts) {
+  PimFixture f;
+  support::DiagnosticSink sink;
+  MdaResult result = transform(f.pim, PlatformDescription::hardware(), sink);
+  auto* module =
+      dynamic_cast<uml::Component*>(uml::find_by_qualified_name(*result.psm, "app.Uart"));
+  ASSERT_NE(module, nullptr);
+  EXPECT_NE(module->find_port("clk"), nullptr);
+  EXPECT_NE(module->find_port("rst_n"), nullptr);
+  EXPECT_NE(module->find_port("s_axi"), nullptr);
+  EXPECT_NE(module->find_port("rx"), nullptr);  // Original port kept.
+  EXPECT_EQ(module->find_port("clk")->direction(), uml::PortDirection::kIn);
+}
+
+TEST(MdaHardware, RegistersKeepAddressesAndAccess) {
+  PimFixture f;
+  support::DiagnosticSink sink;
+  MdaResult result = transform(f.pim, PlatformDescription::hardware(), sink);
+  std::optional<soc::SocProfile> profile = soc::SocProfile::find(*result.psm);
+  auto* module =
+      dynamic_cast<uml::Component*>(uml::find_by_qualified_name(*result.psm, "app.Uart"));
+  ASSERT_NE(module, nullptr);
+  const uml::Property* status = module->find_property("status");
+  ASSERT_NE(status, nullptr);
+  EXPECT_EQ(profile->register_address(*status), 0x4u);
+  EXPECT_EQ(profile->register_access(*status), "r");
+}
+
+TEST(MdaHardware, TopLevelStructureSynthesized) {
+  PimFixture f;
+  support::DiagnosticSink sink;
+  MdaResult result = transform(f.pim, PlatformDescription::hardware(), sink);
+  auto* top =
+      dynamic_cast<uml::Component*>(uml::find_by_qualified_name(*result.psm, "top.Top"));
+  ASSERT_NE(top, nullptr);
+  // Parts: bus + uart.
+  EXPECT_EQ(top->properties().size(), 2u);
+  EXPECT_EQ(top->connectors().size(), 1u);
+  const uml::Connector& wire = *top->connectors().front();
+  ASSERT_EQ(wire.ends().size(), 2u);
+  EXPECT_NE(wire.ends()[0].port, nullptr);
+  EXPECT_NE(wire.ends()[1].port, nullptr);
+}
+
+TEST(MdaHardware, MemoryMapAssignsDisjointWindows) {
+  PimFixture f;
+  // Add a second HW module to get two windows.
+  uml::Class& dma = f.pkg.add_class("Dma");
+  dma.apply_stereotype(*f.profile.hw_module);
+  uml::Property& reg = dma.add_property("ctrl", &f.pim.primitive("Word", 32));
+  reg.apply_stereotype(*f.profile.hw_register);
+  reg.set_tagged_value(*f.profile.hw_register, "address", "0x0");
+
+  support::DiagnosticSink sink;
+  MdaResult result = transform(f.pim, PlatformDescription::hardware(), sink);
+  ASSERT_EQ(result.memory_map.size(), 2u);
+  const MemoryWindow& first = result.memory_map[0];
+  const MemoryWindow& second = result.memory_map[1];
+  EXPECT_EQ(first.base, 0x40000000u);
+  EXPECT_GE(second.base, first.base + first.span);
+  EXPECT_GT(first.span, 0u);
+}
+
+TEST(MdaHardware, MissingRegisterAddressAutoAssigned) {
+  uml::Model pim("P");
+  soc::SocProfile profile = soc::SocProfile::install(pim);
+  uml::Package& pkg = pim.add_package("hw");
+  uml::Class& blk = pkg.add_class("Blk");
+  blk.apply_stereotype(*profile.hw_module);
+  // Plain typed property, not stereotyped: still becomes a register.
+  blk.add_property("a", &pim.primitive("Word", 32));
+  blk.add_property("b", &pim.primitive("Word", 32));
+
+  support::DiagnosticSink sink;
+  MdaResult result = transform(pim, PlatformDescription::hardware(), sink);
+  std::optional<soc::SocProfile> psm_profile = soc::SocProfile::find(*result.psm);
+  auto* module =
+      dynamic_cast<uml::Component*>(uml::find_by_qualified_name(*result.psm, "hw.Blk"));
+  ASSERT_NE(module, nullptr);
+  EXPECT_EQ(psm_profile->register_address(*module->find_property("a")), 0x0u);
+  EXPECT_EQ(psm_profile->register_address(*module->find_property("b")), 0x4u);
+}
+
+TEST(MdaHardware, PlatformParametersRespected) {
+  PimFixture f;
+  PlatformDescription platform = PlatformDescription::hardware();
+  platform.parameters["bus_base"] = "0x80000000";
+  platform.parameters["module_stride"] = "0x2000";
+  support::DiagnosticSink sink;
+  MdaResult result = transform(f.pim, platform, sink);
+  ASSERT_FALSE(result.memory_map.empty());
+  EXPECT_EQ(result.memory_map.front().base, 0x80000000u);
+}
+
+TEST(Mda, PimIsNotModified) {
+  PimFixture f;
+  const std::size_t elements_before = f.pim.element_count();
+  support::DiagnosticSink sink;
+  (void)transform(f.pim, PlatformDescription::software(), sink);
+  (void)transform(f.pim, PlatformDescription::hardware(), sink);
+  EXPECT_EQ(f.pim.element_count(), elements_before);
+}
+
+TEST(Mda, PlatformDescriptions) {
+  PlatformDescription sw = PlatformDescription::software();
+  EXPECT_EQ(sw.kind, PlatformKind::kSoftware);
+  EXPECT_EQ(sw.parameter("language", ""), "c++");
+  EXPECT_EQ(sw.parameter("missing", "x"), "x");
+  EXPECT_EQ(to_string(PlatformKind::kHardware), "hardware");
+}
+
+}  // namespace
+}  // namespace umlsoc::mda

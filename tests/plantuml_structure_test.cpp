@@ -1,0 +1,61 @@
+// Coverage for the remaining PlantUML emitters: component diagrams and
+// composite-structure diagrams.
+#include <gtest/gtest.h>
+
+#include "codegen/plantuml.hpp"
+#include "uml/package.hpp"
+
+namespace umlsoc::codegen {
+namespace {
+
+TEST(PlantUmlStructure, ComponentDiagram) {
+  uml::Model model("M");
+  uml::Package& pkg = model.add_package("p");
+  uml::Interface& provided = pkg.add_interface("IAxi");
+  uml::Interface& required = pkg.add_interface("IClock");
+  uml::Component& core = pkg.add_component("UartCore");
+  core.add_provided(provided);
+  core.add_required(required);
+
+  std::string text = to_plantuml_component_diagram(model);
+  EXPECT_NE(text.find("component UartCore"), std::string::npos);
+  EXPECT_NE(text.find("interface IAxi"), std::string::npos);
+  EXPECT_NE(text.find("IAxi - UartCore"), std::string::npos);
+  EXPECT_NE(text.find("UartCore ..> IClock : use"), std::string::npos);
+  EXPECT_NE(text.find("@startuml"), std::string::npos);
+  EXPECT_NE(text.find("@enduml"), std::string::npos);
+}
+
+TEST(PlantUmlStructure, CompositeStructureDiagram) {
+  uml::Model model("M");
+  uml::Package& pkg = model.add_package("p");
+  uml::Class& fifo = pkg.add_class("Fifo");
+  uml::Port& fifo_in = fifo.add_port("in", uml::PortDirection::kIn);
+  uml::Class& top = pkg.add_class("Top");
+  uml::Property& part = top.add_property("fifo0", &fifo);
+  part.set_aggregation(uml::AggregationKind::kComposite);
+  top.add_property("plain_attr", &model.primitive("Integer", 32));  // Not a part.
+  uml::Port& ext = top.add_port("ext", uml::PortDirection::kIn);
+  uml::Connector& wire = top.add_connector("w0");
+  wire.add_end(uml::ConnectorEnd{&part, &fifo_in});
+  wire.add_end(uml::ConnectorEnd{nullptr, &ext});
+
+  std::string text = to_plantuml_structure_diagram(top);
+  EXPECT_NE(text.find("component Top {"), std::string::npos);
+  EXPECT_NE(text.find("component fifo0 : Fifo"), std::string::npos);
+  EXPECT_EQ(text.find("plain_attr"), std::string::npos);  // Attributes excluded.
+  EXPECT_NE(text.find("portin \"ext\" as Top_ext"), std::string::npos);
+  EXPECT_NE(text.find("fifo0 -- Top_ext : w0"), std::string::npos);
+}
+
+TEST(PlantUmlStructure, EmptyClassStillWellFormed) {
+  uml::Model model("M");
+  uml::Class& empty = model.add_package("p").add_class("Empty");
+  std::string text = to_plantuml_structure_diagram(empty);
+  EXPECT_NE(text.find("@startuml"), std::string::npos);
+  EXPECT_NE(text.find("component Empty {"), std::string::npos);
+  EXPECT_NE(text.find("@enduml"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace umlsoc::codegen

@@ -1,0 +1,310 @@
+// Simulation kernel tests: scheduling order, delta cycles, signals, clocks,
+// fifos, the memory-mapped bus, and tracing.
+#include <gtest/gtest.h>
+
+#include "sim/bus.hpp"
+#include "sim/signal.hpp"
+#include "sim/trace.hpp"
+
+namespace umlsoc::sim {
+namespace {
+
+TEST(SimTime, UnitsAndFormat) {
+  EXPECT_EQ(SimTime::ns(3).picoseconds(), 3000u);
+  EXPECT_EQ(SimTime::us(2).picoseconds(), 2000000u);
+  EXPECT_EQ(SimTime::ps(1500).str(), "1500ps");
+  EXPECT_EQ(SimTime::ns(5).str(), "5ns");
+  EXPECT_EQ(SimTime::us(7).str(), "7us");
+  EXPECT_LT(SimTime::ns(1), SimTime::ns(2));
+}
+
+TEST(Kernel, EventsRunInTimeOrder) {
+  Kernel kernel;
+  std::vector<int> order;
+  kernel.schedule(SimTime::ns(30), [&] { order.push_back(3); });
+  kernel.schedule(SimTime::ns(10), [&] { order.push_back(1); });
+  kernel.schedule(SimTime::ns(20), [&] { order.push_back(2); });
+  kernel.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(kernel.now(), SimTime::ns(30));
+}
+
+TEST(Kernel, SameTimeEventsRunInScheduleOrder) {
+  Kernel kernel;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    kernel.schedule(SimTime::ns(1), [&order, i] { order.push_back(i); });
+  }
+  kernel.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Kernel, NestedSchedulingFromCallbacks) {
+  Kernel kernel;
+  std::vector<std::uint64_t> times;
+  kernel.schedule(SimTime::ns(1), [&] {
+    times.push_back(kernel.now().picoseconds());
+    kernel.schedule(SimTime::ns(2), [&] { times.push_back(kernel.now().picoseconds()); });
+  });
+  kernel.run();
+  EXPECT_EQ(times, (std::vector<std::uint64_t>{1000, 3000}));
+}
+
+TEST(Kernel, RunUntilStopsEarly) {
+  Kernel kernel;
+  int fired = 0;
+  kernel.schedule(SimTime::ns(1), [&] { ++fired; });
+  kernel.schedule(SimTime::ns(100), [&] { ++fired; });
+  kernel.run(SimTime::ns(50));
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(kernel.idle());
+  kernel.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(kernel.idle());
+}
+
+TEST(Kernel, ZeroDelayIsSameTimeLaterBatch) {
+  Kernel kernel;
+  std::vector<int> order;
+  kernel.schedule(SimTime::ns(1), [&] {
+    order.push_back(1);
+    kernel.schedule(SimTime(), [&] { order.push_back(2); });
+    order.push_back(3);
+  });
+  kernel.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+  EXPECT_EQ(kernel.now(), SimTime::ns(1));
+}
+
+TEST(Signal, WriteVisibleOnlyAfterUpdatePhase) {
+  Kernel kernel;
+  Signal<int> signal(kernel, "s", 0);
+  int seen_during_write_delta = -1;
+  kernel.schedule(SimTime::ns(1), [&] {
+    signal.write(42);
+    seen_during_write_delta = signal.read();  // Old value still visible.
+  });
+  kernel.run();
+  EXPECT_EQ(seen_during_write_delta, 0);
+  EXPECT_EQ(signal.read(), 42);
+  EXPECT_EQ(signal.change_count(), 1u);
+}
+
+TEST(Signal, NoNotificationWithoutValueChange) {
+  Kernel kernel;
+  Signal<int> signal(kernel, "s", 7);
+  int notifications = 0;
+  signal.value_changed().subscribe([&] { ++notifications; });
+  kernel.schedule(SimTime::ns(1), [&] { signal.write(7); });  // Same value.
+  kernel.schedule(SimTime::ns(2), [&] { signal.write(8); });
+  kernel.run();
+  EXPECT_EQ(notifications, 1);
+  EXPECT_EQ(signal.change_count(), 1u);
+}
+
+TEST(Signal, LastWriteInDeltaWins) {
+  Kernel kernel;
+  Signal<int> signal(kernel, "s", 0);
+  kernel.schedule(SimTime::ns(1), [&] {
+    signal.write(1);
+    signal.write(2);
+  });
+  kernel.run();
+  EXPECT_EQ(signal.read(), 2);
+  EXPECT_EQ(signal.change_count(), 1u);  // One committed change.
+}
+
+TEST(Signal, ChainedSensitivityPropagatesOverDeltas) {
+  Kernel kernel;
+  Signal<int> a(kernel, "a", 0);
+  Signal<int> b(kernel, "b", 0);
+  // b follows a + 1 (combinational process sensitive to a).
+  a.value_changed().subscribe([&] { b.write(a.read() + 1); });
+  kernel.schedule(SimTime::ns(1), [&] { a.write(10); });
+  kernel.run();
+  EXPECT_EQ(b.read(), 11);
+  EXPECT_GE(kernel.delta_count(), 2u);  // a-change delta, then b-change delta.
+}
+
+TEST(Signal, CombinationalLoopHitsDeltaLimit) {
+  Kernel kernel;
+  Signal<int> a(kernel, "a", 0);
+  // a := a + 1 whenever a changes: classic delta livelock.
+  a.value_changed().subscribe([&] { a.write(a.read() + 1); });
+  kernel.schedule(SimTime::ns(1), [&] { a.write(1); });
+  EXPECT_THROW(kernel.run(), std::runtime_error);
+}
+
+TEST(Clock, TogglesAtHalfPeriod) {
+  Kernel kernel;
+  Clock clock(kernel, "clk", SimTime::ns(10));
+  std::vector<std::pair<std::uint64_t, bool>> edges;
+  clock.signal().value_changed().subscribe(
+      [&] { edges.emplace_back(kernel.now().picoseconds(), clock.high()); });
+  kernel.run(SimTime::ns(25));
+  // Edges at 5ns(1), 10ns(0), 15ns(1), 20ns(0), 25ns(1).
+  ASSERT_GE(edges.size(), 4u);
+  EXPECT_EQ(edges[0], (std::pair<std::uint64_t, bool>{5000, true}));
+  EXPECT_EQ(edges[1], (std::pair<std::uint64_t, bool>{10000, false}));
+  EXPECT_EQ(edges[2], (std::pair<std::uint64_t, bool>{15000, true}));
+}
+
+TEST(Fifo, WriteReadAndCapacity) {
+  Kernel kernel;
+  Fifo<int> fifo(kernel, "f", 2);
+  EXPECT_TRUE(fifo.nb_write(1));
+  EXPECT_TRUE(fifo.nb_write(2));
+  EXPECT_TRUE(fifo.full());
+  EXPECT_FALSE(fifo.nb_write(3));
+  int out = 0;
+  EXPECT_TRUE(fifo.nb_read(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(fifo.nb_read(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(fifo.nb_read(out));
+  EXPECT_EQ(fifo.writes(), 2u);
+  EXPECT_EQ(fifo.reads(), 2u);
+}
+
+TEST(Fifo, ProducerConsumerViaEvents) {
+  Kernel kernel;
+  Fifo<int> fifo(kernel, "f", 4);
+  std::vector<int> consumed;
+
+  // Consumer: drain whenever data shows up.
+  fifo.data_available().subscribe([&] {
+    int value = 0;
+    while (fifo.nb_read(value)) consumed.push_back(value);
+  });
+  // Producer: one item per 10ns.
+  for (int i = 0; i < 5; ++i) {
+    kernel.schedule(SimTime::ns(10 * (i + 1)), [&fifo, i] { fifo.nb_write(i); });
+  }
+  kernel.run();
+  EXPECT_EQ(consumed, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Bus, ReadWriteThroughDeviceWindow) {
+  Kernel kernel;
+  MemoryMappedBus bus(kernel, "axi", SimTime::ns(5));
+  std::uint64_t reg = 0;
+  bus.map_device(
+      "uart", 0x1000, 0x10, [&](std::uint64_t) { return reg; },
+      [&](std::uint64_t, std::uint64_t value) { reg = value; });
+
+  std::uint64_t read_result = 0;
+  std::uint64_t read_time = 0;
+  bus.write(0x1004, 99);
+  bus.read(0x1008, [&](std::uint64_t value) {
+    read_result = value;
+    read_time = kernel.now().picoseconds();
+  });
+  kernel.run();
+  EXPECT_EQ(reg, 99u);
+  EXPECT_EQ(read_result, 99u);
+  EXPECT_EQ(read_time, 5000u);
+  EXPECT_EQ(bus.reads(), 1u);
+  EXPECT_EQ(bus.writes(), 1u);
+  EXPECT_EQ(bus.errors(), 0u);
+}
+
+TEST(Bus, UnmappedAddressErrors) {
+  Kernel kernel;
+  MemoryMappedBus bus(kernel, "axi", SimTime::ns(1));
+  std::uint64_t result = 0;
+  bus.read(0xdead, [&](std::uint64_t value) { result = value; });
+  kernel.run();
+  EXPECT_EQ(result, MemoryMappedBus::kBusError);
+  EXPECT_EQ(bus.errors(), 1u);
+}
+
+TEST(Bus, WriteCompletionCallback) {
+  Kernel kernel;
+  MemoryMappedBus bus(kernel, "axi", SimTime::ns(3));
+  std::uint64_t mem = 0;
+  bus.map_device(
+      "ram", 0, 0x100, [&](std::uint64_t) { return mem; },
+      [&](std::uint64_t, std::uint64_t value) { mem = value; });
+  bool done = false;
+  bus.write(0x10, 5, [&] { done = (mem == 5); });
+  kernel.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Tracer, RecordsChangesWithTimestamps) {
+  Kernel kernel;
+  Signal<int> signal(kernel, "data", 0);
+  Tracer tracer(kernel);
+  tracer.trace(signal);
+  kernel.schedule(SimTime::ns(1), [&] { signal.write(5); });
+  kernel.schedule(SimTime::ns(2), [&] { signal.write(6); });
+  kernel.run();
+  ASSERT_EQ(tracer.change_count(), 3u);  // Initial + 2 changes.
+  EXPECT_EQ(tracer.records()[0].value, "0");
+  EXPECT_EQ(tracer.records()[1].time_ps, 1000u);
+  EXPECT_EQ(tracer.records()[2].value, "6");
+  std::string dump = tracer.dump();
+  EXPECT_NE(dump.find("2000 data=6"), std::string::npos);
+}
+
+TEST(Kernel, CountersAdvance) {
+  Kernel kernel;
+  Clock clock(kernel, "clk", SimTime::ns(2));
+  (void)clock;
+  kernel.run(SimTime::ns(20));
+  EXPECT_GT(kernel.events_processed(), 10u);
+  EXPECT_GT(kernel.delta_count(), 10u);
+}
+
+// Property: N producers and one consumer over a fifo — every produced item
+// is consumed exactly once, in FIFO order per producer.
+class FifoProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FifoProperty, NoLossNoDuplication) {
+  const int producers = GetParam();
+  Kernel kernel;
+  Fifo<int> fifo(kernel, "f", 3);
+  std::vector<int> consumed;
+  fifo.data_available().subscribe([&] {
+    int value = 0;
+    while (fifo.nb_read(value)) consumed.push_back(value);
+  });
+
+  int expected_total = 0;
+  for (int p = 0; p < producers; ++p) {
+    for (int i = 0; i < 10; ++i) {
+      int value = p * 100 + i;
+      ++expected_total;
+      // Retry writes until space: schedule with staggered times.
+      kernel.schedule(SimTime::ns(static_cast<std::uint64_t>(1 + i * producers + p)),
+                      [&fifo, value, &kernel]() {
+                        std::function<void()> attempt = [&fifo, value]() {};
+                        if (!fifo.nb_write(value)) {
+                          // Full: retry 1ns later until accepted.
+                          auto retry = std::make_shared<std::function<void()>>();
+                          *retry = [&fifo, value, &kernel, retry] {
+                            if (!fifo.nb_write(value)) kernel.schedule(SimTime::ns(1), *retry);
+                          };
+                          kernel.schedule(SimTime::ns(1), *retry);
+                        }
+                      });
+    }
+  }
+  kernel.run();
+  EXPECT_EQ(static_cast<int>(consumed.size()), expected_total);
+  // Per-producer FIFO order.
+  for (int p = 0; p < producers; ++p) {
+    int last = -1;
+    for (int value : consumed) {
+      if (value / 100 == p) {
+        EXPECT_GT(value, last);
+        last = value;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Producers, FifoProperty, ::testing::Values(1, 2, 4));
+
+}  // namespace
+}  // namespace umlsoc::sim

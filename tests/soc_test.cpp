@@ -1,0 +1,279 @@
+// SoC profile tests: installation, tag accessors, validation rules, IP
+// library reuse, and XMI persistence of profiled models.
+#include <gtest/gtest.h>
+
+#include "soc/iplibrary.hpp"
+#include "soc/validate.hpp"
+#include "uml/query.hpp"
+#include "uml/validate.hpp"
+#include "xmi/serialize.hpp"
+
+namespace umlsoc::soc {
+namespace {
+
+TEST(SocProfile, InstallCreatesStereotypes) {
+  uml::Model model("M");
+  SocProfile profile = SocProfile::install(model);
+  ASSERT_NE(profile.profile, nullptr);
+  EXPECT_NE(profile.hw_module, nullptr);
+  EXPECT_NE(profile.sw_task, nullptr);
+  EXPECT_NE(profile.hw_register, nullptr);
+  EXPECT_NE(profile.allocate, nullptr);
+  EXPECT_TRUE(profile.hw_module->extends(uml::ElementKind::kClass));
+  EXPECT_TRUE(profile.hw_register->extends(uml::ElementKind::kProperty));
+  // Applied to the model.
+  ASSERT_EQ(model.applied_profiles().size(), 1u);
+}
+
+TEST(SocProfile, InstallIsIdempotent) {
+  uml::Model model("M");
+  SocProfile first = SocProfile::install(model);
+  SocProfile second = SocProfile::install(model);
+  EXPECT_EQ(first.profile, second.profile);
+  EXPECT_EQ(first.hw_module, second.hw_module);
+  EXPECT_EQ(model.applied_profiles().size(), 1u);
+}
+
+TEST(SocProfile, TagAccessorsParseAndDefault) {
+  uml::Model model("M");
+  SocProfile profile = SocProfile::install(model);
+  uml::Class& hw = model.add_package("p").add_class("Accel");
+  hw.apply_stereotype(*profile.hw_module);
+  EXPECT_DOUBLE_EQ(profile.clock_mhz(hw), 100.0);  // Default tag value.
+  hw.set_tagged_value(*profile.hw_module, "clockMHz", "250");
+  EXPECT_DOUBLE_EQ(profile.clock_mhz(hw), 250.0);
+  hw.set_tagged_value(*profile.hw_module, "clockMHz", "garbage");
+  EXPECT_DOUBLE_EQ(profile.clock_mhz(hw), 100.0);  // Fallback on junk.
+}
+
+TEST(SocProfile, ParseAddress) {
+  EXPECT_EQ(parse_address("0x10"), 16u);
+  EXPECT_EQ(parse_address("42"), 42u);
+  EXPECT_FALSE(parse_address("").has_value());
+  EXPECT_FALSE(parse_address("0x1Z").has_value());
+  EXPECT_FALSE(parse_address("abc").has_value());
+}
+
+TEST(SocProfile, FindAfterRoundTrip) {
+  uml::Model model("M");
+  SocProfile profile = SocProfile::install(model);
+  uml::Class& hw = model.add_package("p").add_class("Core");
+  hw.apply_stereotype(*profile.hw_module);
+  hw.set_tagged_value(*profile.hw_module, "areaGates", "777");
+
+  std::string text = xmi::write_model(model);
+  support::DiagnosticSink sink;
+  auto reread = xmi::read_model(text, sink);
+  ASSERT_NE(reread, nullptr) << sink.str();
+
+  std::optional<SocProfile> rebound = SocProfile::find(*reread);
+  ASSERT_TRUE(rebound.has_value());
+  auto* core = dynamic_cast<uml::Class*>(uml::find_by_qualified_name(*reread, "p.Core"));
+  ASSERT_NE(core, nullptr);
+  EXPECT_DOUBLE_EQ(rebound->area_gates(*core), 777.0);
+}
+
+// --- validate_soc ------------------------------------------------------------
+
+struct SocFixture {
+  uml::Model model{"M"};
+  SocProfile profile = SocProfile::install(model);
+  uml::Package& pkg = model.add_package("soc");
+};
+
+TEST(SocValidate, CleanHwModulePasses) {
+  SocFixture f;
+  uml::Class& hw = f.pkg.add_class("Uart");
+  hw.apply_stereotype(*f.profile.hw_module);
+  uml::Property& reg = hw.add_property("ctrl", &f.model.primitive("Word", 32));
+  reg.apply_stereotype(*f.profile.hw_register);
+  reg.set_tagged_value(*f.profile.hw_register, "address", "0x10");
+  hw.add_port("clk", uml::PortDirection::kIn);
+
+  support::DiagnosticSink sink;
+  EXPECT_TRUE(validate_soc(f.model, f.profile, sink)) << sink.str();
+  EXPECT_TRUE(uml::validate(f.model, sink)) << sink.str();
+}
+
+TEST(SocValidate, HwAndSwExclusive) {
+  SocFixture f;
+  uml::Class& cls = f.pkg.add_class("Confused");
+  cls.apply_stereotype(*f.profile.hw_module);
+  cls.apply_stereotype(*f.profile.sw_task);
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(validate_soc(f.model, f.profile, sink));
+  EXPECT_NE(sink.str().find("both «HwModule» and «SwTask»"), std::string::npos);
+}
+
+TEST(SocValidate, RegisterAddressCollision) {
+  SocFixture f;
+  uml::Class& hw = f.pkg.add_class("Blk");
+  hw.apply_stereotype(*f.profile.hw_module);
+  for (const char* name : {"a", "b"}) {
+    uml::Property& reg = hw.add_property(name, &f.model.primitive("Word", 32));
+    reg.apply_stereotype(*f.profile.hw_register);
+    reg.set_tagged_value(*f.profile.hw_register, "address", "0x4");
+  }
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(validate_soc(f.model, f.profile, sink));
+  EXPECT_NE(sink.str().find("collides"), std::string::npos);
+}
+
+TEST(SocValidate, UnparsableRegisterAddress) {
+  SocFixture f;
+  uml::Class& hw = f.pkg.add_class("Blk");
+  hw.apply_stereotype(*f.profile.hw_module);
+  uml::Property& reg = hw.add_property("r", &f.model.primitive("Word", 32));
+  reg.apply_stereotype(*f.profile.hw_register);
+  reg.set_tagged_value(*f.profile.hw_register, "address", "oops");
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(validate_soc(f.model, f.profile, sink));
+  EXPECT_NE(sink.str().find("not parsable"), std::string::npos);
+}
+
+TEST(SocValidate, BadRegisterAccessMode) {
+  SocFixture f;
+  uml::Class& hw = f.pkg.add_class("Blk");
+  hw.apply_stereotype(*f.profile.hw_module);
+  uml::Property& reg = hw.add_property("r", &f.model.primitive("Word", 32));
+  reg.apply_stereotype(*f.profile.hw_register);
+  reg.set_tagged_value(*f.profile.hw_register, "access", "wo");
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(validate_soc(f.model, f.profile, sink));
+  EXPECT_NE(sink.str().find("access must be"), std::string::npos);
+}
+
+TEST(SocValidate, RegisterOutsideHwModule) {
+  SocFixture f;
+  uml::Class& sw = f.pkg.add_class("Plain");
+  uml::Property& reg = sw.add_property("r", &f.model.primitive("Word", 32));
+  reg.apply_stereotype(*f.profile.hw_register);
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(validate_soc(f.model, f.profile, sink));
+  EXPECT_NE(sink.str().find("requires the owning class"), std::string::npos);
+}
+
+TEST(SocValidate, InoutPortWarns) {
+  SocFixture f;
+  uml::Class& hw = f.pkg.add_class("Blk");
+  hw.apply_stereotype(*f.profile.hw_module);
+  hw.add_port("pad");  // Default inout.
+  support::DiagnosticSink sink;
+  EXPECT_TRUE(validate_soc(f.model, f.profile, sink));
+  EXPECT_NE(sink.str().find("not synthesizable"), std::string::npos);
+}
+
+TEST(SocValidate, InactiveSwTaskWarns) {
+  SocFixture f;
+  uml::Class& task = f.pkg.add_class("Ctrl");
+  task.apply_stereotype(*f.profile.sw_task);
+  support::DiagnosticSink sink;
+  EXPECT_TRUE(validate_soc(f.model, f.profile, sink));
+  EXPECT_NE(sink.str().find("expected to be active"), std::string::npos);
+}
+
+TEST(SocValidate, AllocateTargetChecked) {
+  SocFixture f;
+  uml::Class& task = f.pkg.add_class("Task");
+  uml::Class& cpu = f.pkg.add_class("Cpu");
+  cpu.apply_stereotype(*f.profile.processor);
+  uml::Dependency& dep = f.pkg.add_dependency("alloc", task, cpu);
+  dep.apply_stereotype(*f.profile.allocate);
+  dep.set_tagged_value(*f.profile.allocate, "target", "fpga");  // Invalid.
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(validate_soc(f.model, f.profile, sink));
+  EXPECT_NE(sink.str().find("'hw' or 'sw'"), std::string::npos);
+
+  dep.set_tagged_value(*f.profile.allocate, "target", "sw");
+  support::DiagnosticSink sink2;
+  EXPECT_TRUE(validate_soc(f.model, f.profile, sink2)) << sink2.str();
+}
+
+TEST(SocValidate, SwAllocationToNonProcessorWarns) {
+  SocFixture f;
+  uml::Class& task = f.pkg.add_class("Task");
+  uml::Class& random = f.pkg.add_class("Random");
+  uml::Dependency& dep = f.pkg.add_dependency("alloc", task, random);
+  dep.apply_stereotype(*f.profile.allocate);
+  dep.set_tagged_value(*f.profile.allocate, "target", "sw");
+  support::DiagnosticSink sink;
+  EXPECT_TRUE(validate_soc(f.model, f.profile, sink));
+  EXPECT_NE(sink.str().find("should target a «Processor»"), std::string::npos);
+}
+
+// --- IP library -----------------------------------------------------------------
+
+TEST(IpLibrary, StandardCatalog) {
+  IpLibrary library;
+  library.add_standard_ips();
+  std::vector<std::string> names = library.ip_names();
+  EXPECT_EQ(names.size(), 5u);
+  EXPECT_NE(library.find_ip("Uart"), nullptr);
+  EXPECT_NE(library.find_ip("DmaEngine"), nullptr);
+  EXPECT_EQ(library.find_ip("FluxCapacitor"), nullptr);
+
+  // The catalog itself is a valid profiled model.
+  support::DiagnosticSink sink;
+  EXPECT_TRUE(uml::validate(library.catalog(), sink)) << sink.str();
+  EXPECT_TRUE(validate_soc(library.catalog(), library.profile(), sink)) << sink.str();
+}
+
+TEST(IpLibrary, InstantiateCopiesEverything) {
+  IpLibrary library;
+  library.add_standard_ips();
+
+  uml::Model target("MySoc");
+  uml::Package& pkg = target.add_package("ip");
+  support::DiagnosticSink sink;
+  uml::Component* uart = library.instantiate("Uart", target, pkg, "uart0", sink);
+  ASSERT_NE(uart, nullptr) << sink.str();
+  EXPECT_EQ(uart->name(), "uart0");
+  EXPECT_EQ(uart->properties().size(), 4u);  // 4 registers.
+  EXPECT_EQ(uart->ports().size(), 4u);
+  EXPECT_EQ(uart->operations().size(), 2u);
+  EXPECT_FALSE(uart->operations().front()->body().empty());
+
+  // Stereotypes rebound to the target model's own profile instance.
+  std::optional<SocProfile> target_profile = SocProfile::find(target);
+  ASSERT_TRUE(target_profile.has_value());
+  EXPECT_TRUE(uart->has_stereotype(*target_profile->hw_module));
+  const uml::Property* tx = uart->find_property("tx_data");
+  ASSERT_NE(tx, nullptr);
+  EXPECT_EQ(target_profile->register_address(*tx), 0u);
+  const uml::Property* divisor = uart->find_property("divisor");
+  ASSERT_NE(divisor, nullptr);
+  EXPECT_EQ(target_profile->register_address(*divisor), 0x0Cu);
+
+  // Types were interned into the target model, and the result validates.
+  EXPECT_TRUE(uml::validate(target, sink)) << sink.str();
+  EXPECT_TRUE(validate_soc(target, *target_profile, sink)) << sink.str();
+}
+
+TEST(IpLibrary, InstantiateUnknownIpFails) {
+  IpLibrary library;
+  library.add_standard_ips();
+  uml::Model target("M");
+  uml::Package& pkg = target.add_package("ip");
+  support::DiagnosticSink sink;
+  EXPECT_EQ(library.instantiate("Nope", target, pkg, "x", sink), nullptr);
+  EXPECT_TRUE(sink.has_errors());
+}
+
+TEST(IpLibrary, TwoInstancesAreIndependent) {
+  IpLibrary library;
+  library.add_standard_ips();
+  uml::Model target("M");
+  uml::Package& pkg = target.add_package("ip");
+  support::DiagnosticSink sink;
+  uml::Component* a = library.instantiate("Timer", target, pkg, "timer0", sink);
+  uml::Component* b = library.instantiate("Timer", target, pkg, "timer1", sink);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  std::optional<SocProfile> profile = SocProfile::find(target);
+  a->find_property("load")->set_tagged_value(*profile->hw_register, "address", "0x100");
+  EXPECT_EQ(profile->register_address(*b->find_property("load")), 0u);  // Unaffected.
+}
+
+}  // namespace
+}  // namespace umlsoc::soc

@@ -1,0 +1,145 @@
+// Tests for UML event deferral: retained events are recalled after the
+// configuration changes, in arrival order, ahead of newer events.
+#include <gtest/gtest.h>
+
+#include "statechart/interpreter.hpp"
+#include "xmi/behavior.hpp"
+
+namespace umlsoc::statechart {
+namespace {
+
+/// Busy defers "req"; done -> Idle consumes deferred reqs one at a time
+/// (Idle -req-> Busy).
+struct DeferFixture {
+  StateMachine machine{"m"};
+  State* idle = nullptr;
+  State* busy = nullptr;
+
+  DeferFixture() {
+    Region& top = machine.top();
+    Pseudostate& initial = top.add_initial();
+    idle = &top.add_state("Idle");
+    busy = &top.add_state("Busy");
+    busy->add_deferred("req");
+    top.add_transition(initial, *idle);
+    top.add_transition(*idle, *busy).set_trigger("req");
+    top.add_transition(*busy, *idle).set_trigger("done");
+  }
+};
+
+TEST(Defer, DeferredEventRecalledAfterStateChange) {
+  DeferFixture f;
+  StateMachineInstance instance(f.machine);
+  instance.start();
+  instance.dispatch({"req"});  // Idle -> Busy.
+  EXPECT_TRUE(instance.is_active(*f.busy));
+
+  instance.dispatch({"req"});  // Busy defers it.
+  EXPECT_TRUE(instance.is_active(*f.busy));
+  bool deferred_noted = false;
+  for (const std::string& entry : instance.trace()) {
+    if (entry == "defer:req") deferred_noted = true;
+  }
+  EXPECT_TRUE(deferred_noted);
+
+  // done -> Idle; the deferred req is recalled immediately: Idle -> Busy.
+  instance.dispatch({"done"});
+  EXPECT_TRUE(instance.is_active(*f.busy));
+}
+
+TEST(Defer, MultipleDeferredEventsRecalledInOrder) {
+  DeferFixture f;
+  StateMachineInstance instance(f.machine);
+  instance.start();
+  instance.dispatch({"req", 1});
+  instance.dispatch({"req", 2});  // Deferred.
+  instance.dispatch({"req", 3});  // Deferred.
+  // After done: req(2) recalled -> Busy again; req(3) re-deferred.
+  instance.dispatch({"done"});
+  EXPECT_TRUE(instance.is_active(*f.busy));
+  // Another done cycles through the remaining deferred request.
+  instance.dispatch({"done"});
+  EXPECT_TRUE(instance.is_active(*f.busy));
+  // Pool now empty: done leaves us Idle.
+  instance.dispatch({"done"});
+  EXPECT_TRUE(instance.is_active(*f.idle));
+}
+
+TEST(Defer, NonDeferredEventStillDiscarded) {
+  DeferFixture f;
+  StateMachineInstance instance(f.machine);
+  instance.start();
+  instance.dispatch({"req"});
+  EXPECT_FALSE(instance.dispatch({"bogus"}));
+  instance.dispatch({"done"});
+  EXPECT_TRUE(instance.is_active(*f.idle));  // No phantom recall.
+}
+
+TEST(Defer, RecalledEventsPrecedeNewerQueuedEvents) {
+  // If "done" and a new "req" are queued together while a req is deferred,
+  // the deferred req must be consumed before the newly posted one.
+  DeferFixture f;
+  StateMachineInstance instance(f.machine);
+  instance.start();
+  instance.dispatch({"req", 10});
+  instance.dispatch({"req", 20});  // Deferred with data 20.
+
+  int busy_entries = 0;
+  f.busy->set_entry(Behavior{"", [&busy_entries](ActionContext&) { ++busy_entries; }});
+  instance.post({"done"});
+  instance.post({"done"});
+  instance.run_to_quiescence();
+  // done -> Idle, recall req(20) -> Busy, second done -> Idle.
+  EXPECT_TRUE(instance.is_active(*f.idle));
+  EXPECT_EQ(busy_entries, 1);
+}
+
+TEST(Defer, DeferAttributeSurvivesXmiRoundTrip) {
+  DeferFixture f;
+  std::string text = xmi::write_state_machine(f.machine);
+  support::DiagnosticSink sink;
+  auto reread = xmi::read_state_machine(text, sink);
+  ASSERT_NE(reread, nullptr) << sink.str();
+  const State* busy = reread->top().find_state("Busy");
+  ASSERT_NE(busy, nullptr);
+  EXPECT_TRUE(busy->defers("req"));
+  EXPECT_FALSE(busy->defers("done"));
+
+  // Behavioral equivalence of the deferral through the round-trip.
+  StateMachineInstance instance(*reread);
+  instance.start();
+  instance.dispatch({"req"});
+  instance.dispatch({"req"});
+  instance.dispatch({"done"});
+  EXPECT_TRUE(instance.is_in("Busy"));
+}
+
+TEST(Defer, CompositeStateDeferralAppliesToSubstates) {
+  StateMachine machine("m");
+  Region& top = machine.top();
+  Pseudostate& initial = top.add_initial();
+  State& outer = top.add_state("Outer");
+  State& other = top.add_state("Other");
+  outer.add_deferred("later");
+  top.add_transition(initial, outer);
+  top.add_transition(outer, other).set_trigger("move");
+  top.add_transition(other, other).set_trigger("later");
+
+  Region& inner = outer.add_region("r");
+  Pseudostate& inner_initial = inner.add_initial();
+  State& sub = inner.add_state("Sub");
+  inner.add_transition(inner_initial, sub);
+
+  StateMachineInstance instance(machine);
+  instance.start();
+  // "later" has no transition while inside Outer (whose Sub is active), but
+  // Outer defers it: after "move" it is recalled and fires in Other.
+  instance.dispatch({"later"});
+  std::uint64_t fired_before = instance.transitions_fired();
+  instance.dispatch({"move"});
+  EXPECT_TRUE(instance.is_active(other));
+  EXPECT_EQ(instance.transitions_fired(), fired_before + 2u);  // move + recalled later.
+}
+
+}  // namespace
+}  // namespace umlsoc::statechart

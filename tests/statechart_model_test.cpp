@@ -1,0 +1,364 @@
+// Tests for the statechart metamodel, validation, and flattening.
+#include <gtest/gtest.h>
+
+#include "statechart/flatten.hpp"
+#include "statechart/interpreter.hpp"
+#include "statechart/synthetic.hpp"
+#include "statechart/validate.hpp"
+
+namespace umlsoc::statechart {
+namespace {
+
+TEST(ScModel, VertexHierarchyQueries) {
+  StateMachine machine("m");
+  Region& top = machine.top();
+  State& outer = top.add_state("Outer");
+  Region& inner_region = outer.add_region("r");
+  State& inner = inner_region.add_state("Inner");
+
+  EXPECT_EQ(outer.depth(), 0u);
+  EXPECT_EQ(inner.depth(), 1u);
+  EXPECT_EQ(inner.containing_state(), &outer);
+  EXPECT_EQ(outer.containing_state(), nullptr);
+  EXPECT_TRUE(inner.is_within(outer));
+  EXPECT_TRUE(inner.is_within(inner));
+  EXPECT_FALSE(outer.is_within(inner));
+  EXPECT_EQ(inner.qualified_name(), "m.Outer.Inner");
+  EXPECT_TRUE(outer.is_composite());
+  EXPECT_FALSE(outer.is_orthogonal());
+  EXPECT_TRUE(inner.is_simple());
+}
+
+TEST(ScModel, TransitionWiringAndStr) {
+  StateMachine machine("m");
+  Region& top = machine.top();
+  State& a = top.add_state("A");
+  State& b = top.add_state("B");
+  Transition& t = top.add_transition(a, b);
+  t.set_trigger("go").set_guard("x>0", nullptr).set_effect("act", nullptr);
+
+  ASSERT_EQ(a.outgoing().size(), 1u);
+  ASSERT_EQ(b.incoming().size(), 1u);
+  EXPECT_EQ(a.outgoing().front(), &t);
+  EXPECT_EQ(t.str(), "A -> B on go [x>0] / act");
+}
+
+TEST(ScModel, RegionLookup) {
+  StateMachine machine("m");
+  Region& top = machine.top();
+  State& a = top.add_state("A");
+  Region& ar = a.add_region("r");
+  State& deep = ar.add_state("Deep");
+  top.add_initial();
+
+  EXPECT_EQ(top.find_vertex("A"), &a);
+  EXPECT_EQ(top.find_vertex("nope"), nullptr);
+  EXPECT_EQ(top.find_state("Deep"), &deep);
+  EXPECT_NE(top.initial(), nullptr);
+}
+
+TEST(ScModel, AllStatesAndTransitions) {
+  auto machine = make_nested_machine(3, 2);
+  // Levels: 3 composites-chain; innermost has 2 leaves => states: 3 + 2.
+  EXPECT_EQ(machine->all_states().size(), 5u);
+  EXPECT_FALSE(machine->all_transitions().empty());
+}
+
+TEST(ScValidate, SyntheticMachinesAreValid) {
+  support::DiagnosticSink sink;
+  EXPECT_TRUE(validate(*make_chain_machine(5), sink)) << sink.str();
+  EXPECT_TRUE(validate(*make_nested_machine(3, 3), sink)) << sink.str();
+  EXPECT_TRUE(validate(*make_orthogonal_machine(2, 4), sink)) << sink.str();
+}
+
+TEST(ScValidate, MissingInitialIsError) {
+  StateMachine machine("m");
+  machine.top().add_state("A");
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(validate(machine, sink));
+  EXPECT_NE(sink.str().find("no initial pseudostate"), std::string::npos);
+}
+
+TEST(ScValidate, MultipleInitialsIsError) {
+  StateMachine machine("m");
+  Region& top = machine.top();
+  State& a = top.add_state("A");
+  Pseudostate& i1 = top.add_pseudostate(VertexKind::kInitial, "i1");
+  Pseudostate& i2 = top.add_pseudostate(VertexKind::kInitial, "i2");
+  top.add_transition(i1, a);
+  top.add_transition(i2, a);
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(validate(machine, sink));
+  EXPECT_NE(sink.str().find("multiple initial"), std::string::npos);
+}
+
+TEST(ScValidate, InitialWithTriggerOrGuardIsError) {
+  StateMachine machine("m");
+  Region& top = machine.top();
+  Pseudostate& initial = top.add_initial();
+  State& a = top.add_state("A");
+  top.add_transition(initial, a).set_trigger("oops");
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(validate(machine, sink));
+  EXPECT_NE(sink.str().find("must not have a trigger"), std::string::npos);
+}
+
+TEST(ScValidate, InitialIncomingIsError) {
+  StateMachine machine("m");
+  Region& top = machine.top();
+  Pseudostate& initial = top.add_initial();
+  State& a = top.add_state("A");
+  top.add_transition(initial, a);
+  top.add_transition(a, initial).set_trigger("back");
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(validate(machine, sink));
+}
+
+TEST(ScValidate, FinalWithOutgoingIsError) {
+  StateMachine machine("m");
+  Region& top = machine.top();
+  Pseudostate& initial = top.add_initial();
+  State& a = top.add_state("A");
+  FinalState& end = top.add_final();
+  top.add_transition(initial, a);
+  top.add_transition(a, end).set_trigger("x");
+  top.add_transition(end, a).set_trigger("undead");
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(validate(machine, sink));
+  EXPECT_NE(sink.str().find("final state has outgoing"), std::string::npos);
+}
+
+TEST(ScValidate, DuplicateVertexNames) {
+  StateMachine machine("m");
+  Region& top = machine.top();
+  Pseudostate& initial = top.add_initial();
+  State& a1 = top.add_state("A");
+  top.add_state("A");
+  top.add_transition(initial, a1);
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(validate(machine, sink));
+  EXPECT_NE(sink.str().find("duplicate vertex name"), std::string::npos);
+}
+
+TEST(ScValidate, ChoiceWithoutBranchesIsError) {
+  StateMachine machine("m");
+  Region& top = machine.top();
+  Pseudostate& initial = top.add_initial();
+  State& a = top.add_state("A");
+  Pseudostate& choice = top.add_pseudostate(VertexKind::kChoice, "c");
+  top.add_transition(initial, a);
+  top.add_transition(a, choice).set_trigger("go");
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(validate(machine, sink));
+  EXPECT_NE(sink.str().find("no outgoing transitions"), std::string::npos);
+}
+
+TEST(ScValidate, ChoiceWithoutElseWarns) {
+  StateMachine machine("m");
+  Region& top = machine.top();
+  Pseudostate& initial = top.add_initial();
+  State& a = top.add_state("A");
+  State& b = top.add_state("B");
+  Pseudostate& choice = top.add_pseudostate(VertexKind::kChoice, "c");
+  top.add_transition(initial, a);
+  top.add_transition(a, choice).set_trigger("go");
+  top.add_transition(choice, b).set_guard("x>0", [](const ActionContext&) { return true; });
+  support::DiagnosticSink sink;
+  EXPECT_TRUE(validate(machine, sink));
+  EXPECT_GE(sink.warning_count(), 1u);
+}
+
+TEST(ScValidate, InternalTransitionMustBeSelf) {
+  StateMachine machine("m");
+  Region& top = machine.top();
+  Pseudostate& initial = top.add_initial();
+  State& a = top.add_state("A");
+  State& b = top.add_state("B");
+  top.add_transition(initial, a);
+  top.add_transition(a, b).set_trigger("x").set_internal(true);
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(validate(machine, sink));
+  EXPECT_NE(sink.str().find("internal transition"), std::string::npos);
+}
+
+TEST(ScValidate, UnreachableStateWarns) {
+  StateMachine machine("m");
+  Region& top = machine.top();
+  Pseudostate& initial = top.add_initial();
+  State& a = top.add_state("A");
+  top.add_state("Orphan");
+  top.add_transition(initial, a);
+  support::DiagnosticSink sink;
+  EXPECT_TRUE(validate(machine, sink));
+  EXPECT_NE(sink.str().find("unreachable"), std::string::npos);
+}
+
+TEST(ScValidate, NondeterminismWarns) {
+  StateMachine machine("m");
+  Region& top = machine.top();
+  Pseudostate& initial = top.add_initial();
+  State& a = top.add_state("A");
+  State& b = top.add_state("B");
+  State& c = top.add_state("C");
+  top.add_transition(initial, a);
+  top.add_transition(a, b).set_trigger("e");
+  top.add_transition(a, c).set_trigger("e");
+  support::DiagnosticSink sink;
+  EXPECT_TRUE(validate(machine, sink));
+  EXPECT_NE(sink.str().find("multiple unguarded transitions"), std::string::npos);
+}
+
+TEST(ScValidate, HistoryWithTwoDefaultsIsError) {
+  StateMachine machine("m");
+  Region& top = machine.top();
+  Pseudostate& initial = top.add_initial();
+  State& a = top.add_state("A");
+  State& b = top.add_state("B");
+  Pseudostate& history = top.add_pseudostate(VertexKind::kShallowHistory, "H");
+  top.add_transition(initial, a);
+  top.add_transition(history, a);
+  top.add_transition(history, b);
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(validate(machine, sink));
+  EXPECT_NE(sink.str().find("more than one default"), std::string::npos);
+}
+
+// --- Flattening ---------------------------------------------------------------
+
+TEST(Flatten, ChainMachine) {
+  auto machine = make_chain_machine(4);
+  support::DiagnosticSink sink;
+  auto flat = flatten(*machine, sink);
+  ASSERT_TRUE(flat.has_value()) << sink.str();
+  EXPECT_EQ(flat->states.size(), 4u);
+  EXPECT_EQ(flat->transitions.size(), 4u);
+  EXPECT_EQ(flat->state_names[flat->initial_state], "chain4.s0");
+}
+
+TEST(Flatten, NestedMachineInheritsOuterHandlers) {
+  auto machine = make_nested_machine(3, 2);
+  support::DiagnosticSink sink;
+  auto flat = flatten(*machine, sink);
+  ASSERT_TRUE(flat.has_value()) << sink.str();
+  // Leaves only: the 2 innermost states.
+  EXPECT_EQ(flat->states.size(), 2u);
+  // Each leaf has its own "step" row plus the inherited outer "reset" row.
+  bool found_reset = false;
+  for (const FlatTransition& row : flat->transitions) {
+    if (row.trigger == "reset") found_reset = true;
+  }
+  EXPECT_TRUE(found_reset);
+}
+
+TEST(Flatten, RejectsOrthogonal) {
+  auto machine = make_orthogonal_machine(2, 2);
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(flatten(*machine, sink).has_value());
+  EXPECT_NE(sink.str().find("orthogonal"), std::string::npos);
+}
+
+TEST(Flatten, RejectsHistory) {
+  StateMachine machine("m");
+  Region& top = machine.top();
+  Pseudostate& initial = top.add_initial();
+  State& a = top.add_state("A");
+  top.add_pseudostate(VertexKind::kShallowHistory, "H");
+  top.add_transition(initial, a);
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(flatten(machine, sink).has_value());
+}
+
+TEST(Flatten, RejectsCompletionTransitions) {
+  StateMachine machine("m");
+  Region& top = machine.top();
+  Pseudostate& initial = top.add_initial();
+  State& a = top.add_state("A");
+  State& b = top.add_state("B");
+  top.add_transition(initial, a);
+  top.add_transition(a, b);  // Completion.
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(flatten(machine, sink).has_value());
+  EXPECT_NE(sink.str().find("completion"), std::string::npos);
+}
+
+TEST(Flatten, FinalStatesBecomeSinkLeaves) {
+  StateMachine machine("m");
+  Region& top = machine.top();
+  Pseudostate& initial = top.add_initial();
+  State& a = top.add_state("A");
+  FinalState& end = top.add_final();
+  top.add_transition(initial, a);
+  top.add_transition(a, end).set_trigger("quit");
+  support::DiagnosticSink sink;
+  auto flat = flatten(machine, sink);
+  ASSERT_TRUE(flat.has_value()) << sink.str();
+  EXPECT_EQ(flat->states.size(), 2u);
+
+  FlatExecutor executor(*flat);
+  EXPECT_TRUE(executor.dispatch({"quit"}));
+  EXPECT_FALSE(executor.dispatch({"quit"}));  // Sink: nothing fires.
+}
+
+TEST(Flatten, ExecutorHonorsGuardsViaHost) {
+  StateMachine machine("m");
+  Region& top = machine.top();
+  Pseudostate& initial = top.add_initial();
+  State& a = top.add_state("A");
+  State& b = top.add_state("B");
+  top.add_transition(initial, a);
+  top.add_transition(a, b).set_trigger("go").set_guard("flag", [](const ActionContext& ctx) {
+    return ctx.instance.variable("flag") != 0;
+  });
+  support::DiagnosticSink sink;
+  auto flat = flatten(machine, sink);
+  ASSERT_TRUE(flat.has_value()) << sink.str();
+
+  StateMachineInstance host(machine);
+  FlatExecutor executor(*flat, &host);
+  EXPECT_FALSE(executor.dispatch({"go"}));
+  host.set_variable("flag", 1);
+  EXPECT_TRUE(executor.dispatch({"go"}));
+  EXPECT_EQ(executor.current_name(), "m.B");
+}
+
+// Property: flat executor and hierarchical interpreter agree on the active
+// leaf through random event sequences on flattenable machines.
+class FlatEquivalence : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(FlatEquivalence, AgreesWithInterpreter) {
+  auto [depth, width] = GetParam();
+  auto machine = make_nested_machine(static_cast<std::size_t>(depth),
+                                     static_cast<std::size_t>(width));
+  support::DiagnosticSink sink;
+  auto flat = flatten(*machine, sink);
+  ASSERT_TRUE(flat.has_value()) << sink.str();
+
+  StateMachineInstance interpreter(*machine);
+  interpreter.set_trace_enabled(false);
+  interpreter.start();
+  FlatExecutor executor(*flat);
+
+  const std::vector<std::string> events = {"step", "reset", "noise"};
+  unsigned seed = 42;
+  for (int i = 0; i < 300; ++i) {
+    seed = seed * 1664525u + 1013904223u;
+    Event event{events[seed % events.size()]};
+    bool interpreter_fired = interpreter.dispatch(event);
+    bool flat_fired = executor.dispatch(event);
+    EXPECT_EQ(interpreter_fired, flat_fired) << "event " << event.name << " step " << i;
+
+    std::vector<std::string> leaves = interpreter.active_leaf_names();
+    ASSERT_EQ(leaves.size(), 1u);
+    // Flat names are qualified; interpreter leaf names are simple.
+    EXPECT_NE(executor.current_name().find(leaves[0]), std::string::npos)
+        << "divergence at step " << i;
+  }
+  EXPECT_EQ(interpreter.transitions_fired(), executor.transitions_fired());
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, FlatEquivalence,
+                         ::testing::Combine(::testing::Values(1, 2, 4),
+                                            ::testing::Values(2, 3, 5)));
+
+}  // namespace
+}  // namespace umlsoc::statechart

@@ -1,0 +1,162 @@
+// Tests for model editing: removal, reference scanning, safe_remove.
+#include <gtest/gtest.h>
+
+#include "uml/edit.hpp"
+#include "uml/instance.hpp"
+#include "uml/validate.hpp"
+
+namespace umlsoc::uml {
+namespace {
+
+TEST(Edit, RemoveUnreferencedClass) {
+  Model model("M");
+  Package& pkg = model.add_package("p");
+  Class& doomed = pkg.add_class("Doomed");
+  doomed.add_property("x");
+  doomed.add_operation("f").add_parameter("a");
+  const std::size_t before = model.element_count();
+  const support::Id doomed_id = doomed.id();
+
+  EXPECT_TRUE(remove_member(pkg, doomed));
+  EXPECT_EQ(model.element_count(), before - 4);  // Class+prop+op+param.
+  EXPECT_EQ(model.find(doomed_id), nullptr);
+  EXPECT_EQ(pkg.find_member("Doomed"), nullptr);
+
+  support::DiagnosticSink sink;
+  EXPECT_TRUE(validate(model, sink)) << sink.str();
+}
+
+TEST(Edit, RemoveNonMemberFails) {
+  Model model("M");
+  Package& a = model.add_package("a");
+  Package& b = model.add_package("b");
+  Class& cls = a.add_class("C");
+  EXPECT_FALSE(remove_member(b, cls));  // Wrong package.
+  EXPECT_NE(model.find(cls.id()), nullptr);
+}
+
+TEST(Edit, FindReferencesSeesTypeUse) {
+  Model model("M");
+  Package& pkg = model.add_package("p");
+  Class& used = pkg.add_class("Used");
+  Class& user = pkg.add_class("User");
+  user.add_property("ref", &used);
+
+  std::vector<std::string> references = find_references(model, used);
+  ASSERT_EQ(references.size(), 1u);
+  EXPECT_NE(references[0].find("M.p.User.ref"), std::string::npos);
+  EXPECT_NE(references[0].find("property type"), std::string::npos);
+}
+
+TEST(Edit, FindReferencesCoversRelationshipKinds) {
+  Model model("M");
+  Package& pkg = model.add_package("p");
+  Interface& iface = pkg.add_interface("I");
+  Class& base = pkg.add_class("Base");
+  Class& derived = pkg.add_class("Derived");
+  derived.add_generalization(base);
+  derived.add_interface_realization(iface);
+  Dependency& dep = pkg.add_dependency("d", derived, base);
+  (void)dep;
+  InstanceSpecification& instance = pkg.add_instance("i", &base);
+  (void)instance;
+
+  std::vector<std::string> base_refs = find_references(model, base);
+  // generalization + dependency supplier + instance classifier.
+  EXPECT_EQ(base_refs.size(), 3u);
+  std::vector<std::string> iface_refs = find_references(model, iface);
+  ASSERT_EQ(iface_refs.size(), 1u);
+  EXPECT_NE(iface_refs[0].find("interface realization"), std::string::npos);
+}
+
+TEST(Edit, ReferencesInsideSubtreeDoNotCount) {
+  Model model("M");
+  Package& pkg = model.add_package("p");
+  Package& sub = pkg.add_package("sub");
+  Class& a = sub.add_class("A");
+  Class& b = sub.add_class("B");
+  a.add_property("peer", &b);  // Internal to `sub`.
+  b.add_generalization(a);     // Also internal.
+
+  EXPECT_TRUE(find_references(model, sub).empty());
+  EXPECT_TRUE(remove_member(pkg, sub));
+  support::DiagnosticSink sink;
+  EXPECT_TRUE(validate(model, sink)) << sink.str();
+}
+
+TEST(Edit, SafeRemoveRefusesWhenReferenced) {
+  Model model("M");
+  Package& pkg = model.add_package("p");
+  Class& used = pkg.add_class("Used");
+  Class& user = pkg.add_class("User");
+  user.add_property("ref", &used);
+
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(safe_remove(pkg, used, sink));
+  EXPECT_NE(sink.str().find("still referenced"), std::string::npos);
+  EXPECT_NE(model.find(used.id()), nullptr);  // Untouched.
+
+  // Remove the referrer first, then the target goes cleanly.
+  support::DiagnosticSink sink2;
+  EXPECT_TRUE(safe_remove(pkg, user, sink2)) << sink2.str();
+  EXPECT_TRUE(safe_remove(pkg, used, sink2)) << sink2.str();
+}
+
+TEST(Edit, AppliedProfileIsAReference) {
+  Model model("M");
+  Profile& profile = model.add_profile("SoC");
+  model.apply_profile(profile);
+  std::vector<std::string> references = find_references(model, profile);
+  ASSERT_EQ(references.size(), 1u);
+  EXPECT_NE(references[0].find("applied profile"), std::string::npos);
+}
+
+TEST(Edit, StereotypeApplicationIsAReference) {
+  Model model("M");
+  Profile& profile = model.add_profile("SoC");
+  Stereotype& hw = profile.add_stereotype("Hw");
+  hw.add_extended_metaclass(ElementKind::kClass);
+  model.apply_profile(profile);
+  Class& cls = model.add_package("p").add_class("C");
+  cls.apply_stereotype(hw);
+
+  std::vector<std::string> references = find_references(model, profile);
+  // Applied profile + stereotype application.
+  EXPECT_EQ(references.size(), 2u);
+}
+
+TEST(Edit, ConnectorEndsAreReferences) {
+  Model model("M");
+  Package& pkg = model.add_package("p");
+  Class& inner = pkg.add_class("Inner");
+  Port& port = inner.add_port("io");
+  Class& outer = pkg.add_class("Outer");
+  Property& part = outer.add_property("sub", &inner);
+  part.set_aggregation(AggregationKind::kComposite);
+  Connector& wire = outer.add_connector("w");
+  wire.add_end(ConnectorEnd{&part, &port});
+  wire.add_end(ConnectorEnd{&part, nullptr});
+
+  std::vector<std::string> references = find_references(model, inner);
+  // part type + connector end port (x1; ends referencing `part` are refs to
+  // outer's property, not to inner).
+  bool found_port_ref = false;
+  for (const std::string& reference : references) {
+    if (reference.find("connector end port") != std::string::npos) found_port_ref = true;
+  }
+  EXPECT_TRUE(found_port_ref);
+}
+
+TEST(Edit, RemovedIdsCanBeReusedSafely) {
+  Model model("M");
+  Package& pkg = model.add_package("p");
+  Class& doomed = pkg.add_class("Doomed");
+  remove_member(pkg, doomed);
+  // New elements keep getting fresh ids (generator not rewound).
+  Class& fresh = pkg.add_class("Fresh");
+  EXPECT_NE(model.find(fresh.id()), nullptr);
+  EXPECT_EQ(model.find(fresh.id()), &fresh);
+}
+
+}  // namespace
+}  // namespace umlsoc::uml

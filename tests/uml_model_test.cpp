@@ -1,0 +1,278 @@
+// Unit tests for the UML metamodel: construction, ownership, lookup,
+// profiles, instances, traversal.
+#include <gtest/gtest.h>
+
+#include "uml/instance.hpp"
+#include "uml/query.hpp"
+#include "uml/synthetic.hpp"
+#include "uml/visitor.hpp"
+
+namespace umlsoc::uml {
+namespace {
+
+TEST(Model, RootRegistersItself) {
+  Model model("Soc");
+  EXPECT_TRUE(model.id().valid());
+  EXPECT_EQ(model.find(model.id()), &model);
+  EXPECT_EQ(model.element_count(), 1u);
+  EXPECT_EQ(model.owner(), nullptr);
+  EXPECT_EQ(&model.model(), &model);
+}
+
+TEST(Model, FactoryAssignsIdsAndOwnership) {
+  Model model("Soc");
+  Package& pkg = model.add_package("ip");
+  Class& cls = pkg.add_class("Uart");
+  Property& prop = cls.add_property("baud");
+
+  EXPECT_EQ(pkg.owner(), &model);
+  EXPECT_EQ(cls.owner(), &pkg);
+  EXPECT_EQ(prop.owner(), &cls);
+  EXPECT_EQ(model.find(prop.id()), &prop);
+  EXPECT_EQ(model.element_count(), 4u);
+  EXPECT_NE(pkg.id(), cls.id());
+}
+
+TEST(Model, QualifiedNames) {
+  Model model("Soc");
+  Class& cls = model.add_package("ip").add_class("Uart");
+  Property& prop = cls.add_property("baud");
+  EXPECT_EQ(prop.qualified_name(), "Soc.ip.Uart.baud");
+}
+
+TEST(Model, FindByQualifiedName) {
+  Model model("Soc");
+  Package& pkg = model.add_package("ip");
+  Class& cls = pkg.add_class("Uart");
+  EXPECT_EQ(find_by_qualified_name(model, "ip.Uart"), &cls);
+  EXPECT_EQ(find_by_qualified_name(model, "ip"), &pkg);
+  EXPECT_EQ(find_by_qualified_name(model, "ip.Missing"), nullptr);
+  EXPECT_EQ(find_by_qualified_name(model, "nope.Uart"), nullptr);
+}
+
+TEST(Model, PrimitiveTypesAreInterned) {
+  Model model("Soc");
+  PrimitiveType& a = model.primitive("Integer", 32);
+  PrimitiveType& b = model.primitive("Integer");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.bit_width(), 32);
+  PrimitiveType& bit = model.primitive("Bit", 1);
+  EXPECT_NE(&a, &bit);
+}
+
+TEST(Class, FeatureLookup) {
+  Model model("M");
+  Class& cls = model.add_package("p").add_class("C");
+  Property& x = cls.add_property("x");
+  Operation& f = cls.add_operation("f");
+  Port& clk = cls.add_port("clk", PortDirection::kIn);
+  EXPECT_EQ(cls.find_property("x"), &x);
+  EXPECT_EQ(cls.find_operation("f"), &f);
+  EXPECT_EQ(cls.find_port("clk"), &clk);
+  EXPECT_EQ(cls.find_property("y"), nullptr);
+}
+
+TEST(Class, InheritedFeatures) {
+  Model model("M");
+  Package& pkg = model.add_package("p");
+  Class& base = pkg.add_class("Base");
+  base.add_property("a");
+  base.add_operation("f");
+  Class& mid = pkg.add_class("Mid");
+  mid.add_generalization(base);
+  mid.add_property("b");
+  Class& leaf = pkg.add_class("Leaf");
+  leaf.add_generalization(mid);
+  leaf.add_property("c");
+
+  std::vector<Property*> all = leaf.all_properties();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0]->name(), "c");  // Most-derived first.
+  EXPECT_EQ(leaf.all_operations().size(), 1u);
+}
+
+TEST(Class, DiamondInheritanceCollectsOnce) {
+  Model model("M");
+  Package& pkg = model.add_package("p");
+  Class& top = pkg.add_class("Top");
+  top.add_property("t");
+  Class& left = pkg.add_class("L");
+  Class& right = pkg.add_class("R");
+  left.add_generalization(top);
+  right.add_generalization(top);
+  Class& bottom = pkg.add_class("B");
+  bottom.add_generalization(left);
+  bottom.add_generalization(right);
+  EXPECT_EQ(bottom.all_properties().size(), 1u);
+}
+
+TEST(Classifier, ConformsTo) {
+  Model model("M");
+  Package& pkg = model.add_package("p");
+  Class& base = pkg.add_class("Base");
+  Class& derived = pkg.add_class("Derived");
+  derived.add_generalization(base);
+  EXPECT_TRUE(derived.conforms_to(base));
+  EXPECT_TRUE(derived.conforms_to(derived));
+  EXPECT_FALSE(base.conforms_to(derived));
+}
+
+TEST(Classifier, ConformsToIsCycleSafe) {
+  Model model("M");
+  Package& pkg = model.add_package("p");
+  Class& a = pkg.add_class("A");
+  Class& b = pkg.add_class("B");
+  a.add_generalization(b);
+  b.add_generalization(a);  // Illegal, but must not hang.
+  EXPECT_TRUE(a.conforms_to(b));
+  EXPECT_FALSE(a.conforms_to(*static_cast<Classifier*>(&pkg.add_class("C"))));
+}
+
+TEST(Operation, ReturnTypeHandling) {
+  Model model("M");
+  Class& cls = model.add_package("p").add_class("C");
+  Operation& f = cls.add_operation("f");
+  EXPECT_EQ(f.return_type(), nullptr);
+  f.set_return_type(model.primitive("Integer", 32));
+  EXPECT_EQ(f.return_type()->name(), "Integer");
+  // Setting again replaces, not duplicates.
+  f.set_return_type(model.primitive("Boolean", 1));
+  EXPECT_EQ(f.return_type()->name(), "Boolean");
+  int return_count = 0;
+  for (const auto& p : f.parameters()) {
+    if (p->direction() == ParameterDirection::kReturn) ++return_count;
+  }
+  EXPECT_EQ(return_count, 1);
+}
+
+TEST(Association, OppositeEnd) {
+  Model model("M");
+  Package& pkg = model.add_package("p");
+  Class& a = pkg.add_class("A");
+  Class& b = pkg.add_class("B");
+  Association& assoc = pkg.add_association("ab");
+  Property& ea = assoc.add_end("a", a);
+  Property& eb = assoc.add_end("b", b);
+  EXPECT_TRUE(assoc.is_binary());
+  EXPECT_EQ(assoc.opposite(ea), &eb);
+  EXPECT_EQ(assoc.opposite(eb), &ea);
+}
+
+TEST(Multiplicity, Validity) {
+  EXPECT_TRUE((Multiplicity{0, Multiplicity::kUnlimited}).is_valid());
+  EXPECT_TRUE((Multiplicity{1, 1}).is_valid());
+  EXPECT_FALSE((Multiplicity{2, 1}).is_valid());
+  EXPECT_FALSE((Multiplicity{-1, 1}).is_valid());
+  EXPECT_EQ((Multiplicity{0, Multiplicity::kUnlimited}).str(), "*");
+  EXPECT_EQ((Multiplicity{1, 1}).str(), "1");
+  EXPECT_EQ((Multiplicity{2, 4}).str(), "2..4");
+}
+
+TEST(Profile, StereotypeApplication) {
+  Model model("M");
+  Profile& profile = model.add_profile("SoC");
+  Stereotype& hw = profile.add_stereotype("HwModule");
+  hw.add_extended_metaclass(ElementKind::kClass);
+  hw.add_tag_definition("clockMHz", "100");
+  model.apply_profile(profile);
+
+  Class& cls = model.add_package("p").add_class("Uart");
+  cls.apply_stereotype(hw);
+  EXPECT_TRUE(cls.has_stereotype(hw));
+  EXPECT_TRUE(cls.has_stereotype("HwModule"));
+  EXPECT_FALSE(cls.has_stereotype("SwTask"));
+  // Tag defaults come from the definition.
+  EXPECT_EQ(cls.tagged_value(hw, "clockMHz"), "100");
+  cls.set_tagged_value(hw, "clockMHz", "200");
+  EXPECT_EQ(cls.tagged_value(hw, "clockMHz"), "200");
+  // Re-application does not duplicate.
+  cls.apply_stereotype(hw);
+  EXPECT_EQ(cls.stereotype_applications().size(), 1u);
+}
+
+TEST(Instance, SlotsAndReferences) {
+  Model model("M");
+  Package& pkg = model.add_package("p");
+  Class& cls = pkg.add_class("C");
+  Property& x = cls.add_property("x", &model.primitive("Integer", 32));
+  Property& next = cls.add_property("next", &cls);
+
+  InstanceSpecification& i1 = pkg.add_instance("i1", &cls);
+  InstanceSpecification& i2 = pkg.add_instance("i2", &cls);
+  i1.set_slot(x, "42");
+  i1.set_slot_reference(next, i2);
+
+  ASSERT_NE(i1.find_slot("x"), nullptr);
+  EXPECT_EQ(i1.find_slot("x")->value, "42");
+  EXPECT_EQ(i1.find_slot("next")->reference, &i2);
+  EXPECT_EQ(i1.find_slot("missing"), nullptr);
+  // Overwriting a slot replaces it in place.
+  i1.set_slot(x, "43");
+  EXPECT_EQ(i1.find_slot("x")->value, "43");
+  EXPECT_EQ(i1.slots().size(), 2u);
+}
+
+TEST(Traversal, WalkVisitsEverything) {
+  Model model("M");
+  Package& pkg = model.add_package("p");
+  Class& cls = pkg.add_class("C");
+  cls.add_property("x");
+  cls.add_operation("f").add_parameter("a");
+
+  struct Counter final : ElementVisitor {
+    int classes = 0, properties = 0, operations = 0, parameters = 0, packages = 0;
+    void visit(Class&) override { ++classes; }
+    void visit(Property&) override { ++properties; }
+    void visit(Operation&) override { ++operations; }
+    void visit(Parameter&) override { ++parameters; }
+    void visit(Package&) override { ++packages; }
+  } counter;
+  walk(model, counter);
+  EXPECT_EQ(counter.classes, 1);
+  EXPECT_EQ(counter.properties, 1);
+  EXPECT_EQ(counter.operations, 1);
+  EXPECT_EQ(counter.parameters, 1);
+  EXPECT_EQ(counter.packages, 1);  // Model dispatches to visit(Model&).
+}
+
+TEST(Query, StatsCountKindsAndDepth) {
+  Model model("M");
+  Class& cls = model.add_package("p").add_class("C");
+  cls.add_operation("f").add_parameter("a");
+  ModelStats stats = compute_stats(model);
+  EXPECT_EQ(stats.count(ElementKind::kClass), 1u);
+  EXPECT_EQ(stats.count(ElementKind::kParameter), 1u);
+  EXPECT_EQ(stats.total, model.element_count());
+  EXPECT_EQ(stats.max_depth, 4u);  // model > pkg > class > op > param.
+}
+
+TEST(Query, CollectFindsAllOfType) {
+  auto model = make_synthetic_model(SyntheticSpec{});
+  std::vector<Class*> classes = collect<Class>(*model);
+  SyntheticSpec spec;
+  EXPECT_EQ(classes.size(), spec.packages * spec.classes_per_package);
+}
+
+TEST(Synthetic, DeterministicAcrossCalls) {
+  SyntheticSpec spec;
+  spec.seed = 77;
+  auto a = make_synthetic_model(spec);
+  auto b = make_synthetic_model(spec);
+  EXPECT_EQ(a->element_count(), b->element_count());
+  ModelStats sa = compute_stats(*a);
+  ModelStats sb = compute_stats(*b);
+  EXPECT_EQ(sa.by_kind, sb.by_kind);
+}
+
+TEST(Synthetic, ScalesWithSpec) {
+  SyntheticSpec small;
+  small.packages = 1;
+  SyntheticSpec large;
+  large.packages = 8;
+  auto a = make_synthetic_model(small);
+  auto b = make_synthetic_model(large);
+  EXPECT_GT(b->element_count(), a->element_count());
+}
+
+}  // namespace
+}  // namespace umlsoc::uml

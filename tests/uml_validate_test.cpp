@@ -1,0 +1,253 @@
+// Tests for structural well-formedness validation.
+#include <gtest/gtest.h>
+
+#include "uml/instance.hpp"
+#include "uml/synthetic.hpp"
+#include "uml/validate.hpp"
+
+namespace umlsoc::uml {
+namespace {
+
+TEST(Validate, EmptyModelIsValid) {
+  Model model("M");
+  support::DiagnosticSink sink;
+  EXPECT_TRUE(validate(model, sink));
+  EXPECT_FALSE(sink.has_errors());
+}
+
+TEST(Validate, SyntheticModelsAreValid) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL, 99ULL}) {
+    SyntheticSpec spec;
+    spec.seed = seed;
+    auto model = make_synthetic_model(spec);
+    support::DiagnosticSink sink;
+    EXPECT_TRUE(validate(*model, sink)) << "seed " << seed << "\n" << sink.str();
+  }
+}
+
+TEST(Validate, DuplicateMemberNames) {
+  Model model("M");
+  Package& pkg = model.add_package("p");
+  pkg.add_class("C");
+  pkg.add_class("C");
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(validate(model, sink));
+  EXPECT_NE(sink.str().find("duplicate member name 'C'"), std::string::npos);
+}
+
+TEST(Validate, EmptyNameIsError) {
+  Model model("M");
+  model.add_package("p").add_class("");
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(validate(model, sink));
+  EXPECT_NE(sink.str().find("empty name"), std::string::npos);
+}
+
+TEST(Validate, GeneralizationCycle) {
+  Model model("M");
+  Package& pkg = model.add_package("p");
+  Class& a = pkg.add_class("A");
+  Class& b = pkg.add_class("B");
+  a.add_generalization(b);
+  b.add_generalization(a);
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(validate(model, sink));
+  EXPECT_NE(sink.str().find("generalization cycle"), std::string::npos);
+}
+
+TEST(Validate, SelfGeneralization) {
+  Model model("M");
+  Class& a = model.add_package("p").add_class("A");
+  a.add_generalization(a);
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(validate(model, sink));
+}
+
+TEST(Validate, ClassCannotSpecializeInterface) {
+  Model model("M");
+  Package& pkg = model.add_package("p");
+  Class& a = pkg.add_class("A");
+  Interface& i = pkg.add_interface("I");
+  a.add_generalization(i);
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(validate(model, sink));
+  EXPECT_NE(sink.str().find("non-class"), std::string::npos);
+}
+
+TEST(Validate, InterfaceCannotSpecializeClass) {
+  Model model("M");
+  Package& pkg = model.add_package("p");
+  Interface& i = pkg.add_interface("I");
+  i.add_generalization(pkg.add_class("A"));
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(validate(model, sink));
+  EXPECT_NE(sink.str().find("non-interface"), std::string::npos);
+}
+
+TEST(Validate, InvalidMultiplicity) {
+  Model model("M");
+  Class& cls = model.add_package("p").add_class("C");
+  Property& prop = cls.add_property("x", &model.primitive("Integer", 32));
+  prop.set_multiplicity({3, 1});
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(validate(model, sink));
+  EXPECT_NE(sink.str().find("invalid multiplicity"), std::string::npos);
+}
+
+TEST(Validate, UntypedPropertyIsOnlyWarning) {
+  Model model("M");
+  model.add_package("p").add_class("C").add_property("x");
+  support::DiagnosticSink sink;
+  EXPECT_TRUE(validate(model, sink));
+  EXPECT_EQ(sink.warning_count(), 1u);
+}
+
+TEST(Validate, AssociationNeedsTwoEnds) {
+  Model model("M");
+  Package& pkg = model.add_package("p");
+  Class& a = pkg.add_class("A");
+  Association& assoc = pkg.add_association("bad");
+  assoc.add_end("only", a);
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(validate(model, sink));
+  EXPECT_NE(sink.str().find("at least two ends"), std::string::npos);
+}
+
+TEST(Validate, OperationSingleReturn) {
+  Model model("M");
+  Operation& f = model.add_package("p").add_class("C").add_operation("f");
+  f.add_parameter("r1", &model.primitive("Integer", 32), ParameterDirection::kReturn);
+  f.add_parameter("r2", &model.primitive("Integer", 32), ParameterDirection::kReturn);
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(validate(model, sink));
+  EXPECT_NE(sink.str().find("return parameter"), std::string::npos);
+}
+
+TEST(Validate, PortWidthPositive) {
+  Model model("M");
+  Class& cls = model.add_package("p").add_class("C");
+  cls.add_port("data", PortDirection::kIn).set_width(0);
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(validate(model, sink));
+  EXPECT_NE(sink.str().find("port width"), std::string::npos);
+}
+
+TEST(Validate, ConnectorEndMustBeLocalPart) {
+  Model model("M");
+  Package& pkg = model.add_package("p");
+  Class& outer = pkg.add_class("Outer");
+  Class& inner = pkg.add_class("Inner");
+  Class& other = pkg.add_class("Other");
+  Property& foreign_part = other.add_property("sub", &inner);
+  foreign_part.set_aggregation(AggregationKind::kComposite);
+
+  Connector& connector = outer.add_connector("c");
+  connector.add_end(ConnectorEnd{&foreign_part, nullptr});
+  connector.add_end(ConnectorEnd{&foreign_part, nullptr});
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(validate(model, sink));
+  EXPECT_NE(sink.str().find("not a part of the owning class"), std::string::npos);
+}
+
+TEST(Validate, ConnectorBoundaryPortMustBeOwned) {
+  Model model("M");
+  Package& pkg = model.add_package("p");
+  Class& outer = pkg.add_class("Outer");
+  Class& other = pkg.add_class("Other");
+  Port& foreign_port = other.add_port("q");
+  Connector& connector = outer.add_connector("c");
+  connector.add_end(ConnectorEnd{nullptr, &foreign_port});
+  connector.add_end(ConnectorEnd{nullptr, &foreign_port});
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(validate(model, sink));
+  EXPECT_NE(sink.str().find("not owned by the class"), std::string::npos);
+}
+
+TEST(Validate, ValidCompositeStructure) {
+  Model model("M");
+  Package& pkg = model.add_package("p");
+  Class& inner = pkg.add_class("Inner");
+  Port& inner_port = inner.add_port("io");
+  Class& outer = pkg.add_class("Outer");
+  Property& part = outer.add_property("sub", &inner);
+  part.set_aggregation(AggregationKind::kComposite);
+  Port& boundary = outer.add_port("ext");
+  Connector& connector = outer.add_connector("c");
+  connector.add_end(ConnectorEnd{&part, &inner_port});
+  connector.add_end(ConnectorEnd{nullptr, &boundary});
+  support::DiagnosticSink sink;
+  EXPECT_TRUE(validate(model, sink)) << sink.str();
+  EXPECT_TRUE(part.is_part());
+}
+
+TEST(Validate, StereotypeMetaclassMismatch) {
+  Model model("M");
+  Profile& profile = model.add_profile("SoC");
+  Stereotype& hw = profile.add_stereotype("HwModule");
+  hw.add_extended_metaclass(ElementKind::kClass);
+  model.apply_profile(profile);
+
+  Package& pkg = model.add_package("p");
+  pkg.apply_stereotype(hw);  // Package is not extended by HwModule.
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(validate(model, sink));
+  EXPECT_NE(sink.str().find("does not extend metaclass"), std::string::npos);
+}
+
+TEST(Validate, StereotypeFromUnappliedProfile) {
+  Model model("M");
+  Profile& profile = model.add_profile("SoC");  // Defined but NOT applied.
+  Stereotype& hw = profile.add_stereotype("HwModule");
+  hw.add_extended_metaclass(ElementKind::kClass);
+  model.add_package("p").add_class("C").apply_stereotype(hw);
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(validate(model, sink));
+  EXPECT_NE(sink.str().find("not applied"), std::string::npos);
+}
+
+TEST(Validate, UndeclaredTaggedValue) {
+  Model model("M");
+  Profile& profile = model.add_profile("SoC");
+  Stereotype& hw = profile.add_stereotype("HwModule");
+  hw.add_extended_metaclass(ElementKind::kClass);
+  model.apply_profile(profile);
+  Class& cls = model.add_package("p").add_class("C");
+  cls.set_tagged_value(hw, "bogus", "1");
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(validate(model, sink));
+  EXPECT_NE(sink.str().find("not declared"), std::string::npos);
+}
+
+TEST(Validate, InstanceSlotMustMatchClassifier) {
+  Model model("M");
+  Package& pkg = model.add_package("p");
+  Class& a = pkg.add_class("A");
+  Class& b = pkg.add_class("B");
+  Property& bx = b.add_property("x", &model.primitive("Integer", 32));
+  InstanceSpecification& instance = pkg.add_instance("i", &a);
+  instance.set_slot(bx, "1");  // x belongs to B, not A.
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(validate(model, sink));
+  EXPECT_NE(sink.str().find("not a property of classifier"), std::string::npos);
+}
+
+TEST(Validate, InstanceWithoutClassifier) {
+  Model model("M");
+  model.add_package("p").add_instance("i");
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(validate(model, sink));
+  EXPECT_NE(sink.str().find("no classifier"), std::string::npos);
+}
+
+TEST(Validate, DuplicateEnumLiterals) {
+  Model model("M");
+  Enumeration& e = model.add_package("p").add_enumeration("E");
+  e.add_literal("A");
+  e.add_literal("A");
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(validate(model, sink));
+  EXPECT_NE(sink.str().find("duplicate literal"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace umlsoc::uml

@@ -1,0 +1,120 @@
+// Use case model tests: structure, validation, scenario coverage.
+#include <gtest/gtest.h>
+
+#include "interaction/model.hpp"
+#include "usecase/model.hpp"
+
+namespace umlsoc::usecase {
+namespace {
+
+TEST(UseCase, BuildAndLookup) {
+  UseCaseModel model("SocDesigner");
+  Actor& designer = model.add_actor("Designer");
+  UseCase& edit = model.add_use_case("EditModel");
+  edit.add_actor(designer);
+  EXPECT_EQ(model.find_actor("Designer"), &designer);
+  EXPECT_EQ(model.find_use_case("EditModel"), &edit);
+  EXPECT_EQ(model.find_actor("Nobody"), nullptr);
+  EXPECT_EQ(model.find_use_case("Nothing"), nullptr);
+}
+
+TEST(UseCase, ValidModelPasses) {
+  UseCaseModel model("Soc");
+  Actor& user = model.add_actor("User");
+  UseCase& configure = model.add_use_case("Configure");
+  configure.add_actor(user);
+  UseCase& load = model.add_use_case("LoadFirmware");
+  configure.add_include(load);  // Included: reachable through Configure.
+  UseCase& debug = model.add_use_case("Debug");
+  debug.add_extend(configure, "on error");
+
+  support::DiagnosticSink sink;
+  EXPECT_TRUE(validate(model, sink)) << sink.str();
+  EXPECT_EQ(sink.warning_count(), 0u) << sink.str();
+}
+
+TEST(UseCase, DuplicateNamesAreErrors) {
+  UseCaseModel model("Soc");
+  model.add_use_case("X");
+  model.add_use_case("X");
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(validate(model, sink));
+  EXPECT_NE(sink.str().find("duplicate name"), std::string::npos);
+}
+
+TEST(UseCase, IncludeCycleIsError) {
+  UseCaseModel model("Soc");
+  Actor& user = model.add_actor("User");
+  UseCase& a = model.add_use_case("A");
+  UseCase& b = model.add_use_case("B");
+  a.add_actor(user);
+  a.add_include(b);
+  b.add_include(a);
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(validate(model, sink));
+  EXPECT_NE(sink.str().find("include cycle"), std::string::npos);
+}
+
+TEST(UseCase, SelfExtendIsError) {
+  UseCaseModel model("Soc");
+  Actor& user = model.add_actor("User");
+  UseCase& a = model.add_use_case("A");
+  a.add_actor(user);
+  a.add_extend(a, "never");
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(validate(model, sink));
+  EXPECT_NE(sink.str().find("extends itself"), std::string::npos);
+}
+
+TEST(UseCase, EmptyExtendConditionWarns) {
+  UseCaseModel model("Soc");
+  Actor& user = model.add_actor("User");
+  UseCase& a = model.add_use_case("A");
+  UseCase& b = model.add_use_case("B");
+  a.add_actor(user);
+  b.add_extend(a, "");
+  support::DiagnosticSink sink;
+  EXPECT_TRUE(validate(model, sink));
+  EXPECT_NE(sink.str().find("no condition"), std::string::npos);
+}
+
+TEST(UseCase, ActorUnreachableUseCaseWarns) {
+  UseCaseModel model("Soc");
+  model.add_actor("User");
+  model.add_use_case("Orphaned");  // No actor association at all.
+  support::DiagnosticSink sink;
+  EXPECT_TRUE(validate(model, sink));
+  EXPECT_NE(sink.str().find("no actor can reach"), std::string::npos);
+}
+
+TEST(UseCase, ActorInheritanceGrantsReach) {
+  UseCaseModel model("Soc");
+  Actor& operator_actor = model.add_actor("Operator");
+  Actor& admin = model.add_actor("Admin");
+  admin.add_generalization(operator_actor);
+  UseCase& tune = model.add_use_case("Tune");
+  tune.add_actor(admin);
+  support::DiagnosticSink sink;
+  EXPECT_TRUE(validate(model, sink)) << sink.str();
+  EXPECT_EQ(sink.warning_count(), 0u);
+}
+
+TEST(UseCase, CoverageReport) {
+  UseCaseModel model("Soc");
+  Actor& user = model.add_actor("User");
+  UseCase& covered = model.add_use_case("Covered");
+  UseCase& uncovered = model.add_use_case("Uncovered");
+  covered.add_actor(user);
+  uncovered.add_actor(user);
+
+  interaction::Interaction scenario("happy_path");
+  covered.add_scenario(scenario);
+
+  support::DiagnosticSink sink;
+  EXPECT_EQ(report_coverage(model, sink), 1u);
+  EXPECT_NE(sink.str().find("Uncovered"), std::string::npos);
+  EXPECT_EQ(sink.str().find("\"Covered\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace umlsoc::usecase

@@ -1,0 +1,209 @@
+// Round-trip tests for behavioral interchange: state machines and
+// activities through XMI text. Structure and behavior *text* must survive;
+// executable bindings are re-attached by consumers (see xmi/behavior.hpp).
+#include <gtest/gtest.h>
+
+#include "activity/analysis.hpp"
+#include "activity/interpreter.hpp"
+#include "activity/synthetic.hpp"
+#include "statechart/interpreter.hpp"
+#include "statechart/synthetic.hpp"
+#include "statechart/validate.hpp"
+#include "xmi/behavior.hpp"
+
+namespace umlsoc::xmi {
+namespace {
+
+// --- State machines ---------------------------------------------------------------
+
+std::unique_ptr<statechart::StateMachine> roundtrip(const statechart::StateMachine& machine) {
+  std::string text = write_state_machine(machine);
+  support::DiagnosticSink sink;
+  auto reread = read_state_machine(text, sink);
+  EXPECT_NE(reread, nullptr) << sink.str();
+  return reread;
+}
+
+TEST(BehaviorXmi, ChainMachineRoundTrips) {
+  auto machine = statechart::make_chain_machine(5);
+  auto reread = roundtrip(*machine);
+  ASSERT_NE(reread, nullptr);
+  EXPECT_EQ(reread->name(), machine->name());
+  EXPECT_EQ(reread->all_states().size(), machine->all_states().size());
+  EXPECT_EQ(reread->all_transitions().size(), machine->all_transitions().size());
+
+  // The re-read machine executes identically.
+  statechart::StateMachineInstance a(*machine);
+  statechart::StateMachineInstance b(*reread);
+  a.set_trace_enabled(false);
+  b.set_trace_enabled(false);
+  a.start();
+  b.start();
+  for (int i = 0; i < 13; ++i) {
+    a.dispatch({"e"});
+    b.dispatch({"e"});
+  }
+  EXPECT_EQ(a.active_leaf_names(), b.active_leaf_names());
+}
+
+TEST(BehaviorXmi, HierarchyAndOrthogonalityPreserved) {
+  auto machine = statechart::make_orthogonal_machine(3, 2);
+  auto reread = roundtrip(*machine);
+  ASSERT_NE(reread, nullptr);
+  support::DiagnosticSink sink;
+  EXPECT_TRUE(statechart::validate(*reread, sink)) << sink.str();
+
+  statechart::StateMachineInstance instance(*reread);
+  instance.start();
+  EXPECT_TRUE(instance.is_in("q0_0"));
+  EXPECT_TRUE(instance.is_in("q2_0"));
+  instance.dispatch({"tick"});
+  EXPECT_TRUE(instance.is_in("q1_1"));
+}
+
+TEST(BehaviorXmi, TextsAndFlagsPreserved) {
+  statechart::StateMachine machine("m");
+  statechart::Region& top = machine.top();
+  statechart::Pseudostate& initial = top.add_initial();
+  statechart::State& a = top.add_state("A");
+  a.set_entry(statechart::Behavior{"init_regs()", nullptr});
+  a.set_exit(statechart::Behavior{"flush()", nullptr});
+  a.set_do_activity(statechart::Behavior{"poll()", nullptr});
+  statechart::State& b = top.add_state("B");
+  top.add_transition(initial, a);
+  top.add_transition(a, b)
+      .set_trigger("go")
+      .set_guard(statechart::Guard{"count > 3", nullptr})
+      .set_effect(statechart::Behavior{"count := 0", nullptr});
+  top.add_transition(a, a).set_trigger("poke").set_internal(true);
+  top.add_pseudostate(statechart::VertexKind::kShallowHistory, "H");
+
+  auto reread = roundtrip(machine);
+  ASSERT_NE(reread, nullptr);
+  const statechart::State* a2 = reread->top().find_state("A");
+  ASSERT_NE(a2, nullptr);
+  EXPECT_EQ(a2->entry().text, "init_regs()");
+  EXPECT_EQ(a2->exit_behavior().text, "flush()");
+  EXPECT_EQ(a2->do_activity().text, "poll()");
+  bool found_guarded = false;
+  bool found_internal = false;
+  for (const statechart::Transition* transition : reread->all_transitions()) {
+    if (transition->guard().text == "count > 3") {
+      found_guarded = true;
+      EXPECT_EQ(transition->effect().text, "count := 0");
+      EXPECT_EQ(transition->trigger(), "go");
+    }
+    if (transition->is_internal()) found_internal = true;
+  }
+  EXPECT_TRUE(found_guarded);
+  EXPECT_TRUE(found_internal);
+  EXPECT_NE(reread->top().find_vertex("H"), nullptr);
+}
+
+TEST(BehaviorXmi, RejectsUnresolvedVertexRef) {
+  const char* text =
+      "<StateMachine name=\"m\"><Region name=\"top\">"
+      "<State id=\"0\" name=\"A\"/>"
+      "<Transition source=\"0\" target=\"99\"/>"
+      "</Region></StateMachine>";
+  support::DiagnosticSink sink;
+  EXPECT_EQ(read_state_machine(text, sink), nullptr);
+  EXPECT_NE(sink.str().find("unresolved vertex reference"), std::string::npos);
+}
+
+TEST(BehaviorXmi, RejectsWrongRoot) {
+  support::DiagnosticSink sink;
+  EXPECT_EQ(read_state_machine("<NotAMachine/>", sink), nullptr);
+  EXPECT_EQ(read_activity("<NotAnActivity/>", sink), nullptr);
+}
+
+// --- Activities -----------------------------------------------------------------------
+
+TEST(BehaviorXmi, ActivityRoundTripsAndExecutesIdentically) {
+  auto original = activity::make_fork_join(3, 2);
+  std::string text = write_activity(*original);
+  support::DiagnosticSink sink;
+  auto reread = read_activity(text, sink);
+  ASSERT_NE(reread, nullptr) << sink.str();
+  EXPECT_EQ(reread->nodes().size(), original->nodes().size());
+  EXPECT_EQ(reread->edges().size(), original->edges().size());
+  EXPECT_TRUE(activity::validate(*reread, sink)) << sink.str();
+  EXPECT_TRUE(activity::check_soundness(*reread, sink)) << sink.str();
+
+  activity::ActivityExecution a(*original);
+  activity::ActivityExecution b(*reread);
+  EXPECT_EQ(a.run(), activity::RunStatus::kTerminated);
+  EXPECT_EQ(b.run(), activity::RunStatus::kTerminated);
+  EXPECT_EQ(a.firings(), b.firings());
+}
+
+TEST(BehaviorXmi, ActivityCostAnnotationsPreserved) {
+  auto original = activity::make_media_pipeline();
+  std::string text = write_activity(*original);
+  support::DiagnosticSink sink;
+  auto reread = read_activity(text, sink);
+  ASSERT_NE(reread, nullptr) << sink.str();
+  const activity::ActivityNode* dct = reread->find_node("dct_luma");
+  ASSERT_NE(dct, nullptr);
+  EXPECT_DOUBLE_EQ(dct->sw_latency(), 45.0);
+  EXPECT_DOUBLE_EQ(dct->hw_latency(), 6.0);
+  EXPECT_DOUBLE_EQ(dct->hw_area(), 520.0);
+}
+
+TEST(BehaviorXmi, ActivityGuardAndWeightPreserved) {
+  activity::Activity original("g");
+  activity::ActivityNode& initial = original.add_initial();
+  activity::ActivityNode& decision =
+      original.add_node(activity::NodeKind::kDecision, "check");
+  activity::ActivityNode& final_node = original.add_final();
+  original.add_edge(initial, decision);
+  original.add_edge(decision, final_node, true)
+      .set_guard(activity::EdgeGuard{"v > 10", nullptr})
+      .set_weight(3);
+
+  std::string text = write_activity(original);
+  support::DiagnosticSink sink;
+  auto reread = read_activity(text, sink);
+  ASSERT_NE(reread, nullptr) << sink.str();
+  ASSERT_EQ(reread->edges().size(), 2u);
+  const activity::ActivityEdge& edge = *reread->edges()[1];
+  EXPECT_EQ(edge.guard().text, "v > 10");
+  EXPECT_EQ(edge.weight(), 3);
+  EXPECT_TRUE(edge.is_object_flow());
+}
+
+TEST(BehaviorXmi, ActivityRejectsUnknownNodeRef) {
+  const char* text =
+      "<Activity name=\"a\"><Node name=\"x\" kind=\"action\"/>"
+      "<Edge source=\"x\" target=\"missing\"/></Activity>";
+  support::DiagnosticSink sink;
+  EXPECT_EQ(read_activity(text, sink), nullptr);
+  EXPECT_NE(sink.str().find("unknown node"), std::string::npos);
+}
+
+// Property sweep: synthetic machines of several shapes round-trip and stay
+// behaviorally equivalent over a fixed event script.
+class MachineRoundTripProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MachineRoundTripProperty, BehaviorPreserved) {
+  auto machine = statechart::make_nested_machine(static_cast<std::size_t>(GetParam()), 3);
+  auto reread = roundtrip(*machine);
+  ASSERT_NE(reread, nullptr);
+
+  statechart::StateMachineInstance a(*machine);
+  statechart::StateMachineInstance b(*reread);
+  a.set_trace_enabled(false);
+  b.set_trace_enabled(false);
+  a.start();
+  b.start();
+  const char* script[] = {"step", "step", "reset", "step", "noise", "step"};
+  for (const char* event : script) {
+    EXPECT_EQ(a.dispatch({event}), b.dispatch({event})) << event;
+    EXPECT_EQ(a.active_leaf_names(), b.active_leaf_names()) << event;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, MachineRoundTripProperty, ::testing::Values(1, 2, 3, 5));
+
+}  // namespace
+}  // namespace umlsoc::xmi

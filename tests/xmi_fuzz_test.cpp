@@ -1,0 +1,102 @@
+// Robustness property tests: the XML parser and both model readers must
+// never crash on malformed input — every failure is a clean diagnostic.
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+#include "uml/synthetic.hpp"
+#include "xmi/behavior.hpp"
+#include "xmi/serialize.hpp"
+#include "xmi/xml.hpp"
+
+namespace umlsoc::xmi {
+namespace {
+
+/// Characters biased toward XML structure to hit parser edges.
+std::string random_blob(support::Rng& rng, std::size_t length) {
+  static const char kAlphabet[] = "<>/=\"'&; \nabcdeXMLid0123&lt;&amp;!-?";
+  std::string out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    out += kAlphabet[rng.below(sizeof(kAlphabet) - 1)];
+  }
+  return out;
+}
+
+class XmlFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(XmlFuzz, RandomBlobsNeverCrashParser) {
+  support::Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    std::string blob = random_blob(rng, 1 + rng.below(300));
+    support::DiagnosticSink sink;
+    std::unique_ptr<XmlNode> node = parse_xml(blob, sink);
+    // Either it parsed, or it reported why not — never both empty.
+    if (node == nullptr) {
+      EXPECT_TRUE(sink.has_errors()) << "silent failure on: " << blob;
+    }
+  }
+}
+
+TEST_P(XmlFuzz, RandomBlobsNeverCrashModelReader) {
+  support::Rng rng(GetParam() * 31 + 7);
+  for (int i = 0; i < 100; ++i) {
+    std::string blob = random_blob(rng, 1 + rng.below(300));
+    support::DiagnosticSink sink;
+    auto model = read_model(blob, sink);
+    if (model == nullptr) {
+      EXPECT_TRUE(sink.has_errors());
+    }
+    support::DiagnosticSink sink2;
+    auto machine = read_state_machine(blob, sink2);
+    if (machine == nullptr) {
+      EXPECT_TRUE(sink2.has_errors());
+    }
+    support::DiagnosticSink sink3;
+    auto activity = read_activity(blob, sink3);
+    if (activity == nullptr) {
+      EXPECT_TRUE(sink3.has_errors());
+    }
+  }
+}
+
+TEST_P(XmlFuzz, MutatedValidDocumentsNeverCrash) {
+  // Take a real document and corrupt random spans.
+  uml::SyntheticSpec spec;
+  spec.seed = GetParam();
+  spec.packages = 2;
+  auto model = uml::make_synthetic_model(spec);
+  const std::string original = write_model(*model);
+
+  support::Rng rng(GetParam() * 101 + 3);
+  for (int i = 0; i < 100; ++i) {
+    std::string mutated = original;
+    const int mutations = 1 + static_cast<int>(rng.below(5));
+    for (int m = 0; m < mutations; ++m) {
+      std::size_t position = rng.below(mutated.size());
+      switch (rng.below(3)) {
+        case 0:  // Flip a character.
+          mutated[position] = static_cast<char>('!' + rng.below(90));
+          break;
+        case 1:  // Delete a span.
+          mutated.erase(position, 1 + rng.below(8));
+          break;
+        default:  // Duplicate a span.
+          mutated.insert(position, mutated.substr(position, 1 + rng.below(8)));
+      }
+      if (mutated.empty()) mutated = "<";
+    }
+    support::DiagnosticSink sink;
+    auto reread = read_model(mutated, sink);
+    if (reread == nullptr) {
+      EXPECT_TRUE(sink.has_errors());
+    } else {
+      // A mutation that still parses must still yield a sane model.
+      EXPECT_GE(reread->element_count(), 1u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlFuzz, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace umlsoc::xmi

@@ -1,0 +1,251 @@
+// XMI round-trip tests: write_model(read_model(write_model(m))) must be
+// structurally identical to m, across hand-built and randomized models.
+#include <gtest/gtest.h>
+
+#include "uml/compare.hpp"
+#include "uml/instance.hpp"
+#include "uml/synthetic.hpp"
+#include "uml/validate.hpp"
+#include "xmi/serialize.hpp"
+
+namespace umlsoc::xmi {
+namespace {
+
+using uml::Model;
+
+void expect_roundtrip(Model& model) {
+  std::string text = write_model(model);
+  support::DiagnosticSink sink;
+  std::unique_ptr<Model> reread = read_model(text, sink);
+  ASSERT_NE(reread, nullptr) << sink.str();
+  support::DiagnosticSink compare_sink;
+  EXPECT_TRUE(structurally_equal(model, *reread, compare_sink)) << compare_sink.str();
+  // Idempotence: a second write of the reread model parses equal again.
+  std::string text2 = write_model(*reread);
+  support::DiagnosticSink sink2;
+  std::unique_ptr<Model> reread2 = read_model(text2, sink2);
+  ASSERT_NE(reread2, nullptr) << sink2.str();
+  support::DiagnosticSink compare_sink2;
+  EXPECT_TRUE(structurally_equal(*reread, *reread2, compare_sink2)) << compare_sink2.str();
+}
+
+TEST(XmiRoundTrip, EmptyModel) {
+  Model model("Empty");
+  expect_roundtrip(model);
+}
+
+TEST(XmiRoundTrip, ClassWithFeatures) {
+  Model model("M");
+  uml::Package& pkg = model.add_package("ip");
+  uml::Class& cls = pkg.add_class("Uart");
+  cls.set_active(true);
+  cls.set_documentation("A tiny UART <ip&core>");
+  uml::Property& baud = cls.add_property("baud", &model.primitive("Integer", 32));
+  baud.set_default_value("115200");
+  baud.set_read_only(true);
+  uml::Operation& send = cls.add_operation("send");
+  send.add_parameter("byte", &model.primitive("Byte", 8));
+  send.set_return_type(model.primitive("Boolean", 1));
+  send.set_body("self.busy := true;");
+  send.set_query(false);
+  expect_roundtrip(model);
+}
+
+TEST(XmiRoundTrip, VisibilityAndMultiplicity) {
+  Model model("M");
+  uml::Class& cls = model.add_package("p").add_class("C");
+  uml::Property& items = cls.add_property("items", &model.primitive("Integer", 32));
+  items.set_multiplicity({0, uml::Multiplicity::kUnlimited});
+  items.set_visibility(uml::Visibility::kPrivate);
+  uml::Property& pair = cls.add_property("pair", &model.primitive("Integer", 32));
+  pair.set_multiplicity({2, 2});
+  expect_roundtrip(model);
+}
+
+TEST(XmiRoundTrip, InterfacesGeneralizationsRealizations) {
+  Model model("M");
+  uml::Package& pkg = model.add_package("p");
+  uml::Interface& iface = pkg.add_interface("IStream");
+  iface.add_operation("read").set_return_type(model.primitive("Byte", 8));
+  uml::Class& base = pkg.add_class("Base");
+  base.set_abstract(true);
+  uml::Class& derived = pkg.add_class("Derived");
+  derived.add_generalization(base);
+  derived.add_interface_realization(iface);
+  expect_roundtrip(model);
+}
+
+TEST(XmiRoundTrip, CompositeStructure) {
+  Model model("M");
+  uml::Package& pkg = model.add_package("p");
+  uml::Class& inner = pkg.add_class("Fifo");
+  uml::Port& inner_port = inner.add_port("io", uml::PortDirection::kIn);
+  inner_port.set_width(8);
+  uml::Class& outer = pkg.add_class("Top");
+  uml::Property& part = outer.add_property("fifo0", &inner);
+  part.set_aggregation(uml::AggregationKind::kComposite);
+  uml::Port& ext = outer.add_port("ext", uml::PortDirection::kOut);
+  ext.set_service(false);
+  uml::Connector& wire = outer.add_connector("w0");
+  wire.add_end(uml::ConnectorEnd{&part, &inner_port});
+  wire.add_end(uml::ConnectorEnd{nullptr, &ext});
+  expect_roundtrip(model);
+}
+
+TEST(XmiRoundTrip, ComponentProvidedRequired) {
+  Model model("M");
+  uml::Package& pkg = model.add_package("p");
+  uml::Interface& in_iface = pkg.add_interface("IIn");
+  uml::Interface& out_iface = pkg.add_interface("IOut");
+  uml::Component& comp = pkg.add_component("Filter");
+  comp.add_provided(in_iface);
+  comp.add_required(out_iface);
+  uml::Port& port = comp.add_port("p0");
+  port.add_provided(in_iface);
+  port.add_required(out_iface);
+  expect_roundtrip(model);
+}
+
+TEST(XmiRoundTrip, EnumerationsSignalsDataTypes) {
+  Model model("M");
+  uml::Package& pkg = model.add_package("p");
+  uml::Enumeration& mode = pkg.add_enumeration("Mode");
+  mode.add_literal("IDLE");
+  mode.add_literal("BUSY");
+  uml::Signal& irq = pkg.add_signal("Irq");
+  irq.add_property("level", &model.primitive("Integer", 32));
+  pkg.add_data_type("Fixed16");
+  expect_roundtrip(model);
+}
+
+TEST(XmiRoundTrip, AssociationsAndDependencies) {
+  Model model("M");
+  uml::Package& pkg = model.add_package("p");
+  uml::Class& cpu = pkg.add_class("Cpu");
+  uml::Class& bus = pkg.add_class("Bus");
+  uml::Association& assoc = pkg.add_association("cpu_bus");
+  assoc.add_end("master", cpu).set_multiplicity({1, 1});
+  assoc.add_end("fabric", bus).set_multiplicity({1, 4});
+  uml::Dependency& dep = pkg.add_dependency("alloc", cpu, bus);
+  dep.set_dependency_kind(uml::DependencyKind::kAllocate);
+  expect_roundtrip(model);
+}
+
+TEST(XmiRoundTrip, ProfilesStereotypesTaggedValues) {
+  Model model("M");
+  uml::Profile& profile = model.add_profile("SoC");
+  uml::Stereotype& hw = profile.add_stereotype("HwModule");
+  hw.add_extended_metaclass(uml::ElementKind::kClass);
+  hw.add_extended_metaclass(uml::ElementKind::kComponent);
+  hw.add_tag_definition("clockMHz", "100");
+  hw.add_tag_definition("areaGates");
+  model.apply_profile(profile);
+
+  uml::Class& cls = model.add_package("p").add_class("Uart");
+  cls.apply_stereotype(hw);
+  cls.set_tagged_value(hw, "clockMHz", "250");
+  expect_roundtrip(model);
+}
+
+TEST(XmiRoundTrip, InstancesWithSlotsAndReferences) {
+  Model model("M");
+  uml::Package& pkg = model.add_package("p");
+  uml::Class& node = pkg.add_class("Node");
+  uml::Property& value = node.add_property("value", &model.primitive("Integer", 32));
+  uml::Property& next = node.add_property("next", &node);
+  uml::InstanceSpecification& head = pkg.add_instance("head", &node);
+  uml::InstanceSpecification& tail = pkg.add_instance("tail", &node);
+  head.set_slot(value, "1");
+  head.set_slot_reference(next, tail);
+  tail.set_slot(value, "2");
+  expect_roundtrip(model);
+}
+
+TEST(XmiRoundTrip, SpecialCharactersEverywhere) {
+  Model model("M<&>\"'");
+  uml::Class& cls = model.add_package("p<>").add_class("C&C");
+  cls.add_property("x", &model.primitive("Integer", 32)).set_default_value("<&\"'>");
+  cls.set_documentation("docs with\nnewline & <tags>");
+  expect_roundtrip(model);
+}
+
+// Property-style sweep: randomized synthetic models of increasing size and
+// different seeds must all round-trip losslessly.
+class XmiRoundTripProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(XmiRoundTripProperty, SyntheticModelRoundTrips) {
+  uml::SyntheticSpec spec;
+  spec.seed = GetParam();
+  spec.packages = 2 + static_cast<std::size_t>(GetParam() % 4);
+  spec.classes_per_package = 3 + static_cast<std::size_t>(GetParam() % 6);
+  auto model = make_synthetic_model(spec);
+
+  support::DiagnosticSink validate_sink;
+  ASSERT_TRUE(uml::validate(*model, validate_sink)) << validate_sink.str();
+  expect_roundtrip(*model);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmiRoundTripProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+TEST(XmiRead, RejectsUnresolvedReference) {
+  const char* text =
+      "<XMI><Model id=\"1\" name=\"M\">"
+      "<Class id=\"2\" name=\"C\"><Property id=\"3\" name=\"x\" type=\"99\"/></Class>"
+      "</Model></XMI>";
+  support::DiagnosticSink sink;
+  EXPECT_EQ(read_model(text, sink), nullptr);
+  EXPECT_NE(sink.str().find("unresolved reference '99'"), std::string::npos);
+}
+
+TEST(XmiRead, RejectsDuplicateIds) {
+  const char* text =
+      "<XMI><Model id=\"1\" name=\"M\">"
+      "<Class id=\"2\" name=\"A\"/><Class id=\"2\" name=\"B\"/>"
+      "</Model></XMI>";
+  support::DiagnosticSink sink;
+  EXPECT_EQ(read_model(text, sink), nullptr);
+  EXPECT_NE(sink.str().find("duplicate element id"), std::string::npos);
+}
+
+TEST(XmiRead, RejectsWrongReferenceMetaclass) {
+  // Generalization pointing at a package is a metaclass error.
+  const char* text =
+      "<XMI><Model id=\"1\" name=\"M\">"
+      "<Package id=\"2\" name=\"p\"/>"
+      "<Class id=\"3\" name=\"C\"><generalization general=\"2\"/></Class>"
+      "</Model></XMI>";
+  support::DiagnosticSink sink;
+  EXPECT_EQ(read_model(text, sink), nullptr);
+  EXPECT_NE(sink.str().find("unexpected metaclass"), std::string::npos);
+}
+
+TEST(XmiRead, RejectsDocumentWithoutModel) {
+  support::DiagnosticSink sink;
+  EXPECT_EQ(read_model("<XMI><NotAModel/></XMI>", sink), nullptr);
+  EXPECT_NE(sink.str().find("no <Model>"), std::string::npos);
+}
+
+TEST(XmiRead, AcceptsModelAsRoot) {
+  support::DiagnosticSink sink;
+  auto model = read_model("<Model id=\"1\" name=\"Bare\"/>", sink);
+  ASSERT_NE(model, nullptr) << sink.str();
+  EXPECT_EQ(model->name(), "Bare");
+}
+
+TEST(XmiRead, ReadModelKeepsWorkingPrimitiveInterning) {
+  Model model("M");
+  model.primitive("Integer", 32);
+  std::string text = write_model(model);
+  support::DiagnosticSink sink;
+  auto reread = read_model(text, sink);
+  ASSERT_NE(reread, nullptr) << sink.str();
+  // primitive() after deserialization must reuse the persisted package,
+  // not create "<primitives>" twice.
+  reread->primitive("Integer", 32);
+  support::DiagnosticSink validate_sink;
+  EXPECT_TRUE(uml::validate(*reread, validate_sink)) << validate_sink.str();
+}
+
+}  // namespace
+}  // namespace umlsoc::xmi

@@ -1,0 +1,128 @@
+// Tests for the XML document model, writer and parser.
+#include <gtest/gtest.h>
+
+#include "xmi/xml.hpp"
+
+namespace umlsoc::xmi {
+namespace {
+
+std::unique_ptr<XmlNode> parse_ok(std::string_view text) {
+  support::DiagnosticSink sink;
+  std::unique_ptr<XmlNode> node = parse_xml(text, sink);
+  EXPECT_NE(node, nullptr) << sink.str();
+  return node;
+}
+
+void parse_fails(std::string_view text, std::string_view expected_message) {
+  support::DiagnosticSink sink;
+  std::unique_ptr<XmlNode> node = parse_xml(text, sink);
+  EXPECT_EQ(node, nullptr);
+  EXPECT_NE(sink.str().find(expected_message), std::string::npos)
+      << "got diagnostics:\n"
+      << sink.str();
+}
+
+TEST(Xml, NodeAttributesKeepOrderAndOverwrite) {
+  XmlNode node("a");
+  node.set_attribute("x", "1");
+  node.set_attribute("y", "2");
+  node.set_attribute("x", "3");
+  ASSERT_EQ(node.attributes().size(), 2u);
+  EXPECT_EQ(node.attributes()[0].first, "x");
+  EXPECT_EQ(*node.attribute("x"), "3");
+  EXPECT_EQ(node.attribute("z"), nullptr);
+  EXPECT_EQ(node.attribute_or("z", "d"), "d");
+}
+
+TEST(Xml, ChildLookup) {
+  XmlNode node("root");
+  node.add_child("a");
+  node.add_child("b");
+  node.add_child("a");
+  EXPECT_NE(node.child("a"), nullptr);
+  EXPECT_EQ(node.child("c"), nullptr);
+  EXPECT_EQ(node.children_named("a").size(), 2u);
+}
+
+TEST(Xml, WriteSelfClosing) {
+  XmlNode node("empty");
+  node.set_attribute("k", "v");
+  EXPECT_EQ(node.str(), "<empty k=\"v\"/>\n");
+}
+
+TEST(Xml, WriteEscapesAttributeValues) {
+  XmlNode node("n");
+  node.set_attribute("k", "a<b & \"c\"");
+  EXPECT_NE(node.str().find("a&lt;b &amp; &quot;c&quot;"), std::string::npos);
+}
+
+TEST(Xml, ParseMinimalDocument) {
+  auto root = parse_ok("<root/>");
+  EXPECT_EQ(root->name(), "root");
+  EXPECT_TRUE(root->children().empty());
+}
+
+TEST(Xml, ParseDeclarationAndComments) {
+  auto root = parse_ok(
+      "<?xml version=\"1.0\"?>\n"
+      "<!-- header comment -->\n"
+      "<root><!-- inner --><child/></root>\n"
+      "<!-- trailing -->");
+  EXPECT_EQ(root->children().size(), 1u);
+}
+
+TEST(Xml, ParseAttributesBothQuoteStyles) {
+  auto root = parse_ok("<r a=\"1\" b='two'/>");
+  EXPECT_EQ(*root->attribute("a"), "1");
+  EXPECT_EQ(*root->attribute("b"), "two");
+}
+
+TEST(Xml, ParseNestedElementsAndText) {
+  auto root = parse_ok("<a><b>hello</b><c><d/></c></a>");
+  ASSERT_EQ(root->children().size(), 2u);
+  EXPECT_EQ(root->child("b")->text(), "hello");
+  EXPECT_NE(root->child("c")->child("d"), nullptr);
+}
+
+TEST(Xml, ParseEntities) {
+  auto root = parse_ok("<a k=\"&lt;&gt;&amp;&quot;&apos;\">&amp;text</a>");
+  EXPECT_EQ(*root->attribute("k"), "<>&\"'");
+  EXPECT_EQ(root->text(), "&text");
+}
+
+TEST(Xml, RoundTripThroughWriter) {
+  XmlNode original("Model");
+  original.set_attribute("name", "M<&>");
+  XmlNode& child = original.add_child("Class");
+  child.set_attribute("name", "C");
+  child.add_child("Property").set_attribute("name", "p'q");
+
+  auto reparsed = parse_ok(original.str());
+  EXPECT_EQ(*reparsed->attribute("name"), "M<&>");
+  EXPECT_EQ(*reparsed->child("Class")->child("Property")->attribute("name"), "p'q");
+}
+
+TEST(Xml, ErrorMismatchedClosingTag) { parse_fails("<a><b></a></b>", "mismatched closing tag"); }
+
+TEST(Xml, ErrorUnterminatedElement) { parse_fails("<a><b>", "unterminated element"); }
+
+TEST(Xml, ErrorTrailingContent) { parse_fails("<a/><b/>", "trailing content"); }
+
+TEST(Xml, ErrorMissingAttributeValue) { parse_fails("<a k=/>", "quoted attribute value"); }
+
+TEST(Xml, ErrorUnterminatedAttribute) { parse_fails("<a k=\"v/>", "unterminated attribute"); }
+
+TEST(Xml, ErrorUnterminatedComment) { parse_fails("<!-- never ends", "unterminated comment"); }
+
+TEST(Xml, ErrorUnknownEntity) { parse_fails("<a k=\"&bogus;\"/>", "unknown entity"); }
+
+TEST(Xml, ErrorGarbage) { parse_fails("not xml at all", "expected element start"); }
+
+TEST(Xml, ErrorReportsLineNumber) {
+  support::DiagnosticSink sink;
+  EXPECT_EQ(parse_xml("<a>\n\n<b></c>\n</a>", sink), nullptr);
+  EXPECT_NE(sink.str().find("line 3"), std::string::npos) << sink.str();
+}
+
+}  // namespace
+}  // namespace umlsoc::xmi

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_activity.cpp" "bench-build/CMakeFiles/bench_activity.dir/bench_activity.cpp.o" "gcc" "bench-build/CMakeFiles/bench_activity.dir/bench_activity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/umlsoc_xmi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/umlsoc_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/umlsoc_usecase.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/umlsoc_interaction.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/umlsoc_asl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/umlsoc_mda.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/umlsoc_codesign.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/umlsoc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/umlsoc_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/umlsoc_statechart.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/umlsoc_activity.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/umlsoc_uml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/umlsoc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

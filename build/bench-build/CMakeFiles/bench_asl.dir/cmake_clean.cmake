@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_asl"
+  "../bench/bench_asl.pdb"
+  "CMakeFiles/bench_asl.dir/bench_asl.cpp.o"
+  "CMakeFiles/bench_asl.dir/bench_asl.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_asl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

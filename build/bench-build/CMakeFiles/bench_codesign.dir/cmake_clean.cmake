@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_codesign"
+  "../bench/bench_codesign.pdb"
+  "CMakeFiles/bench_codesign.dir/bench_codesign.cpp.o"
+  "CMakeFiles/bench_codesign.dir/bench_codesign.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_codesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_interaction"
+  "../bench/bench_interaction.pdb"
+  "CMakeFiles/bench_interaction.dir/bench_interaction.cpp.o"
+  "CMakeFiles/bench_interaction.dir/bench_interaction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_mda"
+  "../bench/bench_mda.pdb"
+  "CMakeFiles/bench_mda.dir/bench_mda.cpp.o"
+  "CMakeFiles/bench_mda.dir/bench_mda.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

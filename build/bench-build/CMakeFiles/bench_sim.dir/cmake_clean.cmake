@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sim"
+  "../bench/bench_sim.pdb"
+  "CMakeFiles/bench_sim.dir/bench_sim.cpp.o"
+  "CMakeFiles/bench_sim.dir/bench_sim.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_statechart"
+  "../bench/bench_statechart.pdb"
+  "CMakeFiles/bench_statechart.dir/bench_statechart.cpp.o"
+  "CMakeFiles/bench_statechart.dir/bench_statechart.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_statechart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

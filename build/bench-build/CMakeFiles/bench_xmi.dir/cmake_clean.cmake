@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_xmi"
+  "../bench/bench_xmi.pdb"
+  "CMakeFiles/bench_xmi.dir/bench_xmi.cpp.o"
+  "CMakeFiles/bench_xmi.dir/bench_xmi.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_xmi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_elevator_controller.dir/elevator_controller.cpp.o"
+  "CMakeFiles/example_elevator_controller.dir/elevator_controller.cpp.o.d"
+  "example_elevator_controller"
+  "example_elevator_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_elevator_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hwsw_codesign.dir/hwsw_codesign.cpp.o"
+  "CMakeFiles/example_hwsw_codesign.dir/hwsw_codesign.cpp.o.d"
+  "example_hwsw_codesign"
+  "example_hwsw_codesign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hwsw_codesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mda_flow.dir/mda_flow.cpp.o"
+  "CMakeFiles/example_mda_flow.dir/mda_flow.cpp.o.d"
+  "example_mda_flow"
+  "example_mda_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mda_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_model_compiler.dir/model_compiler.cpp.o"
+  "CMakeFiles/example_model_compiler.dir/model_compiler.cpp.o.d"
+  "example_model_compiler"
+  "example_model_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_model_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

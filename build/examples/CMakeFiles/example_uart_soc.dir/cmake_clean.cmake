@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_uart_soc.dir/uart_soc.cpp.o"
+  "CMakeFiles/example_uart_soc.dir/uart_soc.cpp.o.d"
+  "example_uart_soc"
+  "example_uart_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_uart_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

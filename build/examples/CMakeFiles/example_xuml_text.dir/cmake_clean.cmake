@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_xuml_text.dir/xuml_text.cpp.o"
+  "CMakeFiles/example_xuml_text.dir/xuml_text.cpp.o.d"
+  "example_xuml_text"
+  "example_xuml_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_xuml_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

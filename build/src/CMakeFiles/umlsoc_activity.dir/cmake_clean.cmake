@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/umlsoc_activity.dir/activity/analysis.cpp.o"
+  "CMakeFiles/umlsoc_activity.dir/activity/analysis.cpp.o.d"
+  "CMakeFiles/umlsoc_activity.dir/activity/interpreter.cpp.o"
+  "CMakeFiles/umlsoc_activity.dir/activity/interpreter.cpp.o.d"
+  "CMakeFiles/umlsoc_activity.dir/activity/model.cpp.o"
+  "CMakeFiles/umlsoc_activity.dir/activity/model.cpp.o.d"
+  "CMakeFiles/umlsoc_activity.dir/activity/synthetic.cpp.o"
+  "CMakeFiles/umlsoc_activity.dir/activity/synthetic.cpp.o.d"
+  "libumlsoc_activity.a"
+  "libumlsoc_activity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/umlsoc_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asl/constraints.cpp" "src/CMakeFiles/umlsoc_asl.dir/asl/constraints.cpp.o" "gcc" "src/CMakeFiles/umlsoc_asl.dir/asl/constraints.cpp.o.d"
+  "/root/repo/src/asl/interpreter.cpp" "src/CMakeFiles/umlsoc_asl.dir/asl/interpreter.cpp.o" "gcc" "src/CMakeFiles/umlsoc_asl.dir/asl/interpreter.cpp.o.d"
+  "/root/repo/src/asl/lexer.cpp" "src/CMakeFiles/umlsoc_asl.dir/asl/lexer.cpp.o" "gcc" "src/CMakeFiles/umlsoc_asl.dir/asl/lexer.cpp.o.d"
+  "/root/repo/src/asl/parser.cpp" "src/CMakeFiles/umlsoc_asl.dir/asl/parser.cpp.o" "gcc" "src/CMakeFiles/umlsoc_asl.dir/asl/parser.cpp.o.d"
+  "/root/repo/src/asl/value.cpp" "src/CMakeFiles/umlsoc_asl.dir/asl/value.cpp.o" "gcc" "src/CMakeFiles/umlsoc_asl.dir/asl/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/umlsoc_uml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/umlsoc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/umlsoc_asl.dir/asl/constraints.cpp.o"
+  "CMakeFiles/umlsoc_asl.dir/asl/constraints.cpp.o.d"
+  "CMakeFiles/umlsoc_asl.dir/asl/interpreter.cpp.o"
+  "CMakeFiles/umlsoc_asl.dir/asl/interpreter.cpp.o.d"
+  "CMakeFiles/umlsoc_asl.dir/asl/lexer.cpp.o"
+  "CMakeFiles/umlsoc_asl.dir/asl/lexer.cpp.o.d"
+  "CMakeFiles/umlsoc_asl.dir/asl/parser.cpp.o"
+  "CMakeFiles/umlsoc_asl.dir/asl/parser.cpp.o.d"
+  "CMakeFiles/umlsoc_asl.dir/asl/value.cpp.o"
+  "CMakeFiles/umlsoc_asl.dir/asl/value.cpp.o.d"
+  "libumlsoc_asl.a"
+  "libumlsoc_asl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/umlsoc_asl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

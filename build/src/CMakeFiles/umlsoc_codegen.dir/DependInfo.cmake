@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/asl_binding.cpp" "src/CMakeFiles/umlsoc_codegen.dir/codegen/asl_binding.cpp.o" "gcc" "src/CMakeFiles/umlsoc_codegen.dir/codegen/asl_binding.cpp.o.d"
+  "/root/repo/src/codegen/hwmodel.cpp" "src/CMakeFiles/umlsoc_codegen.dir/codegen/hwmodel.cpp.o" "gcc" "src/CMakeFiles/umlsoc_codegen.dir/codegen/hwmodel.cpp.o.d"
+  "/root/repo/src/codegen/plantuml.cpp" "src/CMakeFiles/umlsoc_codegen.dir/codegen/plantuml.cpp.o" "gcc" "src/CMakeFiles/umlsoc_codegen.dir/codegen/plantuml.cpp.o.d"
+  "/root/repo/src/codegen/rtl.cpp" "src/CMakeFiles/umlsoc_codegen.dir/codegen/rtl.cpp.o" "gcc" "src/CMakeFiles/umlsoc_codegen.dir/codegen/rtl.cpp.o.d"
+  "/root/repo/src/codegen/software.cpp" "src/CMakeFiles/umlsoc_codegen.dir/codegen/software.cpp.o" "gcc" "src/CMakeFiles/umlsoc_codegen.dir/codegen/software.cpp.o.d"
+  "/root/repo/src/codegen/swruntime.cpp" "src/CMakeFiles/umlsoc_codegen.dir/codegen/swruntime.cpp.o" "gcc" "src/CMakeFiles/umlsoc_codegen.dir/codegen/swruntime.cpp.o.d"
+  "/root/repo/src/codegen/systemc.cpp" "src/CMakeFiles/umlsoc_codegen.dir/codegen/systemc.cpp.o" "gcc" "src/CMakeFiles/umlsoc_codegen.dir/codegen/systemc.cpp.o.d"
+  "/root/repo/src/codegen/timed_machine.cpp" "src/CMakeFiles/umlsoc_codegen.dir/codegen/timed_machine.cpp.o" "gcc" "src/CMakeFiles/umlsoc_codegen.dir/codegen/timed_machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/umlsoc_mda.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/umlsoc_statechart.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/umlsoc_activity.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/umlsoc_interaction.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/umlsoc_usecase.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/umlsoc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/umlsoc_asl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/umlsoc_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/umlsoc_uml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/umlsoc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/umlsoc_codegen.dir/codegen/asl_binding.cpp.o"
+  "CMakeFiles/umlsoc_codegen.dir/codegen/asl_binding.cpp.o.d"
+  "CMakeFiles/umlsoc_codegen.dir/codegen/hwmodel.cpp.o"
+  "CMakeFiles/umlsoc_codegen.dir/codegen/hwmodel.cpp.o.d"
+  "CMakeFiles/umlsoc_codegen.dir/codegen/plantuml.cpp.o"
+  "CMakeFiles/umlsoc_codegen.dir/codegen/plantuml.cpp.o.d"
+  "CMakeFiles/umlsoc_codegen.dir/codegen/rtl.cpp.o"
+  "CMakeFiles/umlsoc_codegen.dir/codegen/rtl.cpp.o.d"
+  "CMakeFiles/umlsoc_codegen.dir/codegen/software.cpp.o"
+  "CMakeFiles/umlsoc_codegen.dir/codegen/software.cpp.o.d"
+  "CMakeFiles/umlsoc_codegen.dir/codegen/swruntime.cpp.o"
+  "CMakeFiles/umlsoc_codegen.dir/codegen/swruntime.cpp.o.d"
+  "CMakeFiles/umlsoc_codegen.dir/codegen/systemc.cpp.o"
+  "CMakeFiles/umlsoc_codegen.dir/codegen/systemc.cpp.o.d"
+  "CMakeFiles/umlsoc_codegen.dir/codegen/timed_machine.cpp.o"
+  "CMakeFiles/umlsoc_codegen.dir/codegen/timed_machine.cpp.o.d"
+  "libumlsoc_codegen.a"
+  "libumlsoc_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/umlsoc_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

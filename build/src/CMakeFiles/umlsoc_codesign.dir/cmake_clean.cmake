@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/umlsoc_codesign.dir/codesign/partition.cpp.o"
+  "CMakeFiles/umlsoc_codesign.dir/codesign/partition.cpp.o.d"
+  "CMakeFiles/umlsoc_codesign.dir/codesign/taskgraph.cpp.o"
+  "CMakeFiles/umlsoc_codesign.dir/codesign/taskgraph.cpp.o.d"
+  "libumlsoc_codesign.a"
+  "libumlsoc_codesign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/umlsoc_codesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

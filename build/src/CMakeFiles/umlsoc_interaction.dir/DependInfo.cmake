@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interaction/from_trace.cpp" "src/CMakeFiles/umlsoc_interaction.dir/interaction/from_trace.cpp.o" "gcc" "src/CMakeFiles/umlsoc_interaction.dir/interaction/from_trace.cpp.o.d"
+  "/root/repo/src/interaction/model.cpp" "src/CMakeFiles/umlsoc_interaction.dir/interaction/model.cpp.o" "gcc" "src/CMakeFiles/umlsoc_interaction.dir/interaction/model.cpp.o.d"
+  "/root/repo/src/interaction/trace.cpp" "src/CMakeFiles/umlsoc_interaction.dir/interaction/trace.cpp.o" "gcc" "src/CMakeFiles/umlsoc_interaction.dir/interaction/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/umlsoc_uml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/umlsoc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

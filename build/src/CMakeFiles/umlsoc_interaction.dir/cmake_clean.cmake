@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/umlsoc_interaction.dir/interaction/from_trace.cpp.o"
+  "CMakeFiles/umlsoc_interaction.dir/interaction/from_trace.cpp.o.d"
+  "CMakeFiles/umlsoc_interaction.dir/interaction/model.cpp.o"
+  "CMakeFiles/umlsoc_interaction.dir/interaction/model.cpp.o.d"
+  "CMakeFiles/umlsoc_interaction.dir/interaction/trace.cpp.o"
+  "CMakeFiles/umlsoc_interaction.dir/interaction/trace.cpp.o.d"
+  "libumlsoc_interaction.a"
+  "libumlsoc_interaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/umlsoc_interaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libumlsoc_interaction.a"
+)

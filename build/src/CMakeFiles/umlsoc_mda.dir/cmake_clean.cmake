@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/umlsoc_mda.dir/mda/platform.cpp.o"
+  "CMakeFiles/umlsoc_mda.dir/mda/platform.cpp.o.d"
+  "CMakeFiles/umlsoc_mda.dir/mda/transform.cpp.o"
+  "CMakeFiles/umlsoc_mda.dir/mda/transform.cpp.o.d"
+  "libumlsoc_mda.a"
+  "libumlsoc_mda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/umlsoc_mda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/bus.cpp" "src/CMakeFiles/umlsoc_sim.dir/sim/bus.cpp.o" "gcc" "src/CMakeFiles/umlsoc_sim.dir/sim/bus.cpp.o.d"
+  "/root/repo/src/sim/kernel.cpp" "src/CMakeFiles/umlsoc_sim.dir/sim/kernel.cpp.o" "gcc" "src/CMakeFiles/umlsoc_sim.dir/sim/kernel.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/umlsoc_sim.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/umlsoc_sim.dir/sim/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/umlsoc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

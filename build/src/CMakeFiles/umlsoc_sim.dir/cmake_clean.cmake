@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/umlsoc_sim.dir/sim/bus.cpp.o"
+  "CMakeFiles/umlsoc_sim.dir/sim/bus.cpp.o.d"
+  "CMakeFiles/umlsoc_sim.dir/sim/kernel.cpp.o"
+  "CMakeFiles/umlsoc_sim.dir/sim/kernel.cpp.o.d"
+  "CMakeFiles/umlsoc_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/umlsoc_sim.dir/sim/trace.cpp.o.d"
+  "libumlsoc_sim.a"
+  "libumlsoc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/umlsoc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/umlsoc_soc.dir/soc/iplibrary.cpp.o"
+  "CMakeFiles/umlsoc_soc.dir/soc/iplibrary.cpp.o.d"
+  "CMakeFiles/umlsoc_soc.dir/soc/profile.cpp.o"
+  "CMakeFiles/umlsoc_soc.dir/soc/profile.cpp.o.d"
+  "CMakeFiles/umlsoc_soc.dir/soc/validate.cpp.o"
+  "CMakeFiles/umlsoc_soc.dir/soc/validate.cpp.o.d"
+  "libumlsoc_soc.a"
+  "libumlsoc_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/umlsoc_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

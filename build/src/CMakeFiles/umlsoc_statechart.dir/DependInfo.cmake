@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/statechart/flatten.cpp" "src/CMakeFiles/umlsoc_statechart.dir/statechart/flatten.cpp.o" "gcc" "src/CMakeFiles/umlsoc_statechart.dir/statechart/flatten.cpp.o.d"
+  "/root/repo/src/statechart/interpreter.cpp" "src/CMakeFiles/umlsoc_statechart.dir/statechart/interpreter.cpp.o" "gcc" "src/CMakeFiles/umlsoc_statechart.dir/statechart/interpreter.cpp.o.d"
+  "/root/repo/src/statechart/model.cpp" "src/CMakeFiles/umlsoc_statechart.dir/statechart/model.cpp.o" "gcc" "src/CMakeFiles/umlsoc_statechart.dir/statechart/model.cpp.o.d"
+  "/root/repo/src/statechart/synthetic.cpp" "src/CMakeFiles/umlsoc_statechart.dir/statechart/synthetic.cpp.o" "gcc" "src/CMakeFiles/umlsoc_statechart.dir/statechart/synthetic.cpp.o.d"
+  "/root/repo/src/statechart/validate.cpp" "src/CMakeFiles/umlsoc_statechart.dir/statechart/validate.cpp.o" "gcc" "src/CMakeFiles/umlsoc_statechart.dir/statechart/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/umlsoc_uml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/umlsoc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/umlsoc_statechart.dir/statechart/flatten.cpp.o"
+  "CMakeFiles/umlsoc_statechart.dir/statechart/flatten.cpp.o.d"
+  "CMakeFiles/umlsoc_statechart.dir/statechart/interpreter.cpp.o"
+  "CMakeFiles/umlsoc_statechart.dir/statechart/interpreter.cpp.o.d"
+  "CMakeFiles/umlsoc_statechart.dir/statechart/model.cpp.o"
+  "CMakeFiles/umlsoc_statechart.dir/statechart/model.cpp.o.d"
+  "CMakeFiles/umlsoc_statechart.dir/statechart/synthetic.cpp.o"
+  "CMakeFiles/umlsoc_statechart.dir/statechart/synthetic.cpp.o.d"
+  "CMakeFiles/umlsoc_statechart.dir/statechart/validate.cpp.o"
+  "CMakeFiles/umlsoc_statechart.dir/statechart/validate.cpp.o.d"
+  "libumlsoc_statechart.a"
+  "libumlsoc_statechart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/umlsoc_statechart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

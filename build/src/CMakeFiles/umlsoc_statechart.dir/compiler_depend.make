@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for umlsoc_statechart.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for umlsoc_statechart.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/umlsoc_support.dir/support/diagnostics.cpp.o"
+  "CMakeFiles/umlsoc_support.dir/support/diagnostics.cpp.o.d"
+  "CMakeFiles/umlsoc_support.dir/support/graph.cpp.o"
+  "CMakeFiles/umlsoc_support.dir/support/graph.cpp.o.d"
+  "CMakeFiles/umlsoc_support.dir/support/rng.cpp.o"
+  "CMakeFiles/umlsoc_support.dir/support/rng.cpp.o.d"
+  "CMakeFiles/umlsoc_support.dir/support/strings.cpp.o"
+  "CMakeFiles/umlsoc_support.dir/support/strings.cpp.o.d"
+  "libumlsoc_support.a"
+  "libumlsoc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/umlsoc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uml/compare.cpp" "src/CMakeFiles/umlsoc_uml.dir/uml/compare.cpp.o" "gcc" "src/CMakeFiles/umlsoc_uml.dir/uml/compare.cpp.o.d"
+  "/root/repo/src/uml/edit.cpp" "src/CMakeFiles/umlsoc_uml.dir/uml/edit.cpp.o" "gcc" "src/CMakeFiles/umlsoc_uml.dir/uml/edit.cpp.o.d"
+  "/root/repo/src/uml/element.cpp" "src/CMakeFiles/umlsoc_uml.dir/uml/element.cpp.o" "gcc" "src/CMakeFiles/umlsoc_uml.dir/uml/element.cpp.o.d"
+  "/root/repo/src/uml/instance.cpp" "src/CMakeFiles/umlsoc_uml.dir/uml/instance.cpp.o" "gcc" "src/CMakeFiles/umlsoc_uml.dir/uml/instance.cpp.o.d"
+  "/root/repo/src/uml/package.cpp" "src/CMakeFiles/umlsoc_uml.dir/uml/package.cpp.o" "gcc" "src/CMakeFiles/umlsoc_uml.dir/uml/package.cpp.o.d"
+  "/root/repo/src/uml/query.cpp" "src/CMakeFiles/umlsoc_uml.dir/uml/query.cpp.o" "gcc" "src/CMakeFiles/umlsoc_uml.dir/uml/query.cpp.o.d"
+  "/root/repo/src/uml/relationships.cpp" "src/CMakeFiles/umlsoc_uml.dir/uml/relationships.cpp.o" "gcc" "src/CMakeFiles/umlsoc_uml.dir/uml/relationships.cpp.o.d"
+  "/root/repo/src/uml/synthetic.cpp" "src/CMakeFiles/umlsoc_uml.dir/uml/synthetic.cpp.o" "gcc" "src/CMakeFiles/umlsoc_uml.dir/uml/synthetic.cpp.o.d"
+  "/root/repo/src/uml/types.cpp" "src/CMakeFiles/umlsoc_uml.dir/uml/types.cpp.o" "gcc" "src/CMakeFiles/umlsoc_uml.dir/uml/types.cpp.o.d"
+  "/root/repo/src/uml/validate.cpp" "src/CMakeFiles/umlsoc_uml.dir/uml/validate.cpp.o" "gcc" "src/CMakeFiles/umlsoc_uml.dir/uml/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/umlsoc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

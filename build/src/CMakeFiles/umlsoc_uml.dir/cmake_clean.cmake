@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/umlsoc_uml.dir/uml/compare.cpp.o"
+  "CMakeFiles/umlsoc_uml.dir/uml/compare.cpp.o.d"
+  "CMakeFiles/umlsoc_uml.dir/uml/edit.cpp.o"
+  "CMakeFiles/umlsoc_uml.dir/uml/edit.cpp.o.d"
+  "CMakeFiles/umlsoc_uml.dir/uml/element.cpp.o"
+  "CMakeFiles/umlsoc_uml.dir/uml/element.cpp.o.d"
+  "CMakeFiles/umlsoc_uml.dir/uml/instance.cpp.o"
+  "CMakeFiles/umlsoc_uml.dir/uml/instance.cpp.o.d"
+  "CMakeFiles/umlsoc_uml.dir/uml/package.cpp.o"
+  "CMakeFiles/umlsoc_uml.dir/uml/package.cpp.o.d"
+  "CMakeFiles/umlsoc_uml.dir/uml/query.cpp.o"
+  "CMakeFiles/umlsoc_uml.dir/uml/query.cpp.o.d"
+  "CMakeFiles/umlsoc_uml.dir/uml/relationships.cpp.o"
+  "CMakeFiles/umlsoc_uml.dir/uml/relationships.cpp.o.d"
+  "CMakeFiles/umlsoc_uml.dir/uml/synthetic.cpp.o"
+  "CMakeFiles/umlsoc_uml.dir/uml/synthetic.cpp.o.d"
+  "CMakeFiles/umlsoc_uml.dir/uml/types.cpp.o"
+  "CMakeFiles/umlsoc_uml.dir/uml/types.cpp.o.d"
+  "CMakeFiles/umlsoc_uml.dir/uml/validate.cpp.o"
+  "CMakeFiles/umlsoc_uml.dir/uml/validate.cpp.o.d"
+  "libumlsoc_uml.a"
+  "libumlsoc_uml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/umlsoc_uml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

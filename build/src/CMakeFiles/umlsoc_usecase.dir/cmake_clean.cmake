@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/umlsoc_usecase.dir/usecase/model.cpp.o"
+  "CMakeFiles/umlsoc_usecase.dir/usecase/model.cpp.o.d"
+  "libumlsoc_usecase.a"
+  "libumlsoc_usecase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/umlsoc_usecase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

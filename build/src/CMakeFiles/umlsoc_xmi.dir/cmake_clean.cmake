@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/umlsoc_xmi.dir/xmi/behavior.cpp.o"
+  "CMakeFiles/umlsoc_xmi.dir/xmi/behavior.cpp.o.d"
+  "CMakeFiles/umlsoc_xmi.dir/xmi/serialize.cpp.o"
+  "CMakeFiles/umlsoc_xmi.dir/xmi/serialize.cpp.o.d"
+  "CMakeFiles/umlsoc_xmi.dir/xmi/xml.cpp.o"
+  "CMakeFiles/umlsoc_xmi.dir/xmi/xml.cpp.o.d"
+  "libumlsoc_xmi.a"
+  "libumlsoc_xmi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/umlsoc_xmi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

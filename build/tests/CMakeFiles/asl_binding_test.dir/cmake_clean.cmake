@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asl_binding_test.dir/asl_binding_test.cpp.o"
+  "CMakeFiles/asl_binding_test.dir/asl_binding_test.cpp.o.d"
+  "asl_binding_test"
+  "asl_binding_test.pdb"
+  "asl_binding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asl_binding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asl_constraints_test.dir/asl_constraints_test.cpp.o"
+  "CMakeFiles/asl_constraints_test.dir/asl_constraints_test.cpp.o.d"
+  "asl_constraints_test"
+  "asl_constraints_test.pdb"
+  "asl_constraints_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asl_constraints_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

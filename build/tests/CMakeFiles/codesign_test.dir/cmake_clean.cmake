@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codesign_test.dir/codesign_test.cpp.o"
+  "CMakeFiles/codesign_test.dir/codesign_test.cpp.o.d"
+  "codesign_test"
+  "codesign_test.pdb"
+  "codesign_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codesign_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mda_test.dir/mda_test.cpp.o"
+  "CMakeFiles/mda_test.dir/mda_test.cpp.o.d"
+  "mda_test"
+  "mda_test.pdb"
+  "mda_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mda_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plantuml_structure_test.dir/plantuml_structure_test.cpp.o"
+  "CMakeFiles/plantuml_structure_test.dir/plantuml_structure_test.cpp.o.d"
+  "plantuml_structure_test"
+  "plantuml_structure_test.pdb"
+  "plantuml_structure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plantuml_structure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statechart_defer_test.dir/statechart_defer_test.cpp.o"
+  "CMakeFiles/statechart_defer_test.dir/statechart_defer_test.cpp.o.d"
+  "statechart_defer_test"
+  "statechart_defer_test.pdb"
+  "statechart_defer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statechart_defer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

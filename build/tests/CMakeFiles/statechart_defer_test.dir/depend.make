@@ -1,0 +1,2 @@
+# Empty dependencies file for statechart_defer_test.
+# This may be replaced when dependencies are built.

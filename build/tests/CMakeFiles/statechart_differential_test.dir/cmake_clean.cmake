@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statechart_differential_test.dir/statechart_differential_test.cpp.o"
+  "CMakeFiles/statechart_differential_test.dir/statechart_differential_test.cpp.o.d"
+  "statechart_differential_test"
+  "statechart_differential_test.pdb"
+  "statechart_differential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statechart_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

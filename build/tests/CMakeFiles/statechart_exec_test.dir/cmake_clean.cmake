@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statechart_exec_test.dir/statechart_exec_test.cpp.o"
+  "CMakeFiles/statechart_exec_test.dir/statechart_exec_test.cpp.o.d"
+  "statechart_exec_test"
+  "statechart_exec_test.pdb"
+  "statechart_exec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statechart_exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

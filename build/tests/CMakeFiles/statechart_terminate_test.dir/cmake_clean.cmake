@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statechart_terminate_test.dir/statechart_terminate_test.cpp.o"
+  "CMakeFiles/statechart_terminate_test.dir/statechart_terminate_test.cpp.o.d"
+  "statechart_terminate_test"
+  "statechart_terminate_test.pdb"
+  "statechart_terminate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statechart_terminate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uml_edit_test.dir/uml_edit_test.cpp.o"
+  "CMakeFiles/uml_edit_test.dir/uml_edit_test.cpp.o.d"
+  "uml_edit_test"
+  "uml_edit_test.pdb"
+  "uml_edit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uml_edit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

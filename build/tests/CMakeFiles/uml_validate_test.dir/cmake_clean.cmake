@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uml_validate_test.dir/uml_validate_test.cpp.o"
+  "CMakeFiles/uml_validate_test.dir/uml_validate_test.cpp.o.d"
+  "uml_validate_test"
+  "uml_validate_test.pdb"
+  "uml_validate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uml_validate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmi_behavior_test.dir/xmi_behavior_test.cpp.o"
+  "CMakeFiles/xmi_behavior_test.dir/xmi_behavior_test.cpp.o.d"
+  "xmi_behavior_test"
+  "xmi_behavior_test.pdb"
+  "xmi_behavior_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmi_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmi_fuzz_test.dir/xmi_fuzz_test.cpp.o"
+  "CMakeFiles/xmi_fuzz_test.dir/xmi_fuzz_test.cpp.o.d"
+  "xmi_fuzz_test"
+  "xmi_fuzz_test.pdb"
+  "xmi_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmi_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmi_roundtrip_test.dir/xmi_roundtrip_test.cpp.o"
+  "CMakeFiles/xmi_roundtrip_test.dir/xmi_roundtrip_test.cpp.o.d"
+  "xmi_roundtrip_test"
+  "xmi_roundtrip_test.pdb"
+  "xmi_roundtrip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmi_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

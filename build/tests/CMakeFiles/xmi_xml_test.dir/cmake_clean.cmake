@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmi_xml_test.dir/xmi_xml_test.cpp.o"
+  "CMakeFiles/xmi_xml_test.dir/xmi_xml_test.cpp.o.d"
+  "xmi_xml_test"
+  "xmi_xml_test.pdb"
+  "xmi_xml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmi_xml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

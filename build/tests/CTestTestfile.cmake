@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/activity_test[1]_include.cmake")
+include("/root/repo/build/tests/asl_binding_test[1]_include.cmake")
+include("/root/repo/build/tests/asl_constraints_test[1]_include.cmake")
+include("/root/repo/build/tests/asl_test[1]_include.cmake")
+include("/root/repo/build/tests/codegen_ext_test[1]_include.cmake")
+include("/root/repo/build/tests/codegen_test[1]_include.cmake")
+include("/root/repo/build/tests/codesign_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/interaction_test[1]_include.cmake")
+include("/root/repo/build/tests/mda_test[1]_include.cmake")
+include("/root/repo/build/tests/plantuml_structure_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/soc_test[1]_include.cmake")
+include("/root/repo/build/tests/statechart_defer_test[1]_include.cmake")
+include("/root/repo/build/tests/statechart_differential_test[1]_include.cmake")
+include("/root/repo/build/tests/statechart_exec_test[1]_include.cmake")
+include("/root/repo/build/tests/statechart_model_test[1]_include.cmake")
+include("/root/repo/build/tests/statechart_terminate_test[1]_include.cmake")
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/uml_edit_test[1]_include.cmake")
+include("/root/repo/build/tests/uml_model_test[1]_include.cmake")
+include("/root/repo/build/tests/uml_validate_test[1]_include.cmake")
+include("/root/repo/build/tests/usecase_test[1]_include.cmake")
+include("/root/repo/build/tests/xmi_behavior_test[1]_include.cmake")
+include("/root/repo/build/tests/xmi_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/xmi_roundtrip_test[1]_include.cmake")
+include("/root/repo/build/tests/xmi_xml_test[1]_include.cmake")

@@ -223,9 +223,7 @@ bench-build/CMakeFiles/bench_ablation.dir/bench_ablation.cpp.o: \
  /usr/include/c++/12/optional /root/repo/src/support/rng.hpp \
  /root/repo/src/sim/signal.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/sim/kernel.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/statechart/interpreter.hpp \
+ /root/repo/src/sim/kernel.hpp /root/repo/src/statechart/interpreter.hpp \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/statechart/model.hpp \

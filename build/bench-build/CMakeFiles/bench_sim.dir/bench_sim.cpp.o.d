@@ -219,5 +219,4 @@ bench-build/CMakeFiles/bench_sim.dir/bench_sim.cpp.o: \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
- /root/repo/src/sim/kernel.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/signal.hpp
+ /root/repo/src/sim/kernel.hpp /root/repo/src/sim/signal.hpp

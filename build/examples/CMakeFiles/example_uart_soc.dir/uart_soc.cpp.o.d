@@ -214,12 +214,15 @@ examples/CMakeFiles/example_uart_soc.dir/uart_soc.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/sim/kernel.hpp /usr/include/c++/12/limits \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/soc/profile.hpp /usr/include/c++/12/optional \
- /root/repo/src/uml/package.hpp /root/repo/src/uml/relationships.hpp \
- /root/repo/src/uml/types.hpp /root/repo/src/uml/element.hpp \
- /root/repo/src/support/ids.hpp /root/repo/src/statechart/interpreter.hpp \
+ /root/repo/src/sim/kernel.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/limits /root/repo/src/soc/profile.hpp \
+ /usr/include/c++/12/optional /root/repo/src/uml/package.hpp \
+ /root/repo/src/uml/relationships.hpp /root/repo/src/uml/types.hpp \
+ /root/repo/src/uml/element.hpp /root/repo/src/support/ids.hpp \
+ /root/repo/src/statechart/interpreter.hpp \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/statechart/model.hpp \

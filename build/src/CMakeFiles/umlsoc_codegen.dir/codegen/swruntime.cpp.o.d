@@ -215,5 +215,7 @@ src/CMakeFiles/umlsoc_codegen.dir/codegen/swruntime.cpp.o: \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/sim/bus.hpp \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/sim/kernel.hpp \
- /usr/include/c++/12/limits /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/limits

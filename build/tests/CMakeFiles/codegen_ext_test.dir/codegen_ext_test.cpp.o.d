@@ -298,10 +298,12 @@ tests/CMakeFiles/codegen_ext_test.dir/codegen_ext_test.cpp.o: \
  /root/repo/src/uml/types.hpp /root/repo/src/uml/element.hpp \
  /root/repo/src/support/ids.hpp /root/repo/src/statechart/model.hpp \
  /root/repo/src/support/diagnostics.hpp \
- /root/repo/src/codegen/timed_machine.hpp /root/repo/src/sim/kernel.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /root/repo/src/codegen/timed_machine.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/sim/kernel.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/statechart/interpreter.hpp \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \

@@ -297,7 +297,9 @@ tests/CMakeFiles/codegen_test.dir/codegen_test.cpp.o: \
  /root/repo/src/codegen/hwmodel.hpp /root/repo/src/sim/bus.hpp \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/sim/kernel.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/soc/profile.hpp /root/repo/src/uml/package.hpp \
  /root/repo/src/uml/relationships.hpp /root/repo/src/uml/types.hpp \
  /root/repo/src/uml/element.hpp /root/repo/src/support/ids.hpp \

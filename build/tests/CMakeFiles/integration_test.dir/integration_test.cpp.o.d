@@ -297,11 +297,14 @@ tests/CMakeFiles/integration_test.dir/integration_test.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/activity/model.hpp /root/repo/src/activity/synthetic.hpp \
  /root/repo/src/codegen/hwmodel.hpp /root/repo/src/sim/bus.hpp \
- /root/repo/src/sim/kernel.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/soc/profile.hpp \
- /root/repo/src/uml/package.hpp /root/repo/src/uml/relationships.hpp \
- /root/repo/src/uml/types.hpp /root/repo/src/uml/element.hpp \
- /root/repo/src/support/ids.hpp /root/repo/src/statechart/interpreter.hpp \
+ /root/repo/src/sim/kernel.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/soc/profile.hpp /root/repo/src/uml/package.hpp \
+ /root/repo/src/uml/relationships.hpp /root/repo/src/uml/types.hpp \
+ /root/repo/src/uml/element.hpp /root/repo/src/support/ids.hpp \
+ /root/repo/src/statechart/interpreter.hpp \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/statechart/model.hpp \

@@ -31,7 +31,7 @@ TimedStateMachine::TimedStateMachine(const statechart::StateMachine& machine,
 
 void TimedStateMachine::after(const std::string& state_name, sim::SimTime delay,
                               std::string event_name) {
-  timeouts_.emplace(state_name, Timeout{delay, std::move(event_name)});
+  timeouts_.emplace(state_name, Timeout{delay, std::move(event_name), sim::kInvalidProcess, {}});
 }
 
 std::size_t TimedStateMachine::bind_after_triggers(support::DiagnosticSink& sink) {
@@ -65,17 +65,31 @@ void TimedStateMachine::on_state(const statechart::State& state, bool entered) {
 
   auto [begin, end] = timeouts_.equal_range(state.name());
   for (auto it = begin; it != end; ++it) {
-    const statechart::State* target = &state;
-    const std::string event = it->second.event;
-    kernel_.schedule(it->second.delay, [this, target, epoch, event] {
-      if (epochs_[target] != epoch) {
-        ++timeouts_cancelled_;  // State was left (or re-entered) meanwhile.
-        return;
-      }
-      ++timeouts_fired_;
-      instance_.dispatch(statechart::Event{event});
-    });
+    Timeout& timeout = it->second;
+    if (timeout.process == sim::kInvalidProcess) {
+      // First arm: register the expiry process once. Multimap values and
+      // State objects are address-stable, so the captures stay valid.
+      const statechart::State* target = &state;
+      Timeout* slot = &timeout;
+      timeout.process =
+          kernel_.register_process([this, target, slot] { on_timeout(*target, *slot); });
+    }
+    timeout.armed_epochs.push_back(epoch);
+    kernel_.schedule(timeout.delay, timeout.process);
   }
+}
+
+void TimedStateMachine::on_timeout(const statechart::State& state, Timeout& timeout) {
+  // Arms of this timeout all use the same delay, so expiries arrive in arm
+  // order: the front epoch belongs to the arm that just fired.
+  const std::uint64_t armed_epoch = timeout.armed_epochs.front();
+  timeout.armed_epochs.pop_front();
+  if (epochs_[&state] != armed_epoch) {
+    ++timeouts_cancelled_;  // State was left (or re-entered) meanwhile.
+    return;
+  }
+  ++timeouts_fired_;
+  instance_.dispatch(statechart::Event{timeout.event});
 }
 
 }  // namespace umlsoc::codegen

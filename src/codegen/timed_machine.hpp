@@ -3,6 +3,7 @@
 // the real-time face of the executable-UML story (UML-RT lineage, paper §2).
 #pragma once
 
+#include <deque>
 #include <map>
 #include <optional>
 #include <string>
@@ -51,9 +52,16 @@ class TimedStateMachine {
   struct Timeout {
     sim::SimTime delay;
     std::string event;
+    // One registered kernel process per timeout (handle API): re-armed by
+    // scheduling the handle, never by constructing per-arm closures. All
+    // arms of one timeout share the delay, so expiries pop armed_epochs in
+    // FIFO order to recover each arm's activation epoch.
+    sim::ProcessId process = sim::kInvalidProcess;
+    std::deque<std::uint64_t> armed_epochs;
   };
 
   void on_state(const statechart::State& state, bool entered);
+  void on_timeout(const statechart::State& state, Timeout& timeout);
 
   statechart::StateMachineInstance instance_;
   sim::Kernel& kernel_;

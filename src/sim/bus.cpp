@@ -2,6 +2,11 @@
 
 namespace umlsoc::sim {
 
+MemoryMappedBus::MemoryMappedBus(Kernel& kernel, std::string name, SimTime latency)
+    : kernel_(kernel), name_(std::move(name)), latency_(latency) {
+  completion_ = kernel_.register_process([this] { complete_front(); });
+}
+
 void MemoryMappedBus::map_device(std::string device_name, std::uint64_t base,
                                  std::uint64_t size, ReadHandler read, WriteHandler write) {
   windows_.push_back(Window{std::move(device_name), base, size, std::move(read),
@@ -15,18 +20,28 @@ const MemoryMappedBus::Window* MemoryMappedBus::find_window(std::uint64_t addres
   return nullptr;
 }
 
+void MemoryMappedBus::complete_front() {
+  Pending txn = std::move(pending_.front());
+  pending_.pop_front();
+  if (txn.is_read) {
+    const std::uint64_t value =
+        txn.window == nullptr ? kBusError : txn.window->read(txn.address);
+    if (txn.read_done != nullptr) txn.read_done(value);
+  } else {
+    if (txn.window != nullptr) txn.window->write(txn.address, txn.value);
+    if (txn.write_done != nullptr) txn.write_done();
+  }
+}
+
 void MemoryMappedBus::read(std::uint64_t address, std::function<void(std::uint64_t)> done) {
   ++reads_;
   const Window* window = find_window(address);
   if (window == nullptr || window->read == nullptr) {
     ++errors_;
-    kernel_.schedule(latency_, [done] { done(kBusError); });
-    return;
+    window = nullptr;
   }
-  // Capture by value: the device is consulted at completion time, modeling
-  // the data phase at the end of the bus transaction.
-  const Window* target = window;
-  kernel_.schedule(latency_, [target, address, done] { done(target->read(address)); });
+  pending_.push_back(Pending{window, true, address, 0, std::move(done), nullptr});
+  kernel_.schedule(latency_, completion_);
 }
 
 void MemoryMappedBus::write(std::uint64_t address, std::uint64_t value,
@@ -35,14 +50,10 @@ void MemoryMappedBus::write(std::uint64_t address, std::uint64_t value,
   const Window* window = find_window(address);
   if (window == nullptr || window->write == nullptr) {
     ++errors_;
-    if (done != nullptr) kernel_.schedule(latency_, done);
-    return;
+    window = nullptr;
   }
-  const Window* target = window;
-  kernel_.schedule(latency_, [target, address, value, done] {
-    target->write(address, value);
-    if (done != nullptr) done();
-  });
+  pending_.push_back(Pending{window, false, address, value, nullptr, std::move(done)});
+  kernel_.schedule(latency_, completion_);
 }
 
 }  // namespace umlsoc::sim

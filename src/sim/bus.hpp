@@ -17,8 +17,7 @@ class MemoryMappedBus {
   using ReadHandler = std::function<std::uint64_t(std::uint64_t address)>;
   using WriteHandler = std::function<void(std::uint64_t address, std::uint64_t value)>;
 
-  MemoryMappedBus(Kernel& kernel, std::string name, SimTime latency)
-      : kernel_(kernel), name_(std::move(name)), latency_(latency) {}
+  MemoryMappedBus(Kernel& kernel, std::string name, SimTime latency);
 
   /// Maps [base, base+size) to the handlers. Windows must not overlap
   /// (checked on access: first match wins, registration order).
@@ -49,14 +48,32 @@ class MemoryMappedBus {
     WriteHandler write;
   };
 
+  /// An issued transaction waiting for its completion time. The data phase
+  /// (device handler + master callback) runs at completion, modeling the
+  /// end of the bus transaction.
+  struct Pending {
+    const Window* window;  // nullptr = bus error
+    bool is_read;
+    std::uint64_t address;
+    std::uint64_t value;
+    std::function<void(std::uint64_t)> read_done;
+    std::function<void()> write_done;
+  };
+
   [[nodiscard]] const Window* find_window(std::uint64_t address) const;
+  void complete_front();
 
   Kernel& kernel_;
   std::string name_;
   SimTime latency_;
   // deque: element addresses stay stable across map_device calls (the
-  // completion callbacks capture Window pointers).
+  // pending transactions capture Window pointers).
   std::deque<Window> windows_;
+  // One completion process drains pending_ in FIFO order: the latency is a
+  // bus constant, so completions fire in issue order and the single handle
+  // needs no per-transaction closure on the kernel side.
+  ProcessId completion_ = kInvalidProcess;
+  std::deque<Pending> pending_;
   std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;
   std::uint64_t errors_ = 0;

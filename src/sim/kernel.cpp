@@ -1,5 +1,7 @@
 #include "sim/kernel.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <stdexcept>
 
 namespace umlsoc::sim {
@@ -13,50 +15,232 @@ std::string SimTime::str() const {
 SimEvent::SimEvent(Kernel& kernel, std::string name)
     : kernel_(kernel), name_(std::move(name)) {}
 
-void SimEvent::notify() {
-  for (const auto& subscriber : subscribers_) kernel_.schedule_delta(subscriber);
-}
-
-void SimEvent::notify(SimTime delay) {
-  for (const auto& subscriber : subscribers_) kernel_.schedule(delay, subscriber);
-}
-
 void SimEvent::subscribe(std::function<void()> callback) {
-  subscribers_.push_back(std::move(callback));
+  subscribers_.push_back(kernel_.register_process(std::move(callback)));
+}
+
+Kernel::Kernel() : wheel_heads_(kWheelBuckets, -1) {}
+
+ProcessId Kernel::register_process(std::function<void()> body) {
+  ++stats_.processes_registered;
+  if (!free_transients_.empty()) {
+    const ProcessId id = free_transients_.back();
+    free_transients_.pop_back();
+    processes_[id] = std::move(body);
+    transient_[id] = 0;
+    return id;
+  }
+  processes_.push_back(std::move(body));
+  transient_.push_back(0);
+  return static_cast<ProcessId>(processes_.size() - 1);
 }
 
 void Kernel::schedule(SimTime delay, std::function<void()> callback) {
-  timed_queue_.push(TimedEntry{now_ + delay, ++sequence_, std::move(callback)});
+  const ProcessId id = register_process(std::move(callback));
+  transient_[id] = 1;
+  ++stats_.transient_registrations;
+  schedule(delay, id);
 }
 
 void Kernel::schedule_delta(std::function<void()> callback) {
-  next_runnable_.push_back(std::move(callback));
+  const ProcessId id = register_process(std::move(callback));
+  transient_[id] = 1;
+  ++stats_.transient_registrations;
+  schedule_delta(id);
 }
 
-void Kernel::request_update(Updatable& target) { update_requests_.push_back(&target); }
+void Kernel::cascade_heap() {
+  solo_slot_ = -1;
+  while (!heap_.empty() &&
+         (heap_.front().at_ps >> kWheelShift) - wheel_base_quantum_ < kWheelBuckets) {
+    std::pop_heap(heap_.begin(), heap_.end(), heap_later);
+    push_wheel(heap_.back());
+    heap_.pop_back();
+    ++stats_.cascades;
+  }
+}
+
+int Kernel::first_occupied_slot() const {
+  if (wheel_count_ == 0) return -1;
+  const std::uint32_t cursor = static_cast<std::uint32_t>(wheel_base_quantum_) & kWheelMask;
+  const std::uint32_t cursor_word = cursor >> 6;
+  const std::uint32_t cursor_bit = cursor & 63;
+  // Bits of the cursor word at/after the cursor.
+  std::uint64_t word = occupancy_[cursor_word] & (~0ULL << cursor_bit);
+  if (word != 0) return static_cast<int>((cursor_word << 6) + std::countr_zero(word));
+  // Words strictly after the cursor word.
+  if (cursor_word + 1 < kWheelWords) {
+    const std::uint64_t high =
+        occupancy_summary_ & ~((1ULL << (cursor_word + 1)) - 1);
+    if (high != 0) {
+      const auto w = static_cast<std::uint32_t>(std::countr_zero(high));
+      return static_cast<int>((w << 6) + std::countr_zero(occupancy_[w]));
+    }
+  }
+  // Wrap: words before the cursor word.
+  const std::uint64_t low =
+      occupancy_summary_ & ((cursor_word == 0) ? 0 : ((1ULL << cursor_word) - 1));
+  if (low != 0) {
+    const auto w = static_cast<std::uint32_t>(std::countr_zero(low));
+    return static_cast<int>((w << 6) + std::countr_zero(occupancy_[w]));
+  }
+  // Wrapped tail of the cursor word (bits before the cursor).
+  word = occupancy_[cursor_word] & ((cursor_bit == 0) ? 0 : ((1ULL << cursor_bit) - 1));
+  if (word != 0) return static_cast<int>((cursor_word << 6) + std::countr_zero(word));
+  return -1;
+}
+
+std::uint64_t Kernel::peek_next_timed() {
+  // Heap entries are always at/after the wheel horizon (cascade_heap keeps
+  // the invariant), so the wheel — when occupied — holds the minimum.
+  peeked_slot_ = first_occupied_slot();
+  if (peeked_slot_ < 0) return heap_.front().at_ps;
+  std::uint64_t best = SimTime::max().picoseconds();
+  for (std::int32_t index = wheel_heads_[static_cast<std::size_t>(peeked_slot_)];
+       index != -1; index = pool_[static_cast<std::size_t>(index)].next) {
+    const std::uint64_t at = pool_[static_cast<std::size_t>(index)].at_ps;
+    if (at < best) best = at;
+  }
+  return best;
+}
+
+void Kernel::collect_runnable_at(std::uint64_t at_ps) {
+  solo_slot_ = -1;  // Whatever remains after this, its slot is unknown.
+  const std::uint32_t slot =
+      peeked_slot_ >= 0
+          ? static_cast<std::uint32_t>(peeked_slot_)
+          : static_cast<std::uint32_t>(at_ps >> kWheelShift) & kWheelMask;
+  std::int32_t index = wheel_heads_[slot];
+  if (index != -1 && pool_[static_cast<std::size_t>(index)].next == -1) {
+    // Singleton bucket (the common sparse case): the lone entry is the
+    // bucket minimum, i.e. exactly at_ps — no partition or sort needed.
+    runnable_.push_back(pool_[static_cast<std::size_t>(index)].process);
+    free_pool_.push_back(index);
+    wheel_heads_[slot] = -1;
+    --wheel_count_;
+    --timed_size_;
+    occupancy_[slot >> 6] &= ~(1ULL << (slot & 63));
+    if (occupancy_[slot >> 6] == 0) occupancy_summary_ &= ~(1ULL << (slot >> 6));
+    return;
+  }
+  collect_scratch_.clear();
+  // Partition the bucket chain: entries at exactly at_ps leave, later ones
+  // (same bucket quantum) stay; intra-bucket order is irrelevant, FIFO
+  // comes from the sequence sort below.
+  std::int32_t kept_head = -1;
+  while (index != -1) {
+    TimedEntry& entry = pool_[static_cast<std::size_t>(index)];
+    const std::int32_t next = entry.next;
+    if (entry.at_ps == at_ps) {
+      collect_scratch_.push_back(entry);
+      free_pool_.push_back(index);
+    } else {
+      entry.next = kept_head;
+      kept_head = index;
+    }
+    index = next;
+  }
+  wheel_heads_[slot] = kept_head;
+  wheel_count_ -= collect_scratch_.size();
+  timed_size_ -= collect_scratch_.size();
+  if (kept_head == -1) {
+    occupancy_[slot >> 6] &= ~(1ULL << (slot & 63));
+    if (occupancy_[slot >> 6] == 0) occupancy_summary_ &= ~(1ULL << (slot >> 6));
+  }
+  // FIFO among same-time events = ascending sequence. Same-time batches are
+  // usually small; insertion sort beats std::sort's fixed costs there.
+  if (collect_scratch_.size() > 1) {
+    if (collect_scratch_.size() <= 32) {
+      for (std::size_t i = 1; i < collect_scratch_.size(); ++i) {
+        TimedEntry key = collect_scratch_[i];
+        std::size_t j = i;
+        while (j > 0 && collect_scratch_[j - 1].sequence > key.sequence) {
+          collect_scratch_[j] = collect_scratch_[j - 1];
+          --j;
+        }
+        collect_scratch_[j] = key;
+      }
+    } else {
+      std::sort(collect_scratch_.begin(), collect_scratch_.end(),
+                [](const TimedEntry& a, const TimedEntry& b) {
+                  return a.sequence < b.sequence;
+                });
+    }
+  }
+  for (const TimedEntry& entry : collect_scratch_) runnable_.push_back(entry.process);
+}
+
+void Kernel::run_process(ProcessId process) {
+  processes_[process]();
+  if (transient_[process]) release_transient(process);
+}
+
+void Kernel::release_transient(ProcessId process) {
+  processes_[process] = nullptr;
+  free_transients_.push_back(process);
+}
+
+void Kernel::begin_delta() {
+  runnable_.swap(next_runnable_);
+  next_runnable_.clear();
+  for (SimEvent* event : pending_delta_events_) event->delta_pending_ = false;
+  pending_delta_events_.clear();
+}
+
+void Kernel::clear_delta_state() {
+  runnable_.clear();
+  next_runnable_.clear();
+  current_.clear();
+  update_requests_.clear();
+  for (SimEvent* event : pending_delta_events_) event->delta_pending_ = false;
+  pending_delta_events_.clear();
+}
 
 void Kernel::run_delta_loop() {
   std::uint64_t deltas_here = 0;
   while (!runnable_.empty()) {
     if (++deltas_here > kMaxDeltasPerInstant) {
+      stats_.max_deltas_per_instant = deltas_here;
+      clear_delta_state();
       throw std::runtime_error("sim: delta limit exceeded at " + now_.str() +
                                " (combinational loop?)");
     }
     ++delta_count_;
     // EVALUATE.
-    std::vector<std::function<void()>> current;
-    current.swap(runnable_);
-    for (const auto& callback : current) {
-      callback();
+    if (runnable_.size() == 1) {
+      const ProcessId process = runnable_.front();
+      runnable_.clear();
+      run_process(process);
       ++events_processed_;
+    } else {
+      current_.clear();
+      current_.swap(runnable_);
+      for (ProcessId process : current_) {
+        run_process(process);
+        ++events_processed_;
+      }
     }
     // UPDATE.
-    std::vector<Updatable*> updates;
-    updates.swap(update_requests_);
-    for (Updatable* target : updates) target->update();
+    if (!update_requests_.empty()) {
+      if (update_requests_.size() == 1) {
+        Updatable* target = update_requests_.front();
+        update_requests_.clear();
+        target->update();
+      } else {
+        update_scratch_.clear();
+        update_scratch_.swap(update_requests_);
+        for (Updatable* target : update_scratch_) target->update();
+      }
+    }
     // Notifications raised during evaluate/update become the next delta.
-    runnable_.swap(next_runnable_);
-    next_runnable_.clear();
+    // If nothing was raised there is no next delta: notify() always pairs a
+    // pending event with at least one next_runnable_ push, so an empty
+    // next_runnable_ implies an empty pending list too.
+    if (next_runnable_.empty()) break;
+    begin_delta();
+  }
+  if (deltas_here > stats_.max_deltas_per_instant) {
+    stats_.max_deltas_per_instant = deltas_here;
   }
 }
 
@@ -64,20 +248,66 @@ std::uint64_t Kernel::run(SimTime end) {
   const std::uint64_t processed_before = events_processed_;
 
   // Immediate notifications issued before run() seed the first delta.
-  runnable_.swap(next_runnable_);
-  next_runnable_.clear();
+  begin_delta();
   run_delta_loop();
 
-  while (!timed_queue_.empty()) {
-    SimTime next_time = timed_queue_.top().at;
-    if (next_time > end) break;
-    now_ = next_time;
-    while (!timed_queue_.empty() && timed_queue_.top().at == now_) {
-      // priority_queue::top() is const; the callback is moved out via pop.
-      runnable_.push_back(timed_queue_.top().callback);
-      timed_queue_.pop();
+  while (timed_size_ != 0) {
+    if (timed_size_ > stats_.timed_peak) stats_.timed_peak = timed_size_;
+    if (timed_size_ == 1 && solo_slot_ >= 0) {
+      // Sparse fast path: the lone pending event's wheel slot is known from
+      // its push, so skip the bitmap scan, bucket min-walk, and collect
+      // partitioning entirely. The heap is necessarily empty here.
+      const auto slot = static_cast<std::uint32_t>(solo_slot_);
+      const std::int32_t head = wheel_heads_[slot];
+      const std::uint64_t next_ps = pool_[static_cast<std::size_t>(head)].at_ps;
+      if (next_ps > end.picoseconds()) break;
+      const ProcessId process = pool_[static_cast<std::size_t>(head)].process;
+      now_ = SimTime(next_ps);
+      wheel_base_quantum_ = next_ps >> kWheelShift;
+      wheel_heads_[slot] = -1;
+      free_pool_.push_back(head);
+      occupancy_[slot >> 6] &= ~(1ULL << (slot & 63));
+      if (occupancy_[slot >> 6] == 0) occupancy_summary_ &= ~(1ULL << (slot >> 6));
+      --wheel_count_;
+      --timed_size_;
+      solo_slot_ = -1;
+      // Fused first delta: run the process directly; only fall into the full
+      // delta machinery if it wrote a signal or raised a notification.
+      ++delta_count_;
+      run_process(process);
+      ++events_processed_;
+      if (!update_requests_.empty() || !next_runnable_.empty()) {
+        if (update_requests_.size() == 1) {
+          Updatable* target = update_requests_.front();
+          update_requests_.clear();
+          target->update();
+        } else if (!update_requests_.empty()) {
+          update_scratch_.clear();
+          update_scratch_.swap(update_requests_);
+          for (Updatable* target : update_scratch_) target->update();
+        }
+        begin_delta();
+        run_delta_loop();
+      }
+      continue;
     }
+    const std::uint64_t next_ps = peek_next_timed();
+    if (next_ps > end.picoseconds()) break;
+    now_ = SimTime(next_ps);
+    const std::uint64_t quantum = next_ps >> kWheelShift;
+    if (quantum != wheel_base_quantum_) {
+      wheel_base_quantum_ = quantum;
+      // Cascaded entries are at/after the old horizon, i.e. strictly after
+      // next_ps, so the peeked slot stays valid for collection.
+      if (!heap_.empty()) cascade_heap();
+    }
+    collect_runnable_at(next_ps);
     run_delta_loop();
+  }
+  // Fused solo deltas bypass the per-instant counter; if any event ran at
+  // all, at least one instant had one delta.
+  if (events_processed_ != processed_before && stats_.max_deltas_per_instant == 0) {
+    stats_.max_deltas_per_instant = 1;
   }
   return events_processed_ - processed_before;
 }

@@ -12,13 +12,22 @@
 //
 // Processes are callbacks (no threads/coroutines); "waiting" is expressed by
 // sensitivity to events or by self-rescheduling with a delay.
+//
+// Scheduling is handle-based: a process registers its callback once
+// (register_process) and every queue entry afterwards is a POD
+// {time, sequence, ProcessId} record — no std::function is constructed or
+// copied on the steady-state scheduling path. Timed events live in a
+// two-level structure: a time wheel (bitmap-indexed buckets covering the
+// near future) plus an overflow binary heap for events beyond the wheel
+// horizon; heap entries cascade into the wheel as time advances.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <deque>
 #include <limits>
 #include <memory>
-#include <queue>
 #include <string>
 #include <vector>
 
@@ -40,7 +49,13 @@ class SimTime {
   [[nodiscard]] constexpr std::uint64_t picoseconds() const { return ps_; }
   [[nodiscard]] std::string str() const;
 
-  friend constexpr SimTime operator+(SimTime a, SimTime b) { return SimTime(a.ps_ + b.ps_); }
+  /// Saturating addition: `now + delay` near SimTime::max() clamps to
+  /// SimTime::max() instead of wrapping (a wrapped sum would silently
+  /// schedule the event in the past).
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    const std::uint64_t sum = a.ps_ + b.ps_;
+    return SimTime(sum < a.ps_ ? std::numeric_limits<std::uint64_t>::max() : sum);
+  }
   friend constexpr auto operator<=>(SimTime, SimTime) = default;
 
  private:
@@ -48,6 +63,11 @@ class SimTime {
 };
 
 class Kernel;
+
+/// Stable handle to a registered process (an index into the kernel's
+/// process table). 8 bytes of queue payload per scheduled event.
+using ProcessId = std::uint32_t;
+inline constexpr ProcessId kInvalidProcess = std::numeric_limits<ProcessId>::max();
 
 /// Notification primitive. Processes subscribe; notify() wakes them in the
 /// next delta cycle, notify(delay) at a later time.
@@ -59,12 +79,17 @@ class SimEvent {
 
   [[nodiscard]] const std::string& name() const { return name_; }
 
-  /// Immediate (next-delta) notification.
+  /// Immediate (next-delta) notification. SystemC-style collapsing: an
+  /// event has at most one pending delta notification, so notifying twice
+  /// before the next delta wakes each subscriber once, not twice.
   void notify();
   /// Timed notification.
   void notify(SimTime delay);
 
-  /// Persistent subscription: `callback` runs on every notification.
+  /// Persistent subscription of an already-registered process.
+  void subscribe(ProcessId process);
+  /// Persistent subscription: `callback` is registered as a process and
+  /// runs on every notification.
   void subscribe(std::function<void()> callback);
 
  private:
@@ -72,7 +97,8 @@ class SimEvent {
 
   Kernel& kernel_;
   std::string name_;
-  std::vector<std::function<void()>> subscribers_;
+  std::vector<ProcessId> subscribers_;
+  bool delta_pending_ = false;
 };
 
 /// Base for update-phase participants (signals).
@@ -85,7 +111,7 @@ class Updatable {
 /// The scheduler.
 class Kernel {
  public:
-  Kernel() = default;
+  Kernel();
   Kernel(const Kernel&) = delete;
   Kernel& operator=(const Kernel&) = delete;
 
@@ -93,48 +119,226 @@ class Kernel {
   [[nodiscard]] std::uint64_t delta_count() const { return delta_count_; }
   [[nodiscard]] std::uint64_t events_processed() const { return events_processed_; }
 
-  /// Schedules `callback` to run `delay` after the current time (a delay of
-  /// zero runs at the current time but in a later delta batch).
+  /// Registers `body` as a process and returns its stable handle. Register
+  /// once, then schedule the handle: scheduling performs no std::function
+  /// construction and no per-event allocation in steady state.
+  [[nodiscard]] ProcessId register_process(std::function<void()> body);
+
+  /// Schedules the registered process to run `delay` after the current time
+  /// (a delay of zero runs at the current time but in a later delta batch).
+  /// The same process may be pending any number of times.
+  void schedule(SimTime delay, ProcessId process);
+
+  /// Runs the registered process in the next delta cycle's evaluate phase.
+  void schedule_delta(ProcessId process);
+
+  /// Deprecated shim (pre-handle API): wraps `callback` in a one-shot
+  /// transient process, which is released after it runs. Costs one
+  /// std::function registration per call — migrate hot paths to
+  /// register_process + schedule(delay, ProcessId).
   void schedule(SimTime delay, std::function<void()> callback);
 
-  /// Runs `callback` in the next delta cycle's evaluate phase.
+  /// Deprecated shim, delta flavor of the above.
   void schedule_delta(std::function<void()> callback);
 
   /// Registers a signal update for the current delta's update phase.
-  void request_update(Updatable& target);
+  void request_update(Updatable& target) { update_requests_.push_back(&target); }
 
   /// Runs until the event queue drains or `end` is passed. Returns the
   /// number of callbacks executed. Stops (throwing std::runtime_error) if a
-  /// single timestamp exceeds the delta limit (combinational loop guard).
+  /// single timestamp exceeds the delta limit (combinational loop guard);
+  /// the runnable/update sets are cleared before throwing so the kernel
+  /// stays usable (timed events remain pending).
   std::uint64_t run(SimTime end = SimTime::max());
 
   /// True when nothing remains scheduled.
-  [[nodiscard]] bool idle() const { return timed_queue_.empty() && runnable_.empty(); }
+  [[nodiscard]] bool idle() const {
+    return timed_size_ == 0 && runnable_.empty() && next_runnable_.empty();
+  }
+
+  /// Scheduler observability counters (monotonic over the kernel's life).
+  struct Stats {
+    std::uint64_t timed_peak = 0;             ///< high-water mark of pending timed events
+    std::uint64_t max_deltas_per_instant = 0; ///< worst delta-cycle count at one timestamp
+    std::uint64_t wheel_hits = 0;             ///< timed entries bucketed in the wheel
+    std::uint64_t heap_hits = 0;              ///< timed entries overflowed to the far heap
+    std::uint64_t cascades = 0;               ///< heap entries migrated into the wheel
+    std::uint64_t processes_registered = 0;   ///< register_process calls (incl. transients)
+    std::uint64_t transient_registrations = 0;///< one-shot shims (legacy schedule overloads)
+    std::uint64_t collapsed_notifications = 0;///< delta notify() calls absorbed by a pending one
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
 
   static constexpr std::uint64_t kMaxDeltasPerInstant = 10000;
 
+  /// Wheel geometry: buckets of 2^kWheelShift ps (≈1ns), kWheelBuckets of
+  /// them — events within ~4.2us of now() go to the wheel, farther ones to
+  /// the overflow heap.
+  static constexpr std::uint32_t kWheelShift = 10;
+  static constexpr std::uint32_t kWheelBuckets = 4096;
+
  private:
   struct TimedEntry {
-    SimTime at;
+    std::uint64_t at_ps;
     std::uint64_t sequence;
-    std::function<void()> callback;
-
-    bool operator>(const TimedEntry& other) const {
-      if (at != other.at) return at > other.at;
-      return sequence > other.sequence;
-    }
+    ProcessId process;
+    std::int32_t next;  // intrusive chain link within a wheel bucket
   };
 
+  static bool heap_later(const TimedEntry& a, const TimedEntry& b) {
+    if (a.at_ps != b.at_ps) return a.at_ps > b.at_ps;
+    return a.sequence > b.sequence;
+  }
+
+  static constexpr std::uint32_t kWheelMask = kWheelBuckets - 1;
+  static constexpr std::uint32_t kWheelWords = kWheelBuckets / 64;
+
+  // Called by SimEvent.
+  friend class SimEvent;
+  void enqueue_delta_subscribers(SimEvent& event);
+
+  void push_timed(std::uint64_t at_ps, ProcessId process);
+  void push_wheel(const TimedEntry& entry);
+  void cascade_heap();
+  /// Earliest pending timed timestamp; timed_size_ must be nonzero. Caches
+  /// the wheel slot holding it (or -1 for heap) for collect_runnable_at.
+  [[nodiscard]] std::uint64_t peek_next_timed();
+  /// Wheel slot of the first occupied bucket at/after the cursor in window
+  /// order, or -1 when the wheel is empty.
+  [[nodiscard]] int first_occupied_slot() const;
+  /// Moves every wheel entry at exactly `at_ps` into runnable_ (FIFO by
+  /// sequence). Caller must have advanced now_/wheel base first.
+  void collect_runnable_at(std::uint64_t at_ps);
+
+  void run_process(ProcessId process);
+  void release_transient(ProcessId process);
+  /// Promotes next_runnable_ to runnable_ and clears pending-notification
+  /// flags (their subscribers are now in the runnable set).
+  void begin_delta();
   void run_delta_loop();
+  /// Clears all delta-cycle state so the kernel survives a thrown
+  /// combinational-loop error; timed events stay pending.
+  void clear_delta_state();
 
   SimTime now_;
   std::uint64_t sequence_ = 0;
   std::uint64_t delta_count_ = 0;
   std::uint64_t events_processed_ = 0;
-  std::priority_queue<TimedEntry, std::vector<TimedEntry>, std::greater<>> timed_queue_;
-  std::vector<std::function<void()>> runnable_;
-  std::vector<std::function<void()>> next_runnable_;
+
+  // Process table. deque: references stay stable while callbacks register
+  // further processes mid-run.
+  std::deque<std::function<void()>> processes_;
+  std::vector<std::uint8_t> transient_;  // 1 = one-shot shim, freed after run
+  std::vector<ProcessId> free_transients_;
+
+  // Timed events: wheel (intrusive chains over a pooled arena — bucket
+  // heads are one contiguous array and freed pool slots are reused LIFO,
+  // so the steady-state working set stays cache-resident) + occupancy
+  // bitmaps + overflow heap.
+  std::vector<std::int32_t> wheel_heads_;  // kWheelBuckets, -1 = empty
+  std::vector<TimedEntry> pool_;
+  std::vector<std::int32_t> free_pool_;
+  std::uint64_t occupancy_[kWheelWords] = {};
+  std::uint64_t occupancy_summary_ = 0;
+  std::vector<TimedEntry> heap_;  // min-heap via heap_later
+  std::uint64_t wheel_base_quantum_ = 0;
+  std::uint64_t wheel_count_ = 0;
+  std::uint64_t timed_size_ = 0;
+  int peeked_slot_ = -1;  // wheel slot found by peek_next_timed, -1 = heap
+  // When exactly one timed event is pending and it sits in the wheel, its
+  // slot; -1 = unknown (fall back to the bitmap scan). Lets the sparse
+  // steady state (single self-rescheduling process) pop in O(1) flat.
+  int solo_slot_ = -1;
+
+  // Delta-cycle working sets (members so run_delta_loop allocates nothing
+  // in steady state: capacity is retained across deltas and runs).
+  std::vector<ProcessId> runnable_;
+  std::vector<ProcessId> next_runnable_;
+  std::vector<ProcessId> current_;
   std::vector<Updatable*> update_requests_;
+  std::vector<Updatable*> update_scratch_;
+  std::vector<TimedEntry> collect_scratch_;
+  std::vector<SimEvent*> pending_delta_events_;
+
+  Stats stats_;
 };
+
+// ---- inline hot path ------------------------------------------------------
+// Scheduling an already-registered handle is the per-event steady-state
+// path; defining it here lets callers (Clock, Signal, generated modules,
+// benchmarks) inline the wheel push instead of paying a cross-TU call.
+
+inline void Kernel::push_wheel(const TimedEntry& entry) {
+  const std::uint32_t slot =
+      static_cast<std::uint32_t>(entry.at_ps >> kWheelShift) & kWheelMask;
+  std::int32_t index;
+  if (!free_pool_.empty()) {
+    index = free_pool_.back();
+    free_pool_.pop_back();
+    pool_[static_cast<std::size_t>(index)] = entry;
+  } else {
+    index = static_cast<std::int32_t>(pool_.size());
+    pool_.push_back(entry);
+  }
+  pool_[static_cast<std::size_t>(index)].next = wheel_heads_[slot];
+  wheel_heads_[slot] = index;
+  occupancy_[slot >> 6] |= 1ULL << (slot & 63);
+  occupancy_summary_ |= 1ULL << (slot >> 6);
+  ++wheel_count_;
+}
+
+inline void Kernel::push_timed(std::uint64_t at_ps, ProcessId process) {
+  const TimedEntry entry{at_ps, ++sequence_, process, -1};
+  const std::uint64_t quantum = at_ps >> kWheelShift;
+  if (quantum - wheel_base_quantum_ < kWheelBuckets) {
+    push_wheel(entry);
+    ++stats_.wheel_hits;
+    solo_slot_ = timed_size_ == 0
+                     ? static_cast<int>(static_cast<std::uint32_t>(quantum) & kWheelMask)
+                     : -1;
+  } else {
+    heap_.push_back(entry);
+    std::push_heap(heap_.begin(), heap_.end(), heap_later);
+    ++stats_.heap_hits;
+    solo_slot_ = -1;
+  }
+  ++timed_size_;
+  // timed_peak is sampled at the top of each run() timestep (exact: pushes
+  // land between collections), keeping this hot path lean.
+}
+
+inline void Kernel::schedule(SimTime delay, ProcessId process) {
+  push_timed((now_ + delay).picoseconds(), process);
+}
+
+inline void Kernel::schedule_delta(ProcessId process) {
+  next_runnable_.push_back(process);
+}
+
+inline void Kernel::enqueue_delta_subscribers(SimEvent& event) {
+  if (event.subscribers_.size() == 1) {
+    next_runnable_.push_back(event.subscribers_.front());
+  } else {
+    next_runnable_.insert(next_runnable_.end(), event.subscribers_.begin(),
+                          event.subscribers_.end());
+  }
+  pending_delta_events_.push_back(&event);
+}
+
+inline void SimEvent::notify() {
+  if (subscribers_.empty()) return;
+  if (delta_pending_) {
+    ++kernel_.stats_.collapsed_notifications;
+    return;
+  }
+  delta_pending_ = true;
+  kernel_.enqueue_delta_subscribers(*this);
+}
+
+inline void SimEvent::notify(SimTime delay) {
+  for (ProcessId subscriber : subscribers_) kernel_.schedule(delay, subscriber);
+}
+
+inline void SimEvent::subscribe(ProcessId process) { subscribers_.push_back(process); }
 
 }  // namespace umlsoc::sim

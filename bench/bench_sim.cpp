@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "sim/bus.hpp"
+#include "sim/fault.hpp"
 #include "sim/signal.hpp"
 
 namespace {
@@ -120,5 +121,39 @@ void BM_BusTransactions(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_BusTransactions)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_BusTransactionsFaulty(benchmark::State& state) {
+  // Same transaction loop as BM_BusTransactions (at 8ns latency) but on the
+  // status-callback API, with an optional fault plan. Arg is the fault
+  // probability in 1/10000 units: Arg(0) is the no-plan baseline (measures
+  // that an uninstalled plan costs nothing), Arg(100) a 1% error rate
+  // (EXPERIMENTS.md E12).
+  Kernel kernel;
+  MemoryMappedBus bus(kernel, "axi", SimTime::ns(8));
+  std::uint64_t mem[64] = {};
+  bus.map_device(
+      "ram", 0, sizeof(mem), [&](std::uint64_t a) { return mem[(a / 8) % 64]; },
+      [&](std::uint64_t a, std::uint64_t v) { mem[(a / 8) % 64] = v; });
+  FaultPlan plan(/*seed=*/1234);
+  if (state.range(0) != 0) {
+    FaultPlan::SiteConfig config;
+    config.error_rate = static_cast<double>(state.range(0)) / 10000.0;
+    plan.configure(FaultSite::kBusWrite, config);
+    bus.install_fault_plan(&plan);
+  }
+  std::uint64_t address = 0;
+  for (auto _ : state) {
+    bool done = false;
+    bus.write(address % 512, address, [&done](BusStatus) { done = true; });
+    kernel.run(kernel.now() + SimTime::ns(8));
+    benchmark::DoNotOptimize(done);
+    address += 8;
+  }
+  state.counters["fault_bp"] = static_cast<double>(state.range(0));
+  state.counters["injected"] = static_cast<double>(plan.total_injected());
+  state.counters["xfers/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BusTransactionsFaulty)->Arg(0)->Arg(100);
 
 }  // namespace

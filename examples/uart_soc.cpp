@@ -3,6 +3,11 @@
 // design: a runtime hardware model mapped on the simulated bus, driven by
 // ASL driver code (exactly what the software mapping generates).
 //
+// Finally, re-runs the driver under an adversarial bus (seeded fault plan
+// dropping responses) to show the resilience layer: timeouts retry with
+// backoff, a watchdog supervises progress, and the driver's health
+// statechart walks through its declared error/recovery states.
+//
 //   $ ./example_uart_soc
 #include <cstdio>
 
@@ -11,6 +16,7 @@
 #include "codegen/swruntime.hpp"
 #include "codegen/systemc.hpp"
 #include "mda/transform.hpp"
+#include "sim/fault.hpp"
 #include "soc/iplibrary.hpp"
 #include "soc/validate.hpp"
 #include "support/strings.hpp"
@@ -82,6 +88,70 @@ int main() {
   std::printf("bus: %llu writes, %llu reads, sim time %s\n",
               static_cast<unsigned long long>(bus.writes()),
               static_cast<unsigned long long>(bus.reads()), kernel.now().str().c_str());
+
+  // 5. Resilience: same driver, adversarial bus. A seeded fault plan drops
+  // device responses (hung slave); the driver's BusMasterPort times out and
+  // retries with backoff, a watchdog supervises overall progress, and a
+  // DriverHealth statechart tracks error/recovery via the error channel.
+  sim::Kernel fkernel;
+  sim::MemoryMappedBus fbus(fkernel, "axi-faulty", sim::SimTime::ns(8));
+  codegen::HwModuleSim uart_rt(*psm_uart, *psm_profile, sink);
+  uart_rt.map_onto(fbus, base);
+
+  sim::FaultPlan plan(/*seed=*/42);
+  sim::FaultPlan::SiteConfig adversarial;
+  adversarial.drop_rate = 0.25;  // 1 in 4 writes hangs: no response, ever.
+  plan.configure(sim::FaultSite::kBusWrite, adversarial);
+  fbus.install_fault_plan(&plan);
+
+  statechart::StateMachine health("DriverHealth");
+  statechart::Region& htop = health.top();
+  statechart::State& operational = htop.add_state("Operational");
+  statechart::State& degraded = htop.add_state("Degraded");
+  statechart::State& dead = htop.add_state("Failed");
+  htop.add_transition(htop.add_initial(), operational);
+  htop.add_transition(operational, degraded).set_trigger("bus_timeout");
+  htop.add_transition(degraded, operational).set_trigger("bus_recovered");
+  htop.add_transition(degraded, dead).set_trigger("bus_failed");
+  statechart::StateMachineInstance health_instance(health);
+  health_instance.set_trace_enabled(false);
+  health_instance.start();
+
+  sim::RetryPolicy policy;
+  policy.timeout = sim::SimTime::ns(40);
+  policy.max_attempts = 4;
+  codegen::BusMasterContext fdriver(fkernel, fbus, policy);
+  fdriver.set_error_sink(&health_instance);
+  fdriver.set_attribute("base", asl::Value{static_cast<std::int64_t>(base)});
+
+  sim::Watchdog watchdog(fkernel, "driver-watchdog", sim::SimTime::us(10));
+  watchdog.arm();
+  fdriver.run(
+      "bus_write(self.base + 12, 434);"
+      "i := 0;"
+      "while (i < 4) {"
+      "  bus_write(self.base + 0, 65 + i);"
+      "  i := i + 1;"
+      "}");
+  watchdog.disarm();
+
+  const sim::BusMasterPort::Stats& port_stats = fdriver.port().stats();
+  std::printf("\nfaulty rerun: %llu transactions, %llu timeouts, %llu retries, "
+              "%llu recovered, %llu exhausted\n",
+              static_cast<unsigned long long>(port_stats.transactions),
+              static_cast<unsigned long long>(port_stats.timeouts),
+              static_cast<unsigned long long>(port_stats.retries),
+              static_cast<unsigned long long>(port_stats.recovered),
+              static_cast<unsigned long long>(port_stats.exhausted));
+  std::printf("fault plan: %s\n", plan.str().c_str());
+  std::printf("driver health: %s (errors raised %llu), watchdog trips %llu, "
+              "divisor=%llu\n",
+              health_instance.active_leaf_names().empty()
+                  ? "?"
+                  : health_instance.active_leaf_names().front().c_str(),
+              static_cast<unsigned long long>(health_instance.errors_raised()),
+              static_cast<unsigned long long>(watchdog.trips()),
+              static_cast<unsigned long long>(uart_rt.peek("divisor")));
 
   if (sink.has_errors()) {
     std::fputs(sink.str().c_str(), stderr);

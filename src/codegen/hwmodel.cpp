@@ -44,6 +44,27 @@ void HwModuleSim::write_register(std::uint64_t offset, std::uint64_t value) {
   dispatch("write_" + it->second.name, static_cast<std::int64_t>(value));
 }
 
+sim::BusStatus HwModuleSim::read_register_checked(std::uint64_t offset, std::uint64_t& value) {
+  auto it = registers_.find(offset);
+  if (it == registers_.end() || !it->second.readable) {
+    value = 0;
+    ++bus_reads_;
+    return sim::BusStatus::kError;
+  }
+  value = read_register(offset);
+  return sim::BusStatus::kOk;
+}
+
+sim::BusStatus HwModuleSim::write_register_checked(std::uint64_t offset, std::uint64_t value) {
+  auto it = registers_.find(offset);
+  if (it == registers_.end() || !it->second.writable) {
+    ++bus_writes_;
+    return sim::BusStatus::kError;
+  }
+  write_register(offset, value);
+  return sim::BusStatus::kOk;
+}
+
 std::uint64_t HwModuleSim::peek(const std::string& register_name) const {
   for (const auto& [offset, reg] : registers_) {
     if (reg.name == register_name) return reg.value;

@@ -31,6 +31,12 @@ class HwModuleSim {
   [[nodiscard]] std::uint64_t read_register(std::uint64_t offset);
   void write_register(std::uint64_t offset, std::uint64_t value);
 
+  /// Status-carrying variants mirroring the generated read_reg_checked /
+  /// write_reg_checked: an unknown offset or access violation reports
+  /// BusStatus::kError instead of a silent 0 / ignored write.
+  sim::BusStatus read_register_checked(std::uint64_t offset, std::uint64_t& value);
+  sim::BusStatus write_register_checked(std::uint64_t offset, std::uint64_t value);
+
   /// Register value by name (test/introspection path, ignores access mode).
   [[nodiscard]] std::uint64_t peek(const std::string& register_name) const;
   void poke(const std::string& register_name, std::uint64_t value);

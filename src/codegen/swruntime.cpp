@@ -4,6 +4,41 @@
 
 namespace umlsoc::codegen {
 
+BusMasterContext::BusMasterContext(sim::Kernel& kernel, sim::MemoryMappedBus& bus,
+                                   sim::RetryPolicy policy)
+    : kernel_(kernel), port_(kernel, bus, "sw-driver", policy) {}
+
+void BusMasterContext::set_error_sink(statechart::StateMachineInstance* sink) {
+  error_sink_ = sink;
+  if (sink == nullptr) {
+    port_.set_listener(nullptr);
+    return;
+  }
+  port_.set_listener([this](const sim::BusMasterPort::Notice& notice) { on_notice(notice); });
+}
+
+void BusMasterContext::on_notice(const sim::BusMasterPort::Notice& notice) {
+  using Kind = sim::BusMasterPort::Notice::Kind;
+  const auto address = static_cast<std::int64_t>(notice.address);
+  switch (notice.kind) {
+    case Kind::kTimeout:
+      error_sink_->dispatch_error(statechart::Event{"bus_timeout", address});
+      break;
+    case Kind::kExhausted:
+      error_sink_->dispatch_error(statechart::Event{"bus_failed", address});
+      break;
+    case Kind::kCompleted:
+      if (notice.status == sim::BusStatus::kError) {
+        error_sink_->dispatch_error(statechart::Event{"bus_error", address});
+      } else if (notice.attempt > 0) {
+        error_sink_->dispatch(statechart::Event{"bus_recovered", address});
+      }
+      break;
+    case Kind::kRetry:
+      break;  // The retry outcome (recovered/exhausted) is what models care about.
+  }
+}
+
 asl::Value BusMasterContext::get_attribute(const std::string& name) {
   auto it = attributes_.find(name);
   return it == attributes_.end() ? asl::Value{} : it->second;
@@ -25,7 +60,10 @@ void BusMasterContext::wait_for(const bool& done) {
     if (kernel_.idle() && !done) break;
   }
   if (!done) {
-    throw std::runtime_error("BusMasterContext: bus transaction never completed");
+    std::string message = "BusMasterContext: bus transaction never completed";
+    const sim::QuiescenceReport& report = kernel_.quiescence_report();
+    if (report.deadlocked()) message += " (" + report.str() + ")";
+    throw std::runtime_error(message);
   }
 }
 
@@ -35,19 +73,24 @@ asl::Value BusMasterContext::call(const std::string& operation,
     if (arguments.size() != 1) throw std::runtime_error("bus_read expects 1 argument");
     bool done = false;
     std::uint64_t result = 0;
-    bus_.read(static_cast<std::uint64_t>(arguments[0].as_int()),
-              [&done, &result](std::uint64_t value) {
-                result = value;
-                done = true;
-              });
+    port_.read(static_cast<std::uint64_t>(arguments[0].as_int()),
+               [this, &done, &result](sim::BusStatus status, std::uint64_t value) {
+                 last_status_ = status;
+                 result = value;
+                 done = true;
+               });
     wait_for(done);
     return asl::Value{static_cast<std::int64_t>(result)};
   }
   if (operation == "bus_write") {
     if (arguments.size() != 2) throw std::runtime_error("bus_write expects 2 arguments");
     bool done = false;
-    bus_.write(static_cast<std::uint64_t>(arguments[0].as_int()),
-               static_cast<std::uint64_t>(arguments[1].as_int()), [&done] { done = true; });
+    port_.write(static_cast<std::uint64_t>(arguments[0].as_int()),
+                static_cast<std::uint64_t>(arguments[1].as_int()),
+                [this, &done](sim::BusStatus status) {
+                  last_status_ = status;
+                  done = true;
+                });
     wait_for(done);
     return asl::Value{};
   }

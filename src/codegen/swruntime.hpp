@@ -3,6 +3,14 @@
 // HwModuleSim this closes the executable MDA loop: generated driver code
 // (ASL bodies on the SW PSM) really talks to generated hardware models over
 // the simulated bus.
+//
+// Transactions go through a sim::BusMasterPort, so a RetryPolicy gives the
+// driver timeout supervision and retry/backoff against injected bus faults.
+// An optional error sink (a statechart instance) receives the port's
+// notices on its error-event channel — "bus_timeout" / "bus_error" /
+// "bus_failed" as error events, "bus_recovered" when a retry succeeds — so
+// a model's declared error/recovery states are driven by real fault
+// injections.
 #pragma once
 
 #include <cstdint>
@@ -10,13 +18,14 @@
 
 #include "asl/interpreter.hpp"
 #include "sim/bus.hpp"
+#include "statechart/interpreter.hpp"
 
 namespace umlsoc::codegen {
 
 class BusMasterContext : public asl::ObjectContext {
  public:
-  BusMasterContext(sim::Kernel& kernel, sim::MemoryMappedBus& bus)
-      : kernel_(kernel), bus_(bus) {}
+  BusMasterContext(sim::Kernel& kernel, sim::MemoryMappedBus& bus,
+                   sim::RetryPolicy policy = {});
 
   asl::Value get_attribute(const std::string& name) override;
   void set_attribute(const std::string& name, asl::Value value) override;
@@ -39,12 +48,23 @@ class BusMasterContext : public asl::ObjectContext {
   /// Runs an ASL source (a driver operation body) against this context.
   std::optional<asl::Value> run(const std::string& asl_source);
 
+  /// Statechart to drive with bus fault/recovery events (may be null).
+  void set_error_sink(statechart::StateMachineInstance* sink);
+
+  /// Status of the most recent completed transaction.
+  [[nodiscard]] sim::BusStatus last_status() const { return last_status_; }
+  [[nodiscard]] const sim::BusMasterPort& port() const { return port_; }
+
  private:
-  /// Advances simulation until `done` turns true (bounded; throws on hang).
+  /// Advances simulation until `done` turns true (bounded; throws on hang,
+  /// including the kernel's quiescence report in the message).
   void wait_for(const bool& done);
+  void on_notice(const sim::BusMasterPort::Notice& notice);
 
   sim::Kernel& kernel_;
-  sim::MemoryMappedBus& bus_;
+  sim::BusMasterPort port_;
+  statechart::StateMachineInstance* error_sink_ = nullptr;
+  sim::BusStatus last_status_ = sim::BusStatus::kOk;
   std::map<std::string, asl::Value> attributes_;
   std::vector<SentSignal> sent_signals_;
 };

@@ -1,42 +1,100 @@
-// Simple memory-mapped bus with latency: the TLM-style blocking-transport
+// Memory-mapped bus with latency: the TLM-style blocking-transport
 // substitute. Devices register address windows; masters issue reads/writes
 // that complete (callbacks) after the bus latency.
+//
+// Completions carry a BusStatus, which resolves the classic all-ones
+// ambiguity of the legacy value-only callbacks: a device can legitimately
+// return 0xFFFF'FFFF'FFFF'FFFF, and only the status distinguishes that from
+// a decode error. The old callbacks remain as shims.
+//
+// Resilience: an installed sim::FaultPlan is consulted at every issue
+// (sites kBusRead/kBusWrite) and can inject decode errors, extra latency,
+// data bit-flips, and dropped (hung-device) responses. BusMasterPort layers
+// per-master timeout supervision with configurable retry + exponential
+// backoff on top, and registers its in-flight transactions as kernel
+// expectations so hangs surface in the QuiescenceReport.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <string>
+#include <string_view>
 
 #include "sim/kernel.hpp"
 
 namespace umlsoc::sim {
 
+class FaultPlan;
+
+/// Completion status of a bus transaction.
+enum class BusStatus : std::uint8_t {
+  kOk = 0,
+  kError,    ///< Decode error (unmapped address) or injected transaction error.
+  kTimeout,  ///< Master-side timeout (reported by BusMasterPort after retries).
+};
+
+[[nodiscard]] std::string_view to_string(BusStatus status);
+
+/// Bus observability counters (monotonic over the bus's life).
+struct BusStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t errors = 0;  ///< Decode errors + injected errors.
+  std::uint64_t injected_errors = 0;
+  std::uint64_t injected_drops = 0;
+  std::uint64_t injected_delays = 0;
+  std::uint64_t injected_bit_flips = 0;
+  std::uint64_t completions = 0;          ///< Data phases executed.
+  std::uint64_t dropped_completions = 0;  ///< Responses that never reached the master.
+};
+
 class MemoryMappedBus {
  public:
   using ReadHandler = std::function<std::uint64_t(std::uint64_t address)>;
   using WriteHandler = std::function<void(std::uint64_t address, std::uint64_t value)>;
+  /// Status-carrying completions (primary API).
+  using ReadCompletion = std::function<void(BusStatus status, std::uint64_t value)>;
+  using WriteCompletion = std::function<void(BusStatus status)>;
 
   MemoryMappedBus(Kernel& kernel, std::string name, SimTime latency);
 
-  /// Maps [base, base+size) to the handlers. Windows must not overlap
-  /// (checked on access: first match wins, registration order).
+  /// Maps [base, base+size) to the handlers. Overlapping windows are a
+  /// wiring error and are rejected at registration time
+  /// (std::invalid_argument), as is a zero-size window.
   void map_device(std::string device_name, std::uint64_t base, std::uint64_t size,
                   ReadHandler read, WriteHandler write);
 
   /// Non-blocking master read; `done` fires after the bus latency with the
-  /// device's value. Unmapped addresses complete with kBusError.
+  /// completion status and the device's value. Unmapped addresses complete
+  /// with kError (value kBusError); a fault-injected drop never completes
+  /// (pair with BusMasterPort for timeout supervision).
+  void read(std::uint64_t address, ReadCompletion done);
+
+  /// Non-blocking master write; `done` fires after the latency.
+  void write(std::uint64_t address, std::uint64_t value, WriteCompletion done);
+
+  /// Legacy value-only shim: errors complete with the kBusError sentinel,
+  /// indistinguishable from a device legitimately returning all-ones —
+  /// migrate to the status-carrying overload.
   void read(std::uint64_t address, std::function<void(std::uint64_t)> done);
 
-  /// Non-blocking master write; optional `done` fires after the latency.
+  /// Legacy status-less shim.
   void write(std::uint64_t address, std::uint64_t value,
              std::function<void()> done = nullptr);
 
   static constexpr std::uint64_t kBusError = ~0ULL;
 
-  [[nodiscard]] std::uint64_t reads() const { return reads_; }
-  [[nodiscard]] std::uint64_t writes() const { return writes_; }
-  [[nodiscard]] std::uint64_t errors() const { return errors_; }
+  /// Installs (or clears, with nullptr) a fault plan consulted at every
+  /// issue. The fault-free path costs exactly this null check.
+  void install_fault_plan(FaultPlan* plan) { fault_plan_ = plan; }
+  [[nodiscard]] FaultPlan* fault_plan() const { return fault_plan_; }
+
+  [[nodiscard]] const BusStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint64_t reads() const { return stats_.reads; }
+  [[nodiscard]] std::uint64_t writes() const { return stats_.writes; }
+  [[nodiscard]] std::uint64_t errors() const { return stats_.errors; }
   [[nodiscard]] const std::string& name() const { return name_; }
 
  private:
@@ -52,15 +110,19 @@ class MemoryMappedBus {
   /// (device handler + master callback) runs at completion, modeling the
   /// end of the bus transaction.
   struct Pending {
-    const Window* window;  // nullptr = bus error
+    const Window* window;  // nullptr = decode error
+    BusStatus status;
     bool is_read;
+    bool dropped;  // Hung device: data phase skipped, master never called.
     std::uint64_t address;
     std::uint64_t value;
-    std::function<void(std::uint64_t)> read_done;
-    std::function<void()> write_done;
+    std::uint64_t flip_mask;  // Injected data corruption (0 = clean).
+    ReadCompletion read_done;
+    WriteCompletion write_done;
   };
 
   [[nodiscard]] const Window* find_window(std::uint64_t address) const;
+  void issue(Pending txn, SimTime extra_latency);
   void complete_front();
 
   Kernel& kernel_;
@@ -69,14 +131,101 @@ class MemoryMappedBus {
   // deque: element addresses stay stable across map_device calls (the
   // pending transactions capture Window pointers).
   std::deque<Window> windows_;
-  // One completion process drains pending_ in FIFO order: the latency is a
-  // bus constant, so completions fire in issue order and the single handle
-  // needs no per-transaction closure on the kernel side.
+  // One completion process drains pending_ in FIFO order. The bus pipeline
+  // is in-order: a transaction's completion time is clamped to be no
+  // earlier than its predecessor's (injected extra latency stalls the
+  // transactions behind it, like a real in-order bus), so completions fire
+  // in issue order and the single handle needs no per-transaction closure
+  // on the kernel side.
   ProcessId completion_ = kInvalidProcess;
   std::deque<Pending> pending_;
-  std::uint64_t reads_ = 0;
-  std::uint64_t writes_ = 0;
-  std::uint64_t errors_ = 0;
+  std::uint64_t last_completion_ps_ = 0;
+  FaultPlan* fault_plan_ = nullptr;
+  BusStats stats_;
+};
+
+/// Per-master retry policy for BusMasterPort.
+struct RetryPolicy {
+  /// Supervision deadline for the first attempt; zero disables timeouts
+  /// (the port then only forwards completions and tracks expectations).
+  SimTime timeout{};
+  /// Total attempts including the first. 1 = no retries.
+  int max_attempts = 1;
+  /// Each retry multiplies the previous deadline by this (exponential
+  /// backoff); 1 keeps a constant deadline.
+  unsigned backoff_multiplier = 2;
+  /// Also retry transactions that completed with kError (treats errors as
+  /// transient, e.g. under fault injection). kTimeout exhaustion always
+  /// reports kTimeout; error exhaustion reports kError.
+  bool retry_on_error = false;
+};
+
+/// A master-side port wrapping a bus: issues transactions with timeout
+/// supervision and retry/backoff per RetryPolicy, keeps per-port stats, and
+/// registers every in-flight transaction as a kernel expectation (a hung
+/// transaction shows up in the QuiescenceReport instead of vanishing).
+class BusMasterPort {
+ public:
+  /// Progress notices for observers (e.g. driving a statechart's error
+  /// channel): one notice per timeout, retry, and final completion.
+  struct Notice {
+    enum class Kind : std::uint8_t { kTimeout, kRetry, kCompleted, kExhausted };
+    Kind kind;
+    BusStatus status;  ///< Valid for kCompleted / kExhausted.
+    bool is_read;
+    std::uint64_t address;
+    int attempt;  ///< 0-based attempt the notice refers to.
+  };
+
+  struct Stats {
+    std::uint64_t transactions = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t exhausted = 0;         ///< Gave up after max_attempts.
+    std::uint64_t recovered = 0;         ///< Succeeded on a retry attempt.
+    std::uint64_t late_completions = 0;  ///< Responses that arrived after a timeout.
+  };
+
+  BusMasterPort(Kernel& kernel, MemoryMappedBus& bus, std::string name,
+                RetryPolicy policy = {});
+
+  void read(std::uint64_t address, MemoryMappedBus::ReadCompletion done);
+  void write(std::uint64_t address, std::uint64_t value,
+             MemoryMappedBus::WriteCompletion done);
+
+  void set_listener(std::function<void(const Notice&)> listener) {
+    listener_ = std::move(listener);
+  }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const RetryPolicy& policy() const { return policy_; }
+
+ private:
+  struct Txn {
+    bool is_read;
+    std::uint64_t address;
+    std::uint64_t value;  // Writes only.
+    int attempt = 0;
+    bool completed = false;
+    MemoryMappedBus::ReadCompletion read_done;
+    MemoryMappedBus::WriteCompletion write_done;
+  };
+
+  void start_attempt(const std::shared_ptr<Txn>& txn);
+  void finish(const std::shared_ptr<Txn>& txn, BusStatus status, std::uint64_t value);
+  /// Retries if the policy allows; returns false when attempts are spent.
+  bool try_retry(const std::shared_ptr<Txn>& txn);
+  void notify(Notice::Kind kind, const Txn& txn, BusStatus status) const;
+  [[nodiscard]] SimTime deadline_for(int attempt) const;
+
+  Kernel& kernel_;
+  MemoryMappedBus& bus_;
+  std::string name_;
+  RetryPolicy policy_;
+  ExpectationId inflight_ = kInvalidExpectation;
+  std::function<void(const Notice&)> listener_;
+  Stats stats_;
 };
 
 }  // namespace umlsoc::sim

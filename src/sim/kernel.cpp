@@ -19,7 +19,25 @@ void SimEvent::subscribe(std::function<void()> callback) {
   subscribers_.push_back(kernel_.register_process(std::move(callback)));
 }
 
+std::string QuiescenceReport::str() const {
+  if (!deadlocked()) {
+    return drained ? "quiescent: clean" : "stopped at end time";
+  }
+  std::string out = "deadlock: " + std::to_string(outstanding_total) + " outstanding (";
+  for (std::size_t i = 0; i < outstanding.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += outstanding[i].label + " x" + std::to_string(outstanding[i].count);
+  }
+  out += ")";
+  return out;
+}
+
 Kernel::Kernel() : wheel_heads_(kWheelBuckets, -1) {}
+
+ExpectationId Kernel::register_expectation(std::string label) {
+  expectations_.push_back(Expectation{std::move(label), 0});
+  return static_cast<ExpectationId>(expectations_.size() - 1);
+}
 
 ProcessId Kernel::register_process(std::function<void()> body) {
   ++stats_.processes_registered;
@@ -308,6 +326,20 @@ std::uint64_t Kernel::run(SimTime end) {
   // all, at least one instant had one delta.
   if (events_processed_ != processed_before && stats_.max_deltas_per_instant == 0) {
     stats_.max_deltas_per_instant = 1;
+  }
+  // Quiescence diagnosis: queues drained with expectations outstanding is a
+  // deadlock signature (a master waits for a response that cannot arrive).
+  // The clean path only clears and sets PODs — no allocation.
+  report_.outstanding.clear();
+  report_.drained = idle();
+  report_.outstanding_total = outstanding_total_;
+  if (report_.deadlocked()) {
+    for (const Expectation& expectation : expectations_) {
+      if (expectation.outstanding != 0) {
+        report_.outstanding.push_back(
+            QuiescenceReport::Outstanding{expectation.label, expectation.outstanding});
+      }
+    }
   }
   return events_processed_ - processed_before;
 }

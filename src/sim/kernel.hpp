@@ -69,6 +69,33 @@ class Kernel;
 using ProcessId = std::uint32_t;
 inline constexpr ProcessId kInvalidProcess = std::numeric_limits<ProcessId>::max();
 
+/// Stable handle to a registered expectation class (see
+/// Kernel::register_expectation).
+using ExpectationId = std::uint32_t;
+inline constexpr ExpectationId kInvalidExpectation =
+    std::numeric_limits<ExpectationId>::max();
+
+/// End-of-run diagnosis: did the event queues drain while registered
+/// expectations (in-flight bus transactions, armed watchdogs, ...) were
+/// still outstanding? That is a deadlock/starvation signature — something
+/// was waiting for a response that can no longer arrive.
+struct QuiescenceReport {
+  bool drained = true;                  ///< Queues empty when run() returned.
+  std::uint64_t outstanding_total = 0;  ///< Unresolved expectations at that point.
+
+  struct Outstanding {
+    std::string label;
+    std::uint64_t count;
+  };
+  /// Per-label breakdown; populated only when deadlocked() (the clean path
+  /// allocates nothing).
+  std::vector<Outstanding> outstanding;
+
+  [[nodiscard]] bool deadlocked() const { return drained && outstanding_total != 0; }
+  /// "deadlock: 2 outstanding (axi.cpu0 in-flight x1, wd.main armed x1)".
+  [[nodiscard]] std::string str() const;
+};
+
 /// Notification primitive. Processes subscribe; notify() wakes them in the
 /// next delta cycle, notify(delay) at a later time.
 class SimEvent {
@@ -143,6 +170,28 @@ class Kernel {
 
   /// Registers a signal update for the current delta's update phase.
   void request_update(Updatable& target) { update_requests_.push_back(&target); }
+
+  /// Registers a named expectation class once (e.g. "axi.cpu0 in-flight");
+  /// expect/fulfill then adjust plain counters, so tracking an individual
+  /// transaction is allocation-free.
+  [[nodiscard]] ExpectationId register_expectation(std::string label);
+  /// Declares one more outstanding instance of the expectation.
+  void expect(ExpectationId id) {
+    ++expectations_[id].outstanding;
+    ++outstanding_total_;
+  }
+  /// Resolves one outstanding instance (over-fulfilling is ignored).
+  void fulfill(ExpectationId id) {
+    if (expectations_[id].outstanding == 0) return;
+    --expectations_[id].outstanding;
+    --outstanding_total_;
+  }
+  [[nodiscard]] std::uint64_t outstanding_expectations() const { return outstanding_total_; }
+
+  /// Rebuilt at the end of every run(). A run whose queues drain while
+  /// expectations remain outstanding reports deadlocked() instead of
+  /// returning silently.
+  [[nodiscard]] const QuiescenceReport& quiescence_report() const { return report_; }
 
   /// Runs until the event queue drains or `end` is passed. Returns the
   /// number of callbacks executed. Stops (throwing std::runtime_error) if a
@@ -259,6 +308,16 @@ class Kernel {
   std::vector<Updatable*> update_scratch_;
   std::vector<TimedEntry> collect_scratch_;
   std::vector<SimEvent*> pending_delta_events_;
+
+  // Expectation registry (resilience diagnostics). deque: labels referenced
+  // by the report builder stay stable as registrations grow the table.
+  struct Expectation {
+    std::string label;
+    std::uint64_t outstanding = 0;
+  };
+  std::deque<Expectation> expectations_;
+  std::uint64_t outstanding_total_ = 0;
+  QuiescenceReport report_;
 
   Stats stats_;
 };

@@ -47,6 +47,16 @@ class StateMachineInstance {
   /// Queues without processing (used by actions raising internal events).
   void post(Event event);
 
+  /// Error-event channel: fault monitors (bus ports, watchdogs) report
+  /// failures here. Error events jump ahead of the normal pool — an error
+  /// preempts pending ordinary work — and are counted separately; an error
+  /// event that fires no transition is recorded as unhandled so harnesses
+  /// can assert that every declared fault reaches an error state.
+  bool dispatch_error(Event event);
+
+  /// Queues an error event at the front without processing.
+  void post_error(Event event);
+
   /// Processes queued events until the pool is empty.
   void run_to_quiescence();
 
@@ -76,6 +86,8 @@ class StateMachineInstance {
 
   [[nodiscard]] std::uint64_t events_processed() const { return events_processed_; }
   [[nodiscard]] std::uint64_t transitions_fired() const { return transitions_fired_; }
+  [[nodiscard]] std::uint64_t errors_raised() const { return errors_raised_; }
+  [[nodiscard]] std::uint64_t errors_unhandled() const { return errors_unhandled_; }
 
   /// Machine-variable store available to guards/effects via ActionContext.
   [[nodiscard]] std::int64_t variable(const std::string& name) const;
@@ -152,6 +164,8 @@ class StateMachineInstance {
   bool terminated_ = false;
   std::uint64_t events_processed_ = 0;
   std::uint64_t transitions_fired_ = 0;
+  std::uint64_t errors_raised_ = 0;
+  std::uint64_t errors_unhandled_ = 0;
 };
 
 }  // namespace umlsoc::statechart

@@ -176,6 +176,33 @@ TEST(Rtl, ModuleWithRegisterFile) {
   EXPECT_TRUE(check_rtl_structure(text, structure_sink)) << structure_sink.str();
 }
 
+TEST(Rtl, RegisterFileReportsDecodeErrors) {
+  HwFixture f;
+  support::DiagnosticSink sink;
+  std::string text = generate_rtl_module(*f.uart, f.profile, sink);
+  EXPECT_FALSE(sink.has_errors()) << sink.str();
+  expect_contains(text, "output reg          reg_error");
+  expect_contains(text, "32'h4: reg_error = 1'b0;");  // Readable address decodes clean.
+  expect_contains(text, "reg_error = 1'b1;");          // Default arm flags the error.
+  support::DiagnosticSink structure_sink;
+  EXPECT_TRUE(check_rtl_structure(text, structure_sink)) << structure_sink.str();
+}
+
+TEST(Rtl, TestbenchProbesDecodeError) {
+  HwFixture f;
+  support::DiagnosticSink sink;
+  std::string module_text = generate_rtl_module(*f.uart, f.profile, sink);
+  std::string bench = generate_rtl_testbench(*f.uart, f.profile, sink);
+  EXPECT_FALSE(sink.has_errors()) << sink.str();
+  expect_contains(bench, "wire        reg_error;");
+  expect_contains(bench, ".reg_error(reg_error)");
+  expect_contains(bench, "32'hdeadbeef");  // Drives an unmapped address...
+  expect_contains(bench, "reg_error !== 1'b1");  // ...and expects the error flag.
+  support::DiagnosticSink structure_sink;
+  EXPECT_TRUE(check_rtl_structure(module_text + bench, structure_sink))
+      << structure_sink.str();
+}
+
 TEST(Rtl, FsmFromStatechart) {
   auto machine = statechart::make_chain_machine(4);
   support::DiagnosticSink sink;
@@ -260,6 +287,24 @@ TEST(SimCodegen, ModuleText) {
   expect_contains(text, "case 0x4: return status;");
   expect_contains(text, "case 0x0: tx_data = value; break;");
   expect_contains(text, "void reset()");
+  support::DiagnosticSink structure_sink;
+  EXPECT_TRUE(check_cpp_structure(text, structure_sink)) << structure_sink.str();
+}
+
+TEST(SimCodegen, CheckedRegisterAccessors) {
+  HwFixture f;
+  support::DiagnosticSink sink;
+  std::string text = generate_sim_module(*f.uart, f.profile, sink);
+  EXPECT_FALSE(sink.has_errors()) << sink.str();
+  expect_contains(text, "#include \"sim/bus.hpp\"");
+  expect_contains(text, "umlsoc::sim::BusStatus read_reg_checked(std::uint32_t addr,");
+  expect_contains(text, "umlsoc::sim::BusStatus write_reg_checked(std::uint32_t addr,"
+                        " std::uint32_t value) {");
+  // status @0x4 is readable, tx_data @0x0 is write-only.
+  expect_contains(text, "case 0x4: value = status; return umlsoc::sim::BusStatus::kOk;");
+  expect_contains(text, "case 0x0: tx_data = value; return umlsoc::sim::BusStatus::kOk;");
+  expect_contains(text, "default: value = 0; return umlsoc::sim::BusStatus::kError;");
+  expect_contains(text, "default: return umlsoc::sim::BusStatus::kError;");
   support::DiagnosticSink structure_sink;
   EXPECT_TRUE(check_cpp_structure(text, structure_sink)) << structure_sink.str();
 }
@@ -352,6 +397,25 @@ TEST(HwModel, RegisterFileSemantics) {
   module.reset();
   EXPECT_EQ(module.peek("divisor"), 16u);
   EXPECT_GT(module.bus_writes(), 0u);
+}
+
+TEST(HwModel, CheckedAccessorsAgreeWithGeneratedSemantics) {
+  HwFixture f;
+  support::DiagnosticSink sink;
+  HwModuleSim module(*f.uart, f.profile, sink);
+
+  std::uint64_t value = 123;
+  EXPECT_EQ(module.read_register_checked(0x4, value), sim::BusStatus::kOk);
+  EXPECT_EQ(value, 1u);  // status reset value.
+  EXPECT_EQ(module.write_register_checked(0x8, 77), sim::BusStatus::kOk);
+  EXPECT_EQ(module.peek("divisor"), 77u);
+  // Access violations and unknown offsets report kError, not silent 0.
+  EXPECT_EQ(module.read_register_checked(0x0, value), sim::BusStatus::kError);
+  EXPECT_EQ(value, 0u);
+  EXPECT_EQ(module.write_register_checked(0x4, 9), sim::BusStatus::kError);
+  EXPECT_EQ(module.peek("status"), 1u);
+  EXPECT_EQ(module.read_register_checked(0x1000, value), sim::BusStatus::kError);
+  EXPECT_EQ(module.write_register_checked(0x1000, 1), sim::BusStatus::kError);
 }
 
 TEST(HwModel, BehaviorMachineReactsToWrites) {

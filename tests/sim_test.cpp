@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <new>
+#include <stdexcept>
 
 #include "sim/bus.hpp"
 #include "sim/signal.hpp"
@@ -267,6 +268,56 @@ TEST(Bus, WriteCompletionCallback) {
   bus.write(0x10, 5, [&] { done = (mem == 5); });
   kernel.run();
   EXPECT_TRUE(done);
+}
+
+TEST(Bus, OverlappingWindowsAreRejectedAtRegistration) {
+  Kernel kernel;
+  MemoryMappedBus bus(kernel, "axi", SimTime::ns(1));
+  auto read = [](std::uint64_t) { return std::uint64_t{0}; };
+  auto write = [](std::uint64_t, std::uint64_t) {};
+  bus.map_device("uart", 0x1000, 0x10, read, write);
+
+  EXPECT_THROW(bus.map_device("dup", 0x1000, 0x10, read, write), std::invalid_argument);
+  EXPECT_THROW(bus.map_device("tail", 0x100f, 0x10, read, write), std::invalid_argument);
+  EXPECT_THROW(bus.map_device("head", 0x0ff8, 0x10, read, write), std::invalid_argument);
+  EXPECT_THROW(bus.map_device("span", 0x0800, 0x1000, read, write), std::invalid_argument);
+  EXPECT_THROW(bus.map_device("empty", 0x2000, 0, read, write), std::invalid_argument);
+  // Adjacent windows are fine.
+  EXPECT_NO_THROW(bus.map_device("next", 0x1010, 0x10, read, write));
+  EXPECT_NO_THROW(bus.map_device("prev", 0x0ff0, 0x10, read, write));
+}
+
+TEST(Bus, AllOnesValueIsNotReportedAsError) {
+  // Regression: a device may legitimately return the kBusError bit pattern;
+  // only the status distinguishes it from a decode error.
+  Kernel kernel;
+  MemoryMappedBus bus(kernel, "axi", SimTime::ns(1));
+  bus.map_device(
+      "ones", 0, 0x10, [](std::uint64_t) { return ~0ULL; },
+      [](std::uint64_t, std::uint64_t) {});
+  BusStatus status = BusStatus::kError;
+  std::uint64_t value = 0;
+  bus.read(0x0, [&](BusStatus s, std::uint64_t v) {
+    status = s;
+    value = v;
+  });
+  kernel.run();
+  EXPECT_EQ(status, BusStatus::kOk);
+  EXPECT_EQ(value, ~0ULL);
+  EXPECT_EQ(bus.errors(), 0u);
+}
+
+TEST(Bus, UnmappedAddressCompletesWithErrorStatus) {
+  Kernel kernel;
+  MemoryMappedBus bus(kernel, "axi", SimTime::ns(1));
+  BusStatus read_status = BusStatus::kOk;
+  BusStatus write_status = BusStatus::kOk;
+  bus.read(0xdead, [&](BusStatus s, std::uint64_t) { read_status = s; });
+  bus.write(0xbeef, 1, [&](BusStatus s) { write_status = s; });
+  kernel.run();
+  EXPECT_EQ(read_status, BusStatus::kError);
+  EXPECT_EQ(write_status, BusStatus::kError);
+  EXPECT_EQ(bus.errors(), 2u);
 }
 
 TEST(Tracer, RecordsChangesWithTimestamps) {

@@ -9,6 +9,7 @@
 
 #include "sim/bus.hpp"
 #include "sim/fault.hpp"
+#include "sim/replay.hpp"
 #include "sim/signal.hpp"
 
 namespace {
@@ -155,5 +156,62 @@ void BM_BusTransactionsFaulty(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_BusTransactionsFaulty)->Arg(0)->Arg(100);
+
+void BM_KernelReplay(benchmark::State& state) {
+  // Recorder overhead on the timed-event hot path (EXPERIMENTS.md E13).
+  // Arg(0): no recorder (the detached cost is one null check per event).
+  // Arg(1): full-log recording. Arg(2): bounded ring (flight-recorder
+  // configuration, 4096 entries).
+  constexpr int kEventsPerIter = 100000;
+  double total_events = 0;
+  std::uint64_t recorded = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Kernel kernel;
+    EventRecorder recorder(state.range(0) == 2 ? 4096 : 0);
+    if (state.range(0) != 0) kernel.set_recorder(&recorder);
+    int remaining = kEventsPerIter;
+    ProcessId id = kInvalidProcess;
+    id = kernel.register_process([&] {
+      if (--remaining > 0) kernel.schedule(SimTime::ns(1), id);
+    });
+    kernel.schedule(SimTime::ns(1), id);
+    state.ResumeTiming();
+    total_events += static_cast<double>(kernel.run());
+    recorded = recorder.total_events();
+  }
+  state.counters["mode"] = static_cast<double>(state.range(0));
+  state.counters["recorded"] = static_cast<double>(recorded);
+  state.counters["events/s"] =
+      benchmark::Counter(total_events, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_KernelReplay)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+void BM_BusReplay(benchmark::State& state) {
+  // Recorder overhead on a realistic workload: bus transactions whose
+  // per-event cost includes decode, data phase and completion callbacks.
+  // Arg(0): recorder detached. Arg(1): 4096-entry ring attached (the
+  // flight-recorder configuration for long adversarial runs).
+  Kernel kernel;
+  EventRecorder recorder(/*ring_capacity=*/4096);
+  if (state.range(0) != 0) kernel.set_recorder(&recorder);
+  MemoryMappedBus bus(kernel, "axi", SimTime::ns(8));
+  std::uint64_t mem[64] = {};
+  bus.map_device(
+      "ram", 0, sizeof(mem), [&](std::uint64_t a) { return mem[(a / 8) % 64]; },
+      [&](std::uint64_t a, std::uint64_t v) { mem[(a / 8) % 64] = v; });
+  std::uint64_t address = 0;
+  for (auto _ : state) {
+    bool done = false;
+    bus.write(address % 512, address, [&done](BusStatus) { done = true; });
+    kernel.run(kernel.now() + SimTime::ns(8));
+    benchmark::DoNotOptimize(done);
+    address += 8;
+  }
+  state.counters["recorded"] = static_cast<double>(recorder.total_events());
+  state.counters["xfers/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BusReplay)->Arg(0)->Arg(1);
 
 }  // namespace

@@ -3,10 +3,19 @@
 // design: a runtime hardware model mapped on the simulated bus, driven by
 // ASL driver code (exactly what the software mapping generates).
 //
-// Finally, re-runs the driver under an adversarial bus (seeded fault plan
+// Then re-runs the driver under an adversarial bus (seeded fault plan
 // dropping responses) to show the resilience layer: timeouts retry with
 // backoff, a watchdog supervises progress, and the driver's health
 // statechart walks through its declared error/recovery states.
+//
+// Finally demonstrates checkpoint/restore and deterministic replay: the
+// adversarial run is checkpointed mid-flight, restored into a freshly
+// constructed setup (as a restarted process would), continued to the end,
+// and shown to be bit-identical to an uninterrupted reference — final
+// state and complete event sequence. A deliberately perturbed restore and
+// a corrupted snapshot show divergence detection and rejection. Any
+// mismatch exits nonzero, so CI runs this binary as the snapshot smoke
+// test.
 //
 //   $ ./example_uart_soc
 #include <cstdio>
@@ -16,13 +25,124 @@
 #include "codegen/swruntime.hpp"
 #include "codegen/systemc.hpp"
 #include "mda/transform.hpp"
+#include "replay/snapshot.hpp"
 #include "sim/fault.hpp"
+#include "sim/replay.hpp"
 #include "soc/iplibrary.hpp"
 #include "soc/validate.hpp"
 #include "support/strings.hpp"
 #include "uml/query.hpp"
 
 using namespace umlsoc;
+
+namespace {
+
+/// One complete adversarial setup — kernel, faulty bus, UART model, health
+/// statechart instance, supervised driver, watchdog, event recorder. Every
+/// instance runs the identical construction sequence, so ProcessIds and
+/// statechart indices are stable across instances: exactly the property
+/// snapshot restore relies on ("same setup, different process").
+struct ReplayRig {
+  sim::Kernel kernel;
+  sim::MemoryMappedBus bus;
+  codegen::HwModuleSim uart;
+  sim::FaultPlan plan;
+  statechart::StateMachineInstance health;
+  codegen::BusMasterContext driver;
+  sim::Watchdog watchdog;
+  sim::EventRecorder recorder;
+  sim::ProcessId perturb = sim::kInvalidProcess;
+
+  static sim::RetryPolicy retry_policy() {
+    sim::RetryPolicy policy;
+    policy.timeout = sim::SimTime::ns(40);
+    policy.max_attempts = 4;
+    return policy;
+  }
+
+  ReplayRig(const uml::Component& psm_uart, const soc::SocProfile& profile,
+            const statechart::StateMachine& health_machine, std::uint64_t base,
+            support::DiagnosticSink& sink)
+      : bus(kernel, "axi-faulty", sim::SimTime::ns(8)),
+        uart(psm_uart, profile, sink),
+        plan(/*seed=*/42),
+        health(health_machine),
+        driver(kernel, bus, retry_policy()),
+        watchdog(kernel, "driver-watchdog", sim::SimTime::us(10)) {
+    uart.map_onto(bus, base);
+    sim::FaultPlan::SiteConfig adversarial;
+    adversarial.drop_rate = 0.25;  // 1 in 4 writes hangs: no response, ever.
+    plan.configure(sim::FaultSite::kBusWrite, adversarial);
+    bus.install_fault_plan(&plan);
+    health.set_trace_enabled(false);
+    health.start();
+    driver.set_error_sink(&health);
+    driver.set_attribute("base", asl::Value{static_cast<std::int64_t>(base)});
+    perturb = kernel.register_process([] {}, "demo.perturb");
+    kernel.set_recorder(&recorder);
+  }
+
+  [[nodiscard]] replay::SnapshotTargets targets() {
+    replay::SnapshotTargets out;
+    out.kernel = &kernel;
+    out.fault_plan = &plan;
+    out.recorder = &recorder;
+    out.machines.push_back({"health", &health});
+    out.buses.push_back({"axi-faulty", &bus});
+    out.watchdogs.push_back({"driver-watchdog", &watchdog});
+    out.banks.push_back(
+        {"uart", [this] { return uart.capture_values(); },
+         [this](const std::vector<std::pair<std::string, std::uint64_t>>& values,
+                support::DiagnosticSink& bank_sink) {
+           return uart.restore_values(values, bank_sink);
+         }});
+    out.banks.push_back(
+        {"port",
+         [this] {
+           const sim::BusMasterPort::Stats& stats = driver.port().stats();
+           return std::vector<std::pair<std::string, std::uint64_t>>{
+               {"transactions", stats.transactions}, {"timeouts", stats.timeouts},
+               {"retries", stats.retries},           {"exhausted", stats.exhausted},
+               {"recovered", stats.recovered},       {"late-completions",
+                                                      stats.late_completions}};
+         },
+         [this](const std::vector<std::pair<std::string, std::uint64_t>>& values,
+                support::DiagnosticSink& bank_sink) {
+           sim::BusMasterPort::Stats stats;
+           for (const auto& [key, value] : values) {
+             if (key == "transactions") {
+               stats.transactions = value;
+             } else if (key == "timeouts") {
+               stats.timeouts = value;
+             } else if (key == "retries") {
+               stats.retries = value;
+             } else if (key == "exhausted") {
+               stats.exhausted = value;
+             } else if (key == "recovered") {
+               stats.recovered = value;
+             } else if (key == "late-completions") {
+               stats.late_completions = value;
+             } else {
+               bank_sink.error("port", "unknown counter '" + key + "'");
+               return false;
+             }
+           }
+           driver.port().restore_checkpoint(stats);
+           return true;
+         }});
+    return out;
+  }
+};
+
+constexpr const char* kPhase1 = "bus_write(self.base + 12, 434);";
+constexpr const char* kPhase2 =
+    "i := 0;"
+    "while (i < 4) {"
+    "  bus_write(self.base + 0, 65 + i);"
+    "  i := i + 1;"
+    "}";
+
+}  // namespace
 
 int main() {
   support::DiagnosticSink sink;
@@ -93,17 +213,6 @@ int main() {
   // device responses (hung slave); the driver's BusMasterPort times out and
   // retries with backoff, a watchdog supervises overall progress, and a
   // DriverHealth statechart tracks error/recovery via the error channel.
-  sim::Kernel fkernel;
-  sim::MemoryMappedBus fbus(fkernel, "axi-faulty", sim::SimTime::ns(8));
-  codegen::HwModuleSim uart_rt(*psm_uart, *psm_profile, sink);
-  uart_rt.map_onto(fbus, base);
-
-  sim::FaultPlan plan(/*seed=*/42);
-  sim::FaultPlan::SiteConfig adversarial;
-  adversarial.drop_rate = 0.25;  // 1 in 4 writes hangs: no response, ever.
-  plan.configure(sim::FaultSite::kBusWrite, adversarial);
-  fbus.install_fault_plan(&plan);
-
   statechart::StateMachine health("DriverHealth");
   statechart::Region& htop = health.top();
   statechart::State& operational = htop.add_state("Operational");
@@ -113,29 +222,14 @@ int main() {
   htop.add_transition(operational, degraded).set_trigger("bus_timeout");
   htop.add_transition(degraded, operational).set_trigger("bus_recovered");
   htop.add_transition(degraded, dead).set_trigger("bus_failed");
-  statechart::StateMachineInstance health_instance(health);
-  health_instance.set_trace_enabled(false);
-  health_instance.start();
 
-  sim::RetryPolicy policy;
-  policy.timeout = sim::SimTime::ns(40);
-  policy.max_attempts = 4;
-  codegen::BusMasterContext fdriver(fkernel, fbus, policy);
-  fdriver.set_error_sink(&health_instance);
-  fdriver.set_attribute("base", asl::Value{static_cast<std::int64_t>(base)});
+  ReplayRig reference(*psm_uart, *psm_profile, health, base, sink);
+  reference.watchdog.arm();
+  reference.driver.run(kPhase1);
+  reference.driver.run(kPhase2);
+  reference.watchdog.disarm();
 
-  sim::Watchdog watchdog(fkernel, "driver-watchdog", sim::SimTime::us(10));
-  watchdog.arm();
-  fdriver.run(
-      "bus_write(self.base + 12, 434);"
-      "i := 0;"
-      "while (i < 4) {"
-      "  bus_write(self.base + 0, 65 + i);"
-      "  i := i + 1;"
-      "}");
-  watchdog.disarm();
-
-  const sim::BusMasterPort::Stats& port_stats = fdriver.port().stats();
+  const sim::BusMasterPort::Stats& port_stats = reference.driver.port().stats();
   std::printf("\nfaulty rerun: %llu transactions, %llu timeouts, %llu retries, "
               "%llu recovered, %llu exhausted\n",
               static_cast<unsigned long long>(port_stats.transactions),
@@ -143,15 +237,116 @@ int main() {
               static_cast<unsigned long long>(port_stats.retries),
               static_cast<unsigned long long>(port_stats.recovered),
               static_cast<unsigned long long>(port_stats.exhausted));
-  std::printf("fault plan: %s\n", plan.str().c_str());
+  std::printf("fault plan: %s\n", reference.plan.str().c_str());
   std::printf("driver health: %s (errors raised %llu), watchdog trips %llu, "
               "divisor=%llu\n",
-              health_instance.active_leaf_names().empty()
+              reference.health.active_leaf_names().empty()
                   ? "?"
-                  : health_instance.active_leaf_names().front().c_str(),
-              static_cast<unsigned long long>(health_instance.errors_raised()),
-              static_cast<unsigned long long>(watchdog.trips()),
-              static_cast<unsigned long long>(uart_rt.peek("divisor")));
+                  : reference.health.active_leaf_names().front().c_str(),
+              static_cast<unsigned long long>(reference.health.errors_raised()),
+              static_cast<unsigned long long>(reference.watchdog.trips()),
+              static_cast<unsigned long long>(reference.uart.peek("divisor")));
+
+  // 6. Checkpoint + deterministic replay. The reference above ran to the
+  // end uninterrupted with its event recorder on. Now: an identical rig is
+  // checkpointed between driver phases, the snapshot is restored into a
+  // third freshly constructed rig (what a restarted process would do), and
+  // that rig finishes the run. Final state and the complete event sequence
+  // must match the reference exactly.
+  const std::vector<sim::RecordedEvent> reference_log = reference.recorder.log();
+
+  ReplayRig checkpointed(*psm_uart, *psm_profile, health, base, sink);
+  checkpointed.watchdog.arm();
+  checkpointed.driver.run(kPhase1);
+  std::string snapshot;
+  if (!replay::save_snapshot(checkpointed.targets(), snapshot, sink)) {
+    std::fputs(sink.str().c_str(), stderr);
+    return 1;
+  }
+
+  ReplayRig restored(*psm_uart, *psm_profile, health, base, sink);
+  if (!replay::restore_snapshot(restored.targets(), snapshot, sink)) {
+    std::fputs(sink.str().c_str(), stderr);
+    return 1;
+  }
+  restored.driver.run(kPhase2);
+  restored.watchdog.disarm();
+
+  const auto mismatch =
+      sim::first_divergence(reference_log, restored.recorder.log(), &restored.kernel);
+  const std::pair<const char*, std::pair<std::uint64_t, std::uint64_t>> state_checks[] = {
+      {"sim-time", {reference.kernel.now().picoseconds(),
+                    restored.kernel.now().picoseconds()}},
+      {"events-processed",
+       {reference.kernel.events_processed(), restored.kernel.events_processed()}},
+      {"divisor", {reference.uart.peek("divisor"), restored.uart.peek("divisor")}},
+      {"tx_data", {reference.uart.peek("tx_data"), restored.uart.peek("tx_data")}},
+      {"port-timeouts",
+       {port_stats.timeouts, restored.driver.port().stats().timeouts}},
+      {"port-retries", {port_stats.retries, restored.driver.port().stats().retries}},
+      {"health-errors",
+       {reference.health.errors_raised(), restored.health.errors_raised()}},
+  };
+  bool state_matches =
+      restored.health.active_leaf_names() == reference.health.active_leaf_names() &&
+      restored.plan.str() == reference.plan.str();
+  if (!state_matches) std::printf("replay state mismatch: health/fault-plan summary\n");
+  for (const auto& [label, values] : state_checks) {
+    if (values.first != values.second) {
+      std::printf("replay state mismatch: %s reference=%llu restored=%llu\n", label,
+                  static_cast<unsigned long long>(values.first),
+                  static_cast<unsigned long long>(values.second));
+      state_matches = false;
+    }
+  }
+  std::printf("\ncheckpoint: %zu-byte snapshot at %s; restored run replayed %llu/%llu "
+              "events\n",
+              snapshot.size(), checkpointed.kernel.now().str().c_str(),
+              static_cast<unsigned long long>(restored.recorder.total_events()),
+              static_cast<unsigned long long>(reference.recorder.total_events()));
+  if (mismatch.has_value() || !state_matches) {
+    std::printf("replay MISMATCH: %s\n",
+                mismatch.has_value() ? mismatch->str().c_str() : "final state differs");
+    return 1;
+  }
+  std::printf("replay: restored run is bit-identical to the uninterrupted reference\n");
+
+  // Divergence detection: restore the same snapshot again, switch the
+  // recorder to verify mode against the reference log, and inject one event
+  // the reference never had. The verifier must latch it.
+  ReplayRig perturbed(*psm_uart, *psm_profile, health, base, sink);
+  if (!replay::restore_snapshot(perturbed.targets(), snapshot, sink)) {
+    std::fputs(sink.str().c_str(), stderr);
+    return 1;
+  }
+  perturbed.recorder.begin_verify(reference_log, perturbed.recorder.total_events());
+  perturbed.kernel.schedule(sim::SimTime::ns(1), perturbed.perturb);
+  perturbed.driver.run(kPhase2);
+  perturbed.watchdog.disarm();
+  if (!perturbed.recorder.divergence().has_value()) {
+    std::printf("replay verify FAILED to flag an injected divergence\n");
+    return 1;
+  }
+  std::printf("divergence detection: %s\n",
+              perturbed.recorder.divergence()->str().c_str());
+
+  // Corruption rejection: a flipped byte must fail the checksum, loudly.
+  std::string corrupted = snapshot;
+  const std::size_t flip = corrupted.find("rng-state=\"");
+  if (flip != std::string::npos) {
+    char& digit = corrupted[flip + 11];
+    digit = digit == '9' ? '1' : '9';
+  }
+  support::DiagnosticSink corrupt_sink;
+  ReplayRig victim(*psm_uart, *psm_profile, health, base, sink);
+  if (replay::restore_snapshot(victim.targets(), corrupted, corrupt_sink)) {
+    std::printf("corrupted snapshot was NOT rejected\n");
+    return 1;
+  }
+  std::printf("corruption rejection: %s\n",
+              corrupt_sink.diagnostics().empty()
+                  ? "?"
+                  : corrupt_sink.diagnostics().front().str().c_str());
 
   if (sink.has_errors()) {
     std::fputs(sink.str().c_str(), stderr);

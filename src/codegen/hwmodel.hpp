@@ -10,6 +10,8 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "sim/bus.hpp"
 #include "soc/profile.hpp"
@@ -56,6 +58,19 @@ class HwModuleSim {
 
   [[nodiscard]] std::uint64_t bus_reads() const { return bus_reads_; }
   [[nodiscard]] std::uint64_t bus_writes() const { return bus_writes_; }
+
+  /// Flat checkpoint view for the replay module's generic value banks:
+  /// every register (key = register name, ascending offset order) plus the
+  /// access counters under the reserved keys "#bus-reads" / "#bus-writes"
+  /// ('#' cannot occur in a model property name). The attached behavior
+  /// machine is snapshotted separately through its StateMachineInstance.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> capture_values() const;
+
+  /// Restores a capture_values() view. Unknown keys report through `sink`
+  /// and fail the restore (registers already matched stay written — callers
+  /// treat a failed restore as fatal).
+  bool restore_values(const std::vector<std::pair<std::string, std::uint64_t>>& values,
+                      support::DiagnosticSink& sink);
 
  private:
   struct Register {

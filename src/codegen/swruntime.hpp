@@ -54,6 +54,7 @@ class BusMasterContext : public asl::ObjectContext {
   /// Status of the most recent completed transaction.
   [[nodiscard]] sim::BusStatus last_status() const { return last_status_; }
   [[nodiscard]] const sim::BusMasterPort& port() const { return port_; }
+  [[nodiscard]] sim::BusMasterPort& port() { return port_; }
 
  private:
   /// Advances simulation until `done` turns true (bounded; throws on hang,

@@ -1,0 +1,654 @@
+#include "replay/snapshot.hpp"
+
+#include <charconv>
+#include <map>
+#include <memory>
+
+#include "xmi/xml.hpp"
+
+namespace umlsoc::replay {
+
+namespace {
+
+constexpr std::string_view kRootName = "umlsoc-snapshot";
+
+// --- checksum ----------------------------------------------------------------
+
+/// FNV-1a over the canonical serialization of the root's children. The xmi
+/// writer is canonical (attribute insertion order preserved, fixed indent,
+/// whitespace-only text dropped by the parser), so parse + re-serialize
+/// reproduces the hashed bytes exactly and any corruption of the stored
+/// content shows up as a mismatch.
+std::uint64_t fnv1a(std::string_view data, std::uint64_t hash = 1469598103934665603ULL) {
+  for (unsigned char c : data) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::uint64_t content_checksum(const xmi::XmlNode& root) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const auto& child : root.children()) hash = fnv1a(child->str(1), hash);
+  return hash;
+}
+
+std::string to_hex(std::uint64_t value) {
+  char buffer[17];
+  for (int i = 15; i >= 0; --i) {
+    buffer[i] = "0123456789abcdef"[value & 0xF];
+    value >>= 4;
+  }
+  buffer[16] = '\0';
+  return std::string(buffer);
+}
+
+// --- strict attribute readers ------------------------------------------------
+
+std::string subject_of(const xmi::XmlNode& node) { return "snapshot <" + node.name() + ">"; }
+
+template <typename T>
+bool read_integer(const xmi::XmlNode& node, std::string_view key, T& out,
+                  support::DiagnosticSink& sink, int base = 10) {
+  const std::string* raw = node.attribute(key);
+  if (raw == nullptr) {
+    sink.error(subject_of(node), "missing attribute '" + std::string(key) + "'");
+    return false;
+  }
+  const char* first = raw->data();
+  const char* last = first + raw->size();
+  T value{};
+  const auto [ptr, ec] = std::from_chars(first, last, value, base);
+  if (ec != std::errc() || ptr != last || raw->empty()) {
+    sink.error(subject_of(node),
+               "attribute '" + std::string(key) + "' is not a valid integer: '" + *raw + "'");
+    return false;
+  }
+  out = value;
+  return true;
+}
+
+bool read_bool(const xmi::XmlNode& node, std::string_view key, bool& out,
+               support::DiagnosticSink& sink) {
+  const std::string* raw = node.attribute(key);
+  if (raw == nullptr) {
+    sink.error(subject_of(node), "missing attribute '" + std::string(key) + "'");
+    return false;
+  }
+  if (*raw == "0") {
+    out = false;
+  } else if (*raw == "1") {
+    out = true;
+  } else {
+    sink.error(subject_of(node),
+               "attribute '" + std::string(key) + "' must be 0 or 1, got '" + *raw + "'");
+    return false;
+  }
+  return true;
+}
+
+bool read_string(const xmi::XmlNode& node, std::string_view key, std::string& out,
+                 support::DiagnosticSink& sink) {
+  const std::string* raw = node.attribute(key);
+  if (raw == nullptr) {
+    sink.error(subject_of(node), "missing attribute '" + std::string(key) + "'");
+    return false;
+  }
+  out = *raw;
+  return true;
+}
+
+std::string bool_str(bool value) { return value ? "1" : "0"; }
+
+// --- section writers ---------------------------------------------------------
+
+void write_kernel(xmi::XmlNode& root, const sim::Kernel& kernel,
+                  const sim::Kernel::Checkpoint& checkpoint) {
+  xmi::XmlNode& node = root.add_child("kernel");
+  node.set_attribute("now-ps", std::to_string(checkpoint.now_ps));
+  node.set_attribute("sequence", std::to_string(checkpoint.sequence));
+  node.set_attribute("delta-count", std::to_string(checkpoint.delta_count));
+  node.set_attribute("events-processed", std::to_string(checkpoint.events_processed));
+  node.set_attribute("process-count", std::to_string(checkpoint.process_count));
+  for (const auto& timed : checkpoint.timed) {
+    xmi::XmlNode& entry = node.add_child("timed");
+    entry.set_attribute("at-ps", std::to_string(timed.at_ps));
+    entry.set_attribute("seq", std::to_string(timed.sequence));
+    entry.set_attribute("process", std::to_string(timed.process));
+    const std::string& label = kernel.process_label(timed.process);
+    if (!label.empty()) entry.set_attribute("label", label);
+  }
+  for (const auto& expectation : checkpoint.expectations) {
+    xmi::XmlNode& entry = node.add_child("expectation");
+    entry.set_attribute("label", expectation.label);
+    entry.set_attribute("outstanding", std::to_string(expectation.outstanding));
+  }
+}
+
+void write_fault_plan(xmi::XmlNode& root, const sim::FaultPlan& plan) {
+  xmi::XmlNode& node = root.add_child("fault-plan");
+  node.set_attribute("seed", std::to_string(plan.seed()));
+  for (std::size_t i = 0; i < sim::kFaultSiteCount; ++i) {
+    const auto site = static_cast<sim::FaultSite>(i);
+    const sim::FaultPlan::SiteState state = plan.site_state(site);
+    xmi::XmlNode& entry = node.add_child("site");
+    entry.set_attribute("name", std::string(sim::to_string(site)));
+    entry.set_attribute("rng-state", std::to_string(state.rng_state));
+    entry.set_attribute("consults", std::to_string(state.counters.consults));
+    entry.set_attribute("errors", std::to_string(state.counters.errors));
+    entry.set_attribute("drops", std::to_string(state.counters.drops));
+    entry.set_attribute("delays", std::to_string(state.counters.delays));
+    entry.set_attribute("bit-flips", std::to_string(state.counters.bit_flips));
+    entry.set_attribute("glitches", std::to_string(state.counters.glitches));
+  }
+}
+
+void write_recorder(xmi::XmlNode& root, const sim::EventRecorder& recorder) {
+  xmi::XmlNode& node = root.add_child("recorder");
+  node.set_attribute("total", std::to_string(recorder.total_events()));
+  for (const sim::RecordedEvent& event : recorder.log()) {
+    xmi::XmlNode& entry = node.add_child("event");
+    entry.set_attribute("at-ps", std::to_string(event.at_ps));
+    entry.set_attribute("process", std::to_string(event.process));
+  }
+}
+
+void write_event_records(xmi::XmlNode& node, const char* element,
+                         const std::vector<statechart::InstanceSnapshot::EventRecord>& records) {
+  for (const auto& record : records) {
+    xmi::XmlNode& entry = node.add_child(element);
+    entry.set_attribute("name", record.name);
+    entry.set_attribute("data", std::to_string(record.data));
+    if (!record.tag.empty()) entry.set_attribute("tag", record.tag);
+  }
+}
+
+void write_machine(xmi::XmlNode& root, const MachineTarget& target) {
+  const statechart::InstanceSnapshot snapshot = target.instance->capture();
+  xmi::XmlNode& node = root.add_child("machine");
+  node.set_attribute("name", target.name);
+  node.set_attribute("started", bool_str(snapshot.started));
+  node.set_attribute("terminated", bool_str(snapshot.terminated));
+  node.set_attribute("events-processed", std::to_string(snapshot.events_processed));
+  node.set_attribute("transitions-fired", std::to_string(snapshot.transitions_fired));
+  node.set_attribute("errors-raised", std::to_string(snapshot.errors_raised));
+  node.set_attribute("errors-unhandled", std::to_string(snapshot.errors_unhandled));
+  for (std::uint32_t index : snapshot.active_states) {
+    node.add_child("active-state").set_attribute("index", std::to_string(index));
+  }
+  for (std::uint32_t index : snapshot.active_finals) {
+    node.add_child("active-final").set_attribute("index", std::to_string(index));
+  }
+  for (const auto& [region, state] : snapshot.shallow_history) {
+    xmi::XmlNode& entry = node.add_child("shallow-history");
+    entry.set_attribute("region", std::to_string(region));
+    entry.set_attribute("state", std::to_string(state));
+  }
+  for (const auto& [region, leaves] : snapshot.deep_history) {
+    xmi::XmlNode& entry = node.add_child("deep-history");
+    entry.set_attribute("region", std::to_string(region));
+    for (std::uint32_t leaf : leaves) {
+      entry.add_child("leaf").set_attribute("index", std::to_string(leaf));
+    }
+  }
+  for (const auto& [name, value] : snapshot.variables) {
+    xmi::XmlNode& entry = node.add_child("variable");
+    entry.set_attribute("name", name);
+    entry.set_attribute("value", std::to_string(value));
+  }
+  write_event_records(node, "queued", snapshot.queue);
+  write_event_records(node, "deferred", snapshot.deferred);
+}
+
+void write_bus(xmi::XmlNode& root, const BusTarget& target) {
+  const sim::MemoryMappedBus::Checkpoint checkpoint = target.bus->capture_checkpoint();
+  xmi::XmlNode& node = root.add_child("bus");
+  node.set_attribute("name", target.name);
+  node.set_attribute("reads", std::to_string(checkpoint.stats.reads));
+  node.set_attribute("writes", std::to_string(checkpoint.stats.writes));
+  node.set_attribute("errors", std::to_string(checkpoint.stats.errors));
+  node.set_attribute("injected-errors", std::to_string(checkpoint.stats.injected_errors));
+  node.set_attribute("injected-drops", std::to_string(checkpoint.stats.injected_drops));
+  node.set_attribute("injected-delays", std::to_string(checkpoint.stats.injected_delays));
+  node.set_attribute("injected-bit-flips", std::to_string(checkpoint.stats.injected_bit_flips));
+  node.set_attribute("completions", std::to_string(checkpoint.stats.completions));
+  node.set_attribute("dropped-completions",
+                     std::to_string(checkpoint.stats.dropped_completions));
+  node.set_attribute("last-completion-ps", std::to_string(checkpoint.last_completion_ps));
+}
+
+void write_watchdog(xmi::XmlNode& root, const WatchdogTarget& target) {
+  const sim::Watchdog::Checkpoint checkpoint = target.watchdog->capture_checkpoint();
+  xmi::XmlNode& node = root.add_child("watchdog");
+  node.set_attribute("name", target.name);
+  node.set_attribute("armed", bool_str(checkpoint.armed));
+  node.set_attribute("tripped", bool_str(checkpoint.tripped));
+  node.set_attribute("check-pending", bool_str(checkpoint.check_pending));
+  node.set_attribute("trip-at-ps", std::to_string(checkpoint.trip_at_ps));
+  node.set_attribute("trips", std::to_string(checkpoint.trips));
+  node.set_attribute("kicks", std::to_string(checkpoint.kicks));
+}
+
+void write_bank(xmi::XmlNode& root, const ValueBank& bank) {
+  xmi::XmlNode& node = root.add_child("bank");
+  node.set_attribute("name", bank.name);
+  for (const auto& [key, value] : bank.capture()) {
+    xmi::XmlNode& entry = node.add_child("value");
+    entry.set_attribute("key", key);
+    entry.set_attribute("value", std::to_string(value));
+  }
+}
+
+// --- section readers (decode only, no targets touched) -----------------------
+
+bool read_kernel(const xmi::XmlNode& node, sim::Kernel::Checkpoint& out,
+                 support::DiagnosticSink& sink) {
+  bool ok = read_integer(node, "now-ps", out.now_ps, sink);
+  ok = read_integer(node, "sequence", out.sequence, sink) && ok;
+  ok = read_integer(node, "delta-count", out.delta_count, sink) && ok;
+  ok = read_integer(node, "events-processed", out.events_processed, sink) && ok;
+  ok = read_integer(node, "process-count", out.process_count, sink) && ok;
+  for (const auto& child : node.children()) {
+    if (child->name() == "timed") {
+      sim::Kernel::Checkpoint::PendingTimed timed;
+      ok = read_integer(*child, "at-ps", timed.at_ps, sink) && ok;
+      ok = read_integer(*child, "seq", timed.sequence, sink) && ok;
+      ok = read_integer(*child, "process", timed.process, sink) && ok;
+      out.timed.push_back(timed);
+    } else if (child->name() == "expectation") {
+      sim::Kernel::Checkpoint::ExpectationEntry entry;
+      ok = read_string(*child, "label", entry.label, sink) && ok;
+      ok = read_integer(*child, "outstanding", entry.outstanding, sink) && ok;
+      out.expectations.push_back(std::move(entry));
+    } else {
+      sink.error(subject_of(node), "unknown element <" + child->name() + ">");
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+bool read_fault_plan(const xmi::XmlNode& node, std::uint64_t& seed,
+                     std::vector<std::pair<sim::FaultSite, sim::FaultPlan::SiteState>>& sites,
+                     support::DiagnosticSink& sink) {
+  bool ok = read_integer(node, "seed", seed, sink);
+  for (const xmi::XmlNode* entry : node.children_named("site")) {
+    std::string name;
+    if (!read_string(*entry, "name", name, sink)) {
+      ok = false;
+      continue;
+    }
+    bool known = false;
+    sim::FaultSite site = sim::FaultSite::kBusRead;
+    for (std::size_t i = 0; i < sim::kFaultSiteCount; ++i) {
+      if (name == sim::to_string(static_cast<sim::FaultSite>(i))) {
+        site = static_cast<sim::FaultSite>(i);
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      sink.error(subject_of(node), "unknown fault site '" + name + "'");
+      ok = false;
+      continue;
+    }
+    sim::FaultPlan::SiteState state;
+    ok = read_integer(*entry, "rng-state", state.rng_state, sink) && ok;
+    ok = read_integer(*entry, "consults", state.counters.consults, sink) && ok;
+    ok = read_integer(*entry, "errors", state.counters.errors, sink) && ok;
+    ok = read_integer(*entry, "drops", state.counters.drops, sink) && ok;
+    ok = read_integer(*entry, "delays", state.counters.delays, sink) && ok;
+    ok = read_integer(*entry, "bit-flips", state.counters.bit_flips, sink) && ok;
+    ok = read_integer(*entry, "glitches", state.counters.glitches, sink) && ok;
+    sites.emplace_back(site, state);
+  }
+  return ok;
+}
+
+bool read_recorder(const xmi::XmlNode& node, std::uint64_t& total,
+                   std::vector<sim::RecordedEvent>& events, support::DiagnosticSink& sink) {
+  bool ok = read_integer(node, "total", total, sink);
+  for (const xmi::XmlNode* entry : node.children_named("event")) {
+    sim::RecordedEvent event;
+    ok = read_integer(*entry, "at-ps", event.at_ps, sink) && ok;
+    ok = read_integer(*entry, "process", event.process, sink) && ok;
+    events.push_back(event);
+  }
+  if (ok && events.size() > total) {
+    sink.error(subject_of(node), "log holds " + std::to_string(events.size()) +
+                                     " events but total says " + std::to_string(total));
+    ok = false;
+  }
+  return ok;
+}
+
+bool read_event_records(const xmi::XmlNode& node, const char* element,
+                        std::vector<statechart::InstanceSnapshot::EventRecord>& out,
+                        support::DiagnosticSink& sink) {
+  bool ok = true;
+  for (const xmi::XmlNode* entry : node.children_named(element)) {
+    statechart::InstanceSnapshot::EventRecord record;
+    ok = read_string(*entry, "name", record.name, sink) && ok;
+    ok = read_integer(*entry, "data", record.data, sink) && ok;
+    record.tag = entry->attribute_or("tag", "");
+    out.push_back(std::move(record));
+  }
+  return ok;
+}
+
+bool read_machine(const xmi::XmlNode& node, statechart::InstanceSnapshot& out,
+                  support::DiagnosticSink& sink) {
+  bool ok = read_bool(node, "started", out.started, sink);
+  ok = read_bool(node, "terminated", out.terminated, sink) && ok;
+  ok = read_integer(node, "events-processed", out.events_processed, sink) && ok;
+  ok = read_integer(node, "transitions-fired", out.transitions_fired, sink) && ok;
+  ok = read_integer(node, "errors-raised", out.errors_raised, sink) && ok;
+  ok = read_integer(node, "errors-unhandled", out.errors_unhandled, sink) && ok;
+  for (const xmi::XmlNode* entry : node.children_named("active-state")) {
+    std::uint32_t index = 0;
+    ok = read_integer(*entry, "index", index, sink) && ok;
+    out.active_states.push_back(index);
+  }
+  for (const xmi::XmlNode* entry : node.children_named("active-final")) {
+    std::uint32_t index = 0;
+    ok = read_integer(*entry, "index", index, sink) && ok;
+    out.active_finals.push_back(index);
+  }
+  for (const xmi::XmlNode* entry : node.children_named("shallow-history")) {
+    std::uint32_t region = 0;
+    std::uint32_t state = 0;
+    ok = read_integer(*entry, "region", region, sink) && ok;
+    ok = read_integer(*entry, "state", state, sink) && ok;
+    out.shallow_history.emplace_back(region, state);
+  }
+  for (const xmi::XmlNode* entry : node.children_named("deep-history")) {
+    std::uint32_t region = 0;
+    ok = read_integer(*entry, "region", region, sink) && ok;
+    std::vector<std::uint32_t> leaves;
+    for (const xmi::XmlNode* leaf : entry->children_named("leaf")) {
+      std::uint32_t index = 0;
+      ok = read_integer(*leaf, "index", index, sink) && ok;
+      leaves.push_back(index);
+    }
+    out.deep_history.emplace_back(region, std::move(leaves));
+  }
+  for (const xmi::XmlNode* entry : node.children_named("variable")) {
+    std::string name;
+    std::int64_t value = 0;
+    ok = read_string(*entry, "name", name, sink) && ok;
+    ok = read_integer(*entry, "value", value, sink) && ok;
+    out.variables.emplace_back(std::move(name), value);
+  }
+  ok = read_event_records(node, "queued", out.queue, sink) && ok;
+  ok = read_event_records(node, "deferred", out.deferred, sink) && ok;
+  return ok;
+}
+
+bool read_bus(const xmi::XmlNode& node, sim::MemoryMappedBus::Checkpoint& out,
+              support::DiagnosticSink& sink) {
+  bool ok = read_integer(node, "reads", out.stats.reads, sink);
+  ok = read_integer(node, "writes", out.stats.writes, sink) && ok;
+  ok = read_integer(node, "errors", out.stats.errors, sink) && ok;
+  ok = read_integer(node, "injected-errors", out.stats.injected_errors, sink) && ok;
+  ok = read_integer(node, "injected-drops", out.stats.injected_drops, sink) && ok;
+  ok = read_integer(node, "injected-delays", out.stats.injected_delays, sink) && ok;
+  ok = read_integer(node, "injected-bit-flips", out.stats.injected_bit_flips, sink) && ok;
+  ok = read_integer(node, "completions", out.stats.completions, sink) && ok;
+  ok = read_integer(node, "dropped-completions", out.stats.dropped_completions, sink) && ok;
+  ok = read_integer(node, "last-completion-ps", out.last_completion_ps, sink) && ok;
+  return ok;
+}
+
+bool read_watchdog(const xmi::XmlNode& node, sim::Watchdog::Checkpoint& out,
+                   support::DiagnosticSink& sink) {
+  bool ok = read_bool(node, "armed", out.armed, sink);
+  ok = read_bool(node, "tripped", out.tripped, sink) && ok;
+  ok = read_bool(node, "check-pending", out.check_pending, sink) && ok;
+  ok = read_integer(node, "trip-at-ps", out.trip_at_ps, sink) && ok;
+  ok = read_integer(node, "trips", out.trips, sink) && ok;
+  ok = read_integer(node, "kicks", out.kicks, sink) && ok;
+  return ok;
+}
+
+bool read_bank(const xmi::XmlNode& node,
+               std::vector<std::pair<std::string, std::uint64_t>>& out,
+               support::DiagnosticSink& sink) {
+  bool ok = true;
+  for (const xmi::XmlNode* entry : node.children_named("value")) {
+    std::string key;
+    std::uint64_t value = 0;
+    ok = read_string(*entry, "key", key, sink) && ok;
+    ok = read_integer(*entry, "value", value, sink) && ok;
+    out.emplace_back(std::move(key), value);
+  }
+  return ok;
+}
+
+/// Collects the document's sections of one element kind into a name->node
+/// map, then checks that map and the targets' names match one-to-one.
+template <typename Target>
+bool match_sections(const xmi::XmlNode& root, std::string_view element,
+                    const std::vector<Target>& targets,
+                    std::map<std::string, const xmi::XmlNode*>& out,
+                    support::DiagnosticSink& sink) {
+  bool ok = true;
+  for (const xmi::XmlNode* node : root.children_named(element)) {
+    std::string name;
+    if (!read_string(*node, "name", name, sink)) {
+      ok = false;
+      continue;
+    }
+    if (!out.emplace(name, node).second) {
+      sink.error("snapshot", "duplicate <" + std::string(element) + "> section '" + name + "'");
+      ok = false;
+    }
+  }
+  for (const Target& target : targets) {
+    if (out.find(target.name) == out.end()) {
+      sink.error("snapshot",
+                 "no <" + std::string(element) + "> section named '" + target.name + "'");
+      ok = false;
+    }
+  }
+  for (const auto& [name, node] : out) {
+    bool registered = false;
+    for (const Target& target : targets) registered = registered || target.name == name;
+    if (!registered) {
+      sink.error("snapshot", "<" + std::string(element) + "> section '" + name +
+                                 "' has no registered target");
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+// --- save --------------------------------------------------------------------
+
+bool save_snapshot(const SnapshotTargets& targets, std::string& out,
+                   support::DiagnosticSink& sink) {
+  if (targets.kernel == nullptr) {
+    sink.error("snapshot", "no kernel target registered");
+    return false;
+  }
+
+  sim::Kernel::Checkpoint kernel_checkpoint;
+  if (!targets.kernel->capture_checkpoint(kernel_checkpoint, sink)) return false;
+
+  bool ok = true;
+  for (const BusTarget& target : targets.buses) {
+    if (target.bus->pending_transactions() != 0) {
+      sink.error("snapshot", "bus '" + target.name + "' has " +
+                                 std::to_string(target.bus->pending_transactions()) +
+                                 " pending transactions; checkpoint between quiescent points");
+      ok = false;
+    }
+  }
+  // Outstanding expectations are restorable only when a registered watchdog
+  // owns them (its armed flag travels in the watchdog section). Anything
+  // else — an in-flight bus-port transaction, a custom expectation — holds
+  // callbacks this format cannot serialize.
+  for (const auto& expectation : kernel_checkpoint.expectations) {
+    if (expectation.outstanding == 0) continue;
+    bool owned = false;
+    for (const WatchdogTarget& target : targets.watchdogs) {
+      owned = owned ||
+              expectation.label == "watchdog " + target.watchdog->name() + " armed";
+    }
+    if (!owned) {
+      sink.error("snapshot", "expectation '" + expectation.label + "' has " +
+                                 std::to_string(expectation.outstanding) +
+                                 " outstanding instances not owned by a registered watchdog");
+      ok = false;
+    }
+  }
+  if (!ok) return false;
+
+  xmi::XmlNode root{std::string(kRootName)};
+  write_kernel(root, *targets.kernel, kernel_checkpoint);
+  if (targets.fault_plan != nullptr) write_fault_plan(root, *targets.fault_plan);
+  if (targets.recorder != nullptr) write_recorder(root, *targets.recorder);
+  for (const MachineTarget& target : targets.machines) write_machine(root, target);
+  for (const BusTarget& target : targets.buses) write_bus(root, target);
+  for (const WatchdogTarget& target : targets.watchdogs) write_watchdog(root, target);
+  for (const ValueBank& bank : targets.banks) write_bank(root, bank);
+
+  root.set_attribute("version", std::to_string(kSnapshotVersion));
+  root.set_attribute("checksum", to_hex(content_checksum(root)));
+  out = root.str();
+  return true;
+}
+
+// --- restore -----------------------------------------------------------------
+
+bool restore_snapshot(const SnapshotTargets& targets, std::string_view input,
+                      support::DiagnosticSink& sink) {
+  if (targets.kernel == nullptr) {
+    sink.error("snapshot", "no kernel target registered");
+    return false;
+  }
+
+  const std::unique_ptr<xmi::XmlNode> root = xmi::parse_xml(input, sink);
+  if (root == nullptr) {
+    sink.error("snapshot", "input is not a well-formed snapshot document");
+    return false;
+  }
+  if (root->name() != kRootName) {
+    sink.error("snapshot", "root element is <" + root->name() + ">, expected <" +
+                               std::string(kRootName) + ">");
+    return false;
+  }
+  int version = 0;
+  if (!read_integer(*root, "version", version, sink)) return false;
+  if (version != kSnapshotVersion) {
+    sink.error("snapshot", "unsupported snapshot version " + std::to_string(version) +
+                               " (this build reads version " +
+                               std::to_string(kSnapshotVersion) + ")");
+    return false;
+  }
+  std::uint64_t stored_checksum = 0;
+  if (!read_integer(*root, "checksum", stored_checksum, sink, 16)) return false;
+  const std::uint64_t computed = content_checksum(*root);
+  if (computed != stored_checksum) {
+    sink.error("snapshot", "checksum mismatch: stored " + to_hex(stored_checksum) +
+                               ", computed " + to_hex(computed) +
+                               " — the snapshot is corrupted");
+    return false;
+  }
+
+  // Decode every section before touching any target.
+  const xmi::XmlNode* kernel_node = root->child("kernel");
+  if (kernel_node == nullptr) {
+    sink.error("snapshot", "missing <kernel> section");
+    return false;
+  }
+  sim::Kernel::Checkpoint kernel_checkpoint;
+  bool ok = read_kernel(*kernel_node, kernel_checkpoint, sink);
+
+  std::uint64_t fault_seed = 0;
+  std::vector<std::pair<sim::FaultSite, sim::FaultPlan::SiteState>> sites;
+  const xmi::XmlNode* fault_node = root->child("fault-plan");
+  if ((fault_node != nullptr) != (targets.fault_plan != nullptr)) {
+    sink.error("snapshot", fault_node != nullptr
+                               ? "snapshot has a <fault-plan> section but no plan is registered"
+                               : "no <fault-plan> section for the registered plan");
+    ok = false;
+  } else if (fault_node != nullptr) {
+    ok = read_fault_plan(*fault_node, fault_seed, sites, sink) && ok;
+    if (ok && fault_seed != targets.fault_plan->seed()) {
+      sink.error("snapshot", "fault-plan seed mismatch: snapshot " +
+                                 std::to_string(fault_seed) + ", registered plan " +
+                                 std::to_string(targets.fault_plan->seed()));
+      ok = false;
+    }
+  }
+
+  std::uint64_t recorder_total = 0;
+  std::vector<sim::RecordedEvent> recorder_events;
+  const xmi::XmlNode* recorder_node = root->child("recorder");
+  if ((recorder_node != nullptr) != (targets.recorder != nullptr)) {
+    sink.error("snapshot", recorder_node != nullptr
+                               ? "snapshot has a <recorder> section but no recorder is registered"
+                               : "no <recorder> section for the registered recorder");
+    ok = false;
+  } else if (recorder_node != nullptr) {
+    ok = read_recorder(*recorder_node, recorder_total, recorder_events, sink) && ok;
+  }
+
+  std::map<std::string, const xmi::XmlNode*> machine_nodes;
+  std::map<std::string, const xmi::XmlNode*> bus_nodes;
+  std::map<std::string, const xmi::XmlNode*> watchdog_nodes;
+  std::map<std::string, const xmi::XmlNode*> bank_nodes;
+  ok = match_sections(*root, "machine", targets.machines, machine_nodes, sink) && ok;
+  ok = match_sections(*root, "bus", targets.buses, bus_nodes, sink) && ok;
+  ok = match_sections(*root, "watchdog", targets.watchdogs, watchdog_nodes, sink) && ok;
+  ok = match_sections(*root, "bank", targets.banks, bank_nodes, sink) && ok;
+  if (!ok) return false;
+
+  std::vector<statechart::InstanceSnapshot> machine_snapshots(targets.machines.size());
+  for (std::size_t i = 0; i < targets.machines.size(); ++i) {
+    ok = read_machine(*machine_nodes[targets.machines[i].name], machine_snapshots[i], sink) &&
+         ok;
+  }
+  std::vector<sim::MemoryMappedBus::Checkpoint> bus_checkpoints(targets.buses.size());
+  for (std::size_t i = 0; i < targets.buses.size(); ++i) {
+    ok = read_bus(*bus_nodes[targets.buses[i].name], bus_checkpoints[i], sink) && ok;
+  }
+  std::vector<sim::Watchdog::Checkpoint> watchdog_checkpoints(targets.watchdogs.size());
+  for (std::size_t i = 0; i < targets.watchdogs.size(); ++i) {
+    ok = read_watchdog(*watchdog_nodes[targets.watchdogs[i].name], watchdog_checkpoints[i],
+                       sink) &&
+         ok;
+  }
+  std::vector<std::vector<std::pair<std::string, std::uint64_t>>> bank_values(
+      targets.banks.size());
+  for (std::size_t i = 0; i < targets.banks.size(); ++i) {
+    ok = read_bank(*bank_nodes[targets.banks[i].name], bank_values[i], sink) && ok;
+  }
+  if (!ok) return false;
+
+  // Apply. The kernel goes first (it validates process addressing and wipes
+  // construction-time scheduling); watchdogs after it (their expectation
+  // counts arrive with the kernel's registry).
+  if (!targets.kernel->restore_checkpoint(kernel_checkpoint, sink)) return false;
+  for (const auto& [site, state] : sites) targets.fault_plan->restore_site_state(site, state);
+  for (std::size_t i = 0; i < targets.machines.size(); ++i) {
+    if (!targets.machines[i].instance->restore(machine_snapshots[i], sink)) return false;
+  }
+  for (std::size_t i = 0; i < targets.buses.size(); ++i) {
+    targets.buses[i].bus->restore_checkpoint(bus_checkpoints[i]);
+  }
+  for (std::size_t i = 0; i < targets.watchdogs.size(); ++i) {
+    targets.watchdogs[i].watchdog->restore_checkpoint(watchdog_checkpoints[i]);
+  }
+  for (std::size_t i = 0; i < targets.banks.size(); ++i) {
+    if (!targets.banks[i].restore(bank_values[i], sink)) return false;
+  }
+  if (targets.recorder != nullptr) {
+    targets.recorder->restore_log(std::move(recorder_events), recorder_total);
+  }
+  return true;
+}
+
+}  // namespace umlsoc::replay

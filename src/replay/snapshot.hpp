@@ -1,0 +1,106 @@
+// Versioned checkpoint/restore for executable models.
+//
+// A snapshot is an XML document (reusing the xmi writer/parser) capturing
+// everything a deterministic setup cannot reconstruct on its own: kernel
+// time, sequence counter and pending timed-event metadata; fault-plan RNG
+// stream positions and counters; statechart instance configurations
+// (active states, history, variables, event pools); bus pipeline state;
+// watchdog supervision flags; generic value banks (register files); and
+// the event-recorder log.
+//
+// What is NOT captured — and why restore works anyway: process bodies,
+// callbacks and model structure. The restoring process re-runs the same
+// deterministic setup code (same construction order => same ProcessIds,
+// same vertex pre-order => same statechart indices), then restore_snapshot
+// replaces the *state* of those freshly built components. The contract is
+// therefore "same setup, different process", not "cold start from bytes".
+//
+// Robustness: save refuses states it could not faithfully restore (pending
+// bus transactions, expectations owned by anything but a registered
+// watchdog, transient one-shot processes in the queue). Restore validates
+// the document before touching any target: root tag, version and FNV-1a
+// content checksum first, then every section is decoded and matched
+// against the registered targets; only then is state applied. Malformed,
+// truncated, corrupted or version-bumped input fails with structured
+// diagnostics and leaves the targets unchanged.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/bus.hpp"
+#include "sim/fault.hpp"
+#include "sim/kernel.hpp"
+#include "sim/replay.hpp"
+#include "statechart/interpreter.hpp"
+#include "support/diagnostics.hpp"
+
+namespace umlsoc::replay {
+
+/// Format version written by save_snapshot; restore_snapshot rejects any
+/// other value (forward- and backward-incompatible by design: the format
+/// mirrors internal state).
+inline constexpr int kSnapshotVersion = 1;
+
+struct MachineTarget {
+  std::string name;
+  statechart::StateMachineInstance* instance = nullptr;
+};
+
+struct BusTarget {
+  std::string name;
+  sim::MemoryMappedBus* bus = nullptr;
+};
+
+struct WatchdogTarget {
+  std::string name;
+  sim::Watchdog* watchdog = nullptr;
+};
+
+/// Generic named key/value section for components without first-class
+/// snapshot support (register files, scoreboards). Capture returns the
+/// values to store; restore applies a stored set and reports problems
+/// through the sink.
+struct ValueBank {
+  std::string name;
+  std::function<std::vector<std::pair<std::string, std::uint64_t>>()> capture;
+  std::function<bool(const std::vector<std::pair<std::string, std::uint64_t>>&,
+                     support::DiagnosticSink&)>
+      restore;
+};
+
+/// The components one snapshot covers. `kernel` is required; everything
+/// else is optional. Section names must be unique per kind — they are the
+/// join keys between a snapshot document and a restoring process's targets.
+struct SnapshotTargets {
+  sim::Kernel* kernel = nullptr;
+  sim::FaultPlan* fault_plan = nullptr;
+  sim::EventRecorder* recorder = nullptr;
+  std::vector<MachineTarget> machines;
+  std::vector<BusTarget> buses;
+  std::vector<WatchdogTarget> watchdogs;
+  std::vector<ValueBank> banks;
+};
+
+/// Serializes the targets' state into `out`. Returns false (reporting
+/// through `sink`, `out` untouched) when the state is not checkpointable:
+/// mid-delta kernel, pending transient events, in-flight bus transactions,
+/// or outstanding expectations not owned by a registered watchdog.
+[[nodiscard]] bool save_snapshot(const SnapshotTargets& targets, std::string& out,
+                                 support::DiagnosticSink& sink);
+
+/// Restores a save_snapshot document into `targets`. The document is fully
+/// validated (well-formedness, root tag, version, checksum, section/target
+/// match, strict attribute syntax) before any target is mutated; format
+/// errors therefore never leave a partial restore. Component-level
+/// validation failures during apply (e.g. a snapshot from a structurally
+/// different machine) also report through `sink` and return false, but may
+/// leave earlier sections applied — treat a failed restore as fatal.
+[[nodiscard]] bool restore_snapshot(const SnapshotTargets& targets, std::string_view input,
+                                    support::DiagnosticSink& sink);
+
+}  // namespace umlsoc::replay

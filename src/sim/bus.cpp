@@ -20,7 +20,8 @@ std::string_view to_string(BusStatus status) {
 
 MemoryMappedBus::MemoryMappedBus(Kernel& kernel, std::string name, SimTime latency)
     : kernel_(kernel), name_(std::move(name)), latency_(latency) {
-  completion_ = kernel_.register_process([this] { complete_front(); });
+  completion_ = kernel_.register_process([this] { complete_front(); },
+                                         "bus." + name_ + ".completion");
 }
 
 void MemoryMappedBus::map_device(std::string device_name, std::uint64_t base,
@@ -147,6 +148,8 @@ BusMasterPort::BusMasterPort(Kernel& kernel, MemoryMappedBus& bus, std::string n
                              RetryPolicy policy)
     : kernel_(kernel), bus_(bus), name_(std::move(name)), policy_(policy) {
   inflight_ = kernel_.register_expectation(bus_.name() + "." + name_ + " in-flight");
+  timeout_process_ = kernel_.register_process([this] { check_timeouts(); },
+                                              "port." + bus_.name() + "." + name_ + ".timeout");
 }
 
 SimTime BusMasterPort::deadline_for(int attempt) const {
@@ -237,14 +240,37 @@ void BusMasterPort::start_attempt(const std::shared_ptr<Txn>& txn) {
     });
   }
   if (policy_.timeout.picoseconds() == 0) return;
-  kernel_.schedule(deadline_for(attempt), [this, txn, attempt] {
-    if (txn->completed || txn->attempt != attempt) return;  // Attempt resolved.
-    ++stats_.timeouts;
-    notify(Notice::Kind::kTimeout, *txn, BusStatus::kTimeout);
-    if (try_retry(txn)) return;
-    ++stats_.exhausted;
-    finish(txn, BusStatus::kTimeout, MemoryMappedBus::kBusError);
-  });
+  const SimTime deadline = deadline_for(attempt);
+  supervision_.push_back(
+      Supervision{(kernel_.now() + deadline).picoseconds(), attempt, txn});
+  kernel_.schedule(deadline, timeout_process_);
+}
+
+void BusMasterPort::check_timeouts() {
+  // Drain every entry that is due. Extra wakeups (several entries due at
+  // one instant drained by the first) find nothing and fall through.
+  const std::uint64_t now_ps = kernel_.now().picoseconds();
+  due_scratch_.clear();
+  std::size_t kept = 0;
+  for (Supervision& entry : supervision_) {
+    if (entry.due_ps <= now_ps) {
+      due_scratch_.push_back(std::move(entry));
+    } else {
+      supervision_[kept++] = std::move(entry);
+    }
+  }
+  supervision_.resize(kept);
+  for (const Supervision& due : due_scratch_) handle_timeout(due.txn, due.attempt);
+  due_scratch_.clear();
+}
+
+void BusMasterPort::handle_timeout(const std::shared_ptr<Txn>& txn, int attempt) {
+  if (txn->completed || txn->attempt != attempt) return;  // Attempt resolved.
+  ++stats_.timeouts;
+  notify(Notice::Kind::kTimeout, *txn, BusStatus::kTimeout);
+  if (try_retry(txn)) return;
+  ++stats_.exhausted;
+  finish(txn, BusStatus::kTimeout, MemoryMappedBus::kBusError);
 }
 
 }  // namespace umlsoc::sim

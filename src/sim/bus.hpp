@@ -21,6 +21,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "sim/kernel.hpp"
 
@@ -96,6 +97,26 @@ class MemoryMappedBus {
   [[nodiscard]] std::uint64_t writes() const { return stats_.writes; }
   [[nodiscard]] std::uint64_t errors() const { return stats_.errors; }
   [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Issued transactions whose completion has not fired yet. A bus is only
+  /// checkpointable while this is zero: a pending transaction's completion
+  /// callback cannot be serialized.
+  [[nodiscard]] std::size_t pending_transactions() const { return pending_.size(); }
+
+  /// Checkpointable bus state. `last_completion_ps` matters for determinism:
+  /// the in-order pipeline clamps every completion to be no earlier than its
+  /// predecessor's, so a restored run must continue from the same clamp.
+  struct Checkpoint {
+    BusStats stats;
+    std::uint64_t last_completion_ps = 0;
+  };
+  [[nodiscard]] Checkpoint capture_checkpoint() const {
+    return Checkpoint{stats_, last_completion_ps_};
+  }
+  void restore_checkpoint(const Checkpoint& checkpoint) {
+    stats_ = checkpoint.stats;
+    last_completion_ps_ = checkpoint.last_completion_ps;
+  }
 
  private:
   struct Window {
@@ -201,6 +222,14 @@ class BusMasterPort {
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const RetryPolicy& policy() const { return policy_; }
 
+  /// Checkpointable per-port state: the counters. Supervision entries for
+  /// in-flight transactions hold completion callbacks and cannot be
+  /// captured — the port's in-flight expectation makes save_snapshot
+  /// reject such states, so a restorable checkpoint always has an empty
+  /// supervision queue.
+  [[nodiscard]] const Stats& capture_checkpoint() const { return stats_; }
+  void restore_checkpoint(const Stats& stats) { stats_ = stats; }
+
  private:
   struct Txn {
     bool is_read;
@@ -212,18 +241,34 @@ class BusMasterPort {
     MemoryMappedBus::WriteCompletion write_done;
   };
 
+  /// A scheduled timeout check for one attempt. Supervision runs on a single
+  /// registered kernel process (no per-attempt std::function registration,
+  /// and — unlike a transient closure — snapshot-restorable): each attempt
+  /// appends an entry and schedules the shared process at the deadline; the
+  /// process drains every entry that is due.
+  struct Supervision {
+    std::uint64_t due_ps;
+    int attempt;
+    std::shared_ptr<Txn> txn;
+  };
+
   void start_attempt(const std::shared_ptr<Txn>& txn);
   void finish(const std::shared_ptr<Txn>& txn, BusStatus status, std::uint64_t value);
   /// Retries if the policy allows; returns false when attempts are spent.
   bool try_retry(const std::shared_ptr<Txn>& txn);
   void notify(Notice::Kind kind, const Txn& txn, BusStatus status) const;
   [[nodiscard]] SimTime deadline_for(int attempt) const;
+  void check_timeouts();
+  void handle_timeout(const std::shared_ptr<Txn>& txn, int attempt);
 
   Kernel& kernel_;
   MemoryMappedBus& bus_;
   std::string name_;
   RetryPolicy policy_;
   ExpectationId inflight_ = kInvalidExpectation;
+  ProcessId timeout_process_ = kInvalidProcess;
+  std::vector<Supervision> supervision_;  // Insertion (FIFO) order.
+  std::vector<Supervision> due_scratch_;
   std::function<void(const Notice&)> listener_;
   Stats stats_;
 };

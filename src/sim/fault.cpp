@@ -133,7 +133,7 @@ Watchdog::Watchdog(Kernel& kernel, std::string name, SimTime deadline,
       name_(std::move(name)),
       deadline_(deadline),
       on_trip_(std::move(on_trip)) {
-  check_process_ = kernel_.register_process([this] { check(); });
+  check_process_ = kernel_.register_process([this] { check(); }, "wd." + name_ + ".check");
   expectation_ = kernel_.register_expectation("watchdog " + name_ + " armed");
 }
 
@@ -188,8 +188,10 @@ void Watchdog::check() {
 SignalGlitcher::SignalGlitcher(Kernel& kernel, FaultPlan& plan, Signal<bool>& target,
                                SimTime interval, SimTime width)
     : kernel_(kernel), plan_(plan), target_(target), interval_(interval), width_(width) {
-  tick_process_ = kernel_.register_process([this] { tick(); });
-  restore_process_ = kernel_.register_process([this] { target_.write(restore_value_); });
+  tick_process_ = kernel_.register_process([this] { tick(); },
+                                           "glitch." + target.name() + ".tick");
+  restore_process_ = kernel_.register_process([this] { target_.write(restore_value_); },
+                                              "glitch." + target.name() + ".restore");
 }
 
 void SignalGlitcher::start() {

@@ -119,6 +119,24 @@ class FaultPlan {
   }
   [[nodiscard]] std::uint64_t total_injected() const;
 
+  /// Checkpointable per-site stream position: RNG state plus counters.
+  /// Restoring both resumes the decision sequence exactly where the
+  /// captured plan left off (configs are not captured — the restoring setup
+  /// reconstructs them).
+  struct SiteState {
+    std::uint64_t rng_state = 0;
+    SiteCounters counters;
+  };
+  [[nodiscard]] SiteState site_state(FaultSite site) const {
+    const Site& entry = sites_[static_cast<std::size_t>(site)];
+    return SiteState{entry.rng.state(), entry.counters};
+  }
+  void restore_site_state(FaultSite site, const SiteState& state) {
+    Site& entry = sites_[static_cast<std::size_t>(site)];
+    entry.rng.set_state(state.rng_state);
+    entry.counters = state.counters;
+  }
+
   /// "site=kind*count ..." summary for logs and reports.
   [[nodiscard]] std::string str() const;
 
@@ -159,6 +177,31 @@ class Watchdog {
   [[nodiscard]] bool tripped() const { return tripped_; }
   [[nodiscard]] std::uint64_t trips() const { return trips_; }
   [[nodiscard]] std::uint64_t kicks() const { return kicks_; }
+
+  /// Checkpointable supervision state. The scheduled check event itself
+  /// lives in the kernel checkpoint (the check process is a registered
+  /// handle), and the armed expectation count is restored by the kernel's
+  /// expectation registry — restore_checkpoint only reinstates the
+  /// watchdog-local flags, so it must run after Kernel::restore_checkpoint.
+  struct Checkpoint {
+    bool armed = false;
+    bool tripped = false;
+    bool check_pending = false;
+    std::uint64_t trip_at_ps = 0;
+    std::uint64_t trips = 0;
+    std::uint64_t kicks = 0;
+  };
+  [[nodiscard]] Checkpoint capture_checkpoint() const {
+    return Checkpoint{armed_, tripped_, check_pending_, trip_at_ps_, trips_, kicks_};
+  }
+  void restore_checkpoint(const Checkpoint& checkpoint) {
+    armed_ = checkpoint.armed;
+    tripped_ = checkpoint.tripped;
+    check_pending_ = checkpoint.check_pending;
+    trip_at_ps_ = checkpoint.trip_at_ps;
+    trips_ = checkpoint.trips;
+    kicks_ = checkpoint.kicks;
+  }
 
  private:
   void check();

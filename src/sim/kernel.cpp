@@ -4,6 +4,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "sim/replay.hpp"
+
 namespace umlsoc::sim {
 
 std::string SimTime::str() const {
@@ -45,12 +47,20 @@ ProcessId Kernel::register_process(std::function<void()> body) {
     const ProcessId id = free_transients_.back();
     free_transients_.pop_back();
     processes_[id] = std::move(body);
+    labels_[id].clear();
     transient_[id] = 0;
     return id;
   }
   processes_.push_back(std::move(body));
+  labels_.emplace_back();
   transient_.push_back(0);
   return static_cast<ProcessId>(processes_.size() - 1);
+}
+
+ProcessId Kernel::register_process(std::function<void()> body, std::string label) {
+  const ProcessId id = register_process(std::move(body));
+  labels_[id] = std::move(label);
+  return id;
 }
 
 void Kernel::schedule(SimTime delay, std::function<void()> callback) {
@@ -189,8 +199,13 @@ void Kernel::collect_runnable_at(std::uint64_t at_ps) {
 }
 
 void Kernel::run_process(ProcessId process) {
+  if (recorder_ != nullptr) record_event(process);
   processes_[process]();
   if (transient_[process]) release_transient(process);
+}
+
+void Kernel::record_event(ProcessId process) {
+  recorder_->on_event(now_.picoseconds(), process, *this);
 }
 
 void Kernel::release_transient(ProcessId process) {
@@ -260,6 +275,156 @@ void Kernel::run_delta_loop() {
   if (deltas_here > stats_.max_deltas_per_instant) {
     stats_.max_deltas_per_instant = deltas_here;
   }
+}
+
+// --- Checkpoint / restore ----------------------------------------------------
+
+bool Kernel::capture_checkpoint(Checkpoint& out, support::DiagnosticSink& sink) const {
+  const std::string subject = "sim.kernel";
+  if (!runnable_.empty() || !next_runnable_.empty() || !update_requests_.empty()) {
+    sink.error(subject, "cannot checkpoint mid-delta: runnable processes or pending "
+                        "signal updates exist (checkpoint between run() calls)");
+    return false;
+  }
+  out = Checkpoint{};
+  out.now_ps = now_.picoseconds();
+  out.sequence = sequence_;
+  out.delta_count = delta_count_;
+  out.events_processed = events_processed_;
+  out.process_count = processes_.size();
+
+  out.timed.reserve(timed_size_);
+  auto add_entry = [&](const TimedEntry& entry) -> bool {
+    if (transient_[entry.process]) {
+      sink.error(subject,
+                 "cannot checkpoint: pending timed event at " + SimTime(entry.at_ps).str() +
+                     " targets a transient one-shot process (id " +
+                     std::to_string(entry.process) +
+                     ") whose body a fresh process could not re-register; migrate the "
+                     "scheduling call to register_process + schedule(delay, ProcessId)");
+      return false;
+    }
+    out.timed.push_back(Checkpoint::PendingTimed{entry.at_ps, entry.sequence, entry.process});
+    return true;
+  };
+  for (std::uint32_t slot = 0; slot < kWheelBuckets; ++slot) {
+    for (std::int32_t index = wheel_heads_[slot]; index != -1;
+         index = pool_[static_cast<std::size_t>(index)].next) {
+      if (!add_entry(pool_[static_cast<std::size_t>(index)])) return false;
+    }
+  }
+  for (const TimedEntry& entry : heap_) {
+    if (!add_entry(entry)) return false;
+  }
+  std::sort(out.timed.begin(), out.timed.end(),
+            [](const Checkpoint::PendingTimed& a, const Checkpoint::PendingTimed& b) {
+              if (a.at_ps != b.at_ps) return a.at_ps < b.at_ps;
+              return a.sequence < b.sequence;
+            });
+
+  out.expectations.reserve(expectations_.size());
+  for (const Expectation& expectation : expectations_) {
+    out.expectations.push_back(
+        Checkpoint::ExpectationEntry{expectation.label, expectation.outstanding});
+  }
+  return true;
+}
+
+bool Kernel::restore_checkpoint(const Checkpoint& checkpoint, support::DiagnosticSink& sink) {
+  const std::string subject = "sim.kernel";
+  // Validate fully before mutating.
+  for (const Checkpoint::PendingTimed& entry : checkpoint.timed) {
+    if (entry.process >= processes_.size() || processes_[entry.process] == nullptr) {
+      sink.error(subject, "snapshot schedules unknown process id " +
+                              std::to_string(entry.process) + " (this kernel registered " +
+                              std::to_string(processes_.size()) +
+                              " processes; was the setup reconstructed identically?)");
+      return false;
+    }
+    if (transient_[entry.process]) {
+      sink.error(subject, "snapshot schedules process id " + std::to_string(entry.process) +
+                              ", which is a transient one-shot in this kernel");
+      return false;
+    }
+    if (entry.at_ps < checkpoint.now_ps) {
+      sink.error(subject, "snapshot timed event at " + SimTime(entry.at_ps).str() +
+                              " lies before the snapshot time " +
+                              SimTime(checkpoint.now_ps).str());
+      return false;
+    }
+    if (entry.sequence > checkpoint.sequence) {
+      sink.error(subject, "snapshot timed event sequence " + std::to_string(entry.sequence) +
+                              " exceeds the snapshot sequence counter " +
+                              std::to_string(checkpoint.sequence));
+      return false;
+    }
+  }
+  if (checkpoint.expectations.size() > expectations_.size()) {
+    sink.error(subject, "snapshot lists " + std::to_string(checkpoint.expectations.size()) +
+                            " expectation classes but this kernel registered only " +
+                            std::to_string(expectations_.size()));
+    return false;
+  }
+  for (std::size_t i = 0; i < checkpoint.expectations.size(); ++i) {
+    if (checkpoint.expectations[i].label != expectations_[i].label) {
+      sink.error(subject, "expectation " + std::to_string(i) + " label mismatch: snapshot '" +
+                              checkpoint.expectations[i].label + "' vs registered '" +
+                              expectations_[i].label + "'");
+      return false;
+    }
+  }
+  if (checkpoint.process_count != processes_.size()) {
+    sink.warning(subject, "snapshot was captured with " +
+                              std::to_string(checkpoint.process_count) +
+                              " registered processes, this kernel has " +
+                              std::to_string(processes_.size()) +
+                              "; restore proceeds, but determinism requires identical "
+                              "construction order");
+  }
+
+  // Wipe pending work: the snapshot supersedes construction-time scheduling.
+  clear_delta_state();
+  std::fill(wheel_heads_.begin(), wheel_heads_.end(), -1);
+  pool_.clear();
+  free_pool_.clear();
+  std::fill(std::begin(occupancy_), std::end(occupancy_), 0);
+  occupancy_summary_ = 0;
+  heap_.clear();
+  wheel_count_ = 0;
+  timed_size_ = 0;
+  peeked_slot_ = -1;
+  solo_slot_ = -1;
+
+  now_ = SimTime(checkpoint.now_ps);
+  wheel_base_quantum_ = checkpoint.now_ps >> kWheelShift;
+  delta_count_ = checkpoint.delta_count;
+  events_processed_ = checkpoint.events_processed;
+  for (const Checkpoint::PendingTimed& pending : checkpoint.timed) {
+    // Re-insert with the captured sequence so same-time FIFO order (and the
+    // event-recorder stream) is preserved exactly.
+    const TimedEntry entry{pending.at_ps, pending.sequence, pending.process, -1};
+    const std::uint64_t quantum = pending.at_ps >> kWheelShift;
+    if (quantum - wheel_base_quantum_ < kWheelBuckets) {
+      push_wheel(entry);
+      solo_slot_ = timed_size_ == 0
+                       ? static_cast<int>(static_cast<std::uint32_t>(quantum) & kWheelMask)
+                       : -1;
+    } else {
+      heap_.push_back(entry);
+      std::push_heap(heap_.begin(), heap_.end(), heap_later);
+      solo_slot_ = -1;
+    }
+    ++timed_size_;
+  }
+  sequence_ = checkpoint.sequence;
+
+  outstanding_total_ = 0;
+  for (Expectation& expectation : expectations_) expectation.outstanding = 0;
+  for (std::size_t i = 0; i < checkpoint.expectations.size(); ++i) {
+    expectations_[i].outstanding = checkpoint.expectations[i].outstanding;
+    outstanding_total_ += checkpoint.expectations[i].outstanding;
+  }
+  return true;
 }
 
 std::uint64_t Kernel::run(SimTime end) {

@@ -31,7 +31,11 @@
 #include <string>
 #include <vector>
 
+#include "support/diagnostics.hpp"
+
 namespace umlsoc::sim {
+
+class EventRecorder;
 
 /// Simulation time in picoseconds.
 class SimTime {
@@ -151,6 +155,20 @@ class Kernel {
   /// construction and no per-event allocation in steady state.
   [[nodiscard]] ProcessId register_process(std::function<void()> body);
 
+  /// Same, attaching a diagnostic label (shown by replay-divergence reports
+  /// and snapshot validation). Registration is cold; labels cost nothing on
+  /// the scheduling path.
+  [[nodiscard]] ProcessId register_process(std::function<void()> body, std::string label);
+
+  void set_process_label(ProcessId process, std::string label) {
+    labels_[process] = std::move(label);
+  }
+  /// Label given at registration, or "" for unlabeled processes.
+  [[nodiscard]] const std::string& process_label(ProcessId process) const {
+    return labels_[process];
+  }
+  [[nodiscard]] std::size_t process_count() const { return processes_.size(); }
+
   /// Schedules the registered process to run `delay` after the current time
   /// (a delay of zero runs at the current time but in a later delta batch).
   /// The same process may be pending any number of times.
@@ -218,6 +236,56 @@ class Kernel {
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
+  // --- Checkpoint / restore --------------------------------------------------
+
+  /// Serializable scheduler state. Pending timed events are captured as
+  /// {time, sequence, ProcessId} metadata — process *bodies* are not
+  /// captured; a restoring kernel must have registered the same processes in
+  /// the same order (deterministic construction), which makes ProcessIds
+  /// stable addresses across processes.
+  struct Checkpoint {
+    std::uint64_t now_ps = 0;
+    std::uint64_t sequence = 0;
+    std::uint64_t delta_count = 0;
+    std::uint64_t events_processed = 0;
+    std::uint64_t process_count = 0;  ///< Registered processes at capture time.
+
+    struct PendingTimed {
+      std::uint64_t at_ps = 0;
+      std::uint64_t sequence = 0;  ///< FIFO tiebreak among same-time events.
+      ProcessId process = kInvalidProcess;
+    };
+    std::vector<PendingTimed> timed;  ///< Sorted by (at_ps, sequence).
+
+    struct ExpectationEntry {
+      std::string label;
+      std::uint64_t outstanding = 0;
+    };
+    std::vector<ExpectationEntry> expectations;  ///< One per registered id.
+  };
+
+  /// Captures the scheduler state between run() calls. Fails (returns false,
+  /// reports through `sink`) when called mid-delta (runnable processes
+  /// pending) or when a pending timed event references a transient one-shot
+  /// process — a transient's body cannot be re-created by a fresh process,
+  /// so such a snapshot could never be restored.
+  bool capture_checkpoint(Checkpoint& out, support::DiagnosticSink& sink) const;
+
+  /// Replaces the scheduler state with `checkpoint`: time, sequence counter,
+  /// counters, every pending timed event, and expectation counters. All
+  /// previously pending work is discarded (a deterministic setup schedules
+  /// its initial events at construction; the snapshot supersedes them).
+  /// Validates before mutating: unknown ProcessIds, transient targets,
+  /// events in the past, or expectation labels that do not match this
+  /// kernel's registrations report through `sink` and return false with the
+  /// kernel unchanged.
+  bool restore_checkpoint(const Checkpoint& checkpoint, support::DiagnosticSink& sink);
+
+  /// Attaches (or detaches, with nullptr) an event recorder/verifier. The
+  /// hot-path cost when detached is a single pointer null check per event.
+  void set_recorder(EventRecorder* recorder) { recorder_ = recorder; }
+  [[nodiscard]] EventRecorder* recorder() const { return recorder_; }
+
   static constexpr std::uint64_t kMaxDeltasPerInstant = 10000;
 
   /// Wheel geometry: buckets of 2^kWheelShift ps (≈1ns), kWheelBuckets of
@@ -261,6 +329,8 @@ class Kernel {
 
   void run_process(ProcessId process);
   void release_transient(ProcessId process);
+  /// Out-of-line recorder notification (recorder_ already known non-null).
+  void record_event(ProcessId process);
   /// Promotes next_runnable_ to runnable_ and clears pending-notification
   /// flags (their subscribers are now in the runnable set).
   void begin_delta();
@@ -277,8 +347,10 @@ class Kernel {
   // Process table. deque: references stay stable while callbacks register
   // further processes mid-run.
   std::deque<std::function<void()>> processes_;
+  std::deque<std::string> labels_;       // parallel to processes_
   std::vector<std::uint8_t> transient_;  // 1 = one-shot shim, freed after run
   std::vector<ProcessId> free_transients_;
+  EventRecorder* recorder_ = nullptr;
 
   // Timed events: wheel (intrusive chains over a pooled arena — bucket
   // heads are one contiguous array and freed pool slots are reused LIFO,

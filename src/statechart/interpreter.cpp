@@ -119,6 +119,165 @@ void StateMachineInstance::run_to_quiescence() {
   }
 }
 
+// --- Checkpoint / restore ------------------------------------------------------
+
+namespace {
+
+std::unordered_map<const Vertex*, std::uint32_t> index_vertices(
+    const std::vector<const Vertex*>& vertices) {
+  std::unordered_map<const Vertex*, std::uint32_t> indices;
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    indices.emplace(vertices[i], static_cast<std::uint32_t>(i));
+  }
+  return indices;
+}
+
+InstanceSnapshot::EventRecord record_event(const Event& event) {
+  return InstanceSnapshot::EventRecord{event.name, event.data, event.tag};
+}
+
+Event make_event(const InstanceSnapshot::EventRecord& record) {
+  return Event{record.name, record.data, record.tag};
+}
+
+}  // namespace
+
+InstanceSnapshot StateMachineInstance::capture() const {
+  InstanceSnapshot snapshot;
+  snapshot.started = started_;
+  snapshot.terminated = terminated_;
+
+  const std::vector<const Vertex*> vertices = machine_.all_vertices();
+  const std::vector<const Region*> regions = machine_.all_regions();
+  const auto vertex_index = index_vertices(vertices);
+  std::unordered_map<const Region*, std::uint32_t> region_index;
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    region_index.emplace(regions[i], static_cast<std::uint32_t>(i));
+  }
+
+  for (const State* state : config_) snapshot.active_states.push_back(vertex_index.at(state));
+  std::sort(snapshot.active_states.begin(), snapshot.active_states.end());
+  for (const FinalState* final_state : active_finals_) {
+    snapshot.active_finals.push_back(vertex_index.at(final_state));
+  }
+  std::sort(snapshot.active_finals.begin(), snapshot.active_finals.end());
+
+  for (const auto& [region, state] : shallow_history_) {
+    snapshot.shallow_history.emplace_back(region_index.at(region), vertex_index.at(state));
+  }
+  std::sort(snapshot.shallow_history.begin(), snapshot.shallow_history.end());
+  for (const auto& [region, leaves] : deep_history_) {
+    std::vector<std::uint32_t> leaf_indices;
+    for (const State* leaf : leaves) leaf_indices.push_back(vertex_index.at(leaf));
+    snapshot.deep_history.emplace_back(region_index.at(region), std::move(leaf_indices));
+  }
+  std::sort(snapshot.deep_history.begin(), snapshot.deep_history.end());
+
+  snapshot.variables.assign(variables_.begin(), variables_.end());
+  std::sort(snapshot.variables.begin(), snapshot.variables.end());
+
+  for (const Event& event : queue_) snapshot.queue.push_back(record_event(event));
+  for (const Event& event : deferred_pool_) snapshot.deferred.push_back(record_event(event));
+
+  snapshot.events_processed = events_processed_;
+  snapshot.transitions_fired = transitions_fired_;
+  snapshot.errors_raised = errors_raised_;
+  snapshot.errors_unhandled = errors_unhandled_;
+  return snapshot;
+}
+
+bool StateMachineInstance::restore(const InstanceSnapshot& snapshot,
+                                   support::DiagnosticSink& sink) {
+  const std::vector<const Vertex*> vertices = machine_.all_vertices();
+  const std::vector<const Region*> regions = machine_.all_regions();
+  const std::string subject = "statechart " + machine_.name();
+
+  auto state_at = [&](std::uint32_t index) -> const State* {
+    if (index >= vertices.size()) return nullptr;
+    return dynamic_cast<const State*>(vertices[index]);
+  };
+
+  // Validate everything before touching instance state.
+  std::vector<const State*> active;
+  for (std::uint32_t index : snapshot.active_states) {
+    const State* state = state_at(index);
+    if (state == nullptr) {
+      sink.error(subject, "snapshot active-state index " + std::to_string(index) +
+                              " does not name a state in this machine");
+      return false;
+    }
+    active.push_back(state);
+  }
+  std::vector<const FinalState*> finals;
+  for (std::uint32_t index : snapshot.active_finals) {
+    const FinalState* final_state =
+        index < vertices.size() ? dynamic_cast<const FinalState*>(vertices[index]) : nullptr;
+    if (final_state == nullptr) {
+      sink.error(subject, "snapshot final-state index " + std::to_string(index) +
+                              " does not name a final state in this machine");
+      return false;
+    }
+    finals.push_back(final_state);
+  }
+  std::unordered_map<const Region*, const State*> shallow;
+  for (const auto& [region_idx, state_idx] : snapshot.shallow_history) {
+    const State* state = state_at(state_idx);
+    if (region_idx >= regions.size() || state == nullptr) {
+      sink.error(subject, "snapshot shallow-history entry (" + std::to_string(region_idx) +
+                              ", " + std::to_string(state_idx) + ") is out of range");
+      return false;
+    }
+    shallow[regions[region_idx]] = state;
+  }
+  std::unordered_map<const Region*, std::vector<const State*>> deep;
+  for (const auto& [region_idx, leaf_indices] : snapshot.deep_history) {
+    if (region_idx >= regions.size()) {
+      sink.error(subject, "snapshot deep-history region index " + std::to_string(region_idx) +
+                              " is out of range");
+      return false;
+    }
+    std::vector<const State*> leaves;
+    for (std::uint32_t leaf_idx : leaf_indices) {
+      const State* leaf = state_at(leaf_idx);
+      if (leaf == nullptr) {
+        sink.error(subject, "snapshot deep-history leaf index " + std::to_string(leaf_idx) +
+                                " does not name a state in this machine");
+        return false;
+      }
+      leaves.push_back(leaf);
+    }
+    deep[regions[region_idx]] = std::move(leaves);
+  }
+  if (snapshot.terminated && !snapshot.active_states.empty()) {
+    sink.error(subject, "snapshot is terminated but lists active states");
+    return false;
+  }
+
+  // Apply.
+  started_ = snapshot.started;
+  terminated_ = snapshot.terminated;
+  config_.clear();
+  config_.insert(active.begin(), active.end());
+  active_finals_.clear();
+  active_finals_.insert(finals.begin(), finals.end());
+  shallow_history_ = std::move(shallow);
+  deep_history_ = std::move(deep);
+  variables_.clear();
+  variables_.insert(snapshot.variables.begin(), snapshot.variables.end());
+  queue_.clear();
+  for (const auto& record : snapshot.queue) queue_.push_back(make_event(record));
+  deferred_pool_.clear();
+  for (const auto& record : snapshot.deferred) deferred_pool_.push_back(make_event(record));
+  pending_regions_.clear();
+  entry_depth_ = 0;
+  events_processed_ = snapshot.events_processed;
+  transitions_fired_ = snapshot.transitions_fired;
+  errors_raised_ = snapshot.errors_raised;
+  errors_unhandled_ = snapshot.errors_unhandled;
+  note("snapshot-restore");
+  return true;
+}
+
 // --- Selection ----------------------------------------------------------------------
 
 bool StateMachineInstance::state_completed(const State& state) const {

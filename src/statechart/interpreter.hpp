@@ -28,8 +28,41 @@
 #include <vector>
 
 #include "statechart/model.hpp"
+#include "support/diagnostics.hpp"
 
 namespace umlsoc::statechart {
+
+/// Checkpointable execution state of one StateMachineInstance. Vertices and
+/// regions are addressed by their pre-order index (StateMachine::all_vertices
+/// / all_regions), so a snapshot restores into any instance bound to a
+/// structurally identical machine — in particular one rebuilt by a fresh
+/// process. Captured: active configuration, final flags, history memory,
+/// variables, the pending/deferred event pools, and counters. Not captured:
+/// listeners, trace contents, or mid-RTC-step state (capture between
+/// dispatches).
+struct InstanceSnapshot {
+  struct EventRecord {
+    std::string name;
+    std::int64_t data = 0;
+    std::string tag;
+  };
+
+  bool started = false;
+  bool terminated = false;
+  std::vector<std::uint32_t> active_states;  ///< Vertex indices, ascending.
+  std::vector<std::uint32_t> active_finals;  ///< Vertex indices, ascending.
+  /// (region index, state vertex index), ascending by region.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> shallow_history;
+  /// (region index, leaf state vertex indices in recorded order).
+  std::vector<std::pair<std::uint32_t, std::vector<std::uint32_t>>> deep_history;
+  std::vector<std::pair<std::string, std::int64_t>> variables;  ///< Sorted by name.
+  std::vector<EventRecord> queue;
+  std::vector<EventRecord> deferred;
+  std::uint64_t events_processed = 0;
+  std::uint64_t transitions_fired = 0;
+  std::uint64_t errors_raised = 0;
+  std::uint64_t errors_unhandled = 0;
+};
 
 class StateMachineInstance {
  public:
@@ -97,6 +130,19 @@ class StateMachineInstance {
   /// (entered=false); used by the sim-kernel timer binding and by monitors.
   using StateListener = std::function<void(const State&, bool entered)>;
   void set_state_listener(StateListener listener) { listener_ = std::move(listener); }
+
+  // --- Checkpoint / restore --------------------------------------------------
+
+  /// Captures the instance's execution state in machine-independent,
+  /// deterministic form (indices ascending, variables sorted by name).
+  [[nodiscard]] InstanceSnapshot capture() const;
+
+  /// Replaces this instance's execution state with `snapshot`. Validates the
+  /// snapshot against the bound machine before mutating anything: on any
+  /// out-of-range or kind-mismatched index it reports through `sink` and
+  /// returns false with the instance unchanged. No entry/exit behaviors run
+  /// and no listener fires — restore reproduces state, not history.
+  bool restore(const InstanceSnapshot& snapshot, support::DiagnosticSink& sink);
 
   /// Completion-transition microstep bound; exceeding it throws
   /// std::runtime_error (livelock guard).

@@ -170,4 +170,38 @@ std::vector<const Transition*> StateMachine::all_transitions() const {
   return transitions;
 }
 
+namespace {
+
+void collect_vertices(const Region& region, std::vector<const Vertex*>& vertices) {
+  for (const auto& vertex : region.vertices()) {
+    vertices.push_back(vertex.get());
+    if (const auto* state = dynamic_cast<const State*>(vertex.get())) {
+      for (const auto& subregion : state->regions()) collect_vertices(*subregion, vertices);
+    }
+  }
+}
+
+void collect_regions(const Region& region, std::vector<const Region*>& regions) {
+  regions.push_back(&region);
+  for (const auto& vertex : region.vertices()) {
+    if (const auto* state = dynamic_cast<const State*>(vertex.get())) {
+      for (const auto& subregion : state->regions()) collect_regions(*subregion, regions);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<const Vertex*> StateMachine::all_vertices() const {
+  std::vector<const Vertex*> vertices;
+  collect_vertices(*top_, vertices);
+  return vertices;
+}
+
+std::vector<const Region*> StateMachine::all_regions() const {
+  std::vector<const Region*> regions;
+  collect_regions(*top_, regions);
+  return regions;
+}
+
 }  // namespace umlsoc::statechart

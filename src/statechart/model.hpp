@@ -286,6 +286,14 @@ class StateMachine final {
   [[nodiscard]] std::vector<const Transition*> all_transitions() const;
   [[nodiscard]] std::size_t state_count() const { return all_states().size(); }
 
+  /// All vertices (states, finals, pseudostates), pre-order over the region
+  /// tree in declaration order. The position of a vertex in this sequence is
+  /// its stable snapshot address: two structurally identical machines assign
+  /// identical indices.
+  [[nodiscard]] std::vector<const Vertex*> all_vertices() const;
+  /// All regions, pre-order (top region first), same stability guarantee.
+  [[nodiscard]] std::vector<const Region*> all_regions() const;
+
  private:
   std::string name_;
   std::unique_ptr<Region> top_;

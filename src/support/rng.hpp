@@ -28,6 +28,12 @@ class Rng {
   /// True with probability p (clamped to [0, 1]).
   bool chance(double p);
 
+  /// Raw stream state, for checkpoint/restore: a stream restored with
+  /// set_state(state()) continues with exactly the values the original
+  /// would have produced.
+  [[nodiscard]] std::uint64_t state() const { return state_; }
+  void set_state(std::uint64_t state) { state_ = state; }
+
   /// Fisher-Yates shuffle.
   template <typename T>
   void shuffle(std::vector<T>& values) {

@@ -1,6 +1,7 @@
 #include "xmi/xml.hpp"
 
 #include <cctype>
+#include <cstdint>
 
 #include "support/strings.hpp"
 
@@ -77,7 +78,8 @@ namespace {
 
 class Parser {
  public:
-  Parser(std::string_view input, support::DiagnosticSink& sink) : input_(input), sink_(sink) {}
+  Parser(std::string_view input, support::DiagnosticSink& sink, const XmlParseOptions& options)
+      : input_(input), sink_(sink), options_(options) {}
 
   std::unique_ptr<XmlNode> parse_document() {
     const std::size_t errors_before = sink_.error_count();
@@ -106,11 +108,20 @@ class Parser {
   }
 
   void error(std::string message) {
-    std::size_t line = 1;
-    for (std::size_t i = 0; i < position_ && i < input_.size(); ++i) {
-      if (input_[i] == '\n') ++line;
+    // Incremental line/column: the parse position only moves forward, so each
+    // error continues the newline scan from where the previous one stopped
+    // instead of rescanning from the start (which made a pathological input
+    // with many recovered errors quadratic in document size).
+    const std::size_t stop = std::min(position_, input_.size());
+    for (; scanned_ < stop; ++scanned_) {
+      if (input_[scanned_] == '\n') {
+        ++line_;
+        line_start_ = scanned_ + 1;
+      }
     }
-    sink_.error("xml:line " + std::to_string(line), std::move(message));
+    const std::size_t column = stop - line_start_ + 1;
+    sink_.error("xml:line " + std::to_string(line_) + ":col " + std::to_string(column),
+                std::move(message));
   }
 
   void skip_whitespace() {
@@ -159,6 +170,51 @@ class Parser {
     return name;
   }
 
+  /// Decodes a numeric character reference body ("#38" or "#x26") and
+  /// appends its UTF-8 encoding. False on malformed digits or a code point
+  /// XML forbids (NUL, surrogates, beyond U+10FFFF).
+  static bool append_char_reference(std::string_view body, std::string& out) {
+    std::uint32_t code = 0;
+    std::string_view digits = body.substr(1);  // Past '#'.
+    int base = 10;
+    if (!digits.empty() && (digits.front() == 'x' || digits.front() == 'X')) {
+      base = 16;
+      digits.remove_prefix(1);
+    }
+    if (digits.empty()) return false;
+    for (char c : digits) {
+      std::uint32_t digit;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<std::uint32_t>(c - '0');
+      } else if (base == 16 && c >= 'a' && c <= 'f') {
+        digit = static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (base == 16 && c >= 'A' && c <= 'F') {
+        digit = static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        return false;
+      }
+      code = code * static_cast<std::uint32_t>(base) + digit;
+      if (code > 0x10FFFF) return false;
+    }
+    if (code == 0 || (code >= 0xD800 && code <= 0xDFFF)) return false;
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+    return true;
+  }
+
   std::string decode_entities(std::string_view raw) {
     std::string out;
     for (std::size_t i = 0; i < raw.size(); ++i) {
@@ -179,6 +235,13 @@ class Parser {
         out += '"';
       } else if (entity == "apos") {
         out += '\'';
+      } else if (!entity.empty() && entity.front() == '#' &&
+                 semicolon != std::string_view::npos) {
+        if (!append_char_reference(entity, out)) {
+          error("invalid character reference '&" + std::string(entity) + ";'");
+          out += '&';
+          continue;
+        }
       } else {
         error("unknown entity '&" + std::string(entity) + ";'");
         out += '&';
@@ -231,7 +294,20 @@ class Parser {
       error("expected element start '<'");
       return nullptr;
     }
-    advance();
+    // parse_element recurses once per nesting level; the bound keeps
+    // adversarial <a><a><a>... input from overflowing the call stack.
+    if (depth_ >= options_.max_depth) {
+      error("element nesting exceeds maximum depth " + std::to_string(options_.max_depth));
+      return nullptr;
+    }
+    ++depth_;
+    std::unique_ptr<XmlNode> node = parse_element_body();
+    --depth_;
+    return node;
+  }
+
+  std::unique_ptr<XmlNode> parse_element_body() {
+    advance();  // '<' (checked by parse_element).
     std::string name = parse_name();
     if (name.empty()) {
       error("expected element name");
@@ -246,8 +322,16 @@ class Parser {
       return nullptr;
     }
 
-    // Content: interleaved text / child elements / comments.
+    // Content: interleaved text / child elements / comments / CDATA. Markup
+    // text is decoded per chunk so CDATA content can be appended verbatim
+    // (a literal "&amp;" inside CDATA stays "&amp;").
     std::string text;
+    std::string raw;
+    const auto flush_raw = [&] {
+      if (raw.empty()) return;
+      text += decode_entities(raw);
+      raw.clear();
+    };
     for (;;) {
       if (at_end()) {
         error("unterminated element <" + name + ">");
@@ -256,6 +340,17 @@ class Parser {
       if (peek() == '<') {
         if (input_.substr(position_, 4) == "<!--") {
           skip_whitespace_and_comments();
+          continue;
+        }
+        if (input_.substr(position_, 9) == "<![CDATA[") {
+          const std::size_t end = input_.find("]]>", position_ + 9);
+          if (end == std::string_view::npos) {
+            error("unterminated CDATA section");
+            return nullptr;
+          }
+          flush_raw();
+          text += input_.substr(position_ + 9, end - (position_ + 9));
+          position_ = end + 3;
           continue;
         }
         if (input_.substr(position_, 2) == "</") {
@@ -270,14 +365,15 @@ class Parser {
             error("expected '>' after closing tag");
             return nullptr;
           }
-          node->set_text(std::string(support::trim(decode_entities(text))));
+          flush_raw();
+          node->set_text(std::string(support::trim(text)));
           return node;
         }
         std::unique_ptr<XmlNode> child = parse_element();
         if (child == nullptr) return nullptr;
         node->adopt_child(std::move(child));
       } else {
-        text += advance();
+        raw += advance();
       }
     }
   }
@@ -285,12 +381,23 @@ class Parser {
   std::string_view input_;
   std::size_t position_ = 0;
   support::DiagnosticSink& sink_;
+  XmlParseOptions options_;
+  std::size_t depth_ = 0;
+  // error() line/column scan cache (position_ is monotone).
+  std::size_t scanned_ = 0;
+  std::size_t line_ = 1;
+  std::size_t line_start_ = 0;
 };
 
 }  // namespace
 
 std::unique_ptr<XmlNode> parse_xml(std::string_view input, support::DiagnosticSink& sink) {
-  Parser parser(input, sink);
+  return parse_xml(input, sink, XmlParseOptions{});
+}
+
+std::unique_ptr<XmlNode> parse_xml(std::string_view input, support::DiagnosticSink& sink,
+                                   const XmlParseOptions& options) {
+  Parser parser(input, sink, options);
   return parser.parse_document();
 }
 

@@ -49,10 +49,24 @@ class XmlNode {
   std::string text_;
 };
 
+/// Parser limits. The depth bound turns adversarial deeply-nested input
+/// (<a><a><a>... tens of thousands deep) into a diagnostic instead of a
+/// stack overflow: parse_element recurses once per nesting level.
+struct XmlParseOptions {
+  std::size_t max_depth = 256;
+};
+
 /// Parses one XML document; returns nullptr and reports through `sink` on
 /// malformed input. A leading `<?xml ...?>` declaration and comments are
-/// accepted and skipped.
+/// accepted and skipped; element content may contain CDATA sections and
+/// numeric character references (&#38; / &#x26;) alongside the five
+/// predefined entities. Diagnostics carry "xml:line L:col C" subjects.
 [[nodiscard]] std::unique_ptr<XmlNode> parse_xml(std::string_view input,
                                                  support::DiagnosticSink& sink);
+
+/// Same, with explicit limits.
+[[nodiscard]] std::unique_ptr<XmlNode> parse_xml(std::string_view input,
+                                                 support::DiagnosticSink& sink,
+                                                 const XmlParseOptions& options);
 
 }  // namespace umlsoc::xmi

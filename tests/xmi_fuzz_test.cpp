@@ -1,7 +1,12 @@
-// Robustness property tests: the XML parser and both model readers must
-// never crash on malformed input — every failure is a clean diagnostic.
+// Robustness property tests: the XML parser, the model readers and the
+// snapshot restorer must never crash on malformed input — every failure is
+// a clean diagnostic. Targeted corpora cover the parser's hardening edges:
+// deep nesting (bounded recursion), numeric character references, CDATA
+// sections, and truncated/mutated snapshot documents.
 #include <gtest/gtest.h>
 
+#include "replay/snapshot.hpp"
+#include "sim/kernel.hpp"
 #include "support/rng.hpp"
 #include "uml/synthetic.hpp"
 #include "xmi/behavior.hpp"
@@ -97,6 +102,173 @@ TEST_P(XmlFuzz, MutatedValidDocumentsNeverCrash) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, XmlFuzz, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(XmlHardening, DeepNestingIsBoundedNotAStackOverflow) {
+  // 10k nested elements: far past the default depth bound. The parser must
+  // report a clean diagnostic, not recurse to a crash.
+  std::string document;
+  for (int i = 0; i < 10000; ++i) document += "<a>";
+  for (int i = 0; i < 10000; ++i) document += "</a>";
+  support::DiagnosticSink sink;
+  EXPECT_EQ(parse_xml(document, sink), nullptr);
+  EXPECT_NE(sink.str().find("nesting exceeds maximum depth"), std::string::npos)
+      << sink.str();
+}
+
+TEST(XmlHardening, DepthBoundIsConfigurable) {
+  const std::string document = "<a><b><c/></b></a>";
+  XmlParseOptions shallow;
+  shallow.max_depth = 2;
+  support::DiagnosticSink sink;
+  EXPECT_EQ(parse_xml(document, sink, shallow), nullptr);
+  EXPECT_TRUE(sink.has_errors());
+
+  XmlParseOptions deep;
+  deep.max_depth = 3;
+  support::DiagnosticSink ok_sink;
+  EXPECT_NE(parse_xml(document, ok_sink, deep), nullptr);
+  EXPECT_FALSE(ok_sink.has_errors());
+}
+
+TEST(XmlHardening, NumericCharacterReferenceCorpus) {
+  // (input fragment, expected decoded text, or "" for a must-fail case).
+  const struct {
+    const char* fragment;
+    const char* decoded;
+    bool valid;
+  } kCases[] = {
+      {"&#65;&#66;", "AB", true},
+      {"&#x41;&#x62;", "Ab", true},
+      {"&#xe9;", "\xC3\xA9", true},            // Two-byte UTF-8.
+      {"&#x20AC;", "\xE2\x82\xAC", true},      // Three-byte UTF-8 (euro).
+      {"&#x1F600;", "\xF0\x9F\x98\x80", true}, // Four-byte UTF-8.
+      {"&#38;&#60;", "&<", true},              // Escaping XML's own syntax.
+      {"&#0;", "", false},                     // NUL forbidden.
+      {"&#xD800;", "", false},                 // Surrogate half.
+      {"&#x110000;", "", false},               // Past the Unicode ceiling.
+      {"&#;", "", false},                      // Empty digits.
+      {"&#x;", "", false},
+      {"&#abc;", "", false},                   // Non-digits.
+      {"&#65", "", false},                     // Unterminated.
+  };
+  for (const auto& test_case : kCases) {
+    const std::string document = std::string("<t>") + test_case.fragment + "</t>";
+    support::DiagnosticSink sink;
+    std::unique_ptr<XmlNode> node = parse_xml(document, sink);
+    if (test_case.valid) {
+      ASSERT_NE(node, nullptr) << document << "\n" << sink.str();
+      EXPECT_EQ(node->text(), test_case.decoded) << document;
+    } else {
+      EXPECT_EQ(node, nullptr) << document;
+      EXPECT_TRUE(sink.has_errors()) << document;
+    }
+  }
+}
+
+TEST(XmlHardening, NumericReferencesInAttributes) {
+  support::DiagnosticSink sink;
+  std::unique_ptr<XmlNode> node = parse_xml("<t name=\"&#x48;&#105;\"/>", sink);
+  ASSERT_NE(node, nullptr) << sink.str();
+  EXPECT_EQ(node->attribute_or("name", ""), "Hi");
+}
+
+TEST(XmlHardening, CdataSectionsPassThroughVerbatim) {
+  support::DiagnosticSink sink;
+  std::unique_ptr<XmlNode> node =
+      parse_xml("<t>before <![CDATA[<raw> & &amp; ]] &#65;]]> after</t>", sink);
+  ASSERT_NE(node, nullptr) << sink.str();
+  // Inside CDATA nothing is decoded; outside, normal text rules apply.
+  EXPECT_EQ(node->text(), "before <raw> & &amp; ]] &#65; after");
+
+  support::DiagnosticSink empty_sink;
+  std::unique_ptr<XmlNode> empty = parse_xml("<t><![CDATA[]]></t>", empty_sink);
+  ASSERT_NE(empty, nullptr) << empty_sink.str();
+  EXPECT_EQ(empty->text(), "");
+}
+
+TEST(XmlHardening, UnterminatedCdataIsAnError) {
+  support::DiagnosticSink sink;
+  EXPECT_EQ(parse_xml("<t><![CDATA[never closed</t>", sink), nullptr);
+  EXPECT_TRUE(sink.has_errors());
+}
+
+TEST(XmlHardening, CdataFuzzNeverCrashes) {
+  support::Rng rng(11);
+  static const char kAlphabet[] = "<>[]!CDATA&#; ]x";
+  for (int i = 0; i < 300; ++i) {
+    std::string body;
+    for (std::size_t j = 0; j < 1 + rng.below(60); ++j) {
+      body += kAlphabet[rng.below(sizeof(kAlphabet) - 1)];
+    }
+    const std::string document = "<t><![CDATA" + body + "</t>";
+    support::DiagnosticSink sink;
+    std::unique_ptr<XmlNode> node = parse_xml(document, sink);
+    if (node == nullptr) {
+      EXPECT_TRUE(sink.has_errors()) << "silent failure on: " << document;
+    }
+  }
+}
+
+TEST(XmlHardening, ErrorLocationsCarryLineAndColumn) {
+  support::DiagnosticSink sink;
+  EXPECT_EQ(parse_xml("<a>\n  <b>\n    <c>&bogus;</c>\n  </b>\n</a>", sink), nullptr);
+  EXPECT_NE(sink.str().find("line 3"), std::string::npos) << sink.str();
+  EXPECT_NE(sink.str().find("col"), std::string::npos) << sink.str();
+}
+
+/// Truncating or mutating a real snapshot at any offset must fail restore
+/// cleanly (parse error, checksum mismatch, or section validation) and
+/// never crash.
+TEST(SnapshotFuzz, TruncatedAndMutatedSnapshotsAreRejected) {
+  sim::Kernel kernel;
+  const sim::ProcessId ticker = kernel.register_process([] {}, "fuzz.ticker");
+  kernel.schedule(sim::SimTime::ns(10), ticker);
+  kernel.run(sim::SimTime::ns(5));
+
+  replay::SnapshotTargets targets;
+  targets.kernel = &kernel;
+  std::string snapshot;
+  support::DiagnosticSink save_sink;
+  ASSERT_TRUE(replay::save_snapshot(targets, snapshot, save_sink)) << save_sink.str();
+
+  // Truncating trailing whitespace leaves a valid document; every cut into
+  // real content must fail.
+  const std::size_t content_end = snapshot.find_last_not_of(" \n\t") + 1;
+  for (std::size_t length = 0; length < content_end; ++length) {
+    support::DiagnosticSink sink;
+    EXPECT_FALSE(replay::restore_snapshot(targets, snapshot.substr(0, length), sink));
+    EXPECT_TRUE(sink.has_errors()) << "silent failure at length " << length;
+  }
+
+  support::Rng rng(23);
+  for (int i = 0; i < 400; ++i) {
+    std::string mutated = snapshot;
+    const std::size_t position = rng.below(mutated.size());
+    switch (rng.below(3)) {
+      case 0:
+        mutated[position] = static_cast<char>('!' + rng.below(90));
+        break;
+      case 1:
+        mutated.erase(position, 1 + rng.below(6));
+        break;
+      default:
+        mutated.insert(position, mutated.substr(position, 1 + rng.below(6)));
+    }
+    support::DiagnosticSink sink;
+    // Content mutations must be rejected. A mutation that survives can only
+    // have changed inter-element whitespace (the checksum covers the
+    // canonical serialization), so re-saving must reproduce the original.
+    if (replay::restore_snapshot(targets, mutated, sink)) {
+      std::string resaved;
+      support::DiagnosticSink resave_sink;
+      ASSERT_TRUE(replay::save_snapshot(targets, resaved, resave_sink))
+          << resave_sink.str();
+      EXPECT_EQ(resaved, snapshot) << "mutated snapshot restored: " << mutated;
+    } else {
+      EXPECT_TRUE(sink.has_errors()) << "silent failure on: " << mutated;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace umlsoc::xmi

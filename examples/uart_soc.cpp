@@ -17,10 +17,23 @@
 // mismatch exits nonzero, so CI runs this binary as the snapshot smoke
 // test.
 //
+// With --check-properties the binary instead runs the explicit-state
+// verification engine on the driver-supervision statecharts: a seeded
+// notification bug is found by exhaustive exploration, its counterexample
+// is replayed through the real interpreter under the replay verifier and
+// rendered as a PlantUML sequence diagram, and the fixed model verifies
+// clean. `--check-properties=buggy` exits nonzero exactly when the bug is
+// caught end-to-end; `--check-properties=fixed` exits zero exactly when
+// the fixed model is exhaustively verified — CI runs both as the
+// verification smoke test.
+//
 //   $ ./example_uart_soc
+//   $ ./example_uart_soc --check-properties
 #include <cstdio>
+#include <cstring>
 
 #include "codegen/hwmodel.hpp"
+#include "codegen/plantuml.hpp"
 #include "codegen/rtl.hpp"
 #include "codegen/swruntime.hpp"
 #include "codegen/systemc.hpp"
@@ -32,6 +45,8 @@
 #include "soc/validate.hpp"
 #include "support/strings.hpp"
 #include "uml/query.hpp"
+#include "verify/counterexample.hpp"
+#include "verify/explore.hpp"
 
 using namespace umlsoc;
 
@@ -142,9 +157,215 @@ constexpr const char* kPhase2 =
     "  i := i + 1;"
     "}";
 
+// --- Explicit-state verification demo -----------------------------------------
+//
+// The supervision pair under check: a Driver health machine (richer than
+// the demo's — bounded retries before declaring failure) and a BusMonitor
+// that must raise an alarm whenever the driver fails. The driver notifies
+// the monitor by cross-posting "driver_failed" from its effects; the
+// seeded bug omits that notification on exactly one path to Failed (retry
+// exhaustion), so the system can silently die — which the invariant
+// "monitor-alarm-on-failure" catches.
+
+/// Holds the machines plus a late-bound slot for the monitor instance:
+/// effects are authored before instances exist, so they post through the
+/// slot filled in by run_check_properties.
+struct CheckModels {
+  statechart::StateMachine driver{"Driver"};
+  statechart::StateMachine monitor{"BusMonitor"};
+  statechart::StateMachineInstance* monitor_instance = nullptr;
+};
+
+void build_check_models(CheckModels& models, bool seeded_bug) {
+  auto set_retries = [](std::int64_t value) {
+    return [value](statechart::ActionContext& context) {
+      context.instance.set_variable("retries", value);
+    };
+  };
+  auto notify_monitor = [&models](statechart::ActionContext&) {
+    if (models.monitor_instance != nullptr) {
+      models.monitor_instance->post(statechart::Event("driver_failed"));
+    }
+  };
+
+  statechart::Region& top = models.driver.top();
+  statechart::State& operational = top.add_state("Operational");
+  statechart::State& degraded = top.add_state("Degraded");
+  statechart::State& failed = top.add_state("Failed");
+  top.add_transition(top.add_initial(), operational)
+      .set_effect("retries := 0", set_retries(0));
+  top.add_transition(operational, degraded)
+      .set_trigger("bus_timeout")
+      .set_effect("retries := 0", set_retries(0));
+  top.add_transition(degraded, degraded)
+      .set_trigger("bus_timeout")
+      .set_internal(true)
+      .set_guard("retries < 3",
+                 [](const statechart::ActionContext& context) {
+                   return context.instance.variable("retries") < 3;
+                 })
+      .set_effect("retries := retries + 1", [](statechart::ActionContext& context) {
+        context.instance.set_variable("retries",
+                                      context.instance.variable("retries") + 1);
+      });
+  statechart::Transition& exhausted = top.add_transition(degraded, failed)
+                                          .set_trigger("bus_timeout")
+                                          .set_guard("retries >= 3",
+                                                     [](const statechart::ActionContext& context) {
+                                                       return context.instance.variable(
+                                                                  "retries") >= 3;
+                                                     });
+  // The seeded defect: retry exhaustion reaches Failed without telling the
+  // monitor. Both hard-failure paths below notify in either variant.
+  if (!seeded_bug) exhausted.set_effect("notify monitor", notify_monitor);
+  top.add_transition(operational, failed)
+      .set_trigger("bus_failed")
+      .set_effect("notify monitor", notify_monitor);
+  top.add_transition(degraded, failed)
+      .set_trigger("bus_failed")
+      .set_effect("notify monitor", notify_monitor);
+  top.add_transition(degraded, operational)
+      .set_trigger("bus_recovered")
+      .set_effect("retries := 0", set_retries(0));
+  // Failed is terminal: absorb further fault reports so they do not count
+  // as unhandled errors.
+  top.add_transition(failed, failed).set_trigger("bus_timeout").set_internal(true);
+  top.add_transition(failed, failed).set_trigger("bus_failed").set_internal(true);
+
+  statechart::Region& mtop = models.monitor.top();
+  statechart::State& watching = mtop.add_state("Watching");
+  statechart::State& alarmed = mtop.add_state("Alarmed");
+  mtop.add_transition(mtop.add_initial(), watching);
+  mtop.add_transition(watching, alarmed).set_trigger("driver_failed");
+  mtop.add_transition(alarmed, alarmed).set_trigger("driver_failed").set_internal(true);
+}
+
+/// One full verification pass over the chosen model variant. For the buggy
+/// variant the violation must reproduce end-to-end (replay + diagram);
+/// returns 0 on the *expected* outcome of each variant.
+int run_check_variant(bool seeded_bug, support::DiagnosticSink& sink) {
+  CheckModels models;
+  build_check_models(models, seeded_bug);
+  statechart::StateMachineInstance driver(models.driver);
+  statechart::StateMachineInstance monitor(models.monitor);
+  models.monitor_instance = &monitor;
+  driver.set_trace_enabled(false);
+  monitor.set_trace_enabled(false);
+  driver.start();
+  monitor.start();
+
+  verify::Network network;
+  network.add_instance("Driver", driver);
+  network.add_instance("Monitor", monitor);
+  network.add_choice("Driver", statechart::Event("bus_timeout"), /*is_error=*/true);
+  network.add_choice("Driver", statechart::Event("bus_failed"), /*is_error=*/true);
+  network.add_choice("Driver", statechart::Event("bus_recovered"));
+
+  std::vector<verify::Property> properties;
+  properties.push_back(verify::Property::invariant(
+      "monitor-alarm-on-failure", [](const verify::PropertyContext& context) {
+        const statechart::StateMachineInstance* checked_driver =
+            context.network.find("Driver");
+        const statechart::StateMachineInstance* checked_monitor =
+            context.network.find("Monitor");
+        return !(checked_driver->is_in("Failed") && checked_monitor->is_in("Watching"));
+      }));
+  properties.push_back(verify::Property::invariant(
+      "retries-bounded", [](const verify::PropertyContext& context) {
+        return context.network.find("Driver")->variable("retries") <= 3;
+      }));
+  properties.push_back(verify::Property::no_unhandled_errors());
+  properties.push_back(verify::Property::deadlock_free(
+      // Every reachable state keeps all alphabet entries enabled somewhere,
+      // so plain reachability of a quiescent state is already a violation.
+      [](const verify::PropertyContext&) { return false; }));
+
+  const char* variant = seeded_bug ? "seeded-bug" : "fixed";
+  verify::ExploreResult result = verify::explore(network, properties, {}, &sink);
+  std::printf("[%s] exploration: %s; %s\n", variant,
+              std::string(verify::to_string(result.termination)).c_str(),
+              result.stats.str().c_str());
+
+  if (!seeded_bug) {
+    if (!result.verified()) {
+      std::printf("[fixed] expected a clean exhaustive pass, got %zu violation(s)\n",
+                  result.violations.size());
+      for (const verify::Violation& violation : result.violations) {
+        std::printf("  %s: %s\n", violation.property.c_str(), violation.message.c_str());
+      }
+      return 1;
+    }
+    std::printf("[fixed] all %zu properties verified over the full state space\n",
+                properties.size());
+    return 0;
+  }
+
+  if (result.violations.empty()) {
+    std::printf("[seeded-bug] exploration missed the seeded violation\n");
+    return 1;
+  }
+  const verify::Violation& violation = result.violations.front();
+  std::printf("[seeded-bug] %s: %s\n", violation.property.c_str(),
+              violation.message.c_str());
+  std::printf("[seeded-bug] counterexample (%zu steps):\n", violation.path.size());
+  for (const verify::EventChoice& choice : violation.path) {
+    std::printf("  %s\n", network.label(choice).c_str());
+  }
+
+  verify::ReplayReport replay = verify::replay_counterexample(
+      network, result.initial, violation, properties, sink);
+  std::printf("[seeded-bug] %s\n", replay.str().c_str());
+  if (!replay.ok()) return 1;
+
+  std::unique_ptr<interaction::Interaction> scenario =
+      verify::counterexample_interaction(network, violation);
+  if (scenario == nullptr) {
+    std::printf("[seeded-bug] counterexample did not convert to an interaction\n");
+    return 1;
+  }
+  std::string diagram = codegen::to_plantuml_sequence(*scenario);
+  std::printf("[seeded-bug] failing scenario as PlantUML:\n%s", diagram.c_str());
+  if (diagram.find("@startuml") == std::string::npos ||
+      diagram.find("Driver") == std::string::npos) {
+    std::printf("[seeded-bug] PlantUML rendering looks wrong\n");
+    return 1;
+  }
+  return 0;
+}
+
+/// --check-properties[=buggy|=fixed]. Exit status encodes the *outcome*:
+/// "buggy" exits nonzero when the seeded bug is caught end-to-end (the
+/// smoke test asserts failure), "fixed" exits zero when the repaired model
+/// verifies clean, and the bare flag demands both in one run.
+int run_check_properties(const char* mode) {
+  support::DiagnosticSink sink;
+  int status = 0;
+  if (std::strcmp(mode, "buggy") == 0) {
+    status = run_check_variant(/*seeded_bug=*/true, sink) == 0 ? 1 : 0;
+  } else if (std::strcmp(mode, "fixed") == 0) {
+    status = run_check_variant(/*seeded_bug=*/false, sink);
+  } else {
+    status = run_check_variant(/*seeded_bug=*/true, sink);
+    if (status == 0) status = run_check_variant(/*seeded_bug=*/false, sink);
+  }
+  if (sink.has_errors()) {
+    std::fputs(sink.str().c_str(), stderr);
+    if (status == 0) status = 1;
+  }
+  return status;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check-properties") == 0) return run_check_properties("");
+    if (std::strncmp(argv[i], "--check-properties=", 19) == 0) {
+      return run_check_properties(argv[i] + 19);
+    }
+    std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
+    return 2;
+  }
   support::DiagnosticSink sink;
 
   // 1. PIM: reuse the Uart IP core from the library.

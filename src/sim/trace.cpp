@@ -2,13 +2,13 @@
 
 namespace umlsoc::sim {
 
-void Tracer::record(const std::string& signal, std::string value) {
-  records_.push_back(Record{kernel_->now().picoseconds(), signal, std::move(value)});
+void Tracer::record(Log& log, const std::string& signal, std::string value) {
+  log.records.push_back(Record{log.kernel->now().picoseconds(), signal, std::move(value)});
 }
 
 std::string Tracer::dump() const {
   std::string out;
-  for (const Record& record : records_) {
+  for (const Record& record : log_->records) {
     out += std::to_string(record.time_ps);
     out += ' ';
     out += record.signal;

@@ -1,6 +1,7 @@
 // VCD-like text tracing of signal changes.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -10,19 +11,17 @@ namespace umlsoc::sim {
 
 /// Collects (time, signal, value) records; dump() renders a waveform-ish
 /// text log ("<time> <name>=<value>"), one line per change.
+///
+/// Lifetime contract: the kernel's process table has no unregistration, so
+/// the subscription installed by trace() can never be physically removed.
+/// Instead the callback holds a weak reference to the tracer's record log:
+/// destroying the Tracer expires it and later notifications become no-ops
+/// rather than writes through a dangling pointer. The *signal* must still
+/// outlive the kernel's last delta that notifies it (the kernel-wide rule
+/// for every subscriber).
 class Tracer {
  public:
-  explicit Tracer(Kernel& kernel) : kernel_(&kernel) {}
-
-  /// Starts tracing `signal`; its current value is recorded immediately.
-  template <typename T>
-  void trace(Signal<T>& signal) {
-    record(signal.name(), value_text(signal.read()));
-    Kernel* kernel = kernel_;
-    (void)kernel;
-    signal.value_changed().subscribe(
-        [this, &signal] { record(signal.name(), value_text(signal.read())); });
-  }
+  explicit Tracer(Kernel& kernel) : log_(std::make_shared<Log>(Log{&kernel, {}})) {}
 
   struct Record {
     std::uint64_t time_ps;
@@ -30,11 +29,27 @@ class Tracer {
     std::string value;
   };
 
-  [[nodiscard]] const std::vector<Record>& records() const { return records_; }
+  /// Starts tracing `signal`; its current value is recorded immediately.
+  template <typename T>
+  void trace(Signal<T>& signal) {
+    record(*log_, signal.name(), value_text(signal.read()));
+    signal.value_changed().subscribe([weak = std::weak_ptr<Log>(log_), &signal] {
+      if (std::shared_ptr<Log> log = weak.lock()) {
+        record(*log, signal.name(), value_text(signal.read()));
+      }
+    });
+  }
+
+  [[nodiscard]] const std::vector<Record>& records() const { return log_->records; }
   [[nodiscard]] std::string dump() const;
-  [[nodiscard]] std::size_t change_count() const { return records_.size(); }
+  [[nodiscard]] std::size_t change_count() const { return log_->records.size(); }
 
  private:
+  struct Log {
+    Kernel* kernel;
+    std::vector<Record> records;
+  };
+
   static std::string value_text(bool v) { return v ? "1" : "0"; }
   static std::string value_text(char v) { return std::string(1, v); }
   template <typename T>
@@ -42,10 +57,9 @@ class Tracer {
     return std::to_string(v);
   }
 
-  void record(const std::string& signal, std::string value);
+  static void record(Log& log, const std::string& signal, std::string value);
 
-  Kernel* kernel_;
-  std::vector<Record> records_;
+  std::shared_ptr<Log> log_;
 };
 
 }  // namespace umlsoc::sim

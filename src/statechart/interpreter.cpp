@@ -21,7 +21,19 @@ bool contained_in(const Vertex& vertex, const Region& region) {
 
 }  // namespace
 
-StateMachineInstance::StateMachineInstance(const StateMachine& machine) : machine_(machine) {}
+StateMachineInstance::StateMachineInstance(const StateMachine& machine)
+    : machine_(machine),
+      vertex_list_(machine.all_vertices()),
+      region_list_(machine.all_regions()) {
+  vertex_order_.reserve(vertex_list_.size());
+  for (std::size_t i = 0; i < vertex_list_.size(); ++i) {
+    vertex_order_.emplace(vertex_list_[i], static_cast<std::uint32_t>(i));
+  }
+  region_order_.reserve(region_list_.size());
+  for (std::size_t i = 0; i < region_list_.size(); ++i) {
+    region_order_.emplace(region_list_[i], static_cast<std::uint32_t>(i));
+  }
+}
 
 // --- Introspection -------------------------------------------------------------
 
@@ -123,15 +135,6 @@ void StateMachineInstance::run_to_quiescence() {
 
 namespace {
 
-std::unordered_map<const Vertex*, std::uint32_t> index_vertices(
-    const std::vector<const Vertex*>& vertices) {
-  std::unordered_map<const Vertex*, std::uint32_t> indices;
-  for (std::size_t i = 0; i < vertices.size(); ++i) {
-    indices.emplace(vertices[i], static_cast<std::uint32_t>(i));
-  }
-  return indices;
-}
-
 InstanceSnapshot::EventRecord record_event(const Event& event) {
   return InstanceSnapshot::EventRecord{event.name, event.data, event.tag};
 }
@@ -144,16 +147,22 @@ Event make_event(const InstanceSnapshot::EventRecord& record) {
 
 InstanceSnapshot StateMachineInstance::capture() const {
   InstanceSnapshot snapshot;
+  capture_into(snapshot);
+  return snapshot;
+}
+
+void StateMachineInstance::capture_into(InstanceSnapshot& snapshot) const {
   snapshot.started = started_;
   snapshot.terminated = terminated_;
+  snapshot.active_states.clear();
+  snapshot.active_finals.clear();
+  snapshot.shallow_history.clear();
+  snapshot.deep_history.clear();
+  snapshot.queue.clear();
+  snapshot.deferred.clear();
 
-  const std::vector<const Vertex*> vertices = machine_.all_vertices();
-  const std::vector<const Region*> regions = machine_.all_regions();
-  const auto vertex_index = index_vertices(vertices);
-  std::unordered_map<const Region*, std::uint32_t> region_index;
-  for (std::size_t i = 0; i < regions.size(); ++i) {
-    region_index.emplace(regions[i], static_cast<std::uint32_t>(i));
-  }
+  const auto& vertex_index = vertex_order_;
+  const auto& region_index = region_order_;
 
   for (const State* state : config_) snapshot.active_states.push_back(vertex_index.at(state));
   std::sort(snapshot.active_states.begin(), snapshot.active_states.end());
@@ -183,14 +192,14 @@ InstanceSnapshot StateMachineInstance::capture() const {
   snapshot.transitions_fired = transitions_fired_;
   snapshot.errors_raised = errors_raised_;
   snapshot.errors_unhandled = errors_unhandled_;
-  return snapshot;
 }
 
 bool StateMachineInstance::restore(const InstanceSnapshot& snapshot,
                                    support::DiagnosticSink& sink) {
-  const std::vector<const Vertex*> vertices = machine_.all_vertices();
-  const std::vector<const Region*> regions = machine_.all_regions();
-  const std::string subject = "statechart " + machine_.name();
+  const std::vector<const Vertex*>& vertices = vertex_list_;
+  const std::vector<const Region*>& regions = region_list_;
+  // Built only on the error paths; successful restores are a hot path.
+  auto subject = [this] { return "statechart " + machine_.name(); };
 
   auto state_at = [&](std::uint32_t index) -> const State* {
     if (index >= vertices.size()) return nullptr;
@@ -202,7 +211,7 @@ bool StateMachineInstance::restore(const InstanceSnapshot& snapshot,
   for (std::uint32_t index : snapshot.active_states) {
     const State* state = state_at(index);
     if (state == nullptr) {
-      sink.error(subject, "snapshot active-state index " + std::to_string(index) +
+      sink.error(subject(), "snapshot active-state index " + std::to_string(index) +
                               " does not name a state in this machine");
       return false;
     }
@@ -213,7 +222,7 @@ bool StateMachineInstance::restore(const InstanceSnapshot& snapshot,
     const FinalState* final_state =
         index < vertices.size() ? dynamic_cast<const FinalState*>(vertices[index]) : nullptr;
     if (final_state == nullptr) {
-      sink.error(subject, "snapshot final-state index " + std::to_string(index) +
+      sink.error(subject(), "snapshot final-state index " + std::to_string(index) +
                               " does not name a final state in this machine");
       return false;
     }
@@ -223,7 +232,7 @@ bool StateMachineInstance::restore(const InstanceSnapshot& snapshot,
   for (const auto& [region_idx, state_idx] : snapshot.shallow_history) {
     const State* state = state_at(state_idx);
     if (region_idx >= regions.size() || state == nullptr) {
-      sink.error(subject, "snapshot shallow-history entry (" + std::to_string(region_idx) +
+      sink.error(subject(), "snapshot shallow-history entry (" + std::to_string(region_idx) +
                               ", " + std::to_string(state_idx) + ") is out of range");
       return false;
     }
@@ -232,7 +241,7 @@ bool StateMachineInstance::restore(const InstanceSnapshot& snapshot,
   std::unordered_map<const Region*, std::vector<const State*>> deep;
   for (const auto& [region_idx, leaf_indices] : snapshot.deep_history) {
     if (region_idx >= regions.size()) {
-      sink.error(subject, "snapshot deep-history region index " + std::to_string(region_idx) +
+      sink.error(subject(), "snapshot deep-history region index " + std::to_string(region_idx) +
                               " is out of range");
       return false;
     }
@@ -240,7 +249,7 @@ bool StateMachineInstance::restore(const InstanceSnapshot& snapshot,
     for (std::uint32_t leaf_idx : leaf_indices) {
       const State* leaf = state_at(leaf_idx);
       if (leaf == nullptr) {
-        sink.error(subject, "snapshot deep-history leaf index " + std::to_string(leaf_idx) +
+        sink.error(subject(), "snapshot deep-history leaf index " + std::to_string(leaf_idx) +
                                 " does not name a state in this machine");
         return false;
       }
@@ -249,7 +258,7 @@ bool StateMachineInstance::restore(const InstanceSnapshot& snapshot,
     deep[regions[region_idx]] = std::move(leaves);
   }
   if (snapshot.terminated && !snapshot.active_states.empty()) {
-    sink.error(subject, "snapshot is terminated but lists active states");
+    sink.error(subject(), "snapshot is terminated but lists active states");
     return false;
   }
 
@@ -289,13 +298,17 @@ bool StateMachineInstance::state_completed(const State& state) const {
 }
 
 std::vector<const Transition*> StateMachineInstance::select_transitions(const Event* event) {
-  // Deterministic innermost-first order: depth descending, then name.
+  // Deterministic innermost-first order: depth descending, then document
+  // (pre-order) position. The pre-order index is a total order, so two
+  // same-depth states — even identically named ones in sibling regions —
+  // are always visited in declaration order, and two instances of the same
+  // machine select identically.
   std::vector<const State*> active(config_.begin(), config_.end());
-  std::sort(active.begin(), active.end(), [](const State* a, const State* b) {
+  std::sort(active.begin(), active.end(), [this](const State* a, const State* b) {
     std::size_t da = a->depth();
     std::size_t db = b->depth();
     if (da != db) return da > db;
-    return a->name() < b->name();
+    return vertex_order_.at(a) < vertex_order_.at(b);
   });
 
   ActionContext context{*this, event};
@@ -380,8 +393,9 @@ void StateMachineInstance::record_history(const State& exiting) {
       }
       if (!has_active_child) leaves.push_back(state);
     }
-    std::sort(leaves.begin(), leaves.end(),
-              [](const State* a, const State* b) { return a->name() < b->name(); });
+    std::sort(leaves.begin(), leaves.end(), [this](const State* a, const State* b) {
+      return vertex_order_.at(a) < vertex_order_.at(b);
+    });
     if (!leaves.empty()) deep_history_[region.get()] = std::move(leaves);
   }
 }
@@ -392,13 +406,13 @@ void StateMachineInstance::exit_states(const std::vector<const State*>& states,
   for (const State* state : states) {
     if (state->is_composite()) record_history(*state);
   }
-  // Innermost-first exit order.
+  // Innermost-first exit order; document order breaks same-depth ties.
   std::vector<const State*> ordered = states;
-  std::sort(ordered.begin(), ordered.end(), [](const State* a, const State* b) {
+  std::sort(ordered.begin(), ordered.end(), [this](const State* a, const State* b) {
     std::size_t da = a->depth();
     std::size_t db = b->depth();
     if (da != db) return da > db;
-    return a->name() < b->name();
+    return vertex_order_.at(a) < vertex_order_.at(b);
   });
   for (const State* state : ordered) {
     if (!state->exit_behavior().empty()) {

@@ -45,6 +45,8 @@ struct InstanceSnapshot {
     std::string name;
     std::int64_t data = 0;
     std::string tag;
+
+    bool operator==(const EventRecord&) const = default;
   };
 
   bool started = false;
@@ -62,6 +64,8 @@ struct InstanceSnapshot {
   std::uint64_t transitions_fired = 0;
   std::uint64_t errors_raised = 0;
   std::uint64_t errors_unhandled = 0;
+
+  bool operator==(const InstanceSnapshot&) const = default;
 };
 
 class StateMachineInstance {
@@ -79,6 +83,11 @@ class StateMachineInstance {
 
   /// Queues without processing (used by actions raising internal events).
   void post(Event event);
+
+  /// Events waiting in the ordinary pool (excludes the deferred pool).
+  /// Network harnesses (verify::Network) poll this to drain cross-posted
+  /// work to quiescence without capturing a snapshot.
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
 
   /// Error-event channel: fault monitors (bus ports, watchdogs) report
   /// failures here. Error events jump ahead of the normal pool — an error
@@ -136,6 +145,10 @@ class StateMachineInstance {
   /// Captures the instance's execution state in machine-independent,
   /// deterministic form (indices ascending, variables sorted by name).
   [[nodiscard]] InstanceSnapshot capture() const;
+  /// As capture(), but reuses `out`'s buffers — the verify explorer calls
+  /// this per exploration step, where a fresh snapshot's allocations are
+  /// the dominant cost.
+  void capture_into(InstanceSnapshot& out) const;
 
   /// Replaces this instance's execution state with `snapshot`. Validates the
   /// snapshot against the bound machine before mutating anything: on any
@@ -193,7 +206,22 @@ class StateMachineInstance {
   /// Greedy maximal conflict-free selection, innermost priority.
   std::vector<const Transition*> select_transitions(const Event* event);
 
+  /// Pre-order position of `vertex` in machine().all_vertices() — the
+  /// document order used as the deterministic tie-break wherever same-depth
+  /// states compete (transition selection, exit order, history leaves).
+  [[nodiscard]] std::uint32_t vertex_order(const Vertex& vertex) const {
+    return vertex_order_.at(&vertex);
+  }
+
   const StateMachine& machine_;
+  // Snapshot addressing and ordering caches, built once at construction:
+  // all_vertices()/all_regions() in pre-order plus the inverse maps. Shared
+  // by capture/restore (no per-call index rebuild) and by the deterministic
+  // sort comparators.
+  std::vector<const Vertex*> vertex_list_;
+  std::vector<const Region*> region_list_;
+  std::unordered_map<const Vertex*, std::uint32_t> vertex_order_;
+  std::unordered_map<const Region*, std::uint32_t> region_order_;
   std::unordered_set<const State*> config_;
   std::deque<const State*> pending_regions_;
   int entry_depth_ = 0;

@@ -1,0 +1,80 @@
+#include "verify/property.hpp"
+
+#include "verify/explore.hpp"
+
+namespace umlsoc::verify {
+
+Property Property::invariant(std::string name,
+                             std::function<bool(const PropertyContext&)> holds) {
+  std::string label = name;
+  return Property(std::move(name), Kind::kState,
+                  [label, holds = std::move(holds)](
+                      const PropertyContext& context) -> std::optional<std::string> {
+                    if (holds(context)) return std::nullopt;
+                    return "invariant '" + label + "' violated";
+                  });
+}
+
+Property Property::never_in(const std::string& instance_name, const std::string& state_name) {
+  std::string name = "never-in:" + instance_name + "." + state_name;
+  return Property(
+      name, Kind::kState,
+      [instance_name, state_name](const PropertyContext& context)
+          -> std::optional<std::string> {
+        const statechart::StateMachineInstance* instance =
+            context.network.find(instance_name);
+        if (instance == nullptr) {
+          return "property references unknown instance '" + instance_name + "'";
+        }
+        if (instance->is_in(state_name)) {
+          return "instance '" + instance_name + "' reached forbidden state '" + state_name +
+                 "'";
+        }
+        return std::nullopt;
+      });
+}
+
+Property Property::no_unhandled_errors() {
+  return Property(
+      "unhandled-error-freedom", Kind::kState,
+      [](const PropertyContext& context) -> std::optional<std::string> {
+        for (std::size_t i = 0; i < context.deltas.size(); ++i) {
+          if (context.deltas[i].errors_unhandled == 0) continue;
+          std::string event = context.step != nullptr ? context.step->event.name : "?";
+          return "error event '" + event + "' left unhandled by instance '" +
+                 context.network.name(i) + "'";
+        }
+        return std::nullopt;
+      });
+}
+
+Property Property::deadlock_free(std::function<bool(const PropertyContext&)> accepting) {
+  if (accepting == nullptr) {
+    accepting = [](const PropertyContext& context) {
+      for (std::size_t i = 0; i < context.network.size(); ++i) {
+        const statechart::StateMachineInstance& instance = context.network.instance(i);
+        if (!instance.started()) continue;
+        if (!instance.is_terminated() && !instance.is_in_final_state()) return false;
+      }
+      return true;
+    };
+  }
+  return Property("deadlock-freedom", Kind::kDeadlock,
+                  [accepting = std::move(accepting)](
+                      const PropertyContext& context) -> std::optional<std::string> {
+                    if (accepting(context)) return std::nullopt;
+                    std::string waiting;
+                    for (std::size_t i = 0; i < context.network.size(); ++i) {
+                      const statechart::StateMachineInstance& instance =
+                          context.network.instance(i);
+                      if (instance.is_terminated() || instance.is_in_final_state()) continue;
+                      if (!waiting.empty()) waiting += ", ";
+                      waiting += context.network.name(i);
+                    }
+                    return "deadlock: no enabled event, and the configuration is not "
+                           "accepting (outstanding: " +
+                           (waiting.empty() ? std::string("none") : waiting) + ")";
+                  });
+}
+
+}  // namespace umlsoc::verify

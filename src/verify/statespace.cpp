@@ -1,0 +1,308 @@
+#include "verify/statespace.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace umlsoc::verify {
+
+std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t hash = 14695981039346656037ull;
+  for (char c : bytes) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+// --- Encoding ------------------------------------------------------------------
+
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_str(std::string& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+void put_event(std::string& out, const statechart::InstanceSnapshot::EventRecord& event) {
+  put_str(out, event.name);
+  put_u64(out, static_cast<std::uint64_t>(event.data));
+  put_str(out, event.tag);
+}
+
+/// Bounds-checked little-endian reader over an encoding.
+struct Reader {
+  std::string_view data;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  bool take_u32(std::uint32_t& out) {
+    if (!ok || data.size() - pos < 4) return fail();
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      out |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(data[pos + i])) << (8 * i);
+    }
+    pos += 4;
+    return true;
+  }
+
+  bool take_u64(std::uint64_t& out) {
+    if (!ok || data.size() - pos < 8) return fail();
+    out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(data[pos + i])) << (8 * i);
+    }
+    pos += 8;
+    return true;
+  }
+
+  bool take_str(std::string& out) {
+    std::uint32_t length = 0;
+    if (!take_u32(length) || data.size() - pos < length) return fail();
+    out.assign(data.substr(pos, length));
+    pos += length;
+    return true;
+  }
+
+  bool take_event(statechart::InstanceSnapshot::EventRecord& out) {
+    std::uint64_t data_bits = 0;
+    if (!take_str(out.name) || !take_u64(data_bits) || !take_str(out.tag)) return fail();
+    out.data = static_cast<std::int64_t>(data_bits);
+    return true;
+  }
+
+  bool fail() {
+    ok = false;
+    return false;
+  }
+};
+
+/// Element-count sanity bound: no well-formed encoding holds a list longer
+/// than its remaining bytes, so a corrupt count fails fast instead of
+/// driving a multi-gigabyte reserve.
+bool plausible_count(const Reader& reader, std::uint32_t count) {
+  return count <= reader.data.size() - reader.pos;
+}
+
+bool decode_snapshot(Reader& reader, statechart::InstanceSnapshot& out) {
+  std::uint32_t flags = 0;
+  if (!reader.take_u32(flags) || (flags & ~3u) != 0) return reader.fail();
+  out.started = (flags & 1u) != 0;
+  out.terminated = (flags & 2u) != 0;
+
+  std::uint32_t count = 0;
+  if (!reader.take_u32(count) || !plausible_count(reader, count)) return reader.fail();
+  out.active_states.resize(count);
+  for (std::uint32_t& index : out.active_states) {
+    if (!reader.take_u32(index)) return false;
+  }
+  if (!reader.take_u32(count) || !plausible_count(reader, count)) return reader.fail();
+  out.active_finals.resize(count);
+  for (std::uint32_t& index : out.active_finals) {
+    if (!reader.take_u32(index)) return false;
+  }
+  if (!reader.take_u32(count) || !plausible_count(reader, count)) return reader.fail();
+  out.shallow_history.resize(count);
+  for (auto& [region, state] : out.shallow_history) {
+    if (!reader.take_u32(region) || !reader.take_u32(state)) return false;
+  }
+  if (!reader.take_u32(count) || !plausible_count(reader, count)) return reader.fail();
+  out.deep_history.resize(count);
+  for (auto& [region, leaves] : out.deep_history) {
+    std::uint32_t leaf_count = 0;
+    if (!reader.take_u32(region) || !reader.take_u32(leaf_count) ||
+        !plausible_count(reader, leaf_count)) {
+      return reader.fail();
+    }
+    leaves.resize(leaf_count);
+    for (std::uint32_t& leaf : leaves) {
+      if (!reader.take_u32(leaf)) return false;
+    }
+  }
+  if (!reader.take_u32(count) || !plausible_count(reader, count)) return reader.fail();
+  out.variables.resize(count);
+  for (auto& [name, value] : out.variables) {
+    std::uint64_t bits = 0;
+    if (!reader.take_str(name) || !reader.take_u64(bits)) return false;
+    value = static_cast<std::int64_t>(bits);
+  }
+  if (!reader.take_u32(count) || !plausible_count(reader, count)) return reader.fail();
+  out.queue.resize(count);
+  for (auto& event : out.queue) {
+    if (!reader.take_event(event)) return false;
+  }
+  if (!reader.take_u32(count) || !plausible_count(reader, count)) return reader.fail();
+  out.deferred.resize(count);
+  for (auto& event : out.deferred) {
+    if (!reader.take_event(event)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void encode_snapshot(const statechart::InstanceSnapshot& snapshot, std::string& out) {
+  std::uint32_t flags = 0;
+  if (snapshot.started) flags |= 1u;
+  if (snapshot.terminated) flags |= 2u;
+  put_u32(out, flags);
+
+  put_u32(out, static_cast<std::uint32_t>(snapshot.active_states.size()));
+  for (std::uint32_t index : snapshot.active_states) put_u32(out, index);
+  put_u32(out, static_cast<std::uint32_t>(snapshot.active_finals.size()));
+  for (std::uint32_t index : snapshot.active_finals) put_u32(out, index);
+  put_u32(out, static_cast<std::uint32_t>(snapshot.shallow_history.size()));
+  for (const auto& [region, state] : snapshot.shallow_history) {
+    put_u32(out, region);
+    put_u32(out, state);
+  }
+  put_u32(out, static_cast<std::uint32_t>(snapshot.deep_history.size()));
+  for (const auto& [region, leaves] : snapshot.deep_history) {
+    put_u32(out, region);
+    put_u32(out, static_cast<std::uint32_t>(leaves.size()));
+    for (std::uint32_t leaf : leaves) put_u32(out, leaf);
+  }
+  put_u32(out, static_cast<std::uint32_t>(snapshot.variables.size()));
+  for (const auto& [name, value] : snapshot.variables) {
+    put_str(out, name);
+    put_u64(out, static_cast<std::uint64_t>(value));
+  }
+  put_u32(out, static_cast<std::uint32_t>(snapshot.queue.size()));
+  for (const auto& event : snapshot.queue) put_event(out, event);
+  put_u32(out, static_cast<std::uint32_t>(snapshot.deferred.size()));
+  for (const auto& event : snapshot.deferred) put_event(out, event);
+}
+
+std::string encode_network(const std::vector<statechart::InstanceSnapshot>& snapshots) {
+  std::string out;
+  put_u32(out, static_cast<std::uint32_t>(snapshots.size()));
+  for (const statechart::InstanceSnapshot& snapshot : snapshots) {
+    encode_snapshot(snapshot, out);
+  }
+  return out;
+}
+
+bool decode_network(std::string_view encoding,
+                    std::vector<statechart::InstanceSnapshot>& out) {
+  Reader reader{encoding};
+  std::uint32_t count = 0;
+  if (!reader.take_u32(count) || !plausible_count(reader, count)) return false;
+  out.assign(count, statechart::InstanceSnapshot{});
+  for (statechart::InstanceSnapshot& snapshot : out) {
+    if (!decode_snapshot(reader, snapshot)) return false;
+  }
+  return reader.ok && reader.pos == encoding.size();
+}
+
+// --- StateStore ----------------------------------------------------------------
+
+namespace {
+constexpr std::size_t kInitialSlots = 1024;  // Power of two.
+}
+
+StateStore::StateStore() : StateStore(Config{}) {}
+
+StateStore::StateStore(Config config) : config_(config) {
+  slots_.assign(kInitialSlots, kNoState);
+}
+
+std::size_t StateStore::bytes_used() const {
+  return arena_.capacity() + entries_.capacity() * sizeof(Entry) +
+         slots_.capacity() * sizeof(std::uint32_t);
+}
+
+bool StateStore::grow_slots() {
+  const std::size_t new_size = slots_.size() * 2;
+  const std::size_t projected = arena_.capacity() + entries_.capacity() * sizeof(Entry) +
+                                new_size * sizeof(std::uint32_t);
+  if (projected > config_.memory_budget_bytes) return false;
+  std::vector<std::uint32_t> fresh(new_size, kNoState);
+  const std::size_t mask = new_size - 1;
+  for (std::uint32_t id = 0; id < entries_.size(); ++id) {
+    std::size_t slot = entries_[id].fingerprint & mask;
+    while (fresh[slot] != kNoState) slot = (slot + 1) & mask;
+    fresh[slot] = id;
+  }
+  slots_ = std::move(fresh);
+  return true;
+}
+
+StateStore::InsertResult StateStore::insert(std::string_view encoding, std::uint32_t parent,
+                                            std::uint32_t action) {
+  const HashFn hash = config_.hash != nullptr ? config_.hash : &fnv1a;
+  const std::uint64_t fingerprint = hash(encoding);
+
+  // A probe over a full table never terminates; when the budget blocked
+  // earlier growth and the table has filled up anyway, fail structurally.
+  if (entries_.size() + 1 >= slots_.size() && !grow_slots()) {
+    return InsertResult{Status::kOutOfMemory, kNoState};
+  }
+
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t slot = fingerprint & mask;
+  while (slots_[slot] != kNoState) {
+    const std::uint32_t id = slots_[slot];
+    const Entry& entry = entries_[id];
+    if (entry.fingerprint == fingerprint) {
+      if (entry.length == encoding.size() &&
+          std::memcmp(arena_.data() + entry.offset, encoding.data(), encoding.size()) == 0) {
+        ++revisits_;
+        return InsertResult{Status::kVisited, id};
+      }
+      // Same fingerprint, different state: keep both, keep probing.
+      ++collisions_;
+    }
+    slot = (slot + 1) & mask;
+  }
+
+  // Budget check before committing anything. Account for capacity doubling
+  // so the charge reflects what the allocators will actually hold.
+  std::size_t arena_needed = arena_.capacity();
+  if (arena_.size() + encoding.size() > arena_needed) {
+    arena_needed = std::max(arena_.size() + encoding.size(), arena_.capacity() * 2);
+  }
+  std::size_t entries_needed = entries_.capacity();
+  if (entries_.size() + 1 > entries_needed) {
+    entries_needed = std::max<std::size_t>(entries_.capacity() * 2, 16);
+  }
+  if (arena_needed + entries_needed * sizeof(Entry) + slots_.capacity() * sizeof(std::uint32_t) >
+      config_.memory_budget_bytes) {
+    return InsertResult{Status::kOutOfMemory, kNoState};
+  }
+
+  const auto id = static_cast<std::uint32_t>(entries_.size());
+  Entry entry;
+  entry.fingerprint = fingerprint;
+  entry.offset = arena_.size();
+  entry.length = static_cast<std::uint32_t>(encoding.size());
+  entry.parent = parent;
+  entry.action = action;
+  entry.depth = parent == kNoState ? 0 : entries_[parent].depth + 1;
+  arena_.append(encoding);
+  entries_.push_back(entry);
+  slots_[slot] = id;
+
+  // Keep the load factor below ~0.75. A failed grow is only fatal once the
+  // table is genuinely full; until then lookups just probe longer.
+  if (entries_.size() * 4 > slots_.size() * 3) (void)grow_slots();
+  return InsertResult{Status::kNew, id};
+}
+
+std::vector<std::uint32_t> StateStore::path_actions(std::uint32_t id) const {
+  std::vector<std::uint32_t> actions;
+  for (std::uint32_t current = id; current != kNoState && parent(current) != kNoState;
+       current = parent(current)) {
+    actions.push_back(action(current));
+  }
+  std::reverse(actions.begin(), actions.end());
+  return actions;
+}
+
+}  // namespace umlsoc::verify

@@ -336,6 +336,24 @@ TEST(Tracer, RecordsChangesWithTimestamps) {
   EXPECT_NE(dump.find("2000 data=6"), std::string::npos);
 }
 
+TEST(Tracer, DestructionBeforeSignalIsSafe) {
+  Kernel kernel;
+  Signal<int> signal(kernel, "data", 0);
+  {
+    Tracer tracer(kernel);
+    tracer.trace(signal);
+    kernel.schedule(SimTime::ns(1), [&] { signal.write(5); });
+    kernel.run();
+    EXPECT_EQ(tracer.change_count(), 2u);
+  }
+  // SimEvent has no unsubscribe, so the trace callback outlives the tracer;
+  // it must degrade to a no-op instead of writing through a dangling
+  // record buffer.
+  kernel.schedule(SimTime::ns(2), [&] { signal.write(6); });
+  kernel.run();
+  EXPECT_EQ(signal.read(), 6);
+}
+
 TEST(Kernel, CountersAdvance) {
   Kernel kernel;
   Clock clock(kernel, "clk", SimTime::ns(2));

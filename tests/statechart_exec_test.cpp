@@ -688,6 +688,48 @@ TEST(Exec, ActiveLeafNamesSortedAndCorrect) {
   EXPECT_EQ(leaves[1], "q1_0");
 }
 
+// Determinism guard: two structurally identical machines (separately built,
+// so vertex addresses differ) must drive their instances through identical
+// transition sequences. Sibling orthogonal regions deliberately reuse state
+// names at the same depth — a name-keyed or address-keyed tie-break would
+// make the firing/exit order diverge between the builds; only document
+// order (pre-order index) is stable.
+std::unique_ptr<StateMachine> make_twin_region_machine() {
+  auto machine = std::make_unique<StateMachine>("Twin");
+  Region& top = machine->top();
+  State& work = top.add_state("Work");
+  top.add_transition(top.add_initial(), work);
+  State& out = top.add_state("Out");
+  for (int r = 0; r < 3; ++r) {
+    Region& region = work.add_region("r" + std::to_string(r));
+    Pseudostate& initial = region.add_initial();
+    State& ping = region.add_state("Ping");  // Same names in every region.
+    State& pong = region.add_state("Pong");
+    region.add_transition(initial, ping);
+    region.add_transition(ping, pong).set_trigger("flip");
+    region.add_transition(pong, ping).set_trigger("flip");
+  }
+  top.add_transition(work, out).set_trigger("escape");
+  return machine;
+}
+
+TEST(Exec, IdenticalModelsDispatchIdentically) {
+  auto first_machine = make_twin_region_machine();
+  auto second_machine = make_twin_region_machine();
+  StateMachineInstance first(*first_machine);
+  StateMachineInstance second(*second_machine);
+  first.start();
+  second.start();
+  for (const char* event : {"flip", "flip", "flip", "escape"}) {
+    first.dispatch({event});
+    second.dispatch({event});
+    EXPECT_EQ(first.active_leaf_names(), second.active_leaf_names());
+    EXPECT_EQ(first.capture(), second.capture());
+  }
+  EXPECT_EQ(first.trace(), second.trace());
+  EXPECT_EQ(first.transitions_fired(), second.transitions_fired());
+}
+
 TEST(Exec, VariablesDefaultToZero) {
   StateMachine machine("m");
   StateMachineInstance instance(machine);

@@ -11,6 +11,7 @@
 #include "sim/fault.hpp"
 #include "sim/replay.hpp"
 #include "sim/signal.hpp"
+#include "sim/supervise.hpp"
 
 namespace {
 
@@ -67,8 +68,10 @@ void BM_SignalChainDeltas(benchmark::State& state) {
     from->value_changed().subscribe([from, to] { to->write(from->read() + 1); });
   }
   int stimulus = 0;
+  const ProcessId stimulate =
+      kernel.register_process([&] { chain[0]->write(++stimulus); });
   for (auto _ : state) {
-    kernel.schedule(SimTime::ns(1), [&] { chain[0]->write(++stimulus); });
+    kernel.schedule(SimTime::ns(1), stimulate);
     kernel.run();
   }
   state.counters["chain"] = static_cast<double>(length);
@@ -112,7 +115,7 @@ void BM_BusTransactions(benchmark::State& state) {
   std::uint64_t address = 0;
   for (auto _ : state) {
     bool done = false;
-    bus.write(address % 512, address, [&done] { done = true; });
+    bus.write(address % 512, address, [&done](BusStatus) { done = true; });
     kernel.run(kernel.now() + SimTime::ns(static_cast<std::uint64_t>(state.range(0))));
     benchmark::DoNotOptimize(done);
     address += 8;
@@ -156,6 +159,42 @@ void BM_BusTransactionsFaulty(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_BusTransactionsFaulty)->Arg(0)->Arg(100);
+
+void BM_BusBreaker(benchmark::State& state) {
+  // Fault-free supervision overhead (EXPERIMENTS.md E15): the same
+  // transaction loop issued through a BusMasterPort directly (Arg 0) vs
+  // through a closed CircuitBreaker wrapping that port (Arg 1). No fault
+  // plan, so the breaker never opens — the measured delta is the pure cost
+  // of the closed-path bookkeeping (one state check, one window update per
+  // completion).
+  Kernel kernel;
+  MemoryMappedBus bus(kernel, "axi", SimTime::ns(8));
+  std::uint64_t mem[64] = {};
+  bus.map_device(
+      "ram", 0, sizeof(mem), [&](std::uint64_t a) { return mem[(a / 8) % 64]; },
+      [&](std::uint64_t a, std::uint64_t v) { mem[(a / 8) % 64] = v; });
+  BusMasterPort port(kernel, bus, "dma");
+  CircuitBreaker breaker(kernel, port, "dma");
+  const bool through_breaker = state.range(0) != 0;
+  std::uint64_t address = 0;
+  for (auto _ : state) {
+    bool done = false;
+    auto completion = [&done](BusStatus) { done = true; };
+    if (through_breaker) {
+      breaker.write(address % 512, address, completion);
+    } else {
+      port.write(address % 512, address, completion);
+    }
+    kernel.run(kernel.now() + SimTime::ns(8));
+    benchmark::DoNotOptimize(done);
+    address += 8;
+  }
+  state.counters["breaker"] = through_breaker ? 1 : 0;
+  state.counters["opens"] = static_cast<double>(breaker.stats().opens);
+  state.counters["xfers/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BusBreaker)->Arg(0)->Arg(1);
 
 void BM_KernelReplay(benchmark::State& state) {
   // Recorder overhead on the timed-event hot path (EXPERIMENTS.md E13).

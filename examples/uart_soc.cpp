@@ -8,7 +8,7 @@
 // backoff, a watchdog supervises progress, and the driver's health
 // statechart walks through its declared error/recovery states.
 //
-// Finally demonstrates checkpoint/restore and deterministic replay: the
+// Demonstrates checkpoint/restore and deterministic replay: the
 // adversarial run is checkpointed mid-flight, restored into a freshly
 // constructed setup (as a restarted process would), continued to the end,
 // and shown to be bit-identical to an uninterrupted reference — final
@@ -16,6 +16,23 @@
 // a corrupted snapshot show divergence detection and rejection. Any
 // mismatch exits nonzero, so CI runs this binary as the snapshot smoke
 // test.
+//
+// Closes with the supervision demo: the CPU streams bytes to the UART over
+// a DMA channel guarded by a CircuitBreaker. A deterministic burst of bus
+// errors opens the breaker, the HealthRegistry flags the channel degraded
+// and traffic falls back to a PIO port; after the open duration a half-open
+// probe succeeds and DMA is restored. A watchdog starvation trip then
+// drives a supervised warm restart of the link statechart (from a restart
+// snapshot) and re-arms the dog. Every supervision signal lands in the
+// UartLink statechart's error channel, which must absorb all of them.
+//
+// With --chaos-soak[=N] the binary instead soaks that supervision loop
+// under a seeded 1% error + 1% drop fault plan over N seeds (default 16):
+// each seed runs an uninterrupted reference, an identical rig checkpointed
+// mid-stream, and a restored rig that finishes the run under the replay
+// verifier — final state and the full event sequence must match, every
+// unit must end healthy and no error event may go unhandled. Failing
+// seeds are listed so CI logs pinpoint the reproduction.
 //
 // With --check-properties the binary instead runs the explicit-state
 // verification engine on the driver-supervision statecharts: a seeded
@@ -28,8 +45,10 @@
 // verification smoke test.
 //
 //   $ ./example_uart_soc
+//   $ ./example_uart_soc --chaos-soak
 //   $ ./example_uart_soc --check-properties
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "codegen/hwmodel.hpp"
@@ -41,6 +60,7 @@
 #include "replay/snapshot.hpp"
 #include "sim/fault.hpp"
 #include "sim/replay.hpp"
+#include "sim/supervise.hpp"
 #include "soc/iplibrary.hpp"
 #include "soc/validate.hpp"
 #include "support/strings.hpp"
@@ -51,6 +71,47 @@
 using namespace umlsoc;
 
 namespace {
+
+/// Snapshot bank over a BusMasterPort's retry counters; both the replay rig
+/// and each leg of the degraded-mode rig checkpoint their ports this way.
+replay::ValueBank port_stats_bank(std::string name, sim::BusMasterPort& port) {
+  replay::ValueBank bank;
+  bank.name = std::move(name);
+  bank.capture = [&port] {
+    const sim::BusMasterPort::Stats& stats = port.stats();
+    return std::vector<std::pair<std::string, std::uint64_t>>{
+        {"transactions", stats.transactions}, {"timeouts", stats.timeouts},
+        {"retries", stats.retries},           {"exhausted", stats.exhausted},
+        {"recovered", stats.recovered},       {"late-completions",
+                                               stats.late_completions}};
+  };
+  bank.restore = [&port, bank_name = bank.name](
+                     const std::vector<std::pair<std::string, std::uint64_t>>& values,
+                     support::DiagnosticSink& bank_sink) {
+    sim::BusMasterPort::Stats stats;
+    for (const auto& [key, value] : values) {
+      if (key == "transactions") {
+        stats.transactions = value;
+      } else if (key == "timeouts") {
+        stats.timeouts = value;
+      } else if (key == "retries") {
+        stats.retries = value;
+      } else if (key == "exhausted") {
+        stats.exhausted = value;
+      } else if (key == "recovered") {
+        stats.recovered = value;
+      } else if (key == "late-completions") {
+        stats.late_completions = value;
+      } else {
+        bank_sink.error(bank_name, "unknown counter '" + key + "'");
+        return false;
+      }
+    }
+    port.restore_checkpoint(stats);
+    return true;
+  };
+  return bank;
+}
 
 /// One complete adversarial setup — kernel, faulty bus, UART model, health
 /// statechart instance, supervised driver, watchdog, event recorder. Every
@@ -111,40 +172,7 @@ struct ReplayRig {
                 support::DiagnosticSink& bank_sink) {
            return uart.restore_values(values, bank_sink);
          }});
-    out.banks.push_back(
-        {"port",
-         [this] {
-           const sim::BusMasterPort::Stats& stats = driver.port().stats();
-           return std::vector<std::pair<std::string, std::uint64_t>>{
-               {"transactions", stats.transactions}, {"timeouts", stats.timeouts},
-               {"retries", stats.retries},           {"exhausted", stats.exhausted},
-               {"recovered", stats.recovered},       {"late-completions",
-                                                      stats.late_completions}};
-         },
-         [this](const std::vector<std::pair<std::string, std::uint64_t>>& values,
-                support::DiagnosticSink& bank_sink) {
-           sim::BusMasterPort::Stats stats;
-           for (const auto& [key, value] : values) {
-             if (key == "transactions") {
-               stats.transactions = value;
-             } else if (key == "timeouts") {
-               stats.timeouts = value;
-             } else if (key == "retries") {
-               stats.retries = value;
-             } else if (key == "exhausted") {
-               stats.exhausted = value;
-             } else if (key == "recovered") {
-               stats.recovered = value;
-             } else if (key == "late-completions") {
-               stats.late_completions = value;
-             } else {
-               bank_sink.error("port", "unknown counter '" + key + "'");
-               return false;
-             }
-           }
-           driver.port().restore_checkpoint(stats);
-           return true;
-         }});
+    out.banks.push_back(port_stats_bank("port", driver.port()));
     return out;
   }
 };
@@ -156,6 +184,494 @@ constexpr const char* kPhase2 =
     "  bus_write(self.base + 0, 65 + i);"
     "  i := i + 1;"
     "}";
+
+// --- Supervision / degraded-mode demo -----------------------------------------
+//
+// The recovery loop under demonstration: a CPU sender streams bytes to the
+// UART tx register over a DMA channel wrapped in a CircuitBreaker, with a
+// plain PIO port as the degraded route. Breaker state changes and
+// supervisor activity surface as error events on a UartLink statechart; a
+// Supervisor owns the link (warm restart from a snapshot captured at the
+// known-good point) and a watchdog converts traffic starvation into a
+// supervised failure.
+
+struct TrafficFaults {
+  double error_rate = 0.0;
+  double drop_rate = 0.0;
+  std::uint64_t max_faults = std::numeric_limits<std::uint64_t>::max();
+};
+
+/// UartLink: Normal <-> Fallback on breaker_open/breaker_closed, Dead on
+/// supervisor_give_up. Every other supervision signal is absorbed
+/// internally so the soak's "zero unhandled errors" check is meaningful:
+/// a new signal name would surface as an unhandled error event.
+void build_link_machine(statechart::StateMachine& machine) {
+  statechart::Region& top = machine.top();
+  statechart::State& normal = top.add_state("Normal");
+  statechart::State& fallback = top.add_state("Fallback");
+  statechart::State& dead = top.add_state("Dead");
+  top.add_transition(top.add_initial(), normal);
+  top.add_transition(normal, fallback).set_trigger("breaker_open");
+  top.add_transition(fallback, normal).set_trigger("breaker_closed");
+  top.add_transition(normal, dead).set_trigger("supervisor_give_up");
+  top.add_transition(fallback, dead).set_trigger("supervisor_give_up");
+  for (const char* event :
+       {"watchdog_trip", "unit_restarted", "restart_failed", "supervisor_escalate"}) {
+    top.add_transition(normal, normal).set_trigger(event).set_internal(true);
+    top.add_transition(fallback, fallback).set_trigger(event).set_internal(true);
+    top.add_transition(dead, dead).set_trigger(event).set_internal(true);
+  }
+  top.add_transition(normal, normal).set_trigger("breaker_closed").set_internal(true);
+  top.add_transition(fallback, fallback).set_trigger("breaker_open").set_internal(true);
+  for (const char* event : {"breaker_open", "breaker_closed", "supervisor_give_up"}) {
+    top.add_transition(dead, dead).set_trigger(event).set_internal(true);
+  }
+}
+
+/// The supervised SoC: identical construction sequence per instance (same
+/// ProcessIds, same statechart indices), so the snapshot contract holds for
+/// the whole supervision stack — breaker, supervisor, health registry and
+/// traffic counters are all snapshot sections.
+struct DegradedRig {
+  static constexpr std::uint64_t kSendPeriodPs = 500'000;  // One byte per 500 ns.
+
+  sim::Kernel kernel;
+  sim::MemoryMappedBus bus;
+  codegen::HwModuleSim uart;
+  sim::FaultPlan plan;
+  sim::BusMasterPort dma_port;
+  sim::BusMasterPort pio_port;
+  sim::CircuitBreaker breaker;
+  sim::HealthRegistry health;
+  sim::HealthRegistry::UnitId dma_unit = sim::HealthRegistry::kInvalidUnit;
+  sim::HealthRegistry::UnitId link_unit = sim::HealthRegistry::kInvalidUnit;
+  statechart::StateMachineInstance link;
+  sim::Supervisor sup;
+  sim::Watchdog watchdog;
+  sim::EventRecorder recorder;
+  sim::Supervisor::ChildId link_child = sim::Supervisor::kInvalidChild;
+  std::function<bool()> link_restart;
+  std::uint64_t base = 0;
+  sim::ProcessId sender = sim::kInvalidProcess;
+  std::uint64_t target = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t via_dma = 0;
+  std::uint64_t via_pio = 0;
+  std::uint64_t lost = 0;
+
+  static sim::RetryPolicy port_policy() {
+    sim::RetryPolicy policy;
+    policy.timeout = sim::SimTime::ns(100);
+    policy.max_attempts = 2;
+    return policy;
+  }
+  static sim::CircuitBreaker::Config breaker_config() {
+    sim::CircuitBreaker::Config config;
+    config.window = 8;
+    config.min_samples = 4;
+    config.failure_threshold = 0.5;
+    config.open_duration = sim::SimTime::us(2);
+    config.reopen_multiplier = 2;
+    config.max_open_duration = sim::SimTime::us(16);
+    return config;
+  }
+  static sim::RestartPolicy sup_policy() {
+    sim::RestartPolicy policy;
+    policy.backoff = sim::SimTime::ns(100);
+    policy.max_restarts = 8;
+    policy.window = sim::SimTime::us(200);
+    return policy;
+  }
+
+  DegradedRig(const uml::Component& psm_uart, const soc::SocProfile& profile,
+              const statechart::StateMachine& link_machine, std::uint64_t base_address,
+              const TrafficFaults& faults, std::uint64_t seed,
+              support::DiagnosticSink& sink)
+      : bus(kernel, "axi", sim::SimTime::ns(8)),
+        uart(psm_uart, profile, sink),
+        plan(seed),
+        dma_port(kernel, bus, "dma", port_policy()),
+        pio_port(kernel, bus, "pio", port_policy()),
+        breaker(kernel, dma_port, "dma", breaker_config()),
+        link(link_machine),
+        sup(kernel, "soc", sim::RestartStrategy::kOneForOne, sup_policy()),
+        watchdog(kernel, "link-dog", sim::SimTime::us(50)),
+        base(base_address) {
+    uart.map_onto(bus, base);
+    sim::FaultPlan::SiteConfig site;
+    site.error_rate = faults.error_rate;
+    site.drop_rate = faults.drop_rate;
+    site.max_faults = faults.max_faults;
+    plan.configure(sim::FaultSite::kBusWrite, site);
+    bus.install_fault_plan(&plan);
+    link.set_trace_enabled(false);
+    link.start();
+    // The known-good restart point: the just-started link. Supervisor
+    // restarts warm-rewind to here.
+    link_restart = replay::restart_from_snapshot(link, sink);
+    dma_unit = health.register_unit("dma");
+    link_unit = health.register_unit("uart-link");
+    breaker.bind_health(&health, dma_unit);
+    breaker.set_error_emitter([this](const std::string& event, std::int64_t) {
+      link.dispatch_error(statechart::Event(event));
+    });
+    link_child = sup.add_child("uart-link", [this] {
+      const bool ok = link_restart == nullptr || link_restart();
+      breaker.force_closed();  // Restart power-cycles the DMA channel too.
+      return ok;
+    });
+    sup.attach_watchdog(link_child, watchdog);
+    sup.bind_child_health(link_child, health, link_unit);
+    sup.set_error_emitter([this](const std::string& event, std::int64_t) {
+      link.dispatch_error(statechart::Event(event));
+    });
+    sender = kernel.register_process([this] { send_tick(); }, "cpu.sender");
+    kernel.set_recorder(&recorder);
+    // Armed in the constructor: a restored process re-arms before the
+    // snapshot wipes and reinstates the kernel's expectation registry.
+    watchdog.arm();
+  }
+
+  /// Degraded-mode routing: bytes flow through the breaker-guarded DMA
+  /// channel unless the breaker is open, in which case they fall back to
+  /// PIO. Half-open deliberately routes through the breaker — that request
+  /// *is* the recovery probe.
+  void send_tick() {
+    if (sent >= target) return;
+    const std::uint64_t value = 'A' + (sent % 26);
+    ++sent;
+    watchdog.kick();
+    auto completion = [this](sim::BusStatus status) {
+      if (status == sim::BusStatus::kOk) {
+        ++delivered;
+      } else {
+        ++lost;
+      }
+    };
+    if (breaker.state() == sim::CircuitBreaker::State::kOpen) {
+      ++via_pio;
+      pio_port.write(base + 0, value, completion);
+    } else {
+      ++via_dma;
+      breaker.write(base + 0, value, completion);
+    }
+    if (sent < target) kernel.schedule(sim::SimTime(kSendPeriodPs), sender);
+  }
+
+  [[nodiscard]] replay::SnapshotTargets targets() {
+    replay::SnapshotTargets out;
+    out.kernel = &kernel;
+    out.fault_plan = &plan;
+    out.recorder = &recorder;
+    out.machines.push_back({"link", &link});
+    out.buses.push_back({"axi", &bus});
+    out.watchdogs.push_back({"link-dog", &watchdog});
+    out.supervisors.push_back({"soc", &sup});
+    out.breakers.push_back({"dma", &breaker});
+    out.health.push_back({"health", &health});
+    out.banks.push_back(
+        {"uart", [this] { return uart.capture_values(); },
+         [this](const std::vector<std::pair<std::string, std::uint64_t>>& values,
+                support::DiagnosticSink& bank_sink) {
+           return uart.restore_values(values, bank_sink);
+         }});
+    out.banks.push_back(port_stats_bank("dma-port", dma_port));
+    out.banks.push_back(port_stats_bank("pio-port", pio_port));
+    out.banks.push_back(
+        {"traffic",
+         [this] {
+           return std::vector<std::pair<std::string, std::uint64_t>>{
+               {"target", target},   {"sent", sent},       {"delivered", delivered},
+               {"via-dma", via_dma}, {"via-pio", via_pio}, {"lost", lost}};
+         },
+         [this](const std::vector<std::pair<std::string, std::uint64_t>>& values,
+                support::DiagnosticSink& bank_sink) {
+           for (const auto& [key, value] : values) {
+             if (key == "target") {
+               target = value;
+             } else if (key == "sent") {
+               sent = value;
+             } else if (key == "delivered") {
+               delivered = value;
+             } else if (key == "via-dma") {
+               via_dma = value;
+             } else if (key == "via-pio") {
+               via_pio = value;
+             } else if (key == "lost") {
+               lost = value;
+             } else {
+               bank_sink.error("traffic", "unknown counter '" + key + "'");
+               return false;
+             }
+           }
+           return true;
+         }});
+    return out;
+  }
+};
+
+/// Streams bytes until `total` have been sent and the bus has drained.
+/// State-driven (no wall-count of run calls), so a reference run, a
+/// checkpointed run and a restored run walk identical event sequences.
+bool run_phase(DegradedRig& rig, std::uint64_t total) {
+  rig.target = total;
+  if (rig.sent < rig.target) {
+    rig.kernel.schedule(sim::SimTime(DegradedRig::kSendPeriodPs), rig.sender);
+  }
+  for (int guard = 0; guard < 100000; ++guard) {
+    if (rig.sent >= rig.target && rig.bus.pending_transactions() == 0) return true;
+    rig.kernel.run(rig.kernel.now() + sim::SimTime::us(1));
+  }
+  std::printf("traffic phase stalled: sent=%llu target=%llu pending=%zu\n",
+              static_cast<unsigned long long>(rig.sent),
+              static_cast<unsigned long long>(rig.target),
+              rig.bus.pending_transactions());
+  return false;
+}
+
+/// Runs until the rig reaches a checkpointable state (e.g. no in-flight
+/// port expectation from a retry) and captures a snapshot. `out == nullptr`
+/// runs the identical search without keeping the document — the reference
+/// run uses it to stay on the checkpointed run's timeline (save_snapshot
+/// itself has no side effects on the simulation).
+bool run_to_save_point(DegradedRig& rig, std::string* out) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    support::DiagnosticSink save_sink;
+    std::string snapshot;
+    if (replay::save_snapshot(rig.targets(), snapshot, save_sink)) {
+      if (out != nullptr) *out = std::move(snapshot);
+      return true;
+    }
+    rig.kernel.run(rig.kernel.now() + sim::SimTime::us(1));
+  }
+  return false;
+}
+
+/// Drives the rig to full recovery: breaker closed, every unit healthy,
+/// no supervision work pending. Each iteration sends one keepalive byte —
+/// routed around an open breaker — so simulated time advances through open
+/// durations and restart backoffs.
+bool run_recovery_tail(DegradedRig& rig) {
+  const sim::SimTime limit = rig.kernel.now() + sim::SimTime::us(500);
+  for (int guard = 0; guard < 2000; ++guard) {
+    if (rig.breaker.state() == sim::CircuitBreaker::State::kClosed &&
+        rig.health.all_healthy() && rig.sup.quiescent()) {
+      return true;
+    }
+    if (rig.kernel.now() > limit) break;
+    if (!run_phase(rig, rig.target + 1)) return false;
+  }
+  std::printf("recovery tail did not converge: breaker=%s health=%s sup=%s\n",
+              std::string(sim::to_string(rig.breaker.state())).c_str(),
+              rig.health.str().c_str(), rig.sup.str().c_str());
+  return false;
+}
+
+/// Disarms supervision and drains the queue; stale timer/check events
+/// fizzle by design.
+void finish_run(DegradedRig& rig) {
+  rig.watchdog.disarm();
+  rig.kernel.run();
+}
+
+/// The interactive demo: deterministic DMA error burst -> breaker opens ->
+/// PIO fallback -> half-open probe restores DMA; then a watchdog
+/// starvation trip -> supervised warm restart -> re-armed dog.
+int run_degraded_demo(const uml::Component& psm_uart, const soc::SocProfile& profile,
+                      const statechart::StateMachine& link_machine, std::uint64_t base,
+                      support::DiagnosticSink& sink) {
+  std::printf("\n--- degraded mode: breaker-guarded DMA, PIO fallback, supervision ---\n");
+  TrafficFaults faults;
+  faults.error_rate = 1.0;
+  faults.max_faults = 4;  // Exactly the first four DMA writes error, then clean.
+  DegradedRig rig(psm_uart, profile, link_machine, base, faults, /*seed=*/7, sink);
+  rig.health.add_listener([&rig](sim::HealthRegistry::UnitId unit, sim::UnitHealth from,
+                                 sim::UnitHealth to, std::string_view reason) {
+    std::printf("  [%s] %s: %s -> %s (%.*s)\n", rig.kernel.now().str().c_str(),
+                rig.health.unit_name(unit).c_str(),
+                std::string(sim::to_string(from)).c_str(),
+                std::string(sim::to_string(to)).c_str(), static_cast<int>(reason.size()),
+                reason.data());
+  });
+
+  if (!run_phase(rig, 4)) return 1;
+  if (rig.breaker.state() != sim::CircuitBreaker::State::kOpen) {
+    std::printf("breaker did not open after the error burst (state=%s)\n",
+                std::string(sim::to_string(rig.breaker.state())).c_str());
+    return 1;
+  }
+  std::printf("breaker '%s' open after %llu DMA failures; link state: %s\n",
+              rig.breaker.name().c_str(),
+              static_cast<unsigned long long>(rig.breaker.stats().failures),
+              rig.link.is_in("Fallback") ? "Fallback" : "?");
+
+  if (!run_phase(rig, 8)) return 1;
+  if (rig.via_pio == 0) {
+    std::printf("no byte fell back to PIO while the breaker was open\n");
+    return 1;
+  }
+  if (!run_recovery_tail(rig)) return 1;
+  if (rig.breaker.state() != sim::CircuitBreaker::State::kClosed ||
+      !rig.link.is_in("Normal") || rig.breaker.stats().probes == 0) {
+    std::printf("recovery incomplete: breaker=%s probes=%llu link-normal=%d\n",
+                std::string(sim::to_string(rig.breaker.state())).c_str(),
+                static_cast<unsigned long long>(rig.breaker.stats().probes),
+                rig.link.is_in("Normal") ? 1 : 0);
+    return 1;
+  }
+  std::printf("half-open probe restored DMA: %llu via dma, %llu via pio, %llu lost\n",
+              static_cast<unsigned long long>(rig.via_dma),
+              static_cast<unsigned long long>(rig.via_pio),
+              static_cast<unsigned long long>(rig.lost));
+
+  // Watchdog leg: traffic stops, the dog starves and trips, the supervisor
+  // warm-restarts the link and re-arms the dog.
+  const std::uint64_t restarts_before = rig.sup.child_stats(rig.link_child).restarts;
+  rig.kernel.run(rig.kernel.now() + sim::SimTime::us(51));
+  if (rig.watchdog.trips() != 1 ||
+      rig.sup.child_stats(rig.link_child).restarts != restarts_before + 1 ||
+      !rig.watchdog.armed()) {
+    std::printf("watchdog recovery failed: trips=%llu restarts=%llu armed=%d\n",
+                static_cast<unsigned long long>(rig.watchdog.trips()),
+                static_cast<unsigned long long>(
+                    rig.sup.child_stats(rig.link_child).restarts),
+                rig.watchdog.armed() ? 1 : 0);
+    return 1;
+  }
+  std::printf("watchdog trip -> supervised warm restart -> re-armed (trips=1)\n");
+  finish_run(rig);
+
+  if (!rig.health.all_healthy() || rig.link.errors_unhandled() != 0 || rig.sup.gave_up()) {
+    std::printf("end-state check failed: health=[%s] unhandled=%llu gave-up=%d\n",
+                rig.health.str().c_str(),
+                static_cast<unsigned long long>(rig.link.errors_unhandled()),
+                rig.sup.gave_up() ? 1 : 0);
+    return 1;
+  }
+  std::printf("supervision: %s; health: %s; breaker opens=%llu closes=%llu "
+              "fast-failed=%llu\n",
+              rig.sup.str().c_str(), rig.health.str().c_str(),
+              static_cast<unsigned long long>(rig.breaker.stats().opens),
+              static_cast<unsigned long long>(rig.breaker.stats().closes),
+              static_cast<unsigned long long>(rig.breaker.stats().fast_failed));
+  return 0;
+}
+
+/// One chaos-soak seed: reference run, checkpointed twin, restored twin
+/// under the replay verifier. Returns an empty string on success, else the
+/// failure description.
+std::string soak_one_seed(const uml::Component& psm_uart, const soc::SocProfile& profile,
+                          const statechart::StateMachine& link_machine,
+                          std::uint64_t base, const TrafficFaults& faults,
+                          std::uint64_t seed) {
+  support::DiagnosticSink sink;
+
+  DegradedRig reference(psm_uart, profile, link_machine, base, faults, seed, sink);
+  if (!run_phase(reference, 32)) return "reference stalled in phase 1";
+  if (!run_to_save_point(reference, nullptr)) return "reference found no save point";
+  if (!run_phase(reference, 64)) return "reference stalled in phase 2";
+  if (!run_recovery_tail(reference)) return "reference never recovered";
+  finish_run(reference);
+  if (!reference.health.all_healthy()) {
+    return "reference ended unhealthy: " + reference.health.str();
+  }
+  if (reference.link.errors_unhandled() != 0) return "reference left unhandled errors";
+  if (reference.sup.gave_up()) {
+    return "reference supervisor gave up: " + reference.sup.give_up_reason();
+  }
+  const std::vector<sim::RecordedEvent> reference_log = reference.recorder.log();
+
+  DegradedRig checkpointed(psm_uart, profile, link_machine, base, faults, seed, sink);
+  std::string snapshot;
+  if (!run_phase(checkpointed, 32)) return "checkpointed rig stalled";
+  if (!run_to_save_point(checkpointed, &snapshot)) return "no checkpointable state";
+
+  DegradedRig restored(psm_uart, profile, link_machine, base, faults, seed, sink);
+  support::DiagnosticSink restore_sink;
+  if (!replay::restore_snapshot(restored.targets(), snapshot, restore_sink)) {
+    return "restore failed: " + restore_sink.str();
+  }
+  restored.recorder.begin_verify(reference_log, restored.recorder.total_events());
+  if (!run_phase(restored, 64)) return "restored rig stalled";
+  if (!run_recovery_tail(restored)) return "restored rig never recovered";
+  finish_run(restored);
+
+  if (restored.recorder.divergence().has_value()) {
+    return "replay divergence: " + restored.recorder.divergence()->str();
+  }
+  struct Check {
+    const char* label;
+    std::uint64_t reference;
+    std::uint64_t restored;
+  };
+  const Check checks[] = {
+      {"sim-time", reference.kernel.now().picoseconds(),
+       restored.kernel.now().picoseconds()},
+      {"events-processed", reference.kernel.events_processed(),
+       restored.kernel.events_processed()},
+      {"recorded-events", reference.recorder.total_events(),
+       restored.recorder.total_events()},
+      {"tx_data", reference.uart.peek("tx_data"), restored.uart.peek("tx_data")},
+      {"delivered", reference.delivered, restored.delivered},
+      {"lost", reference.lost, restored.lost},
+      {"via-pio", reference.via_pio, restored.via_pio},
+      {"breaker-opens", reference.breaker.stats().opens, restored.breaker.stats().opens},
+      {"restarts", reference.sup.child_stats(reference.link_child).restarts,
+       restored.sup.child_stats(restored.link_child).restarts},
+  };
+  for (const Check& check : checks) {
+    if (check.reference != check.restored) {
+      return std::string(check.label) + " mismatch: reference=" +
+             std::to_string(check.reference) +
+             " restored=" + std::to_string(check.restored);
+    }
+  }
+  if (!restored.health.all_healthy()) {
+    return "restored ended unhealthy: " + restored.health.str();
+  }
+  if (restored.link.errors_unhandled() != 0) return "restored left unhandled errors";
+  if (restored.sup.gave_up()) {
+    return "restored supervisor gave up: " + restored.sup.give_up_reason();
+  }
+  if (sink.has_errors()) return "diagnostics: " + sink.str();
+  return {};
+}
+
+/// --chaos-soak[=N]: the supervision loop under a seeded 1% error + 1%
+/// drop plan, N seeds. Prints every failing seed so a CI log pinpoints the
+/// reproduction (`--chaos-soak=1` with the seed hardcoded is then a local
+/// one-liner away).
+int run_chaos_soak(const uml::Component& psm_uart, const soc::SocProfile& profile,
+                   const statechart::StateMachine& link_machine, std::uint64_t base,
+                   int seed_count) {
+  TrafficFaults faults;
+  faults.error_rate = 0.01;
+  faults.drop_rate = 0.01;
+  std::printf("chaos soak: %d seeds, 1%% error + 1%% drop on bus writes\n", seed_count);
+  std::vector<unsigned long long> failed;
+  for (int i = 0; i < seed_count; ++i) {
+    const std::uint64_t seed = 1000 + static_cast<std::uint64_t>(i);
+    const std::string problem =
+        soak_one_seed(psm_uart, profile, link_machine, base, faults, seed);
+    if (problem.empty()) {
+      std::printf("  seed %llu: ok\n", static_cast<unsigned long long>(seed));
+    } else {
+      std::printf("  seed %llu: FAILED (%s)\n", static_cast<unsigned long long>(seed),
+                  problem.c_str());
+      failed.push_back(seed);
+    }
+  }
+  if (!failed.empty()) {
+    std::printf("chaos soak FAILED for %zu seed(s):", failed.size());
+    for (unsigned long long seed : failed) std::printf(" %llu", seed);
+    std::printf("\n");
+    return 1;
+  }
+  std::printf("chaos soak: all %d seeds recovered and replayed bit-identically\n",
+              seed_count);
+  return 0;
+}
 
 // --- Explicit-state verification demo -----------------------------------------
 //
@@ -355,61 +871,103 @@ int run_check_properties(const char* mode) {
   return status;
 }
 
+/// The model-side flow shared by every mode: IP library -> PIM -> hardware
+/// PSM -> codegen inputs. `verbose` prints the memory map and generated
+/// RTL (the demo flow); the soak skips the prints.
+struct ModelBundle {
+  soc::IpLibrary library;
+  uml::Model pim{"UartSoc"};
+  std::optional<mda::MdaResult> hw;
+  uml::Component* psm_uart = nullptr;
+  std::optional<soc::SocProfile> psm_profile;
+  std::uint64_t base = 0x40000000;
+};
+
+bool build_model_bundle(ModelBundle& bundle, bool verbose,
+                        support::DiagnosticSink& sink) {
+  // 1. PIM: reuse the Uart IP core from the library.
+  bundle.library.add_standard_ips();
+  uml::Package& ip = bundle.pim.add_package("ip");
+  uml::Component* uart = bundle.library.instantiate("Uart", bundle.pim, ip, "Uart", sink);
+  if (uart == nullptr) return false;
+  std::optional<soc::SocProfile> profile = soc::SocProfile::find(bundle.pim);
+  soc::validate_soc(bundle.pim, *profile, sink);
+
+  // 2. MDA: PIM -> hardware PSM (adds clk/rst/s_axi, Top, memory map).
+  bundle.hw = mda::transform(bundle.pim, mda::PlatformDescription::hardware(), sink);
+  if (verbose) {
+    std::printf("memory map:\n");
+    for (const mda::MemoryWindow& window : bundle.hw->memory_map) {
+      std::printf("  %-24s base=0x%llx span=0x%llx\n", window.module.c_str(),
+                  static_cast<unsigned long long>(window.base),
+                  static_cast<unsigned long long>(window.span));
+    }
+  }
+
+  // 3. Code generation inputs from the PSM.
+  bundle.psm_profile = soc::SocProfile::find(*bundle.hw->psm);
+  bundle.psm_uart = dynamic_cast<uml::Component*>(
+      uml::find_by_qualified_name(*bundle.hw->psm, "ip.Uart"));
+  if (bundle.psm_uart == nullptr || !bundle.psm_profile.has_value()) {
+    std::fputs("hardware PSM missing ip.Uart\n", stderr);
+    return false;
+  }
+  if (!bundle.hw->memory_map.empty()) bundle.base = bundle.hw->memory_map[0].base;
+  if (verbose) {
+    std::string rtl =
+        codegen::generate_rtl_module(*bundle.psm_uart, *bundle.psm_profile, sink);
+    std::string sysc =
+        codegen::generate_sim_module(*bundle.psm_uart, *bundle.psm_profile, sink);
+    std::printf("\n--- generated RTL (%zu lines) ---\n%s",
+                support::count_nonempty_lines(rtl), rtl.c_str());
+    std::printf("\n--- generated SystemC-style C++ (%zu lines, not shown) ---\n",
+                support::count_nonempty_lines(sysc));
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  int soak_seeds = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--check-properties") == 0) return run_check_properties("");
     if (std::strncmp(argv[i], "--check-properties=", 19) == 0) {
       return run_check_properties(argv[i] + 19);
     }
+    if (std::strcmp(argv[i], "--chaos-soak") == 0) {
+      soak_seeds = 16;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--chaos-soak=", 13) == 0) {
+      soak_seeds = std::atoi(argv[i] + 13);
+      if (soak_seeds < 1) {
+        std::fprintf(stderr, "invalid seed count '%s'\n", argv[i] + 13);
+        return 2;
+      }
+      continue;
+    }
     std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
     return 2;
   }
   support::DiagnosticSink sink;
-
-  // 1. PIM: reuse the Uart IP core from the library.
-  soc::IpLibrary library;
-  library.add_standard_ips();
-  uml::Model pim("UartSoc");
-  uml::Package& ip = pim.add_package("ip");
-  uml::Component* uart = library.instantiate("Uart", pim, ip, "Uart", sink);
-  if (uart == nullptr) {
+  ModelBundle bundle;
+  if (!build_model_bundle(bundle, /*verbose=*/soak_seeds == 0, sink)) {
     std::fputs(sink.str().c_str(), stderr);
     return 1;
   }
-  std::optional<soc::SocProfile> profile = soc::SocProfile::find(pim);
-  soc::validate_soc(pim, *profile, sink);
-
-  // 2. MDA: PIM -> hardware PSM (adds clk/rst/s_axi, Top, memory map).
-  mda::MdaResult hw = mda::transform(pim, mda::PlatformDescription::hardware(), sink);
-  std::printf("memory map:\n");
-  for (const mda::MemoryWindow& window : hw.memory_map) {
-    std::printf("  %-24s base=0x%llx span=0x%llx\n", window.module.c_str(),
-                static_cast<unsigned long long>(window.base),
-                static_cast<unsigned long long>(window.span));
+  statechart::StateMachine link_machine("UartLink");
+  build_link_machine(link_machine);
+  if (soak_seeds > 0) {
+    return run_chaos_soak(*bundle.psm_uart, *bundle.psm_profile, link_machine,
+                          bundle.base, soak_seeds);
   }
-
-  // 3. Code generation from the PSM.
-  std::optional<soc::SocProfile> psm_profile = soc::SocProfile::find(*hw.psm);
-  auto* psm_uart =
-      dynamic_cast<uml::Component*>(uml::find_by_qualified_name(*hw.psm, "ip.Uart"));
-  if (psm_uart == nullptr || !psm_profile.has_value()) {
-    std::fputs("hardware PSM missing ip.Uart\n", stderr);
-    return 1;
-  }
-  std::string rtl = codegen::generate_rtl_module(*psm_uart, *psm_profile, sink);
-  std::string sysc = codegen::generate_sim_module(*psm_uart, *psm_profile, sink);
-  std::printf("\n--- generated RTL (%zu lines) ---\n%s",
-              support::count_nonempty_lines(rtl), rtl.c_str());
-  std::printf("\n--- generated SystemC-style C++ (%zu lines, not shown) ---\n",
-              support::count_nonempty_lines(sysc));
 
   // 4. Execute: HW model on the bus, ASL driver writing registers.
   sim::Kernel kernel;
   sim::MemoryMappedBus bus(kernel, "axi", sim::SimTime::ns(8));
-  codegen::HwModuleSim uart_sim(*psm_uart, *psm_profile, sink);
-  const std::uint64_t base = hw.memory_map.empty() ? 0x40000000 : hw.memory_map[0].base;
+  codegen::HwModuleSim uart_sim(*bundle.psm_uart, *bundle.psm_profile, sink);
+  const std::uint64_t base = bundle.base;
   uart_sim.map_onto(bus, base);
 
   codegen::BusMasterContext driver(kernel, bus);
@@ -444,7 +1002,7 @@ int main(int argc, char** argv) {
   htop.add_transition(degraded, operational).set_trigger("bus_recovered");
   htop.add_transition(degraded, dead).set_trigger("bus_failed");
 
-  ReplayRig reference(*psm_uart, *psm_profile, health, base, sink);
+  ReplayRig reference(*bundle.psm_uart, *bundle.psm_profile, health, base, sink);
   reference.watchdog.arm();
   reference.driver.run(kPhase1);
   reference.driver.run(kPhase2);
@@ -476,7 +1034,7 @@ int main(int argc, char** argv) {
   // must match the reference exactly.
   const std::vector<sim::RecordedEvent> reference_log = reference.recorder.log();
 
-  ReplayRig checkpointed(*psm_uart, *psm_profile, health, base, sink);
+  ReplayRig checkpointed(*bundle.psm_uart, *bundle.psm_profile, health, base, sink);
   checkpointed.watchdog.arm();
   checkpointed.driver.run(kPhase1);
   std::string snapshot;
@@ -485,7 +1043,7 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  ReplayRig restored(*psm_uart, *psm_profile, health, base, sink);
+  ReplayRig restored(*bundle.psm_uart, *bundle.psm_profile, health, base, sink);
   if (!replay::restore_snapshot(restored.targets(), snapshot, sink)) {
     std::fputs(sink.str().c_str(), stderr);
     return 1;
@@ -535,7 +1093,7 @@ int main(int argc, char** argv) {
   // Divergence detection: restore the same snapshot again, switch the
   // recorder to verify mode against the reference log, and inject one event
   // the reference never had. The verifier must latch it.
-  ReplayRig perturbed(*psm_uart, *psm_profile, health, base, sink);
+  ReplayRig perturbed(*bundle.psm_uart, *bundle.psm_profile, health, base, sink);
   if (!replay::restore_snapshot(perturbed.targets(), snapshot, sink)) {
     std::fputs(sink.str().c_str(), stderr);
     return 1;
@@ -559,7 +1117,7 @@ int main(int argc, char** argv) {
     digit = digit == '9' ? '1' : '9';
   }
   support::DiagnosticSink corrupt_sink;
-  ReplayRig victim(*psm_uart, *psm_profile, health, base, sink);
+  ReplayRig victim(*bundle.psm_uart, *bundle.psm_profile, health, base, sink);
   if (replay::restore_snapshot(victim.targets(), corrupted, corrupt_sink)) {
     std::printf("corrupted snapshot was NOT rejected\n");
     return 1;
@@ -568,6 +1126,14 @@ int main(int argc, char** argv) {
               corrupt_sink.diagnostics().empty()
                   ? "?"
                   : corrupt_sink.diagnostics().front().str().c_str());
+
+  // 7. Supervision demo: breaker-guarded DMA with PIO fallback, watchdog
+  // trip -> supervised warm restart.
+  if (int status = run_degraded_demo(*bundle.psm_uart, *bundle.psm_profile, link_machine,
+                                     base, sink);
+      status != 0) {
+    return status;
+  }
 
   if (sink.has_errors()) {
     std::fputs(sink.str().c_str(), stderr);

@@ -229,6 +229,65 @@ void write_watchdog(xmi::XmlNode& root, const WatchdogTarget& target) {
   node.set_attribute("kicks", std::to_string(checkpoint.kicks));
 }
 
+void write_supervisor(xmi::XmlNode& root, const SupervisorTarget& target) {
+  const sim::Supervisor::Checkpoint checkpoint = target.supervisor->capture_checkpoint();
+  xmi::XmlNode& node = root.add_child("supervisor");
+  node.set_attribute("name", target.name);
+  node.set_attribute("suspended", bool_str(checkpoint.suspended));
+  node.set_attribute("gave-up", bool_str(checkpoint.gave_up));
+  node.set_attribute("give-up-reason", checkpoint.give_up_reason);
+  node.set_attribute("escalations", std::to_string(checkpoint.escalations));
+  for (std::uint64_t at_ps : checkpoint.window) {
+    node.add_child("window").set_attribute("at-ps", std::to_string(at_ps));
+  }
+  for (const auto& child : checkpoint.children) {
+    xmi::XmlNode& entry = node.add_child("child");
+    entry.set_attribute("failures", std::to_string(child.failures));
+    entry.set_attribute("restarts", std::to_string(child.restarts));
+    entry.set_attribute("failed-restarts", std::to_string(child.failed_restarts));
+    entry.set_attribute("consecutive", std::to_string(child.consecutive));
+    entry.set_attribute("last-failure-ps", std::to_string(child.last_failure_ps));
+  }
+  for (const auto& pending : checkpoint.pending) {
+    xmi::XmlNode& entry = node.add_child("pending");
+    entry.set_attribute("due-ps", std::to_string(pending.due_ps));
+    entry.set_attribute("child", std::to_string(pending.child));
+  }
+}
+
+void write_breaker(xmi::XmlNode& root, const BreakerTarget& target) {
+  const sim::CircuitBreaker::Checkpoint checkpoint = target.breaker->capture_checkpoint();
+  xmi::XmlNode& node = root.add_child("breaker");
+  node.set_attribute("name", target.name);
+  node.set_attribute("state", std::to_string(checkpoint.state));
+  node.set_attribute("outcomes", std::to_string(checkpoint.outcomes));
+  node.set_attribute("cursor", std::to_string(checkpoint.cursor));
+  node.set_attribute("samples", std::to_string(checkpoint.samples));
+  node.set_attribute("failures-in-window", std::to_string(checkpoint.failures_in_window));
+  node.set_attribute("open-duration-ps", std::to_string(checkpoint.open_duration_ps));
+  node.set_attribute("reopen-at-ps", std::to_string(checkpoint.reopen_at_ps));
+  node.set_attribute("timer-pending", bool_str(checkpoint.timer_pending));
+  node.set_attribute("probe-in-flight", bool_str(checkpoint.probe_in_flight));
+  node.set_attribute("issued", std::to_string(checkpoint.stats.issued));
+  node.set_attribute("ok", std::to_string(checkpoint.stats.ok));
+  node.set_attribute("failures", std::to_string(checkpoint.stats.failures));
+  node.set_attribute("fast-failed", std::to_string(checkpoint.stats.fast_failed));
+  node.set_attribute("opens", std::to_string(checkpoint.stats.opens));
+  node.set_attribute("closes", std::to_string(checkpoint.stats.closes));
+  node.set_attribute("probes", std::to_string(checkpoint.stats.probes));
+  node.set_attribute("probe-failures", std::to_string(checkpoint.stats.probe_failures));
+}
+
+void write_health(xmi::XmlNode& root, const HealthTarget& target) {
+  const sim::HealthRegistry::Checkpoint checkpoint = target.registry->capture_checkpoint();
+  xmi::XmlNode& node = root.add_child("health");
+  node.set_attribute("name", target.name);
+  node.set_attribute("transitions", std::to_string(checkpoint.transitions));
+  for (std::uint8_t value : checkpoint.health) {
+    node.add_child("unit").set_attribute("health", std::to_string(value));
+  }
+}
+
 void write_bank(xmi::XmlNode& root, const ValueBank& bank) {
   xmi::XmlNode& node = root.add_child("bank");
   node.set_attribute("name", bank.name);
@@ -410,6 +469,68 @@ bool read_watchdog(const xmi::XmlNode& node, sim::Watchdog::Checkpoint& out,
   return ok;
 }
 
+bool read_supervisor(const xmi::XmlNode& node, sim::Supervisor::Checkpoint& out,
+                     support::DiagnosticSink& sink) {
+  bool ok = read_bool(node, "suspended", out.suspended, sink);
+  ok = read_bool(node, "gave-up", out.gave_up, sink) && ok;
+  ok = read_string(node, "give-up-reason", out.give_up_reason, sink) && ok;
+  ok = read_integer(node, "escalations", out.escalations, sink) && ok;
+  for (const xmi::XmlNode* entry : node.children_named("window")) {
+    std::uint64_t at_ps = 0;
+    ok = read_integer(*entry, "at-ps", at_ps, sink) && ok;
+    out.window.push_back(at_ps);
+  }
+  for (const xmi::XmlNode* entry : node.children_named("child")) {
+    sim::Supervisor::Checkpoint::ChildState child;
+    ok = read_integer(*entry, "failures", child.failures, sink) && ok;
+    ok = read_integer(*entry, "restarts", child.restarts, sink) && ok;
+    ok = read_integer(*entry, "failed-restarts", child.failed_restarts, sink) && ok;
+    ok = read_integer(*entry, "consecutive", child.consecutive, sink) && ok;
+    ok = read_integer(*entry, "last-failure-ps", child.last_failure_ps, sink) && ok;
+    out.children.push_back(child);
+  }
+  for (const xmi::XmlNode* entry : node.children_named("pending")) {
+    sim::Supervisor::Checkpoint::PendingRestart pending;
+    ok = read_integer(*entry, "due-ps", pending.due_ps, sink) && ok;
+    ok = read_integer(*entry, "child", pending.child, sink) && ok;
+    out.pending.push_back(pending);
+  }
+  return ok;
+}
+
+bool read_breaker(const xmi::XmlNode& node, sim::CircuitBreaker::Checkpoint& out,
+                  support::DiagnosticSink& sink) {
+  bool ok = read_integer(node, "state", out.state, sink);
+  ok = read_integer(node, "outcomes", out.outcomes, sink) && ok;
+  ok = read_integer(node, "cursor", out.cursor, sink) && ok;
+  ok = read_integer(node, "samples", out.samples, sink) && ok;
+  ok = read_integer(node, "failures-in-window", out.failures_in_window, sink) && ok;
+  ok = read_integer(node, "open-duration-ps", out.open_duration_ps, sink) && ok;
+  ok = read_integer(node, "reopen-at-ps", out.reopen_at_ps, sink) && ok;
+  ok = read_bool(node, "timer-pending", out.timer_pending, sink) && ok;
+  ok = read_bool(node, "probe-in-flight", out.probe_in_flight, sink) && ok;
+  ok = read_integer(node, "issued", out.stats.issued, sink) && ok;
+  ok = read_integer(node, "ok", out.stats.ok, sink) && ok;
+  ok = read_integer(node, "failures", out.stats.failures, sink) && ok;
+  ok = read_integer(node, "fast-failed", out.stats.fast_failed, sink) && ok;
+  ok = read_integer(node, "opens", out.stats.opens, sink) && ok;
+  ok = read_integer(node, "closes", out.stats.closes, sink) && ok;
+  ok = read_integer(node, "probes", out.stats.probes, sink) && ok;
+  ok = read_integer(node, "probe-failures", out.stats.probe_failures, sink) && ok;
+  return ok;
+}
+
+bool read_health(const xmi::XmlNode& node, sim::HealthRegistry::Checkpoint& out,
+                 support::DiagnosticSink& sink) {
+  bool ok = read_integer(node, "transitions", out.transitions, sink);
+  for (const xmi::XmlNode* entry : node.children_named("unit")) {
+    std::uint8_t value = 0;
+    ok = read_integer(*entry, "health", value, sink) && ok;
+    out.health.push_back(value);
+  }
+  return ok;
+}
+
 bool read_bank(const xmi::XmlNode& node,
                std::vector<std::pair<std::string, std::uint64_t>>& out,
                support::DiagnosticSink& sink) {
@@ -485,8 +606,9 @@ bool save_snapshot(const SnapshotTargets& targets, std::string& out,
       ok = false;
     }
   }
-  // Outstanding expectations are restorable only when a registered watchdog
-  // owns them (its armed flag travels in the watchdog section). Anything
+  // Outstanding expectations are restorable only when a registered target
+  // owns them: a watchdog's armed flag travels in the watchdog section, a
+  // supervisor's pending-restart queue in the supervisor section. Anything
   // else — an in-flight bus-port transaction, a custom expectation — holds
   // callbacks this format cannot serialize.
   for (const auto& expectation : kernel_checkpoint.expectations) {
@@ -496,10 +618,14 @@ bool save_snapshot(const SnapshotTargets& targets, std::string& out,
       owned = owned ||
               expectation.label == "watchdog " + target.watchdog->name() + " armed";
     }
+    for (const SupervisorTarget& target : targets.supervisors) {
+      owned = owned || expectation.label == target.supervisor->restart_expectation_label();
+    }
     if (!owned) {
-      sink.error("snapshot", "expectation '" + expectation.label + "' has " +
-                                 std::to_string(expectation.outstanding) +
-                                 " outstanding instances not owned by a registered watchdog");
+      sink.error("snapshot",
+                 "expectation '" + expectation.label + "' has " +
+                     std::to_string(expectation.outstanding) +
+                     " outstanding instances not owned by a registered watchdog or supervisor");
       ok = false;
     }
   }
@@ -512,6 +638,9 @@ bool save_snapshot(const SnapshotTargets& targets, std::string& out,
   for (const MachineTarget& target : targets.machines) write_machine(root, target);
   for (const BusTarget& target : targets.buses) write_bus(root, target);
   for (const WatchdogTarget& target : targets.watchdogs) write_watchdog(root, target);
+  for (const SupervisorTarget& target : targets.supervisors) write_supervisor(root, target);
+  for (const BreakerTarget& target : targets.breakers) write_breaker(root, target);
+  for (const HealthTarget& target : targets.health) write_health(root, target);
   for (const ValueBank& bank : targets.banks) write_bank(root, bank);
 
   root.set_attribute("version", std::to_string(kSnapshotVersion));
@@ -599,10 +728,16 @@ bool restore_snapshot(const SnapshotTargets& targets, std::string_view input,
   std::map<std::string, const xmi::XmlNode*> machine_nodes;
   std::map<std::string, const xmi::XmlNode*> bus_nodes;
   std::map<std::string, const xmi::XmlNode*> watchdog_nodes;
+  std::map<std::string, const xmi::XmlNode*> supervisor_nodes;
+  std::map<std::string, const xmi::XmlNode*> breaker_nodes;
+  std::map<std::string, const xmi::XmlNode*> health_nodes;
   std::map<std::string, const xmi::XmlNode*> bank_nodes;
   ok = match_sections(*root, "machine", targets.machines, machine_nodes, sink) && ok;
   ok = match_sections(*root, "bus", targets.buses, bus_nodes, sink) && ok;
   ok = match_sections(*root, "watchdog", targets.watchdogs, watchdog_nodes, sink) && ok;
+  ok = match_sections(*root, "supervisor", targets.supervisors, supervisor_nodes, sink) && ok;
+  ok = match_sections(*root, "breaker", targets.breakers, breaker_nodes, sink) && ok;
+  ok = match_sections(*root, "health", targets.health, health_nodes, sink) && ok;
   ok = match_sections(*root, "bank", targets.banks, bank_nodes, sink) && ok;
   if (!ok) return false;
 
@@ -620,6 +755,21 @@ bool restore_snapshot(const SnapshotTargets& targets, std::string_view input,
     ok = read_watchdog(*watchdog_nodes[targets.watchdogs[i].name], watchdog_checkpoints[i],
                        sink) &&
          ok;
+  }
+  std::vector<sim::Supervisor::Checkpoint> supervisor_checkpoints(targets.supervisors.size());
+  for (std::size_t i = 0; i < targets.supervisors.size(); ++i) {
+    ok = read_supervisor(*supervisor_nodes[targets.supervisors[i].name],
+                         supervisor_checkpoints[i], sink) &&
+         ok;
+  }
+  std::vector<sim::CircuitBreaker::Checkpoint> breaker_checkpoints(targets.breakers.size());
+  for (std::size_t i = 0; i < targets.breakers.size(); ++i) {
+    ok = read_breaker(*breaker_nodes[targets.breakers[i].name], breaker_checkpoints[i], sink) &&
+         ok;
+  }
+  std::vector<sim::HealthRegistry::Checkpoint> health_checkpoints(targets.health.size());
+  for (std::size_t i = 0; i < targets.health.size(); ++i) {
+    ok = read_health(*health_nodes[targets.health[i].name], health_checkpoints[i], sink) && ok;
   }
   std::vector<std::vector<std::pair<std::string, std::uint64_t>>> bank_values(
       targets.banks.size());
@@ -642,6 +792,22 @@ bool restore_snapshot(const SnapshotTargets& targets, std::string_view input,
   for (std::size_t i = 0; i < targets.watchdogs.size(); ++i) {
     targets.watchdogs[i].watchdog->restore_checkpoint(watchdog_checkpoints[i]);
   }
+  for (std::size_t i = 0; i < targets.supervisors.size(); ++i) {
+    if (!targets.supervisors[i].supervisor->restore_checkpoint(supervisor_checkpoints[i],
+                                                               sink)) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < targets.breakers.size(); ++i) {
+    if (!targets.breakers[i].breaker->restore_checkpoint(breaker_checkpoints[i], sink)) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < targets.health.size(); ++i) {
+    if (!targets.health[i].registry->restore_checkpoint(health_checkpoints[i], sink)) {
+      return false;
+    }
+  }
   for (std::size_t i = 0; i < targets.banks.size(); ++i) {
     if (!targets.banks[i].restore(bank_values[i], sink)) return false;
   }
@@ -649,6 +815,20 @@ bool restore_snapshot(const SnapshotTargets& targets, std::string_view input,
     targets.recorder->restore_log(std::move(recorder_events), recorder_total);
   }
   return true;
+}
+
+// --- warm-restart factories --------------------------------------------------
+
+std::function<bool()> restart_from_snapshot(statechart::StateMachineInstance& instance,
+                                            support::DiagnosticSink& sink) {
+  auto snapshot = std::make_shared<statechart::InstanceSnapshot>(instance.capture());
+  return [&instance, &sink, snapshot] { return instance.restore(*snapshot, sink); };
+}
+
+std::function<bool()> restart_from_bank(ValueBank bank, support::DiagnosticSink& sink) {
+  auto values = std::make_shared<std::vector<std::pair<std::string, std::uint64_t>>>(
+      bank.capture());
+  return [bank = std::move(bank), &sink, values] { return bank.restore(*values, sink); };
 }
 
 }  // namespace umlsoc::replay

@@ -36,6 +36,7 @@
 #include "sim/fault.hpp"
 #include "sim/kernel.hpp"
 #include "sim/replay.hpp"
+#include "sim/supervise.hpp"
 #include "statechart/interpreter.hpp"
 #include "support/diagnostics.hpp"
 
@@ -43,8 +44,9 @@ namespace umlsoc::replay {
 
 /// Format version written by save_snapshot; restore_snapshot rejects any
 /// other value (forward- and backward-incompatible by design: the format
-/// mirrors internal state).
-inline constexpr int kSnapshotVersion = 1;
+/// mirrors internal state). Version 2 added the supervision sections
+/// (<supervisor>, <breaker>, <health>).
+inline constexpr int kSnapshotVersion = 2;
 
 struct MachineTarget {
   std::string name;
@@ -59,6 +61,21 @@ struct BusTarget {
 struct WatchdogTarget {
   std::string name;
   sim::Watchdog* watchdog = nullptr;
+};
+
+struct SupervisorTarget {
+  std::string name;
+  sim::Supervisor* supervisor = nullptr;
+};
+
+struct BreakerTarget {
+  std::string name;
+  sim::CircuitBreaker* breaker = nullptr;
+};
+
+struct HealthTarget {
+  std::string name;
+  sim::HealthRegistry* registry = nullptr;
 };
 
 /// Generic named key/value section for components without first-class
@@ -83,6 +100,9 @@ struct SnapshotTargets {
   std::vector<MachineTarget> machines;
   std::vector<BusTarget> buses;
   std::vector<WatchdogTarget> watchdogs;
+  std::vector<SupervisorTarget> supervisors;
+  std::vector<BreakerTarget> breakers;
+  std::vector<HealthTarget> health;
   std::vector<ValueBank> banks;
 };
 
@@ -102,5 +122,24 @@ struct SnapshotTargets {
 /// leave earlier sections applied — treat a failed restore as fatal.
 [[nodiscard]] bool restore_snapshot(const SnapshotTargets& targets, std::string_view input,
                                     support::DiagnosticSink& sink);
+
+// --- warm-restart factories --------------------------------------------------
+// Supervisor children restart through plain callbacks; these build the
+// common ones from the snapshot machinery, so recovery reuses exactly the
+// deterministic state capture the checkpoint format relies on.
+
+/// Captures `instance`'s current state (call at the known-good point, e.g.
+/// right after start()) and returns a Supervisor restart callback that
+/// warm-restarts the instance from that captured snapshot. Restore failures
+/// report through `sink` and make the callback return false (counted by the
+/// supervisor as a failed restart). `instance` and `sink` must outlive the
+/// returned callback.
+[[nodiscard]] std::function<bool()> restart_from_snapshot(
+    statechart::StateMachineInstance& instance, support::DiagnosticSink& sink);
+
+/// As above for a ValueBank (register file, scoreboard): captures the
+/// bank's values now, restores them on every invocation.
+[[nodiscard]] std::function<bool()> restart_from_bank(ValueBank bank,
+                                                      support::DiagnosticSink& sink);
 
 }  // namespace umlsoc::replay

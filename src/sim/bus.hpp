@@ -79,9 +79,11 @@ class MemoryMappedBus {
   /// Legacy value-only shim: errors complete with the kBusError sentinel,
   /// indistinguishable from a device legitimately returning all-ones —
   /// migrate to the status-carrying overload.
+  [[deprecated("use the status-carrying ReadCompletion overload")]]
   void read(std::uint64_t address, std::function<void(std::uint64_t)> done);
 
   /// Legacy status-less shim.
+  [[deprecated("use the status-carrying WriteCompletion overload")]]
   void write(std::uint64_t address, std::uint64_t value,
              std::function<void()> done = nullptr);
 

@@ -166,6 +166,11 @@ class Watchdog {
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] SimTime deadline() const { return deadline_; }
 
+  /// Replaces (or clears, with nullptr) the trip callback. Supervision
+  /// wiring installs its failure handler here after construction
+  /// (Supervisor::attach_watchdog).
+  void set_on_trip(std::function<void()> on_trip) { on_trip_ = std::move(on_trip); }
+
   /// Starts (or restarts) supervision; clears a previous trip.
   void arm();
   /// Pushes the trip point out to now + deadline. No-op when not armed.

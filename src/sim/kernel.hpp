@@ -181,9 +181,11 @@ class Kernel {
   /// transient process, which is released after it runs. Costs one
   /// std::function registration per call — migrate hot paths to
   /// register_process + schedule(delay, ProcessId).
+  [[deprecated("register a process handle and schedule(delay, ProcessId)")]]
   void schedule(SimTime delay, std::function<void()> callback);
 
   /// Deprecated shim, delta flavor of the above.
+  [[deprecated("register a process handle and schedule_delta(ProcessId)")]]
   void schedule_delta(std::function<void()> callback);
 
   /// Registers a signal update for the current delta's update phase.

@@ -405,7 +405,7 @@ TEST(Watchdog, KickPushesTripPointOut) {
   Kernel kernel;
   Watchdog dog(kernel, "main", SimTime::ns(10));
   dog.arm();
-  kernel.schedule(SimTime::ns(8), [&] { dog.kick(); });
+  kernel.schedule(SimTime::ns(8), kernel.register_process([&] { dog.kick(); }));
   kernel.run(SimTime::ns(15));
   EXPECT_FALSE(dog.tripped());  // Kick at 8ns moved the trip point to 18ns.
   kernel.run();
@@ -419,8 +419,9 @@ TEST(Watchdog, RepeatedKicksKeepItAlive) {
   Kernel kernel;
   Watchdog dog(kernel, "main", SimTime::ns(10));
   dog.arm();
+  const ProcessId kicker = kernel.register_process([&] { dog.kick(); });
   for (int i = 1; i <= 5; ++i) {
-    kernel.schedule(SimTime::ns(static_cast<std::uint64_t>(7 * i)), [&] { dog.kick(); });
+    kernel.schedule(SimTime::ns(static_cast<std::uint64_t>(7 * i)), kicker);
   }
   kernel.run(SimTime::ns(40));
   EXPECT_FALSE(dog.tripped());
@@ -436,7 +437,7 @@ TEST(Watchdog, DisarmPreventsTripAndResolvesExpectation) {
   Watchdog dog(kernel, "main", SimTime::ns(10));
   dog.arm();
   EXPECT_EQ(kernel.outstanding_expectations(), 1u);
-  kernel.schedule(SimTime::ns(5), [&] { dog.disarm(); });
+  kernel.schedule(SimTime::ns(5), kernel.register_process([&] { dog.disarm(); }));
   kernel.run();
   EXPECT_FALSE(dog.tripped());
   EXPECT_EQ(dog.trips(), 0u);

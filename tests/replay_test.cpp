@@ -228,14 +228,18 @@ TEST_F(ReplayTest, VersionMismatchIsRejected) {
   support::DiagnosticSink sink;
   ASSERT_TRUE(save_snapshot(source.targets(), snapshot, sink)) << sink.str();
 
-  const std::size_t at = snapshot.find("version=\"1\"");
+  const std::string current = "version=\"" + std::to_string(kSnapshotVersion) + "\"";
+  const std::string bumped = "version=\"" + std::to_string(kSnapshotVersion + 1) + "\"";
+  const std::size_t at = snapshot.find(current);
   ASSERT_NE(at, std::string::npos);
-  snapshot.replace(at, 11, "version=\"2\"");
+  snapshot.replace(at, current.size(), bumped);
 
   Rig restored(*machine_);
   support::DiagnosticSink restore_sink;
   EXPECT_FALSE(restore_snapshot(restored.targets(), snapshot, restore_sink));
-  EXPECT_NE(restore_sink.str().find("unsupported snapshot version 2"), std::string::npos)
+  EXPECT_NE(restore_sink.str().find("unsupported snapshot version " +
+                                    std::to_string(kSnapshotVersion + 1)),
+            std::string::npos)
       << restore_sink.str();
   // The failed restore left the fresh rig untouched.
   EXPECT_EQ(restored.kernel.now().picoseconds(), 0u);
@@ -282,7 +286,16 @@ TEST_F(ReplayTest, TruncatedSnapshotsAreRejectedAtEveryLength) {
 TEST_F(ReplayTest, SaveRefusesTransientPendingEvents) {
   Rig source(*machine_);
   source.run(kMidRunPs);
-  source.kernel.schedule(SimTime::ns(100), [] {});  // Legacy one-shot shim.
+  // Deliberate use of the deprecated one-shot shim: transient processes are
+  // exactly what this save must refuse.
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+  source.kernel.schedule(SimTime::ns(100), [] {});
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
 
   std::string snapshot;
   support::DiagnosticSink sink;

@@ -5,6 +5,7 @@
 // the gap widens with depth (the crossover argument for RTL generation).
 #include <benchmark/benchmark.h>
 
+#include "statechart/compile.hpp"
 #include "statechart/flatten.hpp"
 #include "statechart/interpreter.hpp"
 #include "statechart/synthetic.hpp"
@@ -55,6 +56,51 @@ void BM_DispatchOrthogonalRegions(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_DispatchOrthogonalRegions)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Interpreter-vs-AOT head-to-head (E16): same deep-hierarchy machine, same
+// event stream, hierarchical tree walk vs precomputed plan-table stepper.
+void BM_StatechartDispatch(benchmark::State& state) {
+  auto machine = make_nested_machine(static_cast<std::size_t>(state.range(0)), 4);
+  StateMachineInstance instance(*machine);
+  instance.set_trace_enabled(false);
+  instance.start();
+  for (auto _ : state) {
+    instance.dispatch({"step"});
+  }
+  state.counters["depth"] = static_cast<double>(state.range(0));
+  state.counters["events/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_StatechartDispatch)->Arg(4)->Arg(8);
+
+void BM_CompiledDispatch(benchmark::State& state) {
+  auto machine = make_nested_machine(static_cast<std::size_t>(state.range(0)), 4);
+  support::DiagnosticSink sink;
+  auto compiled = compile(*machine, sink);
+  if (compiled == nullptr) {
+    state.SkipWithError("compile failed");
+    return;
+  }
+  compiled->start();
+  for (auto _ : state) {
+    compiled->dispatch({"step"});
+  }
+  state.counters["depth"] = static_cast<double>(state.range(0));
+  state.counters["plan_bytes"] = static_cast<double>(compiled->table_bytes());
+  state.counters["events/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CompiledDispatch)->Arg(4)->Arg(8);
+
+void BM_CompileCost(benchmark::State& state) {
+  auto machine = make_nested_machine(static_cast<std::size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    support::DiagnosticSink sink;
+    auto compiled = compile(*machine, sink);
+    benchmark::DoNotOptimize(compiled);
+  }
+}
+BENCHMARK(BM_CompileCost)->Arg(2)->Arg(8);
 
 void BM_FlatDispatchNestedDepth(benchmark::State& state) {
   auto machine = make_nested_machine(static_cast<std::size_t>(state.range(0)), 4);

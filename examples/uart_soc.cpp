@@ -44,12 +44,19 @@
 // the fixed model is exhaustively verified — CI runs both as the
 // verification smoke test.
 //
+// --engine=compiled|interpreted picks the statechart engine both modes run
+// on: the AOT-compiled plan-table stepper (default) or the reference
+// interpreter. Snapshots are engine-interchangeable, so the soak's
+// checkpoint/restore/replay pipeline is exercised end-to-end either way.
+//
 //   $ ./example_uart_soc
 //   $ ./example_uart_soc --chaos-soak
+//   $ ./example_uart_soc --chaos-soak=4 --engine=interpreted
 //   $ ./example_uart_soc --check-properties
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 
 #include "codegen/hwmodel.hpp"
 #include "codegen/plantuml.hpp"
@@ -66,11 +73,57 @@
 #include "support/strings.hpp"
 #include "uml/query.hpp"
 #include "verify/counterexample.hpp"
+#include "statechart/compile.hpp"
 #include "verify/explore.hpp"
 
 using namespace umlsoc;
 
 namespace {
+
+// --- Engine selection (--engine=compiled|interpreted) -------------------------
+//
+// Picks the statechart engine for the chaos-soak and --check-properties
+// demos: the AOT-compiled plan-table stepper (the default, matching the
+// verifier's and the sim kernel's hot paths) or the reference interpreter.
+// A machine the compiler rejects falls back to the interpreter either way.
+enum class EngineChoice : std::uint8_t { kCompiled, kInterpreted };
+EngineChoice g_engine_choice = EngineChoice::kCompiled;
+
+/// Owns whichever engine the --engine flag selected and hands out the
+/// common statechart::Engine surface (snapshots stay interchangeable, so
+/// checkpoint/restore and the replay verifier are engine-agnostic).
+class EngineBox {
+ public:
+  explicit EngineBox(const statechart::StateMachine& machine) {
+    if (g_engine_choice == EngineChoice::kCompiled) {
+      support::DiagnosticSink sink;
+      compiled_ = statechart::compile(machine, sink);
+    }
+    if (compiled_ == nullptr) {
+      interpreted_ = std::make_unique<statechart::StateMachineInstance>(machine);
+    }
+  }
+
+  [[nodiscard]] statechart::Engine& engine() {
+    return compiled_ != nullptr ? static_cast<statechart::Engine&>(*compiled_)
+                                : *interpreted_;
+  }
+  [[nodiscard]] const statechart::Engine& engine() const {
+    return compiled_ != nullptr ? static_cast<const statechart::Engine&>(*compiled_)
+                                : *interpreted_;
+  }
+  statechart::Engine* operator->() { return &engine(); }
+  const statechart::Engine* operator->() const { return &engine(); }
+  [[nodiscard]] bool compiled() const { return compiled_ != nullptr; }
+
+ private:
+  std::unique_ptr<statechart::CompiledMachine> compiled_;
+  std::unique_ptr<statechart::StateMachineInstance> interpreted_;
+};
+
+const char* engine_label() {
+  return g_engine_choice == EngineChoice::kCompiled ? "compiled" : "interpreted";
+}
 
 /// Snapshot bank over a BusMasterPort's retry counters; both the replay rig
 /// and each leg of the degraded-mode rig checkpoint their ports this way.
@@ -245,7 +298,7 @@ struct DegradedRig {
   sim::HealthRegistry health;
   sim::HealthRegistry::UnitId dma_unit = sim::HealthRegistry::kInvalidUnit;
   sim::HealthRegistry::UnitId link_unit = sim::HealthRegistry::kInvalidUnit;
-  statechart::StateMachineInstance link;
+  EngineBox link;
   sim::Supervisor sup;
   sim::Watchdog watchdog;
   sim::EventRecorder recorder;
@@ -305,16 +358,16 @@ struct DegradedRig {
     site.max_faults = faults.max_faults;
     plan.configure(sim::FaultSite::kBusWrite, site);
     bus.install_fault_plan(&plan);
-    link.set_trace_enabled(false);
-    link.start();
+    link->set_trace_enabled(false);
+    link->start();
     // The known-good restart point: the just-started link. Supervisor
     // restarts warm-rewind to here.
-    link_restart = replay::restart_from_snapshot(link, sink);
+    link_restart = replay::restart_from_snapshot(link.engine(), sink);
     dma_unit = health.register_unit("dma");
     link_unit = health.register_unit("uart-link");
     breaker.bind_health(&health, dma_unit);
     breaker.set_error_emitter([this](const std::string& event, std::int64_t) {
-      link.dispatch_error(statechart::Event(event));
+      link->dispatch_error(statechart::Event(event));
     });
     link_child = sup.add_child("uart-link", [this] {
       const bool ok = link_restart == nullptr || link_restart();
@@ -324,7 +377,7 @@ struct DegradedRig {
     sup.attach_watchdog(link_child, watchdog);
     sup.bind_child_health(link_child, health, link_unit);
     sup.set_error_emitter([this](const std::string& event, std::int64_t) {
-      link.dispatch_error(statechart::Event(event));
+      link->dispatch_error(statechart::Event(event));
     });
     sender = kernel.register_process([this] { send_tick(); }, "cpu.sender");
     kernel.set_recorder(&recorder);
@@ -364,7 +417,7 @@ struct DegradedRig {
     out.kernel = &kernel;
     out.fault_plan = &plan;
     out.recorder = &recorder;
-    out.machines.push_back({"link", &link});
+    out.machines.push_back({"link", &link.engine()});
     out.buses.push_back({"axi", &bus});
     out.watchdogs.push_back({"link-dog", &watchdog});
     out.supervisors.push_back({"soc", &sup});
@@ -504,7 +557,7 @@ int run_degraded_demo(const uml::Component& psm_uart, const soc::SocProfile& pro
   std::printf("breaker '%s' open after %llu DMA failures; link state: %s\n",
               rig.breaker.name().c_str(),
               static_cast<unsigned long long>(rig.breaker.stats().failures),
-              rig.link.is_in("Fallback") ? "Fallback" : "?");
+              rig.link->is_in("Fallback") ? "Fallback" : "?");
 
   if (!run_phase(rig, 8)) return 1;
   if (rig.via_pio == 0) {
@@ -513,11 +566,11 @@ int run_degraded_demo(const uml::Component& psm_uart, const soc::SocProfile& pro
   }
   if (!run_recovery_tail(rig)) return 1;
   if (rig.breaker.state() != sim::CircuitBreaker::State::kClosed ||
-      !rig.link.is_in("Normal") || rig.breaker.stats().probes == 0) {
+      !rig.link->is_in("Normal") || rig.breaker.stats().probes == 0) {
     std::printf("recovery incomplete: breaker=%s probes=%llu link-normal=%d\n",
                 std::string(sim::to_string(rig.breaker.state())).c_str(),
                 static_cast<unsigned long long>(rig.breaker.stats().probes),
-                rig.link.is_in("Normal") ? 1 : 0);
+                rig.link->is_in("Normal") ? 1 : 0);
     return 1;
   }
   std::printf("half-open probe restored DMA: %llu via dma, %llu via pio, %llu lost\n",
@@ -542,10 +595,10 @@ int run_degraded_demo(const uml::Component& psm_uart, const soc::SocProfile& pro
   std::printf("watchdog trip -> supervised warm restart -> re-armed (trips=1)\n");
   finish_run(rig);
 
-  if (!rig.health.all_healthy() || rig.link.errors_unhandled() != 0 || rig.sup.gave_up()) {
+  if (!rig.health.all_healthy() || rig.link->errors_unhandled() != 0 || rig.sup.gave_up()) {
     std::printf("end-state check failed: health=[%s] unhandled=%llu gave-up=%d\n",
                 rig.health.str().c_str(),
-                static_cast<unsigned long long>(rig.link.errors_unhandled()),
+                static_cast<unsigned long long>(rig.link->errors_unhandled()),
                 rig.sup.gave_up() ? 1 : 0);
     return 1;
   }
@@ -576,7 +629,7 @@ std::string soak_one_seed(const uml::Component& psm_uart, const soc::SocProfile&
   if (!reference.health.all_healthy()) {
     return "reference ended unhealthy: " + reference.health.str();
   }
-  if (reference.link.errors_unhandled() != 0) return "reference left unhandled errors";
+  if (reference.link->errors_unhandled() != 0) return "reference left unhandled errors";
   if (reference.sup.gave_up()) {
     return "reference supervisor gave up: " + reference.sup.give_up_reason();
   }
@@ -630,7 +683,7 @@ std::string soak_one_seed(const uml::Component& psm_uart, const soc::SocProfile&
   if (!restored.health.all_healthy()) {
     return "restored ended unhealthy: " + restored.health.str();
   }
-  if (restored.link.errors_unhandled() != 0) return "restored left unhandled errors";
+  if (restored.link->errors_unhandled() != 0) return "restored left unhandled errors";
   if (restored.sup.gave_up()) {
     return "restored supervisor gave up: " + restored.sup.give_up_reason();
   }
@@ -648,7 +701,8 @@ int run_chaos_soak(const uml::Component& psm_uart, const soc::SocProfile& profil
   TrafficFaults faults;
   faults.error_rate = 0.01;
   faults.drop_rate = 0.01;
-  std::printf("chaos soak: %d seeds, 1%% error + 1%% drop on bus writes\n", seed_count);
+  std::printf("chaos soak: %d seeds, 1%% error + 1%% drop on bus writes, %s link engine\n",
+              seed_count, engine_label());
   std::vector<unsigned long long> failed;
   for (int i = 0; i < seed_count; ++i) {
     const std::uint64_t seed = 1000 + static_cast<std::uint64_t>(i);
@@ -689,7 +743,7 @@ int run_chaos_soak(const uml::Component& psm_uart, const soc::SocProfile& profil
 struct CheckModels {
   statechart::StateMachine driver{"Driver"};
   statechart::StateMachine monitor{"BusMonitor"};
-  statechart::StateMachineInstance* monitor_instance = nullptr;
+  statechart::Engine* monitor_instance = nullptr;
 };
 
 void build_check_models(CheckModels& models, bool seeded_bug) {
@@ -762,17 +816,17 @@ void build_check_models(CheckModels& models, bool seeded_bug) {
 int run_check_variant(bool seeded_bug, support::DiagnosticSink& sink) {
   CheckModels models;
   build_check_models(models, seeded_bug);
-  statechart::StateMachineInstance driver(models.driver);
-  statechart::StateMachineInstance monitor(models.monitor);
-  models.monitor_instance = &monitor;
-  driver.set_trace_enabled(false);
-  monitor.set_trace_enabled(false);
-  driver.start();
-  monitor.start();
+  EngineBox driver(models.driver);
+  EngineBox monitor(models.monitor);
+  models.monitor_instance = &monitor.engine();
+  driver->set_trace_enabled(false);
+  monitor->set_trace_enabled(false);
+  driver->start();
+  monitor->start();
 
   verify::Network network;
-  network.add_instance("Driver", driver);
-  network.add_instance("Monitor", monitor);
+  network.add_instance("Driver", driver.engine());
+  network.add_instance("Monitor", monitor.engine());
   network.add_choice("Driver", statechart::Event("bus_timeout"), /*is_error=*/true);
   network.add_choice("Driver", statechart::Event("bus_failed"), /*is_error=*/true);
   network.add_choice("Driver", statechart::Event("bus_recovered"));
@@ -780,10 +834,8 @@ int run_check_variant(bool seeded_bug, support::DiagnosticSink& sink) {
   std::vector<verify::Property> properties;
   properties.push_back(verify::Property::invariant(
       "monitor-alarm-on-failure", [](const verify::PropertyContext& context) {
-        const statechart::StateMachineInstance* checked_driver =
-            context.network.find("Driver");
-        const statechart::StateMachineInstance* checked_monitor =
-            context.network.find("Monitor");
+        const statechart::Engine* checked_driver = context.network.find("Driver");
+        const statechart::Engine* checked_monitor = context.network.find("Monitor");
         return !(checked_driver->is_in("Failed") && checked_monitor->is_in("Watching"));
       }));
   properties.push_back(verify::Property::invariant(
@@ -797,6 +849,9 @@ int run_check_variant(bool seeded_bug, support::DiagnosticSink& sink) {
       [](const verify::PropertyContext&) { return false; }));
 
   const char* variant = seeded_bug ? "seeded-bug" : "fixed";
+  std::printf("[%s] engines: driver=%s monitor=%s\n", variant,
+              driver.compiled() ? "compiled" : "interpreted",
+              monitor.compiled() ? "compiled" : "interpreted");
   verify::ExploreResult result = verify::explore(network, properties, {}, &sink);
   std::printf("[%s] exploration: %s; %s\n", variant,
               std::string(verify::to_string(result.termination)).c_str(),
@@ -930,7 +985,22 @@ bool build_model_bundle(ModelBundle& bundle, bool verbose,
 
 int main(int argc, char** argv) {
   int soak_seeds = 0;
+  // --engine applies to whichever mode runs, so resolve it before the mode
+  // flags (which dispatch immediately) regardless of argument order.
   for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--engine=", 9) != 0) continue;
+    const char* choice = argv[i] + 9;
+    if (std::strcmp(choice, "compiled") == 0) {
+      g_engine_choice = EngineChoice::kCompiled;
+    } else if (std::strcmp(choice, "interpreted") == 0) {
+      g_engine_choice = EngineChoice::kInterpreted;
+    } else {
+      std::fprintf(stderr, "unknown engine '%s' (use compiled|interpreted)\n", choice);
+      return 2;
+    }
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--engine=", 9) == 0) continue;
     if (std::strcmp(argv[i], "--check-properties") == 0) return run_check_properties("");
     if (std::strncmp(argv[i], "--check-properties=", 19) == 0) {
       return run_check_properties(argv[i] + 19);

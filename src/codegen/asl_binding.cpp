@@ -13,7 +13,7 @@ namespace {
 /// touch the dispatching machine instance's variable store.
 class MachineScopedContext : public asl::ObjectContext {
  public:
-  MachineScopedContext(asl::ObjectContext& base, statechart::StateMachineInstance& instance)
+  MachineScopedContext(asl::ObjectContext& base, statechart::Engine& instance)
       : base_(base), instance_(instance) {}
 
   asl::Value get_attribute(const std::string& name) override {
@@ -40,7 +40,7 @@ class MachineScopedContext : public asl::ObjectContext {
 
  private:
   asl::ObjectContext& base_;
-  statechart::StateMachineInstance& instance_;
+  statechart::Engine& instance_;
 };
 
 std::shared_ptr<const asl::Program> compile(const std::string& source,

@@ -226,4 +226,125 @@ std::string generate_sw_class(const uml::Class& cls, support::DiagnosticSink& si
   return out;
 }
 
+namespace {
+
+const char* step_op_name(statechart::CompiledMachine::Op op) {
+  using Op = statechart::CompiledMachine::Op;
+  switch (op) {
+    case Op::kRecordShallow: return "kRecordShallow";
+    case Op::kRecordDeep: return "kRecordDeep";
+    case Op::kExitState: return "kExitState";
+    case Op::kClearFinal: return "kClearFinal";
+    case Op::kEffect: return "kEffect";
+    case Op::kEnterState: return "kEnterState";
+    case Op::kEnterFinal: return "kEnterFinal";
+    case Op::kTerminate: return "kTerminate";
+  }
+  return "kEffect";
+}
+
+}  // namespace
+
+std::string generate_statechart_tables(const statechart::CompiledMachine& compiled,
+                                       const std::string& identifier) {
+  const statechart::StateMachine& machine = compiled.machine();
+  std::string out;
+  out += "// AOT statechart plan tables for '" + machine.name() + "' — generated, do not edit.\n";
+  out += "// " + std::to_string(compiled.configuration_count()) + " configurations, " +
+         std::to_string(compiled.plan_table().size()) + " plans, " +
+         std::to_string(compiled.candidate_table().size()) + " candidates, " +
+         std::to_string(compiled.step_table().size()) + " steps (" +
+         std::to_string(compiled.table_bytes()) + " table bytes at compile time).\n";
+  out += "// Guards/effects are linked by transition index; an embedded runtime\n";
+  out += "// executes the step programs directly (see statechart/compile.hpp).\n";
+  out += "#include <cstdint>\n\n";
+  out += "namespace " + identifier + "_tables {\n\n";
+  out += "enum class Op : std::uint8_t { kRecordShallow, kRecordDeep, kExitState,\n";
+  out += "  kClearFinal, kEffect, kEnterState, kEnterFinal, kTerminate };\n";
+  out += "struct Step { Op op; std::uint32_t a; std::uint32_t b; };\n";
+  out += "struct Candidate { std::uint32_t transition, claim_offset, first_step, step_count,\n";
+  out += "  entry_target, entry_scope; bool internal, has_guard, dynamic_entry; };\n";
+  out += "struct Plan { std::uint32_t config, event, first_candidate, candidate_count;\n";
+  out += "  bool defer_if_unfired; };\n";
+  out += "struct Transition { std::uint32_t source, target, domain; bool internal, completion; };\n\n";
+  out += "inline constexpr std::uint32_t kWords = " + std::to_string(compiled.words()) + ";\n";
+  out += "inline constexpr std::uint32_t kVertices = " +
+         std::to_string(compiled.vertex_count()) + ";\n";
+  out += "inline constexpr std::uint32_t kRegions = " +
+         std::to_string(compiled.region_count()) + ";\n\n";
+
+  out += "inline constexpr const char* kEvents[] = {\n";
+  for (std::size_t i = 0; i < compiled.event_count(); ++i) {
+    out += "  \"" + cpp_escape(compiled.event_name(static_cast<std::uint32_t>(i))) + "\",\n";
+  }
+  out += "};\n\n";
+
+  out += "inline constexpr Transition kTransitions[] = {\n";
+  for (const auto& row : compiled.transition_table()) {
+    out += "  {" + std::to_string(row.source) + ", " + std::to_string(row.target) + ", " +
+           std::to_string(row.domain) + ", " + (row.internal ? "true" : "false") + ", " +
+           (row.completion ? "true" : "false") + "},  // " + cpp_escape(row.origin->str()) +
+           "\n";
+  }
+  out += "};\n\n";
+
+  out += "inline constexpr Step kSteps[] = {\n";
+  for (const auto& step : compiled.step_table()) {
+    out += "  {Op::" + std::string(step_op_name(step.op)) + ", " + std::to_string(step.a) +
+           ", " + std::to_string(step.b) + "},\n";
+  }
+  out += "};\n\n";
+
+  out += "inline constexpr std::uint64_t kClaims[] = {\n  ";
+  for (std::size_t i = 0; i < compiled.claim_pool().size(); ++i) {
+    out += std::to_string(compiled.claim_pool()[i]) + "ull, ";
+    if (i % 8 == 7) out += "\n  ";
+  }
+  out += "\n};\n\n";
+
+  out += "inline constexpr std::uint32_t kLeaves[] = {";
+  for (const std::uint32_t leaf : compiled.leaf_pool()) out += std::to_string(leaf) + ", ";
+  out += "};\n\n";
+
+  out += "inline constexpr Candidate kCandidates[] = {\n";
+  for (const auto& candidate : compiled.candidate_table()) {
+    out += "  {" + std::to_string(candidate.transition) + ", " +
+           std::to_string(candidate.claim_offset) + ", " +
+           std::to_string(candidate.first_step) + ", " + std::to_string(candidate.step_count) +
+           ", " + std::to_string(candidate.entry_target) + ", " +
+           std::to_string(candidate.entry_scope) + ", " +
+           (candidate.internal ? "true" : "false") + ", " +
+           (candidate.has_guard ? "true" : "false") + ", " +
+           (candidate.dynamic_entry ? "true" : "false") + "},\n";
+  }
+  out += "};\n\n";
+
+  out += "inline constexpr Plan kPlans[] = {\n";
+  for (const auto& plan : compiled.plan_table()) {
+    out += "  {" + std::to_string(plan.config) + ", " + std::to_string(plan.event) + ", " +
+           std::to_string(plan.first_candidate) + ", " + std::to_string(plan.candidate_count) +
+           ", " + (plan.defer_if_unfired ? "true" : "false") + "},  // (" +
+           std::to_string(plan.config) + ", \"" +
+           cpp_escape(compiled.event_name(plan.event)) + "\")\n";
+  }
+  out += "};\n\n";
+
+  out += "// Interned configurations as active vertex-index lists (states then finals).\n";
+  out += "inline constexpr std::uint32_t kConfigMembers[] = {";
+  std::vector<std::uint32_t> config_offsets;
+  std::size_t member_total = 0;
+  for (std::size_t c = 0; c < compiled.configuration_count(); ++c) {
+    config_offsets.push_back(static_cast<std::uint32_t>(member_total));
+    const auto members = compiled.configuration_members(static_cast<std::uint32_t>(c));
+    member_total += members.size();
+    for (const std::uint32_t member : members) out += std::to_string(member) + ", ";
+  }
+  out += "};\n";
+  out += "inline constexpr std::uint32_t kConfigOffsets[] = {";
+  for (const std::uint32_t offset : config_offsets) out += std::to_string(offset) + ", ";
+  out += std::to_string(member_total) + "};\n\n";
+  out += "}  // namespace " + identifier + "_tables\n";
+  return out;
+}
+
 }  // namespace umlsoc::codegen

@@ -5,6 +5,7 @@
 
 #include <string>
 
+#include "statechart/compile.hpp"
 #include "support/diagnostics.hpp"
 #include "uml/types.hpp"
 
@@ -21,5 +22,15 @@ namespace umlsoc::codegen {
 /// definitions with translated ASL bodies, and task metadata as comments.
 [[nodiscard]] std::string generate_sw_class(const uml::Class& cls,
                                             support::DiagnosticSink& sink);
+
+/// Emits the AOT plan tables of a compiled statechart as self-contained C++
+/// static data (constexpr arrays): step programs, candidate rows with claim
+/// masks, plan index, interned configurations and the event-name table.
+/// This is the software-platform twin of the RTL case-table generator — an
+/// embedded runtime executes the tables directly, with guards and effects
+/// linked by transition index. `identifier` prefixes every emitted symbol
+/// and must be a valid C++ identifier stem.
+[[nodiscard]] std::string generate_statechart_tables(
+    const statechart::CompiledMachine& compiled, const std::string& identifier);
 
 }  // namespace umlsoc::codegen

@@ -8,7 +8,7 @@ BusMasterContext::BusMasterContext(sim::Kernel& kernel, sim::MemoryMappedBus& bu
                                    sim::RetryPolicy policy)
     : kernel_(kernel), port_(kernel, bus, "sw-driver", policy) {}
 
-void BusMasterContext::set_error_sink(statechart::StateMachineInstance* sink) {
+void BusMasterContext::set_error_sink(statechart::Engine* sink) {
   error_sink_ = sink;
   if (sink == nullptr) {
     port_.set_listener(nullptr);

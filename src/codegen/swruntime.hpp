@@ -18,7 +18,7 @@
 
 #include "asl/interpreter.hpp"
 #include "sim/bus.hpp"
-#include "statechart/interpreter.hpp"
+#include "statechart/engine.hpp"
 
 namespace umlsoc::codegen {
 
@@ -49,7 +49,7 @@ class BusMasterContext : public asl::ObjectContext {
   std::optional<asl::Value> run(const std::string& asl_source);
 
   /// Statechart to drive with bus fault/recovery events (may be null).
-  void set_error_sink(statechart::StateMachineInstance* sink);
+  void set_error_sink(statechart::Engine* sink);
 
   /// Status of the most recent completed transaction.
   [[nodiscard]] sim::BusStatus last_status() const { return last_status_; }
@@ -64,7 +64,7 @@ class BusMasterContext : public asl::ObjectContext {
 
   sim::Kernel& kernel_;
   sim::BusMasterPort port_;
-  statechart::StateMachineInstance* error_sink_ = nullptr;
+  statechart::Engine* error_sink_ = nullptr;
   sim::BusStatus last_status_ = sim::BusStatus::kOk;
   std::map<std::string, asl::Value> attributes_;
   std::vector<SentSignal> sent_signals_;

@@ -23,9 +23,19 @@ std::optional<sim::SimTime> parse_after_trigger(const std::string& text) {
 }
 
 TimedStateMachine::TimedStateMachine(const statechart::StateMachine& machine,
-                                     sim::Kernel& kernel)
-    : instance_(machine), kernel_(kernel) {
-  instance_.set_state_listener(
+                                     sim::Kernel& kernel, EngineMode mode)
+    : kernel_(kernel) {
+  if (mode == EngineMode::kAuto) {
+    support::DiagnosticSink compile_sink;  // Rejection = documented fallback.
+    compiled_ = statechart::compile(machine, compile_sink);
+  }
+  if (compiled_ != nullptr) {
+    engine_ = compiled_.get();
+  } else {
+    interpreted_ = std::make_unique<statechart::StateMachineInstance>(machine);
+    engine_ = interpreted_.get();
+  }
+  engine_->set_state_listener(
       [this](const statechart::State& state, bool entered) { on_state(state, entered); });
 }
 
@@ -36,7 +46,7 @@ void TimedStateMachine::after(const std::string& state_name, sim::SimTime delay,
 
 std::size_t TimedStateMachine::bind_after_triggers(support::DiagnosticSink& sink) {
   std::size_t bound = 0;
-  for (const statechart::Transition* transition : instance_.machine().all_transitions()) {
+  for (const statechart::Transition* transition : engine_->machine().all_transitions()) {
     const std::string& trigger = transition->trigger();
     if (!looks_like_after_trigger(trigger)) continue;
     std::optional<sim::SimTime> delay = parse_after_trigger(trigger);
@@ -89,7 +99,7 @@ void TimedStateMachine::on_timeout(const statechart::State& state, Timeout& time
     return;
   }
   ++timeouts_fired_;
-  instance_.dispatch(statechart::Event{timeout.event});
+  engine_->dispatch(statechart::Event{timeout.event});
 }
 
 }  // namespace umlsoc::codegen

@@ -8,7 +8,10 @@
 #include <optional>
 #include <string>
 
+#include <memory>
+
 #include "sim/kernel.hpp"
+#include "statechart/compile.hpp"
 #include "statechart/interpreter.hpp"
 #include "support/diagnostics.hpp"
 
@@ -20,13 +23,25 @@ namespace umlsoc::codegen {
 [[nodiscard]] std::optional<sim::SimTime> parse_after_trigger(const std::string& text);
 [[nodiscard]] bool looks_like_after_trigger(const std::string& text);
 
-/// Wraps a StateMachineInstance and a sim::Kernel. after(state, delay,
+/// Wraps a statechart engine and a sim::Kernel. after(state, delay,
 /// event) arms a timer whenever `state` is entered; if the state is still
 /// active (same activation) when the timer expires, `event` is dispatched.
 /// Leaving the state cancels the pending timer (by activation epoch).
+///
+/// Process activations run on the AOT-compiled plan-table engine when the
+/// machine compiles (EngineMode::kAuto, the default — timer dispatch is the
+/// sim kernel's hot path); unsupported machines, or kInterpreted, use the
+/// reference interpreter. Timer semantics are engine-independent: epochs
+/// key off the state-listener callbacks both engines emit identically.
 class TimedStateMachine {
  public:
-  TimedStateMachine(const statechart::StateMachine& machine, sim::Kernel& kernel);
+  enum class EngineMode : std::uint8_t {
+    kAuto,         ///< Compiled when possible, interpreter otherwise.
+    kInterpreted,  ///< Always the reference interpreter.
+  };
+
+  TimedStateMachine(const statechart::StateMachine& machine, sim::Kernel& kernel,
+                    EngineMode mode = EngineMode::kAuto);
 
   /// Declares a time trigger: `delay` after entering `state_name`, dispatch
   /// Event{event_name}. Call before start().
@@ -40,11 +55,13 @@ class TimedStateMachine {
   /// after(...) texts are reported through `sink`.
   std::size_t bind_after_triggers(support::DiagnosticSink& sink);
 
-  void start() { instance_.start(); }
-  bool dispatch(statechart::Event event) { return instance_.dispatch(std::move(event)); }
+  void start() { engine_->start(); }
+  bool dispatch(statechart::Event event) { return engine_->dispatch(std::move(event)); }
 
-  [[nodiscard]] statechart::StateMachineInstance& instance() { return instance_; }
-  [[nodiscard]] const statechart::StateMachineInstance& instance() const { return instance_; }
+  [[nodiscard]] statechart::Engine& instance() { return *engine_; }
+  [[nodiscard]] const statechart::Engine& instance() const { return *engine_; }
+  /// True when activations run on the compiled plan-table engine.
+  [[nodiscard]] bool compiled() const { return compiled_ != nullptr; }
   [[nodiscard]] std::uint64_t timeouts_fired() const { return timeouts_fired_; }
   [[nodiscard]] std::uint64_t timeouts_cancelled() const { return timeouts_cancelled_; }
 
@@ -63,7 +80,9 @@ class TimedStateMachine {
   void on_state(const statechart::State& state, bool entered);
   void on_timeout(const statechart::State& state, Timeout& timeout);
 
-  statechart::StateMachineInstance instance_;
+  std::unique_ptr<statechart::CompiledMachine> compiled_;
+  std::unique_ptr<statechart::StateMachineInstance> interpreted_;
+  statechart::Engine* engine_ = nullptr;  ///< Whichever of the two is live.
   sim::Kernel& kernel_;
   std::multimap<std::string, Timeout> timeouts_;       // Keyed by state name.
   std::map<const statechart::State*, std::uint64_t> epochs_;

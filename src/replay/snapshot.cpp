@@ -819,7 +819,7 @@ bool restore_snapshot(const SnapshotTargets& targets, std::string_view input,
 
 // --- warm-restart factories --------------------------------------------------
 
-std::function<bool()> restart_from_snapshot(statechart::StateMachineInstance& instance,
+std::function<bool()> restart_from_snapshot(statechart::Engine& instance,
                                             support::DiagnosticSink& sink) {
   auto snapshot = std::make_shared<statechart::InstanceSnapshot>(instance.capture());
   return [&instance, &sink, snapshot] { return instance.restore(*snapshot, sink); };

@@ -37,7 +37,7 @@
 #include "sim/kernel.hpp"
 #include "sim/replay.hpp"
 #include "sim/supervise.hpp"
-#include "statechart/interpreter.hpp"
+#include "statechart/engine.hpp"
 #include "support/diagnostics.hpp"
 
 namespace umlsoc::replay {
@@ -50,7 +50,7 @@ inline constexpr int kSnapshotVersion = 2;
 
 struct MachineTarget {
   std::string name;
-  statechart::StateMachineInstance* instance = nullptr;
+  statechart::Engine* instance = nullptr;
 };
 
 struct BusTarget {
@@ -135,7 +135,7 @@ struct SnapshotTargets {
 /// supervisor as a failed restart). `instance` and `sink` must outlive the
 /// returned callback.
 [[nodiscard]] std::function<bool()> restart_from_snapshot(
-    statechart::StateMachineInstance& instance, support::DiagnosticSink& sink);
+    statechart::Engine& instance, support::DiagnosticSink& sink);
 
 /// As above for a ValueBank (register file, scoreboard): captures the
 /// bank's values now, restores them on every invocation.

@@ -1,5 +1,6 @@
 #include "statechart/flatten.hpp"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "statechart/interpreter.hpp"
@@ -138,11 +139,32 @@ class Flattener {
                                       : default_leaf(transition->target());
           if (to_leaf == nullptr) return;
           FlatTransition row{from, transition->trigger(), index_.at(to_leaf), transition};
-          std::string key = FlatStateMachine::key(from, row.trigger);
-          flat_.rows_by_key[key].push_back(flat_.transitions.size());
           flat_.transitions.push_back(row);
         }
       }
+    }
+    build_groups();
+  }
+
+  /// Builds the sorted (from, trigger) dispatch index. A stable sort keeps
+  /// rows of one key in their build order, which is innermost-first.
+  void build_groups() {
+    flat_.row_order.resize(flat_.transitions.size());
+    for (std::size_t i = 0; i < flat_.row_order.size(); ++i) flat_.row_order[i] = i;
+    std::stable_sort(flat_.row_order.begin(), flat_.row_order.end(),
+                     [this](std::size_t a, std::size_t b) {
+                       const FlatTransition& lhs = flat_.transitions[a];
+                       const FlatTransition& rhs = flat_.transitions[b];
+                       if (lhs.from != rhs.from) return lhs.from < rhs.from;
+                       return lhs.trigger < rhs.trigger;
+                     });
+    for (std::size_t i = 0; i < flat_.row_order.size(); ++i) {
+      const FlatTransition& row = flat_.transitions[flat_.row_order[i]];
+      if (flat_.groups.empty() || flat_.groups.back().from != row.from ||
+          flat_.groups.back().trigger != row.trigger) {
+        flat_.groups.push_back(FlatRowGroup{row.from, row.trigger, i, 0});
+      }
+      ++flat_.groups.back().row_count;
     }
   }
 
@@ -161,10 +183,23 @@ std::optional<FlatStateMachine> flatten(const StateMachine& machine,
   return Flattener(machine, sink).run();
 }
 
+const FlatRowGroup* FlatStateMachine::find_group(std::size_t from,
+                                                 std::string_view trigger) const {
+  const auto it = std::lower_bound(
+      groups.begin(), groups.end(), std::make_pair(from, trigger),
+      [](const FlatRowGroup& group, const std::pair<std::size_t, std::string_view>& key) {
+        if (group.from != key.first) return group.from < key.first;
+        return std::string_view(group.trigger) < key.second;
+      });
+  if (it == groups.end() || it->from != from || it->trigger != trigger) return nullptr;
+  return &*it;
+}
+
 bool FlatExecutor::dispatch(const Event& event) {
-  auto it = flat_->rows_by_key.find(FlatStateMachine::key(current_, event.name));
-  if (it == flat_->rows_by_key.end()) return false;
-  for (std::size_t row_index : it->second) {
+  const FlatRowGroup* group = flat_->find_group(current_, event.name);
+  if (group == nullptr) return false;
+  for (std::size_t i = 0; i < group->row_count; ++i) {
+    const std::size_t row_index = flat_->row_order[group->first_row + i];
     const FlatTransition& row = flat_->transitions[row_index];
     const Guard& guard = row.origin->guard();
     if (guard.fn != nullptr) {

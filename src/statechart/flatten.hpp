@@ -1,12 +1,14 @@
 // Flattening of hierarchical (non-orthogonal) state machines into a plain
-// transition table. Used by the RTL code generator (one state register, one
-// case block) and by benchmark E3 to compare flat vs hierarchical dispatch.
+// transition table: one leaf state is active at a time and each row maps
+// (leaf, trigger) to a successor leaf. Consumed by benchmark E3 (flat vs
+// hierarchical dispatch) and by the differential harness; the AOT plan-table
+// compiler (compile.hpp) generalizes this row/group layout to hierarchical
+// configurations.
 #pragma once
 
 #include <cstddef>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "statechart/model.hpp"
@@ -22,18 +24,31 @@ struct FlatTransition {
   const Transition* origin;   // Hierarchical transition this row came from.
 };
 
+/// Rows of one (from, trigger) key: a contiguous run in `row_order`, in
+/// innermost-first priority order.
+struct FlatRowGroup {
+  std::size_t from = 0;
+  std::string trigger;
+  std::size_t first_row = 0;  // Offset into FlatStateMachine::row_order.
+  std::size_t row_count = 0;
+};
+
 /// Flattened machine: exactly one leaf state is active at a time.
 struct FlatStateMachine {
   std::vector<const State*> states;  // Leaf states, stable order.
   std::vector<std::string> state_names;
   std::size_t initial_state = 0;
   std::vector<FlatTransition> transitions;
-  /// Row indices grouped by (from, trigger) for O(1)-ish dispatch.
-  std::unordered_map<std::string, std::vector<std::size_t>> rows_by_key;
+  /// Dispatch index, sorted by (from, trigger): binary search locates the
+  /// group, `row_order` lists its row indices in priority order. Replaces
+  /// the old string-keyed hash map — no key formatting or hashing per
+  /// dispatch, and the sorted layout is what the RTL generator emits.
+  std::vector<FlatRowGroup> groups;
+  std::vector<std::size_t> row_order;
 
-  [[nodiscard]] static std::string key(std::size_t from, const std::string& trigger) {
-    return std::to_string(from) + "#" + trigger;
-  }
+  /// Group for (from, trigger), or nullptr when no row matches.
+  [[nodiscard]] const FlatRowGroup* find_group(std::size_t from,
+                                               std::string_view trigger) const;
 };
 
 /// Flattens `machine`. Requirements (else error + nullopt): no orthogonal

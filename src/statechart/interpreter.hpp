@@ -27,135 +27,97 @@
 #include <unordered_set>
 #include <vector>
 
+#include "statechart/engine.hpp"
 #include "statechart/model.hpp"
 #include "support/diagnostics.hpp"
 
 namespace umlsoc::statechart {
 
-/// Checkpointable execution state of one StateMachineInstance. Vertices and
-/// regions are addressed by their pre-order index (StateMachine::all_vertices
-/// / all_regions), so a snapshot restores into any instance bound to a
-/// structurally identical machine — in particular one rebuilt by a fresh
-/// process. Captured: active configuration, final flags, history memory,
-/// variables, the pending/deferred event pools, and counters. Not captured:
-/// listeners, trace contents, or mid-RTC-step state (capture between
-/// dispatches).
-struct InstanceSnapshot {
-  struct EventRecord {
-    std::string name;
-    std::int64_t data = 0;
-    std::string tag;
-
-    bool operator==(const EventRecord&) const = default;
-  };
-
-  bool started = false;
-  bool terminated = false;
-  std::vector<std::uint32_t> active_states;  ///< Vertex indices, ascending.
-  std::vector<std::uint32_t> active_finals;  ///< Vertex indices, ascending.
-  /// (region index, state vertex index), ascending by region.
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> shallow_history;
-  /// (region index, leaf state vertex indices in recorded order).
-  std::vector<std::pair<std::uint32_t, std::vector<std::uint32_t>>> deep_history;
-  std::vector<std::pair<std::string, std::int64_t>> variables;  ///< Sorted by name.
-  std::vector<EventRecord> queue;
-  std::vector<EventRecord> deferred;
-  std::uint64_t events_processed = 0;
-  std::uint64_t transitions_fired = 0;
-  std::uint64_t errors_raised = 0;
-  std::uint64_t errors_unhandled = 0;
-
-  bool operator==(const InstanceSnapshot&) const = default;
-};
-
-class StateMachineInstance {
+class StateMachineInstance final : public Engine {
  public:
   /// Bound but not started; call start() to enter the initial configuration.
   explicit StateMachineInstance(const StateMachine& machine);
 
   /// Enters the top region through its initial pseudostate and runs
   /// completion transitions to quiescence.
-  void start();
+  void start() override;
 
   /// Queues an event and processes the queue to quiescence. Returns true
   /// when at least one transition fired for this event.
-  bool dispatch(Event event);
+  bool dispatch(Event event) override;
 
   /// Queues without processing (used by actions raising internal events).
-  void post(Event event);
+  void post(Event event) override;
 
   /// Events waiting in the ordinary pool (excludes the deferred pool).
   /// Network harnesses (verify::Network) poll this to drain cross-posted
   /// work to quiescence without capturing a snapshot.
-  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::size_t pending_events() const override { return queue_.size(); }
 
   /// Error-event channel: fault monitors (bus ports, watchdogs) report
   /// failures here. Error events jump ahead of the normal pool — an error
   /// preempts pending ordinary work — and are counted separately; an error
   /// event that fires no transition is recorded as unhandled so harnesses
   /// can assert that every declared fault reaches an error state.
-  bool dispatch_error(Event event);
+  bool dispatch_error(Event event) override;
 
   /// Queues an error event at the front without processing.
-  void post_error(Event event);
+  void post_error(Event event) override;
 
   /// Processes queued events until the pool is empty.
-  void run_to_quiescence();
+  void run_to_quiescence() override;
 
   // --- Introspection --------------------------------------------------------
 
-  [[nodiscard]] const StateMachine& machine() const { return machine_; }
+  [[nodiscard]] const StateMachine& machine() const override { return machine_; }
   [[nodiscard]] bool is_active(const State& state) const { return config_.contains(&state); }
   /// True when any active state (at any depth) has this name.
-  [[nodiscard]] bool is_in(std::string_view state_name) const;
+  [[nodiscard]] bool is_in(std::string_view state_name) const override;
   /// Names of active simple (leaf) states, in stable order.
-  [[nodiscard]] std::vector<std::string> active_leaf_names() const;
+  [[nodiscard]] std::vector<std::string> active_leaf_names() const override;
   [[nodiscard]] const std::unordered_set<const State*>& configuration() const { return config_; }
   /// True when the top region has reached a final state.
-  [[nodiscard]] bool is_in_final_state() const;
+  [[nodiscard]] bool is_in_final_state() const override;
   /// True after a terminate pseudostate was reached; the instance is dead
   /// (dispatch becomes a no-op).
-  [[nodiscard]] bool is_terminated() const { return terminated_; }
-  [[nodiscard]] bool started() const { return started_; }
+  [[nodiscard]] bool is_terminated() const override { return terminated_; }
+  [[nodiscard]] bool started() const override { return started_; }
 
   // --- Observability ---------------------------------------------------------
 
   /// When enabled (default), records "enter:X" / "exit:X" / "fire:..." /
   /// "event:E" / "discard:E" entries; tests and MSC conformance use this.
-  void set_trace_enabled(bool enabled) { trace_enabled_ = enabled; }
+  void set_trace_enabled(bool enabled) override { trace_enabled_ = enabled; }
   [[nodiscard]] const std::vector<std::string>& trace() const { return trace_; }
   void clear_trace() { trace_.clear(); }
 
-  [[nodiscard]] std::uint64_t events_processed() const { return events_processed_; }
-  [[nodiscard]] std::uint64_t transitions_fired() const { return transitions_fired_; }
-  [[nodiscard]] std::uint64_t errors_raised() const { return errors_raised_; }
-  [[nodiscard]] std::uint64_t errors_unhandled() const { return errors_unhandled_; }
+  [[nodiscard]] std::uint64_t events_processed() const override { return events_processed_; }
+  [[nodiscard]] std::uint64_t transitions_fired() const override { return transitions_fired_; }
+  [[nodiscard]] std::uint64_t errors_raised() const override { return errors_raised_; }
+  [[nodiscard]] std::uint64_t errors_unhandled() const override { return errors_unhandled_; }
 
   /// Machine-variable store available to guards/effects via ActionContext.
-  [[nodiscard]] std::int64_t variable(const std::string& name) const;
-  void set_variable(const std::string& name, std::int64_t value);
+  [[nodiscard]] std::int64_t variable(const std::string& name) const override;
+  void set_variable(const std::string& name, std::int64_t value) override;
 
-  /// Observer invoked on every state entry (entered=true) and exit
-  /// (entered=false); used by the sim-kernel timer binding and by monitors.
-  using StateListener = std::function<void(const State&, bool entered)>;
-  void set_state_listener(StateListener listener) { listener_ = std::move(listener); }
+  void set_state_listener(StateListener listener) override { listener_ = std::move(listener); }
 
   // --- Checkpoint / restore --------------------------------------------------
 
   /// Captures the instance's execution state in machine-independent,
   /// deterministic form (indices ascending, variables sorted by name).
-  [[nodiscard]] InstanceSnapshot capture() const;
+  [[nodiscard]] InstanceSnapshot capture() const override;
   /// As capture(), but reuses `out`'s buffers — the verify explorer calls
   /// this per exploration step, where a fresh snapshot's allocations are
   /// the dominant cost.
-  void capture_into(InstanceSnapshot& out) const;
+  void capture_into(InstanceSnapshot& out) const override;
 
   /// Replaces this instance's execution state with `snapshot`. Validates the
   /// snapshot against the bound machine before mutating anything: on any
   /// out-of-range or kind-mismatched index it reports through `sink` and
   /// returns false with the instance unchanged. No entry/exit behaviors run
   /// and no listener fires — restore reproduces state, not history.
-  bool restore(const InstanceSnapshot& snapshot, support::DiagnosticSink& sink);
+  bool restore(const InstanceSnapshot& snapshot, support::DiagnosticSink& sink) override;
 
   /// Completion-transition microstep bound; exceeding it throws
   /// std::runtime_error (livelock guard).

@@ -23,6 +23,7 @@ class Class;
 
 namespace umlsoc::statechart {
 
+class Engine;
 class Region;
 class State;
 class StateMachine;
@@ -41,9 +42,11 @@ struct Event {
   std::string tag;
 };
 
-/// Runtime context passed to guards and actions.
+/// Runtime context passed to guards and actions. `instance` is the engine
+/// executing the machine (interpreter or compiled stepper — see
+/// engine.hpp), so behaviors written against it run under either.
 struct ActionContext {
-  StateMachineInstance& instance;
+  Engine& instance;
   const Event* event = nullptr;  // Null for entry/exit/completion contexts.
 };
 

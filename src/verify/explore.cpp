@@ -1,6 +1,5 @@
 #include "verify/explore.hpp"
 
-#include <deque>
 #include <stdexcept>
 
 namespace umlsoc::verify {
@@ -8,7 +7,7 @@ namespace umlsoc::verify {
 // --- Network -------------------------------------------------------------------
 
 std::size_t Network::add_instance(std::string name,
-                                  statechart::StateMachineInstance& instance) {
+                                  statechart::Engine& instance) {
   entries_.push_back(InstanceEntry{std::move(name), &instance});
   return entries_.size() - 1;
 }
@@ -25,7 +24,7 @@ void Network::add_choice(std::string_view instance_name, statechart::Event event
                               std::string(instance_name) + "'");
 }
 
-statechart::StateMachineInstance* Network::find(std::string_view name) const {
+statechart::Engine* Network::find(std::string_view name) const {
   for (const InstanceEntry& entry : entries_) {
     if (entry.name == name) return entry.instance;
   }
@@ -51,7 +50,7 @@ void Network::deliver(const EventChoice& choice, std::vector<StepDelta>& deltas,
   // Record the before-counters in the deltas themselves; subtracted below.
   deltas.resize(entries_.size());
   for (std::size_t i = 0; i < entries_.size(); ++i) {
-    const statechart::StateMachineInstance& instance = *entries_[i].instance;
+    const statechart::Engine& instance = *entries_[i].instance;
     deltas[i] = StepDelta{instance.transitions_fired(), instance.errors_raised(),
                           instance.errors_unhandled()};
   }
@@ -64,7 +63,7 @@ void Network::deliver(const EventChoice& choice, std::vector<StepDelta>& deltas,
     }
   }
 
-  statechart::StateMachineInstance& target = *entries_[choice.instance].instance;
+  statechart::Engine& target = *entries_[choice.instance].instance;
   if (choice.is_error) {
     target.dispatch_error(choice.event);
   } else {
@@ -80,7 +79,7 @@ void Network::deliver(const EventChoice& choice, std::vector<StepDelta>& deltas,
     }
     bool progressed = false;
     for (std::size_t i = 0; i < entries_.size(); ++i) {
-      statechart::StateMachineInstance& instance = *entries_[i].instance;
+      statechart::Engine& instance = *entries_[i].instance;
       if (!instance.is_terminated() && instance.pending_events() > 0) {
         instance.run_to_quiescence();
         if (touched != nullptr) (*touched)[i] = 1;
@@ -91,7 +90,7 @@ void Network::deliver(const EventChoice& choice, std::vector<StepDelta>& deltas,
   }
 
   for (std::size_t i = 0; i < entries_.size(); ++i) {
-    const statechart::StateMachineInstance& instance = *entries_[i].instance;
+    const statechart::Engine& instance = *entries_[i].instance;
     deltas[i].transitions_fired = instance.transitions_fired() - deltas[i].transitions_fired;
     deltas[i].errors_raised = instance.errors_raised() - deltas[i].errors_raised;
     deltas[i].errors_unhandled = instance.errors_unhandled() - deltas[i].errors_unhandled;
@@ -196,12 +195,19 @@ class Explorer {
     bool depth_pruned = false;
     bool state_capped = false;
 
-    while (!frontier_.empty()) {
-      stats_.peak_frontier = std::max<std::uint64_t>(stats_.peak_frontier, frontier_.size());
+    while (frontier_head_ < frontier_.size()) {
+      stats_.peak_frontier = std::max<std::uint64_t>(stats_.peak_frontier,
+                                                     frontier_.size() - frontier_head_);
       std::uint32_t id;
       if (options_.strategy == ExploreOptions::Strategy::kBfs) {
-        id = frontier_.front();
-        frontier_.pop_front();
+        id = frontier_[frontier_head_++];
+        // Reclaim the consumed prefix once it dominates the vector, so BFS
+        // memory tracks the live frontier, not every id ever queued.
+        if (frontier_head_ >= 4096 && frontier_head_ * 2 >= frontier_.size()) {
+          frontier_.erase(frontier_.begin(),
+                          frontier_.begin() + static_cast<std::ptrdiff_t>(frontier_head_));
+          frontier_head_ = 0;
+        }
       } else {
         id = frontier_.back();
         frontier_.pop_back();
@@ -246,16 +252,17 @@ class Explorer {
   /// instances therefore costs O(2), not O(N).
   Expand expand(std::uint32_t id, ExploreResult& result) {
     const std::string_view base = store_.encoding(id);
-    if (!decode_network(base, scratch_)) {
+    if (!decode_network(base, scratch_, &segment_spans_)) {
       sink_.error("verify::explore", "stored state encoding is corrupt");
       result.termination = ExploreResult::Termination::kError;
       return Expand::kStop;
     }
     header_.assign(base.data(), 4);  // The instance-count prefix.
+    // Per-instance encoding segments are byte slices of `base` (copied:
+    // the arena may reallocate while successors are inserted below).
     segments_.resize(scratch_.size());
     for (std::size_t i = 0; i < scratch_.size(); ++i) {
-      segments_[i].clear();
-      encode_snapshot(scratch_[i], segments_[i]);
+      segments_[i].assign(base.data() + segment_spans_[i].first, segment_spans_[i].second);
     }
     // The live network is seated on whatever state was expanded last, so
     // every instance starts stale.
@@ -265,14 +272,26 @@ class Explorer {
     const auto& alphabet = network_.alphabet();
     for (std::uint32_t action = 0; action < alphabet.size(); ++action) {
       for (std::size_t i = 0; i < scratch_.size(); ++i) {
-        if (stale_[i] != 0 && !network_.restore_one(i, scratch_[i], sink_)) {
-          result.termination = ExploreResult::Termination::kError;
-          return Expand::kStop;
+        if (stale_[i] != 0) {
+          if (!network_.restore_one(i, scratch_[i], sink_)) {
+            result.termination = ExploreResult::Termination::kError;
+            return Expand::kStop;
+          }
+          stale_[i] = 0;  // Seated on the base state again.
         }
       }
       const EventChoice& choice = alphabet[action];
+      // Plan-table pruning: a compiled engine proves in O(1) that this
+      // event cannot fire, defer, or drain anything here, so the edge is a
+      // self-loop — count it without delivering. The error channel is never
+      // pruned (an unhandled error is an observable delta), and engines
+      // without plan tables answer the conservative `true`.
+      if (!choice.is_error && !network_.instance(choice.instance).can_react(choice.event)) {
+        ++stats_.transitions;
+        store_.note_revisit();
+        continue;
+      }
       network_.deliver(choice, deltas_, &touched_);
-      stale_ = touched_;
       ++stats_.transitions;
       bool fired = false;
       for (const StepDelta& delta : deltas_) fired |= delta.transitions_fired != 0;
@@ -284,16 +303,31 @@ class Explorer {
         return Expand::kStop;
       }
 
+      // A touched instance whose fresh segment still matches the base is
+      // not stale: its execution state (modulo the monotonic counters,
+      // which the encoding deliberately excludes) is unchanged, so the
+      // restore before the next delivery can be skipped. If no instance
+      // changed, the successor IS the expanded state — count the revisit
+      // without re-hashing the encoding.
       successor_.assign(header_);
+      bool any_segment_changed = false;
       for (std::size_t i = 0; i < scratch_.size(); ++i) {
         if (touched_[i] != 0) {
           segment_.clear();
           network_.instance(i).capture_into(capture_scratch_);
           encode_snapshot(capture_scratch_, segment_);
+          const bool segment_changed = segment_ != segments_[i];
+          stale_[i] = segment_changed ? 1 : 0;
+          any_segment_changed |= segment_changed;
           successor_.append(segment_);
         } else {
+          stale_[i] = 0;
           successor_.append(segments_[i]);
         }
+      }
+      if (!any_segment_changed) {
+        store_.note_revisit();
+        continue;
       }
       const StateStore::InsertResult inserted = store_.insert(successor_, id, action);
       switch (inserted.status) {
@@ -407,12 +441,16 @@ class Explorer {
   const ExploreOptions& options_;
   support::DiagnosticSink& sink_;
   StateStore store_;
-  std::deque<std::uint32_t> frontier_;
+  /// BFS consumes from frontier_head_ and compacts lazily; DFS pops the
+  /// back. A vector beats std::deque here: no per-explore chunk allocation.
+  std::vector<std::uint32_t> frontier_;
+  std::size_t frontier_head_ = 0;
   // Reused expansion scratch: decoded base state, its per-instance encoding
   // segments, per-step touched/stale masks and encoding buffers. Kept as
   // members so steady-state expansion does not allocate.
   std::vector<statechart::InstanceSnapshot> scratch_;
   std::vector<std::string> segments_;
+  std::vector<std::pair<std::size_t, std::size_t>> segment_spans_;
   std::vector<std::uint8_t> touched_;
   std::vector<std::uint8_t> stale_;
   std::vector<StepDelta> deltas_;

@@ -18,7 +18,7 @@
 #include <string>
 #include <vector>
 
-#include "statechart/interpreter.hpp"
+#include "statechart/engine.hpp"
 #include "support/diagnostics.hpp"
 #include "verify/property.hpp"
 #include "verify/statespace.hpp"
@@ -43,7 +43,7 @@ class Network {
  public:
   /// Registers a started-or-startable instance under a unique name; the
   /// instance must outlive the network. Returns its index.
-  std::size_t add_instance(std::string name, statechart::StateMachineInstance& instance);
+  std::size_t add_instance(std::string name, statechart::Engine& instance);
 
   /// Adds an alphabet entry for the named instance.
   void add_choice(std::string_view instance_name, statechart::Event event,
@@ -53,11 +53,11 @@ class Network {
   [[nodiscard]] const std::string& name(std::size_t index) const {
     return entries_[index].name;
   }
-  [[nodiscard]] statechart::StateMachineInstance& instance(std::size_t index) const {
+  [[nodiscard]] statechart::Engine& instance(std::size_t index) const {
     return *entries_[index].instance;
   }
   /// Instance registered under `name`, or nullptr.
-  [[nodiscard]] statechart::StateMachineInstance* find(std::string_view name) const;
+  [[nodiscard]] statechart::Engine* find(std::string_view name) const;
 
   [[nodiscard]] const std::vector<EventChoice>& alphabet() const { return alphabet_; }
 
@@ -99,7 +99,7 @@ class Network {
  private:
   struct InstanceEntry {
     std::string name;
-    statechart::StateMachineInstance* instance = nullptr;
+    statechart::Engine* instance = nullptr;
   };
 
   std::vector<InstanceEntry> entries_;

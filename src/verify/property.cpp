@@ -21,7 +21,7 @@ Property Property::never_in(const std::string& instance_name, const std::string&
       name, Kind::kState,
       [instance_name, state_name](const PropertyContext& context)
           -> std::optional<std::string> {
-        const statechart::StateMachineInstance* instance =
+        const statechart::Engine* instance =
             context.network.find(instance_name);
         if (instance == nullptr) {
           return "property references unknown instance '" + instance_name + "'";
@@ -52,7 +52,7 @@ Property Property::deadlock_free(std::function<bool(const PropertyContext&)> acc
   if (accepting == nullptr) {
     accepting = [](const PropertyContext& context) {
       for (std::size_t i = 0; i < context.network.size(); ++i) {
-        const statechart::StateMachineInstance& instance = context.network.instance(i);
+        const statechart::Engine& instance = context.network.instance(i);
         if (!instance.started()) continue;
         if (!instance.is_terminated() && !instance.is_in_final_state()) return false;
       }
@@ -65,7 +65,7 @@ Property Property::deadlock_free(std::function<bool(const PropertyContext&)> acc
                     if (accepting(context)) return std::nullopt;
                     std::string waiting;
                     for (std::size_t i = 0; i < context.network.size(); ++i) {
-                      const statechart::StateMachineInstance& instance =
+                      const statechart::Engine& instance =
                           context.network.instance(i);
                       if (instance.is_terminated() || instance.is_in_final_state()) continue;
                       if (!waiting.empty()) waiting += ", ";

@@ -1,6 +1,7 @@
 #include "verify/statespace.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 
 namespace umlsoc::verify {
@@ -18,12 +19,28 @@ std::uint64_t fnv1a(std::string_view bytes) {
 
 namespace {
 
+// The format is little-endian; on LE hosts the fields memcpy straight in,
+// the byte loops are the big-endian fallback. The writers sit on the
+// explorer's per-edge path (every successor is re-encoded), so they are
+// worth the branch.
 void put_u32(std::string& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  if constexpr (std::endian::native == std::endian::little) {
+    char bytes[4];
+    std::memcpy(bytes, &v, 4);
+    out.append(bytes, 4);
+  } else {
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
 }
 
 void put_u64(std::string& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  if constexpr (std::endian::native == std::endian::little) {
+    char bytes[8];
+    std::memcpy(bytes, &v, 8);
+    out.append(bytes, 8);
+  } else {
+    for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
 }
 
 void put_str(std::string& out, const std::string& s) {
@@ -45,9 +62,13 @@ struct Reader {
 
   bool take_u32(std::uint32_t& out) {
     if (!ok || data.size() - pos < 4) return fail();
-    out = 0;
-    for (int i = 0; i < 4; ++i) {
-      out |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(data[pos + i])) << (8 * i);
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(&out, data.data() + pos, 4);
+    } else {
+      out = 0;
+      for (int i = 0; i < 4; ++i) {
+        out |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(data[pos + i])) << (8 * i);
+      }
     }
     pos += 4;
     return true;
@@ -55,9 +76,13 @@ struct Reader {
 
   bool take_u64(std::uint64_t& out) {
     if (!ok || data.size() - pos < 8) return fail();
-    out = 0;
-    for (int i = 0; i < 8; ++i) {
-      out |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(data[pos + i])) << (8 * i);
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(&out, data.data() + pos, 8);
+    } else {
+      out = 0;
+      for (int i = 0; i < 8; ++i) {
+        out |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(data[pos + i])) << (8 * i);
+      }
     }
     pos += 8;
     return true;
@@ -96,6 +121,13 @@ bool decode_snapshot(Reader& reader, statechart::InstanceSnapshot& out) {
   if (!reader.take_u32(flags) || (flags & ~3u) != 0) return reader.fail();
   out.started = (flags & 1u) != 0;
   out.terminated = (flags & 2u) != 0;
+  // Counters are not part of the encoding; the contract is that decoded
+  // snapshots carry zeros (decode targets are reused as scratch, so the
+  // previous decode's values would leak through otherwise).
+  out.events_processed = 0;
+  out.transitions_fired = 0;
+  out.errors_raised = 0;
+  out.errors_unhandled = 0;
 
   std::uint32_t count = 0;
   if (!reader.take_u32(count) || !plausible_count(reader, count)) return reader.fail();
@@ -190,13 +222,20 @@ std::string encode_network(const std::vector<statechart::InstanceSnapshot>& snap
 }
 
 bool decode_network(std::string_view encoding,
-                    std::vector<statechart::InstanceSnapshot>& out) {
+                    std::vector<statechart::InstanceSnapshot>& out,
+                    std::vector<std::pair<std::size_t, std::size_t>>* segments) {
   Reader reader{encoding};
   std::uint32_t count = 0;
   if (!reader.take_u32(count) || !plausible_count(reader, count)) return false;
-  out.assign(count, statechart::InstanceSnapshot{});
-  for (statechart::InstanceSnapshot& snapshot : out) {
-    if (!decode_snapshot(reader, snapshot)) return false;
+  // resize, not assign: decode_snapshot overwrites every field, and keeping
+  // the inner vectors' capacity spares the explorer an allocation storm when
+  // it re-decodes its scratch snapshots on every expansion.
+  out.resize(count);
+  if (segments != nullptr) segments->resize(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::size_t begin = reader.pos;
+    if (!decode_snapshot(reader, out[i])) return false;
+    if (segments != nullptr) (*segments)[i] = {begin, reader.pos - begin};
   }
   return reader.ok && reader.pos == encoding.size();
 }
@@ -210,6 +249,20 @@ constexpr std::size_t kInitialSlots = 1024;  // Power of two.
 StateStore::StateStore() : StateStore(Config{}) {}
 
 StateStore::StateStore(Config config) : config_(config) {
+  // Target slot count for the state count the budget can plausibly hold
+  // (conservatively ~64 arena+entry bytes per state, target load ~0.75),
+  // capping the table at 1/8 of the budget. Small explorations never pay
+  // for it: the table starts at kInitialSlots, and the first growth jumps
+  // straight to the target, so a budget-sized search rehashes exactly once
+  // instead of through the doubling cascade that showed up as latency
+  // spikes in E14 at N=4.
+  const std::size_t budget_states = config_.memory_budget_bytes / 64;
+  reserve_target_slots_ = kInitialSlots;
+  while (reserve_target_slots_ < budget_states + budget_states / 3 &&
+         reserve_target_slots_ * 2 * sizeof(std::uint32_t) <=
+             config_.memory_budget_bytes / 8) {
+    reserve_target_slots_ *= 2;
+  }
   slots_.assign(kInitialSlots, kNoState);
 }
 
@@ -219,7 +272,7 @@ std::size_t StateStore::bytes_used() const {
 }
 
 bool StateStore::grow_slots() {
-  const std::size_t new_size = slots_.size() * 2;
+  const std::size_t new_size = std::max(slots_.size() * 2, reserve_target_slots_);
   const std::size_t projected = arena_.capacity() + entries_.capacity() * sizeof(Entry) +
                                 new_size * sizeof(std::uint32_t);
   if (projected > config_.memory_budget_bytes) return false;

@@ -24,9 +24,10 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
-#include "statechart/interpreter.hpp"
+#include "statechart/engine.hpp"
 
 namespace umlsoc::verify {
 
@@ -48,9 +49,13 @@ void encode_snapshot(const statechart::InstanceSnapshot& snapshot, std::string& 
 
 /// Inverse of encode_network. Returns false (leaving `out` unspecified) on
 /// a malformed encoding: truncation, trailing bytes, or counts that do not
-/// match the payload. Counters in the decoded snapshots are zero.
-[[nodiscard]] bool decode_network(std::string_view encoding,
-                                  std::vector<statechart::InstanceSnapshot>& out);
+/// match the payload. Counters in the decoded snapshots are zero. When
+/// `segments` is non-null it receives each instance's (offset, length) byte
+/// span within `encoding` — the explorer splices successor encodings from
+/// these spans instead of re-encoding untouched instances.
+[[nodiscard]] bool decode_network(
+    std::string_view encoding, std::vector<statechart::InstanceSnapshot>& out,
+    std::vector<std::pair<std::size_t, std::size_t>>* segments = nullptr);
 
 /// Visited-state set with parent/action metadata for counterexample
 /// reconstruction. States are dense ids in insertion order (the BFS/DFS
@@ -92,6 +97,10 @@ class StateStore {
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] std::uint64_t revisits() const { return revisits_; }
+  /// Counts an edge the caller proved lands on an already-stored state
+  /// (successor encoding identical to its expanded base), sparing the
+  /// hash-and-probe of a full insert.
+  void note_revisit() { ++revisits_; }
   /// Fingerprint-equal, encoding-distinct pairs observed during probes.
   [[nodiscard]] std::uint64_t fingerprint_collisions() const { return collisions_; }
   [[nodiscard]] std::size_t bytes_used() const;
@@ -125,6 +134,9 @@ class StateStore {
   std::string arena_;                ///< Concatenated encodings.
   std::vector<Entry> entries_;       ///< Dense, id-indexed.
   std::vector<std::uint32_t> slots_; ///< Open addressing: id or kNoState.
+  /// Budget-derived slot count the first growth jumps to (single rehash
+  /// instead of a doubling cascade); small searches never reach it.
+  std::size_t reserve_target_slots_ = 0;
   std::uint64_t revisits_ = 0;
   std::uint64_t collisions_ = 0;
 };

@@ -376,6 +376,32 @@ TEST(SwCodegen, GenerateSwClass) {
   EXPECT_TRUE(check_cpp_structure(text, structure_sink)) << structure_sink.str();
 }
 
+TEST(SwCodegen, StatechartPlanTablesAsStaticData) {
+  auto machine = statechart::make_nested_machine(3, 2);
+  support::DiagnosticSink sink;
+  auto compiled = statechart::compile(*machine, sink);
+  ASSERT_NE(compiled, nullptr) << sink.str();
+
+  const std::string text = generate_statechart_tables(*compiled, "nested");
+  expect_contains(text, "namespace nested_tables {");
+  expect_contains(text, "inline constexpr std::uint32_t kWords = 1;");
+  expect_contains(text, "inline constexpr const char* kEvents[]");
+  expect_contains(text, "\"step\"");
+  expect_contains(text, "\"reset\"");
+  expect_contains(text, "inline constexpr Step kSteps[]");
+  expect_contains(text, "Op::kEnterState");
+  expect_contains(text, "Op::kExitState");
+  expect_contains(text, "inline constexpr Plan kPlans[]");
+  expect_contains(text, "inline constexpr Candidate kCandidates[]");
+  expect_contains(text, "inline constexpr std::uint64_t kClaims[]");
+  expect_contains(text, "kConfigOffsets");
+  // Table sizes in the generated text match the compiled machine.
+  expect_contains(text, std::to_string(compiled->configuration_count()) + " configurations");
+  expect_contains(text, std::to_string(compiled->plan_table().size()) + " plans");
+  support::DiagnosticSink structure_sink;
+  EXPECT_TRUE(check_cpp_structure(text, structure_sink)) << structure_sink.str();
+}
+
 // --- Runtime HW model + SW bridge ---------------------------------------------------------
 
 TEST(HwModel, RegisterFileSemantics) {

@@ -56,6 +56,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 
 #include "codegen/hwmodel.hpp"
@@ -65,6 +67,7 @@
 #include "codegen/systemc.hpp"
 #include "mda/transform.hpp"
 #include "replay/snapshot.hpp"
+#include "replay/store.hpp"
 #include "sim/fault.hpp"
 #include "sim/replay.hpp"
 #include "sim/supervise.hpp"
@@ -611,13 +614,80 @@ int run_degraded_demo(const uml::Component& psm_uart, const soc::SocProfile& pro
   return 0;
 }
 
+/// Verifies a replayed twin against the reference run: recorded-event
+/// divergence, counter-by-counter final state, health/supervision end
+/// checks. Returns an empty string on success.
+std::string compare_final_state(DegradedRig& reference, DegradedRig& twin,
+                                const char* leg) {
+  if (twin.recorder.divergence().has_value()) {
+    return std::string(leg) + " replay divergence: " + twin.recorder.divergence()->str();
+  }
+  struct Check {
+    const char* label;
+    std::uint64_t reference;
+    std::uint64_t twin;
+  };
+  const Check checks[] = {
+      {"sim-time", reference.kernel.now().picoseconds(), twin.kernel.now().picoseconds()},
+      {"events-processed", reference.kernel.events_processed(),
+       twin.kernel.events_processed()},
+      {"recorded-events", reference.recorder.total_events(), twin.recorder.total_events()},
+      {"tx_data", reference.uart.peek("tx_data"), twin.uart.peek("tx_data")},
+      {"delivered", reference.delivered, twin.delivered},
+      {"lost", reference.lost, twin.lost},
+      {"via-pio", reference.via_pio, twin.via_pio},
+      {"breaker-opens", reference.breaker.stats().opens, twin.breaker.stats().opens},
+      {"restarts", reference.sup.child_stats(reference.link_child).restarts,
+       twin.sup.child_stats(twin.link_child).restarts},
+  };
+  for (const Check& check : checks) {
+    if (check.reference != check.twin) {
+      return std::string(leg) + " " + check.label +
+             " mismatch: reference=" + std::to_string(check.reference) +
+             " got=" + std::to_string(check.twin);
+    }
+  }
+  if (!twin.health.all_healthy()) {
+    return std::string(leg) + " ended unhealthy: " + twin.health.str();
+  }
+  if (twin.link->errors_unhandled() != 0) {
+    return std::string(leg) + " left unhandled errors";
+  }
+  if (twin.sup.gave_up()) {
+    return std::string(leg) + " supervisor gave up: " + twin.sup.give_up_reason();
+  }
+  return {};
+}
+
+/// Aggregated checkpoint-path accounting across every soak leg, printed at
+/// the end of --chaos-soak.
+struct SoakCheckpointTotals {
+  sim::Kernel::SnapshotStats snapshot;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t write_faults = 0;
+  std::uint64_t quarantines = 0;
+  std::uint64_t ladder_recoveries = 0;
+
+  void add(const sim::Kernel::SnapshotStats& stats) {
+    snapshot.encodes += stats.encodes;
+    snapshot.restores += stats.restores;
+    snapshot.bytes_written += stats.bytes_written;
+    snapshot.sections_dirty += stats.sections_dirty;
+    snapshot.sections_total += stats.sections_total;
+    snapshot.encode_wall_ns += stats.encode_wall_ns;
+    snapshot.restore_wall_ns += stats.restore_wall_ns;
+  }
+};
+
 /// One chaos-soak seed: reference run, checkpointed twin, restored twin
-/// under the replay verifier. Returns an empty string on success, else the
-/// failure description.
+/// under the replay verifier, then a recovery-ladder leg whose on-disk
+/// checkpoints take injected write faults plus a crash-style tear of the
+/// newest file. Returns an empty string on success, else the failure
+/// description.
 std::string soak_one_seed(const uml::Component& psm_uart, const soc::SocProfile& profile,
                           const statechart::StateMachine& link_machine,
                           std::uint64_t base, const TrafficFaults& faults,
-                          std::uint64_t seed) {
+                          std::uint64_t seed, SoakCheckpointTotals& totals) {
   support::DiagnosticSink sink;
 
   DegradedRig reference(psm_uart, profile, link_machine, base, faults, seed, sink);
@@ -650,43 +720,107 @@ std::string soak_one_seed(const uml::Component& psm_uart, const soc::SocProfile&
   if (!run_recovery_tail(restored)) return "restored rig never recovered";
   finish_run(restored);
 
-  if (restored.recorder.divergence().has_value()) {
-    return "replay divergence: " + restored.recorder.divergence()->str();
+  if (const std::string problem = compare_final_state(reference, restored, "restored");
+      !problem.empty()) {
+    return problem;
   }
-  struct Check {
-    const char* label;
-    std::uint64_t reference;
-    std::uint64_t restored;
-  };
-  const Check checks[] = {
-      {"sim-time", reference.kernel.now().picoseconds(),
-       restored.kernel.now().picoseconds()},
-      {"events-processed", reference.kernel.events_processed(),
-       restored.kernel.events_processed()},
-      {"recorded-events", reference.recorder.total_events(),
-       restored.recorder.total_events()},
-      {"tx_data", reference.uart.peek("tx_data"), restored.uart.peek("tx_data")},
-      {"delivered", reference.delivered, restored.delivered},
-      {"lost", reference.lost, restored.lost},
-      {"via-pio", reference.via_pio, restored.via_pio},
-      {"breaker-opens", reference.breaker.stats().opens, restored.breaker.stats().opens},
-      {"restarts", reference.sup.child_stats(reference.link_child).restarts,
-       restored.sup.child_stats(restored.link_child).restarts},
-  };
-  for (const Check& check : checks) {
-    if (check.reference != check.restored) {
-      return std::string(check.label) + " mismatch: reference=" +
-             std::to_string(check.reference) +
-             " restored=" + std::to_string(check.restored);
-    }
+
+  // --- Recovery-ladder leg ---------------------------------------------------
+  // The same script once more, but checkpoints stream to an on-disk
+  // CheckpointStore while a corruption plan injects checkpoint-path faults
+  // (torn files, lost renames, bit-flips) at FaultSite::kCheckpoint. The
+  // corruption plan is deliberately NOT a snapshot target, so the rig's own
+  // determinism is unperturbed. After the run the newest checkpoint is torn
+  // in half, crash-style; restore_latest_good must still find a good rung
+  // and the recovered rig must replay bit-identically to the reference.
+  namespace fs = std::filesystem;
+  const fs::path ladder_dir =
+      fs::path("chaos-soak-ckpt") / ("seed-" + std::to_string(seed));
+  std::error_code cleanup_ec;
+  fs::remove_all(ladder_dir, cleanup_ec);
+  replay::CheckpointStoreConfig store_config;
+  store_config.directory = ladder_dir;
+  store_config.prefix = "soak";
+  store_config.full_interval = 2;
+  store_config.keep_fulls = 2;
+
+  DegradedRig ladder(psm_uart, profile, link_machine, base, faults, seed, sink);
+  replay::CheckpointStore store(store_config);
+  sim::HealthRegistry store_health;  // The store's own registry, not a snapshot section.
+  store.bind_health(store_health);
+  sim::FaultPlan corruption(seed ^ 0xC0FFEEULL);
+  sim::FaultPlan::SiteConfig checkpoint_faults;
+  checkpoint_faults.error_rate = 0.2;
+  checkpoint_faults.drop_rate = 0.2;
+  checkpoint_faults.bit_flip_rate = 0.2;
+  corruption.configure(sim::FaultSite::kCheckpoint, checkpoint_faults);
+
+  replay::CheckpointStore::WriteResult write_result;
+  support::DiagnosticSink store_sink;
+  if (!run_phase(ladder, 32)) return "ladder rig stalled in phase 1";
+  if (!run_to_save_point(ladder, nullptr)) return "ladder rig found no save point";
+  // The first checkpoint lands before the faults arm: a good base is
+  // guaranteed, so every seed can recover no matter what the dice do later.
+  if (!store.checkpoint(ladder.targets(), write_result, store_sink)) {
+    return "clean base checkpoint failed: " + store_sink.str();
   }
-  if (!restored.health.all_healthy()) {
-    return "restored ended unhealthy: " + restored.health.str();
+  store.install_fault_plan(&corruption);
+  if (!run_phase(ladder, 64)) return "ladder rig stalled in phase 2";
+  // Mid-script checkpoints only land when the rig happens to be
+  // checkpointable (no in-flight retry expectation); a refusal just means
+  // fewer rungs. Capture has no simulation side effects, so the ladder rig
+  // stays on the reference timeline either way.
+  (void)store.checkpoint(ladder.targets(), write_result, store_sink);
+  if (!run_recovery_tail(ladder)) return "ladder rig never recovered";
+  (void)store.checkpoint(ladder.targets(), write_result, store_sink);
+  finish_run(ladder);
+
+  // Crash-style corruption of the newest surviving checkpoint. Skipped when
+  // only the clean base landed: tearing the sole rung would make recovery
+  // impossible by construction, not by bug.
+  std::vector<fs::path> rungs;
+  for (const auto& entry : fs::directory_iterator(ladder_dir)) {
+    if (entry.path().extension() == ".usnap") rungs.push_back(entry.path());
   }
-  if (restored.link->errors_unhandled() != 0) return "restored left unhandled errors";
-  if (restored.sup.gave_up()) {
-    return "restored supervisor gave up: " + restored.sup.give_up_reason();
+  std::sort(rungs.begin(), rungs.end());  // Zero-padded names: seq order.
+  if (rungs.size() > 1) {
+    std::ifstream in(rungs.back(), std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    bytes.resize(bytes.size() / 2);
+    std::ofstream torn(rungs.back(), std::ios::binary | std::ios::trunc);
+    torn.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   }
+
+  DegradedRig recovered(psm_uart, profile, link_machine, base, faults, seed, sink);
+  replay::CheckpointStore recovery(store_config);
+  support::DiagnosticSink recover_sink;
+  if (!recovery.restore_latest_good(recovered.targets(), recover_sink)) {
+    return "recovery ladder exhausted: " + recover_sink.str();
+  }
+  recovered.recorder.begin_verify(reference_log, recovered.recorder.total_events());
+  // Replay the whole script: phases the restored rung already completed
+  // return immediately, the rest continues on the reference timeline.
+  if (!run_phase(recovered, 32)) return "recovered rig stalled in phase 1";
+  if (!run_phase(recovered, 64)) return "recovered rig stalled in phase 2";
+  if (!run_recovery_tail(recovered)) return "recovered rig never recovered";
+  finish_run(recovered);
+  if (const std::string problem = compare_final_state(reference, recovered, "ladder");
+      !problem.empty()) {
+    return problem;
+  }
+
+  totals.checkpoints += store.stats().checkpoints;
+  totals.write_faults += store.stats().write_faults;
+  totals.quarantines += recovery.stats().quarantines;
+  ++totals.ladder_recoveries;
+  totals.add(checkpointed.kernel.stats().snapshot);
+  totals.add(restored.kernel.stats().snapshot);
+  totals.add(ladder.kernel.stats().snapshot);
+  totals.add(recovered.kernel.stats().snapshot);
+  fs::remove_all(ladder_dir, cleanup_ec);
+
   if (sink.has_errors()) return "diagnostics: " + sink.str();
   return {};
 }
@@ -701,13 +835,15 @@ int run_chaos_soak(const uml::Component& psm_uart, const soc::SocProfile& profil
   TrafficFaults faults;
   faults.error_rate = 0.01;
   faults.drop_rate = 0.01;
-  std::printf("chaos soak: %d seeds, 1%% error + 1%% drop on bus writes, %s link engine\n",
+  std::printf("chaos soak: %d seeds, 1%% error + 1%% drop on bus writes, "
+              "20%%/20%%/20%% torn/lost/bit-flipped checkpoints, %s link engine\n",
               seed_count, engine_label());
+  SoakCheckpointTotals totals;
   std::vector<unsigned long long> failed;
   for (int i = 0; i < seed_count; ++i) {
     const std::uint64_t seed = 1000 + static_cast<std::uint64_t>(i);
     const std::string problem =
-        soak_one_seed(psm_uart, profile, link_machine, base, faults, seed);
+        soak_one_seed(psm_uart, profile, link_machine, base, faults, seed, totals);
     if (problem.empty()) {
       std::printf("  seed %llu: ok\n", static_cast<unsigned long long>(seed));
     } else {
@@ -724,6 +860,21 @@ int run_chaos_soak(const uml::Component& psm_uart, const soc::SocProfile& profil
   }
   std::printf("chaos soak: all %d seeds recovered and replayed bit-identically\n",
               seed_count);
+  std::printf("snapshot stats: %llu encodes (%llu bytes, %llu/%llu sections dirty, "
+              "%.2f ms), %llu restores (%.2f ms)\n",
+              static_cast<unsigned long long>(totals.snapshot.encodes),
+              static_cast<unsigned long long>(totals.snapshot.bytes_written),
+              static_cast<unsigned long long>(totals.snapshot.sections_dirty),
+              static_cast<unsigned long long>(totals.snapshot.sections_total),
+              static_cast<double>(totals.snapshot.encode_wall_ns) / 1e6,
+              static_cast<unsigned long long>(totals.snapshot.restores),
+              static_cast<double>(totals.snapshot.restore_wall_ns) / 1e6);
+  std::printf("recovery ladder: %llu checkpoints written, %llu injected write faults, "
+              "%llu rungs quarantined, %llu/%d seeds recovered via restore_latest_good\n",
+              static_cast<unsigned long long>(totals.checkpoints),
+              static_cast<unsigned long long>(totals.write_faults),
+              static_cast<unsigned long long>(totals.quarantines),
+              static_cast<unsigned long long>(totals.ladder_recoveries), seed_count);
   return 0;
 }
 

@@ -1,6 +1,7 @@
 #include "replay/snapshot.hpp"
 
 #include <charconv>
+#include <chrono>
 #include <map>
 #include <memory>
 
@@ -12,24 +13,54 @@ namespace {
 
 constexpr std::string_view kRootName = "umlsoc-snapshot";
 
-// --- checksum ----------------------------------------------------------------
+// --- checksums ---------------------------------------------------------------
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
 
 /// FNV-1a over the canonical serialization of the root's children. The xmi
 /// writer is canonical (attribute insertion order preserved, fixed indent,
 /// whitespace-only text dropped by the parser), so parse + re-serialize
 /// reproduces the hashed bytes exactly and any corruption of the stored
 /// content shows up as a mismatch.
-std::uint64_t fnv1a(std::string_view data, std::uint64_t hash = 1469598103934665603ULL) {
+std::uint64_t fnv1a(std::string_view data, std::uint64_t hash = kFnvOffset) {
   for (unsigned char c : data) {
     hash ^= c;
-    hash *= 1099511628211ULL;
+    hash *= kFnvPrime;
   }
   return hash;
 }
 
 std::uint64_t content_checksum(const xmi::XmlNode& root) {
-  std::uint64_t hash = 1469598103934665603ULL;
+  std::uint64_t hash = kFnvOffset;
   for (const auto& child : root.children()) hash = fnv1a(child->str(1), hash);
+  return hash;
+}
+
+/// Structural hash of one section subtree, excluding the section's own
+/// top-level "checksum" attribute (absent at save time, present at restore
+/// time — both sides hash the same content). Separator bytes keep field
+/// boundaries from aliasing.
+void hash_node_into(const xmi::XmlNode& node, std::uint64_t& hash, bool skip_checksum_attr) {
+  hash = fnv1a(node.name(), hash);
+  for (const auto& [key, value] : node.attributes()) {
+    if (skip_checksum_attr && key == "checksum") continue;
+    hash = fnv1a("\x01", hash);
+    hash = fnv1a(key, hash);
+    hash = fnv1a("\x02", hash);
+    hash = fnv1a(value, hash);
+  }
+  hash = fnv1a("\x03", hash);
+  hash = fnv1a(node.text(), hash);
+  for (const auto& child : node.children()) {
+    hash = fnv1a("\x04", hash);
+    hash_node_into(*child, hash, false);
+  }
+}
+
+std::uint64_t section_checksum(const xmi::XmlNode& section) {
+  std::uint64_t hash = kFnvOffset;
+  hash_node_into(section, hash, true);
   return hash;
 }
 
@@ -41,6 +72,19 @@ std::string to_hex(std::uint64_t value) {
   }
   buffer[16] = '\0';
   return std::string(buffer);
+}
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now() - since)
+                                        .count());
+}
+
+/// "<machine name='link'>" — how diagnostics refer to one section.
+std::string describe_section(const xmi::XmlNode& node) {
+  const std::string* name = node.attribute("name");
+  if (name == nullptr) return "<" + node.name() + ">";
+  return "<" + node.name() + " name='" + *name + "'>";
 }
 
 // --- strict attribute readers ------------------------------------------------
@@ -100,23 +144,25 @@ bool read_string(const xmi::XmlNode& node, std::string_view key, std::string& ou
 
 std::string bool_str(bool value) { return value ? "1" : "0"; }
 
-// --- section writers ---------------------------------------------------------
+// --- section writers (image -> XML nodes) ------------------------------------
 
-void write_kernel(xmi::XmlNode& root, const sim::Kernel& kernel,
-                  const sim::Kernel::Checkpoint& checkpoint) {
+void write_kernel(xmi::XmlNode& root, const SnapshotImage& image) {
+  const sim::Kernel::Checkpoint& checkpoint = image.kernel;
   xmi::XmlNode& node = root.add_child("kernel");
   node.set_attribute("now-ps", std::to_string(checkpoint.now_ps));
   node.set_attribute("sequence", std::to_string(checkpoint.sequence));
   node.set_attribute("delta-count", std::to_string(checkpoint.delta_count));
   node.set_attribute("events-processed", std::to_string(checkpoint.events_processed));
   node.set_attribute("process-count", std::to_string(checkpoint.process_count));
-  for (const auto& timed : checkpoint.timed) {
+  for (std::size_t i = 0; i < checkpoint.timed.size(); ++i) {
+    const auto& timed = checkpoint.timed[i];
     xmi::XmlNode& entry = node.add_child("timed");
     entry.set_attribute("at-ps", std::to_string(timed.at_ps));
     entry.set_attribute("seq", std::to_string(timed.sequence));
     entry.set_attribute("process", std::to_string(timed.process));
-    const std::string& label = kernel.process_label(timed.process);
-    if (!label.empty()) entry.set_attribute("label", label);
+    if (i < image.kernel_timed_labels.size() && !image.kernel_timed_labels[i].empty()) {
+      entry.set_attribute("label", image.kernel_timed_labels[i]);
+    }
   }
   for (const auto& expectation : checkpoint.expectations) {
     xmi::XmlNode& entry = node.add_child("expectation");
@@ -125,12 +171,10 @@ void write_kernel(xmi::XmlNode& root, const sim::Kernel& kernel,
   }
 }
 
-void write_fault_plan(xmi::XmlNode& root, const sim::FaultPlan& plan) {
+void write_fault_plan(xmi::XmlNode& root, const SnapshotImage::FaultPlanState& plan) {
   xmi::XmlNode& node = root.add_child("fault-plan");
-  node.set_attribute("seed", std::to_string(plan.seed()));
-  for (std::size_t i = 0; i < sim::kFaultSiteCount; ++i) {
-    const auto site = static_cast<sim::FaultSite>(i);
-    const sim::FaultPlan::SiteState state = plan.site_state(site);
+  node.set_attribute("seed", std::to_string(plan.seed));
+  for (const auto& [site, state] : plan.sites) {
     xmi::XmlNode& entry = node.add_child("site");
     entry.set_attribute("name", std::string(sim::to_string(site)));
     entry.set_attribute("rng-state", std::to_string(state.rng_state));
@@ -143,10 +187,10 @@ void write_fault_plan(xmi::XmlNode& root, const sim::FaultPlan& plan) {
   }
 }
 
-void write_recorder(xmi::XmlNode& root, const sim::EventRecorder& recorder) {
+void write_recorder(xmi::XmlNode& root, const SnapshotImage::RecorderState& recorder) {
   xmi::XmlNode& node = root.add_child("recorder");
-  node.set_attribute("total", std::to_string(recorder.total_events()));
-  for (const sim::RecordedEvent& event : recorder.log()) {
+  node.set_attribute("total", std::to_string(recorder.total));
+  for (const sim::RecordedEvent& event : recorder.events) {
     xmi::XmlNode& entry = node.add_child("event");
     entry.set_attribute("at-ps", std::to_string(event.at_ps));
     entry.set_attribute("process", std::to_string(event.process));
@@ -163,10 +207,10 @@ void write_event_records(xmi::XmlNode& node, const char* element,
   }
 }
 
-void write_machine(xmi::XmlNode& root, const MachineTarget& target) {
-  const statechart::InstanceSnapshot snapshot = target.instance->capture();
+void write_machine(xmi::XmlNode& root, const std::string& name,
+                   const statechart::InstanceSnapshot& snapshot) {
   xmi::XmlNode& node = root.add_child("machine");
-  node.set_attribute("name", target.name);
+  node.set_attribute("name", name);
   node.set_attribute("started", bool_str(snapshot.started));
   node.set_attribute("terminated", bool_str(snapshot.terminated));
   node.set_attribute("events-processed", std::to_string(snapshot.events_processed));
@@ -191,19 +235,19 @@ void write_machine(xmi::XmlNode& root, const MachineTarget& target) {
       entry.add_child("leaf").set_attribute("index", std::to_string(leaf));
     }
   }
-  for (const auto& [name, value] : snapshot.variables) {
+  for (const auto& [var_name, value] : snapshot.variables) {
     xmi::XmlNode& entry = node.add_child("variable");
-    entry.set_attribute("name", name);
+    entry.set_attribute("name", var_name);
     entry.set_attribute("value", std::to_string(value));
   }
   write_event_records(node, "queued", snapshot.queue);
   write_event_records(node, "deferred", snapshot.deferred);
 }
 
-void write_bus(xmi::XmlNode& root, const BusTarget& target) {
-  const sim::MemoryMappedBus::Checkpoint checkpoint = target.bus->capture_checkpoint();
+void write_bus(xmi::XmlNode& root, const std::string& name,
+               const sim::MemoryMappedBus::Checkpoint& checkpoint) {
   xmi::XmlNode& node = root.add_child("bus");
-  node.set_attribute("name", target.name);
+  node.set_attribute("name", name);
   node.set_attribute("reads", std::to_string(checkpoint.stats.reads));
   node.set_attribute("writes", std::to_string(checkpoint.stats.writes));
   node.set_attribute("errors", std::to_string(checkpoint.stats.errors));
@@ -217,10 +261,10 @@ void write_bus(xmi::XmlNode& root, const BusTarget& target) {
   node.set_attribute("last-completion-ps", std::to_string(checkpoint.last_completion_ps));
 }
 
-void write_watchdog(xmi::XmlNode& root, const WatchdogTarget& target) {
-  const sim::Watchdog::Checkpoint checkpoint = target.watchdog->capture_checkpoint();
+void write_watchdog(xmi::XmlNode& root, const std::string& name,
+                    const sim::Watchdog::Checkpoint& checkpoint) {
   xmi::XmlNode& node = root.add_child("watchdog");
-  node.set_attribute("name", target.name);
+  node.set_attribute("name", name);
   node.set_attribute("armed", bool_str(checkpoint.armed));
   node.set_attribute("tripped", bool_str(checkpoint.tripped));
   node.set_attribute("check-pending", bool_str(checkpoint.check_pending));
@@ -229,10 +273,10 @@ void write_watchdog(xmi::XmlNode& root, const WatchdogTarget& target) {
   node.set_attribute("kicks", std::to_string(checkpoint.kicks));
 }
 
-void write_supervisor(xmi::XmlNode& root, const SupervisorTarget& target) {
-  const sim::Supervisor::Checkpoint checkpoint = target.supervisor->capture_checkpoint();
+void write_supervisor(xmi::XmlNode& root, const std::string& name,
+                      const sim::Supervisor::Checkpoint& checkpoint) {
   xmi::XmlNode& node = root.add_child("supervisor");
-  node.set_attribute("name", target.name);
+  node.set_attribute("name", name);
   node.set_attribute("suspended", bool_str(checkpoint.suspended));
   node.set_attribute("gave-up", bool_str(checkpoint.gave_up));
   node.set_attribute("give-up-reason", checkpoint.give_up_reason);
@@ -255,10 +299,10 @@ void write_supervisor(xmi::XmlNode& root, const SupervisorTarget& target) {
   }
 }
 
-void write_breaker(xmi::XmlNode& root, const BreakerTarget& target) {
-  const sim::CircuitBreaker::Checkpoint checkpoint = target.breaker->capture_checkpoint();
+void write_breaker(xmi::XmlNode& root, const std::string& name,
+                   const sim::CircuitBreaker::Checkpoint& checkpoint) {
   xmi::XmlNode& node = root.add_child("breaker");
-  node.set_attribute("name", target.name);
+  node.set_attribute("name", name);
   node.set_attribute("state", std::to_string(checkpoint.state));
   node.set_attribute("outcomes", std::to_string(checkpoint.outcomes));
   node.set_attribute("cursor", std::to_string(checkpoint.cursor));
@@ -278,20 +322,21 @@ void write_breaker(xmi::XmlNode& root, const BreakerTarget& target) {
   node.set_attribute("probe-failures", std::to_string(checkpoint.stats.probe_failures));
 }
 
-void write_health(xmi::XmlNode& root, const HealthTarget& target) {
-  const sim::HealthRegistry::Checkpoint checkpoint = target.registry->capture_checkpoint();
+void write_health(xmi::XmlNode& root, const std::string& name,
+                  const sim::HealthRegistry::Checkpoint& checkpoint) {
   xmi::XmlNode& node = root.add_child("health");
-  node.set_attribute("name", target.name);
+  node.set_attribute("name", name);
   node.set_attribute("transitions", std::to_string(checkpoint.transitions));
   for (std::uint8_t value : checkpoint.health) {
     node.add_child("unit").set_attribute("health", std::to_string(value));
   }
 }
 
-void write_bank(xmi::XmlNode& root, const ValueBank& bank) {
+void write_bank(xmi::XmlNode& root, const std::string& name,
+                const std::vector<std::pair<std::string, std::uint64_t>>& values) {
   xmi::XmlNode& node = root.add_child("bank");
-  node.set_attribute("name", bank.name);
-  for (const auto& [key, value] : bank.capture()) {
+  node.set_attribute("name", name);
+  for (const auto& [key, value] : values) {
     xmi::XmlNode& entry = node.add_child("value");
     entry.set_attribute("key", key);
     entry.set_attribute("value", std::to_string(value));
@@ -301,7 +346,7 @@ void write_bank(xmi::XmlNode& root, const ValueBank& bank) {
 // --- section readers (decode only, no targets touched) -----------------------
 
 bool read_kernel(const xmi::XmlNode& node, sim::Kernel::Checkpoint& out,
-                 support::DiagnosticSink& sink) {
+                 std::vector<std::string>& labels, support::DiagnosticSink& sink) {
   bool ok = read_integer(node, "now-ps", out.now_ps, sink);
   ok = read_integer(node, "sequence", out.sequence, sink) && ok;
   ok = read_integer(node, "delta-count", out.delta_count, sink) && ok;
@@ -314,6 +359,7 @@ bool read_kernel(const xmi::XmlNode& node, sim::Kernel::Checkpoint& out,
       ok = read_integer(*child, "seq", timed.sequence, sink) && ok;
       ok = read_integer(*child, "process", timed.process, sink) && ok;
       out.timed.push_back(timed);
+      labels.push_back(child->attribute_or("label", ""));
     } else if (child->name() == "expectation") {
       sim::Kernel::Checkpoint::ExpectationEntry entry;
       ok = read_string(*child, "label", entry.label, sink) && ok;
@@ -327,10 +373,9 @@ bool read_kernel(const xmi::XmlNode& node, sim::Kernel::Checkpoint& out,
   return ok;
 }
 
-bool read_fault_plan(const xmi::XmlNode& node, std::uint64_t& seed,
-                     std::vector<std::pair<sim::FaultSite, sim::FaultPlan::SiteState>>& sites,
+bool read_fault_plan(const xmi::XmlNode& node, SnapshotImage::FaultPlanState& out,
                      support::DiagnosticSink& sink) {
-  bool ok = read_integer(node, "seed", seed, sink);
+  bool ok = read_integer(node, "seed", out.seed, sink);
   for (const xmi::XmlNode* entry : node.children_named("site")) {
     std::string name;
     if (!read_string(*entry, "name", name, sink)) {
@@ -359,23 +404,23 @@ bool read_fault_plan(const xmi::XmlNode& node, std::uint64_t& seed,
     ok = read_integer(*entry, "delays", state.counters.delays, sink) && ok;
     ok = read_integer(*entry, "bit-flips", state.counters.bit_flips, sink) && ok;
     ok = read_integer(*entry, "glitches", state.counters.glitches, sink) && ok;
-    sites.emplace_back(site, state);
+    out.sites.emplace_back(site, state);
   }
   return ok;
 }
 
-bool read_recorder(const xmi::XmlNode& node, std::uint64_t& total,
-                   std::vector<sim::RecordedEvent>& events, support::DiagnosticSink& sink) {
-  bool ok = read_integer(node, "total", total, sink);
+bool read_recorder(const xmi::XmlNode& node, SnapshotImage::RecorderState& out,
+                   support::DiagnosticSink& sink) {
+  bool ok = read_integer(node, "total", out.total, sink);
   for (const xmi::XmlNode* entry : node.children_named("event")) {
     sim::RecordedEvent event;
     ok = read_integer(*entry, "at-ps", event.at_ps, sink) && ok;
     ok = read_integer(*entry, "process", event.process, sink) && ok;
-    events.push_back(event);
+    out.events.push_back(event);
   }
-  if (ok && events.size() > total) {
-    sink.error(subject_of(node), "log holds " + std::to_string(events.size()) +
-                                     " events but total says " + std::to_string(total));
+  if (ok && out.events.size() > out.total) {
+    sink.error(subject_of(node), "log holds " + std::to_string(out.events.size()) +
+                                     " events but total says " + std::to_string(out.total));
     ok = false;
   }
   return ok;
@@ -545,33 +590,35 @@ bool read_bank(const xmi::XmlNode& node,
   return ok;
 }
 
-/// Collects the document's sections of one element kind into a name->node
-/// map, then checks that map and the targets' names match one-to-one.
-template <typename Target>
-bool match_sections(const xmi::XmlNode& root, std::string_view element,
-                    const std::vector<Target>& targets,
-                    std::map<std::string, const xmi::XmlNode*>& out,
+/// Checks that the image's named sections of one kind and the targets' names
+/// match one-to-one. `order` receives, per target, the image index holding
+/// its section.
+template <typename Section, typename Target>
+bool match_sections(std::string_view element,
+                    const std::vector<SnapshotImage::Named<Section>>& sections,
+                    const std::vector<Target>& targets, std::vector<std::size_t>& order,
                     support::DiagnosticSink& sink) {
   bool ok = true;
-  for (const xmi::XmlNode* node : root.children_named(element)) {
-    std::string name;
-    if (!read_string(*node, "name", name, sink)) {
+  std::map<std::string, std::size_t> by_name;
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    if (!by_name.emplace(sections[i].name, i).second) {
+      sink.error("snapshot", "duplicate <" + std::string(element) + "> section '" +
+                                 sections[i].name + "'");
+      ok = false;
+    }
+  }
+  order.assign(targets.size(), 0);
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const auto it = by_name.find(targets[i].name);
+    if (it == by_name.end()) {
+      sink.error("snapshot",
+                 "no <" + std::string(element) + "> section named '" + targets[i].name + "'");
       ok = false;
       continue;
     }
-    if (!out.emplace(name, node).second) {
-      sink.error("snapshot", "duplicate <" + std::string(element) + "> section '" + name + "'");
-      ok = false;
-    }
+    order[i] = it->second;
   }
-  for (const Target& target : targets) {
-    if (out.find(target.name) == out.end()) {
-      sink.error("snapshot",
-                 "no <" + std::string(element) + "> section named '" + target.name + "'");
-      ok = false;
-    }
-  }
-  for (const auto& [name, node] : out) {
+  for (const auto& [name, index] : by_name) {
     bool registered = false;
     for (const Target& target : targets) registered = registered || target.name == name;
     if (!registered) {
@@ -585,17 +632,17 @@ bool match_sections(const xmi::XmlNode& root, std::string_view element,
 
 }  // namespace
 
-// --- save --------------------------------------------------------------------
+// --- capture -----------------------------------------------------------------
 
-bool save_snapshot(const SnapshotTargets& targets, std::string& out,
+bool capture_image(const SnapshotTargets& targets, SnapshotImage& image,
                    support::DiagnosticSink& sink) {
   if (targets.kernel == nullptr) {
     sink.error("snapshot", "no kernel target registered");
     return false;
   }
 
-  sim::Kernel::Checkpoint kernel_checkpoint;
-  if (!targets.kernel->capture_checkpoint(kernel_checkpoint, sink)) return false;
+  SnapshotImage out;
+  if (!targets.kernel->capture_checkpoint(out.kernel, sink)) return false;
 
   bool ok = true;
   for (const BusTarget& target : targets.buses) {
@@ -611,7 +658,7 @@ bool save_snapshot(const SnapshotTargets& targets, std::string& out,
   // supervisor's pending-restart queue in the supervisor section. Anything
   // else — an in-flight bus-port transaction, a custom expectation — holds
   // callbacks this format cannot serialize.
-  for (const auto& expectation : kernel_checkpoint.expectations) {
+  for (const auto& expectation : out.kernel.expectations) {
     if (expectation.outstanding == 0) continue;
     bool owned = false;
     for (const WatchdogTarget& target : targets.watchdogs) {
@@ -631,33 +678,77 @@ bool save_snapshot(const SnapshotTargets& targets, std::string& out,
   }
   if (!ok) return false;
 
-  xmi::XmlNode root{std::string(kRootName)};
-  write_kernel(root, *targets.kernel, kernel_checkpoint);
-  if (targets.fault_plan != nullptr) write_fault_plan(root, *targets.fault_plan);
-  if (targets.recorder != nullptr) write_recorder(root, *targets.recorder);
-  for (const MachineTarget& target : targets.machines) write_machine(root, target);
-  for (const BusTarget& target : targets.buses) write_bus(root, target);
-  for (const WatchdogTarget& target : targets.watchdogs) write_watchdog(root, target);
-  for (const SupervisorTarget& target : targets.supervisors) write_supervisor(root, target);
-  for (const BreakerTarget& target : targets.breakers) write_breaker(root, target);
-  for (const HealthTarget& target : targets.health) write_health(root, target);
-  for (const ValueBank& bank : targets.banks) write_bank(root, bank);
-
-  root.set_attribute("version", std::to_string(kSnapshotVersion));
-  root.set_attribute("checksum", to_hex(content_checksum(root)));
-  out = root.str();
+  out.kernel_timed_labels.reserve(out.kernel.timed.size());
+  for (const auto& timed : out.kernel.timed) {
+    out.kernel_timed_labels.push_back(targets.kernel->process_label(timed.process));
+  }
+  if (targets.fault_plan != nullptr) {
+    SnapshotImage::FaultPlanState plan;
+    plan.seed = targets.fault_plan->seed();
+    for (std::size_t i = 0; i < sim::kFaultSiteCount; ++i) {
+      const auto site = static_cast<sim::FaultSite>(i);
+      plan.sites.emplace_back(site, targets.fault_plan->site_state(site));
+    }
+    out.fault_plan = std::move(plan);
+  }
+  if (targets.recorder != nullptr) {
+    out.recorder = SnapshotImage::RecorderState{targets.recorder->total_events(),
+                                                targets.recorder->log()};
+  }
+  for (const MachineTarget& target : targets.machines) {
+    out.machines.push_back({target.name, target.instance->capture()});
+  }
+  for (const BusTarget& target : targets.buses) {
+    out.buses.push_back({target.name, target.bus->capture_checkpoint()});
+  }
+  for (const WatchdogTarget& target : targets.watchdogs) {
+    out.watchdogs.push_back({target.name, target.watchdog->capture_checkpoint()});
+  }
+  for (const SupervisorTarget& target : targets.supervisors) {
+    out.supervisors.push_back({target.name, target.supervisor->capture_checkpoint()});
+  }
+  for (const BreakerTarget& target : targets.breakers) {
+    out.breakers.push_back({target.name, target.breaker->capture_checkpoint()});
+  }
+  for (const HealthTarget& target : targets.health) {
+    out.health.push_back({target.name, target.registry->capture_checkpoint()});
+  }
+  for (const ValueBank& bank : targets.banks) {
+    out.banks.push_back({bank.name, bank.capture()});
+  }
+  image = std::move(out);
   return true;
 }
 
-// --- restore -----------------------------------------------------------------
+// --- XML encoding ------------------------------------------------------------
 
-bool restore_snapshot(const SnapshotTargets& targets, std::string_view input,
-                      support::DiagnosticSink& sink) {
-  if (targets.kernel == nullptr) {
-    sink.error("snapshot", "no kernel target registered");
-    return false;
+std::string image_to_xml(const SnapshotImage& image) {
+  xmi::XmlNode root{std::string(kRootName)};
+  write_kernel(root, image);
+  if (image.fault_plan) write_fault_plan(root, *image.fault_plan);
+  if (image.recorder) write_recorder(root, *image.recorder);
+  for (const auto& entry : image.machines) write_machine(root, entry.name, entry.state);
+  for (const auto& entry : image.buses) write_bus(root, entry.name, entry.state);
+  for (const auto& entry : image.watchdogs) write_watchdog(root, entry.name, entry.state);
+  for (const auto& entry : image.supervisors) write_supervisor(root, entry.name, entry.state);
+  for (const auto& entry : image.breakers) write_breaker(root, entry.name, entry.state);
+  for (const auto& entry : image.health) write_health(root, entry.name, entry.state);
+  for (const auto& entry : image.banks) write_bank(root, entry.name, entry.state);
+
+  // Per-section checksums first (they become part of the hashed document
+  // content), then the document-level attributes.
+  for (const auto& child : root.children()) {
+    child->set_attribute("checksum", to_hex(section_checksum(*child)));
   }
+  root.set_attribute("version", std::to_string(kSnapshotVersion));
+  root.set_attribute("checksum", to_hex(content_checksum(root)));
+  return root.str();
+}
 
+// --- XML decoding ------------------------------------------------------------
+
+bool image_from_xml(std::string_view input, SnapshotImage& image,
+                    support::DiagnosticSink& sink) {
   const std::unique_ptr<xmi::XmlNode> root = xmi::parse_xml(input, sink);
   if (root == nullptr) {
     sink.error("snapshot", "input is not a well-formed snapshot document");
@@ -683,137 +774,249 @@ bool restore_snapshot(const SnapshotTargets& targets, std::string_view input,
     sink.error("snapshot", "checksum mismatch: stored " + to_hex(stored_checksum) +
                                ", computed " + to_hex(computed) +
                                " — the snapshot is corrupted");
+    // Re-verify every section's own checksum so the report names the
+    // damaged section(s) instead of just the document hash.
+    std::size_t index = 0;
+    for (const auto& child : root->children()) {
+      std::uint64_t stored_section = 0;
+      support::DiagnosticSink quiet;
+      if (read_integer(*child, "checksum", stored_section, quiet, 16)) {
+        const std::uint64_t section_computed = section_checksum(*child);
+        if (section_computed != stored_section) {
+          sink.error("snapshot", "section checksum mismatch in " + describe_section(*child) +
+                                     " (section #" + std::to_string(index) + "): stored " +
+                                     to_hex(stored_section) + ", computed " +
+                                     to_hex(section_computed));
+        }
+      } else {
+        sink.error("snapshot", "section " + describe_section(*child) + " (section #" +
+                                   std::to_string(index) +
+                                   ") has a missing or malformed checksum attribute");
+      }
+      ++index;
+    }
     return false;
   }
-
-  // Decode every section before touching any target.
-  const xmi::XmlNode* kernel_node = root->child("kernel");
-  if (kernel_node == nullptr) {
-    sink.error("snapshot", "missing <kernel> section");
-    return false;
+  // Document hash intact: still hold every section to a present, correct
+  // checksum so hand-assembled documents keep the per-section framing.
+  {
+    bool sections_ok = true;
+    std::size_t index = 0;
+    for (const auto& child : root->children()) {
+      std::uint64_t stored_section = 0;
+      if (!read_integer(*child, "checksum", stored_section, sink, 16)) {
+        sections_ok = false;
+      } else if (section_checksum(*child) != stored_section) {
+        sink.error("snapshot", "section checksum mismatch in " + describe_section(*child) +
+                                   " (section #" + std::to_string(index) + "): stored " +
+                                   to_hex(stored_section) + ", computed " +
+                                   to_hex(section_checksum(*child)));
+        sections_ok = false;
+      }
+      ++index;
+    }
+    if (!sections_ok) return false;
   }
-  sim::Kernel::Checkpoint kernel_checkpoint;
-  bool ok = read_kernel(*kernel_node, kernel_checkpoint, sink);
 
-  std::uint64_t fault_seed = 0;
-  std::vector<std::pair<sim::FaultSite, sim::FaultPlan::SiteState>> sites;
-  const xmi::XmlNode* fault_node = root->child("fault-plan");
-  if ((fault_node != nullptr) != (targets.fault_plan != nullptr)) {
-    sink.error("snapshot", fault_node != nullptr
-                               ? "snapshot has a <fault-plan> section but no plan is registered"
-                               : "no <fault-plan> section for the registered plan");
-    ok = false;
-  } else if (fault_node != nullptr) {
-    ok = read_fault_plan(*fault_node, fault_seed, sites, sink) && ok;
-    if (ok && fault_seed != targets.fault_plan->seed()) {
-      sink.error("snapshot", "fault-plan seed mismatch: snapshot " +
-                                 std::to_string(fault_seed) + ", registered plan " +
-                                 std::to_string(targets.fault_plan->seed()));
+  SnapshotImage out;
+  bool ok = true;
+  bool kernel_seen = false;
+  for (const auto& child : root->children()) {
+    const std::string& element = child->name();
+    if (element == "kernel") {
+      if (kernel_seen) {
+        sink.error("snapshot", "duplicate <kernel> section");
+        ok = false;
+        continue;
+      }
+      kernel_seen = true;
+      ok = read_kernel(*child, out.kernel, out.kernel_timed_labels, sink) && ok;
+    } else if (element == "fault-plan") {
+      if (out.fault_plan) {
+        sink.error("snapshot", "duplicate <fault-plan> section");
+        ok = false;
+        continue;
+      }
+      SnapshotImage::FaultPlanState plan;
+      ok = read_fault_plan(*child, plan, sink) && ok;
+      out.fault_plan = std::move(plan);
+    } else if (element == "recorder") {
+      if (out.recorder) {
+        sink.error("snapshot", "duplicate <recorder> section");
+        ok = false;
+        continue;
+      }
+      SnapshotImage::RecorderState recorder;
+      ok = read_recorder(*child, recorder, sink) && ok;
+      out.recorder = std::move(recorder);
+    } else if (element == "machine") {
+      SnapshotImage::Named<statechart::InstanceSnapshot> entry;
+      ok = read_string(*child, "name", entry.name, sink) && ok;
+      ok = read_machine(*child, entry.state, sink) && ok;
+      out.machines.push_back(std::move(entry));
+    } else if (element == "bus") {
+      SnapshotImage::Named<sim::MemoryMappedBus::Checkpoint> entry;
+      ok = read_string(*child, "name", entry.name, sink) && ok;
+      ok = read_bus(*child, entry.state, sink) && ok;
+      out.buses.push_back(std::move(entry));
+    } else if (element == "watchdog") {
+      SnapshotImage::Named<sim::Watchdog::Checkpoint> entry;
+      ok = read_string(*child, "name", entry.name, sink) && ok;
+      ok = read_watchdog(*child, entry.state, sink) && ok;
+      out.watchdogs.push_back(std::move(entry));
+    } else if (element == "supervisor") {
+      SnapshotImage::Named<sim::Supervisor::Checkpoint> entry;
+      ok = read_string(*child, "name", entry.name, sink) && ok;
+      ok = read_supervisor(*child, entry.state, sink) && ok;
+      out.supervisors.push_back(std::move(entry));
+    } else if (element == "breaker") {
+      SnapshotImage::Named<sim::CircuitBreaker::Checkpoint> entry;
+      ok = read_string(*child, "name", entry.name, sink) && ok;
+      ok = read_breaker(*child, entry.state, sink) && ok;
+      out.breakers.push_back(std::move(entry));
+    } else if (element == "health") {
+      SnapshotImage::Named<sim::HealthRegistry::Checkpoint> entry;
+      ok = read_string(*child, "name", entry.name, sink) && ok;
+      ok = read_health(*child, entry.state, sink) && ok;
+      out.health.push_back(std::move(entry));
+    } else if (element == "bank") {
+      SnapshotImage::Named<std::vector<std::pair<std::string, std::uint64_t>>> entry;
+      ok = read_string(*child, "name", entry.name, sink) && ok;
+      ok = read_bank(*child, entry.state, sink) && ok;
+      out.banks.push_back(std::move(entry));
+    } else {
+      sink.error("snapshot", "unknown section <" + element + ">");
       ok = false;
     }
   }
+  if (!kernel_seen) {
+    sink.error("snapshot", "missing <kernel> section");
+    ok = false;
+  }
+  if (!ok) return false;
+  image = std::move(out);
+  return true;
+}
 
-  std::uint64_t recorder_total = 0;
-  std::vector<sim::RecordedEvent> recorder_events;
-  const xmi::XmlNode* recorder_node = root->child("recorder");
-  if ((recorder_node != nullptr) != (targets.recorder != nullptr)) {
-    sink.error("snapshot", recorder_node != nullptr
+// --- apply -------------------------------------------------------------------
+
+bool apply_image(const SnapshotTargets& targets, const SnapshotImage& image,
+                 support::DiagnosticSink& sink) {
+  if (targets.kernel == nullptr) {
+    sink.error("snapshot", "no kernel target registered");
+    return false;
+  }
+
+  bool ok = true;
+  if (image.fault_plan.has_value() != (targets.fault_plan != nullptr)) {
+    sink.error("snapshot", image.fault_plan
+                               ? "snapshot has a <fault-plan> section but no plan is registered"
+                               : "no <fault-plan> section for the registered plan");
+    ok = false;
+  } else if (image.fault_plan && image.fault_plan->seed != targets.fault_plan->seed()) {
+    sink.error("snapshot", "fault-plan seed mismatch: snapshot " +
+                               std::to_string(image.fault_plan->seed) + ", registered plan " +
+                               std::to_string(targets.fault_plan->seed()));
+    ok = false;
+  }
+  if (image.recorder.has_value() != (targets.recorder != nullptr)) {
+    sink.error("snapshot", image.recorder
                                ? "snapshot has a <recorder> section but no recorder is registered"
                                : "no <recorder> section for the registered recorder");
     ok = false;
-  } else if (recorder_node != nullptr) {
-    ok = read_recorder(*recorder_node, recorder_total, recorder_events, sink) && ok;
   }
 
-  std::map<std::string, const xmi::XmlNode*> machine_nodes;
-  std::map<std::string, const xmi::XmlNode*> bus_nodes;
-  std::map<std::string, const xmi::XmlNode*> watchdog_nodes;
-  std::map<std::string, const xmi::XmlNode*> supervisor_nodes;
-  std::map<std::string, const xmi::XmlNode*> breaker_nodes;
-  std::map<std::string, const xmi::XmlNode*> health_nodes;
-  std::map<std::string, const xmi::XmlNode*> bank_nodes;
-  ok = match_sections(*root, "machine", targets.machines, machine_nodes, sink) && ok;
-  ok = match_sections(*root, "bus", targets.buses, bus_nodes, sink) && ok;
-  ok = match_sections(*root, "watchdog", targets.watchdogs, watchdog_nodes, sink) && ok;
-  ok = match_sections(*root, "supervisor", targets.supervisors, supervisor_nodes, sink) && ok;
-  ok = match_sections(*root, "breaker", targets.breakers, breaker_nodes, sink) && ok;
-  ok = match_sections(*root, "health", targets.health, health_nodes, sink) && ok;
-  ok = match_sections(*root, "bank", targets.banks, bank_nodes, sink) && ok;
-  if (!ok) return false;
-
-  std::vector<statechart::InstanceSnapshot> machine_snapshots(targets.machines.size());
-  for (std::size_t i = 0; i < targets.machines.size(); ++i) {
-    ok = read_machine(*machine_nodes[targets.machines[i].name], machine_snapshots[i], sink) &&
-         ok;
-  }
-  std::vector<sim::MemoryMappedBus::Checkpoint> bus_checkpoints(targets.buses.size());
-  for (std::size_t i = 0; i < targets.buses.size(); ++i) {
-    ok = read_bus(*bus_nodes[targets.buses[i].name], bus_checkpoints[i], sink) && ok;
-  }
-  std::vector<sim::Watchdog::Checkpoint> watchdog_checkpoints(targets.watchdogs.size());
-  for (std::size_t i = 0; i < targets.watchdogs.size(); ++i) {
-    ok = read_watchdog(*watchdog_nodes[targets.watchdogs[i].name], watchdog_checkpoints[i],
-                       sink) &&
-         ok;
-  }
-  std::vector<sim::Supervisor::Checkpoint> supervisor_checkpoints(targets.supervisors.size());
-  for (std::size_t i = 0; i < targets.supervisors.size(); ++i) {
-    ok = read_supervisor(*supervisor_nodes[targets.supervisors[i].name],
-                         supervisor_checkpoints[i], sink) &&
-         ok;
-  }
-  std::vector<sim::CircuitBreaker::Checkpoint> breaker_checkpoints(targets.breakers.size());
-  for (std::size_t i = 0; i < targets.breakers.size(); ++i) {
-    ok = read_breaker(*breaker_nodes[targets.breakers[i].name], breaker_checkpoints[i], sink) &&
-         ok;
-  }
-  std::vector<sim::HealthRegistry::Checkpoint> health_checkpoints(targets.health.size());
-  for (std::size_t i = 0; i < targets.health.size(); ++i) {
-    ok = read_health(*health_nodes[targets.health[i].name], health_checkpoints[i], sink) && ok;
-  }
-  std::vector<std::vector<std::pair<std::string, std::uint64_t>>> bank_values(
-      targets.banks.size());
-  for (std::size_t i = 0; i < targets.banks.size(); ++i) {
-    ok = read_bank(*bank_nodes[targets.banks[i].name], bank_values[i], sink) && ok;
-  }
+  std::vector<std::size_t> machine_order;
+  std::vector<std::size_t> bus_order;
+  std::vector<std::size_t> watchdog_order;
+  std::vector<std::size_t> supervisor_order;
+  std::vector<std::size_t> breaker_order;
+  std::vector<std::size_t> health_order;
+  std::vector<std::size_t> bank_order;
+  ok = match_sections("machine", image.machines, targets.machines, machine_order, sink) && ok;
+  ok = match_sections("bus", image.buses, targets.buses, bus_order, sink) && ok;
+  ok = match_sections("watchdog", image.watchdogs, targets.watchdogs, watchdog_order, sink) &&
+       ok;
+  ok = match_sections("supervisor", image.supervisors, targets.supervisors, supervisor_order,
+                      sink) &&
+       ok;
+  ok = match_sections("breaker", image.breakers, targets.breakers, breaker_order, sink) && ok;
+  ok = match_sections("health", image.health, targets.health, health_order, sink) && ok;
+  ok = match_sections("bank", image.banks, targets.banks, bank_order, sink) && ok;
   if (!ok) return false;
 
   // Apply. The kernel goes first (it validates process addressing and wipes
   // construction-time scheduling); watchdogs after it (their expectation
   // counts arrive with the kernel's registry).
-  if (!targets.kernel->restore_checkpoint(kernel_checkpoint, sink)) return false;
-  for (const auto& [site, state] : sites) targets.fault_plan->restore_site_state(site, state);
+  if (!targets.kernel->restore_checkpoint(image.kernel, sink)) return false;
+  if (image.fault_plan) {
+    for (const auto& [site, state] : image.fault_plan->sites) {
+      targets.fault_plan->restore_site_state(site, state);
+    }
+  }
   for (std::size_t i = 0; i < targets.machines.size(); ++i) {
-    if (!targets.machines[i].instance->restore(machine_snapshots[i], sink)) return false;
+    if (!targets.machines[i].instance->restore(image.machines[machine_order[i]].state, sink)) {
+      return false;
+    }
   }
   for (std::size_t i = 0; i < targets.buses.size(); ++i) {
-    targets.buses[i].bus->restore_checkpoint(bus_checkpoints[i]);
+    targets.buses[i].bus->restore_checkpoint(image.buses[bus_order[i]].state);
   }
   for (std::size_t i = 0; i < targets.watchdogs.size(); ++i) {
-    targets.watchdogs[i].watchdog->restore_checkpoint(watchdog_checkpoints[i]);
+    targets.watchdogs[i].watchdog->restore_checkpoint(
+        image.watchdogs[watchdog_order[i]].state);
   }
   for (std::size_t i = 0; i < targets.supervisors.size(); ++i) {
-    if (!targets.supervisors[i].supervisor->restore_checkpoint(supervisor_checkpoints[i],
-                                                               sink)) {
+    if (!targets.supervisors[i].supervisor->restore_checkpoint(
+            image.supervisors[supervisor_order[i]].state, sink)) {
       return false;
     }
   }
   for (std::size_t i = 0; i < targets.breakers.size(); ++i) {
-    if (!targets.breakers[i].breaker->restore_checkpoint(breaker_checkpoints[i], sink)) {
+    if (!targets.breakers[i].breaker->restore_checkpoint(image.breakers[breaker_order[i]].state,
+                                                         sink)) {
       return false;
     }
   }
   for (std::size_t i = 0; i < targets.health.size(); ++i) {
-    if (!targets.health[i].registry->restore_checkpoint(health_checkpoints[i], sink)) {
+    if (!targets.health[i].registry->restore_checkpoint(image.health[health_order[i]].state,
+                                                        sink)) {
       return false;
     }
   }
   for (std::size_t i = 0; i < targets.banks.size(); ++i) {
-    if (!targets.banks[i].restore(bank_values[i], sink)) return false;
+    if (!targets.banks[i].restore(image.banks[bank_order[i]].state, sink)) return false;
   }
   if (targets.recorder != nullptr) {
-    targets.recorder->restore_log(std::move(recorder_events), recorder_total);
+    targets.recorder->restore_log(image.recorder->events, image.recorder->total);
   }
+  return true;
+}
+
+// --- save / restore ----------------------------------------------------------
+
+bool save_snapshot(const SnapshotTargets& targets, std::string& out,
+                   support::DiagnosticSink& sink) {
+  const auto started = std::chrono::steady_clock::now();
+  SnapshotImage image;
+  if (!capture_image(targets, image, sink)) return false;
+  out = image_to_xml(image);
+  const std::size_t sections = image.section_count();
+  targets.kernel->note_snapshot_encode(out.size(), sections, sections, elapsed_ns(started));
+  return true;
+}
+
+bool restore_snapshot(const SnapshotTargets& targets, std::string_view input,
+                      support::DiagnosticSink& sink) {
+  if (targets.kernel == nullptr) {
+    sink.error("snapshot", "no kernel target registered");
+    return false;
+  }
+  const auto started = std::chrono::steady_clock::now();
+  SnapshotImage image;
+  if (!image_from_xml(input, image, sink)) return false;
+  if (!apply_image(targets, image, sink)) return false;
+  targets.kernel->note_snapshot_restore(elapsed_ns(started));
   return true;
 }
 

@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -45,8 +46,11 @@ namespace umlsoc::replay {
 /// Format version written by save_snapshot; restore_snapshot rejects any
 /// other value (forward- and backward-incompatible by design: the format
 /// mirrors internal state). Version 2 added the supervision sections
-/// (<supervisor>, <breaker>, <health>).
-inline constexpr int kSnapshotVersion = 2;
+/// (<supervisor>, <breaker>, <health>); version 3 added per-section
+/// checksums (XML attribute / binary frame field), so corruption reports
+/// name the damaged section instead of just failing the document hash, and
+/// a fourth fault-plan site (checkpoint-path faults).
+inline constexpr int kSnapshotVersion = 3;
 
 struct MachineTarget {
   std::string name;
@@ -105,6 +109,78 @@ struct SnapshotTargets {
   std::vector<HealthTarget> health;
   std::vector<ValueBank> banks;
 };
+
+/// Decoded, format-independent snapshot content: exactly the state the XML
+/// and binary encodings carry, section order preserved. capture_image and
+/// apply_image own the refusal rules and the section/target matching;
+/// image_to_xml / image_from_xml (and the binary codec in replay/binary.hpp)
+/// are pure transcoders over this struct — which is what makes the
+/// binary<->XML converters lossless by construction.
+struct SnapshotImage {
+  template <typename T>
+  struct Named {
+    std::string name;
+    T state;
+  };
+
+  sim::Kernel::Checkpoint kernel;
+  /// Diagnostic process labels parallel to kernel.timed ("" when unlabeled);
+  /// carried so transcoding preserves the human-readable annotations.
+  std::vector<std::string> kernel_timed_labels;
+
+  struct FaultPlanState {
+    std::uint64_t seed = 0;
+    std::vector<std::pair<sim::FaultSite, sim::FaultPlan::SiteState>> sites;
+  };
+  std::optional<FaultPlanState> fault_plan;
+
+  struct RecorderState {
+    std::uint64_t total = 0;
+    std::vector<sim::RecordedEvent> events;
+  };
+  std::optional<RecorderState> recorder;
+
+  std::vector<Named<statechart::InstanceSnapshot>> machines;
+  std::vector<Named<sim::MemoryMappedBus::Checkpoint>> buses;
+  std::vector<Named<sim::Watchdog::Checkpoint>> watchdogs;
+  std::vector<Named<sim::Supervisor::Checkpoint>> supervisors;
+  std::vector<Named<sim::CircuitBreaker::Checkpoint>> breakers;
+  std::vector<Named<sim::HealthRegistry::Checkpoint>> health;
+  std::vector<Named<std::vector<std::pair<std::string, std::uint64_t>>>> banks;
+
+  /// Sections the image would serialize (kernel + optionals + named ones).
+  [[nodiscard]] std::size_t section_count() const {
+    return 1 + (fault_plan ? 1 : 0) + (recorder ? 1 : 0) + machines.size() + buses.size() +
+           watchdogs.size() + supervisors.size() + breakers.size() + health.size() +
+           banks.size();
+  }
+};
+
+/// Captures the targets' state into `image`. Owns the refusal rules: fails
+/// (reporting through `sink`) on a mid-delta kernel, pending transient
+/// events, in-flight bus transactions, or outstanding expectations not
+/// owned by a registered watchdog or supervisor.
+[[nodiscard]] bool capture_image(const SnapshotTargets& targets, SnapshotImage& image,
+                                 support::DiagnosticSink& sink);
+
+/// Applies a decoded image to `targets`: validates fault-plan/recorder
+/// presence and seed, matches every named section one-to-one against the
+/// registered targets, then restores kernel first, recorder last. Matching
+/// or validation failures report through `sink` and return false before any
+/// mutation; component-level apply failures may leave earlier sections
+/// applied — treat a failed apply as fatal.
+[[nodiscard]] bool apply_image(const SnapshotTargets& targets, const SnapshotImage& image,
+                               support::DiagnosticSink& sink);
+
+/// Serializes an image as the canonical XML snapshot document (version,
+/// per-section checksums, document checksum).
+[[nodiscard]] std::string image_to_xml(const SnapshotImage& image);
+
+/// Parses and fully validates an XML snapshot document (root tag, version,
+/// document and per-section checksums, strict attribute syntax) into
+/// `image` without touching any target.
+[[nodiscard]] bool image_from_xml(std::string_view input, SnapshotImage& image,
+                                  support::DiagnosticSink& sink);
 
 /// Serializes the targets' state into `out`. Returns false (reporting
 /// through `sink`, `out` untouched) when the state is not checkpointable:

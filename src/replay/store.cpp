@@ -1,0 +1,310 @@
+#include "replay/store.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <charconv>
+#include <chrono>
+#include <fstream>
+#include <system_error>
+
+namespace umlsoc::replay {
+
+namespace {
+
+constexpr std::string_view kExtension = ".usnap";
+constexpr std::string_view kTmpSuffix = ".tmp";
+constexpr std::string_view kQuarantineSuffix = ".quarantined";
+
+bool read_file(const std::filesystem::path& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  return in.good() || in.eof();
+}
+
+bool write_file(const std::filesystem::path& path, std::string_view bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  return out.good();
+}
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now() - since)
+                                        .count());
+}
+
+}  // namespace
+
+CheckpointStore::CheckpointStore(CheckpointStoreConfig config) : config_(std::move(config)) {
+  if (config_.full_interval == 0) config_.full_interval = 1;
+  if (config_.keep_fulls == 0) config_.keep_fulls = 1;
+  std::error_code ec;
+  std::filesystem::create_directories(config_.directory, ec);
+}
+
+void CheckpointStore::bind_health(sim::HealthRegistry& registry) {
+  health_ = &registry;
+  health_unit_ = registry.register_unit("checkpoint-store " + config_.prefix);
+}
+
+std::filesystem::path CheckpointStore::path_for(std::uint64_t seq) const {
+  char digits[9];
+  char* end = digits + sizeof digits - 1;
+  *end = '\0';
+  char* first = digits;
+  for (int i = 7; i >= 0; --i) {
+    first[i] = static_cast<char>('0' + seq % 10);
+    seq /= 10;
+  }
+  return config_.directory / (config_.prefix + "-" + digits + std::string(kExtension));
+}
+
+std::vector<CheckpointStore::ScanEntry> CheckpointStore::scan() const {
+  std::vector<ScanEntry> entries;
+  std::error_code ec;
+  for (const auto& dirent :
+       std::filesystem::directory_iterator(config_.directory, ec)) {
+    if (!dirent.is_regular_file(ec)) continue;
+    const std::string filename = dirent.path().filename().string();
+    const std::string stem = config_.prefix + "-";
+    if (filename.size() != stem.size() + 8 + kExtension.size()) continue;
+    if (filename.compare(0, stem.size(), stem) != 0) continue;
+    if (filename.compare(stem.size() + 8, kExtension.size(), kExtension) != 0) continue;
+    std::uint64_t seq = 0;
+    const char* digits = filename.data() + stem.size();
+    const auto [ptr, parse_ec] = std::from_chars(digits, digits + 8, seq);
+    if (parse_ec != std::errc() || ptr != digits + 8) continue;
+    entries.push_back({seq, dirent.path()});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const ScanEntry& a, const ScanEntry& b) { return a.seq > b.seq; });
+  return entries;
+}
+
+bool CheckpointStore::checkpoint(const SnapshotTargets& targets, WriteResult& out,
+                                 support::DiagnosticSink& sink) {
+  const bool force_full = count_ % config_.full_interval == 0;
+  ++count_;
+
+  IncrementalEncoder::Result encoded;
+  if (!encoder_.encode(targets, force_full, encoded, sink)) return false;
+
+  WriteResult result;
+  result.seq = encoded.seq;
+  result.delta = encoded.delta;
+  result.path = path_for(encoded.seq);
+
+  std::string bytes = std::move(encoded.bytes);
+  if (fault_plan_ != nullptr) {
+    const sim::FaultDecision decision = fault_plan_->consult(sim::FaultSite::kCheckpoint);
+    switch (decision.kind) {
+      case sim::FaultKind::kError:
+        // Torn write: only the first half of the file makes it to disk.
+        bytes.resize(bytes.size() / 2);
+        result.torn = true;
+        break;
+      case sim::FaultKind::kDropResponse:
+        // Crash before the rename: the tmp file is written but never lands.
+        result.lost = true;
+        break;
+      case sim::FaultKind::kBitFlip: {
+        // One bit, spread deterministically across the file by the mask.
+        const int bit = std::countr_zero(decision.flip_mask | 1);
+        const std::size_t position = bytes.empty() ? 0 : bit * (bytes.size() - 1) / 63;
+        if (!bytes.empty()) bytes[position] ^= static_cast<char>(1u << (bit & 7));
+        result.flipped = true;
+        break;
+      }
+      case sim::FaultKind::kNone:
+      case sim::FaultKind::kExtraLatency:  // No wall-clock meaning for a file write.
+      case sim::FaultKind::kGlitch:
+        break;
+    }
+    if (result.torn || result.lost || result.flipped) ++stats_.write_faults;
+  }
+
+  const std::filesystem::path tmp = result.path.string() + std::string(kTmpSuffix);
+  if (!write_file(tmp, bytes)) {
+    sink.error("checkpoint-store", "cannot write " + tmp.string());
+    return false;
+  }
+  if (!result.lost) {
+    std::error_code ec;
+    std::filesystem::rename(tmp, result.path, ec);
+    if (ec) {
+      sink.error("checkpoint-store",
+                 "cannot rename " + tmp.string() + ": " + ec.message());
+      return false;
+    }
+  }
+  result.bytes = bytes.size();
+
+  ++stats_.checkpoints;
+  stats_.bytes_written += bytes.size();
+  if (encoded.delta) {
+    ++stats_.deltas;
+  } else {
+    ++stats_.fulls;
+    // A lost full must not count as a retained base: its deltas would chain
+    // to a file that never landed.
+    if (!result.lost) {
+      fulls_.push_back(encoded.seq);
+      prune(sink);
+    }
+  }
+  out = result;
+  return true;
+}
+
+void CheckpointStore::prune(support::DiagnosticSink& sink) {
+  if (fulls_.size() <= config_.keep_fulls) return;
+  fulls_.erase(fulls_.begin(), fulls_.end() - config_.keep_fulls);
+  const std::uint64_t keep_from = fulls_.front();
+  for (const ScanEntry& entry : scan()) {
+    if (entry.seq >= keep_from) continue;
+    std::error_code ec;
+    if (std::filesystem::remove(entry.path, ec)) {
+      ++stats_.pruned;
+    } else if (ec) {
+      sink.warning("checkpoint-store",
+                   "cannot prune " + entry.path.string() + ": " + ec.message());
+    }
+  }
+}
+
+void CheckpointStore::quarantine(const std::filesystem::path& path, std::string reason,
+                                 support::DiagnosticSink& sink) {
+  std::error_code ec;
+  std::filesystem::rename(path, path.string() + std::string(kQuarantineSuffix), ec);
+  if (ec) {
+    // Renaming failed (e.g. the file vanished); removing keeps the ladder
+    // terminating either way.
+    std::filesystem::remove(path, ec);
+  }
+  sink.warning("checkpoint-store", "quarantined " + path.filename().string() + ": " + reason);
+  quarantined_.push_back({path, std::move(reason)});
+  ++stats_.quarantines;
+  if (health_ != nullptr) {
+    health_->set_health(health_unit_, sim::UnitHealth::kDegraded,
+                        "checkpoint quarantined: " + path.filename().string());
+  }
+}
+
+bool CheckpointStore::restore_latest_good(const SnapshotTargets& targets,
+                                          support::DiagnosticSink& sink) {
+  if (targets.kernel == nullptr) {
+    sink.error("checkpoint-store", "no kernel target registered");
+    return false;
+  }
+  const auto started = std::chrono::steady_clock::now();
+  // Every pass either restores, or quarantines at least one file and
+  // rescans — so the walk terminates.
+  for (;;) {
+    const std::vector<ScanEntry> entries = scan();
+    if (entries.empty()) {
+      sink.error("checkpoint-store",
+                 "no restorable checkpoint in " + config_.directory.string() + " (" +
+                     std::to_string(quarantined_.size()) + " quarantined)");
+      if (health_ != nullptr) {
+        health_->set_health(health_unit_, sim::UnitHealth::kFailed,
+                            "recovery ladder exhausted");
+      }
+      return false;
+    }
+
+    const ScanEntry& tip = entries.front();
+    // Materialize the tip's chain, newest to oldest, via base_seq links.
+    std::vector<const ScanEntry*> chain;  // tip first, base last
+    std::string tip_failure;
+    const ScanEntry* broken = nullptr;
+    const ScanEntry* cursor = &tip;
+    for (;;) {
+      std::string bytes;
+      support::DiagnosticSink probe;
+      BinarySnapshotInfo info;
+      if (!read_file(cursor->path, bytes)) {
+        broken = cursor;
+        tip_failure = "unreadable file";
+        break;
+      }
+      if (!read_binary_info(bytes, info, probe)) {
+        broken = cursor;
+        tip_failure = probe.str();
+        break;
+      }
+      chain.push_back(cursor);
+      if (!info.delta) break;  // Reached the full base.
+      const ScanEntry* base = nullptr;
+      for (const ScanEntry& candidate : entries) {
+        if (candidate.seq == info.base_seq) {
+          base = &candidate;
+          break;
+        }
+      }
+      if (base == nullptr || chain.size() > entries.size()) {
+        // The base was lost, quarantined, or the links cycle; nothing this
+        // delta chains to can be trusted, so the tip itself steps aside.
+        broken = &tip;
+        tip_failure = "delta " + std::to_string(info.seq) + " needs base checkpoint " +
+                      std::to_string(info.base_seq) + ", which is missing";
+        break;
+      }
+      cursor = base;
+    }
+    if (broken != nullptr) {
+      quarantine(broken->path, std::move(tip_failure), sink);
+      continue;
+    }
+
+    // Oldest-first for the decoder.
+    std::reverse(chain.begin(), chain.end());
+    std::vector<std::string> blobs(chain.size());
+    bool readable = true;
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      if (!read_file(chain[i]->path, blobs[i])) {
+        quarantine(chain[i]->path, "unreadable file", sink);
+        readable = false;
+        break;
+      }
+    }
+    if (!readable) continue;
+
+    // Validate rung by rung so a failure is pinned to the file that caused
+    // it, not blamed on the whole chain. Chains are short (one base plus at
+    // most full_interval - 1 deltas), so the re-decode cost is irrelevant
+    // on this cold path.
+    SnapshotImage image;
+    bool valid = true;
+    for (std::size_t length = 1; length <= chain.size(); ++length) {
+      std::vector<std::string_view> prefix(blobs.begin(),
+                                           blobs.begin() + static_cast<std::ptrdiff_t>(length));
+      support::DiagnosticSink attempt;
+      SnapshotImage decoded;
+      if (!image_from_binary_chain(prefix, decoded, attempt)) {
+        quarantine(chain[length - 1]->path, attempt.str(), sink);
+        valid = false;
+        break;
+      }
+      if (length == chain.size()) image = std::move(decoded);
+    }
+    if (!valid) continue;
+
+    support::DiagnosticSink apply_sink;
+    if (!apply_image(targets, image, apply_sink)) {
+      quarantine(chain.back()->path, "restore failed: " + apply_sink.str(), sink);
+      continue;
+    }
+    targets.kernel->note_snapshot_restore(elapsed_ns(started));
+    ++stats_.restores;
+    stats_.restored_seq = chain.back()->seq;
+    sink.note("checkpoint-store",
+              "restored checkpoint " + std::to_string(stats_.restored_seq) + " (chain of " +
+                  std::to_string(chain.size()) + ")");
+    return true;
+  }
+}
+
+}  // namespace umlsoc::replay

@@ -1,0 +1,142 @@
+// Crash-consistent checkpoint store with a recovery ladder.
+//
+// CheckpointStore rotates binary snapshots (replay/binary.hpp) in a
+// directory: every `full_interval`-th checkpoint is a full snapshot (a
+// chain base), the ones between are dirty-section deltas chained to their
+// predecessor. Files are written atomically — payload to a `.tmp` sibling,
+// then renamed into place — so a crash mid-write leaves either the old
+// state or a stray `.tmp` the scanner ignores, never a half-visible
+// checkpoint under its final name.
+//
+// Recovery walks the ladder: restore_latest_good() materializes the newest
+// checkpoint's chain and validates every rung (header, per-section
+// checksums, chain links) before anything is applied. A corrupt,
+// truncated or version-skewed file is *quarantined* — renamed to
+// `<name>.quarantined`, recorded with its structured diagnostics, reported
+// to an optional HealthRegistry as a degraded unit — and the ladder steps
+// down to the next older checkpoint until one restores or the directory is
+// exhausted. Supervision warm restarts ride on this: a supervisor restart
+// callback that calls restore_latest_good() recovers the newest state that
+// still checks out.
+//
+// Fault injection: an installed FaultPlan is consulted once per write at
+// FaultSite::kCheckpoint. kError tears the file (half written), kBitFlip
+// flips one bit, kDropResponse models a crash before the rename (the tmp
+// file never lands). The chaos soak drives exactly these paths and expects
+// every seed to recover through the ladder.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "replay/binary.hpp"
+#include "replay/snapshot.hpp"
+#include "sim/fault.hpp"
+#include "sim/supervise.hpp"
+#include "support/diagnostics.hpp"
+
+namespace umlsoc::replay {
+
+struct CheckpointStoreConfig {
+  std::filesystem::path directory;
+  std::string prefix = "ckpt";
+  /// Every Nth checkpoint is a full snapshot (chain base); must be >= 1.
+  /// 1 makes every checkpoint full (no deltas).
+  unsigned full_interval = 8;
+  /// Full bases retained. Rotation deletes everything older than the
+  /// oldest retained full, so every surviving delta always has its base.
+  unsigned keep_fulls = 2;
+};
+
+class CheckpointStore {
+ public:
+  struct WriteResult {
+    std::uint64_t seq = 0;
+    bool delta = false;
+    bool torn = false;     ///< Injected kError: file truncated to half.
+    bool lost = false;     ///< Injected kDropResponse: never renamed into place.
+    bool flipped = false;  ///< Injected kBitFlip: one bit corrupted.
+    std::size_t bytes = 0;
+    std::filesystem::path path;
+  };
+
+  struct QuarantineRecord {
+    std::filesystem::path path;
+    std::string reason;  ///< Structured diagnostics from the failed validation.
+  };
+
+  struct Stats {
+    std::uint64_t checkpoints = 0;
+    std::uint64_t fulls = 0;
+    std::uint64_t deltas = 0;
+    std::uint64_t bytes_written = 0;
+    std::uint64_t write_faults = 0;
+    std::uint64_t quarantines = 0;
+    std::uint64_t restores = 0;
+    std::uint64_t restored_seq = 0;  ///< Seq of the last successful restore.
+    std::uint64_t pruned = 0;        ///< Files deleted by rotation.
+  };
+
+  explicit CheckpointStore(CheckpointStoreConfig config);
+
+  /// Installs (or clears) the fault plan consulted per write at
+  /// FaultSite::kCheckpoint.
+  void install_fault_plan(sim::FaultPlan* plan) { fault_plan_ = plan; }
+
+  /// Registers this store as a health unit; quarantines degrade it, an
+  /// exhausted ladder fails it. The registry must outlive the store.
+  void bind_health(sim::HealthRegistry& registry);
+
+  /// Captures the targets (snapshot refusal rules apply) and writes the
+  /// next checkpoint in the rotation. Injected write faults do NOT fail the
+  /// call — a torn or lost checkpoint is the recovery ladder's problem —
+  /// but are reported in `out`.
+  [[nodiscard]] bool checkpoint(const SnapshotTargets& targets, WriteResult& out,
+                                support::DiagnosticSink& sink);
+
+  /// Walks the ladder newest-to-oldest: validates each checkpoint's full
+  /// chain, quarantines every file that fails (structured reason recorded),
+  /// and applies the newest chain that survives. Returns false only when no
+  /// restorable checkpoint remains; quarantine events along the way surface
+  /// as warnings on `sink`, terminal failure as an error.
+  [[nodiscard]] bool restore_latest_good(const SnapshotTargets& targets,
+                                         support::DiagnosticSink& sink);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const std::vector<QuarantineRecord>& quarantined() const {
+    return quarantined_;
+  }
+  [[nodiscard]] const CheckpointStoreConfig& config() const { return config_; }
+
+  /// Forgets the delta chain; the next checkpoint is a full snapshot.
+  /// Required after restore_latest_good (the on-disk tip may no longer
+  /// match the encoder's in-memory previous payloads).
+  void reset_chain() { encoder_.reset(); }
+
+ private:
+  struct ScanEntry {
+    std::uint64_t seq = 0;
+    std::filesystem::path path;
+  };
+
+  [[nodiscard]] std::filesystem::path path_for(std::uint64_t seq) const;
+  /// Non-quarantined checkpoint files, seq-descending.
+  [[nodiscard]] std::vector<ScanEntry> scan() const;
+  void quarantine(const std::filesystem::path& path, std::string reason,
+                  support::DiagnosticSink& sink);
+  void prune(support::DiagnosticSink& sink);
+
+  CheckpointStoreConfig config_;
+  IncrementalEncoder encoder_;
+  sim::FaultPlan* fault_plan_ = nullptr;
+  sim::HealthRegistry* health_ = nullptr;
+  sim::HealthRegistry::UnitId health_unit_ = 0;
+  std::uint64_t count_ = 0;             ///< Checkpoints attempted (cadence clock).
+  std::vector<std::uint64_t> fulls_;    ///< Seqs of retained full snapshots, ascending.
+  std::vector<QuarantineRecord> quarantined_;
+  Stats stats_;
+};
+
+}  // namespace umlsoc::replay

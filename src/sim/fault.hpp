@@ -34,11 +34,12 @@ namespace umlsoc::sim {
 /// order; the per-site split keeps sequences stable across configuration
 /// changes at other sites.
 enum class FaultSite : std::uint8_t {
-  kBusRead = 0,   ///< Consulted when a bus read is issued.
-  kBusWrite = 1,  ///< Consulted when a bus write is issued.
-  kSignal = 2,    ///< Consulted by SignalGlitcher ticks.
+  kBusRead = 0,     ///< Consulted when a bus read is issued.
+  kBusWrite = 1,    ///< Consulted when a bus write is issued.
+  kSignal = 2,      ///< Consulted by SignalGlitcher ticks.
+  kCheckpoint = 3,  ///< Consulted per CheckpointStore write (torn/corrupt files).
 };
-inline constexpr std::size_t kFaultSiteCount = 3;
+inline constexpr std::size_t kFaultSiteCount = 4;
 
 [[nodiscard]] std::string_view to_string(FaultSite site);
 
@@ -137,6 +138,13 @@ class FaultPlan {
     entry.counters = state.counters;
   }
 
+  /// Change-detection fingerprint over every site's stream position and
+  /// counters. Incremental checkpointing (replay::CheckpointStore) treats an
+  /// unchanged revision as "this plan's snapshot section cannot have
+  /// changed" and skips re-encoding it; every consult and every
+  /// restore_site_state call perturbs the value.
+  [[nodiscard]] std::uint64_t revision() const;
+
   /// "site=kind*count ..." summary for logs and reports.
   [[nodiscard]] std::string str() const;
 
@@ -183,6 +191,11 @@ class Watchdog {
   [[nodiscard]] std::uint64_t trips() const { return trips_; }
   [[nodiscard]] std::uint64_t kicks() const { return kicks_; }
 
+  /// Bumped by every state-changing call (arm/kick/disarm, the scheduled
+  /// check, checkpoint restore). Incremental checkpointing skips re-encoding
+  /// the watchdog section while the revision holds still.
+  [[nodiscard]] std::uint64_t revision() const { return revision_; }
+
   /// Checkpointable supervision state. The scheduled check event itself
   /// lives in the kernel checkpoint (the check process is a registered
   /// handle), and the armed expectation count is restored by the kernel's
@@ -206,6 +219,7 @@ class Watchdog {
     trip_at_ps_ = checkpoint.trip_at_ps;
     trips_ = checkpoint.trips;
     kicks_ = checkpoint.kicks;
+    ++revision_;
   }
 
  private:
@@ -223,6 +237,7 @@ class Watchdog {
   bool tripped_ = false;
   std::uint64_t trips_ = 0;
   std::uint64_t kicks_ = 0;
+  std::uint64_t revision_ = 0;
 };
 
 /// Periodically consults the plan's kSignal site and, on a kGlitch

@@ -199,12 +199,14 @@ class Kernel {
   void expect(ExpectationId id) {
     ++expectations_[id].outstanding;
     ++outstanding_total_;
+    ++expectation_ops_;
   }
   /// Resolves one outstanding instance (over-fulfilling is ignored).
   void fulfill(ExpectationId id) {
     if (expectations_[id].outstanding == 0) return;
     --expectations_[id].outstanding;
     --outstanding_total_;
+    ++expectation_ops_;
   }
   [[nodiscard]] std::uint64_t outstanding_expectations() const { return outstanding_total_; }
 
@@ -225,6 +227,19 @@ class Kernel {
     return timed_size_ == 0 && runnable_.empty() && next_runnable_.empty();
   }
 
+  /// Checkpoint-encoding observability, fed by the replay layer (XML and
+  /// binary snapshot paths, CheckpointStore). Sections dirty/total describe
+  /// incremental encodes; wall times are host-clock nanoseconds.
+  struct SnapshotStats {
+    std::uint64_t encodes = 0;          ///< Snapshot/checkpoint serializations.
+    std::uint64_t restores = 0;         ///< Successful snapshot applications.
+    std::uint64_t bytes_written = 0;    ///< Serialized bytes across all encodes.
+    std::uint64_t sections_dirty = 0;   ///< Sections re-encoded with a payload.
+    std::uint64_t sections_total = 0;   ///< Sections considered across all encodes.
+    std::uint64_t encode_wall_ns = 0;   ///< Host time spent serializing.
+    std::uint64_t restore_wall_ns = 0;  ///< Host time spent decoding + applying.
+  };
+
   /// Scheduler observability counters (monotonic over the kernel's life).
   struct Stats {
     std::uint64_t timed_peak = 0;             ///< high-water mark of pending timed events
@@ -235,8 +250,41 @@ class Kernel {
     std::uint64_t processes_registered = 0;   ///< register_process calls (incl. transients)
     std::uint64_t transient_registrations = 0;///< one-shot shims (legacy schedule overloads)
     std::uint64_t collapsed_notifications = 0;///< delta notify() calls absorbed by a pending one
+    SnapshotStats snapshot;                   ///< checkpoint encode/restore accounting
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Accounting hooks for the snapshot machinery (replay layer).
+  void note_snapshot_encode(std::uint64_t bytes, std::uint64_t sections_dirty,
+                            std::uint64_t sections_total, std::uint64_t wall_ns) {
+    ++stats_.snapshot.encodes;
+    stats_.snapshot.bytes_written += bytes;
+    stats_.snapshot.sections_dirty += sections_dirty;
+    stats_.snapshot.sections_total += sections_total;
+    stats_.snapshot.encode_wall_ns += wall_ns;
+  }
+  void note_snapshot_restore(std::uint64_t wall_ns) {
+    ++stats_.snapshot.restores;
+    stats_.snapshot.restore_wall_ns += wall_ns;
+  }
+
+  /// Change-detection fingerprint over everything Checkpoint captures.
+  /// Sound because no checkpoint-visible state moves without one of the
+  /// mixed counters moving: schedule bumps the sequence, every executed
+  /// process (the only way now() advances) bumps events_processed, and
+  /// expect/fulfill/restore_checkpoint bump a dedicated op counter.
+  /// Incremental checkpointing skips re-capturing the kernel section while
+  /// the revision holds still.
+  [[nodiscard]] std::uint64_t revision() const {
+    std::uint64_t hash = 1469598103934665603ULL;
+    for (std::uint64_t value : {sequence_, events_processed_, expectation_ops_,
+                                static_cast<std::uint64_t>(processes_.size()),
+                                static_cast<std::uint64_t>(expectations_.size())}) {
+      hash ^= value;
+      hash *= 1099511628211ULL;
+    }
+    return hash;
+  }
 
   // --- Checkpoint / restore --------------------------------------------------
 
@@ -343,6 +391,7 @@ class Kernel {
 
   SimTime now_;
   std::uint64_t sequence_ = 0;
+  std::uint64_t expectation_ops_ = 0;  ///< expect/fulfill/restore calls (see revision()).
   std::uint64_t delta_count_ = 0;
   std::uint64_t events_processed_ = 0;
 

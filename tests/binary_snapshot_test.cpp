@@ -1,0 +1,779 @@
+// Binary checkpointing tests: binary<->XML round-trip equality on a rig
+// that exercises every section kind, a mutation-fuzz corpus for the binary
+// decoder (truncation, bit-flips, duplicated sections, version skew),
+// incremental delta chains, and the CheckpointStore recovery ladder
+// (corrupt/version-skewed/missing files quarantined, write faults injected
+// through FaultSite::kCheckpoint).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "replay/binary.hpp"
+#include "replay/snapshot.hpp"
+#include "replay/store.hpp"
+#include "sim/bus.hpp"
+#include "sim/fault.hpp"
+#include "sim/kernel.hpp"
+#include "sim/replay.hpp"
+#include "sim/supervise.hpp"
+#include "statechart/interpreter.hpp"
+#include "statechart/model.hpp"
+
+namespace umlsoc::replay {
+namespace {
+
+using sim::SimTime;
+
+std::unique_ptr<statechart::StateMachine> make_machine() {
+  auto machine = std::make_unique<statechart::StateMachine>("Rig");
+  statechart::Region& top = machine->top();
+  statechart::State& idle = top.add_state("Idle");
+  statechart::State& busy = top.add_state("Busy");
+  top.add_transition(top.add_initial(), idle);
+  top.add_transition(idle, busy).set_trigger("go");
+  top.add_transition(busy, idle).set_trigger("done");
+  return machine;
+}
+
+/// A deterministic mini-SoC covering every snapshot section kind: kernel,
+/// fault plan, recorder, statechart, bus, watchdog, supervisor (with a
+/// restart pending mid-run), circuit breaker (driving bus writes), health
+/// registry and a value bank. Constructed identically every time.
+struct FullRig {
+  static constexpr int kTicks = 40;
+  static constexpr std::uint64_t kTickPs = 10000;  // 10ns.
+
+  sim::Kernel kernel;
+  sim::MemoryMappedBus bus;
+  sim::FaultPlan plan;
+  statechart::StateMachineInstance instance;
+  sim::Watchdog watchdog;
+  sim::EventRecorder recorder;
+  sim::BusMasterPort port;
+  sim::CircuitBreaker breaker;
+  sim::Supervisor supervisor;
+  sim::HealthRegistry health;
+  std::array<std::uint64_t, 8> memory{};
+  sim::ProcessId ticker = sim::kInvalidProcess;
+  sim::Supervisor::ChildId dma_child = 0;
+  sim::HealthRegistry::UnitId dma_unit = sim::HealthRegistry::kInvalidUnit;
+  int ticks = 0;
+  int child_restarts = 0;
+  std::uint64_t read_sum = 0;
+
+  explicit FullRig(const statechart::StateMachine& machine)
+      : bus(kernel, "mem", SimTime::ns(4)),
+        plan(/*seed=*/7),
+        instance(machine),
+        watchdog(kernel, "rig", SimTime::us(1)),
+        recorder(/*ring_capacity=*/0),
+        port(kernel, bus, "port"),
+        breaker(kernel, port, "dma", breaker_config()),
+        supervisor(kernel, "soc", sim::RestartStrategy::kOneForOne, restart_policy()) {
+    for (std::size_t i = 0; i < memory.size(); ++i) memory[i] = 0x100 + i;
+    bus.map_device(
+        "ram", 0x0, memory.size() * 8,
+        [this](std::uint64_t address) { return memory[address / 8]; },
+        [this](std::uint64_t address, std::uint64_t value) { memory[address / 8] = value; });
+    sim::FaultPlan::SiteConfig config;
+    config.error_rate = 0.3;    // Timing-neutral faults only: completions
+    config.bit_flip_rate = 0.2; // always land exactly one latency later.
+    plan.configure(sim::FaultSite::kBusRead, config);
+    bus.install_fault_plan(&plan);
+    dma_unit = health.register_unit("dma");
+    breaker.bind_health(&health, dma_unit);
+    dma_child = supervisor.add_child("dma", [this] {
+      ++child_restarts;
+      return true;
+    });
+    instance.set_trace_enabled(false);
+    instance.start();
+    ticker = kernel.register_process([this] { tick(); }, "rig.ticker");
+    kernel.set_recorder(&recorder);
+    watchdog.arm();
+    kernel.schedule(SimTime(kTickPs), ticker);
+  }
+
+  static sim::CircuitBreaker::Config breaker_config() {
+    sim::CircuitBreaker::Config config;
+    config.window = 4;
+    config.min_samples = 2;
+    config.failure_threshold = 0.5;
+    config.open_duration = SimTime::ns(100);
+    config.reopen_multiplier = 2;
+    config.max_open_duration = SimTime::ns(300);
+    return config;
+  }
+
+  static sim::RestartPolicy restart_policy() {
+    sim::RestartPolicy policy;
+    policy.backoff = SimTime::ns(100);
+    policy.backoff_multiplier = 2;
+    policy.max_backoff = SimTime::ns(350);
+    policy.max_restarts = 3;
+    policy.window = SimTime::us(50);
+    return policy;
+  }
+
+  void tick() {
+    ++ticks;
+    watchdog.kick();
+    bus.read((static_cast<std::uint64_t>(ticks) % memory.size()) * 8,
+             sim::MemoryMappedBus::ReadCompletion(
+                 [this](sim::BusStatus, std::uint64_t value) { read_sum += value; }));
+    if (ticks % 2 == 1) {
+      instance.dispatch(statechart::Event{"go", ticks});
+    } else {
+      instance.dispatch(statechart::Event{"done", ticks});
+    }
+    if (ticks == 1) {
+      // A breaker-mediated write and a child failure whose restart stays
+      // pending (due at 110ns) across every mid-run checkpoint instant.
+      breaker.write(5 * 8, 0xAB, nullptr);
+      supervisor.report_failure(dma_child, "tick-1 crash");
+    }
+    if (ticks == 3) breaker.write(6 * 8, 0xCD, nullptr);
+    if (ticks == 2) instance.post(statechart::Event{"pending", 99, "tagged"});
+    if (ticks < kTicks) kernel.schedule(SimTime(kTickPs), ticker);
+  }
+
+  void run(std::uint64_t end_ps = 0) {
+    if (end_ps == 0) {
+      kernel.run();
+      watchdog.disarm();
+    } else {
+      kernel.run(SimTime(end_ps));
+    }
+  }
+
+  [[nodiscard]] SnapshotTargets targets() {
+    SnapshotTargets out;
+    out.kernel = &kernel;
+    out.fault_plan = &plan;
+    out.recorder = &recorder;
+    out.machines.push_back({"rig", &instance});
+    out.buses.push_back({"mem", &bus});
+    out.watchdogs.push_back({"rig", &watchdog});
+    out.supervisors.push_back({"soc", &supervisor});
+    out.breakers.push_back({"dma", &breaker});
+    out.health.push_back({"health", &health});
+    out.banks.push_back(
+        {"memory",
+         [this] {
+           std::vector<std::pair<std::string, std::uint64_t>> values;
+           for (std::size_t i = 0; i < memory.size(); ++i) {
+             values.emplace_back("w" + std::to_string(i), memory[i]);
+           }
+           values.emplace_back("ticks", static_cast<std::uint64_t>(ticks));
+           values.emplace_back("restarts", static_cast<std::uint64_t>(child_restarts));
+           values.emplace_back("read-sum", read_sum);
+           return values;
+         },
+         [this](const std::vector<std::pair<std::string, std::uint64_t>>& values,
+                support::DiagnosticSink& sink) {
+           for (const auto& [key, value] : values) {
+             if (key == "ticks") {
+               ticks = static_cast<int>(value);
+             } else if (key == "restarts") {
+               child_restarts = static_cast<int>(value);
+             } else if (key == "read-sum") {
+               read_sum = value;
+             } else if (key.size() > 1 && key[0] == 'w') {
+               memory[static_cast<std::size_t>(key[1] - '0')] = value;
+             } else {
+               sink.error("memory", "unknown key '" + key + "'");
+               return false;
+             }
+           }
+           return true;
+         }});
+    return out;
+  }
+};
+
+constexpr std::size_t kSectionKinds = 10;  // Every kind FullRig serializes.
+
+// Quiescent checkpoint instants: ticks land at multiples of 10ns, bus and
+// breaker completions 4ns later, so N*10000 + 5000 is always between a
+// completed transaction and the next tick.
+constexpr std::uint64_t kMidRunPs = 25000;
+
+void expect_same_outcome(FullRig& restored, FullRig& reference,
+                         const std::vector<sim::RecordedEvent>& reference_log) {
+  EXPECT_EQ(sim::first_divergence(reference_log, restored.recorder.log(), &restored.kernel),
+            std::nullopt);
+  EXPECT_EQ(restored.kernel.now(), reference.kernel.now());
+  EXPECT_EQ(restored.kernel.events_processed(), reference.kernel.events_processed());
+  EXPECT_EQ(restored.ticks, reference.ticks);
+  EXPECT_EQ(restored.read_sum, reference.read_sum);
+  EXPECT_EQ(restored.memory, reference.memory);
+  EXPECT_EQ(restored.bus.stats().reads, reference.bus.stats().reads);
+  EXPECT_EQ(restored.bus.stats().errors, reference.bus.stats().errors);
+  EXPECT_EQ(restored.plan.str(), reference.plan.str());
+  EXPECT_EQ(restored.watchdog.trips(), reference.watchdog.trips());
+  EXPECT_EQ(restored.watchdog.kicks(), reference.watchdog.kicks());
+  EXPECT_EQ(restored.instance.active_leaf_names(), reference.instance.active_leaf_names());
+  EXPECT_EQ(restored.instance.events_processed(), reference.instance.events_processed());
+  EXPECT_EQ(restored.breaker.stats().issued, reference.breaker.stats().issued);
+  EXPECT_EQ(restored.breaker.stats().ok, reference.breaker.stats().ok);
+  EXPECT_EQ(restored.child_restarts, reference.child_restarts);
+  EXPECT_EQ(restored.supervisor.pending_restarts(), reference.supervisor.pending_restarts());
+  EXPECT_EQ(restored.health.aggregate(), reference.health.aggregate());
+}
+
+// FNV-1a helpers matching the on-disk format, for surgically repairing the
+// header checksum after a deliberate mutation.
+constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+constexpr std::size_t kHeaderHashedBytes = 36;  // Everything before the checksum.
+constexpr std::size_t kHeaderVersionOffset = 8;
+
+std::uint64_t fnv1a(std::string_view data, std::uint64_t hash = kFnvOffsetBasis) {
+  for (const char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+void put_u32(std::string& bytes, std::size_t offset, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) bytes[offset + i] = static_cast<char>((value >> (8 * i)) & 0xff);
+}
+
+void put_u64(std::string& bytes, std::size_t offset, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) bytes[offset + i] = static_cast<char>((value >> (8 * i)) & 0xff);
+}
+
+void patch_version(std::string& bytes, std::uint32_t version) {
+  put_u32(bytes, kHeaderVersionOffset, version);
+  put_u64(bytes, kHeaderHashedBytes,
+          fnv1a(std::string_view(bytes).substr(0, kHeaderHashedBytes)));
+}
+
+class BinarySnapshotTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<statechart::StateMachine> machine_ = make_machine();
+};
+
+TEST_F(BinarySnapshotTest, RoundTripIsBitIdentical) {
+  FullRig reference(*machine_);
+  reference.run();
+  const std::vector<sim::RecordedEvent> reference_log = reference.recorder.log();
+  ASSERT_GT(reference_log.size(), 0u);
+
+  FullRig source(*machine_);
+  source.run(kMidRunPs);
+  ASSERT_EQ(source.bus.pending_transactions(), 0u);
+  ASSERT_EQ(source.supervisor.pending_restarts(), 1u) << "restart must be in flight";
+  std::string snapshot;
+  support::DiagnosticSink sink;
+  ASSERT_TRUE(save_snapshot_binary(source.targets(), snapshot, sink)) << sink.str();
+  EXPECT_EQ(snapshot.substr(0, kBinaryMagic.size()), kBinaryMagic);
+
+  FullRig restored(*machine_);
+  support::DiagnosticSink restore_sink;
+  ASSERT_TRUE(restore_snapshot_binary(restored.targets(), snapshot, restore_sink))
+      << restore_sink.str();
+  restored.run();
+  expect_same_outcome(restored, reference, reference_log);
+}
+
+TEST_F(BinarySnapshotTest, ConvertersAreLossless) {
+  FullRig source(*machine_);
+  source.run(kMidRunPs);
+
+  std::string xml;
+  std::string binary;
+  support::DiagnosticSink sink;
+  ASSERT_TRUE(save_snapshot(source.targets(), xml, sink)) << sink.str();
+  ASSERT_TRUE(save_snapshot_binary(source.targets(), binary, sink)) << sink.str();
+
+  // xml -> binary meets the directly captured binary byte-for-byte ...
+  std::string converted_binary;
+  ASSERT_TRUE(xml_to_binary(xml, converted_binary, sink)) << sink.str();
+  EXPECT_EQ(converted_binary, binary);
+
+  // ... and binary -> xml reproduces the canonical document, checksums and
+  // all, so the converter pair is lossless in both directions.
+  std::string converted_xml;
+  ASSERT_TRUE(binary_to_xml(binary, converted_xml, sink)) << sink.str();
+  EXPECT_EQ(converted_xml, xml);
+}
+
+TEST_F(BinarySnapshotTest, EncodeAndRestoreUpdateSnapshotStats) {
+  FullRig source(*machine_);
+  source.run(kMidRunPs);
+  ASSERT_EQ(source.kernel.stats().snapshot.encodes, 0u);
+
+  std::string snapshot;
+  support::DiagnosticSink sink;
+  ASSERT_TRUE(save_snapshot_binary(source.targets(), snapshot, sink)) << sink.str();
+  const sim::Kernel::SnapshotStats& encoded = source.kernel.stats().snapshot;
+  EXPECT_EQ(encoded.encodes, 1u);
+  EXPECT_EQ(encoded.bytes_written, snapshot.size());
+  EXPECT_EQ(encoded.sections_total, kSectionKinds);
+  EXPECT_EQ(encoded.sections_dirty, kSectionKinds) << "a full snapshot is all-dirty";
+
+  FullRig restored(*machine_);
+  support::DiagnosticSink restore_sink;
+  ASSERT_TRUE(restore_snapshot_binary(restored.targets(), snapshot, restore_sink))
+      << restore_sink.str();
+  EXPECT_EQ(restored.kernel.stats().snapshot.restores, 1u);
+}
+
+TEST_F(BinarySnapshotTest, TruncatedFilesAreRejectedAtEveryLength) {
+  FullRig source(*machine_);
+  source.run(kMidRunPs);
+  std::string snapshot;
+  support::DiagnosticSink sink;
+  ASSERT_TRUE(save_snapshot_binary(source.targets(), snapshot, sink)) << sink.str();
+
+  std::size_t accepted = 0;
+  std::size_t silent = 0;
+  for (std::size_t length = 0; length < snapshot.size(); ++length) {
+    SnapshotImage image;
+    support::DiagnosticSink attempt;
+    if (image_from_binary(std::string_view(snapshot).substr(0, length), image, attempt)) {
+      ++accepted;
+    } else if (!attempt.has_errors()) {
+      ++silent;
+    }
+  }
+  EXPECT_EQ(accepted, 0u) << "no strict prefix may decode";
+  EXPECT_EQ(silent, 0u) << "every rejection must carry a diagnostic";
+}
+
+TEST_F(BinarySnapshotTest, EveryBitFlipIsRejected) {
+  FullRig source(*machine_);
+  source.run(kMidRunPs);
+  std::string snapshot;
+  support::DiagnosticSink sink;
+  ASSERT_TRUE(save_snapshot_binary(source.targets(), snapshot, sink)) << sink.str();
+
+  // Frame checksums cover metadata and payload, the header checksum covers
+  // the header, and magic/trailer are compared literally — so flipping any
+  // single bit anywhere must fail the decode. Walk every byte, rotating the
+  // flipped bit position.
+  std::size_t accepted = 0;
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    std::string mutated = snapshot;
+    mutated[i] ^= static_cast<char>(1u << (i % 8));
+    SnapshotImage image;
+    support::DiagnosticSink attempt;
+    if (image_from_binary(mutated, image, attempt)) ++accepted;
+  }
+  EXPECT_EQ(accepted, 0u);
+}
+
+TEST_F(BinarySnapshotTest, CorruptSectionIsNamedInDiagnostics) {
+  FullRig source(*machine_);
+  source.run(kMidRunPs);
+  std::string snapshot;
+  support::DiagnosticSink sink;
+  ASSERT_TRUE(save_snapshot_binary(source.targets(), snapshot, sink)) << sink.str();
+
+  // The byte just before the trailer sits in the bank payload (the last
+  // section FullRig emits): the failure must name that section and offset.
+  std::string mutated = snapshot;
+  mutated[mutated.size() - kBinaryTrailer.size() - 1] ^= 0x01;
+  SnapshotImage image;
+  support::DiagnosticSink attempt;
+  EXPECT_FALSE(image_from_binary(mutated, image, attempt));
+  EXPECT_NE(attempt.str().find("section checksum mismatch in <bank"), std::string::npos)
+      << attempt.str();
+  EXPECT_NE(attempt.str().find("at offset "), std::string::npos) << attempt.str();
+}
+
+TEST_F(BinarySnapshotTest, DuplicateSectionsAreRejected) {
+  FullRig source(*machine_);
+  source.run(kMidRunPs);
+  SnapshotImage image;
+  support::DiagnosticSink sink;
+  ASSERT_TRUE(capture_image(source.targets(), image, sink)) << sink.str();
+  ASSERT_EQ(image.machines.size(), 1u);
+  image.machines.push_back(image.machines.front());
+
+  const std::string binary = image_to_binary(image);
+  SnapshotImage decoded;
+  support::DiagnosticSink attempt;
+  EXPECT_FALSE(image_from_binary(binary, decoded, attempt));
+  EXPECT_NE(attempt.str().find("duplicate"), std::string::npos) << attempt.str();
+}
+
+TEST_F(BinarySnapshotTest, GarbageInputsAreRejected) {
+  const std::string inputs[] = {
+      "",
+      std::string(kBinaryMagic),
+      "definitely not a snapshot",
+      "<umlsoc-snapshot version=\"3\"/>",
+      std::string(200, '\xff'),
+  };
+  for (const std::string& input : inputs) {
+    SnapshotImage image;
+    support::DiagnosticSink attempt;
+    EXPECT_FALSE(image_from_binary(input, image, attempt));
+    EXPECT_TRUE(attempt.has_errors());
+  }
+}
+
+TEST_F(BinarySnapshotTest, VersionSkewIsRejectedWithStructuredMessage) {
+  FullRig source(*machine_);
+  source.run(kMidRunPs);
+  std::string snapshot;
+  support::DiagnosticSink sink;
+  ASSERT_TRUE(save_snapshot_binary(source.targets(), snapshot, sink)) << sink.str();
+
+  // Bump the version and repair the header checksum so the version check
+  // itself — not the checksum — must catch the skew.
+  std::string mutated = snapshot;
+  patch_version(mutated, static_cast<std::uint32_t>(kSnapshotVersion) + 1);
+  SnapshotImage image;
+  support::DiagnosticSink attempt;
+  EXPECT_FALSE(image_from_binary(mutated, image, attempt));
+  EXPECT_NE(attempt.str().find("unsupported snapshot version " +
+                               std::to_string(kSnapshotVersion + 1)),
+            std::string::npos)
+      << attempt.str();
+
+  BinarySnapshotInfo info;
+  support::DiagnosticSink info_sink;
+  EXPECT_FALSE(read_binary_info(mutated, info, info_sink));
+}
+
+TEST_F(BinarySnapshotTest, CleanDeltaIsEmptyAndTiny) {
+  FullRig source(*machine_);
+  // Run deep enough that the full snapshot carries a real event log; the
+  // 5x claim is about amortized payload, not framing overhead.
+  source.run(205000);
+
+  IncrementalEncoder encoder;
+  IncrementalEncoder::Result full;
+  IncrementalEncoder::Result delta;
+  support::DiagnosticSink sink;
+  ASSERT_TRUE(encoder.encode(source.targets(), /*force_full=*/false, full, sink)) << sink.str();
+  EXPECT_FALSE(full.delta) << "the first encode has no base to chain to";
+  EXPECT_EQ(full.sections_dirty, kSectionKinds);
+
+  // Nothing ran in between: every section dedups to a reference frame.
+  ASSERT_TRUE(encoder.encode(source.targets(), /*force_full=*/false, delta, sink)) << sink.str();
+  EXPECT_TRUE(delta.delta);
+  EXPECT_EQ(delta.base_seq, full.seq);
+  EXPECT_EQ(delta.sections_dirty, 0u);
+  EXPECT_LT(delta.bytes.size() * 5, full.bytes.size())
+      << "an all-clean delta must be at least 5x smaller than its base";
+
+  // The resolved chain equals a direct capture, compared via canonical XML.
+  SnapshotImage chained;
+  ASSERT_TRUE(image_from_binary_chain({full.bytes, delta.bytes}, chained, sink)) << sink.str();
+  std::string direct_xml;
+  ASSERT_TRUE(save_snapshot(source.targets(), direct_xml, sink)) << sink.str();
+  EXPECT_EQ(image_to_xml(chained), direct_xml);
+}
+
+TEST_F(BinarySnapshotTest, DeltaChainRestoresBitIdentically) {
+  FullRig reference(*machine_);
+  reference.run();
+  const std::vector<sim::RecordedEvent> reference_log = reference.recorder.log();
+
+  FullRig source(*machine_);
+  source.run(kMidRunPs);
+  IncrementalEncoder encoder;
+  IncrementalEncoder::Result full;
+  IncrementalEncoder::Result delta;
+  support::DiagnosticSink sink;
+  ASSERT_TRUE(encoder.encode(source.targets(), /*force_full=*/true, full, sink)) << sink.str();
+
+  source.run(45000);
+  ASSERT_TRUE(encoder.encode(source.targets(), /*force_full=*/false, delta, sink)) << sink.str();
+  EXPECT_TRUE(delta.delta);
+  EXPECT_GT(delta.sections_dirty, 0u);
+  EXPECT_LT(delta.sections_dirty, delta.sections_total)
+      << "idle sections (supervisor, health) must dedup to references";
+  EXPECT_LT(delta.bytes.size(), full.bytes.size());
+
+  // Resolving the chain and applying it continues bit-identically — this
+  // drives the recorder-append splice and reference verification paths.
+  SnapshotImage image;
+  ASSERT_TRUE(image_from_binary_chain({full.bytes, delta.bytes}, image, sink)) << sink.str();
+  FullRig restored(*machine_);
+  support::DiagnosticSink apply_sink;
+  ASSERT_TRUE(apply_image(restored.targets(), image, apply_sink)) << apply_sink.str();
+  restored.run();
+  expect_same_outcome(restored, reference, reference_log);
+}
+
+TEST_F(BinarySnapshotTest, XmlSectionChecksumDiagnosticsNameTheSection) {
+  FullRig source(*machine_);
+  source.run(kMidRunPs);
+  std::string xml;
+  support::DiagnosticSink sink;
+  ASSERT_TRUE(save_snapshot(source.targets(), xml, sink)) << sink.str();
+
+  // Corrupt one digit of an attribute inside the watchdog section: the
+  // failure must name the section, not just the document.
+  const std::size_t section = xml.find("<watchdog");
+  ASSERT_NE(section, std::string::npos);
+  const std::size_t field = xml.find("kicks=\"", section);
+  ASSERT_NE(field, std::string::npos);
+  std::string mutated = xml;
+  char& digit = mutated[field + 7];
+  ASSERT_TRUE(digit >= '0' && digit <= '9');
+  digit = digit == '9' ? '3' : static_cast<char>(digit + 1);
+
+  FullRig victim(*machine_);
+  support::DiagnosticSink attempt;
+  EXPECT_FALSE(restore_snapshot(victim.targets(), mutated, attempt));
+  EXPECT_NE(attempt.str().find("checksum mismatch"), std::string::npos) << attempt.str();
+  EXPECT_NE(attempt.str().find("section checksum mismatch in <watchdog"), std::string::npos)
+      << attempt.str();
+}
+
+// --- CheckpointStore ---------------------------------------------------------
+
+bool read_file(const std::filesystem::path& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  return true;
+}
+
+bool write_file(const std::filesystem::path& path, std::string_view bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return out.good();
+}
+
+std::vector<std::filesystem::path> snapshot_files(const std::filesystem::path& dir) {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".usnap") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());  // Zero-padded names: seq order.
+  return files;
+}
+
+class CheckpointStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Relative to the test's working directory (inside the build tree).
+    dir_ = std::filesystem::path("checkpoint_store_test") /
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override {
+    // Only this test's subdirectory: ctest runs cases in parallel in one
+    // working directory, so removing the shared parent would delete a
+    // sibling test's live store.
+    std::filesystem::remove_all(dir_);
+  }
+
+  CheckpointStoreConfig config(unsigned full_interval = 3, unsigned keep_fulls = 2) {
+    CheckpointStoreConfig out;
+    out.directory = dir_;
+    out.full_interval = full_interval;
+    out.keep_fulls = keep_fulls;
+    return out;
+  }
+
+  /// Advances the rig through quiescent savepoints, writing one checkpoint
+  /// at each.
+  void write_checkpoints(FullRig& rig, CheckpointStore& store, int count, int first = 0) {
+    for (int k = first; k < first + count; ++k) {
+      rig.run(kMidRunPs + 20000 * static_cast<std::uint64_t>(k));
+      CheckpointStore::WriteResult result;
+      support::DiagnosticSink sink;
+      ASSERT_TRUE(store.checkpoint(rig.targets(), result, sink)) << sink.str();
+    }
+  }
+
+  std::filesystem::path dir_;
+  std::unique_ptr<statechart::StateMachine> machine_ = make_machine();
+};
+
+TEST_F(CheckpointStoreTest, RestoreLatestGoodContinuesBitIdentically) {
+  FullRig reference(*machine_);
+  reference.run();
+  const std::vector<sim::RecordedEvent> reference_log = reference.recorder.log();
+
+  FullRig source(*machine_);
+  CheckpointStore store(config());
+  write_checkpoints(source, store, 5);
+  EXPECT_EQ(store.stats().checkpoints, 5u);
+  EXPECT_EQ(store.stats().fulls, 2u) << "full cadence: seq 1 and 4";
+  EXPECT_EQ(store.stats().deltas, 3u);
+  EXPECT_EQ(snapshot_files(dir_).size(), 5u);
+
+  // A fresh store instance recovers purely from the on-disk ladder.
+  FullRig restored(*machine_);
+  CheckpointStore recovery(config());
+  support::DiagnosticSink sink;
+  ASSERT_TRUE(recovery.restore_latest_good(restored.targets(), sink)) << sink.str();
+  EXPECT_EQ(recovery.stats().restored_seq, 5u);
+  EXPECT_EQ(recovery.stats().quarantines, 0u);
+  restored.run();
+  expect_same_outcome(restored, reference, reference_log);
+}
+
+TEST_F(CheckpointStoreTest, LadderStepsPastCorruptNewest) {
+  FullRig reference(*machine_);
+  reference.run();
+  const std::vector<sim::RecordedEvent> reference_log = reference.recorder.log();
+
+  FullRig source(*machine_);
+  CheckpointStore store(config());
+  write_checkpoints(source, store, 5);
+
+  // Tear the newest checkpoint in half, as a crash mid-write would.
+  const std::vector<std::filesystem::path> files = snapshot_files(dir_);
+  ASSERT_EQ(files.size(), 5u);
+  std::string bytes;
+  ASSERT_TRUE(read_file(files.back(), bytes));
+  bytes.resize(bytes.size() / 2);
+  ASSERT_TRUE(write_file(files.back(), bytes));
+
+  FullRig restored(*machine_);
+  CheckpointStore recovery(config());
+  support::DiagnosticSink sink;
+  ASSERT_TRUE(recovery.restore_latest_good(restored.targets(), sink)) << sink.str();
+  EXPECT_EQ(recovery.stats().quarantines, 1u);
+  EXPECT_EQ(recovery.stats().restored_seq, 4u) << "one rung down the ladder";
+  ASSERT_EQ(recovery.quarantined().size(), 1u);
+  EXPECT_EQ(recovery.quarantined().front().path, files.back());
+
+  restored.run();
+  expect_same_outcome(restored, reference, reference_log);
+}
+
+TEST_F(CheckpointStoreTest, VersionSkewedCheckpointIsQuarantined) {
+  FullRig source(*machine_);
+  CheckpointStore store(config());
+  write_checkpoints(source, store, 5);
+
+  const std::vector<std::filesystem::path> files = snapshot_files(dir_);
+  std::string bytes;
+  ASSERT_TRUE(read_file(files.back(), bytes));
+  patch_version(bytes, static_cast<std::uint32_t>(kSnapshotVersion) + 1);
+  ASSERT_TRUE(write_file(files.back(), bytes));
+
+  FullRig restored(*machine_);
+  CheckpointStore recovery(config());
+  support::DiagnosticSink sink;
+  ASSERT_TRUE(recovery.restore_latest_good(restored.targets(), sink)) << sink.str();
+  EXPECT_EQ(recovery.stats().restored_seq, 4u);
+  ASSERT_EQ(recovery.quarantined().size(), 1u);
+  EXPECT_NE(recovery.quarantined().front().reason.find("unsupported snapshot version"),
+            std::string::npos)
+      << recovery.quarantined().front().reason;
+}
+
+TEST_F(CheckpointStoreTest, ExhaustedLadderReportsAndFailsHealth) {
+  FullRig source(*machine_);
+  CheckpointStore store(config());
+  write_checkpoints(source, store, 5);
+
+  // Flip a bit in the middle of every checkpoint: nothing is restorable.
+  for (const std::filesystem::path& path : snapshot_files(dir_)) {
+    std::string bytes;
+    ASSERT_TRUE(read_file(path, bytes));
+    bytes[bytes.size() / 2] ^= 0x10;
+    ASSERT_TRUE(write_file(path, bytes));
+  }
+
+  FullRig restored(*machine_);
+  sim::HealthRegistry health;
+  CheckpointStore recovery(config());
+  recovery.bind_health(health);
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(recovery.restore_latest_good(restored.targets(), sink));
+  EXPECT_NE(sink.str().find("no restorable checkpoint"), std::string::npos) << sink.str();
+  EXPECT_EQ(recovery.quarantined().size(), 5u) << "every file steps aside with a reason";
+  EXPECT_EQ(health.aggregate(), sim::UnitHealth::kFailed);
+  EXPECT_TRUE(snapshot_files(dir_).empty()) << "quarantined files leave the scan set";
+  // The victim rig was never touched: it can still run from scratch.
+  restored.run();
+  EXPECT_EQ(restored.ticks, FullRig::kTicks);
+}
+
+TEST_F(CheckpointStoreTest, RotationPrunesOldChainsAndKeepsBases) {
+  FullRig reference(*machine_);
+  reference.run();
+  const std::vector<sim::RecordedEvent> reference_log = reference.recorder.log();
+
+  FullRig source(*machine_);
+  CheckpointStore store(config(/*full_interval=*/2, /*keep_fulls=*/2));
+  write_checkpoints(source, store, 12);
+
+  // Fulls at seq 1,3,5,7,9,11; retaining two keeps {9,11}, so only seq
+  // 9..12 survive and every surviving delta still has its base on disk.
+  const std::vector<std::filesystem::path> files = snapshot_files(dir_);
+  EXPECT_EQ(files.size(), 4u);
+  EXPECT_EQ(store.stats().pruned, 8u);
+  EXPECT_EQ(files.front().filename().string(), "ckpt-00000009.usnap");
+
+  FullRig restored(*machine_);
+  CheckpointStore recovery(config(2, 2));
+  support::DiagnosticSink sink;
+  ASSERT_TRUE(recovery.restore_latest_good(restored.targets(), sink)) << sink.str();
+  EXPECT_EQ(recovery.stats().restored_seq, 12u);
+  restored.run();
+  expect_same_outcome(restored, reference, reference_log);
+}
+
+TEST_F(CheckpointStoreTest, InjectedWriteFaultsRecoverViaLadder) {
+  FullRig reference(*machine_);
+  reference.run();
+  const std::vector<sim::RecordedEvent> reference_log = reference.recorder.log();
+
+  FullRig source(*machine_);
+  CheckpointStore store(config());
+  // First checkpoint lands clean so a good base is guaranteed, then every
+  // later write rolls the dice on torn/lost/bit-flipped outcomes.
+  write_checkpoints(source, store, 1);
+  sim::FaultPlan corruption(/*seed=*/99);
+  sim::FaultPlan::SiteConfig faults;
+  faults.error_rate = 0.25;
+  faults.drop_rate = 0.25;
+  faults.bit_flip_rate = 0.25;
+  corruption.configure(sim::FaultSite::kCheckpoint, faults);
+  store.install_fault_plan(&corruption);
+  write_checkpoints(source, store, 7, /*first=*/1);
+  EXPECT_GT(store.stats().write_faults, 0u)
+      << "seed 99 must actually injure some checkpoints";
+
+  FullRig restored(*machine_);
+  CheckpointStore recovery(config());
+  support::DiagnosticSink sink;
+  ASSERT_TRUE(recovery.restore_latest_good(restored.targets(), sink)) << sink.str();
+  EXPECT_GE(recovery.stats().restored_seq, 1u);
+  restored.run();
+  expect_same_outcome(restored, reference, reference_log);
+}
+
+TEST_F(CheckpointStoreTest, StrayFilesAreIgnored) {
+  FullRig source(*machine_);
+  CheckpointStore store(config());
+  write_checkpoints(source, store, 3);
+
+  // Leftover tmp files, foreign prefixes and malformed names must neither
+  // crash the scan nor shadow real checkpoints.
+  ASSERT_TRUE(write_file(dir_ / "ckpt-00000099.usnap.tmp", "half-written junk"));
+  ASSERT_TRUE(write_file(dir_ / "ckpt-0000000x.usnap", "bad digits"));
+  ASSERT_TRUE(write_file(dir_ / "other-00000001.usnap", "foreign prefix"));
+  ASSERT_TRUE(write_file(dir_ / "notes.txt", "not a checkpoint"));
+
+  FullRig restored(*machine_);
+  CheckpointStore recovery(config());
+  support::DiagnosticSink sink;
+  ASSERT_TRUE(recovery.restore_latest_good(restored.targets(), sink)) << sink.str();
+  EXPECT_EQ(recovery.stats().restored_seq, 3u);
+  EXPECT_EQ(recovery.stats().quarantines, 0u);
+}
+
+}  // namespace
+}  // namespace umlsoc::replay

@@ -69,20 +69,12 @@ void BM_AblSignalWrite(benchmark::State& state) {
   signal.value_changed().subscribe([&subscribers_hit] { ++subscribers_hit; });
   const bool changing = state.range(0) != 0;
   int value = 0;
-  // Deliberately drives the deprecated transient shim: this ablation
-  // measures the per-event std::function registration cost the handle API
-  // removed.
-#if defined(__GNUC__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
+  const sim::ProcessId writer =
+      kernel.register_process([&] { signal.write(changing ? ++value : 0); }, "abl.writer");
   for (auto _ : state) {
-    kernel.schedule(sim::SimTime::ns(1), [&] { signal.write(changing ? ++value : 0); });
+    kernel.schedule(sim::SimTime::ns(1), writer);
     kernel.run();
   }
-#if defined(__GNUC__)
-#pragma GCC diagnostic pop
-#endif
   benchmark::DoNotOptimize(subscribers_hit);
   state.SetLabel(changing ? "value-changes" : "same-value");
   state.counters["notifications"] = static_cast<double>(subscribers_hit);

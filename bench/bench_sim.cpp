@@ -101,7 +101,6 @@ void BM_ClockFanout(benchmark::State& state) {
   state.counters["events/s"] = benchmark::Counter(total_events, benchmark::Counter::kIsRate);
   state.counters["fanout"] = static_cast<double>(state.range(0));
   state.counters["timed_peak"] = static_cast<double>(last_stats.timed_peak);
-  state.counters["transients"] = static_cast<double>(last_stats.transient_registrations);
 }
 BENCHMARK(BM_ClockFanout)->Arg(1)->Arg(32)->Arg(512)->Unit(benchmark::kMillisecond);
 

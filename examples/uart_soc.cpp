@@ -31,8 +31,18 @@
 // each seed runs an uninterrupted reference, an identical rig checkpointed
 // mid-stream, and a restored rig that finishes the run under the replay
 // verifier — final state and the full event sequence must match, every
-// unit must end healthy and no error event may go unhandled. Failing
-// seeds are listed so CI logs pinpoint the reproduction.
+// unit must end healthy and no error event may go unhandled. A
+// recovery-ladder leg streams checkpoints to disk under injected write
+// faults and recovers through restore_latest_good, and a crash leg kills
+// the rig mid-run (CrashInjector throwing SimulatedCrash from a kernel
+// process) while a RecoveryCoordinator checkpoints in the background: a
+// freshly constructed rig must recover through the coordinator with lost
+// work bounded by the checkpoint interval and replay bit-identically to
+// an uninterrupted twin. Per-seed scratch (checkpoint ladders, event
+// logs) lives under the system temp dir and is removed on success; a
+// failing seed's scratch is copied to ./chaos-soak-failure/ for CI
+// artifact upload. Failing seeds are listed so CI logs pinpoint the
+// reproduction.
 //
 // With --check-properties the binary instead runs the explicit-state
 // verification engine on the driver-supervision statecharts: a seeded
@@ -59,6 +69,7 @@
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <random>
 
 #include "codegen/hwmodel.hpp"
 #include "codegen/plantuml.hpp"
@@ -66,6 +77,7 @@
 #include "codegen/swruntime.hpp"
 #include "codegen/systemc.hpp"
 #include "mda/transform.hpp"
+#include "replay/recovery.hpp"
 #include "replay/snapshot.hpp"
 #include "replay/store.hpp"
 #include "sim/fault.hpp"
@@ -531,6 +543,67 @@ void finish_run(DegradedRig& rig) {
   rig.kernel.run();
 }
 
+/// In-simulation script driver for the crash leg. The host-side guard loops
+/// above (run_phase, run_recovery_tail) time their sender kicks off
+/// wall-script slicing, which depends on where a restore landed — a rig
+/// recovered mid-phase would re-kick at a different instant than the
+/// uninterrupted reference and diverge. This driver runs the same script
+/// (two traffic phases, keepalive bytes until recovered, final watchdog
+/// disarm) as a kernel process whose every decision is a pure function of
+/// checkpoint-visible rig state: its activations are restored with the
+/// schedule like everything else, so a recovered rig resumes the script
+/// exactly where the checkpoint left it.
+struct ScriptDriver {
+  /// Off the 500 ns traffic grid and coprime to the coordinator/injector
+  /// cadences within the soak horizon.
+  static constexpr std::uint64_t kTickPs = 1'000'037;
+
+  DegradedRig& rig;
+  sim::ProcessId process = sim::kInvalidProcess;
+
+  explicit ScriptDriver(DegradedRig& owner) : rig(owner) {
+    process = rig.kernel.register_process([this] { tick(); }, "soak.script");
+  }
+
+  void start() { rig.kernel.schedule(sim::SimTime(kTickPs), process); }
+
+  [[nodiscard]] bool recovered() const {
+    return rig.breaker.state() == sim::CircuitBreaker::State::kClosed &&
+           rig.health.all_healthy() && rig.sup.quiescent();
+  }
+
+  [[nodiscard]] bool done() const {
+    return rig.target >= 64 && rig.sent >= rig.target &&
+           rig.bus.pending_transactions() == 0 && recovered() && !rig.watchdog.armed();
+  }
+
+  void tick() {
+    // Chain first, unconditionally: a restored pending tick keeps driving.
+    rig.kernel.schedule(sim::SimTime(kTickPs), process);
+    if (rig.target < 32) {
+      rig.target = 32;
+      kick();
+      return;
+    }
+    if (rig.sent < rig.target || rig.bus.pending_transactions() != 0) return;
+    if (rig.target < 64) {
+      rig.target = 64;
+      kick();
+      return;
+    }
+    if (!recovered()) {
+      // One keepalive byte — routed around an open breaker — so simulated
+      // time advances through open durations and restart backoffs.
+      rig.target = rig.sent + 1;
+      kick();
+      return;
+    }
+    if (rig.watchdog.armed()) rig.watchdog.disarm();
+  }
+
+  void kick() { rig.kernel.schedule(sim::SimTime(DegradedRig::kSendPeriodPs), rig.sender); }
+};
+
 /// The interactive demo: deterministic DMA error burst -> breaker opens ->
 /// PIO fallback -> half-open probe restores DMA; then a watchdog
 /// starvation trip -> supervised warm restart -> re-armed dog.
@@ -667,6 +740,8 @@ struct SoakCheckpointTotals {
   std::uint64_t write_faults = 0;
   std::uint64_t quarantines = 0;
   std::uint64_t ladder_recoveries = 0;
+  std::uint64_t crash_recoveries = 0;
+  std::uint64_t crash_lost_work_ps_max = 0;
 
   void add(const sim::Kernel::SnapshotStats& stats) {
     snapshot.encodes += stats.encodes;
@@ -679,15 +754,32 @@ struct SoakCheckpointTotals {
   }
 };
 
+/// Writes a recorded event log as one "index at_ps label" line per event —
+/// the forensic artifact uploaded alongside a failing seed's ladder.
+void dump_event_log(const std::filesystem::path& path,
+                    const std::vector<sim::RecordedEvent>& log, const sim::Kernel& kernel) {
+  std::ofstream out(path);
+  std::uint64_t index = 0;
+  for (const sim::RecordedEvent& event : log) {
+    const std::string& label = kernel.process_label(event.process);
+    out << index++ << ' ' << event.at_ps << ' ' << event.process << ' '
+        << (label.empty() ? "?" : label) << '\n';
+  }
+}
+
 /// One chaos-soak seed: reference run, checkpointed twin, restored twin
-/// under the replay verifier, then a recovery-ladder leg whose on-disk
+/// under the replay verifier, a recovery-ladder leg whose on-disk
 /// checkpoints take injected write faults plus a crash-style tear of the
-/// newest file. Returns an empty string on success, else the failure
-/// description.
+/// newest file, and a crash leg where a CrashInjector kills the rig
+/// mid-run and a RecoveryCoordinator recovers a fresh one. Per-seed
+/// scratch lives under `scratch`; it is removed on success and left in
+/// place on failure (the caller copies it out as a CI artifact). Returns
+/// an empty string on success, else the failure description.
 std::string soak_one_seed(const uml::Component& psm_uart, const soc::SocProfile& profile,
                           const statechart::StateMachine& link_machine,
                           std::uint64_t base, const TrafficFaults& faults,
-                          std::uint64_t seed, SoakCheckpointTotals& totals) {
+                          std::uint64_t seed, const std::filesystem::path& scratch,
+                          SoakCheckpointTotals& totals) {
   support::DiagnosticSink sink;
 
   DegradedRig reference(psm_uart, profile, link_machine, base, faults, seed, sink);
@@ -704,6 +796,13 @@ std::string soak_one_seed(const uml::Component& psm_uart, const soc::SocProfile&
     return "reference supervisor gave up: " + reference.sup.give_up_reason();
   }
   const std::vector<sim::RecordedEvent> reference_log = reference.recorder.log();
+
+  namespace fs = std::filesystem;
+  const fs::path seed_dir = scratch / ("seed-" + std::to_string(seed));
+  std::error_code cleanup_ec;
+  fs::remove_all(seed_dir, cleanup_ec);
+  fs::create_directories(seed_dir, cleanup_ec);
+  dump_event_log(seed_dir / "reference-events.log", reference_log, reference.kernel);
 
   DegradedRig checkpointed(psm_uart, profile, link_machine, base, faults, seed, sink);
   std::string snapshot;
@@ -733,11 +832,7 @@ std::string soak_one_seed(const uml::Component& psm_uart, const soc::SocProfile&
   // determinism is unperturbed. After the run the newest checkpoint is torn
   // in half, crash-style; restore_latest_good must still find a good rung
   // and the recovered rig must replay bit-identically to the reference.
-  namespace fs = std::filesystem;
-  const fs::path ladder_dir =
-      fs::path("chaos-soak-ckpt") / ("seed-" + std::to_string(seed));
-  std::error_code cleanup_ec;
-  fs::remove_all(ladder_dir, cleanup_ec);
+  const fs::path ladder_dir = seed_dir / "ladder";
   replay::CheckpointStoreConfig store_config;
   store_config.directory = ladder_dir;
   store_config.prefix = "soak";
@@ -811,15 +906,135 @@ std::string soak_one_seed(const uml::Component& psm_uart, const soc::SocProfile&
     return problem;
   }
 
-  totals.checkpoints += store.stats().checkpoints;
+  // --- Crash leg -------------------------------------------------------------
+  // Simulated process death: a CrashInjector consults FaultSite::kCrash on
+  // its own plan (NOT a snapshot target, so the rig's determinism is
+  // unperturbed) and throws SimulatedCrash from inside a kernel process
+  // while a RecoveryCoordinator checkpoints in the background. The crashed
+  // rig is abandoned wholesale; a freshly constructed twin recovers through
+  // RecoveryCoordinator::recover(), must have lost no more work than the
+  // checkpoint cadence allows, and must replay bit-identically to an
+  // uninterrupted reference twin running the same script/injector/
+  // coordinator construction (null plan, stopped coordinator — identical
+  // tick streams, no crash, no writes).
+  const fs::path crash_dir = seed_dir / "crash";
+  replay::CheckpointStoreConfig crash_config;
+  crash_config.directory = crash_dir;
+  crash_config.prefix = "crash";
+  crash_config.full_interval = 4;
+  crash_config.keep_fulls = 2;
+
+  replay::RecoveryPolicy crash_policy;
+  crash_policy.checkpoint_interval = sim::SimTime::us(4);
+  // Off the 500 ns traffic grid: a tick sharing an instant with the sender
+  // would be co-batched and refused every time.
+  crash_policy.tick_interval = sim::SimTime(999'001);
+  const sim::SimTime crash_tick_interval(1'000'003);
+  const sim::SimTime crash_horizon = sim::SimTime::us(1000);
+
+  DegradedRig crash_reference(psm_uart, profile, link_machine, base, faults, seed, sink);
+  ScriptDriver reference_script(crash_reference);
+  sim::CrashInjector reference_injector(crash_reference.kernel, nullptr,
+                                        crash_tick_interval);
+  replay::CheckpointStoreConfig crash_ref_config = crash_config;
+  crash_ref_config.directory = seed_dir / "crash-ref";
+  replay::CheckpointStore crash_ref_store(crash_ref_config);
+  replay::RecoveryCoordinator crash_ref_coordinator(
+      crash_reference.kernel, crash_ref_store, crash_reference.targets(), crash_policy);
+  reference_script.start();
+  reference_injector.start();
+  crash_ref_coordinator.start();
+  crash_ref_coordinator.stop();
+  crash_reference.kernel.run(crash_horizon);
+  if (!reference_script.done()) return "crash reference never finished its script";
+  const std::vector<sim::RecordedEvent> crash_reference_log =
+      crash_reference.recorder.log();
+  dump_event_log(seed_dir / "crash-reference-events.log", crash_reference_log,
+                 crash_reference.kernel);
+
+  DegradedRig crash_rig(psm_uart, profile, link_machine, base, faults, seed, sink);
+  ScriptDriver crash_script(crash_rig);
+  sim::FaultPlan crash_plan(seed ^ 0xDEADBEEFULL);
+  sim::FaultPlan::SiteConfig crash_site;
+  crash_site.error_rate = 0.10;  // Each tick dies with p = 0.10 ...
+  crash_site.max_faults = 1;     // ... and exactly one death per run.
+  crash_plan.configure(sim::FaultSite::kCrash, crash_site);
+  sim::CrashInjector injector(crash_rig.kernel, &crash_plan, crash_tick_interval);
+  replay::CheckpointStore crash_store(crash_config);
+  replay::RecoveryCoordinator coordinator(crash_rig.kernel, crash_store,
+                                          crash_rig.targets(), crash_policy);
+  crash_script.start();
+  injector.start();
+  coordinator.start();
+  // Held disarmed until a clean base checkpoint has landed (at time zero,
+  // with every tick chain already scheduled), so recovery is possible by
+  // construction no matter how early the dice kill the rig.
+  injector.disarm();
+  replay::CheckpointStore::WriteResult crash_base;
+  support::DiagnosticSink crash_store_sink;
+  if (!crash_store.checkpoint(crash_rig.targets(), crash_base, crash_store_sink)) {
+    return "crash base checkpoint failed: " + crash_store_sink.str();
+  }
+  injector.arm();
+  std::uint64_t crash_ps = 0;
+  bool crashed = false;
+  try {
+    crash_rig.kernel.run(crash_horizon);
+  } catch (const sim::SimulatedCrash& crash) {
+    crashed = true;
+    crash_ps = crash.at_ps;
+  }
+  if (!crashed) return "crash leg: injector never fired";
+
+  DegradedRig crash_recovered(psm_uart, profile, link_machine, base, faults, seed, sink);
+  ScriptDriver recovered_script(crash_recovered);
+  sim::CrashInjector recovered_injector(crash_recovered.kernel, nullptr,
+                                        crash_tick_interval);
+  replay::CheckpointStore crash_recovery_store(crash_config);
+  replay::RecoveryCoordinator recovered_coordinator(
+      crash_recovered.kernel, crash_recovery_store, crash_recovered.targets(),
+      crash_policy);
+  // Deliberately no start() calls: the restored schedule carries the
+  // pending script, injector and coordinator ticks, and each chain
+  // reschedules itself.
+  support::DiagnosticSink crash_recover_sink;
+  if (!recovered_coordinator.recover(crash_recover_sink)) {
+    return "crash recovery ladder exhausted: " + crash_recover_sink.str();
+  }
+  const std::uint64_t restored_ps = crash_recovered.kernel.now().picoseconds();
+  if (restored_ps > crash_ps) return "crash leg: restored beyond the crash point";
+  // Lost work is bounded by the checkpoint interval plus the refusal-retry
+  // cadence (a due tick that finds the bus busy retries next tick).
+  const std::uint64_t lost_ps = crash_ps - restored_ps;
+  const std::uint64_t lost_bound = crash_policy.checkpoint_interval.picoseconds() +
+                                   2 * crash_policy.tick_interval.picoseconds();
+  if (lost_ps > lost_bound) {
+    return "crash leg: lost work " + sim::SimTime(lost_ps).str() +
+           " exceeds the checkpoint-interval bound " + sim::SimTime(lost_bound).str();
+  }
+  crash_recovered.recorder.begin_verify(crash_reference_log,
+                                        crash_recovered.recorder.total_events());
+  crash_recovered.kernel.run(crash_horizon);
+  if (!recovered_script.done()) return "crash recovered rig never finished its script";
+  if (const std::string problem =
+          compare_final_state(crash_reference, crash_recovered, "crash");
+      !problem.empty()) {
+    return problem;
+  }
+
+  totals.checkpoints += store.stats().checkpoints + crash_store.stats().checkpoints;
   totals.write_faults += store.stats().write_faults;
   totals.quarantines += recovery.stats().quarantines;
   ++totals.ladder_recoveries;
+  ++totals.crash_recoveries;
+  totals.crash_lost_work_ps_max = std::max(totals.crash_lost_work_ps_max, lost_ps);
   totals.add(checkpointed.kernel.stats().snapshot);
   totals.add(restored.kernel.stats().snapshot);
   totals.add(ladder.kernel.stats().snapshot);
   totals.add(recovered.kernel.stats().snapshot);
-  fs::remove_all(ladder_dir, cleanup_ec);
+  totals.add(crash_rig.kernel.stats().snapshot);
+  totals.add(crash_recovered.kernel.stats().snapshot);
+  fs::remove_all(seed_dir, cleanup_ec);
 
   if (sink.has_errors()) return "diagnostics: " + sink.str();
   return {};
@@ -836,22 +1051,48 @@ int run_chaos_soak(const uml::Component& psm_uart, const soc::SocProfile& profil
   faults.error_rate = 0.01;
   faults.drop_rate = 0.01;
   std::printf("chaos soak: %d seeds, 1%% error + 1%% drop on bus writes, "
-              "20%%/20%%/20%% torn/lost/bit-flipped checkpoints, %s link engine\n",
+              "20%%/20%%/20%% torn/lost/bit-flipped checkpoints, mid-run crash + "
+              "coordinator recovery, %s link engine\n",
               seed_count, engine_label());
+
+  // Per-seed checkpoint ladders and event logs live in a temp-dir scratch
+  // root, not the working directory. A failing seed's scratch is copied to
+  // ./chaos-soak-failure/ (the CI artifact) before the root is removed.
+  namespace fs = std::filesystem;
+  std::error_code scratch_ec;
+  fs::path scratch = fs::temp_directory_path(scratch_ec);
+  if (scratch_ec) scratch = "chaos-soak-scratch";
+  scratch /= "uart-soc-chaos-" + std::to_string(std::random_device{}());
+  fs::create_directories(scratch, scratch_ec);
+  const fs::path artifact_root = "chaos-soak-failure";
+
   SoakCheckpointTotals totals;
   std::vector<unsigned long long> failed;
   for (int i = 0; i < seed_count; ++i) {
     const std::uint64_t seed = 1000 + static_cast<std::uint64_t>(i);
     const std::string problem =
-        soak_one_seed(psm_uart, profile, link_machine, base, faults, seed, totals);
+        soak_one_seed(psm_uart, profile, link_machine, base, faults, seed, scratch, totals);
     if (problem.empty()) {
       std::printf("  seed %llu: ok\n", static_cast<unsigned long long>(seed));
     } else {
       std::printf("  seed %llu: FAILED (%s)\n", static_cast<unsigned long long>(seed),
                   problem.c_str());
       failed.push_back(seed);
+      const fs::path seed_dir = scratch / ("seed-" + std::to_string(seed));
+      const fs::path artifact_dir = artifact_root / ("seed-" + std::to_string(seed));
+      std::error_code copy_ec;
+      fs::remove_all(artifact_dir, copy_ec);
+      fs::create_directories(artifact_dir, copy_ec);
+      fs::copy(seed_dir, artifact_dir,
+               fs::copy_options::recursive | fs::copy_options::overwrite_existing,
+               copy_ec);
+      std::ofstream(artifact_dir / "problem.txt") << problem << '\n';
+      std::printf("  seed %llu: ladder + event logs preserved in %s\n",
+                  static_cast<unsigned long long>(seed), artifact_dir.string().c_str());
     }
   }
+  std::error_code cleanup_ec;
+  fs::remove_all(scratch, cleanup_ec);
   if (!failed.empty()) {
     std::printf("chaos soak FAILED for %zu seed(s):", failed.size());
     for (unsigned long long seed : failed) std::printf(" %llu", seed);
@@ -875,6 +1116,10 @@ int run_chaos_soak(const uml::Component& psm_uart, const soc::SocProfile& profil
               static_cast<unsigned long long>(totals.write_faults),
               static_cast<unsigned long long>(totals.quarantines),
               static_cast<unsigned long long>(totals.ladder_recoveries), seed_count);
+  std::printf("crash leg: %llu/%d seeds died mid-run and recovered through the "
+              "coordinator, max lost work %s (bound: checkpoint interval)\n",
+              static_cast<unsigned long long>(totals.crash_recoveries), seed_count,
+              sim::SimTime(totals.crash_lost_work_ps_max).str().c_str());
   return 0;
 }
 

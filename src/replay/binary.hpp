@@ -155,6 +155,15 @@ class IncrementalEncoder {
     last_seq_ = 0;
   }
 
+  /// reset() plus: continues sequence numbering strictly above `seq`. Used
+  /// when a freshly constructed encoder resumes writing into a directory
+  /// whose rungs survive — new files must never collide with (or sort
+  /// below) existing ones.
+  void resume_after(std::uint64_t seq) {
+    reset();
+    if (next_seq_ <= seq) next_seq_ = seq + 1;
+  }
+
   [[nodiscard]] std::uint64_t last_seq() const { return last_seq_; }
 
  private:

@@ -1,0 +1,344 @@
+#include "replay/recovery.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "codegen/plantuml.hpp"
+#include "interaction/from_trace.hpp"
+#include "interaction/trace.hpp"
+
+namespace umlsoc::replay {
+
+namespace {
+
+// Trace labels are "From->To:message"; a process label containing the
+// separator tokens would corrupt the parse, so they are rewritten.
+std::string sanitize_participant(std::string label) {
+  for (char& c : label) {
+    if (c == ':' || c == '>' || c == '-') c = '_';
+  }
+  return label;
+}
+
+}  // namespace
+
+RecoveryCoordinator::RecoveryCoordinator(sim::Kernel& kernel, CheckpointStore& store,
+                                         SnapshotTargets targets, RecoveryPolicy policy)
+    : kernel_(kernel), store_(store), targets_(std::move(targets)), policy_(policy) {
+  if (policy_.checkpoint_interval.picoseconds() == 0) {
+    policy_.checkpoint_interval = sim::SimTime(1);
+  }
+  tick_interval_ = policy_.tick_interval;
+  if (tick_interval_.picoseconds() == 0) {
+    tick_interval_ = sim::SimTime(std::max<std::uint64_t>(
+        1, policy_.checkpoint_interval.picoseconds() / 4));
+  }
+  tick_process_ = kernel_.register_process([this] { tick(); }, "recovery.tick");
+}
+
+void RecoveryCoordinator::start() {
+  if (started_) return;
+  started_ = true;
+  kernel_.schedule(tick_interval_, tick_process_);
+}
+
+void RecoveryCoordinator::tick() {
+  ++stats_.ticks;
+  // Reschedule before anything else: the pending next tick must be part of
+  // every checkpoint captured at this instant, so a restored rig's ladder
+  // keeps growing on its own.
+  kernel_.schedule(tick_interval_, tick_process_);
+  if (!running_) return;
+  // With a rollback latched, the rig is running post-poison state until the
+  // driver gets around to maybe_rollback(); writing rungs now would let the
+  // restore land *after* the poison instant. The pending flag is set inside
+  // the simulation (the escalation is a process body), so skipping here is
+  // just as sim-deterministic as writing.
+  if (pending_.has_value()) return;
+
+  const std::uint64_t now_ps = kernel_.now().picoseconds();
+  const std::uint64_t events = kernel_.events_processed();
+  const bool interval_due =
+      now_ps - stats_.last_checkpoint_ps >= policy_.checkpoint_interval.picoseconds();
+  const bool dirty_due = policy_.dirty_event_threshold != 0 &&
+                         events - events_at_last_ >= policy_.dirty_event_threshold;
+  if (!interval_due && !dirty_due) return;
+
+  ++stats_.attempts;
+  if (!budget_allows_write()) {
+    // The skip is accounted as a completed interval: cadence bookkeeping
+    // advances exactly as if the write had happened, so the tick schedule
+    // and due-decisions stay a pure function of sim time.
+    ++stats_.budget_skips;
+    stats_.last_checkpoint_ps = now_ps;
+    events_at_last_ = events;
+    return;
+  }
+
+  support::DiagnosticSink sink;
+  CheckpointStore::WriteResult result;
+  if (!store_.checkpoint(targets_, result, sink)) {
+    // Capture refused (in-flight bus transactions, co-batched work): leave
+    // the due-tracking untouched so the next tick retries.
+    ++stats_.refusals;
+    return;
+  }
+  ++stats_.written;
+  stats_.last_checkpoint_ps = now_ps;
+  stats_.last_checkpoint_seq = result.seq;
+  events_at_last_ = events;
+}
+
+bool RecoveryCoordinator::budget_allows_write() const {
+  if (policy_.overhead_budget_ns_per_interval == 0) return true;
+  // Token bucket over the kernel's encode-time accounting: one bucket of
+  // budget per elapsed checkpoint interval (plus the initial one).
+  const std::uint64_t intervals =
+      1 + kernel_.now().picoseconds() / policy_.checkpoint_interval.picoseconds();
+  return kernel_.stats().snapshot.encode_wall_ns <=
+         policy_.overhead_budget_ns_per_interval * intervals;
+}
+
+void RecoveryCoordinator::adopt_restored_state() {
+  stats_.last_checkpoint_ps = kernel_.now().picoseconds();
+  stats_.last_checkpoint_seq = store_.stats().restored_seq;
+  events_at_last_ = kernel_.events_processed();
+}
+
+bool RecoveryCoordinator::recover(support::DiagnosticSink& sink) {
+  if (!store_.restore_latest_good(targets_, sink)) return false;
+  store_.resume_numbering();
+  adopt_restored_state();
+  // The restored schedule contains the crashed rig's pending tick, which
+  // reschedules itself — the chain continues without a fresh start().
+  started_ = true;
+  running_ = true;
+  return true;
+}
+
+void RecoveryCoordinator::attach_supervisor(sim::Supervisor& supervisor) {
+  supervisor_ = &supervisor;
+  supervisor.set_rollback_handler([this](const std::string& reason) {
+    // An escalation re-executed under verify replay must reproduce the
+    // original acceptance (the recorded trajectory suspended here) without
+    // latching a new poison or spending rollback budget.
+    if (replaying_) return true;
+    if (pending_.has_value()) return false;
+    if (stats_.rollbacks >= policy_.max_rollbacks) return false;
+    sim::EventRecorder* recorder = targets_.recorder;
+    if (recorder == nullptr || recorder->total_events() == 0) return false;
+    // The poison is the most recently recorded activation: run_process
+    // records before the body runs, and the escalation is synchronous
+    // within the failing body.
+    pending_ = PoisonPoint{reason, recorder->total_events() - 1,
+                           kernel_.now().picoseconds()};
+    return true;
+  });
+}
+
+bool RecoveryCoordinator::maybe_rollback(support::DiagnosticSink& sink) {
+  if (!pending_.has_value()) return true;
+  const PoisonPoint poison = *pending_;
+  pending_.reset();
+
+  sim::EventRecorder* recorder = targets_.recorder;
+  if (recorder == nullptr) {
+    ++stats_.failed_rollbacks;
+    sink.error("recovery", "rollback requires a recorder target");
+    if (supervisor_ != nullptr) supervisor_->force_give_up("rollback failed: no recorder");
+    return false;
+  }
+  // Snapshot the failure run's log BEFORE the restore overwrites it.
+  std::vector<sim::RecordedEvent> expected = recorder->log();
+  if (recorder->total_events() != expected.size() ||
+      poison.event_index >= expected.size()) {
+    ++stats_.failed_rollbacks;
+    sink.error("recovery",
+               "rollback requires an unbounded recorder (ring overwrote the suffix)");
+    if (supervisor_ != nullptr) {
+      supervisor_->force_give_up("rollback failed: recorder log incomplete");
+    }
+    return false;
+  }
+
+  if (!store_.restore_latest_good(targets_, sink)) {
+    ++stats_.failed_rollbacks;
+    if (supervisor_ != nullptr) {
+      supervisor_->force_give_up("rollback failed: checkpoint ladder exhausted (" +
+                                 poison.reason + ")");
+    }
+    return false;
+  }
+  store_.resume_numbering();
+
+  // Replay the recorded suffix up to — but excluding — the poison instant,
+  // under verification: a restored rig that does not reproduce its own
+  // history bit-for-bit must not be resumed.
+  const std::uint64_t poison_at = expected[poison.event_index].at_ps;
+  const std::uint64_t restored_total = recorder->total_events();
+  std::vector<sim::RecordedEvent> prefix(
+      expected.begin(), expected.begin() + static_cast<std::ptrdiff_t>(poison.event_index));
+  recorder->begin_verify(std::move(prefix), restored_total);
+  replaying_ = true;
+  if (poison_at > 0) kernel_.run(sim::SimTime(poison_at - 1));
+  replaying_ = false;
+  const std::optional<sim::EventRecorder::Divergence> divergence = recorder->divergence();
+  recorder->end_verify();
+  if (divergence.has_value()) {
+    ++stats_.failed_rollbacks;
+    if (supervisor_ != nullptr) {
+      supervisor_->force_give_up("rollback replay diverged: " + divergence->str());
+    }
+    return false;
+  }
+
+  // The model's chance to suppress the poison before it re-executes live.
+  if (on_rollback_ != nullptr) on_rollback_(poison.reason);
+  if (supervisor_ != nullptr) supervisor_->resume_after_rollback();
+  adopt_restored_state();
+  running_ = true;
+  // The resume itself is a host-side discontinuity (suspension and restart
+  // window cleared between run() slices) that no recorded activation marks,
+  // so a later rollback must never verify-replay across it: seed the ladder
+  // with a fresh post-resume rung. A refused capture here is tolerable —
+  // the background tick retries, and a replay that does cross the gap fails
+  // closed as a divergence.
+  CheckpointStore::WriteResult resume_rung;
+  if (store_.checkpoint(targets_, resume_rung, sink)) {
+    stats_.last_checkpoint_ps = kernel_.now().picoseconds();
+    stats_.last_checkpoint_seq = resume_rung.seq;
+    events_at_last_ = kernel_.events_processed();
+  }
+  ++stats_.rollbacks;
+  sink.note("recovery",
+            "rolled back to checkpoint " + std::to_string(stats_.last_checkpoint_seq) +
+                ", replayed " + std::to_string(poison.event_index - restored_total) +
+                " events to " + kernel_.now().str() + " (" + poison.reason + ")");
+  return true;
+}
+
+bool RecoveryCoordinator::restore_to(std::uint64_t seq, support::DiagnosticSink& sink) {
+  if (!store_.restore_to(seq, targets_, sink)) return false;
+  store_.resume_numbering();
+  adopt_restored_state();
+  return true;
+}
+
+bool RecoveryCoordinator::probe_prefix(const std::vector<sim::RecordedEvent>& expected,
+                                       std::uint64_t index,
+                                       const std::function<bool()>& failed,
+                                       std::optional<sim::EventRecorder::Divergence>& divergence,
+                                       support::DiagnosticSink& sink) {
+  if (!store_.restore_latest_good(targets_, sink)) return false;
+  store_.resume_numbering();
+  sim::EventRecorder* recorder = targets_.recorder;
+  recorder->begin_verify(expected, recorder->total_events());
+  // Timestamp granularity: the probe executes through the whole instant
+  // containing the indexed event.
+  replaying_ = true;
+  kernel_.run(sim::SimTime(expected[index].at_ps));
+  replaying_ = false;
+  bool bad = recorder->divergence().has_value();
+  if (bad) divergence = recorder->divergence();
+  recorder->end_verify();
+  if (!bad && failed != nullptr) bad = failed();
+  return bad;
+}
+
+RecoveryCoordinator::RootCauseReport RecoveryCoordinator::root_cause(
+    const std::vector<sim::RecordedEvent>& expected, std::uint64_t failure_index,
+    const std::function<bool()>& failed, support::DiagnosticSink& sink) {
+  RootCauseReport report;
+  sim::EventRecorder* recorder = targets_.recorder;
+  if (recorder == nullptr) {
+    sink.error("recovery", "root-cause search requires a recorder target");
+    return report;
+  }
+  if (expected.empty()) {
+    report.summary = "empty expected log";
+    return report;
+  }
+  failure_index = std::min<std::uint64_t>(failure_index, expected.size() - 1);
+
+  // Rewind once to learn where the last good rung sits in the stream.
+  if (!store_.restore_latest_good(targets_, sink)) {
+    report.summary = "checkpoint ladder exhausted";
+    return report;
+  }
+  store_.resume_numbering();
+  const std::uint64_t base_seq = store_.stats().restored_seq;
+  const std::uint64_t base_total = recorder->total_events();
+  if (failure_index < base_total) {
+    report.summary = "failure at stream index " + std::to_string(failure_index) +
+                     " precedes the last good checkpoint (stream position " +
+                     std::to_string(base_total) + ")";
+    return report;
+  }
+
+  // The search invariant needs probe(failure_index) to trip the oracle.
+  std::optional<sim::EventRecorder::Divergence> culprit_divergence;
+  ++report.probes;
+  if (!probe_prefix(expected, failure_index, failed, culprit_divergence, sink)) {
+    report.summary = "failure does not reproduce under replay through stream index " +
+                     std::to_string(failure_index);
+    if (store_.restore_latest_good(targets_, sink)) store_.resume_numbering();
+    adopt_restored_state();
+    return report;
+  }
+
+  // Earliest index in [base_total, failure_index] whose probe trips.
+  std::uint64_t lo = base_total;
+  std::uint64_t hi = failure_index;
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    ++report.probes;
+    std::optional<sim::EventRecorder::Divergence> div;
+    if (probe_prefix(expected, mid, failed, div, sink)) {
+      hi = mid;
+      culprit_divergence = div;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  report.found = true;
+  report.first_bad_index = hi;
+  report.divergence = culprit_divergence;
+
+  const sim::RecordedEvent& culprit = expected[hi];
+  const std::string& label = kernel_.process_label(culprit.process);
+  report.summary =
+      "earliest divergent activation at stream index " + std::to_string(hi) + ": process " +
+      std::to_string(culprit.process) + (label.empty() ? "" : " '" + label + "'") + " at " +
+      sim::SimTime(culprit.at_ps).str() + " (" + std::to_string(report.probes) +
+      " probes from checkpoint " + std::to_string(base_seq) + " at stream position " +
+      std::to_string(base_total) + ")";
+
+  // Sequence diagram of the activations surrounding the culprit: each
+  // recorded activation is drawn as a kernel->process dispatch message.
+  interaction::Trace trace;
+  const std::uint64_t window_begin = std::max<std::uint64_t>(
+      base_total, hi >= 4 ? hi - 4 : 0);
+  const std::uint64_t window_end =
+      std::min<std::uint64_t>(expected.size(), hi + 4);
+  for (std::uint64_t i = window_begin; i < window_end; ++i) {
+    const sim::RecordedEvent& event = expected[i];
+    std::string participant = sanitize_participant(kernel_.process_label(event.process));
+    if (participant.empty()) participant = "p" + std::to_string(event.process);
+    std::string message = "activate #" + std::to_string(i) + " at " +
+                          sim::SimTime(event.at_ps).str();
+    if (i == hi) message += " [first divergent]";
+    trace.push_back("kernel->" + participant + ":" + message);
+  }
+  const auto diagram = interaction::interaction_from_trace("root-cause", trace);
+  if (diagram != nullptr) {
+    report.sequence_diagram = codegen::to_plantuml_sequence(*diagram);
+  }
+
+  // Leave the rig rewound to the last good rung (the final probe left it
+  // mid-replay somewhere inside the window).
+  if (store_.restore_latest_good(targets_, sink)) store_.resume_numbering();
+  adopt_restored_state();
+  return report;
+}
+
+}  // namespace umlsoc::replay

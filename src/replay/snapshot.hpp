@@ -49,8 +49,9 @@ namespace umlsoc::replay {
 /// (<supervisor>, <breaker>, <health>); version 3 added per-section
 /// checksums (XML attribute / binary frame field), so corruption reports
 /// name the damaged section instead of just failing the document hash, and
-/// a fourth fault-plan site (checkpoint-path faults).
-inline constexpr int kSnapshotVersion = 3;
+/// a fourth fault-plan site (checkpoint-path faults); version 4 added the
+/// fifth fault-plan site (simulated-crash ticks).
+inline constexpr int kSnapshotVersion = 4;
 
 struct MachineTarget {
   std::string name;

@@ -5,6 +5,7 @@
 #include <charconv>
 #include <chrono>
 #include <fstream>
+#include <limits>
 #include <system_error>
 
 namespace umlsoc::replay {
@@ -195,6 +196,16 @@ void CheckpointStore::quarantine(const std::filesystem::path& path, std::string 
 
 bool CheckpointStore::restore_latest_good(const SnapshotTargets& targets,
                                           support::DiagnosticSink& sink) {
+  return restore_ladder(std::numeric_limits<std::uint64_t>::max(), targets, sink);
+}
+
+bool CheckpointStore::restore_to(std::uint64_t seq, const SnapshotTargets& targets,
+                                 support::DiagnosticSink& sink) {
+  return restore_ladder(seq, targets, sink);
+}
+
+bool CheckpointStore::restore_ladder(std::uint64_t max_seq, const SnapshotTargets& targets,
+                                     support::DiagnosticSink& sink) {
   if (targets.kernel == nullptr) {
     sink.error("checkpoint-store", "no kernel target registered");
     return false;
@@ -203,11 +214,20 @@ bool CheckpointStore::restore_latest_good(const SnapshotTargets& targets,
   // Every pass either restores, or quarantines at least one file and
   // rescans — so the walk terminates.
   for (;;) {
-    const std::vector<ScanEntry> entries = scan();
-    if (entries.empty()) {
+    std::vector<ScanEntry> entries = scan();
+    // Rungs newer than the rewind target are skipped, not quarantined: a
+    // time-travel probe must leave the rest of the ladder intact. They stay
+    // in `entries` past the tip choice so delta chains that reach *below*
+    // max_seq still resolve their bases.
+    std::size_t first = 0;
+    while (first < entries.size() && entries[first].seq > max_seq) ++first;
+    if (first == entries.size()) {
       sink.error("checkpoint-store",
-                 "no restorable checkpoint in " + config_.directory.string() + " (" +
-                     std::to_string(quarantined_.size()) + " quarantined)");
+                 "no restorable checkpoint in " + config_.directory.string() +
+                     (max_seq == std::numeric_limits<std::uint64_t>::max()
+                          ? ""
+                          : " at or below seq " + std::to_string(max_seq)) +
+                     " (" + std::to_string(quarantined_.size()) + " quarantined)");
       if (health_ != nullptr) {
         health_->set_health(health_unit_, sim::UnitHealth::kFailed,
                             "recovery ladder exhausted");
@@ -215,7 +235,7 @@ bool CheckpointStore::restore_latest_good(const SnapshotTargets& targets,
       return false;
     }
 
-    const ScanEntry& tip = entries.front();
+    const ScanEntry& tip = entries[first];
     // Materialize the tip's chain, newest to oldest, via base_seq links.
     std::vector<const ScanEntry*> chain;  // tip first, base last
     std::string tip_failure;

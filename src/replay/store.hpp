@@ -26,6 +26,7 @@
 // every seed to recover through the ladder.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <filesystem>
 #include <string>
@@ -104,6 +105,15 @@ class CheckpointStore {
   [[nodiscard]] bool restore_latest_good(const SnapshotTargets& targets,
                                          support::DiagnosticSink& sink);
 
+  /// Time travel: restores the newest checkpoint whose sequence is <= `seq`
+  /// (exactly `seq` when that rung survives on disk), materializing its
+  /// full+delta chain with the same validation and quarantine behavior as
+  /// restore_latest_good. Returns false when no rung at or below `seq`
+  /// restores. The encoder chain is NOT reset here — callers that intend to
+  /// keep checkpointing after a rewind must call reset_chain().
+  [[nodiscard]] bool restore_to(std::uint64_t seq, const SnapshotTargets& targets,
+                                support::DiagnosticSink& sink);
+
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] const std::vector<QuarantineRecord>& quarantined() const {
     return quarantined_;
@@ -115,6 +125,17 @@ class CheckpointStore {
   /// match the encoder's in-memory previous payloads).
   void reset_chain() { encoder_.reset(); }
 
+  /// reset_chain() plus: continues sequence numbering strictly above every
+  /// rung still on disk, so post-recovery checkpoints never overwrite a
+  /// surviving rung and always outrank them in a later ladder walk. The
+  /// recovery orchestrator calls this instead of reset_chain() whenever it
+  /// resumes checkpointing after a restore.
+  void resume_numbering() {
+    std::uint64_t newest = 0;
+    for (const ScanEntry& entry : scan()) newest = std::max(newest, entry.seq);
+    encoder_.resume_after(newest);
+  }
+
  private:
   struct ScanEntry {
     std::uint64_t seq = 0;
@@ -124,6 +145,9 @@ class CheckpointStore {
   [[nodiscard]] std::filesystem::path path_for(std::uint64_t seq) const;
   /// Non-quarantined checkpoint files, seq-descending.
   [[nodiscard]] std::vector<ScanEntry> scan() const;
+  /// Shared ladder walk: restores the newest rung with seq <= max_seq.
+  [[nodiscard]] bool restore_ladder(std::uint64_t max_seq, const SnapshotTargets& targets,
+                                    support::DiagnosticSink& sink);
   void quarantine(const std::filesystem::path& path, std::string reason,
                   support::DiagnosticSink& sink);
   void prune(support::DiagnosticSink& sink);

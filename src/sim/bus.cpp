@@ -126,22 +126,6 @@ void MemoryMappedBus::write(std::uint64_t address, std::uint64_t value, WriteCom
         SimTime());
 }
 
-void MemoryMappedBus::read(std::uint64_t address, std::function<void(std::uint64_t)> done) {
-  read(address, done == nullptr
-                    ? ReadCompletion(nullptr)
-                    : ReadCompletion([done = std::move(done)](BusStatus status,
-                                                              std::uint64_t value) {
-                        done(status == BusStatus::kOk ? value : kBusError);
-                      }));
-}
-
-void MemoryMappedBus::write(std::uint64_t address, std::uint64_t value,
-                            std::function<void()> done) {
-  write(address, value,
-        done == nullptr ? WriteCompletion(nullptr)
-                        : WriteCompletion([done = std::move(done)](BusStatus) { done(); }));
-}
-
 // --- BusMasterPort ----------------------------------------------------------
 
 BusMasterPort::BusMasterPort(Kernel& kernel, MemoryMappedBus& bus, std::string name,

@@ -76,17 +76,8 @@ class MemoryMappedBus {
   /// Non-blocking master write; `done` fires after the latency.
   void write(std::uint64_t address, std::uint64_t value, WriteCompletion done);
 
-  /// Legacy value-only shim: errors complete with the kBusError sentinel,
-  /// indistinguishable from a device legitimately returning all-ones —
-  /// migrate to the status-carrying overload.
-  [[deprecated("use the status-carrying ReadCompletion overload")]]
-  void read(std::uint64_t address, std::function<void(std::uint64_t)> done);
-
-  /// Legacy status-less shim.
-  [[deprecated("use the status-carrying WriteCompletion overload")]]
-  void write(std::uint64_t address, std::uint64_t value,
-             std::function<void()> done = nullptr);
-
+  /// Sentinel value delivered to ReadCompletion alongside kError (a device
+  /// legitimately returning all-ones is disambiguated by the status).
   static constexpr std::uint64_t kBusError = ~0ULL;
 
   /// Installs (or clears, with nullptr) a fault plan consulted at every

@@ -25,6 +25,8 @@ std::string_view to_string(FaultSite site) {
       return "signal";
     case FaultSite::kCheckpoint:
       return "checkpoint";
+    case FaultSite::kCrash:
+      return "crash";
   }
   return "?";
 }
@@ -205,6 +207,30 @@ void Watchdog::check() {
   ++trips_;
   kernel_.fulfill(expectation_);
   if (on_trip_ != nullptr) on_trip_();
+}
+
+// --- CrashInjector ----------------------------------------------------------
+
+CrashInjector::CrashInjector(Kernel& kernel, FaultPlan* plan, SimTime interval)
+    : kernel_(kernel), plan_(plan), interval_(interval) {
+  tick_process_ = kernel_.register_process([this] { tick(); }, "crash.tick");
+}
+
+void CrashInjector::start() {
+  if (started_) return;
+  started_ = true;
+  kernel_.schedule(interval_, tick_process_);
+}
+
+void CrashInjector::tick() {
+  // Reschedule before the draw: the pending next tick must exist in any
+  // checkpoint captured after this instant, and must survive the throw.
+  kernel_.schedule(interval_, tick_process_);
+  if (plan_ == nullptr || !armed_) return;
+  const FaultDecision decision = plan_->consult(FaultSite::kCrash);
+  if (decision.kind != FaultKind::kError) return;
+  ++crashes_;
+  throw SimulatedCrash(kernel_.now().picoseconds());
 }
 
 // --- SignalGlitcher ---------------------------------------------------------

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 
@@ -38,8 +39,9 @@ enum class FaultSite : std::uint8_t {
   kBusWrite = 1,    ///< Consulted when a bus write is issued.
   kSignal = 2,      ///< Consulted by SignalGlitcher ticks.
   kCheckpoint = 3,  ///< Consulted per CheckpointStore write (torn/corrupt files).
+  kCrash = 4,       ///< Consulted by CrashInjector ticks (simulated process death).
 };
-inline constexpr std::size_t kFaultSiteCount = 4;
+inline constexpr std::size_t kFaultSiteCount = 5;
 
 [[nodiscard]] std::string_view to_string(FaultSite site);
 
@@ -238,6 +240,58 @@ class Watchdog {
   std::uint64_t trips_ = 0;
   std::uint64_t kicks_ = 0;
   std::uint64_t revision_ = 0;
+};
+
+/// Simulated process death: thrown out of the kernel's run loop by a
+/// CrashInjector mid-delta-cycle. The throwing rig is *not* expected to
+/// stay usable — the crash models the whole process dying, so recovery
+/// means abandoning the rig and warm-restarting a fresh one from the
+/// on-disk checkpoint ladder (replay::RecoveryCoordinator::recover).
+struct SimulatedCrash : std::runtime_error {
+  explicit SimulatedCrash(std::uint64_t at)
+      : std::runtime_error("simulated crash at " + SimTime(at).str()), at_ps(at) {}
+
+  std::uint64_t at_ps = 0;  ///< Simulation time the crash fired.
+};
+
+/// Periodically consults the plan's kCrash site and, on a kError decision,
+/// throws SimulatedCrash from inside its tick process — process death in
+/// the middle of a delta cycle, with whatever in-memory state existed at
+/// that instant lost.
+///
+/// The plan is nullable so a reference twin can run an identical injector
+/// (same registered process, same tick schedule, hence an identical
+/// recorded event stream) that never crashes. The tick reschedules itself
+/// unconditionally, so after a snapshot restore the pending tick restored
+/// by the kernel checkpoint keeps the chain alive without calling start()
+/// again — call start() exactly once, before the first run().
+class CrashInjector {
+ public:
+  CrashInjector(Kernel& kernel, FaultPlan* plan, SimTime interval);
+
+  /// Schedules the first tick. Call once; after a checkpoint restore the
+  /// restored pending tick continues the chain automatically.
+  void start();
+  /// Disarms the crash draw; ticks continue (the tick chain is part of the
+  /// recorded event stream and must look identical on rigs that never
+  /// crash). Arm/disarm have no simulation-visible effect, so a harness can
+  /// hold the injector disarmed until a first clean checkpoint has landed.
+  void disarm() { armed_ = false; }
+  void arm() { armed_ = true; }
+  [[nodiscard]] bool armed() const { return armed_; }
+
+  [[nodiscard]] std::uint64_t crashes() const { return crashes_; }
+
+ private:
+  void tick();
+
+  Kernel& kernel_;
+  FaultPlan* plan_;
+  SimTime interval_;
+  ProcessId tick_process_ = kInvalidProcess;
+  bool armed_ = true;
+  bool started_ = false;
+  std::uint64_t crashes_ = 0;
 };
 
 /// Periodically consults the plan's kSignal site and, on a kGlitch

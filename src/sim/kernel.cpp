@@ -43,17 +43,8 @@ ExpectationId Kernel::register_expectation(std::string label) {
 
 ProcessId Kernel::register_process(std::function<void()> body) {
   ++stats_.processes_registered;
-  if (!free_transients_.empty()) {
-    const ProcessId id = free_transients_.back();
-    free_transients_.pop_back();
-    processes_[id] = std::move(body);
-    labels_[id].clear();
-    transient_[id] = 0;
-    return id;
-  }
   processes_.push_back(std::move(body));
   labels_.emplace_back();
-  transient_.push_back(0);
   return static_cast<ProcessId>(processes_.size() - 1);
 }
 
@@ -61,20 +52,6 @@ ProcessId Kernel::register_process(std::function<void()> body, std::string label
   const ProcessId id = register_process(std::move(body));
   labels_[id] = std::move(label);
   return id;
-}
-
-void Kernel::schedule(SimTime delay, std::function<void()> callback) {
-  const ProcessId id = register_process(std::move(callback));
-  transient_[id] = 1;
-  ++stats_.transient_registrations;
-  schedule(delay, id);
-}
-
-void Kernel::schedule_delta(std::function<void()> callback) {
-  const ProcessId id = register_process(std::move(callback));
-  transient_[id] = 1;
-  ++stats_.transient_registrations;
-  schedule_delta(id);
 }
 
 void Kernel::cascade_heap() {
@@ -201,16 +178,10 @@ void Kernel::collect_runnable_at(std::uint64_t at_ps) {
 void Kernel::run_process(ProcessId process) {
   if (recorder_ != nullptr) record_event(process);
   processes_[process]();
-  if (transient_[process]) release_transient(process);
 }
 
 void Kernel::record_event(ProcessId process) {
   recorder_->on_event(now_.picoseconds(), process, *this);
-}
-
-void Kernel::release_transient(ProcessId process) {
-  processes_[process] = nullptr;
-  free_transients_.push_back(process);
 }
 
 void Kernel::begin_delta() {
@@ -224,6 +195,7 @@ void Kernel::clear_delta_state() {
   runnable_.clear();
   next_runnable_.clear();
   current_.clear();
+  batch_remaining_ = 0;
   update_requests_.clear();
   for (SimEvent* event : pending_delta_events_) event->delta_pending_ = false;
   pending_delta_events_.clear();
@@ -243,15 +215,22 @@ void Kernel::run_delta_loop() {
     if (runnable_.size() == 1) {
       const ProcessId process = runnable_.front();
       runnable_.clear();
-      run_process(process);
+      // Counted before the body, matching the event recorder: a checkpoint
+      // captured from inside the running process then includes its own
+      // activation in both the counter and the recorded stream.
       ++events_processed_;
+      run_process(process);
     } else {
       current_.clear();
       current_.swap(runnable_);
-      for (ProcessId process : current_) {
-        run_process(process);
+      for (std::size_t i = 0; i < current_.size(); ++i) {
+        // Published so capture_checkpoint can refuse from inside a batch
+        // member that has co-members still to run.
+        batch_remaining_ = current_.size() - i - 1;
         ++events_processed_;
+        run_process(current_[i]);
       }
+      batch_remaining_ = 0;
     }
     // UPDATE.
     if (!update_requests_.empty()) {
@@ -281,9 +260,12 @@ void Kernel::run_delta_loop() {
 
 bool Kernel::capture_checkpoint(Checkpoint& out, support::DiagnosticSink& sink) const {
   const std::string subject = "sim.kernel";
-  if (!runnable_.empty() || !next_runnable_.empty() || !update_requests_.empty()) {
-    sink.error(subject, "cannot checkpoint mid-delta: runnable processes or pending "
-                        "signal updates exist (checkpoint between run() calls)");
+  if (!runnable_.empty() || !next_runnable_.empty() || !update_requests_.empty() ||
+      batch_remaining_ != 0) {
+    sink.error(subject, "cannot checkpoint mid-delta: runnable processes, unfinished "
+                        "evaluate-batch members or pending signal updates exist "
+                        "(checkpoint between run() calls, or from a process that is "
+                        "alone in its batch)");
     return false;
   }
   out = Checkpoint{};
@@ -294,28 +276,16 @@ bool Kernel::capture_checkpoint(Checkpoint& out, support::DiagnosticSink& sink) 
   out.process_count = processes_.size();
 
   out.timed.reserve(timed_size_);
-  auto add_entry = [&](const TimedEntry& entry) -> bool {
-    if (transient_[entry.process]) {
-      sink.error(subject,
-                 "cannot checkpoint: pending timed event at " + SimTime(entry.at_ps).str() +
-                     " targets a transient one-shot process (id " +
-                     std::to_string(entry.process) +
-                     ") whose body a fresh process could not re-register; migrate the "
-                     "scheduling call to register_process + schedule(delay, ProcessId)");
-      return false;
-    }
+  auto add_entry = [&](const TimedEntry& entry) {
     out.timed.push_back(Checkpoint::PendingTimed{entry.at_ps, entry.sequence, entry.process});
-    return true;
   };
   for (std::uint32_t slot = 0; slot < kWheelBuckets; ++slot) {
     for (std::int32_t index = wheel_heads_[slot]; index != -1;
          index = pool_[static_cast<std::size_t>(index)].next) {
-      if (!add_entry(pool_[static_cast<std::size_t>(index)])) return false;
+      add_entry(pool_[static_cast<std::size_t>(index)]);
     }
   }
-  for (const TimedEntry& entry : heap_) {
-    if (!add_entry(entry)) return false;
-  }
+  for (const TimedEntry& entry : heap_) add_entry(entry);
   std::sort(out.timed.begin(), out.timed.end(),
             [](const Checkpoint::PendingTimed& a, const Checkpoint::PendingTimed& b) {
               if (a.at_ps != b.at_ps) return a.at_ps < b.at_ps;
@@ -339,11 +309,6 @@ bool Kernel::restore_checkpoint(const Checkpoint& checkpoint, support::Diagnosti
                               std::to_string(entry.process) + " (this kernel registered " +
                               std::to_string(processes_.size()) +
                               " processes; was the setup reconstructed identically?)");
-      return false;
-    }
-    if (transient_[entry.process]) {
-      sink.error(subject, "snapshot schedules process id " + std::to_string(entry.process) +
-                              ", which is a transient one-shot in this kernel");
       return false;
     }
     if (entry.at_ps < checkpoint.now_ps) {
@@ -460,8 +425,8 @@ std::uint64_t Kernel::run(SimTime end) {
       // Fused first delta: run the process directly; only fall into the full
       // delta machinery if it wrote a signal or raised a notification.
       ++delta_count_;
-      run_process(process);
       ++events_processed_;
+      run_process(process);
       if (!update_requests_.empty() || !next_runnable_.empty()) {
         if (update_requests_.size() == 1) {
           Updatable* target = update_requests_.front();

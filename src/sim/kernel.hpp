@@ -177,17 +177,6 @@ class Kernel {
   /// Runs the registered process in the next delta cycle's evaluate phase.
   void schedule_delta(ProcessId process);
 
-  /// Deprecated shim (pre-handle API): wraps `callback` in a one-shot
-  /// transient process, which is released after it runs. Costs one
-  /// std::function registration per call — migrate hot paths to
-  /// register_process + schedule(delay, ProcessId).
-  [[deprecated("register a process handle and schedule(delay, ProcessId)")]]
-  void schedule(SimTime delay, std::function<void()> callback);
-
-  /// Deprecated shim, delta flavor of the above.
-  [[deprecated("register a process handle and schedule_delta(ProcessId)")]]
-  void schedule_delta(std::function<void()> callback);
-
   /// Registers a signal update for the current delta's update phase.
   void request_update(Updatable& target) { update_requests_.push_back(&target); }
 
@@ -247,8 +236,7 @@ class Kernel {
     std::uint64_t wheel_hits = 0;             ///< timed entries bucketed in the wheel
     std::uint64_t heap_hits = 0;              ///< timed entries overflowed to the far heap
     std::uint64_t cascades = 0;               ///< heap entries migrated into the wheel
-    std::uint64_t processes_registered = 0;   ///< register_process calls (incl. transients)
-    std::uint64_t transient_registrations = 0;///< one-shot shims (legacy schedule overloads)
+    std::uint64_t processes_registered = 0;   ///< register_process calls
     std::uint64_t collapsed_notifications = 0;///< delta notify() calls absorbed by a pending one
     SnapshotStats snapshot;                   ///< checkpoint encode/restore accounting
   };
@@ -314,21 +302,21 @@ class Kernel {
     std::vector<ExpectationEntry> expectations;  ///< One per registered id.
   };
 
-  /// Captures the scheduler state between run() calls. Fails (returns false,
-  /// reports through `sink`) when called mid-delta (runnable processes
-  /// pending) or when a pending timed event references a transient one-shot
-  /// process — a transient's body cannot be re-created by a fresh process,
-  /// so such a snapshot could never be restored.
+  /// Captures the scheduler state between run() calls — or from inside a
+  /// process that is the *only* member of its delta batch (a background
+  /// checkpoint tick). Fails (returns false, reports through `sink`) when
+  /// called mid-delta: runnable processes, batch co-members still to run,
+  /// or pending signal updates exist, because their in-flight work would be
+  /// invisible to the capture.
   bool capture_checkpoint(Checkpoint& out, support::DiagnosticSink& sink) const;
 
   /// Replaces the scheduler state with `checkpoint`: time, sequence counter,
   /// counters, every pending timed event, and expectation counters. All
   /// previously pending work is discarded (a deterministic setup schedules
   /// its initial events at construction; the snapshot supersedes them).
-  /// Validates before mutating: unknown ProcessIds, transient targets,
-  /// events in the past, or expectation labels that do not match this
-  /// kernel's registrations report through `sink` and return false with the
-  /// kernel unchanged.
+  /// Validates before mutating: unknown ProcessIds, events in the past, or
+  /// expectation labels that do not match this kernel's registrations report
+  /// through `sink` and return false with the kernel unchanged.
   bool restore_checkpoint(const Checkpoint& checkpoint, support::DiagnosticSink& sink);
 
   /// Attaches (or detaches, with nullptr) an event recorder/verifier. The
@@ -378,7 +366,6 @@ class Kernel {
   void collect_runnable_at(std::uint64_t at_ps);
 
   void run_process(ProcessId process);
-  void release_transient(ProcessId process);
   /// Out-of-line recorder notification (recorder_ already known non-null).
   void record_event(ProcessId process);
   /// Promotes next_runnable_ to runnable_ and clears pending-notification
@@ -398,9 +385,7 @@ class Kernel {
   // Process table. deque: references stay stable while callbacks register
   // further processes mid-run.
   std::deque<std::function<void()>> processes_;
-  std::deque<std::string> labels_;       // parallel to processes_
-  std::vector<std::uint8_t> transient_;  // 1 = one-shot shim, freed after run
-  std::vector<ProcessId> free_transients_;
+  std::deque<std::string> labels_;  // parallel to processes_
   EventRecorder* recorder_ = nullptr;
 
   // Timed events: wheel (intrusive chains over a pooled arena — bucket
@@ -427,6 +412,12 @@ class Kernel {
   std::vector<ProcessId> runnable_;
   std::vector<ProcessId> next_runnable_;
   std::vector<ProcessId> current_;
+  // Batch co-members still to run after the currently-executing process.
+  // capture_checkpoint refuses while nonzero: a multi-entry evaluate batch
+  // is walked from current_, which the runnable_-emptiness check alone
+  // cannot see (an in-simulation checkpoint tick is only sound when it is
+  // the lone member of its batch).
+  std::size_t batch_remaining_ = 0;
   std::vector<Updatable*> update_requests_;
   std::vector<Updatable*> update_scratch_;
   std::vector<TimedEntry> collect_scratch_;

@@ -60,6 +60,12 @@ void EventRecorder::begin_verify(std::vector<RecordedEvent> expected,
   divergence_.reset();
 }
 
+void EventRecorder::end_verify() {
+  if (mode_ != Mode::kVerify) return;
+  mode_ = Mode::kRecord;
+  expected_.clear();
+}
+
 std::optional<EventRecorder::Divergence> EventRecorder::missing_events() const {
   if (divergence_.has_value()) return divergence_;
   if (mode_ != Mode::kVerify || total_ >= expected_.size()) return std::nullopt;

@@ -83,6 +83,13 @@ class EventRecorder {
   /// run's continuation against an uninterrupted reference.
   void begin_verify(std::vector<RecordedEvent> expected, std::uint64_t start_index = 0);
 
+  /// Returns to record mode after a verify window, keeping the stream
+  /// position and the retained log. Events past the expected log's end no
+  /// longer latch an extra-event divergence — required when a rollback
+  /// replays a verified suffix and then *resumes* live execution beyond
+  /// the recording. Any divergence latched during the window survives.
+  void end_verify();
+
   /// First mismatch latched so far (std::nullopt: no divergence yet).
   [[nodiscard]] const std::optional<Divergence>& divergence() const { return divergence_; }
 

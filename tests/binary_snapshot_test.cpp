@@ -508,6 +508,115 @@ TEST_F(BinarySnapshotTest, DeltaChainRestoresBitIdentically) {
   expect_same_outcome(restored, reference, reference_log);
 }
 
+TEST_F(BinarySnapshotTest, ChainMissingItsBaseIsRefused) {
+  FullRig source(*machine_);
+  source.run(kMidRunPs);
+  IncrementalEncoder encoder;
+  IncrementalEncoder::Result full;
+  IncrementalEncoder::Result delta;
+  support::DiagnosticSink sink;
+  ASSERT_TRUE(encoder.encode(source.targets(), /*force_full=*/true, full, sink)) << sink.str();
+  source.run(45000);
+  ASSERT_TRUE(encoder.encode(source.targets(), /*force_full=*/false, delta, sink)) << sink.str();
+  ASSERT_TRUE(delta.delta);
+
+  SnapshotImage image;
+  support::DiagnosticSink empty_attempt;
+  EXPECT_FALSE(image_from_binary_chain({}, image, empty_attempt));
+  EXPECT_NE(empty_attempt.str().find("empty checkpoint chain"), std::string::npos)
+      << empty_attempt.str();
+
+  // A delta at the front of the chain has no base to resolve against; the
+  // refusal names the missing base so operators know which rung to fetch.
+  support::DiagnosticSink attempt;
+  EXPECT_FALSE(image_from_binary_chain({delta.bytes}, image, attempt));
+  EXPECT_NE(attempt.str().find("is a delta (base " + std::to_string(full.seq) +
+                               "); it cannot be restored without its chain"),
+            std::string::npos)
+      << attempt.str();
+}
+
+TEST_F(BinarySnapshotTest, OutOfOrderDeltaChainIsRefused) {
+  FullRig source(*machine_);
+  source.run(kMidRunPs);
+  IncrementalEncoder encoder;
+  IncrementalEncoder::Result full;
+  IncrementalEncoder::Result delta1;
+  IncrementalEncoder::Result delta2;
+  support::DiagnosticSink sink;
+  ASSERT_TRUE(encoder.encode(source.targets(), /*force_full=*/true, full, sink)) << sink.str();
+  source.run(45000);
+  ASSERT_TRUE(encoder.encode(source.targets(), /*force_full=*/false, delta1, sink)) << sink.str();
+  source.run(65000);
+  ASSERT_TRUE(encoder.encode(source.targets(), /*force_full=*/false, delta2, sink)) << sink.str();
+  ASSERT_EQ(delta2.base_seq, delta1.seq);
+
+  // Swapping the deltas breaks the base linkage at the first out-of-order
+  // element; the refusal names both the expected and the presented base.
+  SnapshotImage image;
+  support::DiagnosticSink attempt;
+  EXPECT_FALSE(image_from_binary_chain({full.bytes, delta2.bytes, delta1.bytes}, image, attempt));
+  EXPECT_NE(attempt.str().find("chain break: delta " + std::to_string(delta2.seq) +
+                               " expects base " + std::to_string(delta2.base_seq) +
+                               ", chain holds " + std::to_string(full.seq)),
+            std::string::npos)
+      << attempt.str();
+}
+
+TEST_F(BinarySnapshotTest, FullSnapshotInDeltaPositionIsRefused) {
+  FullRig source(*machine_);
+  source.run(kMidRunPs);
+  IncrementalEncoder encoder;
+  IncrementalEncoder::Result first;
+  IncrementalEncoder::Result second;
+  support::DiagnosticSink sink;
+  ASSERT_TRUE(encoder.encode(source.targets(), /*force_full=*/true, first, sink)) << sink.str();
+  source.run(45000);
+  ASSERT_TRUE(encoder.encode(source.targets(), /*force_full=*/true, second, sink)) << sink.str();
+  ASSERT_FALSE(second.delta);
+
+  SnapshotImage image;
+  support::DiagnosticSink attempt;
+  EXPECT_FALSE(image_from_binary_chain({first.bytes, second.bytes}, image, attempt));
+  EXPECT_NE(attempt.str().find("chain element #1 is a full snapshot, expected a delta"),
+            std::string::npos)
+      << attempt.str();
+}
+
+TEST_F(BinarySnapshotTest, DeltaAgainstTheWrongBaseIsRefusedByReferenceChecksum) {
+  // Two rigs encoded by two fresh encoders produce the same sequence
+  // numbering, so a delta from rig A chains structurally onto rig B's full
+  // snapshot — the per-section reference checksums are the only defense
+  // against assembling a frankenstate.
+  FullRig source(*machine_);
+  source.run(kMidRunPs);
+  IncrementalEncoder encoder_a;
+  IncrementalEncoder::Result full_a;
+  IncrementalEncoder::Result delta_a;
+  support::DiagnosticSink sink;
+  ASSERT_TRUE(encoder_a.encode(source.targets(), /*force_full=*/true, full_a, sink)) << sink.str();
+  // No work between encodes: every section dedups to a reference frame, so
+  // every section of the foreign base gets checksum-verified.
+  ASSERT_TRUE(encoder_a.encode(source.targets(), /*force_full=*/false, delta_a, sink))
+      << sink.str();
+  ASSERT_EQ(delta_a.sections_dirty, 0u);
+
+  FullRig other(*machine_);
+  other.run(kMidRunPs + 20000);
+  IncrementalEncoder encoder_b;
+  IncrementalEncoder::Result full_b;
+  ASSERT_TRUE(encoder_b.encode(other.targets(), /*force_full=*/true, full_b, sink)) << sink.str();
+  ASSERT_EQ(full_b.seq, delta_a.base_seq) << "chain must be structurally valid to reach "
+                                             "the checksum check";
+
+  SnapshotImage image;
+  support::DiagnosticSink attempt;
+  EXPECT_FALSE(image_from_binary_chain({full_b.bytes, delta_a.bytes}, image, attempt));
+  EXPECT_NE(attempt.str().find("reference checksum mismatch in"), std::string::npos)
+      << attempt.str();
+  EXPECT_NE(attempt.str().find("delta expects"), std::string::npos) << attempt.str();
+}
+
 TEST_F(BinarySnapshotTest, XmlSectionChecksumDiagnosticsNameTheSection) {
   FullRig source(*machine_);
   source.run(kMidRunPs);

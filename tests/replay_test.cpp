@@ -283,26 +283,6 @@ TEST_F(ReplayTest, TruncatedSnapshotsAreRejectedAtEveryLength) {
   EXPECT_EQ(restored.kernel.now().picoseconds(), 0u);
 }
 
-TEST_F(ReplayTest, SaveRefusesTransientPendingEvents) {
-  Rig source(*machine_);
-  source.run(kMidRunPs);
-  // Deliberate use of the deprecated one-shot shim: transient processes are
-  // exactly what this save must refuse.
-#if defined(__GNUC__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-  source.kernel.schedule(SimTime::ns(100), [] {});
-#if defined(__GNUC__)
-#pragma GCC diagnostic pop
-#endif
-
-  std::string snapshot;
-  support::DiagnosticSink sink;
-  EXPECT_FALSE(save_snapshot(source.targets(), snapshot, sink));
-  EXPECT_NE(sink.str().find("transient"), std::string::npos) << sink.str();
-}
-
 TEST_F(ReplayTest, SaveRefusesPendingBusTransactions) {
   Rig source(*machine_);
   source.run(kMidRunPs);

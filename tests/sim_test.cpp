@@ -74,7 +74,6 @@ TEST(Kernel, EventsRunInTimeOrder) {
   kernel.run();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
   EXPECT_EQ(kernel.now(), SimTime::ns(30));
-  EXPECT_EQ(kernel.stats().transient_registrations, 0u);
 }
 
 TEST(Kernel, SameTimeEventsRunInScheduleOrder) {
@@ -259,26 +258,6 @@ TEST(Bus, ReadWriteThroughDeviceWindow) {
   EXPECT_EQ(bus.errors(), 0u);
 }
 
-TEST(Bus, LegacyValueOnlyShimReportsSentinel) {
-  // Deliberate coverage of the deprecated value-only callback: an unmapped
-  // read completes with the kBusError sentinel (the ambiguity that motivated
-  // the status-carrying API — see AllOnesValueIsNotReportedAsError).
-#if defined(__GNUC__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-  Kernel kernel;
-  MemoryMappedBus bus(kernel, "axi", SimTime::ns(1));
-  std::uint64_t result = 0;
-  bus.read(0xdead, [&](std::uint64_t value) { result = value; });
-  kernel.run();
-  EXPECT_EQ(result, MemoryMappedBus::kBusError);
-  EXPECT_EQ(bus.errors(), 1u);
-#if defined(__GNUC__)
-#pragma GCC diagnostic pop
-#endif
-}
-
 TEST(Bus, WriteCompletionCallback) {
   Kernel kernel;
   MemoryMappedBus bus(kernel, "axi", SimTime::ns(3));
@@ -385,27 +364,21 @@ TEST(Kernel, CountersAdvance) {
   EXPECT_GT(kernel.delta_count(), 10u);
 }
 
-TEST(Kernel, FifoOrderAcrossHandlesAndLegacyShims) {
-  // Same-time events run in schedule order regardless of whether they were
-  // scheduled as registered handles or via the deprecated callback shims.
-#if defined(__GNUC__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
+TEST(Kernel, FifoOrderAcrossInterleavedHandles) {
+  // Same-time events run in schedule order, including when registrations and
+  // schedules interleave — schedule order, not registration order, decides.
   Kernel kernel;
   std::vector<int> order;
   const ProcessId first = kernel.register_process([&] { order.push_back(0); });
-  kernel.schedule(SimTime::ns(5), first);
-  kernel.schedule(SimTime::ns(5), [&] { order.push_back(1); });  // Legacy shim.
   const ProcessId third = kernel.register_process([&] { order.push_back(2); });
+  const ProcessId second = kernel.register_process([&] { order.push_back(1); });
+  const ProcessId fourth = kernel.register_process([&] { order.push_back(3); });
+  kernel.schedule(SimTime::ns(5), first);
+  kernel.schedule(SimTime::ns(5), second);
   kernel.schedule(SimTime::ns(5), third);
-  kernel.schedule(SimTime::ns(5), [&] { order.push_back(3); });
+  kernel.schedule(SimTime::ns(5), fourth);
   kernel.run();
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
-  EXPECT_EQ(kernel.stats().transient_registrations, 2u);
-#if defined(__GNUC__)
-#pragma GCC diagnostic pop
-#endif
 }
 
 TEST(Kernel, LargeSameTimeBatchKeepsFifoOrder) {
@@ -512,7 +485,6 @@ TEST(Kernel, SteadyStateSchedulingIsAllocationFree) {
   kernel.run(SimTime::ns(15000));
   EXPECT_GT(kernel.events_processed() - events_before, 10000u);
   EXPECT_EQ(g_heap_allocations.load(), allocations_before);
-  EXPECT_EQ(kernel.stats().transient_registrations, 0u);
 }
 
 TEST(Kernel, SteadyStateSignalTrafficIsAllocationFree) {

@@ -28,9 +28,10 @@ RecoveryCoordinator::RecoveryCoordinator(sim::Kernel& kernel, CheckpointStore& s
   if (policy_.checkpoint_interval.picoseconds() == 0) {
     policy_.checkpoint_interval = sim::SimTime(1);
   }
-  tick_interval_ = policy_.tick_interval;
-  if (tick_interval_.picoseconds() == 0) {
-    tick_interval_ = sim::SimTime(std::max<std::uint64_t>(
+  // Derive the cadence in place so policy() reports the effective value
+  // (callers build lost-work bounds from it).
+  if (policy_.tick_interval.picoseconds() == 0) {
+    policy_.tick_interval = sim::SimTime(std::max<std::uint64_t>(
         1, policy_.checkpoint_interval.picoseconds() / 4));
   }
   tick_process_ = kernel_.register_process([this] { tick(); }, "recovery.tick");
@@ -39,7 +40,7 @@ RecoveryCoordinator::RecoveryCoordinator(sim::Kernel& kernel, CheckpointStore& s
 void RecoveryCoordinator::start() {
   if (started_) return;
   started_ = true;
-  kernel_.schedule(tick_interval_, tick_process_);
+  kernel_.schedule(policy_.tick_interval, tick_process_);
 }
 
 void RecoveryCoordinator::tick() {
@@ -47,7 +48,14 @@ void RecoveryCoordinator::tick() {
   // Reschedule before anything else: the pending next tick must be part of
   // every checkpoint captured at this instant, so a restored rig's ladder
   // keeps growing on its own.
-  kernel_.schedule(tick_interval_, tick_process_);
+  kernel_.schedule(policy_.tick_interval, tick_process_);
+  // Inside a verify replay (rollback or root-cause probe) the restored
+  // schedule re-executes this tick, but stats_.last_checkpoint_ps still
+  // holds the pre-restore value — the due-math would underflow and a rung
+  // of mid-replay (possibly diverged) state would land at the top of the
+  // ladder, which the next restore_latest_good would adopt as newest-good.
+  // Writes stay gated until adopt_restored_state() refreshes the clocks.
+  if (replaying_) return;
   if (!running_) return;
   // With a rollback latched, the rig is running post-poison state until the
   // driver gets around to maybe_rollback(); writing rungs now would let the
@@ -224,12 +232,14 @@ bool RecoveryCoordinator::restore_to(std::uint64_t seq, support::DiagnosticSink&
   return true;
 }
 
-bool RecoveryCoordinator::probe_prefix(const std::vector<sim::RecordedEvent>& expected,
-                                       std::uint64_t index,
-                                       const std::function<bool()>& failed,
-                                       std::optional<sim::EventRecorder::Divergence>& divergence,
-                                       support::DiagnosticSink& sink) {
-  if (!store_.restore_latest_good(targets_, sink)) return false;
+RecoveryCoordinator::ProbeOutcome RecoveryCoordinator::probe_prefix(
+    const std::vector<sim::RecordedEvent>& expected, std::uint64_t index,
+    const std::function<bool()>& failed,
+    std::optional<sim::EventRecorder::Divergence>& divergence,
+    support::DiagnosticSink& sink) {
+  // A failed restore is NOT a passing probe: conflating the two would let a
+  // mid-search ladder failure silently steer the binary search.
+  if (!store_.restore_latest_good(targets_, sink)) return ProbeOutcome::kError;
   store_.resume_numbering();
   sim::EventRecorder* recorder = targets_.recorder;
   recorder->begin_verify(expected, recorder->total_events());
@@ -242,7 +252,7 @@ bool RecoveryCoordinator::probe_prefix(const std::vector<sim::RecordedEvent>& ex
   if (bad) divergence = recorder->divergence();
   recorder->end_verify();
   if (!bad && failed != nullptr) bad = failed();
-  return bad;
+  return bad ? ProbeOutcome::kTripped : ProbeOutcome::kPassed;
 }
 
 RecoveryCoordinator::RootCauseReport RecoveryCoordinator::root_cause(
@@ -272,17 +282,34 @@ RecoveryCoordinator::RootCauseReport RecoveryCoordinator::root_cause(
     report.summary = "failure at stream index " + std::to_string(failure_index) +
                      " precedes the last good checkpoint (stream position " +
                      std::to_string(base_total) + ")";
+    adopt_restored_state();
     return report;
   }
+
+  // Epilogue for every path that ran at least one probe: leave the rig
+  // rewound to the last good rung, and clear a suspension a probed
+  // escalation may have latched on a supervisor that is not itself a
+  // snapshot target (mirrors maybe_rollback's resume).
+  const auto rewind = [&] {
+    if (store_.restore_latest_good(targets_, sink)) store_.resume_numbering();
+    if (supervisor_ != nullptr) supervisor_->resume_after_rollback();
+    adopt_restored_state();
+  };
 
   // The search invariant needs probe(failure_index) to trip the oracle.
   std::optional<sim::EventRecorder::Divergence> culprit_divergence;
   ++report.probes;
-  if (!probe_prefix(expected, failure_index, failed, culprit_divergence, sink)) {
+  const ProbeOutcome anchor =
+      probe_prefix(expected, failure_index, failed, culprit_divergence, sink);
+  if (anchor == ProbeOutcome::kError) {
+    report.summary = "checkpoint ladder exhausted during probing";
+    rewind();
+    return report;
+  }
+  if (anchor == ProbeOutcome::kPassed) {
     report.summary = "failure does not reproduce under replay through stream index " +
                      std::to_string(failure_index);
-    if (store_.restore_latest_good(targets_, sink)) store_.resume_numbering();
-    adopt_restored_state();
+    rewind();
     return report;
   }
 
@@ -293,7 +320,14 @@ RecoveryCoordinator::RootCauseReport RecoveryCoordinator::root_cause(
     const std::uint64_t mid = lo + (hi - lo) / 2;
     ++report.probes;
     std::optional<sim::EventRecorder::Divergence> div;
-    if (probe_prefix(expected, mid, failed, div, sink)) {
+    const ProbeOutcome outcome = probe_prefix(expected, mid, failed, div, sink);
+    if (outcome == ProbeOutcome::kError) {
+      report.summary = "checkpoint ladder exhausted during probing (after " +
+                       std::to_string(report.probes) + " probes)";
+      rewind();
+      return report;
+    }
+    if (outcome == ProbeOutcome::kTripped) {
       hi = mid;
       culprit_divergence = div;
     } else {
@@ -334,10 +368,8 @@ RecoveryCoordinator::RootCauseReport RecoveryCoordinator::root_cause(
     report.sequence_diagram = codegen::to_plantuml_sequence(*diagram);
   }
 
-  // Leave the rig rewound to the last good rung (the final probe left it
-  // mid-replay somewhere inside the window).
-  if (store_.restore_latest_good(targets_, sink)) store_.resume_numbering();
-  adopt_restored_state();
+  // The final probe left the rig mid-replay somewhere inside the window.
+  rewind();
   return report;
 }
 

@@ -62,7 +62,9 @@ struct RecoveryPolicy {
   sim::SimTime checkpoint_interval{1'000'000};  // 1us
   /// Cadence of the background tick process. Zero: checkpoint_interval / 4
   /// (so a refused capture — e.g. in-flight bus transactions — retries well
-  /// before a full interval of work is at risk).
+  /// before a full interval of work is at risk). The coordinator writes the
+  /// derived cadence back, so policy() always reports the effective value
+  /// (lost-work bounds can be built from it either way).
   sim::SimTime tick_interval{0};
   /// Events-processed delta that forces an early checkpoint before the
   /// interval elapses (burst protection). Zero disables the trigger.
@@ -171,9 +173,13 @@ class RecoveryCoordinator {
   /// the earliest activation at which `failed` first reports true (or, when
   /// `failed` is null, at which the replay itself first diverges). Each
   /// probe rewinds the rig to the last good rung and verify-replays the
-  /// prefix through the probe instant. The rig is left rewound to the last
-  /// good checkpoint; callers that want the failure state back must replay
-  /// it themselves.
+  /// prefix through the probe instant; a restore that fails mid-search
+  /// aborts with a "ladder exhausted during probing" summary instead of
+  /// skewing the search. The rig is left rewound to the last good
+  /// checkpoint, with an attached supervisor resumed (a probed escalation
+  /// suspends it, and a supervisor outside the snapshot targets is not
+  /// un-suspended by the restore); callers that want the failure state back
+  /// must replay it themselves.
   [[nodiscard]] RootCauseReport root_cause(const std::vector<sim::RecordedEvent>& expected,
                                            std::uint64_t failure_index,
                                            const std::function<bool()>& failed,
@@ -184,19 +190,23 @@ class RecoveryCoordinator {
   [[nodiscard]] const RecoveryPolicy& policy() const { return policy_; }
 
  private:
+  /// A probe either reproduces the failure, runs clean, or could not run at
+  /// all (restore failed) — the last must never be read as "passed".
+  enum class ProbeOutcome { kPassed, kTripped, kError };
+
   void tick();
   [[nodiscard]] bool budget_allows_write() const;
   void adopt_restored_state();
-  [[nodiscard]] bool probe_prefix(const std::vector<sim::RecordedEvent>& expected,
-                                  std::uint64_t index, const std::function<bool()>& failed,
-                                  std::optional<sim::EventRecorder::Divergence>& divergence,
-                                  support::DiagnosticSink& sink);
+  [[nodiscard]] ProbeOutcome probe_prefix(
+      const std::vector<sim::RecordedEvent>& expected, std::uint64_t index,
+      const std::function<bool()>& failed,
+      std::optional<sim::EventRecorder::Divergence>& divergence,
+      support::DiagnosticSink& sink);
 
   sim::Kernel& kernel_;
   CheckpointStore& store_;
   SnapshotTargets targets_;
   RecoveryPolicy policy_;
-  sim::SimTime tick_interval_;
   sim::ProcessId tick_process_ = sim::kInvalidProcess;
   sim::Supervisor* supervisor_ = nullptr;
   std::function<void(const std::string&)> on_rollback_;

@@ -328,7 +328,10 @@ TEST_F(RecoveryTest, RollbackRestoresReplaysAndResumesWithPoisonSuppressed) {
   EXPECT_GE(poison_ps, 150 * WorkerRig::kWorkerPs);
 
   support::DiagnosticSink sink;
+  const std::uint64_t rungs_before = store.stats().checkpoints;
   ASSERT_TRUE(coordinator.maybe_rollback(sink)) << sink.str();
+  EXPECT_EQ(store.stats().checkpoints, rungs_before + 1)
+      << "exactly the post-resume rung: the verify replay must not write";
   EXPECT_FALSE(coordinator.rollback_pending());
   EXPECT_FALSE(rig.supervisor.suspended());
   EXPECT_FALSE(rig.supervisor.gave_up());
@@ -455,6 +458,122 @@ TEST_F(RecoveryTest, RootCausePinpointsTheSeededPoisonEvent) {
   // The rig is left rewound to the last good rung, before the poison.
   EXPECT_LT(rig.ticks, 30u);
   EXPECT_EQ(rig.counter, rig.ticks);
+}
+
+TEST_F(RecoveryTest, RootCauseProbesNeverWriteLadderRungs) {
+  // Regression: with the newest rung gone, restores step DOWN the ladder,
+  // leaving stats_.last_checkpoint_ps ahead of restored sim time. Un-gated
+  // probe ticks would see the unsigned due-math underflow, write rungs of
+  // mid-replay state with the highest sequence numbers, and every later
+  // probe's restore_latest_good would adopt them — corrupting the search.
+  WorkerRig rig;
+  rig.corrupt_at_tick = 55;  // Poison at 550 ns, after every surviving rung.
+  CheckpointStore store(store_config());
+  RecoveryPolicy policy;
+  policy.checkpoint_interval = SimTime::ns(100);
+  policy.tick_interval = SimTime(10'001);
+  RecoveryCoordinator coordinator(rig.kernel, store, rig.targets(), policy);
+  coordinator.start();
+  rig.start();
+  rig.kernel.run(SimTime::ns(600));  // No stop(): checkpointing stays live.
+  ASSERT_EQ(rig.counter, rig.ticks + 1000) << "the failure is live";
+
+  // Drop the newest rung (written at ~500 ns, still before the poison):
+  // restores now land on the ~400 ns rung, behind the coordinator's clock.
+  const std::uint64_t newest = coordinator.stats().last_checkpoint_seq;
+  ASSERT_EQ(newest, 5u);
+  ASSERT_TRUE(std::filesystem::remove(dir_ / "ckpt-00000005.usnap"));
+
+  const std::vector<sim::RecordedEvent> expected = rig.recorder.log();
+  const std::uint64_t rungs_before = store.stats().checkpoints;
+  support::DiagnosticSink sink;
+  const RecoveryCoordinator::RootCauseReport report = coordinator.root_cause(
+      expected, expected.size() - 1, [&rig] { return rig.counter != rig.ticks; }, sink);
+
+  ASSERT_TRUE(report.found) << report.summary << "\n" << sink.str();
+  ASSERT_LT(report.first_bad_index, expected.size());
+  EXPECT_EQ(expected[report.first_bad_index].at_ps, 55 * WorkerRig::kWorkerPs)
+      << "the search must pinpoint the poison from the stepped-down rung";
+  EXPECT_EQ(expected[report.first_bad_index].process, rig.worker);
+  EXPECT_EQ(store.stats().checkpoints, rungs_before)
+      << "verify replays must never write ladder rungs";
+  // Left rewound to the surviving rung, before the poison.
+  EXPECT_EQ(rig.ticks, 40u);
+  EXPECT_EQ(rig.counter, rig.ticks);
+}
+
+TEST_F(RecoveryTest, RootCauseSurfacesALadderFailureMidSearch) {
+  WorkerRig rig;
+  rig.corrupt_at_tick = 30;
+  CheckpointStore store(store_config());
+  RecoveryPolicy policy;
+  policy.checkpoint_interval = SimTime::ns(50);
+  policy.tick_interval = SimTime(10'001);
+  RecoveryCoordinator coordinator(rig.kernel, store, rig.targets(), policy);
+  coordinator.start();
+  rig.start();
+  rig.kernel.run(SimTime::ns(200));
+  coordinator.stop();
+  rig.kernel.run(SimTime::ns(600));
+
+  const std::vector<sim::RecordedEvent> expected = rig.recorder.log();
+  support::DiagnosticSink sink;
+  // The oracle nukes the ladder after the anchor probe: the next probe's
+  // failed restore must abort the search, not read as "probe passed" and
+  // steer the bisection toward a plausible-but-wrong index.
+  const RecoveryCoordinator::RootCauseReport report = coordinator.root_cause(
+      expected, expected.size() - 1,
+      [this, &rig] {
+        std::filesystem::remove_all(dir_);
+        return rig.counter != rig.ticks;
+      },
+      sink);
+  EXPECT_FALSE(report.found);
+  EXPECT_NE(report.summary.find("ladder exhausted during probing"), std::string::npos)
+      << report.summary;
+}
+
+TEST_F(RecoveryTest, RootCauseResumesASupervisorOutsideTheSnapshotTargets) {
+  WorkerRig rig;
+  rig.corrupt_at_tick = 30;
+  rig.fail_from_tick = 150;
+  CheckpointStore store(store_config());
+  // The supervisor is attached for escalation but NOT a snapshot target:
+  // probe restores never touch its suspension, so root_cause must clear it
+  // when forensics complete (mirroring maybe_rollback's resume).
+  SnapshotTargets targets = rig.targets();
+  targets.supervisors.clear();
+  RecoveryCoordinator coordinator(rig.kernel, store, targets, policy_100ns());
+  coordinator.attach_supervisor(rig.supervisor);
+  coordinator.start();
+  rig.start();
+
+  const SimTime horizon = SimTime::us(10);
+  while (rig.kernel.now() < horizon && !coordinator.rollback_pending()) {
+    rig.kernel.run(rig.kernel.now() + SimTime::ns(500));
+  }
+  ASSERT_TRUE(coordinator.rollback_pending());
+  ASSERT_TRUE(rig.supervisor.suspended());
+
+  const std::vector<sim::RecordedEvent> expected = rig.recorder.log();
+  support::DiagnosticSink sink;
+  const RecoveryCoordinator::RootCauseReport report = coordinator.root_cause(
+      expected, expected.size() - 1, [&rig] { return rig.counter != rig.ticks; }, sink);
+  EXPECT_GE(report.probes, 1u);
+  EXPECT_FALSE(rig.supervisor.suspended())
+      << "forensics must not leave an untargeted supervisor suspended";
+}
+
+TEST_F(RecoveryTest, PolicyReportsTheDerivedTickCadence) {
+  WorkerRig rig;
+  CheckpointStore store(store_config());
+  RecoveryPolicy policy;
+  policy.checkpoint_interval = SimTime::ns(100);
+  policy.tick_interval = SimTime(0);  // Derive: checkpoint_interval / 4.
+  RecoveryCoordinator coordinator(rig.kernel, store, rig.targets(), policy);
+  EXPECT_EQ(coordinator.policy().tick_interval, SimTime::ns(25))
+      << "policy() must report the effective cadence, not the zero sentinel";
+  EXPECT_EQ(coordinator.policy().checkpoint_interval, SimTime::ns(100));
 }
 
 TEST_F(RecoveryTest, RootCauseReportsAFailurePredatingTheLadder) {

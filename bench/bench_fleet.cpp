@@ -1,0 +1,136 @@
+// E19 "Fleet engine": what sharding rigs across worker threads costs and
+// buys. Three measurements: fleet throughput (rigs/s, events/s) over a
+// fixed batch of independently-seeded simulation rigs as the worker count
+// grows, the same sweep on a near-empty runner to expose the driver's
+// per-rig dispatch overhead (chunk claim + slot write + bookkeeping), and
+// chunk-size sensitivity at a fixed worker count. Expected shape: rig
+// throughput scales near-linearly with workers up to the core count (rigs
+// share nothing, so the only serial parts are the claim cursor and the
+// progress hook), dispatch overhead is sub-microsecond per rig, and
+// throughput is flat across sane chunk sizes — the cursor is contended
+// only total/chunk times per run.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "fleet/driver.hpp"
+#include "fleet/report.hpp"
+#include "sim/fault.hpp"
+#include "sim/kernel.hpp"
+
+namespace {
+
+using namespace umlsoc;
+
+/// One fleet rig: a kernel driven by a self-rescheduling process on a 10 ns
+/// grid consulting a seeded fault plan — the smallest workload that still
+/// exercises the real event loop and per-seed divergent control flow.
+fleet::RigOutcome run_sim_rig(const fleet::RigJob& job, std::uint64_t ticks_per_rig) {
+  sim::Kernel kernel;
+  sim::FaultPlan plan(job.seed);
+  sim::FaultPlan::SiteConfig site;
+  site.error_rate = 0.05;
+  plan.configure(sim::FaultSite::kBusWrite, site);
+
+  fleet::RigOutcome outcome;
+  std::uint64_t ticks = 0;
+  sim::ProcessId worker = sim::kInvalidProcess;
+  worker = kernel.register_process(
+      [&] {
+        ++ticks;
+        ++outcome.slo.requests;
+        if (plan.consult(sim::FaultSite::kBusWrite).faulted()) {
+          ++outcome.slo.lost;
+        } else {
+          ++outcome.slo.delivered;
+        }
+        if (ticks < ticks_per_rig) kernel.schedule(sim::SimTime::ns(10), worker);
+      },
+      "bench.fleet.worker");
+  kernel.schedule(sim::SimTime::ns(10), worker);
+  kernel.run();
+
+  outcome.ok = true;
+  outcome.sim_time_ps = kernel.now().picoseconds();
+  outcome.events_processed = kernel.events_processed();
+  fleet::reduce(outcome.kernel, kernel.stats());
+  return outcome;
+}
+
+/// Fleet throughput vs worker count: 256 sim rigs of 2000 ticks each.
+/// rigs/s and events/s are the scaling headline; on an N-core host the
+/// curve should track min(jobs, N) within the acceptance margin.
+void BM_FleetThroughput(benchmark::State& state) {
+  const unsigned jobs = static_cast<unsigned>(state.range(0));
+  constexpr std::uint64_t kRigs = 256;
+  constexpr std::uint64_t kTicks = 2000;
+
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    fleet::FleetConfig config;
+    config.jobs = jobs;
+    fleet::FleetDriver driver(config);
+    const std::vector<fleet::RigOutcome> outcomes = driver.run_range(
+        1000, kRigs, [](const fleet::RigJob& job) { return run_sim_rig(job, kTicks); });
+    const fleet::FleetReport report = fleet::FleetReport::aggregate(outcomes);
+    events = report.events_total;
+    benchmark::DoNotOptimize(report.rigs_ok);
+  }
+  state.counters["rigs/s"] = benchmark::Counter(
+      static_cast<double>(kRigs * state.iterations()), benchmark::Counter::kIsRate);
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events * state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FleetThroughput)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+
+/// Driver dispatch overhead: a runner that does nothing isolates the
+/// per-rig cost of the chunk queue, outcome slot write, wall-clock stamp
+/// and completion counter.
+void BM_FleetDispatchOverhead(benchmark::State& state) {
+  const unsigned jobs = static_cast<unsigned>(state.range(0));
+  constexpr std::uint64_t kRigs = 4096;
+
+  for (auto _ : state) {
+    fleet::FleetConfig config;
+    config.jobs = jobs;
+    fleet::FleetDriver driver(config);
+    const std::vector<fleet::RigOutcome> outcomes =
+        driver.run_range(0, kRigs, [](const fleet::RigJob&) {
+          fleet::RigOutcome outcome;
+          outcome.ok = true;
+          return outcome;
+        });
+    benchmark::DoNotOptimize(outcomes.size());
+  }
+  state.counters["rigs/s"] = benchmark::Counter(
+      static_cast<double>(kRigs * state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FleetDispatchOverhead)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// Chunk-size sensitivity at 4 workers: from fine-grained (every rig a
+/// claim) to coarse (one claim per worker). Flat means the claim cursor is
+/// not a bottleneck at simulation-rig granularity.
+void BM_FleetChunkSize(benchmark::State& state) {
+  const std::uint64_t chunk = static_cast<std::uint64_t>(state.range(0));
+  constexpr std::uint64_t kRigs = 256;
+  constexpr std::uint64_t kTicks = 500;
+
+  for (auto _ : state) {
+    fleet::FleetConfig config;
+    config.jobs = 4;
+    config.chunk = chunk;
+    fleet::FleetDriver driver(config);
+    const std::vector<fleet::RigOutcome> outcomes = driver.run_range(
+        1000, kRigs, [](const fleet::RigJob& job) { return run_sim_rig(job, kTicks); });
+    benchmark::DoNotOptimize(outcomes.size());
+  }
+  state.counters["rigs/s"] = benchmark::Counter(
+      static_cast<double>(kRigs * state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FleetChunkSize)->Arg(1)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace

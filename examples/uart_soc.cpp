@@ -27,7 +27,13 @@
 // UartLink statechart's error channel, which must absorb all of them.
 //
 // With --chaos-soak[=N] the binary instead soaks that supervision loop
-// under a seeded 1% error + 1% drop fault plan over N seeds (default 16):
+// under a seeded 1% error + 1% drop fault plan over N seeds (default 16),
+// sharded across worker threads by the fleet engine (--jobs=M; default 1,
+// 0 = one per core). Each seed is one fully isolated rig pipeline — its own
+// kernels, fault plans, supervision tree and checkpoint ladder — so
+// per-seed results are bit-identical regardless of the job count, and the
+// run ends with the fleet SLO rollup (availability, delivery/timeout
+// rates, restarts, rollbacks, checkpoint overhead, lost-work bounds):
 // each seed runs an uninterrupted reference, an identical rig checkpointed
 // mid-stream, and a restored rig that finishes the run under the replay
 // verifier — final state and the full event sequence must match, every
@@ -61,8 +67,10 @@
 //
 //   $ ./example_uart_soc
 //   $ ./example_uart_soc --chaos-soak
+//   $ ./example_uart_soc --chaos-soak=256 --jobs=$(nproc)
 //   $ ./example_uart_soc --chaos-soak=4 --engine=interpreted
 //   $ ./example_uart_soc --check-properties
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -72,6 +80,8 @@
 #include <random>
 
 #include "codegen/hwmodel.hpp"
+#include "fleet/driver.hpp"
+#include "fleet/report.hpp"
 #include "codegen/plantuml.hpp"
 #include "codegen/rtl.hpp"
 #include "codegen/swruntime.hpp"
@@ -732,28 +742,6 @@ std::string compare_final_state(DegradedRig& reference, DegradedRig& twin,
   return {};
 }
 
-/// Aggregated checkpoint-path accounting across every soak leg, printed at
-/// the end of --chaos-soak.
-struct SoakCheckpointTotals {
-  sim::Kernel::SnapshotStats snapshot;
-  std::uint64_t checkpoints = 0;
-  std::uint64_t write_faults = 0;
-  std::uint64_t quarantines = 0;
-  std::uint64_t ladder_recoveries = 0;
-  std::uint64_t crash_recoveries = 0;
-  std::uint64_t crash_lost_work_ps_max = 0;
-
-  void add(const sim::Kernel::SnapshotStats& stats) {
-    snapshot.encodes += stats.encodes;
-    snapshot.restores += stats.restores;
-    snapshot.bytes_written += stats.bytes_written;
-    snapshot.sections_dirty += stats.sections_dirty;
-    snapshot.sections_total += stats.sections_total;
-    snapshot.encode_wall_ns += stats.encode_wall_ns;
-    snapshot.restore_wall_ns += stats.restore_wall_ns;
-  }
-};
-
 /// Writes a recorded event log as one "index at_ps label" line per event —
 /// the forensic artifact uploaded alongside a failing seed's ladder.
 void dump_event_log(const std::filesystem::path& path,
@@ -774,12 +762,17 @@ void dump_event_log(const std::filesystem::path& path,
 /// mid-run and a RecoveryCoordinator recovers a fresh one. Per-seed
 /// scratch lives under `scratch`; it is removed on success and left in
 /// place on failure (the caller copies it out as a CI artifact). Returns
-/// an empty string on success, else the failure description.
+/// an empty string on success, else the failure description. Fills
+/// `outcome` with the seed's SLO counters (service numbers come from the
+/// uninterrupted reference leg; recovery accounting from the ladder and
+/// crash legs; kernel stats reduced across every leg). Runs on a fleet
+/// worker thread: everything it touches is rig-local or read-only shared
+/// model input, and filesystem scratch is partitioned by seed.
 std::string soak_one_seed(const uml::Component& psm_uart, const soc::SocProfile& profile,
                           const statechart::StateMachine& link_machine,
                           std::uint64_t base, const TrafficFaults& faults,
                           std::uint64_t seed, const std::filesystem::path& scratch,
-                          SoakCheckpointTotals& totals) {
+                          fleet::RigOutcome& outcome) {
   support::DiagnosticSink sink;
 
   DegradedRig reference(psm_uart, profile, link_machine, base, faults, seed, sink);
@@ -1022,38 +1015,69 @@ std::string soak_one_seed(const uml::Component& psm_uart, const soc::SocProfile&
     return problem;
   }
 
-  totals.checkpoints += store.stats().checkpoints + crash_store.stats().checkpoints;
-  totals.write_faults += store.stats().write_faults;
-  totals.quarantines += recovery.stats().quarantines;
-  ++totals.ladder_recoveries;
-  ++totals.crash_recoveries;
-  totals.crash_lost_work_ps_max = std::max(totals.crash_lost_work_ps_max, lost_ps);
-  totals.add(checkpointed.kernel.stats().snapshot);
-  totals.add(restored.kernel.stats().snapshot);
-  totals.add(ladder.kernel.stats().snapshot);
-  totals.add(recovered.kernel.stats().snapshot);
-  totals.add(crash_rig.kernel.stats().snapshot);
-  totals.add(crash_recovered.kernel.stats().snapshot);
+  // --- SLO accounting for the fleet rollup -----------------------------------
+  // Service numbers come from the uninterrupted reference: what the rig
+  // delivered while taking 1% error + 1% drop through the resilience stack.
+  outcome.slo.requests = reference.sent;
+  outcome.slo.delivered = reference.delivered;
+  outcome.slo.lost = reference.lost;
+  for (const sim::BusMasterPort::Stats* port_stats :
+       {&reference.dma_port.stats(), &reference.pio_port.stats()}) {
+    outcome.slo.transactions += port_stats->transactions;
+    outcome.slo.timeouts += port_stats->timeouts;
+    outcome.slo.retries += port_stats->retries;
+    outcome.slo.recovered += port_stats->recovered;
+    outcome.slo.exhausted += port_stats->exhausted;
+  }
+  outcome.slo.errors_raised = reference.link->errors_raised();
+  outcome.slo.errors_unhandled = reference.link->errors_unhandled();
+  outcome.slo.restarts = reference.sup.child_stats(reference.link_child).restarts;
+  outcome.slo.escalations = reference.sup.escalations();
+  outcome.slo.give_ups = reference.sup.gave_up() ? 1 : 0;
+  outcome.slo.watchdog_trips = reference.watchdog.trips();
+  outcome.slo.breaker_opens = reference.breaker.stats().opens;
+  outcome.slo.breaker_closes = reference.breaker.stats().closes;
+  outcome.slo.breaker_fast_failed = reference.breaker.stats().fast_failed;
+  // Recovery accounting from the ladder and crash legs.
+  outcome.slo.checkpoints_written =
+      store.stats().checkpoints + crash_store.stats().checkpoints;
+  outcome.slo.checkpoint_write_faults = store.stats().write_faults;
+  outcome.slo.rungs_quarantined = recovery.stats().quarantines;
+  outcome.slo.ladder_recoveries = 1;
+  outcome.slo.crash_recoveries = 1;
+  outcome.slo.lost_work_ps_max = lost_ps;
+  outcome.health.add(reference.health);
+  outcome.sim_time_ps = reference.kernel.now().picoseconds();
+  for (const sim::Kernel* kernel :
+       {&reference.kernel, &checkpointed.kernel, &restored.kernel, &ladder.kernel,
+        &recovered.kernel, &crash_reference.kernel, &crash_rig.kernel,
+        &crash_recovered.kernel}) {
+    fleet::reduce(outcome.kernel, kernel->stats());
+    outcome.events_processed += kernel->events_processed();
+  }
   fs::remove_all(seed_dir, cleanup_ec);
 
   if (sink.has_errors()) return "diagnostics: " + sink.str();
   return {};
 }
 
-/// --chaos-soak[=N]: the supervision loop under a seeded 1% error + 1%
-/// drop plan, N seeds. Prints every failing seed so a CI log pinpoints the
-/// reproduction (`--chaos-soak=1` with the seed hardcoded is then a local
-/// one-liner away).
+/// --chaos-soak[=N] --jobs=M: the supervision loop under a seeded 1% error
+/// + 1% drop plan, N seeds sharded across M fleet workers. Per-seed
+/// results are bit-identical across job counts (each seed's rig pipeline
+/// is fully isolated), so failures reproduce with `--chaos-soak=1` and the
+/// seed hardcoded no matter how the fleet was sharded. Prints every
+/// failing seed plus the fleet SLO rollup.
 int run_chaos_soak(const uml::Component& psm_uart, const soc::SocProfile& profile,
                    const statechart::StateMachine& link_machine, std::uint64_t base,
-                   int seed_count) {
+                   int seed_count, unsigned jobs) {
   TrafficFaults faults;
   faults.error_rate = 0.01;
   faults.drop_rate = 0.01;
-  std::printf("chaos soak: %d seeds, 1%% error + 1%% drop on bus writes, "
-              "20%%/20%%/20%% torn/lost/bit-flipped checkpoints, mid-run crash + "
-              "coordinator recovery, %s link engine\n",
-              seed_count, engine_label());
+  const unsigned jobs_used = fleet::FleetDriver::resolve_jobs(jobs);
+  std::printf("chaos soak: %d seeds across %u fleet worker(s), 1%% error + 1%% drop "
+              "on bus writes, 20%%/20%%/20%% torn/lost/bit-flipped checkpoints, "
+              "mid-run crash + coordinator recovery, %s link engine\n",
+              seed_count, jobs_used, engine_label());
 
   // Per-seed checkpoint ladders and event logs live in a temp-dir scratch
   // root, not the working directory. A failing seed's scratch is copied to
@@ -1066,60 +1090,66 @@ int run_chaos_soak(const uml::Component& psm_uart, const soc::SocProfile& profil
   fs::create_directories(scratch, scratch_ec);
   const fs::path artifact_root = "chaos-soak-failure";
 
-  SoakCheckpointTotals totals;
-  std::vector<unsigned long long> failed;
-  for (int i = 0; i < seed_count; ++i) {
-    const std::uint64_t seed = 1000 + static_cast<std::uint64_t>(i);
-    const std::string problem =
-        soak_one_seed(psm_uart, profile, link_machine, base, faults, seed, scratch, totals);
-    if (problem.empty()) {
-      std::printf("  seed %llu: ok\n", static_cast<unsigned long long>(seed));
-    } else {
-      std::printf("  seed %llu: FAILED (%s)\n", static_cast<unsigned long long>(seed),
-                  problem.c_str());
-      failed.push_back(seed);
-      const fs::path seed_dir = scratch / ("seed-" + std::to_string(seed));
-      const fs::path artifact_dir = artifact_root / ("seed-" + std::to_string(seed));
-      std::error_code copy_ec;
-      fs::remove_all(artifact_dir, copy_ec);
-      fs::create_directories(artifact_dir, copy_ec);
-      fs::copy(seed_dir, artifact_dir,
-               fs::copy_options::recursive | fs::copy_options::overwrite_existing,
-               copy_ec);
-      std::ofstream(artifact_dir / "problem.txt") << problem << '\n';
-      std::printf("  seed %llu: ladder + event logs preserved in %s\n",
-                  static_cast<unsigned long long>(seed), artifact_dir.string().c_str());
+  fleet::FleetConfig config;
+  config.jobs = jobs;
+  fleet::FleetDriver driver(config);
+  // The progress hook is serialized by the driver; lines arrive in
+  // completion order (worker interleaving), so they carry the seed. The
+  // deterministic per-seed story is the result vector, not the log.
+  const bool verbose = seed_count <= 32;
+  driver.set_progress([&](const fleet::RigJob& job, const fleet::RigOutcome& outcome,
+                          std::uint64_t done, std::uint64_t total) {
+    if (!outcome.ok) {
+      std::printf("  seed %llu: FAILED (%s)\n",
+                  static_cast<unsigned long long>(job.seed), outcome.failure.c_str());
+    } else if (verbose) {
+      std::printf("  seed %llu: ok\n", static_cast<unsigned long long>(job.seed));
+    } else if (done % 64 == 0 || done == total) {
+      std::printf("  %llu/%llu rigs complete\n", static_cast<unsigned long long>(done),
+                  static_cast<unsigned long long>(total));
     }
+  });
+  const std::vector<fleet::RigOutcome> outcomes = driver.run_range(
+      1000, static_cast<std::uint64_t>(seed_count), [&](const fleet::RigJob& job) {
+        fleet::RigOutcome outcome;
+        outcome.failure = soak_one_seed(psm_uart, profile, link_machine, base, faults,
+                                        job.seed, scratch, outcome);
+        outcome.ok = outcome.failure.empty();
+        return outcome;
+      });
+
+  // Failure forensics, in seed order (deterministic log tail).
+  for (const fleet::RigOutcome& outcome : outcomes) {
+    if (outcome.ok) continue;
+    const fs::path seed_dir = scratch / ("seed-" + std::to_string(outcome.seed));
+    const fs::path artifact_dir = artifact_root / ("seed-" + std::to_string(outcome.seed));
+    std::error_code copy_ec;
+    fs::remove_all(artifact_dir, copy_ec);
+    fs::create_directories(artifact_dir, copy_ec);
+    fs::copy(seed_dir, artifact_dir,
+             fs::copy_options::recursive | fs::copy_options::overwrite_existing,
+             copy_ec);
+    std::ofstream(artifact_dir / "problem.txt") << outcome.failure << '\n';
+    std::printf("  seed %llu: ladder + event logs preserved in %s\n",
+                static_cast<unsigned long long>(outcome.seed),
+                artifact_dir.string().c_str());
   }
   std::error_code cleanup_ec;
   fs::remove_all(scratch, cleanup_ec);
-  if (!failed.empty()) {
-    std::printf("chaos soak FAILED for %zu seed(s):", failed.size());
-    for (unsigned long long seed : failed) std::printf(" %llu", seed);
-    std::printf("\n");
+
+  const fleet::FleetReport report = fleet::FleetReport::aggregate(outcomes);
+  if (report.rigs_failed != 0) {
+    std::printf("chaos soak FAILED for %llu seed(s):",
+                static_cast<unsigned long long>(report.rigs_failed));
+    for (std::uint64_t seed : report.failed_seeds) {
+      std::printf(" %llu", static_cast<unsigned long long>(seed));
+    }
+    std::printf("\n%s", report.str(&driver.stats()).c_str());
     return 1;
   }
   std::printf("chaos soak: all %d seeds recovered and replayed bit-identically\n",
               seed_count);
-  std::printf("snapshot stats: %llu encodes (%llu bytes, %llu/%llu sections dirty, "
-              "%.2f ms), %llu restores (%.2f ms)\n",
-              static_cast<unsigned long long>(totals.snapshot.encodes),
-              static_cast<unsigned long long>(totals.snapshot.bytes_written),
-              static_cast<unsigned long long>(totals.snapshot.sections_dirty),
-              static_cast<unsigned long long>(totals.snapshot.sections_total),
-              static_cast<double>(totals.snapshot.encode_wall_ns) / 1e6,
-              static_cast<unsigned long long>(totals.snapshot.restores),
-              static_cast<double>(totals.snapshot.restore_wall_ns) / 1e6);
-  std::printf("recovery ladder: %llu checkpoints written, %llu injected write faults, "
-              "%llu rungs quarantined, %llu/%d seeds recovered via restore_latest_good\n",
-              static_cast<unsigned long long>(totals.checkpoints),
-              static_cast<unsigned long long>(totals.write_faults),
-              static_cast<unsigned long long>(totals.quarantines),
-              static_cast<unsigned long long>(totals.ladder_recoveries), seed_count);
-  std::printf("crash leg: %llu/%d seeds died mid-run and recovered through the "
-              "coordinator, max lost work %s (bound: checkpoint interval)\n",
-              static_cast<unsigned long long>(totals.crash_recoveries), seed_count,
-              sim::SimTime(totals.crash_lost_work_ps_max).str().c_str());
+  std::printf("%s", report.str(&driver.stats()).c_str());
   return 0;
 }
 
@@ -1381,9 +1411,22 @@ bool build_model_bundle(ModelBundle& bundle, bool verbose,
 
 int main(int argc, char** argv) {
   int soak_seeds = 0;
-  // --engine applies to whichever mode runs, so resolve it before the mode
-  // flags (which dispatch immediately) regardless of argument order.
+  unsigned soak_jobs = 1;  // Serial by default; --jobs=0 = one per core.
+  // --engine and --jobs apply to whichever mode runs, so resolve them
+  // before the mode flags (which dispatch immediately) regardless of
+  // argument order.
   for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      char* end = nullptr;
+      const long value = std::strtol(argv[i] + 7, &end, 10);
+      if (end == argv[i] + 7 || *end != '\0' || value < 0 || value > 4096) {
+        std::fprintf(stderr, "invalid job count '%s' (use 0 for one per core)\n",
+                     argv[i] + 7);
+        return 2;
+      }
+      soak_jobs = static_cast<unsigned>(value);
+      continue;
+    }
     if (std::strncmp(argv[i], "--engine=", 9) != 0) continue;
     const char* choice = argv[i] + 9;
     if (std::strcmp(choice, "compiled") == 0) {
@@ -1396,7 +1439,10 @@ int main(int argc, char** argv) {
     }
   }
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--engine=", 9) == 0) continue;
+    if (std::strncmp(argv[i], "--engine=", 9) == 0 ||
+        std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      continue;
+    }
     if (std::strcmp(argv[i], "--check-properties") == 0) return run_check_properties("");
     if (std::strncmp(argv[i], "--check-properties=", 19) == 0) {
       return run_check_properties(argv[i] + 19);
@@ -1426,7 +1472,7 @@ int main(int argc, char** argv) {
   build_link_machine(link_machine);
   if (soak_seeds > 0) {
     return run_chaos_soak(*bundle.psm_uart, *bundle.psm_profile, link_machine,
-                          bundle.base, soak_seeds);
+                          bundle.base, soak_seeds, soak_jobs);
   }
 
   // 4. Execute: HW model on the bus, ASL driver writing registers.

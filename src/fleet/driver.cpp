@@ -1,0 +1,207 @@
+#include "fleet/driver.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace umlsoc::fleet {
+
+void SloCounters::add(const SloCounters& other) {
+  requests += other.requests;
+  delivered += other.delivered;
+  lost += other.lost;
+  transactions += other.transactions;
+  timeouts += other.timeouts;
+  retries += other.retries;
+  recovered += other.recovered;
+  exhausted += other.exhausted;
+  errors_raised += other.errors_raised;
+  errors_unhandled += other.errors_unhandled;
+  restarts += other.restarts;
+  escalations += other.escalations;
+  give_ups += other.give_ups;
+  watchdog_trips += other.watchdog_trips;
+  breaker_opens += other.breaker_opens;
+  breaker_closes += other.breaker_closes;
+  breaker_fast_failed += other.breaker_fast_failed;
+  rollbacks += other.rollbacks;
+  checkpoints_written += other.checkpoints_written;
+  checkpoint_write_faults += other.checkpoint_write_faults;
+  rungs_quarantined += other.rungs_quarantined;
+  ladder_recoveries += other.ladder_recoveries;
+  crash_recoveries += other.crash_recoveries;
+  lost_work_ps_max = std::max(lost_work_ps_max, other.lost_work_ps_max);
+}
+
+void HealthRollup::add(const sim::HealthRegistry& registry) {
+  for (sim::HealthRegistry::UnitId unit = 0; unit < registry.unit_count(); ++unit) {
+    switch (registry.health(unit)) {
+      case sim::UnitHealth::kHealthy: ++healthy; break;
+      case sim::UnitHealth::kDegraded: ++degraded; break;
+      case sim::UnitHealth::kFailed: ++failed; break;
+    }
+  }
+}
+
+void HealthRollup::add(const HealthRollup& other) {
+  healthy += other.healthy;
+  degraded += other.degraded;
+  failed += other.failed;
+}
+
+void reduce(sim::Kernel::Stats& into, const sim::Kernel::Stats& stats) {
+  into.timed_peak = std::max(into.timed_peak, stats.timed_peak);
+  into.max_deltas_per_instant =
+      std::max(into.max_deltas_per_instant, stats.max_deltas_per_instant);
+  into.wheel_hits += stats.wheel_hits;
+  into.heap_hits += stats.heap_hits;
+  into.cascades += stats.cascades;
+  into.processes_registered += stats.processes_registered;
+  into.collapsed_notifications += stats.collapsed_notifications;
+  into.snapshot.encodes += stats.snapshot.encodes;
+  into.snapshot.restores += stats.snapshot.restores;
+  into.snapshot.bytes_written += stats.snapshot.bytes_written;
+  into.snapshot.sections_dirty += stats.snapshot.sections_dirty;
+  into.snapshot.sections_total += stats.snapshot.sections_total;
+  into.snapshot.encode_wall_ns += stats.snapshot.encode_wall_ns;
+  into.snapshot.restore_wall_ns += stats.snapshot.restore_wall_ns;
+}
+
+bool RigOutcome::deterministic_equal(const RigOutcome& other) const {
+  // Kernel wall-clock fields are host-time measurements of deterministic
+  // work; everything else in Stats is simulation-deterministic.
+  const auto deterministic_kernel = [](sim::Kernel::Stats stats) {
+    stats.snapshot.encode_wall_ns = 0;
+    stats.snapshot.restore_wall_ns = 0;
+    return stats;
+  };
+  const sim::Kernel::Stats mine = deterministic_kernel(kernel);
+  const sim::Kernel::Stats theirs = deterministic_kernel(other.kernel);
+  return seed == other.seed && ok == other.ok && failure == other.failure &&
+         sim_time_ps == other.sim_time_ps &&
+         events_processed == other.events_processed && slo == other.slo &&
+         health == other.health &&
+         mine.timed_peak == theirs.timed_peak &&
+         mine.max_deltas_per_instant == theirs.max_deltas_per_instant &&
+         mine.wheel_hits == theirs.wheel_hits && mine.heap_hits == theirs.heap_hits &&
+         mine.cascades == theirs.cascades &&
+         mine.processes_registered == theirs.processes_registered &&
+         mine.collapsed_notifications == theirs.collapsed_notifications &&
+         mine.snapshot.encodes == theirs.snapshot.encodes &&
+         mine.snapshot.restores == theirs.snapshot.restores &&
+         mine.snapshot.bytes_written == theirs.snapshot.bytes_written &&
+         mine.snapshot.sections_dirty == theirs.snapshot.sections_dirty &&
+         mine.snapshot.sections_total == theirs.snapshot.sections_total;
+}
+
+FleetDriver::FleetDriver(FleetConfig config) : config_(config) {}
+
+unsigned FleetDriver::resolve_jobs(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+std::vector<RigOutcome> FleetDriver::run_range(std::uint64_t seed_base,
+                                               std::uint64_t count,
+                                               const RigRunner& runner) {
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) seeds.push_back(seed_base + i);
+  return run(seeds, runner);
+}
+
+std::vector<RigOutcome> FleetDriver::run(const std::vector<std::uint64_t>& seeds,
+                                         const RigRunner& runner) {
+  const std::uint64_t total = seeds.size();
+  const unsigned jobs =
+      static_cast<unsigned>(std::min<std::uint64_t>(resolve_jobs(config_.jobs),
+                                                    std::max<std::uint64_t>(total, 1)));
+  std::uint64_t chunk = config_.chunk;
+  if (chunk == 0) {
+    // ~4 chunks per worker: enough slack to back-fill a slow worker without
+    // hammering the claim cursor.
+    chunk = std::max<std::uint64_t>(1, total / (4 * static_cast<std::uint64_t>(jobs)));
+  }
+
+  std::vector<RigOutcome> outcomes(total);
+  stats_ = FleetStats{};
+  stats_.jobs = jobs;
+  stats_.chunk = chunk;
+  stats_.rigs = total;
+  stats_.rigs_per_worker.assign(jobs, 0);
+  if (total == 0) return outcomes;
+
+  // Shared fleet state: the chunk cursor (the only hot-path shared write),
+  // a completion counter and a mutex serializing the progress hook.
+  std::atomic<std::uint64_t> next_chunk{0};
+  std::atomic<std::uint64_t> chunks_claimed{0};
+  std::atomic<std::uint64_t> done{0};
+  std::mutex progress_mutex;
+
+  const auto run_one = [&](std::uint64_t index, unsigned worker) {
+    RigJob job;
+    job.index = index;
+    job.seed = seeds[index];
+    job.worker = worker;
+    RigOutcome& slot = outcomes[index];
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      slot = runner(job);
+    } catch (const std::exception& error) {
+      slot = RigOutcome{};
+      slot.ok = false;
+      slot.failure = std::string("uncaught exception: ") + error.what();
+    } catch (...) {
+      slot = RigOutcome{};
+      slot.ok = false;
+      slot.failure = "uncaught exception (non-standard)";
+    }
+    slot.seed = job.seed;
+    if (slot.wall_ns == 0) {
+      slot.wall_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+    }
+    ++stats_.rigs_per_worker[worker];
+    const std::uint64_t completed = done.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (progress_) {
+      std::lock_guard<std::mutex> lock(progress_mutex);
+      progress_(job, slot, completed, total);
+    }
+  };
+
+  const auto worker_body = [&](unsigned worker) {
+    for (;;) {
+      const std::uint64_t begin =
+          next_chunk.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= total) return;
+      chunks_claimed.fetch_add(1, std::memory_order_relaxed);
+      const std::uint64_t end = std::min(total, begin + chunk);
+      for (std::uint64_t index = begin; index < end; ++index) run_one(index, worker);
+    }
+  };
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  if (jobs == 1) {
+    worker_body(0);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(jobs);
+    for (unsigned worker = 0; worker < jobs; ++worker) {
+      workers.emplace_back(worker_body, worker);
+    }
+    for (std::thread& thread : workers) thread.join();
+  }
+  stats_.wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count());
+  stats_.chunks_claimed = chunks_claimed.load(std::memory_order_relaxed);
+  return outcomes;
+}
+
+}  // namespace umlsoc::fleet

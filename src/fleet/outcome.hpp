@@ -1,0 +1,123 @@
+// Per-rig fleet results: the data one independently-seeded rig contributes
+// to the fleet-level SLO rollup.
+//
+// A fleet run executes thousands of isolated SoC rigs (one kernel + fault
+// plan + supervision tree + checkpoint ladder each) across worker threads.
+// Every rig reduces its run to a RigOutcome: a verdict, the SLO-relevant
+// counters (traffic, resilience, supervision, recovery), a HealthRegistry
+// rollup and a reduced kernel Stats record. Outcomes are pure functions of
+// the rig's seed — nothing in them may depend on which worker ran the rig
+// or in what order — which is what makes fleet results bit-identical across
+// `--jobs` counts. Host wall time is the one deliberate exception; it lives
+// in a clearly-marked field excluded from the determinism fingerprint.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/kernel.hpp"
+#include "sim/supervise.hpp"
+
+namespace umlsoc::fleet {
+
+/// Identifies one rig of a fleet run: its dense index into the result
+/// vector and the seed it runs under. `worker` is the worker slot that
+/// happened to execute the rig — observability only; rig behavior and
+/// outcome content must never read it.
+struct RigJob {
+  std::uint64_t index = 0;
+  std::uint64_t seed = 0;
+  unsigned worker = 0;
+};
+
+/// SLO-relevant counters a rig contributes to the fleet rollup. All fields
+/// are simulation-deterministic (derived from kernel/bus/supervision state,
+/// never from host clocks), so per-seed values are identical across thread
+/// counts and the fleet totals reduce deterministically.
+struct SloCounters {
+  // Traffic served by the rig's workload.
+  std::uint64_t requests = 0;   ///< Bytes/operations the workload attempted.
+  std::uint64_t delivered = 0;  ///< Completed OK.
+  std::uint64_t lost = 0;       ///< Completed with error (incl. fast-fails).
+
+  // Bus/port resilience.
+  std::uint64_t transactions = 0;  ///< Port-level transactions issued.
+  std::uint64_t timeouts = 0;      ///< Attempts that timed out.
+  std::uint64_t retries = 0;       ///< Retry attempts issued.
+  std::uint64_t recovered = 0;     ///< Transactions that recovered via retry.
+  std::uint64_t exhausted = 0;     ///< Transactions that exhausted retries.
+
+  // Statechart error channel.
+  std::uint64_t errors_raised = 0;
+  std::uint64_t errors_unhandled = 0;
+
+  // Supervision.
+  std::uint64_t restarts = 0;        ///< Successful supervised restarts.
+  std::uint64_t escalations = 0;     ///< Supervisor escalations to a parent.
+  std::uint64_t give_ups = 0;        ///< Terminal supervisor give-ups.
+  std::uint64_t watchdog_trips = 0;
+  std::uint64_t breaker_opens = 0;
+  std::uint64_t breaker_closes = 0;
+  std::uint64_t breaker_fast_failed = 0;
+  std::uint64_t rollbacks = 0;       ///< Coordinator-driven rollback recoveries.
+
+  // Checkpointing and recovery.
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t checkpoint_write_faults = 0;  ///< Injected write faults taken.
+  std::uint64_t rungs_quarantined = 0;        ///< Corrupt rungs skipped on restore.
+  std::uint64_t ladder_recoveries = 0;        ///< restore_latest_good successes.
+  std::uint64_t crash_recoveries = 0;         ///< Crash-twin coordinator recoveries.
+  std::uint64_t lost_work_ps_max = 0;         ///< Worst crash-recovery lost work.
+
+  /// Element-wise accumulation (max for lost_work_ps_max).
+  void add(const SloCounters& other);
+
+  friend bool operator==(const SloCounters&, const SloCounters&) = default;
+};
+
+/// HealthRegistry rollup: unit counts per final health state. A fleet
+/// aggregates these across rigs — "how many units fleet-wide ended
+/// degraded" is the availability signal the per-rig boolean all_healthy()
+/// cannot express.
+struct HealthRollup {
+  std::uint64_t healthy = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t failed = 0;
+
+  /// Counts `registry`'s units into this rollup.
+  void add(const sim::HealthRegistry& registry);
+  void add(const HealthRollup& other);
+
+  [[nodiscard]] std::uint64_t units() const { return healthy + degraded + failed; }
+  friend bool operator==(const HealthRollup&, const HealthRollup&) = default;
+};
+
+/// Kernel Stats reduction: counters sum, high-water marks take the max.
+/// Used both to fold a multi-kernel rig (e.g. the chaos soak's reference /
+/// restored / crash legs) into one record and to fold rig records into the
+/// fleet report.
+void reduce(sim::Kernel::Stats& into, const sim::Kernel::Stats& stats);
+
+/// Everything one rig reports back to the fleet. Aside from `wall_ns`
+/// (host time, nondeterministic by nature) every field must be a pure
+/// function of `seed`.
+struct RigOutcome {
+  std::uint64_t seed = 0;
+  bool ok = false;
+  std::string failure;  ///< Empty iff ok.
+
+  std::uint64_t sim_time_ps = 0;         ///< Simulated time the rig covered.
+  std::uint64_t events_processed = 0;    ///< Kernel callbacks across the rig's kernels.
+  SloCounters slo;
+  HealthRollup health;
+  sim::Kernel::Stats kernel;  ///< reduce()d across the rig's kernels.
+
+  std::uint64_t wall_ns = 0;  ///< Host time; excluded from determinism checks.
+
+  /// Deterministic equality: every field except wall_ns. The fleet
+  /// determinism gate compares per-seed outcomes across thread counts with
+  /// this, not operator==.
+  [[nodiscard]] bool deterministic_equal(const RigOutcome& other) const;
+};
+
+}  // namespace umlsoc::fleet

@@ -5,6 +5,7 @@
 // (corrupt/version-skewed/missing files quarantined, write faults injected
 // through FaultSite::kCheckpoint).
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <array>
@@ -670,17 +671,19 @@ std::vector<std::filesystem::path> snapshot_files(const std::filesystem::path& d
 class CheckpointStoreTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    // Relative to the test's working directory (inside the build tree).
-    dir_ = std::filesystem::path("checkpoint_store_test") /
+    // System temp, not the working directory: a relative scratch root would
+    // litter whatever directory ctest runs from. ctest runs cases as
+    // parallel processes, so the pid isolates concurrent cases and lets
+    // TearDown remove the whole per-process root without racing a sibling
+    // test's live store.
+    std::string scratch = "umlsoc-checkpoint-store-";
+    scratch += std::to_string(::getpid());
+    root_ = std::filesystem::temp_directory_path() / scratch;
+    dir_ = root_ /
            ::testing::UnitTest::GetInstance()->current_test_info()->name();
     std::filesystem::remove_all(dir_);
   }
-  void TearDown() override {
-    // Only this test's subdirectory: ctest runs cases in parallel in one
-    // working directory, so removing the shared parent would delete a
-    // sibling test's live store.
-    std::filesystem::remove_all(dir_);
-  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
 
   CheckpointStoreConfig config(unsigned full_interval = 3, unsigned keep_fulls = 2) {
     CheckpointStoreConfig out;
@@ -701,6 +704,7 @@ class CheckpointStoreTest : public ::testing::Test {
     }
   }
 
+  std::filesystem::path root_;
   std::filesystem::path dir_;
   std::unique_ptr<statechart::StateMachine> machine_ = make_machine();
 };

@@ -5,6 +5,7 @@
 // ending in terminal give-up), time travel via restore_to, and the
 // root-cause binary search pinpointing a seeded poison event.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdint>
 #include <filesystem>
@@ -115,13 +116,19 @@ struct WorkerRig {
 class RecoveryTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    // Not "recovery_test": ctest's working directory holds the test binary
-    // of that name, and a scratch root colliding with it cannot be created.
-    dir_ = std::filesystem::path("recovery_test_scratch") /
+    // System temp, not the working directory: ctest runs many test
+    // processes in one directory, and a relative scratch root would both
+    // collide across suites and outlive aborted runs as litter. The pid
+    // keeps concurrently-running test processes apart; the test name keeps
+    // cases within one process apart.
+    std::string scratch = "umlsoc-recovery-";
+    scratch += std::to_string(::getpid());
+    root_ = std::filesystem::temp_directory_path() / scratch;
+    dir_ = root_ /
            ::testing::UnitTest::GetInstance()->current_test_info()->name();
     std::filesystem::remove_all(dir_);
   }
-  void TearDown() override { std::filesystem::remove_all(dir_); }
+  void TearDown() override { std::filesystem::remove_all(root_); }
 
   CheckpointStoreConfig store_config() {
     CheckpointStoreConfig out;
@@ -140,6 +147,7 @@ class RecoveryTest : public ::testing::Test {
     return policy;
   }
 
+  std::filesystem::path root_;
   std::filesystem::path dir_;
 };
 

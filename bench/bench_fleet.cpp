@@ -133,4 +133,29 @@ void BM_FleetChunkSize(benchmark::State& state) {
 BENCHMARK(BM_FleetChunkSize)->Arg(1)->Arg(4)->Arg(16)->Arg(64)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
+/// Process-isolation tax at 4 workers: the same 256-rig batch through the
+/// forked worker pool (pipe-framed grants/results, heartbeat threads,
+/// at-most-once ledger) vs the thread path above. The gap is the price of
+/// crash tolerance — fork/reap per pool, result serialization per rig —
+/// and should stay within a small constant factor of BM_FleetThroughput/4
+/// at simulation-rig granularity.
+void BM_FleetProcessIsolation(benchmark::State& state) {
+  const std::uint64_t ticks = static_cast<std::uint64_t>(state.range(0));
+  constexpr std::uint64_t kRigs = 256;
+
+  for (auto _ : state) {
+    fleet::FleetConfig config;
+    config.jobs = 4;
+    config.isolation = fleet::Isolation::kProcess;
+    fleet::FleetDriver driver(config);
+    const std::vector<fleet::RigOutcome> outcomes = driver.run_range(
+        1000, kRigs, [&](const fleet::RigJob& job) { return run_sim_rig(job, ticks); });
+    benchmark::DoNotOptimize(outcomes.size());
+  }
+  state.counters["rigs/s"] = benchmark::Counter(
+      static_cast<double>(kRigs * state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FleetProcessIsolation)->Arg(500)->Arg(2000)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
 }  // namespace

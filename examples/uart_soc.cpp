@@ -65,9 +65,25 @@
 // interpreter. Snapshots are engine-interchangeable, so the soak's
 // checkpoint/restore/replay pipeline is exercised end-to-end either way.
 //
+// --isolation=thread|process picks how the fleet shards seeds: worker
+// threads (default) or supervised worker processes. Process isolation
+// forks workers over a pipe-based handoff protocol; a worker that dies
+// (SIGKILL, nonzero exit, heartbeat silence, or a seed hung past
+// --worker-timeout seconds) is reaped and respawned, its in-flight seed
+// re-dispatched — resuming from the seed's on-disk handoff ladder when one
+// survives — with at-most-once accounting, so the rollup fingerprint is
+// bit-identical to an in-process run. A seed that kills 3 consecutive
+// workers is quarantined with its forensics under ./chaos-soak-failure/.
+// --kill-workers=N makes the supervisor SIGKILL N random busy workers
+// mid-run (the CI chaos gate). --fault-templates=K sweeps K fault-plan
+// templates (error/drop/crash-rate variations) across the fleet by rig
+// index; the rollup then breaks the SLOs down per template.
+//
 //   $ ./example_uart_soc
 //   $ ./example_uart_soc --chaos-soak
 //   $ ./example_uart_soc --chaos-soak=256 --jobs=$(nproc)
+//   $ ./example_uart_soc --chaos-soak=64 --isolation=process --kill-workers=2
+//   $ ./example_uart_soc --chaos-soak=64 --fault-templates=4
 //   $ ./example_uart_soc --chaos-soak=4 --engine=interpreted
 //   $ ./example_uart_soc --check-properties
 #include <chrono>
@@ -278,6 +294,27 @@ struct TrafficFaults {
   double drop_rate = 0.0;
   std::uint64_t max_faults = std::numeric_limits<std::uint64_t>::max();
 };
+
+/// One fault-plan template the fleet sweep can assign to a rig: the traffic
+/// fault rates the resilience stack absorbs plus the per-tick crash
+/// probability of the crash leg. Template 0 is the historical baseline
+/// (single-template fleets behave exactly as before the sweep existed).
+/// Rates stay within what the supervision stack absorbs by design — the
+/// sweep varies stress, it does not manufacture failures.
+struct SoakTemplate {
+  double error_rate;
+  double drop_rate;
+  double crash_rate;
+};
+
+constexpr SoakTemplate kSoakTemplates[] = {
+    {0.010, 0.010, 0.10},  // 0: baseline
+    {0.020, 0.005, 0.15},  // 1: error-heavy traffic, eager crash
+    {0.005, 0.020, 0.05},  // 2: drop-heavy traffic, reluctant crash
+    {0.015, 0.015, 0.20},  // 3: everything turned up
+};
+constexpr std::uint32_t kSoakTemplateCount =
+    static_cast<std::uint32_t>(sizeof(kSoakTemplates) / sizeof(kSoakTemplates[0]));
 
 /// UartLink: Normal <-> Fallback on breaker_open/breaker_closed, Dead on
 /// supervisor_give_up. Every other supervision signal is absorbed
@@ -768,12 +805,26 @@ void dump_event_log(const std::filesystem::path& path,
 /// crash legs; kernel stats reduced across every leg). Runs on a fleet
 /// worker thread: everything it touches is rig-local or read-only shared
 /// model input, and filesystem scratch is partitioned by seed.
+///
+/// The job's fault_template picks the SoakTemplate every leg runs under,
+/// and its attempt count drives the cross-process handoff: every attempt
+/// writes two handoff rungs (the t=0 base and the post-phase-1 save point)
+/// to the seed's scratch, and a re-dispatched attempt (attempt > 0) first
+/// restores the newest rung a dead predecessor left behind and replays the
+/// remainder under the verifier — proving resume-from-ladder — before
+/// re-running the deterministic legs from scratch.
 std::string soak_one_seed(const uml::Component& psm_uart, const soc::SocProfile& profile,
                           const statechart::StateMachine& link_machine,
-                          std::uint64_t base, const TrafficFaults& faults,
-                          std::uint64_t seed, const std::filesystem::path& scratch,
+                          std::uint64_t base, const fleet::RigJob& job,
+                          const std::filesystem::path& scratch,
                           fleet::RigOutcome& outcome) {
   support::DiagnosticSink sink;
+  const std::uint64_t seed = job.seed;
+  const SoakTemplate& soak_template =
+      kSoakTemplates[job.fault_template % kSoakTemplateCount];
+  TrafficFaults faults;
+  faults.error_rate = soak_template.error_rate;
+  faults.drop_rate = soak_template.drop_rate;
 
   DegradedRig reference(psm_uart, profile, link_machine, base, faults, seed, sink);
   if (!run_phase(reference, 32)) return "reference stalled in phase 1";
@@ -792,15 +843,67 @@ std::string soak_one_seed(const uml::Component& psm_uart, const soc::SocProfile&
 
   namespace fs = std::filesystem;
   const fs::path seed_dir = scratch / ("seed-" + std::to_string(seed));
+
+  // --- Cross-process handoff resume ------------------------------------------
+  // A re-dispatched seed (attempt > 0) may inherit handoff rungs a dead
+  // predecessor left in this seed's scratch. Before the scratch is wiped,
+  // prove the handoff invariant: restore the newest good rung into a fresh
+  // rig, replay the remainder of the script under the verifier, and require
+  // the final state to match the reference. Everything this leg produces
+  // lives in fingerprint-excluded fields (resumed_from_seq) and its kernel
+  // stats are NOT reduced into the outcome — whether a kill happened, and
+  // where, is host scheduling, not simulation.
+  replay::CheckpointStoreConfig handoff_config;
+  handoff_config.directory = seed_dir / "handoff";
+  handoff_config.prefix = "handoff";
+  handoff_config.full_interval = 2;
+  handoff_config.keep_fulls = 2;
+  if (job.attempt > 0 && fs::exists(handoff_config.directory)) {
+    replay::CheckpointStore inherited(handoff_config);
+    if (inherited.newest_on_disk() != 0) {
+      DegradedRig resumed(psm_uart, profile, link_machine, base, faults, seed, sink);
+      support::DiagnosticSink resume_sink;
+      // An unrestorable inherited ladder (predecessor killed mid-write on
+      // every rung) is not an error — the seed simply re-runs from scratch.
+      if (inherited.restore_latest_good(resumed.targets(), resume_sink)) {
+        resumed.recorder.begin_verify(reference_log, resumed.recorder.total_events());
+        if (!run_phase(resumed, 32)) return "handoff-resumed rig stalled in phase 1";
+        if (!run_phase(resumed, 64)) return "handoff-resumed rig stalled in phase 2";
+        if (!run_recovery_tail(resumed)) return "handoff-resumed rig never recovered";
+        finish_run(resumed);
+        if (const std::string problem =
+                compare_final_state(reference, resumed, "handoff-resumed");
+            !problem.empty()) {
+          return problem;
+        }
+        outcome.resumed_from_seq = inherited.stats().restored_seq;
+      }
+    }
+  }
+
   std::error_code cleanup_ec;
   fs::remove_all(seed_dir, cleanup_ec);
   fs::create_directories(seed_dir, cleanup_ec);
   dump_event_log(seed_dir / "reference-events.log", reference_log, reference.kernel);
 
   DegradedRig checkpointed(psm_uart, profile, link_machine, base, faults, seed, sink);
+  // Handoff rung 1: the t=0 base. Written on every attempt and in every
+  // isolation mode — the writes feed the kernel's snapshot-encode counters,
+  // which are fingerprinted, so they must happen unconditionally. A refusal
+  // here is tolerated (and deterministic): the save-point rung below then
+  // lands as the chain's full base instead.
+  replay::CheckpointStore handoff_store(handoff_config);
+  support::DiagnosticSink handoff_sink;
+  replay::CheckpointStore::WriteResult handoff_rung;
+  (void)handoff_store.checkpoint(checkpointed.targets(), handoff_rung, handoff_sink);
   std::string snapshot;
   if (!run_phase(checkpointed, 32)) return "checkpointed rig stalled";
   if (!run_to_save_point(checkpointed, &snapshot)) return "no checkpointable state";
+  // Handoff rung 2: the save point a successor resumes from. The state was
+  // just proven checkpointable, so a failure here is a real bug.
+  if (!handoff_store.checkpoint(checkpointed.targets(), handoff_rung, handoff_sink)) {
+    return "handoff save-point checkpoint failed: " + handoff_sink.str();
+  }
 
   DegradedRig restored(psm_uart, profile, link_machine, base, faults, seed, sink);
   support::DiagnosticSink restore_sink;
@@ -949,8 +1052,9 @@ std::string soak_one_seed(const uml::Component& psm_uart, const soc::SocProfile&
   ScriptDriver crash_script(crash_rig);
   sim::FaultPlan crash_plan(seed ^ 0xDEADBEEFULL);
   sim::FaultPlan::SiteConfig crash_site;
-  crash_site.error_rate = 0.10;  // Each tick dies with p = 0.10 ...
-  crash_site.max_faults = 1;     // ... and exactly one death per run.
+  // Each tick dies with the template's crash probability ...
+  crash_site.error_rate = soak_template.crash_rate;
+  crash_site.max_faults = 1;  // ... and exactly one death per run.
   crash_plan.configure(sim::FaultSite::kCrash, crash_site);
   sim::CrashInjector injector(crash_rig.kernel, &crash_plan, crash_tick_interval);
   replay::CheckpointStore crash_store(crash_config);
@@ -1061,23 +1165,36 @@ std::string soak_one_seed(const uml::Component& psm_uart, const soc::SocProfile&
   return {};
 }
 
-/// --chaos-soak[=N] --jobs=M: the supervision loop under a seeded 1% error
-/// + 1% drop plan, N seeds sharded across M fleet workers. Per-seed
-/// results are bit-identical across job counts (each seed's rig pipeline
-/// is fully isolated), so failures reproduce with `--chaos-soak=1` and the
-/// seed hardcoded no matter how the fleet was sharded. Prints every
-/// failing seed plus the fleet SLO rollup.
+/// Soak-mode knobs gathered from the command line.
+struct SoakOptions {
+  unsigned jobs = 1;  ///< Fleet workers; 0 = one per core.
+  fleet::Isolation isolation = fleet::Isolation::kThread;
+  std::uint32_t fault_templates = 1;  ///< Swept templates (1..kSoakTemplateCount).
+  std::uint32_t worker_timeout_s = 120;  ///< Per-seed watchdog (process isolation).
+  std::uint32_t kill_workers = 0;  ///< Supervisor-injected SIGKILLs (chaos gate).
+};
+
+/// --chaos-soak[=N] --jobs=M: the supervision loop under seeded traffic
+/// faults, N seeds sharded across M fleet workers (threads by default,
+/// supervised processes with --isolation=process). Per-seed results are
+/// bit-identical across job counts and isolation modes (each seed's rig
+/// pipeline is fully isolated), so failures reproduce with
+/// `--chaos-soak=1` and the seed hardcoded no matter how the fleet was
+/// sharded. Prints every failing seed plus the fleet SLO rollup.
 int run_chaos_soak(const uml::Component& psm_uart, const soc::SocProfile& profile,
                    const statechart::StateMachine& link_machine, std::uint64_t base,
-                   int seed_count, unsigned jobs) {
-  TrafficFaults faults;
-  faults.error_rate = 0.01;
-  faults.drop_rate = 0.01;
-  const unsigned jobs_used = fleet::FleetDriver::resolve_jobs(jobs);
-  std::printf("chaos soak: %d seeds across %u fleet worker(s), 1%% error + 1%% drop "
-              "on bus writes, 20%%/20%%/20%% torn/lost/bit-flipped checkpoints, "
-              "mid-run crash + coordinator recovery, %s link engine\n",
-              seed_count, jobs_used, engine_label());
+                   int seed_count, const SoakOptions& options) {
+  const unsigned jobs_used = fleet::FleetDriver::resolve_jobs(options.jobs);
+  std::printf("chaos soak: %d seeds across %u fleet worker(s), %u fault template(s), "
+              "seeded error/drop traffic faults, 20%%/20%%/20%% torn/lost/bit-flipped "
+              "checkpoints, mid-run crash + coordinator recovery, %s link engine\n",
+              seed_count, jobs_used, options.fault_templates, engine_label());
+  if (options.isolation == fleet::Isolation::kProcess) {
+    std::printf("  process isolation: supervised worker pool, heartbeat deadline 5s, "
+                "seed watchdog %us%s\n",
+                options.worker_timeout_s,
+                options.kill_workers > 0 ? " — chaos worker kills armed" : "");
+  }
 
   // Per-seed checkpoint ladders and event logs live in a temp-dir scratch
   // root, not the working directory. A failing seed's scratch is copied to
@@ -1091,7 +1208,11 @@ int run_chaos_soak(const uml::Component& psm_uart, const soc::SocProfile& profil
   const fs::path artifact_root = "chaos-soak-failure";
 
   fleet::FleetConfig config;
-  config.jobs = jobs;
+  config.jobs = options.jobs;
+  config.isolation = options.isolation;
+  config.fault_templates = options.fault_templates;
+  config.seed_timeout_ms = options.worker_timeout_s * 1000u;
+  config.chaos_kill_workers = options.kill_workers;
   fleet::FleetDriver driver(config);
   // The progress hook is serialized by the driver; lines arrive in
   // completion order (worker interleaving), so they carry the seed. The
@@ -1112,8 +1233,8 @@ int run_chaos_soak(const uml::Component& psm_uart, const soc::SocProfile& profil
   const std::vector<fleet::RigOutcome> outcomes = driver.run_range(
       1000, static_cast<std::uint64_t>(seed_count), [&](const fleet::RigJob& job) {
         fleet::RigOutcome outcome;
-        outcome.failure = soak_one_seed(psm_uart, profile, link_machine, base, faults,
-                                        job.seed, scratch, outcome);
+        outcome.failure =
+            soak_one_seed(psm_uart, profile, link_machine, base, job, scratch, outcome);
         outcome.ok = outcome.failure.empty();
         return outcome;
       });
@@ -1411,9 +1532,9 @@ bool build_model_bundle(ModelBundle& bundle, bool verbose,
 
 int main(int argc, char** argv) {
   int soak_seeds = 0;
-  unsigned soak_jobs = 1;  // Serial by default; --jobs=0 = one per core.
-  // --engine and --jobs apply to whichever mode runs, so resolve them
-  // before the mode flags (which dispatch immediately) regardless of
+  SoakOptions soak;  // Serial threads by default; --jobs=0 = one per core.
+  // --engine and the soak knobs apply to whichever mode runs, so resolve
+  // them before the mode flags (which dispatch immediately) regardless of
   // argument order.
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
@@ -1424,7 +1545,51 @@ int main(int argc, char** argv) {
                      argv[i] + 7);
         return 2;
       }
-      soak_jobs = static_cast<unsigned>(value);
+      soak.jobs = static_cast<unsigned>(value);
+      continue;
+    }
+    if (std::strncmp(argv[i], "--isolation=", 12) == 0) {
+      const char* choice = argv[i] + 12;
+      if (std::strcmp(choice, "thread") == 0) {
+        soak.isolation = fleet::Isolation::kThread;
+      } else if (std::strcmp(choice, "process") == 0) {
+        soak.isolation = fleet::Isolation::kProcess;
+      } else {
+        std::fprintf(stderr, "unknown isolation '%s' (use thread|process)\n", choice);
+        return 2;
+      }
+      continue;
+    }
+    if (std::strncmp(argv[i], "--worker-timeout=", 17) == 0) {
+      char* end = nullptr;
+      const long value = std::strtol(argv[i] + 17, &end, 10);
+      if (end == argv[i] + 17 || *end != '\0' || value < 1 || value > 86400) {
+        std::fprintf(stderr, "invalid worker timeout '%s' (seconds)\n", argv[i] + 17);
+        return 2;
+      }
+      soak.worker_timeout_s = static_cast<std::uint32_t>(value);
+      continue;
+    }
+    if (std::strncmp(argv[i], "--kill-workers=", 15) == 0) {
+      char* end = nullptr;
+      const long value = std::strtol(argv[i] + 15, &end, 10);
+      if (end == argv[i] + 15 || *end != '\0' || value < 0 || value > 1024) {
+        std::fprintf(stderr, "invalid kill count '%s'\n", argv[i] + 15);
+        return 2;
+      }
+      soak.kill_workers = static_cast<std::uint32_t>(value);
+      continue;
+    }
+    if (std::strncmp(argv[i], "--fault-templates=", 18) == 0) {
+      char* end = nullptr;
+      const long value = std::strtol(argv[i] + 18, &end, 10);
+      if (end == argv[i] + 18 || *end != '\0' || value < 1 ||
+          value > static_cast<long>(kSoakTemplateCount)) {
+        std::fprintf(stderr, "invalid template count '%s' (1..%u)\n", argv[i] + 18,
+                     kSoakTemplateCount);
+        return 2;
+      }
+      soak.fault_templates = static_cast<std::uint32_t>(value);
       continue;
     }
     if (std::strncmp(argv[i], "--engine=", 9) != 0) continue;
@@ -1440,7 +1605,11 @@ int main(int argc, char** argv) {
   }
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--engine=", 9) == 0 ||
-        std::strncmp(argv[i], "--jobs=", 7) == 0) {
+        std::strncmp(argv[i], "--jobs=", 7) == 0 ||
+        std::strncmp(argv[i], "--isolation=", 12) == 0 ||
+        std::strncmp(argv[i], "--worker-timeout=", 17) == 0 ||
+        std::strncmp(argv[i], "--kill-workers=", 15) == 0 ||
+        std::strncmp(argv[i], "--fault-templates=", 18) == 0) {
       continue;
     }
     if (std::strcmp(argv[i], "--check-properties") == 0) return run_check_properties("");
@@ -1472,7 +1641,7 @@ int main(int argc, char** argv) {
   build_link_machine(link_machine);
   if (soak_seeds > 0) {
     return run_chaos_soak(*bundle.psm_uart, *bundle.psm_profile, link_machine,
-                          bundle.base, soak_seeds, soak_jobs);
+                          bundle.base, soak_seeds, soak);
   }
 
   // 4. Execute: HW model on the bus, ASL driver writing registers.

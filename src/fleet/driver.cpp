@@ -6,6 +6,8 @@
 #include <mutex>
 #include <thread>
 
+#include "fleet/procpool.hpp"
+
 namespace umlsoc::fleet {
 
 void SloCounters::add(const SloCounters& other) {
@@ -32,6 +34,7 @@ void SloCounters::add(const SloCounters& other) {
   rungs_quarantined += other.rungs_quarantined;
   ladder_recoveries += other.ladder_recoveries;
   crash_recoveries += other.crash_recoveries;
+  seeds_poisoned += other.seeds_poisoned;
   lost_work_ps_max = std::max(lost_work_ps_max, other.lost_work_ps_max);
 }
 
@@ -82,7 +85,7 @@ bool RigOutcome::deterministic_equal(const RigOutcome& other) const {
   return seed == other.seed && ok == other.ok && failure == other.failure &&
          sim_time_ps == other.sim_time_ps &&
          events_processed == other.events_processed && slo == other.slo &&
-         health == other.health &&
+         health == other.health && fault_template == other.fault_template &&
          mine.timed_peak == theirs.timed_peak &&
          mine.max_deltas_per_instant == theirs.max_deltas_per_instant &&
          mine.wheel_hits == theirs.wheel_hits && mine.heap_hits == theirs.heap_hits &&
@@ -134,6 +137,23 @@ std::vector<RigOutcome> FleetDriver::run(const std::vector<std::uint64_t>& seeds
   stats_.rigs_per_worker.assign(jobs, 0);
   if (total == 0) return outcomes;
 
+  const std::uint32_t templates =
+      config_.fault_templates == 0 ? 1 : config_.fault_templates;
+
+  if (config_.isolation == Isolation::kProcess) {
+    // Supervised worker-process pool: same slot-indexed outcomes, same
+    // index-based template assignment, so the report fingerprint matches
+    // the thread path bit for bit.
+    const auto wall_start = std::chrono::steady_clock::now();
+    ProcPool pool(config_, jobs, chunk);
+    outcomes = pool.run(seeds, runner, progress_, stats_);
+    stats_.wall_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count());
+    return outcomes;
+  }
+
   // Shared fleet state: the chunk cursor (the only hot-path shared write),
   // a completion counter and a mutex serializing the progress hook.
   std::atomic<std::uint64_t> next_chunk{0};
@@ -146,6 +166,7 @@ std::vector<RigOutcome> FleetDriver::run(const std::vector<std::uint64_t>& seeds
     job.index = index;
     job.seed = seeds[index];
     job.worker = worker;
+    job.fault_template = static_cast<std::uint32_t>(index % templates);
     RigOutcome& slot = outcomes[index];
     const auto start = std::chrono::steady_clock::now();
     try {
@@ -160,6 +181,8 @@ std::vector<RigOutcome> FleetDriver::run(const std::vector<std::uint64_t>& seeds
       slot.failure = "uncaught exception (non-standard)";
     }
     slot.seed = job.seed;
+    slot.fault_template = job.fault_template;
+    if (slot.attempts == 0) slot.attempts = 1;
     if (slot.wall_ns == 0) {
       slot.wall_ns = static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(

@@ -28,6 +28,18 @@ struct RigJob {
   std::uint64_t index = 0;
   std::uint64_t seed = 0;
   unsigned worker = 0;
+
+  /// Re-dispatch count: 0 on the first execution, incremented every time the
+  /// seed is handed to a new worker after the previous one died. Runners may
+  /// use it to look for a predecessor's checkpoint ladder (handoff resume);
+  /// deterministic outcome content must never depend on it.
+  std::uint32_t attempt = 0;
+
+  /// Fault-plan template slot, assigned by the driver as `index % templates`
+  /// so the same rig gets the same template regardless of worker count or
+  /// isolation mode. Clients map it to a concrete fault configuration
+  /// (error/drop/crash-rate sweeps across the fleet).
+  std::uint32_t fault_template = 0;
 };
 
 /// SLO-relevant counters a rig contributes to the fleet rollup. All fields
@@ -68,6 +80,9 @@ struct SloCounters {
   std::uint64_t ladder_recoveries = 0;        ///< restore_latest_good successes.
   std::uint64_t crash_recoveries = 0;         ///< Crash-twin coordinator recoveries.
   std::uint64_t lost_work_ps_max = 0;         ///< Worst crash-recovery lost work.
+
+  // Cross-process fleet.
+  std::uint64_t seeds_poisoned = 0;  ///< Seeds quarantined after killing K workers.
 
   /// Element-wise accumulation (max for lost_work_ps_max).
   void add(const SloCounters& other);
@@ -112,7 +127,18 @@ struct RigOutcome {
   HealthRollup health;
   sim::Kernel::Stats kernel;  ///< reduce()d across the rig's kernels.
 
+  /// Fault-plan template the rig ran under (RigJob::fault_template, stamped
+  /// by the driver). Deterministic: assignment is index-based.
+  std::uint32_t fault_template = 0;
+
   std::uint64_t wall_ns = 0;  ///< Host time; excluded from determinism checks.
+
+  // Cross-process execution accounting. Which worker ran a rig, how many
+  // times it was dispatched and whether a re-dispatch resumed from a dead
+  // predecessor's checkpoint ladder all depend on host scheduling and kill
+  // timing — like wall_ns they are excluded from determinism checks.
+  std::uint32_t attempts = 0;          ///< Dispatches it took to land this outcome.
+  std::uint64_t resumed_from_seq = 0;  ///< Handoff resume rung (0 = ran from scratch).
 
   /// Deterministic equality: every field except wall_ns. The fleet
   /// determinism gate compares per-seed outcomes across thread counts with

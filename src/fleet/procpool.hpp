@@ -1,0 +1,58 @@
+// ProcPool: supervised worker-process pool behind the FleetDriver interface.
+//
+// The parent forks N workers (no exec — each child inherits the rig runner
+// closure and runs grants exactly like a worker thread would), connected by
+// a pipe pair per worker speaking the framed handoff protocol. The parent
+// is a single-threaded poll() event loop: it assigns seed chunks, collects
+// results into the slot-indexed outcome vector, and supervises liveness —
+// a worker that exits nonzero, is SIGKILLed, or goes silent past the
+// heartbeat deadline (or sits on one seed past the per-seed watchdog) is
+// reaped, its pipe drained for results that raced the death, its unfinished
+// grants re-dispatched through the HandoffLedger, and a replacement forked
+// with exponential backoff. Re-dispatched rigs re-run from the seed alone;
+// runners that keep a checkpoint ladder on disk may resume from it (the
+// grant carries the attempt number so the runner knows to look).
+//
+// Failure policy. A seed whose execution kills `quarantine_threshold`
+// consecutive workers is poisoned: the pool synthesizes a failed outcome
+// for it (counted in SloCounters::seeds_poisoned) instead of re-dispatching
+// forever. If deaths degrade the pool below `min_workers` usable slots, the
+// pool stops forking and finishes the remaining rigs inline in the parent —
+// a degraded but complete run beats a wedged one.
+//
+// Determinism. Outcomes are pure functions of (seed, fault_template), both
+// assigned by index; the ledger guarantees at-most-once acceptance per
+// seed. A process-isolated run therefore produces the same slot-indexed
+// outcome vector — and the same FleetReport fingerprint — as an in-process
+// run, even with workers dying mid-shard.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fleet/driver.hpp"
+#include "fleet/outcome.hpp"
+
+namespace umlsoc::fleet {
+
+/// Runs one fleet across forked worker processes. Constructed per run by
+/// FleetDriver when `config.isolation == Isolation::kProcess`.
+class ProcPool {
+ public:
+  ProcPool(const FleetConfig& config, unsigned jobs, std::uint64_t chunk);
+
+  /// Executes the fleet; fills `stats` (including FleetStats::pool) and
+  /// returns outcomes indexed like `seeds`. Invokes `progress` from the
+  /// supervisor thread only (already serialized).
+  std::vector<RigOutcome> run(const std::vector<std::uint64_t>& seeds,
+                              const FleetDriver::RigRunner& runner,
+                              const FleetDriver::Progress& progress,
+                              FleetStats& stats);
+
+ private:
+  FleetConfig config_;
+  unsigned jobs_ = 1;
+  std::uint64_t chunk_ = 1;
+};
+
+}  // namespace umlsoc::fleet

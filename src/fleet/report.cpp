@@ -59,6 +59,7 @@ FleetReport FleetReport::aggregate(const std::vector<RigOutcome>& outcomes) {
       ++report.rigs_failed;
       report.failed_seeds.push_back(outcome.seed);
     }
+    if (outcome.slo.seeds_poisoned != 0) report.poisoned_seeds.push_back(outcome.seed);
     report.slo.add(outcome.slo);
     report.health.add(outcome.health);
     reduce(report.kernel, outcome.kernel);
@@ -66,6 +67,13 @@ FleetReport FleetReport::aggregate(const std::vector<RigOutcome>& outcomes) {
     report.sim_time_ps_max = std::max(report.sim_time_ps_max, outcome.sim_time_ps);
     report.events_total += outcome.events_processed;
     report.rig_wall_ns_total += outcome.wall_ns;
+    if (outcome.fault_template >= report.templates.size()) {
+      report.templates.resize(outcome.fault_template + 1);
+    }
+    TemplateRollup& slice = report.templates[outcome.fault_template];
+    ++slice.rigs;
+    if (outcome.ok) ++slice.rigs_ok;
+    slice.slo.add(outcome.slo);
   }
   return report;
 }
@@ -111,6 +119,23 @@ std::string FleetReport::fingerprint() const {
               kernel.snapshot.sections_total);
   append_line(out, "sim-time=%" PRIu64 "/%" PRIu64 " events=%" PRIu64,
               sim_time_ps_total, sim_time_ps_max, events_total);
+  out += "poisoned-seeds=";
+  for (std::uint64_t seed : poisoned_seeds) {
+    out += std::to_string(seed);
+    out += ',';
+  }
+  out += '\n';
+  for (std::size_t t = 0; t < templates.size(); ++t) {
+    const TemplateRollup& slice = templates[t];
+    append_line(out,
+                "template[%zu]=%" PRIu64 "/%" PRIu64 " traffic=%" PRIu64 "/%" PRIu64
+                "/%" PRIu64 " bus=%" PRIu64 "/%" PRIu64 "/%" PRIu64
+                " errors=%" PRIu64 "/%" PRIu64 " giveups=%" PRIu64,
+                t, slice.rigs_ok, slice.rigs, slice.slo.requests, slice.slo.delivered,
+                slice.slo.lost, slice.slo.transactions, slice.slo.timeouts,
+                slice.slo.exhausted, slice.slo.errors_raised,
+                slice.slo.errors_unhandled, slice.slo.give_ups);
+  }
   return out;
 }
 
@@ -165,6 +190,26 @@ std::string FleetReport::str(const FleetStats* stats) const {
               " restores, %" PRIu64 " bytes)",
               checkpoint_overhead(), kernel.snapshot.encodes, kernel.snapshot.restores,
               kernel.snapshot.bytes_written);
+  if (!poisoned_seeds.empty()) {
+    out += "  poisoned seeds (quarantined after killing workers):";
+    for (std::uint64_t seed : poisoned_seeds) {
+      out += ' ';
+      out += std::to_string(seed);
+    }
+    out += '\n';
+  }
+  if (templates.size() > 1) {
+    append_line(out, "  fault-template sweep (%zu templates):", templates.size());
+    for (std::size_t t = 0; t < templates.size(); ++t) {
+      const TemplateRollup& slice = templates[t];
+      append_line(out,
+                  "    template %zu: %" PRIu64 " rigs, availability %.4f, %" PRIu64
+                  " timeouts, %" PRIu64 " exhausted, %" PRIu64 " lost, %" PRIu64
+                  " unhandled errors",
+                  t, slice.rigs, slice.availability(), slice.slo.timeouts,
+                  slice.slo.exhausted, slice.slo.lost, slice.slo.errors_unhandled);
+    }
+  }
   if (stats != nullptr && stats->wall_ns > 0) {
     const double seconds = static_cast<double>(stats->wall_ns) / 1e9;
     append_line(out,
@@ -173,6 +218,18 @@ std::string FleetReport::str(const FleetStats* stats) const {
                 static_cast<double>(rigs_total) / seconds,
                 static_cast<double>(events_total) / seconds, stats->jobs, stats->chunk,
                 stats->chunks_claimed, seconds);
+  }
+  if (stats != nullptr && stats->pool.forks > 0) {
+    const FleetStats::PoolStats& pool = stats->pool;
+    append_line(out,
+                "  fleet worker pool: %" PRIu64 " forks (%" PRIu64 " respawns), %" PRIu64
+                " deaths (%" PRIu64 " heartbeat, %" PRIu64 " seed-timeout, %" PRIu64
+                " chaos kills), %" PRIu64 " re-dispatches, %" PRIu64 " ladder resumes, %" PRIu64
+                " poisoned%s",
+                pool.forks, pool.respawns, pool.deaths, pool.heartbeat_kills,
+                pool.seed_timeout_kills, pool.chaos_kills, pool.redispatches,
+                pool.resumes, pool.poisoned,
+                pool.degraded_to_inline ? " — DEGRADED to in-process" : "");
   }
   return out;
 }

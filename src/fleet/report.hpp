@@ -25,10 +25,25 @@ struct FleetReport {
   std::uint64_t rigs_ok = 0;
   std::uint64_t rigs_failed = 0;
   std::vector<std::uint64_t> failed_seeds;  ///< Seed order (result-index order).
+  std::vector<std::uint64_t> poisoned_seeds;  ///< Quarantined by the process pool.
 
   SloCounters slo;          ///< Summed across rigs.
   HealthRollup health;      ///< Final per-unit health counts across rigs.
   sim::Kernel::Stats kernel;  ///< reduce()d across rigs.
+
+  /// Per-fault-template slice of the rollup: how each swept fault
+  /// configuration fared across its share of the fleet. Indexed by
+  /// RigOutcome::fault_template (dense; deterministic because template
+  /// assignment is index-based). Single-template fleets get one entry.
+  struct TemplateRollup {
+    std::uint64_t rigs = 0;
+    std::uint64_t rigs_ok = 0;
+    SloCounters slo;
+    [[nodiscard]] double availability() const {
+      return rigs == 0 ? 1.0 : static_cast<double>(rigs_ok) / static_cast<double>(rigs);
+    }
+  };
+  std::vector<TemplateRollup> templates;
 
   std::uint64_t sim_time_ps_total = 0;
   std::uint64_t sim_time_ps_max = 0;

@@ -1,5 +1,7 @@
 #include "replay/store.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <bit>
 #include <charconv>
@@ -44,6 +46,25 @@ CheckpointStore::CheckpointStore(CheckpointStoreConfig config) : config_(std::mo
   if (config_.keep_fulls == 0) config_.keep_fulls = 1;
   std::error_code ec;
   std::filesystem::create_directories(config_.directory, ec);
+  sweep_stray_tmps();
+}
+
+void CheckpointStore::sweep_stray_tmps() {
+  const std::string stem = config_.prefix + "-";
+  std::error_code ec;
+  for (const auto& dirent :
+       std::filesystem::directory_iterator(config_.directory, ec)) {
+    if (!dirent.is_regular_file(ec)) continue;
+    const std::string name = dirent.path().filename().string();
+    if (name.size() < stem.size() + kTmpSuffix.size()) continue;
+    if (name.compare(0, stem.size(), stem) != 0) continue;
+    if (name.compare(name.size() - kTmpSuffix.size(), kTmpSuffix.size(),
+                     kTmpSuffix) != 0) {
+      continue;
+    }
+    std::error_code rm;
+    if (std::filesystem::remove(dirent.path(), rm)) ++stats_.tmp_swept;
+  }
 }
 
 void CheckpointStore::bind_health(sim::HealthRegistry& registry) {
@@ -127,7 +148,13 @@ bool CheckpointStore::checkpoint(const SnapshotTargets& targets, WriteResult& ou
     if (result.torn || result.lost || result.flipped) ++stats_.write_faults;
   }
 
-  const std::filesystem::path tmp = result.path.string() + std::string(kTmpSuffix);
+  // The tmp sibling carries the writer's pid: if two processes ever touch
+  // the same directory (a re-dispatched seed racing a predecessor that is
+  // being torn down), their in-flight writes cannot collide on one tmp name
+  // and clobber each other mid-rename.
+  const std::filesystem::path tmp = result.path.string() + "." +
+                                    std::to_string(::getpid()) +
+                                    std::string(kTmpSuffix);
   if (!write_file(tmp, bytes)) {
     sink.error("checkpoint-store", "cannot write " + tmp.string());
     return false;

@@ -78,6 +78,7 @@ class CheckpointStore {
     std::uint64_t restores = 0;
     std::uint64_t restored_seq = 0;  ///< Seq of the last successful restore.
     std::uint64_t pruned = 0;        ///< Files deleted by rotation.
+    std::uint64_t tmp_swept = 0;     ///< Stray tmp files removed at open.
   };
 
   explicit CheckpointStore(CheckpointStoreConfig config);
@@ -136,6 +137,15 @@ class CheckpointStore {
     encoder_.resume_after(newest);
   }
 
+  /// Newest rung present on disk (0 when the directory holds none). A cheap
+  /// name scan, no validation — the cross-process handoff uses it to decide
+  /// whether a dead predecessor left a ladder worth restoring before this
+  /// process writes anything of its own.
+  [[nodiscard]] std::uint64_t newest_on_disk() const {
+    const std::vector<ScanEntry> entries = scan();
+    return entries.empty() ? 0 : entries.front().seq;
+  }
+
  private:
   struct ScanEntry {
     std::uint64_t seq = 0;
@@ -151,6 +161,12 @@ class CheckpointStore {
   void quarantine(const std::filesystem::path& path, std::string reason,
                   support::DiagnosticSink& sink);
   void prune(support::DiagnosticSink& sink);
+  /// Deletes stray `*.tmp` siblings left by a crashed (or SIGKILLed) writer.
+  /// Called at open: by then any previous owner of the directory is dead —
+  /// the process pool reaps a worker before re-dispatching its seed — so a
+  /// surviving tmp is garbage by definition, and sweeping it keeps crashed
+  /// runs from accumulating junk the scanner must skip forever.
+  void sweep_stray_tmps();
 
   CheckpointStoreConfig config_;
   IncrementalEncoder encoder_;

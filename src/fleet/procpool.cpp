@@ -277,10 +277,15 @@ std::vector<RigOutcome> ProcPool::run(const std::vector<std::uint64_t>& seeds,
     RigOutcome out;
     if (!decode_result(payload, index, out)) return false;
     if (index >= total) return false;
+    // Acceptance first: a duplicate or stale result must not free up the
+    // slot's accounting (outstanding, inflight) — a worker replaying results
+    // could otherwise be fed fresh grants while real ones are in flight.
+    // From a live worker that is a protocol violation (the caller kills it);
+    // the dead-worker drain in settle_death ignores the verdict.
+    if (!ledger.accept(w, index)) return false;
     Slot& slot = slots[w];
     if (slot.has_inflight && slot.inflight == index) slot.has_inflight = false;
     if (slot.outstanding > 0) --slot.outstanding;
-    if (!ledger.accept(w, index)) return true;  // duplicate: drop, never recount
     out.seed = seeds[index];
     if (out.resumed_from_seq != 0) ++stats.pool.resumes;
     outcomes[index] = std::move(out);
@@ -411,6 +416,10 @@ std::vector<RigOutcome> ProcPool::run(const std::vector<std::uint64_t>& seeds,
     for (unsigned w = 0; w < jobs_; ++w) {
       Slot& slot = slots[w];
       if (slot.respawn_pending && now >= slot.respawn_at) {
+        // Consume the pending flag up front: if spawn() fails it marks the
+        // slot abandoned, and an abandoned slot must neither count toward
+        // the degrade check nor be retried on every loop pass.
+        slot.respawn_pending = false;
         ++slot.respawns;
         if (spawn(w)) ++stats.pool.respawns;
       }
@@ -520,6 +529,22 @@ std::vector<RigOutcome> ProcPool::run(const std::vector<std::uint64_t>& seeds,
     }
   }
 
+  // --- Degraded teardown ------------------------------------------------------
+  // Must run BEFORE the generic shutdown: workers that are still alive hold
+  // grants in the ledger, and only settle_death() drains their pipes (raced
+  // results) and requeues their unfinished grants via on_worker_death().
+  // The shutdown path below reaps without settling — running it first would
+  // strand those seeds in kAssigned/kInFlight forever and the inline
+  // fallback would return default-constructed outcomes for them.
+  if (degraded) {
+    for (unsigned w = 0; w < jobs_; ++w) {
+      if (slots[w].alive) {
+        if (slots[w].pid > 0) ::kill(slots[w].pid, SIGKILL);
+        settle_death(w, /*allow_respawn=*/false);
+      }
+    }
+  }
+
   // --- Shutdown ---------------------------------------------------------------
   const std::string shutdown_frame = encode_frame(FrameType::kShutdown, {});
   for (Slot& slot : slots) {
@@ -557,13 +582,6 @@ std::vector<RigOutcome> ProcPool::run(const std::vector<std::uint64_t>& seeds,
   // --- Degraded inline fallback ----------------------------------------------
   if (degraded && !ledger.settled()) {
     stats.pool.degraded_to_inline = true;
-    // Tear down whatever is left (requeueing its grants) before going inline.
-    for (unsigned w = 0; w < jobs_; ++w) {
-      if (slots[w].alive) {
-        if (slots[w].pid > 0) ::kill(slots[w].pid, SIGKILL);
-        settle_death(w, /*allow_respawn=*/false);
-      }
-    }
     while (!ledger.settled()) {
       const std::vector<std::uint64_t> indices = ledger.claim(0, chunk_);
       if (indices.empty()) break;

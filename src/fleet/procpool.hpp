@@ -24,7 +24,10 @@
 // assigned by index; the ledger guarantees at-most-once acceptance per
 // seed. A process-isolated run therefore produces the same slot-indexed
 // outcome vector — and the same FleetReport fingerprint — as an in-process
-// run, even with workers dying mid-shard.
+// run, even with workers dying mid-shard, PROVIDED no seed is poisoned: a
+// quarantined seed gets a synthesized failed outcome (and a poisoned-seeds
+// fingerprint line) that only exists under process isolation, so parity
+// gates must assert poisoned == 0 before comparing fingerprints.
 #pragma once
 
 #include <cstdint>

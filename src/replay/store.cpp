@@ -1,9 +1,11 @@
 #include "replay/store.hpp"
 
+#include <signal.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <bit>
+#include <cerrno>
 #include <charconv>
 #include <chrono>
 #include <fstream>
@@ -31,6 +33,24 @@ bool write_file(const std::filesystem::path& path, std::string_view bytes) {
   out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   out.flush();
   return out.good();
+}
+
+/// True when a tmp filename `<base>.<pid>.tmp` embeds the pid of a process
+/// that is still alive — that tmp is a concurrent writer's in-flight
+/// checkpoint, not a stray. Legacy tmps without a pid always read as dead.
+bool tmp_writer_alive(std::string_view name) {
+  if (name.size() <= kTmpSuffix.size()) return false;
+  const std::string_view body = name.substr(0, name.size() - kTmpSuffix.size());
+  const std::size_t dot = body.rfind('.');
+  if (dot == std::string_view::npos) return false;
+  const char* first = body.data() + dot + 1;
+  const char* last = body.data() + body.size();
+  long long pid = 0;
+  const auto [ptr, ec] = std::from_chars(first, last, pid);
+  if (ec != std::errc() || ptr != last || pid <= 0) return false;
+  if (pid > std::numeric_limits<pid_t>::max()) return false;
+  // Signal 0: existence probe. EPERM still means the process exists.
+  return ::kill(static_cast<pid_t>(pid), 0) == 0 || errno == EPERM;
 }
 
 std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
@@ -62,6 +82,11 @@ void CheckpointStore::sweep_stray_tmps() {
                      kTmpSuffix) != 0) {
       continue;
     }
+    // A pid-scoped tmp whose writer is still running is an in-flight
+    // checkpoint of a concurrent store (the race the pid-scoped names exist
+    // to tolerate) — deleting it would fail that writer's rename mid-
+    // checkpoint. Only genuinely orphaned tmps are strays.
+    if (tmp_writer_alive(name)) continue;
     std::error_code rm;
     if (std::filesystem::remove(dirent.path(), rm)) ++stats_.tmp_swept;
   }

@@ -413,6 +413,12 @@ TEST(ProcPool, ChaosKilledFleetMatchesInProcessRunBitExactly) {
   const std::vector<RigOutcome> outcomes = driver.run_range(500, 24, dwelling_rig);
 
   ASSERT_EQ(outcomes.size(), reference.size());
+  // Parity only holds while no seed is poisoned: a quarantined seed gets a
+  // synthesized outcome (and a poisoned-seeds fingerprint line) that the
+  // in-process run cannot produce. With the generous quarantine threshold
+  // here this is a precondition check, not an expected outcome.
+  ASSERT_EQ(driver.stats().pool.poisoned, 0u)
+      << "kill schedule poisoned a seed; fingerprint parity is undefined";
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     EXPECT_TRUE(outcomes[i].deterministic_equal(reference[i]))
         << "seed " << reference[i].seed << " diverged across isolation modes";
@@ -421,6 +427,55 @@ TEST(ProcPool, ChaosKilledFleetMatchesInProcessRunBitExactly) {
             FleetReport::aggregate(reference).fingerprint());
   EXPECT_GE(driver.stats().pool.chaos_kills, 1u);
   EXPECT_GE(driver.stats().pool.redispatches, 1u);
+}
+
+TEST(ProcPool, DegradedPoolFinishesOrphanedGrantsInline) {
+  // min_workers=2 with a zero respawn budget: the first worker death drops
+  // usable slots to 1 and the pool must degrade to the inline fallback.
+  // The surviving worker is still alive and holding grants at that moment —
+  // the pool has to settle it (drain raced results, requeue its assigned
+  // and in-flight seeds) before going inline, or those seeds' outcomes are
+  // silently lost as default-constructed slots.
+  FleetConfig config = process_config(2);
+  config.min_workers = 2;
+  config.max_respawns = 0;
+  config.chunk = 4;  // Multi-grant chunks: the survivor always holds work.
+  FleetDriver driver(config);
+  const auto rig = [](const RigJob& job) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    // Worker 0 claims the first chunk [700..703] and dies on its third
+    // seed; by then the survivor has moved on to the chunk holding 708,
+    // whose long first-attempt dwell pins it mid-seed (with the rest of
+    // its chunk assigned-not-started) when the pool degrades.
+    if (job.seed == 702 && job.attempt == 0) ::kill(::getpid(), SIGKILL);
+    if (job.seed == 708 && job.attempt == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+    return run_mini_rig(job);
+  };
+  const std::vector<RigOutcome> outcomes = driver.run_range(700, 16, rig);
+  ASSERT_EQ(outcomes.size(), 16u);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_EQ(outcomes[i].seed, 700u + i) << "slot " << i << " lost its outcome";
+    EXPECT_TRUE(outcomes[i].ok)
+        << "seed " << outcomes[i].seed << ": " << outcomes[i].failure;
+  }
+  EXPECT_TRUE(driver.stats().pool.degraded_to_inline);
+  EXPECT_GE(driver.stats().pool.inline_fallback_rigs, 1u);
+  EXPECT_EQ(driver.stats().pool.poisoned, 0u);
+
+  // And the degraded run still matches the in-process reference bit-exactly.
+  FleetConfig baseline;
+  baseline.jobs = 1;
+  FleetDriver inproc(baseline);
+  const std::vector<RigOutcome> reference =
+      inproc.run_range(700, 16, [](const RigJob& job) { return run_mini_rig(job); });
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_TRUE(outcomes[i].deterministic_equal(reference[i]))
+        << "seed " << reference[i].seed << " diverged after inline fallback";
+  }
+  EXPECT_EQ(FleetReport::aggregate(outcomes).fingerprint(),
+            FleetReport::aggregate(reference).fingerprint());
 }
 
 TEST(ProcPool, TemplateSweepAssignsByIndexInBothIsolationModes) {
@@ -505,7 +560,9 @@ TEST(CheckpointStoreProcess, TmpFilesArePidScoped) {
 
 TEST(CheckpointStoreProcess, OpenSweepsStrayTmpsButNotForeignFiles) {
   TempDir dir;
-  const std::filesystem::path stray = dir.path() / "pool-00000001.usnap.4242.tmp";
+  // 999999999 exceeds the Linux pid_max ceiling, so the embedded writer pid
+  // is guaranteed dead and the tmp reads as a stray.
+  const std::filesystem::path stray = dir.path() / "pool-00000001.usnap.999999999.tmp";
   const std::filesystem::path legacy = dir.path() / "pool-00000002.usnap.tmp";
   const std::filesystem::path foreign = dir.path() / "other-00000001.usnap.tmp";
   std::ofstream(stray) << "half a checkpoint";
@@ -522,6 +579,29 @@ TEST(CheckpointStoreProcess, OpenSweepsStrayTmpsButNotForeignFiles) {
   EXPECT_EQ(store.stats().tmp_swept, 2u);
 }
 
+TEST(CheckpointStoreProcess, SweepSparesLiveWritersInFlightTmp) {
+  // The sweep must not race a still-running concurrent writer: a tmp whose
+  // embedded pid is alive is an in-flight checkpoint, and deleting it would
+  // fail that writer's rename — the exact predecessor-teardown race the
+  // pid-scoped tmp names were introduced to tolerate. Our own pid stands in
+  // for the live sibling.
+  TempDir dir;
+  const std::filesystem::path inflight =
+      dir.path() /
+      ("pool-00000001.usnap." + std::to_string(::getpid()) + ".tmp");
+  const std::filesystem::path orphaned = dir.path() / "pool-00000002.usnap.999999999.tmp";
+  std::ofstream(inflight) << "concurrent writer, mid-checkpoint";
+  std::ofstream(orphaned) << "writer long dead";
+  replay::CheckpointStoreConfig config;
+  config.directory = dir.path();
+  config.prefix = "pool";
+  replay::CheckpointStore store(config);
+  EXPECT_TRUE(std::filesystem::exists(inflight))
+      << "a live writer's in-flight tmp must survive the sweep";
+  EXPECT_FALSE(std::filesystem::exists(orphaned));
+  EXPECT_EQ(store.stats().tmp_swept, 1u);
+}
+
 TEST(CheckpointStoreProcess, SweptDirectoryStillRestores) {
   TempDir dir;
   sim::Kernel kernel;
@@ -536,7 +616,7 @@ TEST(CheckpointStoreProcess, SweptDirectoryStillRestores) {
     replay::CheckpointStore::WriteResult result;
     ASSERT_TRUE(writer.checkpoint(targets, result, sink)) << sink.str();
     // Simulate a successor's in-flight write that died mid-stream.
-    std::ofstream(dir.path() / "pool-00000002.usnap.999.tmp") << "torn";
+    std::ofstream(dir.path() / "pool-00000002.usnap.999999999.tmp") << "torn";
   }
   replay::CheckpointStore reader(config);
   EXPECT_EQ(reader.stats().tmp_swept, 1u);
